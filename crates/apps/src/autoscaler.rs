@@ -1,0 +1,231 @@
+//! The Updater bolt and replica manager of use case §7.3.
+//!
+//! "We also use an Updater Bolt within the topology that checks if the
+//! frequency of a URL is above a configurable upper threshold. If so, it
+//! will add a server to the web server pool and replicate the popular
+//! content to it. Likewise, the Update Bolt will remove a server when the
+//! top-k frequency is below a configurable lower bound. In order to
+//! prevent rapidly increasing and lowering the number servers ... we
+//! force the Update Bolt to back off for a predetermined amount of time."
+
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, Value};
+use netalytics_stream::Bolt;
+use parking_lot::Mutex;
+
+use crate::behaviors::SharedPool;
+use crate::kvstore::KvStore;
+use crate::tier::Endpoint;
+
+/// Auto-scaler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalerConfig {
+    /// Add a replica when the top key's window count exceeds this.
+    pub upper_threshold: u64,
+    /// Remove a replica when it falls below this.
+    pub lower_threshold: u64,
+    /// Minimum nanoseconds between scaling actions (back-off).
+    pub backoff_ns: u64,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> Self {
+        ScalerConfig {
+            upper_threshold: 100,
+            lower_threshold: 20,
+            backoff_ns: 2_000_000_000,
+        }
+    }
+}
+
+/// One scaling action, for the experiment log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleEvent {
+    /// A replica was added at this virtual time (ns).
+    Added(u64),
+    /// A replica was removed at this virtual time (ns).
+    Removed(u64),
+}
+
+/// The Updater bolt: consumes `rank` tuples from the top-k topology,
+/// stores the ranking in the KV store, and grows/shrinks the proxy's
+/// backend pool between `min_replicas` and the spare-server list.
+pub struct UpdaterBolt {
+    config: ScalerConfig,
+    pool: SharedPool,
+    /// Servers not currently in the pool, available to add.
+    spares: Vec<Endpoint>,
+    min_replicas: usize,
+    kv: Arc<KvStore>,
+    last_action_ns: Option<u64>,
+    events: Arc<Mutex<Vec<ScaleEvent>>>,
+}
+
+impl std::fmt::Debug for UpdaterBolt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdaterBolt")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UpdaterBolt {
+    /// Creates an updater managing `pool` with `spares` available.
+    pub fn new(
+        config: ScalerConfig,
+        pool: SharedPool,
+        spares: Vec<Endpoint>,
+        kv: Arc<KvStore>,
+    ) -> Self {
+        // The paper always keeps at least one web server in rotation.
+        let min_replicas = 1;
+        UpdaterBolt {
+            config,
+            pool,
+            spares,
+            min_replicas,
+            kv,
+            last_action_ns: None,
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the scaling-event log.
+    pub fn events(&self) -> Arc<Mutex<Vec<ScaleEvent>>> {
+        self.events.clone()
+    }
+
+    fn in_backoff(&self, now: u64) -> bool {
+        self.last_action_ns
+            .is_some_and(|t| now.saturating_sub(t) < self.config.backoff_ns)
+    }
+}
+
+impl Bolt for UpdaterBolt {
+    fn execute(&mut self, tuple: &DataTuple, _out: &mut Vec<DataTuple>) {
+        let (Some(rank), Some(key), Some(count)) = (
+            tuple.get("rank").and_then(Value::as_u64),
+            tuple.get("key").map(ToString::to_string),
+            tuple.get("count").and_then(Value::as_u64),
+        ) else {
+            return;
+        };
+        // Database bolt role: persist the ranking for the dynamic proxy.
+        self.kv.set(format!("topk:{rank}"), format!("{key}={count}"));
+        if rank != 0 {
+            return; // scaling decisions track the hottest key only
+        }
+        let now = tuple.ts_ns;
+        if self.in_backoff(now) {
+            return;
+        }
+        if count >= self.config.upper_threshold {
+            if let Some(spare) = self.spares.pop() {
+                self.pool.lock().push(spare);
+                self.last_action_ns = Some(now);
+                self.events.lock().push(ScaleEvent::Added(now));
+            }
+        } else if count <= self.config.lower_threshold {
+            let mut pool = self.pool.lock();
+            if pool.len() > self.min_replicas {
+                if let Some(removed) = pool.pop() {
+                    self.spares.push(removed);
+                    self.last_action_ns = Some(now);
+                    self.events.lock().push(ScaleEvent::Removed(now));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors::ProxyBehavior;
+    use std::net::Ipv4Addr;
+
+    fn ep(n: u8) -> Endpoint {
+        (Ipv4Addr::new(10, 0, 0, n), 80)
+    }
+
+    fn rank_tuple(rank: u64, key: &str, count: u64, ts: u64) -> DataTuple {
+        DataTuple::new(rank, ts)
+            .with("rank", rank)
+            .with("key", key)
+            .with("count", count)
+    }
+
+    fn updater(cfg: ScalerConfig) -> (UpdaterBolt, SharedPool, Arc<KvStore>) {
+        let pool = ProxyBehavior::pool_of(&[ep(1)]);
+        let kv = KvStore::shared();
+        let u = UpdaterBolt::new(cfg, pool.clone(), vec![ep(2), ep(3)], kv.clone());
+        (u, pool, kv)
+    }
+
+    #[test]
+    fn hot_content_adds_replicas_with_backoff() {
+        let (mut u, pool, _) = updater(ScalerConfig {
+            upper_threshold: 100,
+            lower_threshold: 10,
+            backoff_ns: 1_000,
+        });
+        let mut out = Vec::new();
+        u.execute(&rank_tuple(0, "/hot", 500, 0), &mut out);
+        assert_eq!(pool.lock().len(), 2, "first replica added");
+        u.execute(&rank_tuple(0, "/hot", 500, 500), &mut out);
+        assert_eq!(pool.lock().len(), 2, "back-off suppresses the second");
+        u.execute(&rank_tuple(0, "/hot", 500, 2_000), &mut out);
+        assert_eq!(pool.lock().len(), 3, "after back-off the pool grows");
+        u.execute(&rank_tuple(0, "/hot", 500, 10_000), &mut out);
+        assert_eq!(pool.lock().len(), 3, "no spares left");
+        assert_eq!(u.events().lock().len(), 2);
+    }
+
+    #[test]
+    fn cool_content_shrinks_but_keeps_minimum() {
+        let (mut u, pool, _) = updater(ScalerConfig {
+            upper_threshold: 1_000,
+            lower_threshold: 50,
+            backoff_ns: 0,
+        });
+        let mut out = Vec::new();
+        u.execute(&rank_tuple(0, "/hot", 2_000, 0), &mut out);
+        u.execute(&rank_tuple(0, "/hot", 2_000, 1), &mut out);
+        assert_eq!(pool.lock().len(), 3);
+        for t in 2..10 {
+            u.execute(&rank_tuple(0, "/hot", 5, t), &mut out);
+        }
+        assert_eq!(pool.lock().len(), 1, "shrinks to the minimum, not zero");
+    }
+
+    #[test]
+    fn rankings_are_persisted_to_kv() {
+        let (mut u, _, kv) = updater(ScalerConfig::default());
+        let mut out = Vec::new();
+        u.execute(&rank_tuple(0, "/a", 50, 0), &mut out);
+        u.execute(&rank_tuple(1, "/b", 30, 0), &mut out);
+        assert_eq!(kv.get("topk:0"), Some("/a=50".into()));
+        assert_eq!(kv.get("topk:1"), Some("/b=30".into()));
+    }
+
+    #[test]
+    fn non_top_ranks_do_not_scale() {
+        let (mut u, pool, _) = updater(ScalerConfig {
+            upper_threshold: 10,
+            lower_threshold: 1,
+            backoff_ns: 0,
+        });
+        let mut out = Vec::new();
+        u.execute(&rank_tuple(1, "/second", 9_999, 0), &mut out);
+        assert_eq!(pool.lock().len(), 1);
+    }
+
+    #[test]
+    fn malformed_tuples_ignored() {
+        let (mut u, pool, _) = updater(ScalerConfig::default());
+        let mut out = Vec::new();
+        u.execute(&DataTuple::new(0, 0).with("key", "/x"), &mut out);
+        assert_eq!(pool.lock().len(), 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Concrete tier behaviors for the §7 case studies.
+
+#[cfg(test)]
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use netalytics_netsim::SimDuration;
+use netalytics_packet::{http, memcached, mysql};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tier::{Endpoint, Plan, TierBehavior};
+
+fn jittered(rng: &mut StdRng, mean_ms: f64) -> SimDuration {
+    // Multiplicative jitter in [0.7, 1.3): keeps distributions unimodal
+    // per URL while avoiding lockstep artifacts.
+    let f = rng.random_range(0.7..1.3);
+    SimDuration::from_secs_f64((mean_ms * f / 1e3).max(0.0))
+}
+
+/// A static web server: per-URL mean service times, no backend
+/// (use case §7.3's video/content servers).
+#[derive(Debug)]
+pub struct StaticHttpBehavior {
+    default_ms: f64,
+    urls: Vec<(String, f64)>,
+    body_bytes: usize,
+    rng: StdRng,
+}
+
+impl StaticHttpBehavior {
+    /// Creates a server answering every URL in `mean_ms` on average.
+    pub fn new(mean_ms: f64, seed: u64) -> Self {
+        StaticHttpBehavior {
+            default_ms: mean_ms,
+            urls: Vec::new(),
+            body_bytes: 1024,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builder: overrides the mean for one URL.
+    pub fn with_url(mut self, url: impl Into<String>, mean_ms: f64) -> Self {
+        self.urls.push((url.into(), mean_ms));
+        self
+    }
+
+    /// Builder: response body size.
+    pub fn with_body_bytes(mut self, n: usize) -> Self {
+        self.body_bytes = n;
+        self
+    }
+}
+
+impl TierBehavior for StaticHttpBehavior {
+    fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+        let Some(req) = http::parse_request(request) else {
+            return Plan::Drop;
+        };
+        let mean = self
+            .urls
+            .iter()
+            .find(|(u, _)| *u == req.url)
+            .map_or(self.default_ms, |(_, ms)| *ms);
+        Plan::Respond {
+            delay: jittered(&mut self.rng, mean),
+            payload: http::build_response(200, &vec![b'x'; self.body_bytes]),
+            close: true,
+        }
+    }
+}
+
+/// A MySQL-like backend: per-statement service times keyed by SQL
+/// prefix, persistent connections, and an optional general-query-log
+/// overhead (the §7.2 "40.8K → 33K qps" comparison).
+#[derive(Debug)]
+pub struct MysqlBehavior {
+    default_ms: f64,
+    prefixes: Vec<(String, f64)>,
+    /// Extra per-query latency when the general query log is enabled.
+    pub log_overhead_ms: f64,
+    result_rows: usize,
+    rng: StdRng,
+}
+
+impl MysqlBehavior {
+    /// Creates a backend with `default_ms` mean per query.
+    pub fn new(default_ms: f64, seed: u64) -> Self {
+        MysqlBehavior {
+            default_ms,
+            prefixes: Vec::new(),
+            log_overhead_ms: 0.0,
+            result_rows: 2,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builder: overrides the mean for statements starting with `prefix`.
+    pub fn with_statement(mut self, prefix: impl Into<String>, mean_ms: f64) -> Self {
+        self.prefixes.push((prefix.into(), mean_ms));
+        self
+    }
+
+    /// Builder: enables the general-query-log cost model.
+    pub fn with_query_log(mut self, overhead_ms: f64) -> Self {
+        self.log_overhead_ms = overhead_ms;
+        self
+    }
+
+    /// Pure service-time model (used by the throughput bench).
+    pub fn service_ms(&mut self, sql: &str) -> f64 {
+        let mean = self
+            .prefixes
+            .iter()
+            .find(|(p, _)| sql.starts_with(p.as_str()))
+            .map_or(self.default_ms, |(_, ms)| *ms);
+        let f = self.rng.random_range(0.7..1.3);
+        mean * f + self.log_overhead_ms
+    }
+}
+
+impl TierBehavior for MysqlBehavior {
+    fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+        match mysql::parse_client(request) {
+            Some(mysql::ClientMessage::Query { sql }) => {
+                let ms = self.service_ms(&sql);
+                Plan::Respond {
+                    delay: SimDuration::from_secs_f64(ms / 1e3),
+                    payload: mysql::build_result_set(1, self.result_rows),
+                    close: false,
+                }
+            }
+            Some(mysql::ClientMessage::Quit) | Some(mysql::ClientMessage::Other(_)) | None => {
+                Plan::Drop
+            }
+        }
+    }
+}
+
+/// A Memcached-like cache: fast constant-time gets.
+#[derive(Debug)]
+pub struct MemcachedBehavior {
+    mean_ms: f64,
+    value_bytes: usize,
+    rng: StdRng,
+}
+
+impl MemcachedBehavior {
+    /// Creates a cache with `mean_ms` mean per get (typically ≪ 1 ms).
+    pub fn new(mean_ms: f64, seed: u64) -> Self {
+        MemcachedBehavior {
+            mean_ms,
+            value_bytes: 64,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TierBehavior for MemcachedBehavior {
+    fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+        match memcached::parse_command(request) {
+            Some(memcached::Command::Get { key }) => Plan::Respond {
+                delay: jittered(&mut self.rng, self.mean_ms),
+                payload: memcached::build_value_response(&key, Some(&vec![b'v'; self.value_bytes])),
+                close: true,
+            },
+            _ => Plan::Drop,
+        }
+    }
+}
+
+/// An application-tier server (use case §7.1): serves HTTP requests by
+/// consulting the cache with probability `cache_ratio`, else the
+/// database. The paper's bug is a *misconfigured* server whose
+/// `cache_ratio` is (near) zero, sending everything to slow MySQL.
+#[derive(Debug)]
+pub struct AppServerBehavior {
+    mysql: Endpoint,
+    memcached: Endpoint,
+    /// Probability of serving from the cache.
+    pub cache_ratio: f64,
+    local_ms: f64,
+    rng: StdRng,
+}
+
+impl AppServerBehavior {
+    /// Creates an app server with backends and a cache-hit ratio.
+    pub fn new(mysql: Endpoint, memcached: Endpoint, cache_ratio: f64, seed: u64) -> Self {
+        AppServerBehavior {
+            mysql,
+            memcached,
+            cache_ratio: cache_ratio.clamp(0.0, 1.0),
+            local_ms: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TierBehavior for AppServerBehavior {
+    fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+        let Some(req) = http::parse_request(request) else {
+            return Plan::Drop;
+        };
+        let use_cache = self.rng.random_range(0.0..1.0) < self.cache_ratio;
+        let (dst, backend_req) = if use_cache {
+            (
+                self.memcached,
+                memcached::build_get(&format!("page:{}", req.url)),
+            )
+        } else {
+            (
+                self.mysql,
+                mysql::build_query(&format!("SELECT body FROM pages WHERE url = '{}'", req.url)),
+            )
+        };
+        Plan::Backend {
+            dst,
+            requests: vec![backend_req],
+            post_delay: jittered(&mut self.rng, self.local_ms),
+            payload: http::build_response(200, b"rendered"),
+            close: true,
+        }
+    }
+}
+
+/// A front-end proxy / load balancer: forwards each request to a backend
+/// pool entry (round robin) and relays the response. The pool is shared
+/// ([`Arc<Mutex<_>>`]) so the §7.3 auto-scaler can grow or shrink it live.
+#[derive(Debug)]
+pub struct ProxyBehavior {
+    pool: Arc<Mutex<Vec<Endpoint>>>,
+    rr: usize,
+}
+
+impl ProxyBehavior {
+    /// Creates a proxy over a shared backend pool.
+    pub fn new(pool: Arc<Mutex<Vec<Endpoint>>>) -> Self {
+        ProxyBehavior { pool, rr: 0 }
+    }
+
+    /// Convenience: builds a pool handle from a list of backends.
+    pub fn pool_of(backends: &[Endpoint]) -> Arc<Mutex<Vec<Endpoint>>> {
+        Arc::new(Mutex::new(backends.to_vec()))
+    }
+}
+
+impl TierBehavior for ProxyBehavior {
+    fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+        let pool = self.pool.lock();
+        if pool.is_empty() {
+            return Plan::Respond {
+                delay: SimDuration::from_micros(100),
+                payload: http::build_response(500, b"no backends"),
+                close: true,
+            };
+        }
+        self.rr = (self.rr + 1) % pool.len();
+        let dst = pool[self.rr];
+        Plan::Backend {
+            dst,
+            requests: vec![request.to_vec()],
+            post_delay: SimDuration::from_micros(200),
+            payload: http::build_response(200, b"proxied"),
+            close: true,
+        }
+    }
+}
+
+/// Shared proxy pool handle type.
+pub type SharedPool = Arc<Mutex<Vec<Endpoint>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DB: Endpoint = (Ipv4Addr::new(10, 0, 0, 6), 3306);
+    const MC: Endpoint = (Ipv4Addr::new(10, 0, 0, 7), 11211);
+
+    #[test]
+    fn static_http_uses_per_url_means() {
+        let mut b = StaticHttpBehavior::new(10.0, 1).with_url("/slow", 1000.0);
+        let fast = b.plan(&http::build_get("/fast", "h"), DB, 0);
+        let slow = b.plan(&http::build_get("/slow", "h"), DB, 0);
+        let (Plan::Respond { delay: df, .. }, Plan::Respond { delay: ds, .. }) = (fast, slow)
+        else {
+            panic!("expected Respond plans");
+        };
+        assert!(ds.as_millis_f64() > 10.0 * df.as_millis_f64());
+    }
+
+    #[test]
+    fn mysql_prefix_and_log_overhead() {
+        let mut plain = MysqlBehavior::new(1.0, 2).with_statement("SELECT", 5.0);
+        let mut logged = MysqlBehavior::new(1.0, 2)
+            .with_statement("SELECT", 5.0)
+            .with_query_log(3.0);
+        let a = plain.service_ms("SELECT 1");
+        let b = logged.service_ms("SELECT 1");
+        assert!((b - a - 3.0).abs() < 1e-9, "same seed, fixed offset");
+        let c = plain.service_ms("UPDATE x");
+        assert!(c < 5.0, "default mean applies to non-SELECT");
+    }
+
+    #[test]
+    fn mysql_rejects_garbage_and_stays_open() {
+        let mut b = MysqlBehavior::new(1.0, 3);
+        assert!(matches!(b.plan(b"junk", DB, 0), Plan::Drop));
+        match b.plan(&mysql::build_query("SELECT 1"), DB, 0) {
+            Plan::Respond { close, .. } => assert!(!close, "persistent connection"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn app_server_ratio_controls_backend_choice() {
+        let mut cached = AppServerBehavior::new(DB, MC, 1.0, 4);
+        match cached.plan(&http::build_get("/x", "h"), DB, 0) {
+            Plan::Backend { dst, .. } => assert_eq!(dst, MC),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut uncached = AppServerBehavior::new(DB, MC, 0.0, 4);
+        match uncached.plan(&http::build_get("/x", "h"), DB, 0) {
+            Plan::Backend { dst, requests, .. } => {
+                assert_eq!(dst, DB);
+                assert!(mysql::parse_client(&requests[0]).is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proxy_round_robins_and_tracks_pool_growth() {
+        let pool = ProxyBehavior::pool_of(&[DB, MC]);
+        let mut p = ProxyBehavior::new(pool.clone());
+        let pick = |p: &mut ProxyBehavior| match p.plan(b"GET / HTTP/1.1\r\n", DB, 0) {
+            Plan::Backend { dst, .. } => dst,
+            _ => panic!("expected backend"),
+        };
+        let a = pick(&mut p);
+        let b = pick(&mut p);
+        assert_ne!(a, b, "round robin alternates");
+        // Auto-scaler adds a replica; proxy sees it immediately.
+        pool.lock().push((Ipv4Addr::new(10, 0, 0, 8), 80));
+        let picks: Vec<_> = (0..3).map(|_| pick(&mut p)).collect();
+        assert!(picks.contains(&(Ipv4Addr::new(10, 0, 0, 8), 80)));
+    }
+
+    #[test]
+    fn empty_pool_returns_500() {
+        let mut p = ProxyBehavior::new(Arc::new(Mutex::new(Vec::new())));
+        match p.plan(b"GET / HTTP/1.1\r\n", DB, 0) {
+            Plan::Respond { payload, .. } => {
+                assert!(String::from_utf8_lossy(&payload).contains("500"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Workload clients: scripted conversations with response-time recording.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use netalytics_netsim::{App, Ctx, SimTime};
+use netalytics_packet::{Packet, TcpFlags};
+
+use crate::tier::Endpoint;
+
+/// One scripted connection: a destination and the request payloads to
+/// send sequentially on it (HTTP: one; MySQL: several per connection).
+#[derive(Debug, Clone)]
+pub struct Conversation {
+    /// Server endpoint.
+    pub dst: Endpoint,
+    /// Request payloads, sent one at a time awaiting each response.
+    pub requests: Vec<Vec<u8>>,
+    /// Label carried into the recorded sample (e.g. the URL).
+    pub tag: String,
+}
+
+/// A completed conversation measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The conversation's tag.
+    pub tag: String,
+    /// Connection start (SYN transmission).
+    pub start: SimTime,
+    /// Completion (final response received).
+    pub end: SimTime,
+}
+
+impl Sample {
+    /// Response time in milliseconds.
+    pub fn rt_ms(&self) -> f64 {
+        (self.end - self.start).as_millis_f64()
+    }
+}
+
+/// Shared recording sink for client measurements.
+pub type SampleSink = Rc<std::cell::RefCell<Vec<Sample>>>;
+
+/// Creates an empty sample sink.
+pub fn sample_sink() -> SampleSink {
+    Rc::new(std::cell::RefCell::new(Vec::new()))
+}
+
+#[derive(Debug)]
+struct ActiveConn {
+    conv: Conversation,
+    next_request: usize,
+    started: SimTime,
+}
+
+/// A scripted client application.
+///
+/// Each scheduled [`Conversation`] opens its own connection with a unique
+/// local port; response times are recorded into the shared sink.
+#[derive(Debug)]
+pub struct ClientApp {
+    schedule: Vec<(SimTime, Conversation)>,
+    sink: SampleSink,
+    active: HashMap<u16, ActiveConn>,
+    next_port: u16,
+    first_port: u16,
+}
+
+impl ClientApp {
+    /// Creates a client from a (time, conversation) schedule.
+    pub fn new(mut schedule: Vec<(SimTime, Conversation)>, sink: SampleSink) -> Self {
+        schedule.sort_by_key(|(t, _)| *t);
+        ClientApp {
+            schedule,
+            sink,
+            active: HashMap::new(),
+            next_port: 10_000,
+            first_port: 10_000,
+        }
+    }
+
+    /// Builder: distinct clients on one emulated host must use disjoint
+    /// port ranges.
+    pub fn with_port_base(mut self, base: u16) -> Self {
+        self.next_port = base;
+        self.first_port = base;
+        self
+    }
+
+    fn open(&mut self, conv: Conversation, ctx: &mut Ctx<'_>) {
+        let port = self.next_port;
+        self.next_port = self.next_port.checked_add(1).unwrap_or(self.first_port);
+        let dst = conv.dst;
+        self.active.insert(
+            port,
+            ActiveConn {
+                conv,
+                next_request: 0,
+                started: ctx.now(),
+            },
+        );
+        ctx.send(Packet::tcp(
+            ctx.ip(),
+            port,
+            dst.0,
+            dst.1,
+            TcpFlags::SYN,
+            0,
+            0,
+            b"",
+        ));
+    }
+}
+
+impl App for ClientApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, (t, _)) in self.schedule.iter().enumerate() {
+            let delay = *t - SimTime::ZERO;
+            let _ = delay;
+            ctx.timer_in(*t - ctx.now(), i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let conv = self.schedule[token as usize].1.clone();
+        self.open(conv, ctx);
+    }
+
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut Ctx<'_>) {
+        let Ok(view) = packet.view() else { return };
+        let (Some(ip), Some(tcp)) = (view.ipv4, view.tcp) else {
+            return;
+        };
+        if ip.dst != ctx.ip() {
+            return; // promiscuous guard
+        }
+        let port = tcp.dst_port;
+        let Some(conn) = self.active.get_mut(&port) else {
+            return;
+        };
+        if (ip.src, tcp.src_port) != conn.conv.dst {
+            return;
+        }
+        if tcp.flags.contains(TcpFlags::SYN) && tcp.flags.contains(TcpFlags::ACK) {
+            // Connected: send the first request.
+            let req = conn.conv.requests.first().cloned().unwrap_or_default();
+            conn.next_request = 1;
+            let dst = conn.conv.dst;
+            ctx.send(Packet::tcp(
+                ctx.ip(),
+                port,
+                dst.0,
+                dst.1,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &req,
+            ));
+        } else if !view.payload.is_empty() {
+            if conn.next_request < conn.conv.requests.len() {
+                let req = conn.conv.requests[conn.next_request].clone();
+                conn.next_request += 1;
+                let dst = conn.conv.dst;
+                ctx.send(Packet::tcp(
+                    ctx.ip(),
+                    port,
+                    dst.0,
+                    dst.1,
+                    TcpFlags::PSH | TcpFlags::ACK,
+                    1,
+                    1,
+                    &req,
+                ));
+            } else {
+                // Conversation complete.
+                let conn = self.active.remove(&port).expect("present");
+                if !tcp.flags.contains(TcpFlags::FIN) {
+                    // Server kept the connection open: we close it.
+                    ctx.send(Packet::tcp(
+                        ctx.ip(),
+                        port,
+                        conn.conv.dst.0,
+                        conn.conv.dst.1,
+                        TcpFlags::FIN | TcpFlags::ACK,
+                        2,
+                        2,
+                        b"",
+                    ));
+                }
+                self.sink.borrow_mut().push(Sample {
+                    tag: conn.conv.tag,
+                    start: conn.started,
+                    end: ctx.now(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors::StaticHttpBehavior;
+    use crate::tier::TierApp;
+    use netalytics_netsim::{Engine, LinkSpec, Network, SimDuration};
+    use netalytics_packet::http;
+
+    #[test]
+    fn client_measures_response_times_per_tag() {
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let server_ip = engine.network().host_ip(2);
+        engine.set_app(
+            2,
+            Box::new(TierApp::new(
+                80,
+                Box::new(
+                    StaticHttpBehavior::new(5.0, 1)
+                        .with_url("/slow", 50.0)
+                        .with_body_bytes(128),
+                ),
+            )),
+        );
+        let sink = sample_sink();
+        let schedule: Vec<(SimTime, Conversation)> = (0..10)
+            .map(|i| {
+                let url = if i % 2 == 0 { "/fast" } else { "/slow" };
+                (
+                    SimTime::from_nanos(i * 10_000_000),
+                    Conversation {
+                        dst: (server_ip, 80),
+                        requests: vec![http::build_get(url, "s")],
+                        tag: url.to_string(),
+                    },
+                )
+            })
+            .collect();
+        engine.set_app(0, Box::new(ClientApp::new(schedule, sink.clone())));
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let samples = sink.borrow();
+        assert_eq!(samples.len(), 10);
+        let avg = |tag: &str| {
+            let v: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.tag == tag)
+                .map(Sample::rt_ms)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg("/slow") > 3.0 * avg("/fast"),
+            "slow {} fast {}",
+            avg("/slow"),
+            avg("/fast")
+        );
+    }
+
+    #[test]
+    fn multi_request_conversation_closes_from_client() {
+        use crate::behaviors::MysqlBehavior;
+        use netalytics_packet::mysql;
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let db_ip = engine.network().host_ip(1);
+        engine.set_app(
+            1,
+            Box::new(TierApp::new(3306, Box::new(MysqlBehavior::new(2.0, 1)))),
+        );
+        let sink = sample_sink();
+        let conv = Conversation {
+            dst: (db_ip, 3306),
+            requests: (0..5).map(|i| mysql::build_query(&format!("SELECT {i}"))).collect(),
+            tag: "batch".into(),
+        };
+        engine.set_app(
+            0,
+            Box::new(ClientApp::new(vec![(SimTime::ZERO, conv)], sink.clone())),
+        );
+        engine.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let samples = sink.borrow();
+        assert_eq!(samples.len(), 1);
+        // Five sequential ~2ms queries.
+        assert!(samples[0].rt_ms() >= 7.0, "{}", samples[0].rt_ms());
+    }
+}

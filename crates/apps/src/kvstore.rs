@@ -1,0 +1,116 @@
+//! A tiny shared key-value store.
+//!
+//! Stand-in for the Redis instance of use case §7.3: the top-k topology's
+//! database bolt writes the popular-content list here, and the dynamic
+//! proxy reads its backend configuration from it. Only get/set/list are
+//! needed, so it is an in-process shared map rather than a networked
+//! service (see DESIGN.md substitutions).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A threadsafe, shareable string key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_apps::KvStore;
+///
+/// let kv = KvStore::shared();
+/// kv.set("topk:0", "/videos/7");
+/// assert_eq!(kv.get("topk:0"), Some("/videos/7".to_string()));
+/// assert_eq!(kv.keys_with_prefix("topk:").len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: RwLock<BTreeMap<String, String>>,
+}
+
+impl KvStore {
+    /// Creates an empty store behind an [`Arc`].
+    pub fn shared() -> Arc<KvStore> {
+        Arc::new(KvStore::default())
+    }
+
+    /// Sets `key` to `value`, returning the previous value.
+    pub fn set(&self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.map.write().insert(key.into(), value.into())
+    }
+
+    /// Reads `key`.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Deletes `key`, returning its value.
+    pub fn del(&self, key: &str) -> Option<String> {
+        self.map.write().remove(key)
+    }
+
+    /// All keys starting with `prefix`, sorted.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.map
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_del_cycle() {
+        let kv = KvStore::shared();
+        assert!(kv.is_empty());
+        assert_eq!(kv.set("a", "1"), None);
+        assert_eq!(kv.set("a", "2"), Some("1".into()));
+        assert_eq!(kv.get("a"), Some("2".into()));
+        assert_eq!(kv.del("a"), Some("2".into()));
+        assert_eq!(kv.get("a"), None);
+    }
+
+    #[test]
+    fn prefix_listing_is_sorted_and_scoped() {
+        let kv = KvStore::shared();
+        kv.set("topk:1", "x");
+        kv.set("topk:0", "y");
+        kv.set("other", "z");
+        assert_eq!(kv.keys_with_prefix("topk:"), vec!["topk:0", "topk:1"]);
+        assert_eq!(kv.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let kv = KvStore::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        kv.set(format!("k{t}:{i}"), "v");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 400);
+    }
+}

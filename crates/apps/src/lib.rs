@@ -1,0 +1,35 @@
+//! Emulated applications for the NetAlytics case studies (paper §7).
+//!
+//! Every workload the paper diagnoses runs here as [`netalytics_netsim`]
+//! applications exchanging real packets over the emulated fabric:
+//!
+//! * [`TierApp`]/[`TierBehavior`] — a generic service tier speaking a
+//!   small TCP-like request/response convention.
+//! * [`behaviors`] — concrete tiers: static web servers, a proxy/load
+//!   balancer over a live-updatable pool, app servers that consult
+//!   Memcached or MySQL, and MySQL/Memcached backends (with the §7.2
+//!   general-query-log overhead model).
+//! * [`ClientApp`] — scripted clients recording per-conversation
+//!   response times (the "client side" of Figs. 10, 12-14).
+//! * [`UpdaterBolt`]/[`KvStore`] — the §7.3 auto-scaler: the top-k
+//!   topology's updater bolt grows/shrinks the proxy pool through a
+//!   Redis-like store.
+//! * [`generate_trace`] — the Zipf-churn stand-in for the YouTube trace
+//!   of Fig. 16.
+
+pub mod autoscaler;
+pub mod behaviors;
+pub mod client;
+pub mod kvstore;
+pub mod tier;
+pub mod trace;
+
+pub use autoscaler::{ScaleEvent, ScalerConfig, UpdaterBolt};
+pub use behaviors::{
+    AppServerBehavior, MemcachedBehavior, MysqlBehavior, ProxyBehavior, SharedPool,
+    StaticHttpBehavior,
+};
+pub use client::{sample_sink, ClientApp, Conversation, Sample, SampleSink};
+pub use kvstore::KvStore;
+pub use tier::{Endpoint, Plan, TierApp, TierBehavior};
+pub use trace::{generate_trace, TraceRequest, TraceSpec};

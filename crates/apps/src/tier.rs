@@ -1,0 +1,464 @@
+//! A generic emulated service tier.
+//!
+//! [`TierApp`] is the building block for every server in the §7 case
+//! studies: it speaks a miniature TCP-like request/response convention
+//! over the discrete-event network, and delegates *what to answer* to a
+//! [`TierBehavior`] (static web server, proxy, MySQL backend, ...).
+//!
+//! ## Wire convention
+//!
+//! * client → `SYN`; server → `SYN|ACK`.
+//! * client → `PSH|ACK` carrying one request payload.
+//! * server → `PSH|ACK` carrying one response payload; the `FIN` flag is
+//!   set when the server closes (HTTP-style one-shot connections).
+//! * On persistent connections (MySQL-style) the client sends further
+//!   requests and finally its own `FIN`.
+//!
+//! Exactly one `SYN` and one `FIN` appear per connection, so the
+//! `tcp_conn_time` parser sees clean start/end pairs.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netalytics_netsim::{App, Ctx, SimDuration};
+use netalytics_packet::{Packet, TcpFlags};
+
+/// A remote endpoint.
+pub type Endpoint = (Ipv4Addr, u16);
+
+/// What a tier decides to do with one inbound request.
+#[derive(Debug)]
+pub enum Plan {
+    /// Answer locally after `delay`.
+    Respond {
+        /// Simulated service time.
+        delay: SimDuration,
+        /// Response payload bytes.
+        payload: Vec<u8>,
+        /// Close the connection with this response (sets `FIN`).
+        close: bool,
+    },
+    /// Call a backend first (one connection, requests sent sequentially),
+    /// then answer the client.
+    Backend {
+        /// Backend endpoint to contact.
+        dst: Endpoint,
+        /// Request payloads to issue on the backend connection, in order.
+        requests: Vec<Vec<u8>>,
+        /// Local processing time added after the backend completes.
+        post_delay: SimDuration,
+        /// Response payload returned to the client.
+        payload: Vec<u8>,
+        /// Close the client connection with the response.
+        close: bool,
+    },
+    /// Ignore the request (malformed input).
+    Drop,
+}
+
+/// Application logic of one tier.
+pub trait TierBehavior {
+    /// Plans the handling of a request payload from `src`; `now_ns` is
+    /// the current virtual time (for behaviors that log or rate-track).
+    fn plan(&mut self, request: &[u8], src: Endpoint, now_ns: u64) -> Plan;
+}
+
+#[derive(Debug)]
+enum TimerAction {
+    Respond {
+        dst: Endpoint,
+        payload: Vec<u8>,
+        close: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Outbound {
+    client: Endpoint,
+    backend: Endpoint,
+    pending: std::collections::VecDeque<Vec<u8>>,
+    post_delay: SimDuration,
+    response: Vec<u8>,
+    close: bool,
+}
+
+/// A server tier on one emulated host.
+pub struct TierApp {
+    port: u16,
+    behavior: Box<dyn TierBehavior>,
+    timers: HashMap<u64, TimerAction>,
+    outbound: HashMap<u16, Outbound>,
+    next_token: u64,
+    next_port: u16,
+    served: u64,
+}
+
+impl std::fmt::Debug for TierApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierApp")
+            .field("port", &self.port)
+            .field("served", &self.served)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TierApp {
+    /// Creates a tier listening on `port` with the given behavior.
+    pub fn new(port: u16, behavior: Box<dyn TierBehavior>) -> Self {
+        TierApp {
+            port,
+            behavior,
+            timers: HashMap::new(),
+            outbound: HashMap::new(),
+            next_token: 0,
+            next_port: 40_000,
+            served: 0,
+        }
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    fn schedule_response(
+        &mut self,
+        delay: SimDuration,
+        dst: Endpoint,
+        payload: Vec<u8>,
+        close: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(
+            token,
+            TimerAction::Respond {
+                dst,
+                payload,
+                close,
+            },
+        );
+        ctx.timer_in(delay, token);
+    }
+
+    fn handle_request(&mut self, payload: &[u8], src: Endpoint, ctx: &mut Ctx<'_>) {
+        self.served += 1;
+        match self.behavior.plan(payload, src, ctx.now().as_nanos()) {
+            Plan::Respond {
+                delay,
+                payload,
+                close,
+            } => self.schedule_response(delay, src, payload, close, ctx),
+            Plan::Backend {
+                dst,
+                requests,
+                post_delay,
+                payload,
+                close,
+            } => {
+                let local = self.next_port;
+                self.next_port = self.next_port.checked_add(1).unwrap_or(40_000);
+                self.outbound.insert(
+                    local,
+                    Outbound {
+                        client: src,
+                        backend: dst,
+                        pending: requests.into(),
+                        post_delay,
+                        response: payload,
+                        close,
+                    },
+                );
+                ctx.send(Packet::tcp(
+                    ctx.ip(),
+                    local,
+                    dst.0,
+                    dst.1,
+                    TcpFlags::SYN,
+                    0,
+                    0,
+                    b"",
+                ));
+            }
+            Plan::Drop => {}
+        }
+    }
+}
+
+impl App for TierApp {
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut Ctx<'_>) {
+        let Ok(view) = packet.view() else { return };
+        let (Some(ip), Some(tcp)) = (view.ipv4, view.tcp) else {
+            return;
+        };
+        // Promiscuous guard: mirrored packets are not for us.
+        if ip.dst != ctx.ip() {
+            return;
+        }
+        if tcp.dst_port == self.port {
+            // Inbound (server) side.
+            let src = (ip.src, tcp.src_port);
+            if tcp.flags.contains(TcpFlags::SYN) && !tcp.flags.contains(TcpFlags::ACK) {
+                ctx.send(Packet::tcp(
+                    ctx.ip(),
+                    self.port,
+                    src.0,
+                    src.1,
+                    TcpFlags::SYN | TcpFlags::ACK,
+                    0,
+                    1,
+                    b"",
+                ));
+            } else if !view.payload.is_empty() {
+                let payload = view.payload.to_vec();
+                self.handle_request(&payload, src, ctx);
+            }
+            // Bare FIN/ACK from the client: connection closed, no state
+            // to clean (the convention keeps servers stateless per-conn).
+        } else if let Some(state) = self.outbound.get_mut(&tcp.dst_port) {
+            // Outbound (backend-client) side.
+            if (ip.src, tcp.src_port) != state.backend {
+                return;
+            }
+            if tcp.flags.contains(TcpFlags::SYN) && tcp.flags.contains(TcpFlags::ACK) {
+                // Connection up: send the first backend request.
+                if let Some(req) = state.pending.pop_front() {
+                    let local = tcp.dst_port;
+                    let dst = state.backend;
+                    ctx.send(Packet::tcp(
+                        ctx.ip(),
+                        local,
+                        dst.0,
+                        dst.1,
+                        TcpFlags::PSH | TcpFlags::ACK,
+                        1,
+                        1,
+                        &req,
+                    ));
+                }
+            } else if !view.payload.is_empty() {
+                // Backend response: next request, or finish the call.
+                let local = tcp.dst_port;
+                if let Some(req) = state.pending.pop_front() {
+                    let dst = state.backend;
+                    ctx.send(Packet::tcp(
+                        ctx.ip(),
+                        local,
+                        dst.0,
+                        dst.1,
+                        TcpFlags::PSH | TcpFlags::ACK,
+                        1,
+                        1,
+                        &req,
+                    ));
+                } else {
+                    let state = self.outbound.remove(&local).expect("present");
+                    // Close our side of the backend connection unless the
+                    // backend already closed it with FIN.
+                    if !tcp.flags.contains(TcpFlags::FIN) {
+                        ctx.send(Packet::tcp(
+                            ctx.ip(),
+                            local,
+                            state.backend.0,
+                            state.backend.1,
+                            TcpFlags::FIN | TcpFlags::ACK,
+                            2,
+                            2,
+                            b"",
+                        ));
+                    }
+                    self.schedule_response(
+                        state.post_delay,
+                        state.client,
+                        state.response,
+                        state.close,
+                        ctx,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let Some(TimerAction::Respond {
+            dst,
+            payload,
+            close,
+        }) = self.timers.remove(&token)
+        else {
+            return;
+        };
+        let mut flags = TcpFlags::PSH | TcpFlags::ACK;
+        if close {
+            flags |= TcpFlags::FIN;
+        }
+        ctx.send(Packet::tcp(
+            ctx.ip(),
+            self.port,
+            dst.0,
+            dst.1,
+            flags,
+            1,
+            2,
+            &payload,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_netsim::{Engine, LinkSpec, Network, SimTime};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Echo behavior with a fixed delay.
+    struct Echo(u64);
+    impl TierBehavior for Echo {
+        fn plan(&mut self, request: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+            Plan::Respond {
+                delay: SimDuration::from_millis(self.0),
+                payload: request.to_vec(),
+                close: true,
+            }
+        }
+    }
+
+    /// (arrival ns, payload) records captured by the test client.
+    type SentLog = Rc<RefCell<Vec<(u64, Vec<u8>)>>>;
+
+    /// Minimal test client: one conversation, records completion time.
+    struct OneShot {
+        dst: Endpoint,
+        sent: SentLog,
+    }
+    impl App for OneShot {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(Packet::tcp(
+                ctx.ip(),
+                5000,
+                self.dst.0,
+                self.dst.1,
+                TcpFlags::SYN,
+                0,
+                0,
+                b"",
+            ));
+        }
+        fn on_packet(&mut self, packet: &Packet, ctx: &mut Ctx<'_>) {
+            let v = packet.view().unwrap();
+            let tcp = v.tcp.unwrap();
+            if tcp.flags.contains(TcpFlags::SYN) && tcp.flags.contains(TcpFlags::ACK) {
+                ctx.send(Packet::tcp(
+                    ctx.ip(),
+                    5000,
+                    self.dst.0,
+                    self.dst.1,
+                    TcpFlags::PSH | TcpFlags::ACK,
+                    1,
+                    1,
+                    b"hello",
+                ));
+            } else if !v.payload.is_empty() {
+                self.sent
+                    .borrow_mut()
+                    .push((ctx.now().as_nanos(), v.payload.to_vec()));
+            }
+        }
+    }
+
+    #[test]
+    fn respond_plan_round_trips_with_delay() {
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let server_ip = engine.network().host_ip(1);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        engine.set_app(1, Box::new(TierApp::new(80, Box::new(Echo(5)))));
+        engine.set_app(
+            0,
+            Box::new(OneShot {
+                dst: (server_ip, 80),
+                sent: got.clone(),
+            }),
+        );
+        engine.run_until(SimTime::from_nanos(1_000_000_000));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"hello");
+        assert!(
+            got[0].0 >= 5_000_000,
+            "response must include the 5ms service time ({})",
+            got[0].0
+        );
+    }
+
+    #[test]
+    fn backend_plan_chains_two_tiers() {
+        /// Frontend forwards to a backend, then answers "done".
+        struct Frontend(Endpoint);
+        impl TierBehavior for Frontend {
+            fn plan(&mut self, _req: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+                Plan::Backend {
+                    dst: self.0,
+                    requests: vec![b"q1".to_vec(), b"q2".to_vec()],
+                    post_delay: SimDuration::from_millis(1),
+                    payload: b"done".to_vec(),
+                    close: true,
+                }
+            }
+        }
+        /// Backend answers without closing (persistent).
+        struct Persistent;
+        impl TierBehavior for Persistent {
+            fn plan(&mut self, req: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+                Plan::Respond {
+                    delay: SimDuration::from_millis(2),
+                    payload: [b"re:", req].concat(),
+                    close: false,
+                }
+            }
+        }
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let fe_ip = engine.network().host_ip(1);
+        let be_ip = engine.network().host_ip(2);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        engine.set_app(1, Box::new(TierApp::new(80, Box::new(Frontend((be_ip, 3306))))));
+        engine.set_app(2, Box::new(TierApp::new(3306, Box::new(Persistent))));
+        engine.set_app(
+            0,
+            Box::new(OneShot {
+                dst: (fe_ip, 80),
+                sent: got.clone(),
+            }),
+        );
+        engine.run_until(SimTime::from_nanos(2_000_000_000));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"done");
+        // Two sequential 2ms backend queries plus 1ms post-delay.
+        assert!(got[0].0 >= 5_000_000, "{}", got[0].0);
+    }
+
+    #[test]
+    fn drop_plan_answers_nothing() {
+        struct Mute;
+        impl TierBehavior for Mute {
+            fn plan(&mut self, _req: &[u8], _src: Endpoint, _now_ns: u64) -> Plan {
+                Plan::Drop
+            }
+        }
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let ip = engine.network().host_ip(1);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        engine.set_app(1, Box::new(TierApp::new(80, Box::new(Mute))));
+        engine.set_app(
+            0,
+            Box::new(OneShot {
+                dst: (ip, 80),
+                sent: got.clone(),
+            }),
+        );
+        engine.run_until(SimTime::from_nanos(100_000_000));
+        assert!(got.borrow().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic content-request trace with shifting popularity.
+//!
+//! Substitution for the YouTube campus trace of Zink et al. used in
+//! Fig. 16 (the real trace is not redistributable): request keys follow a
+//! Zipf distribution whose rank order drifts between time intervals, so
+//! the rolling top-k exhibits the same churn the paper plots.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Distinct content items.
+    pub num_items: usize,
+    /// Zipf exponent (1.0 ≈ classic video popularity).
+    pub zipf_s: f64,
+    /// Requests per interval.
+    pub requests_per_interval: usize,
+    /// Number of intervals.
+    pub intervals: usize,
+    /// Interval length in nanoseconds (spacing of request timestamps).
+    pub interval_ns: u64,
+    /// Rank-churn intensity: average adjacent-rank swaps per interval,
+    /// as a fraction of `num_items`.
+    pub churn: f64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            num_items: 200,
+            zipf_s: 1.0,
+            requests_per_interval: 2_000,
+            intervals: 20,
+            interval_ns: 1_000_000_000,
+            churn: 0.2,
+        }
+    }
+}
+
+/// One synthetic request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Virtual timestamp, nanoseconds.
+    pub ts_ns: u64,
+    /// Requested content key (e.g. `/videos/17`).
+    pub url: String,
+}
+
+/// Generates the trace, deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_items` is zero.
+pub fn generate_trace(spec: &TraceSpec, seed: u64) -> Vec<TraceRequest> {
+    assert!(spec.num_items > 0, "need at least one item");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf CDF over ranks.
+    let weights: Vec<f64> = (1..=spec.num_items)
+        .map(|r| 1.0 / (r as f64).powf(spec.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(spec.num_items);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    // rank -> item mapping, drifting over time.
+    let mut rank_to_item: Vec<usize> = (0..spec.num_items).collect();
+    let mut out = Vec::with_capacity(spec.requests_per_interval * spec.intervals);
+    for interval in 0..spec.intervals {
+        // Churn: swap adjacent ranks so popularity shifts gradually.
+        let swaps = ((spec.num_items as f64) * spec.churn) as usize;
+        for _ in 0..swaps {
+            let i = rng.random_range(0..spec.num_items.saturating_sub(1).max(1));
+            rank_to_item.swap(i, (i + 1).min(spec.num_items - 1));
+        }
+        let base = interval as u64 * spec.interval_ns;
+        for r in 0..spec.requests_per_interval {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let rank = cdf.partition_point(|&c| c < u).min(spec.num_items - 1);
+            let item = rank_to_item[rank];
+            let ts = base + (r as u64 * spec.interval_ns) / spec.requests_per_interval as u64;
+            out.push(TraceRequest {
+                ts_ns: ts,
+                url: format!("/videos/{item}"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let trace = generate_trace(
+            &TraceSpec {
+                intervals: 1,
+                churn: 0.0,
+                ..Default::default()
+            },
+            7,
+        );
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &trace {
+            *counts.entry(r.url.as_str()).or_default() += 1;
+        }
+        let mut sorted: Vec<usize> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Head of the distribution dominates the tail.
+        assert!(
+            sorted[0] > 5 * sorted[sorted.len() / 2],
+            "top {} vs median {}",
+            sorted[0],
+            sorted[sorted.len() / 2]
+        );
+    }
+
+    #[test]
+    fn churn_reorders_popularity_over_time() {
+        let spec = TraceSpec {
+            intervals: 20,
+            churn: 0.5,
+            ..Default::default()
+        };
+        let trace = generate_trace(&spec, 8);
+        let top_of = |interval: usize| -> String {
+            let lo = interval as u64 * spec.interval_ns;
+            let hi = lo + spec.interval_ns;
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for r in trace.iter().filter(|r| r.ts_ns >= lo && r.ts_ns < hi) {
+                *counts.entry(r.url.clone()).or_default() += 1;
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        let tops: std::collections::HashSet<String> =
+            (0..spec.intervals).map(top_of).collect();
+        assert!(tops.len() > 1, "the #1 item must change over time");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_bounded() {
+        let spec = TraceSpec::default();
+        let trace = generate_trace(&spec, 9);
+        assert!(trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let max = spec.intervals as u64 * spec.interval_ns;
+        assert!(trace.iter().all(|r| r.ts_ns < max));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TraceSpec {
+            requests_per_interval: 100,
+            intervals: 2,
+            ..Default::default()
+        };
+        assert_eq!(generate_trace(&spec, 1), generate_trace(&spec, 1));
+        assert_ne!(generate_trace(&spec, 1), generate_trace(&spec, 2));
+    }
+}

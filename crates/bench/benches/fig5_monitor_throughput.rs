@@ -1,0 +1,55 @@
+//! Fig. 5 — Monitor throughput vs packet size, one parser core.
+//!
+//! The paper measures the achieved parse rate of a single-threaded
+//! `tcp_conn_time` (minimal work) and `http_get` (string parsing) parser
+//! across frame sizes 64–1024 B against a 10 Gbps line. Shape to
+//! reproduce: the simple parser reaches line rate at smaller frames than
+//! the complex one; both scale with packet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netalytics_bench::{http_get_stream, syn_fin_stream};
+use netalytics_monitor::make_parser;
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_monitor_throughput");
+    for &size in &[64usize, 128, 256, 512, 1024] {
+        let stream = syn_fin_stream(1024, size, 128);
+        let bytes: u64 = stream.iter().map(|p| p.len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::new("tcp_conn_time", size),
+            &stream,
+            |b, stream| {
+                let mut parser = make_parser("tcp_conn_time").unwrap();
+                let mut out = Vec::with_capacity(2048);
+                b.iter(|| {
+                    for p in stream {
+                        parser.on_packet(p, &mut out);
+                    }
+                    out.clear();
+                });
+            },
+        );
+    }
+    for &size in &[128usize, 256, 512, 1024] {
+        // 64 B cannot hold an HTTP GET; the paper's http_get line also
+        // starts below line rate at the smallest sizes.
+        let stream = http_get_stream(1024, size, 64);
+        let bytes: u64 = stream.iter().map(|p| p.len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("http_get", size), &stream, |b, stream| {
+            let mut parser = make_parser("http_get").unwrap();
+            let mut out = Vec::with_capacity(2048);
+            b.iter(|| {
+                for p in stream {
+                    parser.on_packet(p, &mut out);
+                }
+                out.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsers);
+criterion_main!(benches);

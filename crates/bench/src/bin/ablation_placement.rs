@@ -1,0 +1,82 @@
+//! Ablation — the full monitor-strategy × analytics-strategy matrix.
+//!
+//! The paper evaluates three composed strategies (§6.2); this ablation
+//! decomposes them, running every combination of Algorithm 1's monitor
+//! strategies with Algorithm 2's analytics strategies to show which
+//! half of each composition contributes which cost.
+//!
+//! Run with: `cargo run --release -p netalytics-bench --bin ablation_placement`
+
+use netalytics_placement::{
+    generate_workload, place_analytics, place_monitors, placement_cost, AnalyticsStrategy,
+    DataCenter, MonitorStrategy, PlacementParams, WorkloadSpec,
+};
+
+fn main() {
+    let k = 16;
+    let workload_spec = WorkloadSpec {
+        total_flows: 200_000,
+        total_rate_bps: 240_000_000_000,
+        tor_p: 0.5,
+        pod_p: 0.3,
+    };
+    let monitored = 60_000;
+    let runs = 5;
+
+    println!("Placement ablation: monitor strategy x analytics strategy");
+    println!(
+        "(k={k}, {} flows, {} monitored, {} seeded runs averaged)\n",
+        workload_spec.total_flows, monitored, runs
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>12} {:>11}",
+        "monitors", "analytics", "plain %", "weighted %", "processes"
+    );
+    let tree = netalytics_netsim::FatTree::new(k);
+    for ms in [MonitorStrategy::Random, MonitorStrategy::Greedy] {
+        for as_ in [
+            AnalyticsStrategy::LocalRandom,
+            AnalyticsStrategy::FirstFit,
+            AnalyticsStrategy::Greedy,
+        ] {
+            let mut acc = (0.0f64, 0.0f64, 0.0f64);
+            for run in 0..runs {
+                let seed = 0x5eed_u64.wrapping_add(run).wrapping_mul(0x9e37_79b9);
+                let all = generate_workload(&tree, &workload_spec, seed);
+                let flows: Vec<_> = all.iter().copied().take(monitored).collect();
+                let mut dc = DataCenter::randomized(k, PlacementParams::default(), seed);
+                let mp = place_monitors(&mut dc, &flows, ms, seed);
+                let ap = place_analytics(&mut dc, &mp, as_, seed);
+                let mut c = placement_cost(&dc, &flows, &mp, &ap);
+                c.workload_bps_hops = 0.0;
+                c.workload_weighted = 0.0;
+                for f in &all {
+                    c.workload_bps_hops +=
+                        f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
+                    c.workload_weighted +=
+                        f.rate_bps as f64 * f64::from(dc.weighted_hops(f.src, f.dst));
+                }
+                acc.0 += c.extra_bandwidth_pct();
+                acc.1 += c.weighted_extra_bandwidth_pct();
+                acc.2 += c.total_processes() as f64;
+            }
+            let n = runs as f64;
+            println!(
+                "{:>10} {:>14} {:>12.4} {:>12.4} {:>11.1}",
+                format!("{ms:?}"),
+                format!("{as_:?}"),
+                acc.0 / n,
+                acc.1 / n,
+                acc.2 / n
+            );
+        }
+    }
+    println!();
+    println!("Reading the matrix:");
+    println!(" * the analytics strategy dominates network cost (Greedy rows");
+    println!("   are cheap regardless of monitor strategy);");
+    println!(" * FirstFit minimizes processes whatever the monitor strategy;");
+    println!(" * greedy monitors reduce the monitor count (fewer, fuller");
+    println!("   monitors), compounding with greedy analytics — the paper's");
+    println!("   Netalytics-Network composition.");
+}

@@ -1,0 +1,101 @@
+//! Shared workload builders for the NetAlytics benchmark harness.
+//!
+//! Each bench/binary in this crate regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §3 for the full index). The helpers
+//! here build the synthetic packet streams that stand in for the paper's
+//! PktGen-DPDK traffic generator.
+
+use std::net::Ipv4Addr;
+
+use netalytics_packet::{http, Packet, TcpFlags, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN};
+
+/// Source address used by generated streams.
+pub const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 8);
+/// Destination address used by generated streams.
+pub const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 9);
+
+/// A stream of TCP packets of exactly `frame_len` bytes cycling through
+/// `flows` distinct 5-tuples — the `tcp_conn_time` workload of Fig. 5.
+///
+/// Like real traffic, most packets are plain data segments; connection
+/// boundaries (SYN, FIN) appear once per 16 packets, so the parser's
+/// fast path ("detect SYN/FIN/RST flags", Table 1) dominates.
+pub fn syn_fin_stream(n: usize, frame_len: usize, flows: u16) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let port = 4000 + (i as u16 % flows.max(1));
+            let flags = match i % 16 {
+                0 => TcpFlags::SYN,
+                8 => TcpFlags::FIN | TcpFlags::ACK,
+                _ => TcpFlags::ACK,
+            };
+            Packet::tcp_padded(SRC, port, DST, 80, flags, frame_len)
+        })
+        .collect()
+}
+
+/// A stream of HTTP GET requests padded to exactly `frame_len` bytes —
+/// the `http_get` workload of Fig. 5 (string parsing per packet).
+///
+/// # Panics
+///
+/// Panics if `frame_len` cannot hold the headers plus a minimal GET.
+pub fn http_get_stream(n: usize, frame_len: usize, urls: usize) -> Vec<Packet> {
+    let overhead = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+    (0..n)
+        .map(|i| {
+            let mut payload = http::build_get(&format!("/u{}", i % urls.max(1)), "h");
+            assert!(
+                overhead + payload.len() <= frame_len,
+                "frame_len {frame_len} too small for an HTTP GET"
+            );
+            payload.resize(frame_len - overhead, b' ');
+            Packet::tcp(
+                SRC,
+                4000 + (i as u16 % 512),
+                DST,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &payload,
+            )
+        })
+        .collect()
+}
+
+/// Gigabits per second achieved moving `bytes` in `secs`.
+pub fn gbps(bytes: u64, secs: f64) -> f64 {
+    (bytes as f64 * 8.0) / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_have_exact_frame_lengths() {
+        for len in [64usize, 128, 256, 512, 1024] {
+            for p in syn_fin_stream(10, len, 4) {
+                assert_eq!(p.len(), len);
+            }
+        }
+        for len in [128usize, 256, 512, 1024] {
+            for p in http_get_stream(10, len, 5) {
+                assert_eq!(p.len(), len);
+                assert!(http::parse_request(p.view().unwrap().payload).is_some());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_http_frames_panic() {
+        let _ = http_get_stream(1, 64, 1);
+    }
+
+    #[test]
+    fn gbps_math() {
+        assert_eq!(gbps(1_250_000_000, 1.0), 10.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! **NetAlytics** — non-intrusive, cloud-scale application performance
+//! monitoring with SDN and NFV (Liu, Trotter, Ren & Wood, Middleware'16),
+//! reproduced in Rust over an emulated data center.
+//!
+//! An administrator submits a SQL-like query; NetAlytics compiles it into
+//! OpenFlow mirror rules, deploys NFV packet monitors next to the traffic
+//! they tap, aggregates the extracted tuples Kafka-style and analyzes
+//! them with a Storm-style topology — returning application-level insight
+//! without touching the application (paper Fig. 1).
+//!
+//! This crate is the orchestrator tying the substrate crates together:
+//!
+//! * [`Orchestrator`] — query → rules → monitors → analytics → results.
+//! * [`MonitorApp`]/[`AggregatorApp`] — the deployed NFV processes.
+//! * [`ResultSet`]/[`QueryReport`] — the result interface.
+//!
+//! # Examples
+//!
+//! Monitoring HTTP GETs to a web host and ranking URLs:
+//!
+//! ```
+//! use netalytics::{Orchestrator};
+//! use netalytics_apps::{ClientApp, Conversation, sample_sink, StaticHttpBehavior, TierApp};
+//! use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+//! use netalytics_packet::http;
+//!
+//! let mut orch = Orchestrator::new(4, LinkSpec::default());
+//! // A web server on host 1 and a client on host 0.
+//! orch.name_host("web", 1);
+//! let web_ip = orch.host_ip(1);
+//! orch.deploy_app(1, Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(2.0, 7)))));
+//! let sink = sample_sink();
+//! let schedule = (0..20).map(|i| (
+//!     SimTime::from_nanos(i * 5_000_000),
+//!     Conversation {
+//!         dst: (web_ip, 80),
+//!         requests: vec![http::build_get(if i % 3 == 0 { "/hot" } else { "/cold" }, "web")],
+//!         tag: String::new(),
+//!     },
+//! )).collect();
+//! orch.deploy_app(0, Box::new(ClientApp::new(schedule, sink)));
+//!
+//! let report = orch.run_query(
+//!     "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (top-k: k=2, key=url)",
+//!     SimDuration::from_secs(1),
+//! )?;
+//! let ranking = report.first().final_ranking();
+//! assert_eq!(ranking[0].0, "/cold");
+//! # Ok::<(), netalytics::OrchestratorError>(())
+//! ```
+
+pub mod nfv;
+pub mod orchestrator;
+pub mod results;
+
+pub use nfv::{AggregatorApp, AggregatorHandle, AggregatorShared, MonitorApp, MonitorHandle, MonitorShared, BATCH_PORT, FEEDBACK_PORT};
+pub use orchestrator::{Orchestrator, OrchestratorError, QueryReport, RunningQuery};
+pub use results::ResultSet;

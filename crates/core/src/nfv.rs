@@ -1,0 +1,429 @@
+//! The NFV applications the orchestrator deploys onto emulated hosts:
+//! the packet monitor and the aggregation point feeding the analytics
+//! engine (paper Fig. 1's "NF Monitors" and "Distributed Queue").
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_monitor::{FeedbackSignal, Monitor, MonitorStats};
+use netalytics_netsim::{App, Ctx, SimDuration};
+use netalytics_packet::Packet;
+use netalytics_stream::InlineExecutor;
+
+/// UDP port monitors listen on for aggregator feedback.
+pub const FEEDBACK_PORT: u16 = 9990;
+/// UDP port aggregators listen on for tuple batches.
+pub const BATCH_PORT: u16 = 9991;
+
+/// State shared between the orchestrator and a deployed monitor app.
+#[derive(Debug, Default)]
+pub struct MonitorShared {
+    /// Set by the orchestrator when the query's LIMIT expires.
+    pub stopped: bool,
+    /// Live traffic counters.
+    pub stats: MonitorStats,
+    /// Current effective sampling rate.
+    pub sample_rate: f64,
+}
+
+/// Handle to a monitor's shared state.
+pub type MonitorHandle = Rc<RefCell<MonitorShared>>;
+
+/// An NFV monitor on an emulated host: processes mirrored packets through
+/// its parsers and ships tuple batches to the aggregator over the fabric.
+pub struct MonitorApp {
+    monitor: Monitor,
+    aggregator: (Ipv4Addr, u16),
+    batch_interval: SimDuration,
+    /// Stop after observing this many packets (LIMIT ...p).
+    packet_limit: Option<u64>,
+    shared: MonitorHandle,
+}
+
+impl std::fmt::Debug for MonitorApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorApp")
+            .field("aggregator", &self.aggregator)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MonitorApp {
+    /// Creates a monitor app shipping batches to `aggregator_ip`.
+    pub fn new(monitor: Monitor, aggregator_ip: Ipv4Addr, packet_limit: Option<u64>) -> Self {
+        let shared = Rc::new(RefCell::new(MonitorShared {
+            stopped: false,
+            stats: MonitorStats::default(),
+            sample_rate: monitor.sample_rate(),
+        }));
+        MonitorApp {
+            monitor,
+            aggregator: (aggregator_ip, BATCH_PORT),
+            batch_interval: SimDuration::from_millis(10),
+            packet_limit,
+            shared,
+        }
+    }
+
+    /// Handle for the orchestrator to observe/stop this monitor.
+    pub fn handle(&self) -> MonitorHandle {
+        self.shared.clone()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        for batch in self.monitor.drain(ctx.now().as_nanos()) {
+            let payload = batch.encode();
+            ctx.send(Packet::udp(
+                ctx.ip(),
+                BATCH_PORT,
+                self.aggregator.0,
+                self.aggregator.1,
+                &payload,
+            ));
+        }
+        let mut shared = self.shared.borrow_mut();
+        shared.stats = self.monitor.stats();
+        shared.sample_rate = self.monitor.sample_rate();
+    }
+}
+
+impl App for MonitorApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(self.batch_interval, 0);
+    }
+
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut Ctx<'_>) {
+        let Ok(view) = packet.view() else { return };
+        let Some(ip) = view.ipv4 else { return };
+        if ip.dst != ctx.ip() {
+            return;
+        }
+        // Aggregator feedback (§4.2 back-pressure).
+        if view.udp.map(|u| u.dst_port) == Some(FEEDBACK_PORT) {
+            let signal = match view.payload {
+                b"OVERLOADED" => Some(FeedbackSignal::Overloaded),
+                b"HEALTHY" => Some(FeedbackSignal::Healthy),
+                _ => None,
+            };
+            if let Some(s) = signal {
+                self.monitor.on_feedback(s);
+                self.shared.borrow_mut().sample_rate = self.monitor.sample_rate();
+            }
+            return;
+        }
+        // Encapsulated mirror traffic from the SDN data plane.
+        let Some(inner) = netalytics_netsim::decapsulate_mirror(packet) else {
+            return;
+        };
+        if self.shared.borrow().stopped {
+            return;
+        }
+        if let Some(limit) = self.packet_limit {
+            if self.monitor.stats().packets_seen >= limit {
+                self.shared.borrow_mut().stopped = true;
+                return;
+            }
+        }
+        self.monitor.process(&inner);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        self.flush(ctx);
+        if !self.shared.borrow().stopped {
+            ctx.timer_in(self.batch_interval, 0);
+        }
+    }
+}
+
+/// State shared between the orchestrator and an aggregator app.
+#[derive(Debug, Default)]
+pub struct AggregatorShared {
+    /// Tuples received from monitors.
+    pub tuples_in: u64,
+    /// Tuples handed to the analytics executor.
+    pub tuples_processed: u64,
+    /// Tuples shed to buffer overflow.
+    pub dropped: u64,
+    /// Overload feedback messages sent.
+    pub overload_signals: u64,
+}
+
+/// Handle to an aggregator's shared state.
+pub type AggregatorHandle = Rc<RefCell<AggregatorShared>>;
+
+/// The aggregation point: buffers tuple batches from monitors (the
+/// Kafka layer's role) and feeds them into the inline Storm executor at
+/// a bounded processing rate, emitting §4.2 back-pressure feedback.
+pub struct AggregatorApp {
+    executors: Vec<Rc<RefCell<InlineExecutor>>>,
+    buffer: VecDeque<DataTuple>,
+    capacity: usize,
+    /// Tuples the analytics engine absorbs per drain tick.
+    drain_per_tick: usize,
+    tick: SimDuration,
+    monitors: Vec<Ipv4Addr>,
+    overloaded: bool,
+    shared: AggregatorHandle,
+}
+
+impl std::fmt::Debug for AggregatorApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregatorApp")
+            .field("buffered", &self.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AggregatorApp {
+    /// Creates an aggregator feeding one executor, signalling feedback
+    /// to `monitors`.
+    pub fn new(
+        executor: Rc<RefCell<InlineExecutor>>,
+        monitors: Vec<Ipv4Addr>,
+        capacity: usize,
+        drain_per_tick: usize,
+    ) -> Self {
+        Self::with_executors(vec![executor], monitors, capacity, drain_per_tick)
+    }
+
+    /// Creates an aggregator fanning tuples into several executors (one
+    /// per `PROCESS` entry of the query).
+    pub fn with_executors(
+        executors: Vec<Rc<RefCell<InlineExecutor>>>,
+        monitors: Vec<Ipv4Addr>,
+        capacity: usize,
+        drain_per_tick: usize,
+    ) -> Self {
+        AggregatorApp {
+            executors,
+            buffer: VecDeque::new(),
+            capacity: capacity.max(1),
+            drain_per_tick: drain_per_tick.max(1),
+            tick: SimDuration::from_millis(10),
+            monitors,
+            overloaded: false,
+            shared: Rc::new(RefCell::new(AggregatorShared::default())),
+        }
+    }
+
+    /// Handle for the orchestrator to observe this aggregator.
+    pub fn handle(&self) -> AggregatorHandle {
+        self.shared.clone()
+    }
+
+    fn signal(&mut self, msg: &'static [u8], ctx: &mut Ctx<'_>) {
+        for m in &self.monitors {
+            ctx.send(Packet::udp(ctx.ip(), BATCH_PORT, *m, FEEDBACK_PORT, msg));
+        }
+    }
+}
+
+impl App for AggregatorApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(self.tick, 0);
+    }
+
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut Ctx<'_>) {
+        let Ok(view) = packet.view() else { return };
+        let Some(ip) = view.ipv4 else { return };
+        if ip.dst != ctx.ip() || view.udp.map(|u| u.dst_port) != Some(BATCH_PORT) {
+            return;
+        }
+        let mut payload = bytes::Bytes::copy_from_slice(view.payload);
+        let Ok(batch) = TupleBatch::decode(&mut payload) else {
+            return;
+        };
+        let mut shared = self.shared.borrow_mut();
+        for t in batch {
+            shared.tuples_in += 1;
+            if self.buffer.len() >= self.capacity {
+                self.buffer.pop_front();
+                shared.dropped += 1;
+            }
+            self.buffer.push_back(t);
+        }
+        drop(shared);
+        // High watermark: tell monitors to shed (§4.2).
+        if !self.overloaded && self.buffer.len() >= self.capacity * 8 / 10 {
+            self.overloaded = true;
+            self.shared.borrow_mut().overload_signals += 1;
+            self.signal(b"OVERLOADED", ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        let take = self.buffer.len().min(self.drain_per_tick);
+        for _ in 0..take {
+            let t = self.buffer.pop_front().expect("len checked");
+            for exec in &self.executors {
+                exec.borrow_mut().push(t.clone());
+            }
+        }
+        for exec in &self.executors {
+            exec.borrow_mut().tick(ctx.now().as_nanos());
+        }
+        self.shared.borrow_mut().tuples_processed += take as u64;
+        if self.overloaded {
+            if self.buffer.len() <= self.capacity * 5 / 10 {
+                // Low watermark: allow recovery.
+                self.overloaded = false;
+                self.signal(b"HEALTHY", ctx);
+            } else {
+                // Still drowning: repeat the signal so monitors keep
+                // halving their rate until arrivals match the drain.
+                self.shared.borrow_mut().overload_signals += 1;
+                self.signal(b"OVERLOADED", ctx);
+            }
+        } else if self.buffer.len() <= self.capacity * 2 / 10 {
+            // Comfortably idle: let monitors climb back toward full
+            // sampling (the signal is a no-op at rate 1.0).
+            self.signal(b"HEALTHY", ctx);
+        }
+        ctx.timer_in(self.tick, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_monitor::{MonitorConfig, SampleSpec};
+    use netalytics_netsim::{Engine, LinkSpec, Network, SimTime};
+    use netalytics_packet::TcpFlags;
+    use netalytics_sdn::{FlowMatch, FlowRule};
+    use netalytics_stream::topologies::{self, ProcessorSpec};
+
+    /// Sends `n` short HTTP GET connections from host 0 to host 1.
+    struct Gen {
+        dst: Ipv4Addr,
+        n: u16,
+    }
+    impl App for Gen {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                ctx.timer_in(SimDuration::from_micros(u64::from(i) * 100), u64::from(i));
+            }
+        }
+        fn on_packet(&mut self, _p: &Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, i: u64, ctx: &mut Ctx<'_>) {
+            let port = 5000 + i as u16;
+            ctx.send(Packet::tcp(ctx.ip(), port, self.dst, 80, TcpFlags::SYN, 0, 0, b""));
+            ctx.send(Packet::tcp(
+                ctx.ip(), port, self.dst, 80,
+                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                &netalytics_packet::http::build_get(&format!("/u{}", i % 3), "h"),
+            ));
+            ctx.send(Packet::tcp(
+                ctx.ip(), port, self.dst, 80,
+                TcpFlags::FIN | TcpFlags::ACK, 2, 1, b"",
+            ));
+        }
+    }
+
+    #[test]
+    fn mirror_monitor_aggregator_executor_pipeline() {
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let dst_ip = engine.network().host_ip(1);
+        let mon_ip = engine.network().host_ip(2);
+        // Mirror web traffic at the ToR to the monitor host.
+        engine.install_rule(
+            0,
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+        );
+        let monitor = Monitor::new(MonitorConfig {
+            parsers: vec!["http_get".into()],
+            sample: SampleSpec::All,
+            batch_size: 16,
+        })
+        .unwrap();
+        let topo = topologies::build(
+            &ProcessorSpec::new("top-k").with_arg("k", "3").with_arg("key", "url"),
+        )
+        .unwrap();
+        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        let agg_ip = engine.network().host_ip(3);
+        let mon_app = MonitorApp::new(monitor, agg_ip, None);
+        let mon_handle = mon_app.handle();
+        let agg_app = AggregatorApp::new(executor.clone(), vec![mon_ip], 10_000, 1_000);
+        let agg_handle = agg_app.handle();
+        engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 30 }));
+        engine.set_app(2, Box::new(mon_app));
+        engine.set_app(3, Box::new(agg_app));
+        engine.run_until(SimTime::from_nanos(2_000_000_000));
+        assert_eq!(mon_handle.borrow().stats.tuples_out, 30, "one URL per conn");
+        assert_eq!(agg_handle.borrow().tuples_in, 30);
+        assert_eq!(agg_handle.borrow().tuples_processed, 30);
+        let mut exec = executor.borrow_mut();
+        exec.finish(2_000_000_000);
+        let out = exec.take_output();
+        assert!(!out.is_empty(), "top-k rankings must emerge");
+    }
+
+    #[test]
+    fn packet_limit_stops_monitor() {
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let dst_ip = engine.network().host_ip(1);
+        engine.install_rule(
+            0,
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+        );
+        let monitor = Monitor::new(MonitorConfig::default()).unwrap();
+        let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
+        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        let mon_app = MonitorApp::new(monitor, engine.network().host_ip(3), Some(10));
+        let handle = mon_app.handle();
+        engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 30 }));
+        engine.set_app(2, Box::new(mon_app));
+        engine.set_app(
+            3,
+            Box::new(AggregatorApp::new(executor, vec![], 100, 10)),
+        );
+        engine.run_until(SimTime::from_nanos(2_000_000_000));
+        let shared = handle.borrow();
+        assert!(shared.stopped);
+        assert_eq!(shared.stats.packets_seen, 10);
+    }
+
+    #[test]
+    fn overload_feedback_reduces_sampling() {
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let dst_ip = engine.network().host_ip(1);
+        let mon_ip = engine.network().host_ip(2);
+        engine.install_rule(
+            0,
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+        );
+        let monitor = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::Auto,
+            batch_size: 16,
+        })
+        .unwrap();
+        let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
+        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        // Tiny buffer and slow drain: must overload.
+        let agg_app = AggregatorApp::new(executor, vec![mon_ip], 20, 1);
+        let agg_handle = agg_app.handle();
+        let mon_app = MonitorApp::new(monitor, engine.network().host_ip(3), None);
+        let mon_handle = mon_app.handle();
+        engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 200 }));
+        engine.set_app(2, Box::new(mon_app));
+        engine.set_app(3, Box::new(agg_app));
+        // Mid-burst: the monitor must have adapted down.
+        engine.run_until(SimTime::from_nanos(60_000_000));
+        assert!(agg_handle.borrow().overload_signals >= 1);
+        assert!(
+            mon_handle.borrow().sample_rate < 1.0,
+            "sampling must have adapted down"
+        );
+        // Long after the burst: the drain empties the buffer and the
+        // HEALTHY heartbeat restores full sampling.
+        engine.run_until(SimTime::from_nanos(5_000_000_000));
+        assert_eq!(
+            mon_handle.borrow().sample_rate, 1.0,
+            "sampling must recover once the aggregator drains"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The result interface: what the administrator gets back (Fig. 1).
+
+use std::collections::BTreeMap;
+
+use netalytics_data::{DataTuple, Value};
+
+/// The tuples a query's terminal bolts emitted, with convenience
+/// accessors for the shapes the paper plots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    /// Raw output tuples, in emission order.
+    pub tuples: Vec<DataTuple>,
+}
+
+impl ResultSet {
+    /// Wraps raw output tuples.
+    pub fn new(tuples: Vec<DataTuple>) -> Self {
+        ResultSet { tuples }
+    }
+
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the query produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Numeric values of `field` across all tuples (for histograms/CDFs).
+    pub fn values(&self, field: &str) -> Vec<f64> {
+        self.tuples
+            .iter()
+            .filter_map(|t| t.get(field).and_then(Value::as_f64))
+            .collect()
+    }
+
+    /// The p-th percentile (0.0–1.0) of `field`, nearest-rank method;
+    /// `None` if no tuple carries a numeric `field`.
+    pub fn percentile(&self, field: &str, p: f64) -> Option<f64> {
+        let mut v = self.values(field);
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let rank = ((p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize)
+            .clamp(1, v.len());
+        Some(v[rank - 1])
+    }
+
+    /// `group_field → numeric value_field` map (for `diff-group-avg`,
+    /// `group-sum` outputs); the last tuple per group wins.
+    pub fn group_values(&self, group_field: &str, value_field: &str) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for t in &self.tuples {
+            if let (Some(g), Some(v)) = (t.get(group_field), t.get(value_field).and_then(Value::as_f64)) {
+                out.insert(g.to_string(), v);
+            }
+        }
+        out
+    }
+
+    /// The final top-k ranking: `(key, count)` in rank order from the
+    /// last emitted window.
+    pub fn final_ranking(&self) -> Vec<(String, u64)> {
+        let last_window = self
+            .tuples
+            .iter()
+            .rev()
+            .filter(|t| t.source == "rank")
+            .filter_map(|t| t.get("window_end").and_then(Value::as_u64))
+            .next();
+        let Some(w) = last_window else {
+            return Vec::new();
+        };
+        let mut ranked: Vec<(u64, String, u64)> = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                t.source == "rank"
+                    && t.get("window_end").and_then(Value::as_u64) == Some(w)
+            })
+            .filter_map(|t| {
+                Some((
+                    t.get("rank").and_then(Value::as_u64)?,
+                    t.get("key")?.to_string(),
+                    t.get("count").and_then(Value::as_u64)?,
+                ))
+            })
+            .collect();
+        ranked.sort_by_key(|(r, ..)| *r);
+        ranked.into_iter().map(|(_, k, c)| (k, c)).collect()
+    }
+
+    /// Renders selected fields as a fixed-width text table.
+    pub fn table(&self, fields: &[&str]) -> String {
+        let mut out = String::new();
+        out.push_str(&fields.join("\t"));
+        out.push('\n');
+        for t in &self.tuples {
+            let row: Vec<String> = fields
+                .iter()
+                .map(|f| t.get(f).map_or("-".into(), ToString::to_string))
+                .collect();
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<DataTuple> for ResultSet {
+    fn from_iter<I: IntoIterator<Item = DataTuple>>(iter: I) -> Self {
+        ResultSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(rank: u64, key: &str, count: u64, window: u64) -> DataTuple {
+        DataTuple::new(rank, window)
+            .from_source("rank")
+            .with("rank", rank)
+            .with("key", key)
+            .with("count", count)
+            .with("window_end", window)
+    }
+
+    #[test]
+    fn final_ranking_uses_last_window_only() {
+        let rs: ResultSet = vec![
+            rank(0, "/old", 9, 100),
+            rank(0, "/new", 5, 200),
+            rank(1, "/also", 3, 200),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            rs.final_ranking(),
+            vec![("/new".to_string(), 5), ("/also".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn group_values_and_values() {
+        let rs: ResultSet = vec![
+            DataTuple::new(0, 0).with("dst_ip", "a").with("avg", 4.0),
+            DataTuple::new(0, 0).with("dst_ip", "b").with("avg", 9.0),
+        ]
+        .into_iter()
+        .collect();
+        let g = rs.group_values("dst_ip", "avg");
+        assert_eq!(g["a"], 4.0);
+        assert_eq!(g["b"], 9.0);
+        assert_eq!(rs.values("avg"), vec![4.0, 9.0]);
+    }
+
+    #[test]
+    fn table_renders_missing_as_dash() {
+        let rs: ResultSet = vec![DataTuple::new(0, 0).with("x", 1u64)].into_iter().collect();
+        let t = rs.table(&["x", "y"]);
+        assert!(t.contains("1\t-"));
+        assert!(!rs.is_empty());
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        assert!(ResultSet::default().final_ranking().is_empty());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let rs: ResultSet = (1..=100u64)
+            .map(|i| DataTuple::new(i, 0).with("v", i as f64))
+            .collect();
+        assert_eq!(rs.percentile("v", 0.5), Some(50.0));
+        assert_eq!(rs.percentile("v", 0.95), Some(95.0));
+        assert_eq!(rs.percentile("v", 0.0), Some(1.0));
+        assert_eq!(rs.percentile("v", 1.0), Some(100.0));
+        assert_eq!(rs.percentile("missing", 0.5), None);
+        assert_eq!(ResultSet::default().percentile("v", 0.5), None);
+    }
+}

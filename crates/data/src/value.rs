@@ -1,0 +1,270 @@
+//! Dynamically typed scalar values carried in [`crate::DataTuple`] fields.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar value emitted by a parser or produced by an analytics bolt.
+///
+/// `Value` deliberately stays small: parsers extract a *miniscule* amount of
+/// data per packet (paper §3.1), so the universe of field types is a handful
+/// of scalars plus short strings/byte blobs.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_data::Value;
+///
+/// let v = Value::from(3.5f64);
+/// assert_eq!(v.as_f64(), Some(3.5));
+/// assert_eq!(Value::from("GET").to_string(), "GET");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / not-applicable.
+    #[default]
+    Null,
+    /// Boolean flag (e.g. "SYN seen").
+    Bool(bool),
+    /// Signed counter / delta.
+    I64(i64),
+    /// Unsigned counter, byte count, hash, IP-as-integer.
+    U64(u64),
+    /// Measurement (latency in ms, rate, ratio).
+    F64(f64),
+    /// Short text (URL, SQL statement, memcached key).
+    Str(String),
+    /// Raw bytes (opaque payload slices).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is any integer type that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64`; integers are widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte slice if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A stable small integer identifying the variant, used by the codec.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::U64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Bytes(_) => 6,
+        }
+    }
+
+    /// Total ordering used by ranking bolts (top-k, min, max).
+    ///
+    /// Values of different types order by variant tag; `F64` uses
+    /// [`f64::total_cmp`] so NaN does not poison rankings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (U64(a), U64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            // Mixed numerics compare as f64 when both sides are numeric.
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => a.tag().cmp(&b.tag()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(-3i64).as_i64(), Some(-3));
+        assert_eq!(Value::from(7u64).as_u64(), Some(7));
+        assert_eq!(Value::from(7u64).as_i64(), Some(7));
+        assert_eq!(Value::from(-1i64).as_u64(), None);
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(0u64).is_null());
+    }
+
+    #[test]
+    fn integers_widen_to_f64() {
+        assert_eq!(Value::from(4u64).as_f64(), Some(4.0));
+        assert_eq!(Value::from(-4i64).as_f64(), Some(-4.0));
+    }
+
+    #[test]
+    fn total_cmp_orders_numbers() {
+        let a = Value::from(1.0);
+        let b = Value::from(2u64);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(b.total_cmp(&a), Ordering::Greater);
+        assert_eq!(a.total_cmp(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        let nan = Value::from(f64::NAN);
+        // total ordering: NaN is comparable with itself.
+        assert_eq!(nan.total_cmp(&nan.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Null,
+            Value::from(false),
+            Value::from(0i64),
+            Value::from(0u64),
+            Value::from(0.0),
+            Value::from(""),
+            Value::from(Vec::new()),
+        ] {
+            // Even the empty string renders as a (possibly empty) str; the
+            // debug form is what must be non-empty.
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_non_numeric_orders_by_tag() {
+        let s = Value::from("a");
+        let b = Value::from(true);
+        assert_eq!(b.total_cmp(&s), Ordering::Less);
+        assert_eq!(s.total_cmp(&b), Ordering::Greater);
+    }
+}

@@ -1,0 +1,316 @@
+//! The monitor proper: sampler → parsers → batched tuple output.
+//!
+//! This is the *inline* (single-threaded, deterministic) form used on the
+//! discrete-event plane; [`crate::pipeline`] is the threaded form used for
+//! throughput experiments (Fig. 5). Both share the same parsers.
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_packet::Packet;
+
+use crate::parser::{make_parser, Parser};
+use crate::sampler::{FeedbackSignal, FlowSampler, SampleSpec};
+
+/// Configuration of one monitor instance.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Registry names of the parsers to run (paper `PARSE` clause).
+    pub parsers: Vec<String>,
+    /// Sampling requested by the query's `SAMPLE` clause.
+    pub sample: SampleSpec,
+    /// Tuples per output batch (§3.1: tuples are sent in batches).
+    pub batch_size: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::All,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Traffic-accounting counters of one monitor, used to report the
+/// monitor→aggregator data-reduction factor (the paper assumes ~10:1 for
+/// the Fig. 6 analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Packets offered to the monitor.
+    pub packets_seen: u64,
+    /// Packets passing the sampler.
+    pub packets_sampled: u64,
+    /// Raw bytes across sampled packets.
+    pub bytes_in: u64,
+    /// Tuples emitted by parsers.
+    pub tuples_out: u64,
+    /// Encoded bytes across emitted batches.
+    pub bytes_out: u64,
+}
+
+impl MonitorStats {
+    /// Raw-traffic-to-tuple-traffic reduction factor (input bytes per
+    /// output byte); `None` until something was emitted.
+    pub fn reduction_factor(&self) -> Option<f64> {
+        if self.bytes_out == 0 {
+            None
+        } else {
+            Some(self.bytes_in as f64 / self.bytes_out as f64)
+        }
+    }
+}
+
+/// Error constructing a monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// A parser name was not found in the registry.
+    UnknownParser(String),
+    /// The configuration listed no parsers.
+    NoParsers,
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::UnknownParser(name) => write!(f, "unknown parser {name:?}"),
+            MonitorError::NoParsers => f.write_str("monitor configured with no parsers"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// An NFV monitor instance (inline execution).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
+/// use netalytics_packet::{Packet, TcpFlags};
+///
+/// let mut m = Monitor::new(MonitorConfig {
+///     parsers: vec!["tcp_conn_time".into()],
+///     sample: SampleSpec::All,
+///     batch_size: 8,
+/// })?;
+/// let syn = Packet::tcp(
+///     "10.0.0.1".parse()?, 4000, "10.0.0.2".parse()?, 80,
+///     TcpFlags::SYN, 0, 0, b"",
+/// );
+/// m.process(&syn);
+/// let batches = m.drain(0);
+/// assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Monitor {
+    parsers: Vec<Box<dyn Parser>>,
+    sampler: FlowSampler,
+    batch_size: usize,
+    pending: Vec<DataTuple>,
+    stats: MonitorStats,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("parsers", &self.parsers.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Monitor {
+    /// Builds a monitor from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError`] for an empty parser list or unknown names.
+    pub fn new(config: MonitorConfig) -> Result<Self, MonitorError> {
+        if config.parsers.is_empty() {
+            return Err(MonitorError::NoParsers);
+        }
+        let parsers = config
+            .parsers
+            .iter()
+            .map(|n| make_parser(n).ok_or_else(|| MonitorError::UnknownParser(n.clone())))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Monitor {
+            parsers,
+            sampler: FlowSampler::new(config.sample),
+            batch_size: config.batch_size.max(1),
+            pending: Vec::new(),
+            stats: MonitorStats::default(),
+        })
+    }
+
+    /// Offers one packet to the monitor; every parser sees each sampled
+    /// packet (the collector fans a descriptor out to all parser queues).
+    pub fn process(&mut self, packet: &Packet) {
+        self.stats.packets_seen += 1;
+        if !self.sampler.accept(packet) {
+            return;
+        }
+        self.stats.packets_sampled += 1;
+        self.stats.bytes_in += packet.len() as u64;
+        for p in &mut self.parsers {
+            p.on_packet(packet, &mut self.pending);
+        }
+    }
+
+    /// Flushes aggregating parsers and drains pending tuples into batches
+    /// of at most `batch_size`, updating output-byte accounting.
+    pub fn drain(&mut self, now_ns: u64) -> Vec<TupleBatch> {
+        for p in &mut self.parsers {
+            p.flush(now_ns, &mut self.pending);
+        }
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            let take = self.pending.len().min(self.batch_size);
+            let batch = TupleBatch::from_tuples(self.pending.drain(..take).collect());
+            self.stats.tuples_out += batch.len() as u64;
+            self.stats.bytes_out += batch.wire_size() as u64;
+            out.push(batch);
+        }
+        out
+    }
+
+    /// Forwards an aggregation-layer feedback signal to the sampler.
+    pub fn on_feedback(&mut self, signal: FeedbackSignal) {
+        self.sampler.on_feedback(signal);
+    }
+
+    /// The current effective sampling rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.sampler.rate()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_packet::{http, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+    fn http_pkt(url: &str) -> Packet {
+        Packet::tcp(
+            A, 4000, B, 80,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            &http::build_get(url, "b"),
+        )
+    }
+
+    #[test]
+    fn unknown_parser_rejected() {
+        let err = Monitor::new(MonitorConfig {
+            parsers: vec!["bogus".into()],
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, MonitorError::UnknownParser("bogus".into()));
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn empty_parser_list_rejected() {
+        let err = Monitor::new(MonitorConfig {
+            parsers: vec![],
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, MonitorError::NoParsers);
+    }
+
+    #[test]
+    fn multiple_parsers_see_each_packet() {
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into(), "http_get".into()],
+            sample: SampleSpec::All,
+            batch_size: 100,
+        })
+        .unwrap();
+        m.process(&http_pkt("/a"));
+        let tuples: Vec<_> = m.drain(0).into_iter().flatten().collect();
+        assert_eq!(tuples.len(), 2, "one tuple from each parser");
+        let sources: Vec<_> = tuples.iter().map(|t| t.source.clone()).collect();
+        assert!(sources.contains(&"tcp_flow_key".to_string()));
+        assert!(sources.contains(&"http_get".to_string()));
+    }
+
+    #[test]
+    fn batches_respect_batch_size() {
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::All,
+            batch_size: 10,
+        })
+        .unwrap();
+        for i in 0..25 {
+            m.process(&Packet::tcp(A, 4000 + i, B, 80, TcpFlags::ACK, 0, 0, b""));
+        }
+        let batches = m.drain(0);
+        let sizes: Vec<_> = batches.iter().map(TupleBatch::len).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn reduction_factor_is_substantial_for_http() {
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["http_get".into()],
+            sample: SampleSpec::All,
+            batch_size: 64,
+        })
+        .unwrap();
+        // Realistic mix: one GET per 10 data packets of 1 KB.
+        for i in 0..50u32 {
+            m.process(&http_pkt(&format!("/page{}", i % 5)));
+            for j in 0..10u32 {
+                m.process(&Packet::tcp(
+                    B, 80, A, 4000,
+                    TcpFlags::ACK, i * 100 + j, 0,
+                    &vec![0u8; 1024],
+                ));
+            }
+        }
+        m.drain(0);
+        let r = m.stats().reduction_factor().unwrap();
+        assert!(r > 10.0, "reduction factor {r} should exceed 10x");
+    }
+
+    #[test]
+    fn sampling_reduces_sampled_count() {
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::Rate(0.2),
+            batch_size: 64,
+        })
+        .unwrap();
+        for i in 0..1000u16 {
+            m.process(&Packet::tcp(A, i, B, 80, TcpFlags::ACK, 0, 0, b""));
+        }
+        let s = m.stats();
+        assert_eq!(s.packets_seen, 1000);
+        assert!(s.packets_sampled < 400, "sampled {}", s.packets_sampled);
+        assert!(s.packets_sampled > 50);
+    }
+
+    #[test]
+    fn feedback_reaches_sampler() {
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::Auto,
+            batch_size: 64,
+        })
+        .unwrap();
+        assert_eq!(m.sample_rate(), 1.0);
+        m.on_feedback(FeedbackSignal::Overloaded);
+        assert_eq!(m.sample_rate(), 0.5);
+    }
+}

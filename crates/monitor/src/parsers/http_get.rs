@@ -1,0 +1,123 @@
+//! `http_get` — parse HTTP GET requests and responses (Table 1, App layer).
+//!
+//! "We provide a http_get parser that can extract the URL of an HTTP GET
+//! request" (§3.1); responses contribute the status code and, joined by
+//! flow ID, per-URL timing (Fig. 13).
+
+use netalytics_data::DataTuple;
+use netalytics_packet::{http, Packet};
+
+use crate::parser::Parser;
+
+/// Extracts GET URLs from requests and status codes from responses.
+#[derive(Debug, Default)]
+pub struct HttpGetParser {
+    _private: (),
+}
+
+impl HttpGetParser {
+    /// Creates the parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Parser for HttpGetParser {
+    fn name(&self) -> &'static str {
+        "http_get"
+    }
+
+    fn on_packet(&mut self, packet: &Packet, out: &mut Vec<DataTuple>) {
+        let Ok(view) = packet.view() else { return };
+        if view.tcp.is_none() || view.payload.is_empty() {
+            return;
+        }
+        let Some(flow) = packet.flow_key() else { return };
+        // Requests and responses of one connection share an ID so the
+        // processor can pair them (canonical = direction-independent).
+        let id = flow.canonical_hash();
+        if let Some(req) = http::parse_request(view.payload) {
+            if req.method == http::Method::Get {
+                out.push(
+                    DataTuple::new(id, packet.ts_ns)
+                        .from_source(self.name())
+                        .with("kind", "request")
+                        .with("url", req.url)
+                        .with("dst_ip", flow.dst_ip.to_string())
+                        .with("t_ns", packet.ts_ns),
+                );
+            }
+        } else if let Some(status) = http::parse_status(view.payload) {
+            out.push(
+                DataTuple::new(id, packet.ts_ns)
+                    .from_source(self.name())
+                    .with("kind", "response")
+                    .with("status", u64::from(status))
+                    .with("src_ip", flow.src_ip.to_string())
+                    .with("t_ns", packet.ts_ns),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+    use netalytics_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+    fn parse(pkts: &[Packet]) -> Vec<DataTuple> {
+        let mut p = HttpGetParser::new();
+        let mut out = Vec::new();
+        for pkt in pkts {
+            p.on_packet(pkt, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn request_and_response_pair_by_id() {
+        let req = Packet::tcp(
+            C, 4000, S, 80,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            &http::build_get("/videos/7", "s"),
+        );
+        let resp = Packet::tcp(
+            S, 80, C, 4000,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            &http::build_response(200, b"data"),
+        );
+        let out = parse(&[req, resp]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("url").and_then(Value::as_str), Some("/videos/7"));
+        assert_eq!(out[1].get("status").and_then(Value::as_u64), Some(200));
+        assert_eq!(out[0].id, out[1].id, "request/response join on one ID");
+    }
+
+    #[test]
+    fn post_requests_skipped() {
+        let post = Packet::tcp(
+            C, 4000, S, 80,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            b"POST /submit HTTP/1.1\r\n\r\n",
+        );
+        assert!(parse(&[post]).is_empty());
+    }
+
+    #[test]
+    fn empty_and_binary_payloads_skipped() {
+        let empty = Packet::tcp(C, 4000, S, 80, TcpFlags::ACK, 1, 1, b"");
+        let binary = Packet::tcp(C, 4000, S, 80, TcpFlags::ACK, 1, 1, &[0xde, 0xad, 0xbe]);
+        assert!(parse(&[empty, binary]).is_empty());
+    }
+
+    #[test]
+    fn udp_skipped() {
+        let udp = Packet::udp(C, 1, S, 80, b"GET / HTTP/1.1\r\n");
+        assert!(parse(&[udp]).is_empty());
+    }
+}

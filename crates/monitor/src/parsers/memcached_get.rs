@@ -1,0 +1,108 @@
+//! `memcached_get` — parse memcached get requests (Table 1, App layer).
+
+use netalytics_data::DataTuple;
+use netalytics_packet::{memcached, Packet};
+
+use crate::parser::Parser;
+
+/// Extracts keys from memcached `get` requests and hit/miss from
+/// responses.
+#[derive(Debug, Default)]
+pub struct MemcachedGetParser {
+    _private: (),
+}
+
+impl MemcachedGetParser {
+    /// Creates the parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Parser for MemcachedGetParser {
+    fn name(&self) -> &'static str {
+        "memcached_get"
+    }
+
+    fn on_packet(&mut self, packet: &Packet, out: &mut Vec<DataTuple>) {
+        let Ok(view) = packet.view() else { return };
+        if view.tcp.is_none() || view.payload.is_empty() {
+            return;
+        }
+        let Some(flow) = packet.flow_key() else { return };
+        let id = flow.canonical_hash();
+        if let Some(memcached::Command::Get { key }) = memcached::parse_command(view.payload) {
+            out.push(
+                DataTuple::new(id, packet.ts_ns)
+                    .from_source(self.name())
+                    .with("kind", "request")
+                    .with("key", key)
+                    .with("dst_ip", flow.dst_ip.to_string())
+                    .with("t_ns", packet.ts_ns),
+            );
+        } else if view.payload.starts_with(b"VALUE ") || view.payload.starts_with(b"END") {
+            out.push(
+                DataTuple::new(id, packet.ts_ns)
+                    .from_source(self.name())
+                    .with("kind", "response")
+                    .with("hit", memcached::response_is_hit(view.payload))
+                    .with("t_ns", packet.ts_ns),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+    use netalytics_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 7);
+
+    #[test]
+    fn get_and_hit_miss() {
+        let mut p = MemcachedGetParser::new();
+        let mut out = Vec::new();
+        let req = Packet::tcp(
+            C, 4000, S, 11211,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            &memcached::build_get("user:1"),
+        );
+        let hit = Packet::tcp(
+            S, 11211, C, 4000,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            &memcached::build_value_response("user:1", Some(b"v")),
+        );
+        let miss = Packet::tcp(
+            S, 11211, C, 4000,
+            TcpFlags::PSH | TcpFlags::ACK, 2, 3,
+            &memcached::build_value_response("user:2", None),
+        );
+        p.on_packet(&req, &mut out);
+        p.on_packet(&hit, &mut out);
+        p.on_packet(&miss, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("key").and_then(Value::as_str), Some("user:1"));
+        assert_eq!(out[1].get("hit").and_then(Value::as_bool), Some(true));
+        assert_eq!(out[2].get("hit").and_then(Value::as_bool), Some(false));
+        assert_eq!(out[0].id, out[1].id);
+    }
+
+    #[test]
+    fn set_commands_and_noise_skipped() {
+        let mut p = MemcachedGetParser::new();
+        let mut out = Vec::new();
+        let set = Packet::tcp(
+            C, 4000, S, 11211,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            &memcached::build_set("k", b"v"),
+        );
+        let noise = Packet::tcp(C, 4000, S, 11211, TcpFlags::ACK, 2, 1, b"hello");
+        p.on_packet(&set, &mut out);
+        p.on_packet(&noise, &mut out);
+        assert!(out.is_empty());
+    }
+}

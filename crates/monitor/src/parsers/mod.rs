@@ -1,0 +1,24 @@
+//! The six stock parsers of paper Table 1.
+//!
+//! | Parser | Layer | Description |
+//! |---|---|---|
+//! | `tcp_flow_key` | Net | extract src_ip, dst_ip, src_port, dst_port |
+//! | `tcp_conn_time` | Net | detect SYN/FIN/RST flags |
+//! | `tcp_pkt_size` | Net | calculate tcp packet size |
+//! | `memcached_get` | App | parse memcached get request |
+//! | `http_get` | App | parse http get request and response |
+//! | `mysql_query` | App | parse mysql query and response |
+
+mod http_get;
+mod memcached_get;
+mod mysql_query;
+mod tcp_conn_time;
+mod tcp_flow_key;
+mod tcp_pkt_size;
+
+pub use http_get::HttpGetParser;
+pub use memcached_get::MemcachedGetParser;
+pub use mysql_query::MysqlQueryParser;
+pub use tcp_conn_time::TcpConnTimeParser;
+pub use tcp_flow_key::TcpFlowKeyParser;
+pub use tcp_pkt_size::TcpPktSizeParser;

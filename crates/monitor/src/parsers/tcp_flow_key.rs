@@ -1,0 +1,86 @@
+//! `tcp_flow_key` — extract the transport 5-tuple (Table 1, Net layer).
+
+use netalytics_data::DataTuple;
+use netalytics_packet::Packet;
+
+use crate::parser::Parser;
+
+/// Emits one tuple per TCP packet carrying the flow's addressing.
+///
+/// The tuple ID is the flow's stable hash, letting processors join this
+/// addressing information with measurements from other parsers.
+#[derive(Debug, Default)]
+pub struct TcpFlowKeyParser {
+    emitted: u64,
+}
+
+impl TcpFlowKeyParser {
+    /// Creates the parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Parser for TcpFlowKeyParser {
+    fn name(&self) -> &'static str {
+        "tcp_flow_key"
+    }
+
+    fn on_packet(&mut self, packet: &Packet, out: &mut Vec<DataTuple>) {
+        let Some(flow) = packet.flow_key() else {
+            return;
+        };
+        if flow.proto != 6 {
+            return;
+        }
+        self.emitted += 1;
+        out.push(
+            DataTuple::new(flow.stable_hash(), packet.ts_ns)
+                .from_source(self.name())
+                .with("src_ip", flow.src_ip.to_string())
+                .with("dst_ip", flow.dst_ip.to_string())
+                .with("src_port", flow.src_port)
+                .with("dst_port", flow.dst_port),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+    use netalytics_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn emits_addressing_fields() {
+        let mut p = TcpFlowKeyParser::new();
+        let pkt = Packet::tcp(
+            Ipv4Addr::new(10, 0, 2, 8),
+            5555,
+            Ipv4Addr::new(10, 0, 2, 9),
+            80,
+            TcpFlags::SYN,
+            0,
+            0,
+            b"",
+        );
+        let mut out = Vec::new();
+        p.on_packet(&pkt, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("src_ip").and_then(Value::as_str), Some("10.0.2.8"));
+        assert_eq!(out[0].get("dst_port").and_then(Value::as_u64), Some(80));
+        assert_eq!(out[0].id, pkt.flow_key().unwrap().stable_hash());
+    }
+
+    #[test]
+    fn skips_udp_and_garbage() {
+        let mut p = TcpFlowKeyParser::new();
+        let mut out = Vec::new();
+        let udp = Packet::udp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, b"");
+        p.on_packet(&udp, &mut out);
+        let junk = Packet::from_bytes(bytes::Bytes::from_static(b"nonsense"), 0);
+        p.on_packet(&junk, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! `tcp_pkt_size` — calculate TCP packet size (Table 1, Net layer).
+//!
+//! Used by the §7.1 case study with a `group-sum` processor to compute
+//! per-connection throughput (Fig. 11).
+
+use netalytics_data::DataTuple;
+use netalytics_packet::Packet;
+
+use crate::parser::Parser;
+
+/// Emits per-packet payload sizes, aggregated per flow between flushes to
+/// keep tuple volume low (parsers "produce aggregate statistics about
+/// flows", §3.1).
+#[derive(Debug, Default)]
+pub struct TcpPktSizeParser {
+    /// (flow hash, src, dst) → (payload bytes, packets) since last flush.
+    acc: Vec<(u64, String, String, u64, u64)>,
+}
+
+impl TcpPktSizeParser {
+    /// Creates the parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Parser for TcpPktSizeParser {
+    fn name(&self) -> &'static str {
+        "tcp_pkt_size"
+    }
+
+    fn on_packet(&mut self, packet: &Packet, _out: &mut Vec<DataTuple>) {
+        let Ok(view) = packet.view() else { return };
+        let (Some(ip), Some(_tcp)) = (view.ipv4, view.tcp) else {
+            return;
+        };
+        let flow = packet.flow_key().expect("tcp view implies flow key");
+        let id = flow.stable_hash();
+        let bytes = view.payload.len() as u64;
+        match self.acc.iter_mut().find(|(h, ..)| *h == id) {
+            Some((_, _, _, b, n)) => {
+                *b += bytes;
+                *n += 1;
+            }
+            None => self.acc.push((
+                id,
+                ip.src.to_string(),
+                ip.dst.to_string(),
+                bytes,
+                1,
+            )),
+        }
+    }
+
+    fn flush(&mut self, now_ns: u64, out: &mut Vec<DataTuple>) {
+        for (id, src, dst, bytes, pkts) in self.acc.drain(..) {
+            out.push(
+                DataTuple::new(id, now_ns)
+                    .from_source("tcp_pkt_size")
+                    .with("src_ip", src)
+                    .with("dst_ip", dst)
+                    .with("bytes", bytes)
+                    .with("pkts", pkts),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+    use netalytics_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn aggregates_per_flow_until_flush() {
+        let mut p = TcpPktSizeParser::new();
+        let mut out = Vec::new();
+        for i in 0..3u32 {
+            let pkt = Packet::tcp(A, 4000, B, 80, TcpFlags::ACK, i, 0, &[0u8; 100]);
+            p.on_packet(&pkt, &mut out);
+        }
+        let other = Packet::tcp(A, 4001, B, 80, TcpFlags::ACK, 0, 0, &[0u8; 10]);
+        p.on_packet(&other, &mut out);
+        assert!(out.is_empty(), "nothing emitted before flush");
+        p.flush(999, &mut out);
+        assert_eq!(out.len(), 2, "one tuple per flow");
+        let big = out
+            .iter()
+            .find(|t| t.get("bytes").and_then(Value::as_u64) == Some(300))
+            .expect("300-byte flow present");
+        assert_eq!(big.get("pkts").and_then(Value::as_u64), Some(3));
+        assert_eq!(big.ts_ns, 999);
+        // Second flush emits nothing new.
+        out.clear();
+        p.flush(1000, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ignores_non_tcp() {
+        let mut p = TcpPktSizeParser::new();
+        let mut out = Vec::new();
+        p.on_packet(&Packet::udp(A, 1, B, 2, b"xxx"), &mut out);
+        p.flush(1, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,480 @@
+//! The threaded monitor pipeline — Figure 3 of the paper.
+//!
+//! "NetAlytics monitor framework includes the collector, parsers, and an
+//! output interface" built on DPDK's zero-copy, lock-free primitives with
+//! multi-level queuing and batching (§5.1-5.2). Here:
+//!
+//! * the **collector** thread pulls packets off the input ring and pushes
+//!   a cheap descriptor clone ([`netalytics_packet::Packet`] is refcounted
+//!   [`bytes::Bytes`]) into each parser's queue — no payload copies;
+//! * each **parser** runs on its own worker thread(s) with a bounded
+//!   queue; a full queue drops descriptors early (the adaptive-sampling
+//!   load-shedding of §5.1);
+//! * the **output interface** batches tuples and hands them to a sink.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_packet::Packet;
+
+use crate::monitor::MonitorError;
+use crate::parser::make_parser;
+use crate::sampler::{FlowSampler, SampleSpec};
+
+/// Configuration of a threaded pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Parser registry names; each gets its own worker thread(s).
+    pub parsers: Vec<String>,
+    /// Worker threads per parser (paper Fig. 3: "One parser process may
+    /// run multiple worker threads; this provides scalability for
+    /// computationally intensive parsing functions"). Workers of one
+    /// parser receive packets by flow hash, so stateful parsers keep
+    /// seeing whole flows ("based on the packet flow ID to ensure
+    /// consistent processing of flows", §5.2).
+    pub workers_per_parser: usize,
+    /// Sampling applied at the collector.
+    pub sample: SampleSpec,
+    /// Depth of the collector input ring.
+    pub input_depth: usize,
+    /// Depth of each parser queue.
+    pub parser_depth: usize,
+    /// Tuples per output batch.
+    pub batch_size: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            parsers: vec!["tcp_conn_time".into()],
+            workers_per_parser: 1,
+            sample: SampleSpec::All,
+            input_depth: 8192,
+            parser_depth: 8192,
+            batch_size: 128,
+        }
+    }
+}
+
+/// Shared pipeline counters.
+#[derive(Debug, Default)]
+pub struct PipelineCounters {
+    /// Packets accepted into the input ring.
+    pub packets_in: AtomicU64,
+    /// Raw bytes across accepted packets.
+    pub bytes_in: AtomicU64,
+    /// Descriptors dropped because a parser queue was full.
+    pub queue_drops: AtomicU64,
+    /// Packets rejected by the sampler.
+    pub sampler_drops: AtomicU64,
+    /// Tuples emitted across all parsers.
+    pub tuples_out: AtomicU64,
+    /// Encoded batch bytes emitted.
+    pub bytes_out: AtomicU64,
+}
+
+/// A running threaded monitor pipeline.
+///
+/// Feed packets with [`Pipeline::offer`]; collect output batches from
+/// [`Pipeline::batches`]; stop with [`Pipeline::shutdown`].
+pub struct Pipeline {
+    input: Sender<Packet>,
+    output: Receiver<TupleBatch>,
+    counters: Arc<PipelineCounters>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("threads", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Spawns the collector and one worker per parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError`] for an empty or unknown parser list.
+    pub fn spawn(config: PipelineConfig) -> Result<Self, MonitorError> {
+        if config.parsers.is_empty() {
+            return Err(MonitorError::NoParsers);
+        }
+        // Validate up front so we fail before spawning threads.
+        for name in &config.parsers {
+            if make_parser(name).is_none() {
+                return Err(MonitorError::UnknownParser(name.clone()));
+            }
+        }
+        let counters = Arc::new(PipelineCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (in_tx, in_rx) = bounded::<Packet>(config.input_depth);
+        let (out_tx, out_rx) = bounded::<TupleBatch>(config.input_depth);
+
+        let mut handles = Vec::new();
+        // Per parser: the worker queues its dispatcher fans into (Fig. 3's
+        // two-level queuing — one instance per worker, flow-consistent).
+        let mut parser_txs: Vec<Vec<Sender<Packet>>> = Vec::new();
+        let workers = config.workers_per_parser.max(1);
+
+        for name in &config.parsers {
+            let mut worker_txs = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (ptx, prx) = bounded::<Packet>(config.parser_depth);
+                worker_txs.push(ptx);
+                let mut parser = make_parser(name).expect("validated above");
+                let out_tx = out_tx.clone();
+                let counters = counters.clone();
+                let batch_size = config.batch_size.max(1);
+                let handle = std::thread::Builder::new()
+                    .name(format!("parser-{name}-{w}"))
+                    .spawn(move || {
+                        let mut pending: Vec<DataTuple> = Vec::with_capacity(batch_size);
+                        let flush_to_sink = |pending: &mut Vec<DataTuple>| {
+                            if pending.is_empty() {
+                                return;
+                            }
+                            let batch = TupleBatch::from_tuples(std::mem::take(pending));
+                            counters
+                                .tuples_out
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            counters
+                                .bytes_out
+                                .fetch_add(batch.wire_size() as u64, Ordering::Relaxed);
+                            // If the consumer went away we just drop output.
+                            let _ = out_tx.send(batch);
+                        };
+                        while let Ok(pkt) = prx.recv() {
+                            parser.on_packet(&pkt, &mut pending);
+                            if pending.len() >= batch_size {
+                                flush_to_sink(&mut pending);
+                            }
+                        }
+                        // Input closed: final flush (aggregating parsers).
+                        parser.flush(0, &mut pending);
+                        flush_to_sink(&mut pending);
+                    })
+                    .expect("spawn parser thread");
+                handles.push(handle);
+            }
+            parser_txs.push(worker_txs);
+        }
+        drop(out_tx);
+
+        // Collector thread.
+        {
+            let counters = counters.clone();
+            let stop = stop.clone();
+            let mut sampler = FlowSampler::new(config.sample);
+            let handle = std::thread::Builder::new()
+                .name("collector".into())
+                .spawn(move || {
+                    while let Ok(pkt) = in_rx.recv() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if !sampler.accept(&pkt) {
+                            counters.sampler_drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        counters.packets_in.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .bytes_in
+                            .fetch_add(pkt.len() as u64, Ordering::Relaxed);
+                        // Flow-consistent worker dispatch within each
+                        // parser, round-robin fallback for non-IP frames.
+                        let flow_slot = pkt
+                            .flow_key()
+                            .map(|f| f.canonical_hash() as usize);
+                        for worker_txs in &parser_txs {
+                            let slot = flow_slot.unwrap_or(0) % worker_txs.len();
+                            // Zero-copy fan-out: descriptor clone only.
+                            match worker_txs[slot].try_send(pkt.clone()) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(_)) => {
+                                    counters.queue_drops.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
+                            }
+                        }
+                    }
+                    // parser_txs drop here, closing parser inputs.
+                })
+                .expect("spawn collector thread");
+            handles.push(handle);
+        }
+
+        Ok(Pipeline {
+            input: in_tx,
+            output: out_rx,
+            counters,
+            stop,
+            handles,
+        })
+    }
+
+    /// Offers a packet to the pipeline, blocking if the input ring is full
+    /// (a generator can thus measure sustainable throughput).
+    pub fn offer(&self, packet: Packet) {
+        let _ = self.input.send(packet);
+    }
+
+    /// Offers without blocking; returns `false` if the ring was full.
+    pub fn try_offer(&self, packet: Packet) -> bool {
+        self.input.try_send(packet).is_ok()
+    }
+
+    /// A clonable handle to the input ring, letting external generator
+    /// threads feed the pipeline directly.
+    pub fn clone_input(&self) -> Sender<Packet> {
+        self.input.clone()
+    }
+
+    /// The output batch stream.
+    pub fn batches(&self) -> &Receiver<TupleBatch> {
+        &self.output
+    }
+
+    /// Shared counters.
+    pub fn counters(&self) -> &PipelineCounters {
+        &self.counters
+    }
+
+    /// Stops all threads and waits for them; pending queue contents are
+    /// processed (graceful drain) unless `abandon` is set.
+    pub fn shutdown(mut self, abandon: bool) -> PipelineSummary {
+        if abandon {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        drop(self.input); // closes the collector loop
+        // Drain the output so parser threads never block on a full channel.
+        let drain: Vec<TupleBatch> = {
+            let mut v = Vec::new();
+            while !self.handles.iter().all(JoinHandle::is_finished) {
+                while let Ok(b) = self.output.try_recv() {
+                    v.push(b);
+                }
+                std::thread::yield_now();
+            }
+            while let Ok(b) = self.output.try_recv() {
+                v.push(b);
+            }
+            v
+        };
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        PipelineSummary {
+            packets_in: self.counters.packets_in.load(Ordering::Relaxed),
+            bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
+            queue_drops: self.counters.queue_drops.load(Ordering::Relaxed),
+            sampler_drops: self.counters.sampler_drops.load(Ordering::Relaxed),
+            tuples_out: self.counters.tuples_out.load(Ordering::Relaxed),
+            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
+            residual_batches: drain,
+        }
+    }
+}
+
+/// Final counter snapshot returned by [`Pipeline::shutdown`].
+#[derive(Debug)]
+pub struct PipelineSummary {
+    /// Packets accepted into the pipeline.
+    pub packets_in: u64,
+    /// Raw bytes accepted.
+    pub bytes_in: u64,
+    /// Descriptors dropped at full parser queues.
+    pub queue_drops: u64,
+    /// Packets the sampler rejected.
+    pub sampler_drops: u64,
+    /// Tuples emitted.
+    pub tuples_out: u64,
+    /// Encoded output bytes.
+    pub bytes_out: u64,
+    /// Batches that were still in the output channel at shutdown.
+    pub residual_batches: Vec<TupleBatch>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_packet::{http, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Pipeline::spawn(PipelineConfig {
+            parsers: vec![],
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Pipeline::spawn(PipelineConfig {
+            parsers: vec!["nope".into()],
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn processes_packets_end_to_end() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            batch_size: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..20 {
+            p.offer(Packet::tcp(
+                A, 4000 + i, B, 80,
+                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                &http::build_get(&format!("/u{i}"), "b"),
+            ));
+        }
+        let summary = p.shutdown(false);
+        assert_eq!(summary.packets_in, 20);
+        assert_eq!(summary.tuples_out, 20);
+        let total: usize = summary.residual_batches.iter().map(TupleBatch::len).sum();
+        assert_eq!(total, 20, "all tuples must surface in batches");
+        assert!(summary.bytes_out > 0);
+    }
+
+    #[test]
+    fn two_parsers_both_see_traffic() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["tcp_conn_time".into(), "http_get".into()],
+            batch_size: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        p.offer(Packet::tcp(A, 1, B, 80, TcpFlags::SYN, 0, 0, b""));
+        p.offer(Packet::tcp(
+            A, 1, B, 80,
+            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            &http::build_get("/x", "b"),
+        ));
+        let summary = p.shutdown(false);
+        let sources: std::collections::HashSet<String> = summary
+            .residual_batches
+            .iter()
+            .flat_map(|b| b.tuples.iter().map(|t| t.source.clone()))
+            .collect();
+        assert!(sources.contains("tcp_conn_time"), "{sources:?}");
+        assert!(sources.contains("http_get"), "{sources:?}");
+    }
+
+    #[test]
+    fn sampler_drops_are_counted() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::Rate(0.2),
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..500u16 {
+            p.offer(Packet::tcp(A, i, B, 80, TcpFlags::ACK, 0, 0, b""));
+        }
+        let s = p.shutdown(false);
+        assert!(s.sampler_drops > 200, "drops {}", s.sampler_drops);
+        assert_eq!(s.packets_in + s.sampler_drops, 500);
+    }
+
+    #[test]
+    fn overload_sheds_at_parser_queue() {
+        // A tiny parser queue plus a burst bigger than it can hold must
+        // produce queue drops rather than unbounded memory.
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["mysql_query".into()],
+            input_depth: 4096,
+            parser_depth: 2,
+            batch_size: 1024,
+            ..Default::default()
+        })
+        .unwrap();
+        // Use mysql parser with packets that require real work.
+        let payload = netalytics_packet::mysql::build_query(
+            "SELECT * FROM film JOIN actor USING (id) WHERE title LIKE '%X%'",
+        );
+        for _ in 0..5000 {
+            p.offer(Packet::tcp(A, 1, B, 3306, TcpFlags::PSH | TcpFlags::ACK, 1, 1, &payload));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.packets_in, 5000);
+        // Either the parser kept up or drops were recorded; totals must
+        // reconcile exactly.
+        assert_eq!(s.tuples_out, 0, "queries without responses emit nothing");
+        assert!(s.queue_drops < 5000);
+    }
+}
+
+#[cfg(test)]
+mod worker_tests {
+    use super::*;
+    use netalytics_packet::{http, Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+    #[test]
+    fn multi_worker_parser_preserves_totals() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            workers_per_parser: 4,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..200u16 {
+            p.offer(Packet::tcp(
+                A, 4000 + i, B, 80,
+                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                &http::build_get(&format!("/w{i}"), "b"),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.packets_in, 200);
+        assert_eq!(s.tuples_out, 200, "no tuple lost or duplicated");
+        let total: usize = s.residual_batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn multi_worker_dispatch_is_flow_consistent() {
+        // A stateful parser (mysql_query) must see a flow's query and
+        // response on the SAME worker or pairing breaks.
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["mysql_query".into()],
+            workers_per_parser: 4,
+            batch_size: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..50u16 {
+            let port = 4000 + i;
+            p.offer(Packet::tcp(
+                A, port, B, 3306,
+                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                &netalytics_packet::mysql::build_query("SELECT 1"),
+            ));
+            p.offer(Packet::tcp(
+                B, 3306, A, port,
+                TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+                &netalytics_packet::mysql::build_ok(1),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(
+            s.tuples_out, 50,
+            "every query/response pair must land on one worker"
+        );
+    }
+}

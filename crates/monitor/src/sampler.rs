@@ -1,0 +1,268 @@
+//! Flow-hash sampling with feedback-driven adaptation (paper §3.3, §4.2).
+//!
+//! "a sampling rate to apply at the monitor can be specified, which is
+//! enforced by hashing each packet's n-tuple to do sampling by flow, not
+//! packet"; `auto` engages "the feedback-driven sampling mechanism", where
+//! aggregation-layer overload signals shrink the rate and recovery signals
+//! let it grow back.
+
+use netalytics_packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Sampling mode requested by a query's `SAMPLE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SampleSpec {
+    /// `*` — sampling disabled, every packet passes.
+    #[default]
+    All,
+    /// A fixed flow-sampling probability in `(0, 1]`.
+    Rate(f64),
+    /// `auto` — adaptive rate driven by aggregation-layer feedback.
+    Auto,
+}
+
+/// Back-pressure signal from the aggregation layer (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedbackSignal {
+    /// Aggregator buffers above the high watermark: shed load.
+    Overloaded,
+    /// Buffers back below the low watermark: recover.
+    Healthy,
+}
+
+/// Flow-consistent sampler: a flow is either fully sampled or fully
+/// skipped, decided by its stable hash, so per-flow analyses stay intact.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_monitor::{FlowSampler, SampleSpec};
+/// use netalytics_packet::{Packet, TcpFlags};
+///
+/// let mut s = FlowSampler::new(SampleSpec::Rate(0.5));
+/// let pkt = Packet::tcp(
+///     "10.0.0.1".parse()?, 4000, "10.0.0.2".parse()?, 80,
+///     TcpFlags::SYN, 0, 0, b"",
+/// );
+/// // A flow's verdict never changes between packets.
+/// let first = s.accept(&pkt);
+/// for _ in 0..10 {
+///     assert_eq!(s.accept(&pkt), first);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSampler {
+    spec: SampleSpec,
+    /// Current effective rate in [min_rate, 1].
+    rate: f64,
+    /// Floor for adaptive decay.
+    min_rate: f64,
+    /// Salt so co-located samplers pick different flow subsets.
+    salt: u64,
+    accepted: u64,
+    dropped: u64,
+}
+
+impl FlowSampler {
+    /// Multiplicative decrease factor on overload.
+    const DECREASE: f64 = 0.5;
+    /// Multiplicative increase factor on recovery.
+    const INCREASE: f64 = 1.25;
+
+    /// Creates a sampler for the given spec.
+    pub fn new(spec: SampleSpec) -> Self {
+        let rate = match spec {
+            SampleSpec::All => 1.0,
+            SampleSpec::Rate(r) => r.clamp(0.0, 1.0),
+            SampleSpec::Auto => 1.0,
+        };
+        FlowSampler {
+            spec,
+            rate,
+            min_rate: 0.01,
+            salt: DEFAULT_SALT,
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Builder: sets the hash salt (distinct monitors sample distinct
+    /// flow subsets when salted differently).
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The current effective sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Decides whether `packet`'s flow is sampled.
+    ///
+    /// Non-IP packets are accepted only when sampling is disabled.
+    pub fn accept(&mut self, packet: &Packet) -> bool {
+        if self.rate >= 1.0 {
+            self.accepted += 1;
+            return true;
+        }
+        let Some(flow) = packet.flow_key() else {
+            self.dropped += 1;
+            return false;
+        };
+        // Map the flow's salted hash to [0,1) and compare to the rate:
+        // a flow stays on the same side while the rate is unchanged, and
+        // rate increases only add flows, never drop previously kept ones.
+        let h = mix64(flow.canonical_hash() ^ self.salt);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.rate {
+            self.accepted += 1;
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Applies an aggregation-layer feedback signal; only `auto` samplers
+    /// adapt (fixed-rate specs are the administrator's explicit choice).
+    pub fn on_feedback(&mut self, signal: FeedbackSignal) {
+        if self.spec != SampleSpec::Auto {
+            return;
+        }
+        match signal {
+            FeedbackSignal::Overloaded => {
+                self.rate = (self.rate * Self::DECREASE).max(self.min_rate);
+            }
+            FeedbackSignal::Healthy => {
+                self.rate = (self.rate * Self::INCREASE).min(1.0);
+            }
+        }
+    }
+
+    /// `(accepted, dropped)` packet counts so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.accepted, self.dropped)
+    }
+}
+
+/// Default hash salt for samplers that do not set one explicitly.
+const DEFAULT_SALT: u64 = 0x5eed_0f1e_7a11_0abc;
+
+/// SplitMix64 finalizer: diffuses the salt through all hash bits so even
+/// adjacent salts select uncorrelated flow subsets.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn pkt(port: u16) -> Packet {
+        Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            port,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+            TcpFlags::ACK,
+            0,
+            0,
+            b"",
+        )
+    }
+
+    #[test]
+    fn all_accepts_everything() {
+        let mut s = FlowSampler::new(SampleSpec::All);
+        for p in 0..100 {
+            assert!(s.accept(&pkt(p)));
+        }
+        assert_eq!(s.counts(), (100, 0));
+    }
+
+    #[test]
+    fn rate_is_approximately_honoured_across_flows() {
+        let mut s = FlowSampler::new(SampleSpec::Rate(0.3));
+        let kept = (0..5000).filter(|&p| s.accept(&pkt(p))).count();
+        let frac = kept as f64 / 5000.0;
+        assert!((0.25..0.35).contains(&frac), "kept fraction {frac}");
+    }
+
+    #[test]
+    fn verdict_is_per_flow_not_per_packet() {
+        let mut s = FlowSampler::new(SampleSpec::Rate(0.5));
+        for port in 0..50 {
+            let first = s.accept(&pkt(port));
+            for _ in 0..5 {
+                assert_eq!(s.accept(&pkt(port)), first);
+            }
+        }
+    }
+
+    #[test]
+    fn both_directions_share_a_verdict() {
+        let mut s = FlowSampler::new(SampleSpec::Rate(0.5));
+        for port in 0..50u16 {
+            let fwd = pkt(port);
+            let rev = Packet::tcp(
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+                Ipv4Addr::new(10, 0, 0, 1),
+                port,
+                TcpFlags::ACK,
+                0,
+                0,
+                b"",
+            );
+            assert_eq!(s.accept(&fwd), s.accept(&rev));
+        }
+    }
+
+    #[test]
+    fn auto_adapts_down_and_recovers() {
+        let mut s = FlowSampler::new(SampleSpec::Auto);
+        assert_eq!(s.rate(), 1.0);
+        s.on_feedback(FeedbackSignal::Overloaded);
+        s.on_feedback(FeedbackSignal::Overloaded);
+        assert_eq!(s.rate(), 0.25);
+        s.on_feedback(FeedbackSignal::Healthy);
+        assert!((s.rate() - 0.3125).abs() < 1e-12);
+        for _ in 0..50 {
+            s.on_feedback(FeedbackSignal::Healthy);
+        }
+        assert_eq!(s.rate(), 1.0, "recovery is capped at full rate");
+    }
+
+    #[test]
+    fn fixed_rate_ignores_feedback() {
+        let mut s = FlowSampler::new(SampleSpec::Rate(0.1));
+        s.on_feedback(FeedbackSignal::Overloaded);
+        assert_eq!(s.rate(), 0.1);
+    }
+
+    #[test]
+    fn rate_floor_holds() {
+        let mut s = FlowSampler::new(SampleSpec::Auto);
+        for _ in 0..100 {
+            s.on_feedback(FeedbackSignal::Overloaded);
+        }
+        assert!(s.rate() >= 0.01);
+    }
+
+    #[test]
+    fn different_salts_pick_different_flows() {
+        let mut a = FlowSampler::new(SampleSpec::Rate(0.5)).with_salt(1);
+        let mut b = FlowSampler::new(SampleSpec::Rate(0.5)).with_salt(2);
+        let diff = (0..200)
+            .filter(|&p| a.accept(&pkt(p)) != b.accept(&pkt(p)))
+            .count();
+        assert!(diff > 20, "salts should decorrelate selections ({diff})");
+    }
+}

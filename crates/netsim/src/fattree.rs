@@ -1,0 +1,268 @@
+//! k-ary fat-tree topology (Al-Fares et al., SIGCOMM'08), the data-center
+//! structure assumed by the paper's placement algorithms (§4.1, §6.2).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a host within the fat-tree (0-based, `k³/4` total).
+pub type HostIdx = u32;
+/// Index of a switch within the fat-tree (0-based across all levels).
+pub type SwitchIdx = u32;
+
+/// Which layer of the tree a switch sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchLevel {
+    /// Top-of-rack (edge) switch.
+    Edge,
+    /// Pod aggregation switch.
+    Aggregation,
+    /// Core switch.
+    Core,
+}
+
+/// Structural description of a k-ary fat-tree.
+///
+/// Switch indices are laid out as: edges `[0, k²/2)`, aggregations
+/// `[k²/2, k²)`, cores `[k², k² + (k/2)²)`.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_netsim::FatTree;
+///
+/// let ft = FatTree::new(4);
+/// assert_eq!(ft.num_hosts(), 16);
+/// assert_eq!(ft.num_edges(), 8);
+/// assert_eq!(ft.num_aggs(), 8);
+/// assert_eq!(ft.num_cores(), 4);
+/// let h0 = ft.host_ip(0);
+/// assert_eq!(ft.host_of_ip(h0), Some(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatTree {
+    k: u32,
+}
+
+impl FatTree {
+    /// Creates a k-ary fat-tree description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd, less than 2, or greater than 64 (IP scheme
+    /// limit: pods and per-pod indices must fit in an octet).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even and >= 2");
+        assert!(k <= 64, "fat-tree k must be <= 64");
+        FatTree { k }
+    }
+
+    /// The arity parameter k.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Hosts per edge switch (= k/2).
+    pub fn hosts_per_edge(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Number of pods (= k).
+    pub fn num_pods(&self) -> u32 {
+        self.k
+    }
+
+    /// Total hosts (k³/4).
+    pub fn num_hosts(&self) -> u32 {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Edge switches (k²/2).
+    pub fn num_edges(&self) -> u32 {
+        self.k * self.k / 2
+    }
+
+    /// Aggregation switches (k²/2).
+    pub fn num_aggs(&self) -> u32 {
+        self.k * self.k / 2
+    }
+
+    /// Core switches ((k/2)²).
+    pub fn num_cores(&self) -> u32 {
+        (self.k / 2) * (self.k / 2)
+    }
+
+    /// Total switches across all levels.
+    pub fn num_switches(&self) -> u32 {
+        self.num_edges() + self.num_aggs() + self.num_cores()
+    }
+
+    /// Edge (ToR) switch index of `host`.
+    pub fn edge_of_host(&self, host: HostIdx) -> SwitchIdx {
+        host / self.hosts_per_edge()
+    }
+
+    /// Hosts attached to edge switch `edge`.
+    pub fn hosts_of_edge(&self, edge: SwitchIdx) -> impl Iterator<Item = HostIdx> {
+        let start = edge * self.hosts_per_edge();
+        start..start + self.hosts_per_edge()
+    }
+
+    /// The pod of an edge or aggregation switch (by its within-level index).
+    pub fn pod_of_edge(&self, edge: SwitchIdx) -> u32 {
+        edge / (self.k / 2)
+    }
+
+    /// Aggregation switches of pod `pod` (within-level indices).
+    pub fn aggs_of_pod(&self, pod: u32) -> impl Iterator<Item = SwitchIdx> {
+        let start = pod * (self.k / 2);
+        start..start + self.k / 2
+    }
+
+    /// Edge switches of pod `pod` (within-level indices).
+    pub fn edges_of_pod(&self, pod: u32) -> impl Iterator<Item = SwitchIdx> {
+        let start = pod * (self.k / 2);
+        start..start + self.k / 2
+    }
+
+    /// Core switches attached to aggregation switch `agg` (within-level
+    /// index). Agg `a` (position `a % (k/2)` within its pod) connects to
+    /// cores `[pos·k/2, (pos+1)·k/2)`.
+    pub fn cores_of_agg(&self, agg: SwitchIdx) -> impl Iterator<Item = SwitchIdx> {
+        let pos = agg % (self.k / 2);
+        let start = pos * (self.k / 2);
+        start..start + self.k / 2
+    }
+
+    /// The aggregation switch (within-level index) of pod `pod` that
+    /// connects to core `core`.
+    pub fn agg_of_core_in_pod(&self, core: SwitchIdx, pod: u32) -> SwitchIdx {
+        pod * (self.k / 2) + core / (self.k / 2)
+    }
+
+    /// IPv4 address of `host`: `10.pod.edge_in_pod.(2 + pos)`.
+    pub fn host_ip(&self, host: HostIdx) -> Ipv4Addr {
+        let edge = self.edge_of_host(host);
+        let pod = self.pod_of_edge(edge);
+        let edge_in_pod = edge % (self.k / 2);
+        let pos = host % self.hosts_per_edge();
+        Ipv4Addr::new(10, pod as u8, edge_in_pod as u8, (2 + pos) as u8)
+    }
+
+    /// Reverse of [`FatTree::host_ip`].
+    pub fn host_of_ip(&self, ip: Ipv4Addr) -> Option<HostIdx> {
+        let [a, pod, edge_in_pod, h] = ip.octets();
+        if a != 10 {
+            return None;
+        }
+        let (pod, edge_in_pod, h) = (u32::from(pod), u32::from(edge_in_pod), u32::from(h));
+        if pod >= self.k || edge_in_pod >= self.k / 2 || h < 2 || h >= 2 + self.k / 2 {
+            return None;
+        }
+        let edge = pod * (self.k / 2) + edge_in_pod;
+        Some(edge * self.hosts_per_edge() + (h - 2))
+    }
+
+    /// The pod of a host, derived from its edge.
+    pub fn pod_of(&self, host: HostIdx) -> u32 {
+        self.pod_of_edge(self.edge_of_host(host))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k16_dimensions_match_paper() {
+        // §6.2: "k=16, which contains 1024 hosts, 128 edge switches,
+        // 128 aggregate switches and 64 core switches".
+        let ft = FatTree::new(16);
+        assert_eq!(ft.num_hosts(), 1024);
+        assert_eq!(ft.num_edges(), 128);
+        assert_eq!(ft.num_aggs(), 128);
+        assert_eq!(ft.num_cores(), 64);
+    }
+
+    #[test]
+    fn host_ip_roundtrip() {
+        let ft = FatTree::new(8);
+        for h in 0..ft.num_hosts() {
+            let ip = ft.host_ip(h);
+            assert_eq!(ft.host_of_ip(ip), Some(h), "host {h} ip {ip}");
+        }
+    }
+
+    #[test]
+    fn foreign_ips_rejected() {
+        let ft = FatTree::new(4);
+        assert_eq!(ft.host_of_ip(Ipv4Addr::new(192, 168, 0, 1)), None);
+        assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 99, 0, 2)), None);
+        assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 0, 0, 1)), None, "octet < 2");
+        assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 0, 0, 4)), None, "octet >= 2+k/2");
+    }
+
+    #[test]
+    fn edge_host_relationship_is_consistent() {
+        let ft = FatTree::new(8);
+        for e in 0..ft.num_edges() {
+            for h in ft.hosts_of_edge(e) {
+                assert_eq!(ft.edge_of_host(h), e);
+            }
+        }
+    }
+
+    #[test]
+    fn core_agg_wiring_is_bijective_per_pod() {
+        let ft = FatTree::new(8);
+        for pod in 0..ft.num_pods() {
+            // Every core reaches the pod through exactly one agg.
+            for core in 0..ft.num_cores() {
+                let agg = ft.agg_of_core_in_pod(core, pod);
+                assert!(ft.aggs_of_pod(pod).any(|a| a == agg));
+                assert!(
+                    ft.cores_of_agg(agg).any(|c| c == core),
+                    "pod {pod} core {core} agg {agg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_panics() {
+        let _ = FatTree::new(5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn structural_invariants(k in (1u32..=8).prop_map(|x| x * 2)) {
+            let ft = FatTree::new(k);
+            // Host counts partition across edges.
+            prop_assert_eq!(ft.num_edges() * ft.hosts_per_edge(), ft.num_hosts());
+            // Each agg connects to k/2 cores and all cores are covered.
+            let mut seen = vec![0u32; ft.num_cores() as usize];
+            for agg in ft.aggs_of_pod(0) {
+                for c in ft.cores_of_agg(agg) {
+                    seen[c as usize] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "pod 0 reaches each core exactly once");
+        }
+
+        #[test]
+        fn ips_are_unique(k in (1u32..=6).prop_map(|x| x * 2)) {
+            let ft = FatTree::new(k);
+            let mut ips: Vec<_> = (0..ft.num_hosts()).map(|h| ft.host_ip(h)).collect();
+            ips.sort_unstable();
+            ips.dedup();
+            prop_assert_eq!(ips.len() as u32, ft.num_hosts());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Discrete-event data-center network emulator for the NetAlytics
+//! reproduction.
+//!
+//! The paper evaluates NetAlytics on a physical 10 GbE testbed and, for
+//! placement, on a simulated k=16 fat-tree (§6). This crate supplies that
+//! substrate in software:
+//!
+//! * [`FatTree`] — k-ary fat-tree structure with the Al-Fares addressing
+//!   scheme, reused by the placement simulator.
+//! * [`Network`] — the concrete graph: hosts, three switch tiers, links
+//!   with bandwidth/latency and per-tier traffic accounting.
+//! * [`Engine`] — the event loop: applications ([`App`]) on hosts exchange
+//!   real [`netalytics_packet::Packet`]s through SDN-capable switches that
+//!   honour mirror rules, with FIFO link queueing and ECMP routing.
+//! * [`HostResources`] — the CPU/memory model used by placement (§6.2).
+//!
+//! Virtual time is nanosecond-resolution ([`SimTime`]); runs are fully
+//! deterministic.
+
+pub mod engine;
+pub mod fattree;
+pub mod network;
+pub mod resources;
+pub mod time;
+
+pub use engine::{
+    decapsulate_mirror, encapsulate_mirror, App, Ctx, Engine, EngineStats, MIRROR_ENCAP_PORT,
+};
+pub use fattree::{FatTree, HostIdx, SwitchIdx, SwitchLevel};
+pub use network::{LinkId, LinkLevel, LinkSpec, Network, NodeId, NodeKind, PortId, TierTraffic};
+pub use resources::{HostResources, ResourceDemand};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,526 @@
+//! The emulated network graph: nodes, ports, links and native routing.
+
+use std::net::Ipv4Addr;
+
+use netalytics_packet::FlowKey;
+
+use crate::fattree::{FatTree, HostIdx, SwitchLevel};
+use crate::time::{SimDuration, SimTime};
+
+/// A node in the network graph (host or switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of a port on a node.
+pub type PortId = u16;
+
+/// Index of a link in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub u32);
+
+/// Which tier a link belongs to, for weighted-bandwidth accounting
+/// (§6.2: weight 1 host→ToR, 2 to aggregation, 4 for core links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkLevel {
+    /// Host ↔ edge (ToR).
+    HostEdge,
+    /// Edge ↔ aggregation.
+    EdgeAgg,
+    /// Aggregation ↔ core.
+    AggCore,
+}
+
+impl LinkLevel {
+    /// The §6.2 weighted-bandwidth weight of this tier.
+    pub fn weight(self) -> u64 {
+        match self {
+            LinkLevel::HostEdge => 1,
+            LinkLevel::EdgeAgg => 2,
+            LinkLevel::AggCore => 4,
+        }
+    }
+}
+
+/// Physical characteristics applied to every link when building a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl Default for LinkSpec {
+    /// 10 GbE with 5 µs propagation — the paper's testbed links.
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            latency: SimDuration::from_micros(5),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub ends: [(NodeId, PortId); 2],
+    pub spec: LinkSpec,
+    pub level: LinkLevel,
+    /// Earliest time each direction's transmitter is free (FIFO queue).
+    pub next_free: [SimTime; 2],
+    /// Bytes carried in each direction.
+    pub bytes: [u64; 2],
+    /// Packets carried in each direction.
+    pub packets: [u64; 2],
+}
+
+#[derive(Debug, Default)]
+struct NodeAdjacency {
+    /// Outgoing ports: `(link, peer)` in port order.
+    ports: Vec<(LinkId, NodeId)>,
+}
+
+/// Role of a node, resolvable from its [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host with the given host index.
+    Host(HostIdx),
+    /// A switch at the given level with its within-level index.
+    Switch(SwitchLevel, u32),
+}
+
+/// Per-tier traffic totals, used to verify monitoring-overhead claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Bytes on host↔edge links.
+    pub host_edge: u64,
+    /// Bytes on edge↔aggregation links.
+    pub edge_agg: u64,
+    /// Bytes on aggregation↔core links.
+    pub agg_core: u64,
+}
+
+impl TierTraffic {
+    /// Total bytes across all tiers.
+    pub fn total(&self) -> u64 {
+        self.host_edge + self.edge_agg + self.agg_core
+    }
+
+    /// §6.2 weighted byte total (1·host_edge + 2·edge_agg + 4·agg_core).
+    pub fn weighted(&self) -> u64 {
+        self.host_edge + 2 * self.edge_agg + 4 * self.agg_core
+    }
+}
+
+/// The emulated data-center network: a fat-tree of hosts and switches
+/// joined by bandwidth/latency-modelled links.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_netsim::{LinkSpec, Network};
+///
+/// let net = Network::fat_tree(4, LinkSpec::default());
+/// assert_eq!(net.num_hosts(), 16);
+/// let a = net.host_node(0);
+/// let b = net.host_node(15);
+/// // Cross-pod path: host-edge-agg-core-agg-edge-host = 6 hops.
+/// assert_eq!(net.path(a, b, 0).len(), 7);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    tree: FatTree,
+    nodes: Vec<NodeAdjacency>,
+    pub(crate) links: Vec<Link>,
+}
+
+impl Network {
+    /// Builds a k-ary fat-tree network with uniform `spec` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is invalid for [`FatTree::new`].
+    pub fn fat_tree(k: u32, spec: LinkSpec) -> Self {
+        let tree = FatTree::new(k);
+        let total = tree.num_hosts() + tree.num_switches();
+        let mut net = Network {
+            tree,
+            nodes: (0..total).map(|_| NodeAdjacency::default()).collect(),
+            links: Vec::new(),
+        };
+        // Host <-> edge.
+        for h in 0..tree.num_hosts() {
+            let edge = tree.edge_of_host(h);
+            net.add_link(net.host_node(h), net.edge_node(edge), spec, LinkLevel::HostEdge);
+        }
+        // Edge <-> agg (full mesh within pod).
+        for pod in 0..tree.num_pods() {
+            for e in tree.edges_of_pod(pod) {
+                for a in tree.aggs_of_pod(pod) {
+                    net.add_link(net.edge_node(e), net.agg_node(a), spec, LinkLevel::EdgeAgg);
+                }
+            }
+        }
+        // Agg <-> core.
+        for pod in 0..tree.num_pods() {
+            for a in tree.aggs_of_pod(pod) {
+                for c in tree.cores_of_agg(a) {
+                    net.add_link(net.agg_node(a), net.core_node(c), spec, LinkLevel::AggCore);
+                }
+            }
+        }
+        net
+    }
+
+    fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec, level: LinkLevel) {
+        let id = LinkId(self.links.len() as u32);
+        let pa = self.nodes[a.0 as usize].ports.len() as PortId;
+        let pb = self.nodes[b.0 as usize].ports.len() as PortId;
+        self.nodes[a.0 as usize].ports.push((id, b));
+        self.nodes[b.0 as usize].ports.push((id, a));
+        self.links.push(Link {
+            ends: [(a, pa), (b, pb)],
+            spec,
+            level,
+            next_free: [SimTime::ZERO; 2],
+            bytes: [0; 2],
+            packets: [0; 2],
+        });
+    }
+
+    /// The fat-tree structure underlying this network.
+    pub fn tree(&self) -> &FatTree {
+        &self.tree
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> u32 {
+        self.tree.num_hosts()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> u32 {
+        self.tree.num_switches()
+    }
+
+    /// [`NodeId`] of host `h`.
+    pub fn host_node(&self, h: HostIdx) -> NodeId {
+        NodeId(h)
+    }
+
+    /// [`NodeId`] of edge switch `e` (within-level index).
+    pub fn edge_node(&self, e: u32) -> NodeId {
+        NodeId(self.tree.num_hosts() + e)
+    }
+
+    /// [`NodeId`] of aggregation switch `a` (within-level index).
+    pub fn agg_node(&self, a: u32) -> NodeId {
+        NodeId(self.tree.num_hosts() + self.tree.num_edges() + a)
+    }
+
+    /// [`NodeId`] of core switch `c` (within-level index).
+    pub fn core_node(&self, c: u32) -> NodeId {
+        NodeId(self.tree.num_hosts() + self.tree.num_edges() + self.tree.num_aggs() + c)
+    }
+
+    /// Classifies a node.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        let h = self.tree.num_hosts();
+        let e = self.tree.num_edges();
+        let a = self.tree.num_aggs();
+        let n = node.0;
+        if n < h {
+            NodeKind::Host(n)
+        } else if n < h + e {
+            NodeKind::Switch(SwitchLevel::Edge, n - h)
+        } else if n < h + e + a {
+            NodeKind::Switch(SwitchLevel::Aggregation, n - h - e)
+        } else {
+            NodeKind::Switch(SwitchLevel::Core, n - h - e - a)
+        }
+    }
+
+    /// IPv4 address of host `h`.
+    pub fn host_ip(&self, h: HostIdx) -> Ipv4Addr {
+        self.tree.host_ip(h)
+    }
+
+    /// Host index owning `ip`, if it is an in-fabric address.
+    pub fn host_of_ip(&self, ip: Ipv4Addr) -> Option<HostIdx> {
+        self.tree.host_of_ip(ip)
+    }
+
+    /// Number of ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize].ports.len()
+    }
+
+    /// The peer node reached from `node` via `port`.
+    pub fn peer(&self, node: NodeId, port: PortId) -> NodeId {
+        self.nodes[node.0 as usize].ports[port as usize].1
+    }
+
+    /// The link attached to `node` at `port`.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> LinkId {
+        self.nodes[node.0 as usize].ports[port as usize].0
+    }
+
+    fn port_to(&self, node: NodeId, peer: NodeId) -> Option<PortId> {
+        self.nodes[node.0 as usize]
+            .ports
+            .iter()
+            .position(|&(_, p)| p == peer)
+            .map(|i| i as PortId)
+    }
+
+    /// Native (non-SDN) next hop from `node` toward destination host
+    /// `dst`, using two-level fat-tree routing with flow-hash ECMP.
+    ///
+    /// Returns `None` when `node == dst`'s own host node.
+    pub fn next_hop(&self, node: NodeId, dst: HostIdx, flow_hash: u64) -> Option<PortId> {
+        let t = &self.tree;
+        let half = t.k() / 2;
+        match self.kind(node) {
+            NodeKind::Host(h) => {
+                if h == dst {
+                    None
+                } else {
+                    // Single uplink to the ToR.
+                    Some(0)
+                }
+            }
+            NodeKind::Switch(SwitchLevel::Edge, e) => {
+                if t.edge_of_host(dst) == e {
+                    self.port_to(node, self.host_node(dst))
+                } else {
+                    // ECMP up to one of the pod's aggs.
+                    let pod = t.pod_of_edge(e);
+                    let pick = (flow_hash % u64::from(half)) as u32;
+                    let agg = pod * half + pick;
+                    self.port_to(node, self.agg_node(agg))
+                }
+            }
+            NodeKind::Switch(SwitchLevel::Aggregation, a) => {
+                let my_pod = a / half;
+                let dst_pod = t.pod_of(dst);
+                if dst_pod == my_pod {
+                    self.port_to(node, self.edge_node(t.edge_of_host(dst)))
+                } else {
+                    // ECMP up to one of this agg's cores.
+                    let cores: Vec<_> = t.cores_of_agg(a).collect();
+                    let pick = (flow_hash % cores.len() as u64) as usize;
+                    self.port_to(node, self.core_node(cores[pick]))
+                }
+            }
+            NodeKind::Switch(SwitchLevel::Core, c) => {
+                let dst_pod = t.pod_of(dst);
+                let agg = t.agg_of_core_in_pod(c, dst_pod);
+                self.port_to(node, self.agg_node(agg))
+            }
+        }
+    }
+
+    /// The full node path from `src` to `dst` for a given flow hash,
+    /// inclusive of both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a host node.
+    pub fn path(&self, src: NodeId, dst: NodeId, flow_hash: u64) -> Vec<NodeId> {
+        let NodeKind::Host(dst_h) = self.kind(dst) else {
+            panic!("path destination must be a host node");
+        };
+        let mut out = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let Some(port) = self.next_hop(cur, dst_h, flow_hash) else {
+                break;
+            };
+            cur = self.peer(cur, port);
+            out.push(cur);
+            assert!(out.len() <= 8, "fat-tree path cannot exceed 7 nodes");
+        }
+        out
+    }
+
+    /// Convenience: ECMP hash for a flow.
+    pub fn flow_hash(flow: &FlowKey) -> u64 {
+        flow.stable_hash()
+    }
+
+    /// Total traffic per tier since construction.
+    pub fn tier_traffic(&self) -> TierTraffic {
+        let mut t = TierTraffic::default();
+        for l in &self.links {
+            let bytes = l.bytes[0] + l.bytes[1];
+            match l.level {
+                LinkLevel::HostEdge => t.host_edge += bytes,
+                LinkLevel::EdgeAgg => t.edge_agg += bytes,
+                LinkLevel::AggCore => t.agg_core += bytes,
+            }
+        }
+        t
+    }
+
+    /// Resets all link byte/packet counters (e.g. after warm-up).
+    pub fn reset_traffic(&mut self) {
+        for l in &mut self.links {
+            l.bytes = [0; 2];
+            l.packets = [0; 2];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts_match_fat_tree_arity() {
+        let net = Network::fat_tree(4, LinkSpec::default());
+        let t = *net.tree();
+        // Hosts: 1 port. Edge/agg/core: k ports (k/2 down + k/2 up),
+        // except core which has k (one per pod).
+        assert_eq!(net.port_count(net.host_node(0)), 1);
+        assert_eq!(net.port_count(net.edge_node(0)), t.k() as usize);
+        assert_eq!(net.port_count(net.agg_node(0)), t.k() as usize);
+        assert_eq!(net.port_count(net.core_node(0)), t.k() as usize);
+    }
+
+    #[test]
+    fn same_rack_path_is_three_nodes() {
+        let net = Network::fat_tree(4, LinkSpec::default());
+        let p = net.path(net.host_node(0), net.host_node(1), 12345);
+        assert_eq!(p.len(), 3); // host, ToR, host
+        assert_eq!(net.kind(p[1]), NodeKind::Switch(SwitchLevel::Edge, 0));
+    }
+
+    #[test]
+    fn same_pod_path_is_five_nodes() {
+        let net = Network::fat_tree(4, LinkSpec::default());
+        // Hosts 0 and 2 share pod 0 but different edges (k=4: 2 hosts/edge).
+        let p = net.path(net.host_node(0), net.host_node(2), 7);
+        assert_eq!(p.len(), 5); // host, edge, agg, edge, host
+    }
+
+    #[test]
+    fn cross_pod_path_is_seven_nodes() {
+        let net = Network::fat_tree(4, LinkSpec::default());
+        let p = net.path(net.host_node(0), net.host_node(15), 7);
+        assert_eq!(p.len(), 7); // host, edge, agg, core, agg, edge, host
+    }
+
+    #[test]
+    fn all_pairs_route_for_k4() {
+        let net = Network::fat_tree(4, LinkSpec::default());
+        for s in 0..net.num_hosts() {
+            for d in 0..net.num_hosts() {
+                if s == d {
+                    continue;
+                }
+                for hash in [0u64, 1, 0xdeadbeef] {
+                    let p = net.path(net.host_node(s), net.host_node(d), hash);
+                    assert_eq!(*p.last().unwrap(), net.host_node(d), "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let net = Network::fat_tree(8, LinkSpec::default());
+        // Different hashes from host 0 to a cross-pod host should use
+        // more than one core.
+        let cores: std::collections::HashSet<_> = (0..64u64)
+            .map(|h| net.path(net.host_node(0), net.host_node(100), h)[3])
+            .collect();
+        assert!(cores.len() > 1, "ECMP must spread across cores");
+    }
+
+    #[test]
+    fn tier_weights() {
+        assert_eq!(LinkLevel::HostEdge.weight(), 1);
+        assert_eq!(LinkLevel::EdgeAgg.weight(), 2);
+        assert_eq!(LinkLevel::AggCore.weight(), 4);
+        let t = TierTraffic {
+            host_edge: 1,
+            edge_agg: 1,
+            agg_core: 1,
+        };
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.weighted(), 7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Native routing always reaches the destination, for any valid
+        /// tree size, host pair and ECMP hash.
+        #[test]
+        fn routing_always_terminates_at_destination(
+            k in (1u32..=4).prop_map(|x| x * 2),
+            src_sel in any::<u32>(),
+            dst_sel in any::<u32>(),
+            hash in any::<u64>(),
+        ) {
+            let net = Network::fat_tree(k, LinkSpec::default());
+            let src = src_sel % net.num_hosts();
+            let dst = dst_sel % net.num_hosts();
+            let p = net.path(net.host_node(src), net.host_node(dst), hash);
+            prop_assert_eq!(*p.last().unwrap(), net.host_node(dst));
+            prop_assert!(p.len() <= 7, "fat-tree paths have at most 7 nodes");
+            // Paths alternate host/switch correctly: interior nodes are
+            // switches (trivial self-paths have none).
+            if p.len() > 2 {
+                for n in &p[1..p.len() - 1] {
+                    prop_assert!(matches!(net.kind(*n), NodeKind::Switch(..)));
+                }
+            }
+        }
+
+        /// ECMP is deterministic: the same flow hash yields the same path.
+        #[test]
+        fn ecmp_is_deterministic(
+            dst_sel in any::<u32>(),
+            hash in any::<u64>(),
+        ) {
+            let net = Network::fat_tree(4, LinkSpec::default());
+            let dst = dst_sel % net.num_hosts();
+            let a = net.path(net.host_node(0), net.host_node(dst), hash);
+            let b = net.path(net.host_node(0), net.host_node(dst), hash);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Hop counts used by the placement cost model agree with the
+        /// actual emulated paths.
+        #[test]
+        fn placement_hops_match_emulated_paths(
+            src_sel in any::<u32>(),
+            dst_sel in any::<u32>(),
+        ) {
+            let net = Network::fat_tree(8, LinkSpec::default());
+            let src = src_sel % net.num_hosts();
+            let dst = dst_sel % net.num_hosts();
+            let links = net
+                .path(net.host_node(src), net.host_node(dst), 7)
+                .len()
+                .saturating_sub(1);
+            let t = net.tree();
+            let expected = if src == dst {
+                0
+            } else if t.edge_of_host(src) == t.edge_of_host(dst) {
+                2
+            } else if t.pod_of(src) == t.pod_of(dst) {
+                4
+            } else {
+                6
+            };
+            prop_assert_eq!(links, expected);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Host resource model used when placing NetAlytics processes.
+//!
+//! The placement simulation (§6.2) gives every host "memory capacity ...
+//! a random number between 32 to 128 GB and the CPU capacity ... a random
+//! number between 12 to 24" cores, with 40–80% already utilized.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU/memory capacity and current usage of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostResources {
+    /// Total CPU cores.
+    pub cpu_cores: f64,
+    /// Total memory in GB.
+    pub mem_gb: f64,
+    /// Cores currently in use.
+    pub cpu_used: f64,
+    /// Memory currently in use, GB.
+    pub mem_used: f64,
+}
+
+/// Resource demand of one NetAlytics process (monitor, aggregator or
+/// processor instance).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDemand {
+    /// Cores required.
+    pub cpu_cores: f64,
+    /// Memory required, GB.
+    pub mem_gb: f64,
+}
+
+impl HostResources {
+    /// Creates a host with the given capacities and zero usage.
+    pub fn new(cpu_cores: f64, mem_gb: f64) -> Self {
+        HostResources {
+            cpu_cores,
+            mem_gb,
+            cpu_used: 0.0,
+            mem_used: 0.0,
+        }
+    }
+
+    /// Builder: sets utilization fractions (0.0–1.0) of both resources.
+    pub fn with_utilization(mut self, cpu_frac: f64, mem_frac: f64) -> Self {
+        self.cpu_used = self.cpu_cores * cpu_frac.clamp(0.0, 1.0);
+        self.mem_used = self.mem_gb * mem_frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Free CPU cores.
+    pub fn cpu_free(&self) -> f64 {
+        (self.cpu_cores - self.cpu_used).max(0.0)
+    }
+
+    /// Free memory, GB.
+    pub fn mem_free(&self) -> f64 {
+        (self.mem_gb - self.mem_used).max(0.0)
+    }
+
+    /// True if `demand` fits in the free capacity.
+    pub fn can_fit(&self, demand: ResourceDemand) -> bool {
+        self.cpu_free() >= demand.cpu_cores && self.mem_free() >= demand.mem_gb
+    }
+
+    /// Reserves `demand`, returning `false` (and reserving nothing) if it
+    /// does not fit.
+    pub fn alloc(&mut self, demand: ResourceDemand) -> bool {
+        if !self.can_fit(demand) {
+            return false;
+        }
+        self.cpu_used += demand.cpu_cores;
+        self.mem_used += demand.mem_gb;
+        true
+    }
+
+    /// Releases a previously reserved `demand`.
+    pub fn free(&mut self, demand: ResourceDemand) {
+        self.cpu_used = (self.cpu_used - demand.cpu_cores).max(0.0);
+        self.mem_used = (self.mem_used - demand.mem_gb).max(0.0);
+    }
+
+    /// A load score in `[0, 1]`: the max of CPU and memory utilization.
+    /// Placement picks "the host with minimal load" (Algorithm 1, line 7).
+    pub fn load(&self) -> f64 {
+        let cpu = if self.cpu_cores > 0.0 {
+            self.cpu_used / self.cpu_cores
+        } else {
+            1.0
+        };
+        let mem = if self.mem_gb > 0.0 {
+            self.mem_used / self.mem_gb
+        } else {
+            1.0
+        };
+        cpu.max(mem)
+    }
+}
+
+impl Default for HostResources {
+    /// A mid-range host: 16 cores, 64 GB, idle.
+    fn default() -> Self {
+        HostResources::new(16.0, 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: ResourceDemand = ResourceDemand {
+        cpu_cores: 2.0,
+        mem_gb: 4.0,
+    };
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut h = HostResources::new(4.0, 8.0);
+        assert!(h.alloc(D));
+        assert!(h.alloc(D));
+        assert!(!h.alloc(D), "capacity exhausted");
+        h.free(D);
+        assert!(h.alloc(D));
+    }
+
+    #[test]
+    fn utilization_builder() {
+        let h = HostResources::new(10.0, 100.0).with_utilization(0.5, 0.8);
+        assert_eq!(h.cpu_free(), 5.0);
+        assert!((h.mem_free() - 20.0).abs() < 1e-9);
+        assert!((h.load() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_never_goes_negative() {
+        let mut h = HostResources::new(1.0, 1.0);
+        h.free(D);
+        assert_eq!(h.cpu_used, 0.0);
+        assert_eq!(h.mem_used, 0.0);
+    }
+
+    #[test]
+    fn degenerate_capacity_is_fully_loaded() {
+        let h = HostResources::new(0.0, 0.0);
+        assert_eq!(h.load(), 1.0);
+        assert!(!h.can_fit(D));
+    }
+}

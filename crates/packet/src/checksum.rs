@@ -1,0 +1,83 @@
+//! RFC 1071 Internet checksum, shared by the IPv4/TCP/UDP codecs.
+
+/// Computes the one's-complement Internet checksum over `data`, folding in
+/// an initial partial `sum` (used for TCP/UDP pseudo-headers).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::checksum::internet_checksum;
+///
+/// // RFC 1071 worked example.
+/// let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(internet_checksum(&data, 0), !0xddf2u16);
+/// ```
+pub fn internet_checksum(data: &[u8], sum: u32) -> u16 {
+    !finish(partial(data, sum))
+}
+
+/// Accumulates 16-bit words of `data` into a running partial sum.
+pub fn partial(data: &[u8], mut sum: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds carries of a partial sum into 16 bits (without complementing).
+pub fn finish(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Partial sum of the TCP/UDP pseudo-header for IPv4.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> u32 {
+    let mut sum = 0u32;
+    sum = partial(&src, sum);
+    sum = partial(&dst, sum);
+    sum += u32::from(proto);
+    sum += u32::from(len);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_buffer_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[0u8; 20], 0), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let even = internet_checksum(&[0xab, 0x00], 0);
+        let odd = internet_checksum(&[0xab], 0);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn verification_of_valid_packet_yields_zero() {
+        // A buffer whose checksum field is filled in validates to 0.
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00];
+        let ck = internet_checksum(&data, 0);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(finish(partial(&data, 0)), 0xffff);
+    }
+
+    #[test]
+    fn pseudo_header_contributes() {
+        let a = internet_checksum(&[1, 2, 3, 4], 0);
+        let b = internet_checksum(
+            &[1, 2, 3, 4],
+            pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 6, 4),
+        );
+        assert_ne!(a, b);
+    }
+}

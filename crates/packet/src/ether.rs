@@ -1,0 +1,138 @@
+//! Ethernet II framing.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::mac::MacAddr;
+use crate::ParseError;
+
+/// Length of an Ethernet II header in bytes.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// EtherType of the payload carried in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`) — carried opaque in this emulation.
+    Arp,
+    /// Any other value, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Numeric wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Interprets a numeric wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::{EthernetHeader, EtherType, MacAddr};
+///
+/// let hdr = EthernetHeader {
+///     dst: MacAddr::from_host_index(2),
+///     src: MacAddr::from_host_index(1),
+///     ethertype: EtherType::Ipv4,
+/// };
+/// let mut buf = bytes::BytesMut::new();
+/// hdr.write(&mut buf);
+/// let (back, rest) = EthernetHeader::parse(&buf)?;
+/// assert_eq!(back, hdr);
+/// assert!(rest.is_empty());
+/// # Ok::<(), netalytics_packet::ParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses a header from the front of `data`, returning it and the
+    /// remaining payload slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] if fewer than 14 bytes remain.
+    pub fn parse(data: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated("ethernet header"));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([data[12], data[13]]));
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &data[ETHERNET_HEADER_LEN..],
+        ))
+    }
+
+    /// Appends the 14-byte wire form to `buf`.
+    pub fn write(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype.to_u16());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_is_error() {
+        assert_eq!(
+            EthernetHeader::parse(&[0u8; 13]),
+            Err(ParseError::Truncated("ethernet header"))
+        );
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x1234).to_u16(), 0x1234);
+    }
+
+    #[test]
+    fn payload_offset_preserved() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_host_index(9),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = BytesMut::new();
+        hdr.write(&mut buf);
+        buf.put_slice(b"payload");
+        let (_, rest) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(rest, b"payload");
+    }
+}

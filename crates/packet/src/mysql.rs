@@ -1,0 +1,214 @@
+//! Minimal MySQL client/server wire-protocol codec.
+//!
+//! Implements just the framing the `mysql_query` parser (paper Table 1, §7.2)
+//! needs: length-prefixed protocol packets, `COM_QUERY` command packets, and
+//! OK / error / result-set response discrimination. Several queries can share
+//! one TCP connection, which is exactly why the paper adds this parser —
+//! full-connection timing hides individual query latencies (Fig. 15).
+
+/// MySQL command byte for `COM_QUERY`.
+pub const COM_QUERY: u8 = 0x03;
+/// MySQL command byte for `COM_QUIT`.
+pub const COM_QUIT: u8 = 0x01;
+
+/// One decoded MySQL protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MysqlFrame<'a> {
+    /// Sequence id of the frame within the current command cycle.
+    pub seq: u8,
+    /// Frame body (after the 4-byte header).
+    pub body: &'a [u8],
+}
+
+/// A client-to-server message of interest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMessage {
+    /// `COM_QUERY` carrying SQL text.
+    Query {
+        /// The SQL statement.
+        sql: String,
+    },
+    /// `COM_QUIT`.
+    Quit,
+    /// Any other command byte.
+    Other(u8),
+}
+
+/// A server-to-client message classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMessage {
+    /// OK packet (0x00 marker).
+    Ok,
+    /// Error packet (0xff marker).
+    Err,
+    /// Result-set or other payload.
+    ResultSet,
+}
+
+/// Encodes a protocol frame (3-byte little-endian length + sequence id).
+pub fn encode_frame(seq: u8, body: &[u8]) -> Vec<u8> {
+    let len = body.len().min(0x00ff_ffff);
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes()[..3]);
+    out.push(seq);
+    out.extend_from_slice(&body[..len]);
+    out
+}
+
+/// Decodes one frame from the front of `data`, returning it and the rest.
+pub fn decode_frame(data: &[u8]) -> Option<(MysqlFrame<'_>, &[u8])> {
+    if data.len() < 4 {
+        return None;
+    }
+    let len = usize::from(data[0]) | usize::from(data[1]) << 8 | usize::from(data[2]) << 16;
+    let seq = data[3];
+    let end = 4usize.checked_add(len)?;
+    if data.len() < end {
+        return None;
+    }
+    Some((
+        MysqlFrame {
+            seq,
+            body: &data[4..end],
+        },
+        &data[end..],
+    ))
+}
+
+/// Builds a `COM_QUERY` packet for `sql`.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::mysql;
+///
+/// let pkt = mysql::build_query("SELECT 1");
+/// match mysql::parse_client(&pkt) {
+///     Some(mysql::ClientMessage::Query { sql }) => assert_eq!(sql, "SELECT 1"),
+///     other => panic!("unexpected: {other:?}"),
+/// }
+/// ```
+pub fn build_query(sql: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + sql.len());
+    body.push(COM_QUERY);
+    body.extend_from_slice(sql.as_bytes());
+    encode_frame(0, &body)
+}
+
+/// Builds an OK response packet (`affected_rows` as a 1-byte int).
+pub fn build_ok(seq: u8) -> Vec<u8> {
+    encode_frame(seq, &[0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00])
+}
+
+/// Builds an error response packet with `code` and `msg`.
+pub fn build_err(seq: u8, code: u16, msg: &str) -> Vec<u8> {
+    let mut body = vec![0xff];
+    body.extend_from_slice(&code.to_le_bytes());
+    body.extend_from_slice(msg.as_bytes());
+    encode_frame(seq, &body)
+}
+
+/// Builds a tiny synthetic result-set response carrying `rows` rows.
+pub fn build_result_set(seq: u8, rows: usize) -> Vec<u8> {
+    // column-count frame (1 column) followed by `rows` row frames.
+    let mut out = encode_frame(seq, &[0x01]);
+    for i in 0..rows {
+        let cell = format!("row{i}");
+        let mut body = vec![cell.len() as u8];
+        body.extend_from_slice(cell.as_bytes());
+        out.extend_from_slice(&encode_frame(seq.wrapping_add(1 + i as u8), &body));
+    }
+    out
+}
+
+/// Parses a client-to-server payload into a [`ClientMessage`].
+///
+/// Returns `None` for payloads that do not frame correctly — the monitor
+/// skips unrelated traffic cheaply.
+pub fn parse_client(payload: &[u8]) -> Option<ClientMessage> {
+    let (frame, _) = decode_frame(payload)?;
+    let (&cmd, rest) = frame.body.split_first()?;
+    Some(match cmd {
+        COM_QUERY => ClientMessage::Query {
+            sql: String::from_utf8_lossy(rest).into_owned(),
+        },
+        COM_QUIT => ClientMessage::Quit,
+        other => ClientMessage::Other(other),
+    })
+}
+
+/// Classifies a server-to-client payload.
+pub fn parse_server(payload: &[u8]) -> Option<ServerMessage> {
+    let (frame, _) = decode_frame(payload)?;
+    Some(match frame.body.first() {
+        Some(0x00) => ServerMessage::Ok,
+        Some(0xff) => ServerMessage::Err,
+        _ => ServerMessage::ResultSet,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let enc = encode_frame(3, b"body");
+        let (f, rest) = decode_frame(&enc).unwrap();
+        assert_eq!(f.seq, 3);
+        assert_eq!(f.body, b"body");
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn multiple_frames_chain() {
+        let mut buf = encode_frame(0, b"a");
+        buf.extend_from_slice(&encode_frame(1, b"bb"));
+        let (f0, rest) = decode_frame(&buf).unwrap();
+        let (f1, rest2) = decode_frame(rest).unwrap();
+        assert_eq!((f0.body, f1.body), (&b"a"[..], &b"bb"[..]));
+        assert!(rest2.is_empty());
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let pkt = build_query("SELECT * FROM film");
+        assert_eq!(
+            parse_client(&pkt),
+            Some(ClientMessage::Query {
+                sql: "SELECT * FROM film".into()
+            })
+        );
+    }
+
+    #[test]
+    fn quit_and_other() {
+        let quit = encode_frame(0, &[COM_QUIT]);
+        assert_eq!(parse_client(&quit), Some(ClientMessage::Quit));
+        let ping = encode_frame(0, &[0x0e]);
+        assert_eq!(parse_client(&ping), Some(ClientMessage::Other(0x0e)));
+    }
+
+    #[test]
+    fn server_classification() {
+        assert_eq!(parse_server(&build_ok(1)), Some(ServerMessage::Ok));
+        assert_eq!(
+            parse_server(&build_err(1, 1064, "syntax")),
+            Some(ServerMessage::Err)
+        );
+        assert_eq!(
+            parse_server(&build_result_set(1, 2)),
+            Some(ServerMessage::ResultSet)
+        );
+    }
+
+    #[test]
+    fn truncated_frames_are_none() {
+        assert!(decode_frame(&[]).is_none());
+        assert!(decode_frame(&[5, 0, 0, 0]).is_none(), "body missing");
+        assert!(parse_client(&[1, 0, 0]).is_none());
+        assert!(parse_server(&[]).is_none());
+        let empty = encode_frame(0, &[]);
+        assert!(parse_client(&empty).is_none(), "empty body has no command");
+    }
+}

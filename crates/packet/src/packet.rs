@@ -1,0 +1,303 @@
+//! The `Packet` type: an immutable, reference-counted network frame.
+//!
+//! Mirrors the DPDK discipline of the paper's monitor (§5.1-5.2): the frame
+//! body lives in shared memory ([`bytes::Bytes`], cheaply clonable), and
+//! every hand-off between the collector and parsers copies only a small
+//! descriptor — never the payload.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::checksum;
+use crate::ether::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
+use crate::flow::FlowKey;
+use crate::ipv4::{IpProto, Ipv4Header, IPV4_HEADER_LEN};
+use crate::mac::MacAddr;
+use crate::tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use crate::ParseError;
+
+/// An immutable Ethernet frame plus capture metadata.
+///
+/// Cloning a `Packet` bumps a refcount; the frame bytes are shared. This is
+/// what lets one collector fan a packet out to N parser queues with zero
+/// copies (paper §5.2, Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::{Packet, TcpFlags};
+///
+/// let p = Packet::tcp(
+///     "10.0.0.1".parse()?, 4000,
+///     "10.0.0.2".parse()?, 80,
+///     TcpFlags::SYN, 0, 0,
+///     b"",
+/// );
+/// let v = p.view()?;
+/// assert_eq!(v.tcp.unwrap().dst_port, 80);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Raw frame bytes (Ethernet header onward).
+    pub data: Bytes,
+    /// Capture timestamp in nanoseconds (virtual or wall clock).
+    pub ts_ns: u64,
+}
+
+/// Lazily parsed header view over a [`Packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Ethernet header.
+    pub ether: EthernetHeader,
+    /// IPv4 header, when the frame carries IPv4.
+    pub ipv4: Option<Ipv4Header>,
+    /// TCP header, when the datagram carries TCP.
+    pub tcp: Option<TcpHeader>,
+    /// UDP header, when the datagram carries UDP.
+    pub udp: Option<UdpHeader>,
+    /// Transport payload (empty for non-TCP/UDP).
+    pub payload: &'a [u8],
+}
+
+impl Packet {
+    /// Wraps raw frame bytes without validation.
+    pub fn from_bytes(data: Bytes, ts_ns: u64) -> Self {
+        Packet { data, ts_ns }
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a copy with the capture timestamp replaced.
+    pub fn at_time(&self, ts_ns: u64) -> Packet {
+        Packet {
+            data: self.data.clone(),
+            ts_ns,
+        }
+    }
+
+    /// Parses the header stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if any present header is truncated or
+    /// malformed. Unknown EtherTypes and IP protocols parse successfully
+    /// with the corresponding view fields `None`.
+    pub fn view(&self) -> Result<PacketView<'_>, ParseError> {
+        let (ether, rest) = EthernetHeader::parse(&self.data)?;
+        let mut v = PacketView {
+            ether,
+            ipv4: None,
+            tcp: None,
+            udp: None,
+            payload: &[],
+        };
+        if ether.ethertype != EtherType::Ipv4 {
+            return Ok(v);
+        }
+        let (ip, ip_payload) = Ipv4Header::parse(rest)?;
+        v.ipv4 = Some(ip);
+        match ip.proto {
+            IpProto::Tcp => {
+                let (tcp, payload) = TcpHeader::parse(ip_payload)?;
+                v.tcp = Some(tcp);
+                v.payload = payload;
+            }
+            IpProto::Udp => {
+                let (udp, payload) = UdpHeader::parse(ip_payload)?;
+                v.udp = Some(udp);
+                v.payload = payload;
+            }
+            _ => v.payload = ip_payload,
+        }
+        Ok(v)
+    }
+
+    /// Extracts the transport 5-tuple, if the frame is IPv4 TCP or UDP.
+    pub fn flow_key(&self) -> Option<FlowKey> {
+        let v = self.view().ok()?;
+        let ip = v.ipv4?;
+        if let Some(t) = v.tcp {
+            Some(FlowKey::new(ip.src, t.src_port, ip.dst, t.dst_port, IpProto::Tcp))
+        } else {
+            v.udp
+                .map(|u| FlowKey::new(ip.src, u.src_port, ip.dst, u.dst_port, IpProto::Udp))
+        }
+    }
+
+    /// Builds a TCP/IPv4/Ethernet frame carrying `payload`.
+    ///
+    /// MAC addresses are derived from the low bits of the IPs (the
+    /// emulated network resolves L2 itself, so these are informational).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload: &[u8],
+    ) -> Packet {
+        let tcp_len = TCP_HEADER_LEN + payload.len();
+        let mut buf =
+            BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + tcp_len);
+        EthernetHeader {
+            dst: MacAddr::from_host_index(u32::from(dst_ip)),
+            src: MacAddr::from_host_index(u32::from(src_ip)),
+            ethertype: EtherType::Ipv4,
+        }
+        .write(&mut buf);
+        Ipv4Header::new(src_ip, dst_ip, IpProto::Tcp, tcp_len as u16).write(&mut buf);
+        let tcp_start = buf.len();
+        TcpHeader::new(src_port, dst_port, seq, ack, flags).write(&mut buf);
+        buf.extend_from_slice(payload);
+        // Fill the TCP checksum over pseudo-header + segment.
+        let sum = checksum::pseudo_header_sum(
+            src_ip.octets(),
+            dst_ip.octets(),
+            IpProto::Tcp.to_u8(),
+            tcp_len as u16,
+        );
+        let ck = checksum::internet_checksum(&buf[tcp_start..], sum);
+        buf[tcp_start + 16..tcp_start + 18].copy_from_slice(&ck.to_be_bytes());
+        Packet::from_bytes(buf.freeze(), 0)
+    }
+
+    /// Builds a UDP/IPv4/Ethernet frame carrying `payload`.
+    pub fn udp(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Packet {
+        let udp_len = UDP_HEADER_LEN + payload.len();
+        let mut buf =
+            BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len);
+        EthernetHeader {
+            dst: MacAddr::from_host_index(u32::from(dst_ip)),
+            src: MacAddr::from_host_index(u32::from(src_ip)),
+            ethertype: EtherType::Ipv4,
+        }
+        .write(&mut buf);
+        Ipv4Header::new(src_ip, dst_ip, IpProto::Udp, udp_len as u16).write(&mut buf);
+        UdpHeader::new(src_port, dst_port, payload.len() as u16).write(&mut buf);
+        buf.extend_from_slice(payload);
+        Packet::from_bytes(buf.freeze(), 0)
+    }
+
+    /// Builds a TCP frame padded with zero bytes to exactly `frame_len`
+    /// (≥ 54). Used by packet generators sweeping packet sizes (Fig. 5).
+    pub fn tcp_padded(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        flags: TcpFlags,
+        frame_len: usize,
+    ) -> Packet {
+        let min = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+        let pad = frame_len.saturating_sub(min);
+        let payload = vec![0u8; pad];
+        Packet::tcp(src_ip, src_port, dst_ip, dst_port, flags, 0, 0, &payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, a)
+    }
+
+    #[test]
+    fn tcp_frame_parses_back() {
+        let p = Packet::tcp(ip(1), 1234, ip(2), 80, TcpFlags::SYN, 7, 0, b"GET /");
+        let v = p.view().unwrap();
+        assert_eq!(v.ipv4.unwrap().src, ip(1));
+        let t = v.tcp.unwrap();
+        assert_eq!((t.src_port, t.dst_port, t.seq), (1234, 80, 7));
+        assert!(t.flags.contains(TcpFlags::SYN));
+        assert_eq!(v.payload, b"GET /");
+        assert!(v.udp.is_none());
+    }
+
+    #[test]
+    fn udp_frame_parses_back() {
+        let p = Packet::udp(ip(3), 9000, ip(4), 53, b"q");
+        let v = p.view().unwrap();
+        assert_eq!(v.udp.unwrap().dst_port, 53);
+        assert_eq!(v.payload, b"q");
+        assert!(v.tcp.is_none());
+    }
+
+    #[test]
+    fn ip_checksum_is_valid() {
+        let p = Packet::tcp(ip(1), 1, ip(2), 2, TcpFlags::ACK, 0, 0, b"");
+        assert!(Ipv4Header::verify_checksum(&p.data[ETHERNET_HEADER_LEN..]));
+    }
+
+    #[test]
+    fn tcp_checksum_validates() {
+        let p = Packet::tcp(ip(1), 1, ip(2), 2, TcpFlags::ACK, 0, 0, b"abc");
+        let seg = &p.data[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..];
+        let sum = checksum::pseudo_header_sum(
+            ip(1).octets(),
+            ip(2).octets(),
+            IpProto::Tcp.to_u8(),
+            seg.len() as u16,
+        );
+        assert_eq!(
+            checksum::finish(checksum::partial(seg, sum)),
+            0xffff,
+            "segment incl. filled checksum must verify"
+        );
+    }
+
+    #[test]
+    fn flow_key_extraction() {
+        let p = Packet::tcp(ip(1), 1234, ip(2), 80, TcpFlags::SYN, 0, 0, b"");
+        let k = p.flow_key().unwrap();
+        assert_eq!(k.to_string(), "10.0.0.1:1234->10.0.0.2:80/6");
+        let u = Packet::udp(ip(1), 99, ip(2), 53, b"");
+        assert_eq!(u.flow_key().unwrap().proto, 17);
+    }
+
+    #[test]
+    fn padded_frames_hit_exact_length() {
+        for len in [64usize, 128, 256, 512, 1024] {
+            let p = Packet::tcp_padded(ip(1), 1, ip(2), 2, TcpFlags::ACK, len);
+            assert_eq!(p.len(), len);
+            assert!(p.view().is_ok());
+        }
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let p = Packet::tcp(ip(1), 1, ip(2), 2, TcpFlags::ACK, 0, 0, b"shared");
+        let q = p.clone();
+        assert_eq!(p.data.as_ptr(), q.data.as_ptr(), "zero-copy clone");
+    }
+
+    #[test]
+    fn garbage_frames_error_not_panic() {
+        for n in 0..64 {
+            let junk = Packet::from_bytes(Bytes::from(vec![0xa5u8; n]), 0);
+            let _ = junk.view();
+            let _ = junk.flow_key();
+        }
+    }
+}

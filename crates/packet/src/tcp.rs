@@ -1,0 +1,218 @@
+//! TCP header codec and flag set.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::ParseError;
+
+/// Minimum (option-free) TCP header length in bytes.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+///
+/// A thin typed wrapper over the flag byte; the monitor's `tcp_conn_time`
+/// parser keys off `SYN`/`FIN`/`RST` (paper Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_packet::TcpFlags;
+///
+/// let f = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(f.contains(TcpFlags::SYN));
+/// assert!(!f.contains(TcpFlags::FIN));
+/// assert_eq!(f.to_string(), "SYN|ACK");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// FIN — sender is finished.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push buffered data.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — acknowledgement field is valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG — urgent pointer is valid.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// True if every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any flag in `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u8, &str); 6] = [
+            (0x02, "SYN"),
+            (0x10, "ACK"),
+            (0x01, "FIN"),
+            (0x04, "RST"),
+            (0x08, "PSH"),
+            (0x20, "URG"),
+        ];
+        let mut first = true;
+        for (bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed (option-free) TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Creates a header with a default 64 KiB window.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: u16::MAX,
+        }
+    }
+
+    /// Parses a header from `data`, returning it and the payload slice
+    /// (after any options, per the data-offset field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on truncation or a data offset below 5 words.
+    pub fn parse(data: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if data.len() < TCP_HEADER_LEN {
+            return Err(ParseError::Truncated("tcp header"));
+        }
+        let data_off = usize::from(data[12] >> 4) * 4;
+        if data_off < TCP_HEADER_LEN {
+            return Err(ParseError::Malformed("tcp data offset < 20"));
+        }
+        if data.len() < data_off {
+            return Err(ParseError::Truncated("tcp options"));
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                flags: TcpFlags(data[13] & 0x3f),
+                window: u16::from_be_bytes([data[14], data[15]]),
+            },
+            &data[data_off..],
+        ))
+    }
+
+    /// Appends the 20-byte wire form to `buf` (checksum left zero; the
+    /// packet builder fills it with the pseudo-header checksum).
+    pub fn write(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(0x50); // data offset 5 words
+        buf.put_u8(self.flags.0);
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(0); // urgent pointer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = TcpHeader::new(5555, 80, 1000, 2000, TcpFlags::SYN | TcpFlags::ACK);
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        buf.put_slice(b"hi");
+        let (back, payload) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(payload, b"hi");
+    }
+
+    #[test]
+    fn options_skipped() {
+        let h = TcpHeader::new(1, 2, 3, 4, TcpFlags::ACK);
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        // Rewrite data offset to 6 words and append 4 option bytes + payload.
+        buf[12] = 0x60;
+        buf.put_slice(&[1, 1, 1, 1]);
+        buf.put_slice(b"xy");
+        let (_, payload) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(payload, b"xy");
+    }
+
+    #[test]
+    fn rejects_short_offset() {
+        let h = TcpHeader::new(1, 2, 3, 4, TcpFlags::ACK);
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        buf[12] = 0x40;
+        assert!(TcpHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn flags_display_and_ops() {
+        assert_eq!(TcpFlags::NONE.to_string(), "-");
+        assert_eq!((TcpFlags::FIN | TcpFlags::ACK).to_string(), "ACK|FIN");
+        let mut f = TcpFlags::SYN;
+        f |= TcpFlags::ACK;
+        assert!(f.intersects(TcpFlags::ACK));
+        assert!(!TcpFlags::SYN.intersects(TcpFlags::FIN));
+    }
+}

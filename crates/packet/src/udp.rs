@@ -1,0 +1,93 @@
+//! UDP header codec.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::ParseError;
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload, bytes.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for a datagram carrying `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            len: UDP_HEADER_LEN as u16 + payload_len,
+        }
+    }
+
+    /// Parses a header from `data`, returning it and the payload slice
+    /// (bounded by the length field when the buffer is longer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on truncation or a length field below 8.
+    pub fn parse(data: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated("udp header"));
+        }
+        let len = u16::from_be_bytes([data[4], data[5]]);
+        if usize::from(len) < UDP_HEADER_LEN {
+            return Err(ParseError::Malformed("udp length < 8"));
+        }
+        let end = usize::from(len).min(data.len());
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                len,
+            },
+            &data[UDP_HEADER_LEN..end],
+        ))
+    }
+
+    /// Appends the 8-byte wire form to `buf` (checksum zero = disabled,
+    /// which is legal for UDP over IPv4).
+    pub fn write(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader::new(9999, 53, 4);
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        buf.put_slice(b"dataEXTRA");
+        let (back, payload) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(payload, b"data", "payload bounded by length field");
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+        let mut buf = BytesMut::new();
+        UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: 3,
+        }
+        .write(&mut buf);
+        assert!(UdpHeader::parse(&buf).is_err());
+    }
+}

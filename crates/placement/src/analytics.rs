@@ -1,0 +1,339 @@
+//! Analytics-engine (aggregator + processor) placement — paper §4.1,
+//! Algorithm 2 and the local-random / first-fit variants.
+
+use netalytics_netsim::HostIdx;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::DataCenter;
+use crate::place::MonitorPlacement;
+
+/// Analytics placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalyticsStrategy {
+    /// Reuse an aggregator in the monitor's pod if one exists; otherwise
+    /// place a new one on a random host ("local-random", §4.1).
+    LocalRandom,
+    /// Fill the current aggregator completely before opening another on
+    /// a random host ("first fit") — minimal resource cost.
+    FirstFit,
+    /// Algorithm 2: repeatedly pick the pod (aggregate-switch domain)
+    /// with the most unassigned monitors and place an aggregator on a
+    /// host there — minimal network cost.
+    Greedy,
+}
+
+/// A placed aggregator with its co-located processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedAggregator {
+    /// Host running the aggregator (processors are co-located).
+    pub host: HostIdx,
+    /// Indices of the monitors (into `MonitorPlacement::monitors`) this
+    /// aggregator serves.
+    pub monitors: Vec<usize>,
+    /// Extracted traffic arriving at this aggregator, bits/s.
+    pub load_bps: u64,
+}
+
+/// Outcome of analytics placement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalyticsPlacement {
+    /// Placed aggregators in placement order.
+    pub aggregators: Vec<PlacedAggregator>,
+    /// Monitors that could not be assigned (no capacity anywhere).
+    pub unassigned: Vec<usize>,
+}
+
+impl AnalyticsPlacement {
+    /// Aggregator process count.
+    pub fn num_aggregators(&self) -> usize {
+        self.aggregators.len()
+    }
+
+    /// Total analytics processes (aggregators + their processors).
+    pub fn num_processes(&self, processors_per_aggregator: u32) -> usize {
+        self.aggregators.len() * (1 + processors_per_aggregator as usize)
+    }
+}
+
+fn any_host_with_capacity(dc: &DataCenter, rng: &mut StdRng) -> Option<HostIdx> {
+    let candidates: Vec<HostIdx> = (0..dc.tree.num_hosts())
+        .filter(|&h| dc.hosts[h as usize].can_fit(dc.params.process_demand))
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+/// Allocates an aggregator plus its processors on `host`; returns false
+/// if they do not all fit.
+fn alloc_engine(dc: &mut DataCenter, host: HostIdx) -> bool {
+    let total = 1 + dc.params.processors_per_aggregator;
+    let demand = dc.params.process_demand;
+    // Check combined fit first so we never partially allocate.
+    let combined = netalytics_netsim::ResourceDemand {
+        cpu_cores: demand.cpu_cores * f64::from(total),
+        mem_gb: demand.mem_gb * f64::from(total),
+    };
+    if !dc.hosts[host as usize].can_fit(combined) {
+        return false;
+    }
+    assert!(dc.hosts[host as usize].alloc(combined));
+    true
+}
+
+/// Places aggregators (each with its co-located processors) for the
+/// monitors of `placement`, mutating host resources in `dc`.
+pub fn place_analytics(
+    dc: &mut DataCenter,
+    placement: &MonitorPlacement,
+    strategy: AnalyticsStrategy,
+    seed: u64,
+) -> AnalyticsPlacement {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa66e);
+    let extraction = dc.params.extraction_ratio;
+    let cap = dc.params.aggregator_capacity_bps;
+    let ext_load =
+        |mi: usize| -> u64 { (placement.monitors[mi].load_bps as f64 * extraction) as u64 };
+
+    let mut out = AnalyticsPlacement::default();
+    let mut assigned = vec![false; placement.monitors.len()];
+
+    match strategy {
+        AnalyticsStrategy::LocalRandom => {
+            for (mi, assigned_slot) in assigned.iter_mut().enumerate() {
+                let load = ext_load(mi);
+                let pod = dc.tree.pod_of(placement.monitors[mi].host);
+                // Reuse a same-pod aggregator with room.
+                let existing = out.aggregators.iter_mut().find(|a| {
+                    dc.tree.pod_of(a.host) == pod && a.load_bps + load <= cap
+                });
+                match existing {
+                    Some(a) => {
+                        a.monitors.push(mi);
+                        a.load_bps += load;
+                        *assigned_slot = true;
+                    }
+                    None => {
+                        if let Some(h) = any_host_with_capacity(dc, &mut rng) {
+                            if alloc_engine(dc, h) {
+                                out.aggregators.push(PlacedAggregator {
+                                    host: h,
+                                    monitors: vec![mi],
+                                    load_bps: load,
+                                });
+                                *assigned_slot = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        AnalyticsStrategy::FirstFit => {
+            for (mi, assigned_slot) in assigned.iter_mut().enumerate() {
+                let load = ext_load(mi);
+                let fits_current = out
+                    .aggregators
+                    .last()
+                    .is_some_and(|a| a.load_bps + load <= cap);
+                if fits_current {
+                    let a = out.aggregators.last_mut().expect("checked");
+                    a.monitors.push(mi);
+                    a.load_bps += load;
+                    *assigned_slot = true;
+                } else if let Some(h) = any_host_with_capacity(dc, &mut rng) {
+                    if alloc_engine(dc, h) {
+                        out.aggregators.push(PlacedAggregator {
+                            host: h,
+                            monitors: vec![mi],
+                            load_bps: load,
+                        });
+                        *assigned_slot = true;
+                    }
+                }
+            }
+        }
+        AnalyticsStrategy::Greedy => {
+            // Algorithm 2: pods play the role of aggregate-switch domains.
+            let num_pods = dc.tree.num_pods();
+            let mut remaining: Vec<usize> = (0..placement.monitors.len()).collect();
+            while !remaining.is_empty() {
+                // Pod with the most unassigned monitors.
+                let mut per_pod = vec![0usize; num_pods as usize];
+                for &mi in &remaining {
+                    per_pod[dc.tree.pod_of(placement.monitors[mi].host) as usize] += 1;
+                }
+                let pod = (0..num_pods as usize)
+                    .max_by_key(|&p| per_pod[p])
+                    .expect("pods exist") as u32;
+                if per_pod[pod as usize] == 0 {
+                    break;
+                }
+                // "Chooses a host nearby the monitor under that aggregate
+                // switch" (Algorithm 2, line 5): prefer the monitors' own
+                // hosts (0 hops), then their racks (2 hops), then the pod,
+                // then anywhere (lines 6-7 fallback).
+                let fits = |h: HostIdx| dc.hosts[h as usize].can_fit(dc.params.process_demand);
+                let pod_monitor_hosts: Vec<HostIdx> = remaining
+                    .iter()
+                    .map(|&mi| placement.monitors[mi].host)
+                    .filter(|&h| dc.tree.pod_of(h) == pod)
+                    .collect();
+                let same_host = pod_monitor_hosts.iter().copied().filter(|&h| fits(h));
+                let same_rack = pod_monitor_hosts
+                    .iter()
+                    .flat_map(|&mh| dc.tree.hosts_of_edge(dc.tree.edge_of_host(mh)))
+                    .filter(|&h| fits(h));
+                let host = same_host
+                    .chain(same_rack)
+                    .next()
+                    .or_else(|| {
+                        let pod_hosts: Vec<HostIdx> = dc
+                            .tree
+                            .edges_of_pod(pod)
+                            .flat_map(|e| dc.tree.hosts_of_edge(e))
+                            .filter(|&h| fits(h))
+                            .collect();
+                        pod_hosts.choose(&mut rng).copied()
+                    })
+                    .or_else(|| any_host_with_capacity(dc, &mut rng));
+                let Some(host) = host else { break };
+                if !alloc_engine(dc, host) {
+                    // Host could fit one process but not the whole
+                    // engine; mark it used up by skipping.
+                    let demand = dc.params.process_demand;
+                    let _ = dc.hosts[host as usize].alloc(demand);
+                    continue;
+                }
+                let mut agg = PlacedAggregator {
+                    host,
+                    monitors: Vec::new(),
+                    load_bps: 0,
+                };
+                // Prefer monitors in this pod, then fill with others.
+                remaining.sort_by_key(|&mi| {
+                    u32::from(dc.tree.pod_of(placement.monitors[mi].host) != pod)
+                });
+                let mut left = Vec::new();
+                for mi in remaining.drain(..) {
+                    let load = ext_load(mi);
+                    let in_pod = dc.tree.pod_of(placement.monitors[mi].host) == pod;
+                    if in_pod && (agg.load_bps + load <= cap || agg.monitors.is_empty()) {
+                        agg.load_bps += load;
+                        agg.monitors.push(mi);
+                        assigned[mi] = true;
+                    } else {
+                        left.push(mi);
+                    }
+                }
+                remaining = left;
+                if agg.monitors.is_empty() {
+                    continue;
+                }
+                out.aggregators.push(agg);
+            }
+        }
+    }
+    out.unassigned = (0..placement.monitors.len())
+        .filter(|&mi| !assigned[mi])
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PlacementParams;
+    use crate::place::{place_monitors, MonitorStrategy};
+    use crate::workload::{generate_workload, WorkloadSpec};
+
+    fn setup(n_flows: usize) -> (DataCenter, MonitorPlacement) {
+        let mut dc = DataCenter::uniform(8, PlacementParams::default());
+        let flows = generate_workload(
+            &dc.tree,
+            &WorkloadSpec {
+                total_flows: n_flows,
+                total_rate_bps: 100_000_000_000,
+                tor_p: 0.5,
+                pod_p: 0.3,
+            },
+            7,
+        );
+        let placement = place_monitors(&mut dc, &flows, MonitorStrategy::Greedy, 7);
+        (dc, placement)
+    }
+
+    fn check_complete(p: &AnalyticsPlacement, monitors: usize, cap: u64) {
+        assert!(p.unassigned.is_empty());
+        let assigned: usize = p.aggregators.iter().map(|a| a.monitors.len()).sum();
+        assert_eq!(assigned, monitors);
+        for a in &p.aggregators {
+            assert!(a.load_bps <= cap || a.monitors.len() == 1);
+        }
+    }
+
+    #[test]
+    fn all_strategies_assign_every_monitor() {
+        for strat in [
+            AnalyticsStrategy::LocalRandom,
+            AnalyticsStrategy::FirstFit,
+            AnalyticsStrategy::Greedy,
+        ] {
+            let (mut dc, placement) = setup(5_000);
+            let cap = dc.params.aggregator_capacity_bps;
+            let p = place_analytics(&mut dc, &placement, strat, 3);
+            check_complete(&p, placement.monitors.len(), cap);
+        }
+    }
+
+    #[test]
+    fn first_fit_uses_fewest_aggregators() {
+        let (mut dc1, placement) = setup(5_000);
+        let ff = place_analytics(&mut dc1, &placement, AnalyticsStrategy::FirstFit, 3);
+        let (mut dc2, _) = setup(5_000);
+        let lr = place_analytics(&mut dc2, &placement, AnalyticsStrategy::LocalRandom, 3);
+        assert!(
+            ff.num_aggregators() <= lr.num_aggregators(),
+            "first-fit {} vs local-random {}",
+            ff.num_aggregators(),
+            lr.num_aggregators()
+        );
+    }
+
+    #[test]
+    fn greedy_keeps_aggregators_in_monitor_pods() {
+        let (mut dc, placement) = setup(5_000);
+        let g = place_analytics(&mut dc, &placement, AnalyticsStrategy::Greedy, 3);
+        let mut local = 0;
+        let mut total = 0;
+        for a in &g.aggregators {
+            for &mi in &a.monitors {
+                total += 1;
+                if dc.tree.pod_of(placement.monitors[mi].host) == dc.tree.pod_of(a.host) {
+                    local += 1;
+                }
+            }
+        }
+        assert!(
+            local as f64 / total as f64 > 0.9,
+            "greedy should keep assignments pod-local ({local}/{total})"
+        );
+    }
+
+    #[test]
+    fn process_count_includes_processors() {
+        let (mut dc, placement) = setup(1_000);
+        let p = place_analytics(&mut dc, &placement, AnalyticsStrategy::FirstFit, 3);
+        assert_eq!(p.num_processes(2), p.num_aggregators() * 3);
+    }
+
+    #[test]
+    fn no_capacity_leaves_monitors_unassigned() {
+        let (mut dc, placement) = setup(1_000);
+        for h in &mut dc.hosts {
+            *h = netalytics_netsim::HostResources::new(0.1, 0.1);
+        }
+        let p = place_analytics(&mut dc, &placement, AnalyticsStrategy::FirstFit, 3);
+        assert_eq!(p.unassigned.len(), placement.monitors.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Network and resource cost metrics (paper §6.2).
+//!
+//! * **Bandwidth cost** — "the total bandwidth that all flows consume
+//!   times the number of hops the flows need to go through from the
+//!   monitors to the aggregators".
+//! * **Weighted-bandwidth cost** — the same with per-tier link weights
+//!   (1 to the ToR, 2 to the aggregation tier, 4 across the core),
+//!   because "not all links are equal in the data center".
+//! * **Resource cost** — "the total number of NetAlytics processes".
+
+use serde::{Deserialize, Serialize};
+
+use crate::analytics::AnalyticsPlacement;
+use crate::model::DataCenter;
+use crate::place::MonitorPlacement;
+use crate::workload::Flow;
+
+/// Cost summary of one placement.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlacementCost {
+    /// Hop-weighted monitoring traffic, bit-hops per second.
+    pub bandwidth_bps_hops: f64,
+    /// Tier-weighted monitoring traffic.
+    pub weighted_bandwidth: f64,
+    /// Monitor processes placed.
+    pub monitors: usize,
+    /// Aggregator processes placed.
+    pub aggregators: usize,
+    /// Processor processes placed.
+    pub processors: usize,
+    /// Total workload traffic (informational).
+    pub workload_bps: f64,
+    /// Workload traffic × hops over its own paths (the Fig. 7 ratio's
+    /// denominator — bandwidth consumed is bit-hops on both sides).
+    pub workload_bps_hops: f64,
+    /// Tier-weighted workload bit-hops.
+    pub workload_weighted: f64,
+}
+
+impl PlacementCost {
+    /// Total NetAlytics processes (the Fig. 8 metric).
+    pub fn total_processes(&self) -> usize {
+        self.monitors + self.aggregators + self.processors
+    }
+
+    /// Extra bandwidth as a percentage of the workload's own bandwidth
+    /// consumption (Fig. 7 y-axis).
+    pub fn extra_bandwidth_pct(&self) -> f64 {
+        if self.workload_bps_hops == 0.0 {
+            0.0
+        } else {
+            100.0 * self.bandwidth_bps_hops / self.workload_bps_hops
+        }
+    }
+
+    /// Weighted extra bandwidth percentage (Fig. 7 "-weighted" series).
+    pub fn weighted_extra_bandwidth_pct(&self) -> f64 {
+        if self.workload_weighted == 0.0 {
+            0.0
+        } else {
+            100.0 * self.weighted_bandwidth / self.workload_weighted
+        }
+    }
+}
+
+/// Computes the cost of a full placement.
+///
+/// Bandwidth accounting follows the paper's §6.2 definition exactly:
+/// "the total bandwidth that all flows consume times the number of hops
+/// the flows need to go through **from the monitors to the
+/// aggregators**" — i.e. only the extracted tuple stream (monitored rate
+/// × extraction ratio) is charged, over the monitor→aggregator path.
+/// The ToR→monitor mirror leg is a strategy-independent constant (every
+/// monitor sits under a covering ToR) and is excluded, as in the paper;
+/// processors are co-located with aggregators, so that leg is free.
+pub fn placement_cost(
+    dc: &DataCenter,
+    flows: &[Flow],
+    monitors: &MonitorPlacement,
+    analytics: &AnalyticsPlacement,
+) -> PlacementCost {
+    let mut cost = PlacementCost {
+        monitors: monitors.num_monitors(),
+        aggregators: analytics.num_aggregators(),
+        processors: analytics.num_aggregators()
+            * dc.params.processors_per_aggregator as usize,
+        workload_bps: flows.iter().map(|f| f.rate_bps as f64).sum(),
+        ..Default::default()
+    };
+    for f in flows {
+        cost.workload_bps_hops += f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
+        cost.workload_weighted += f.rate_bps as f64 * f64::from(dc.weighted_hops(f.src, f.dst));
+    }
+    // Monitor host -> aggregator host, extracted tuple stream.
+    for a in &analytics.aggregators {
+        for &mi in &a.monitors {
+            let m = &monitors.monitors[mi];
+            let extracted = m.load_bps as f64 * dc.params.extraction_ratio;
+            cost.bandwidth_bps_hops += extracted * f64::from(dc.hops(m.host, a.host));
+            cost.weighted_bandwidth += extracted * f64::from(dc.weighted_hops(m.host, a.host));
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::PlacedAggregator;
+    use crate::model::PlacementParams;
+    use crate::place::PlacedMonitor;
+
+    fn one_flow_setup(agg_host: u32) -> (DataCenter, Vec<Flow>, MonitorPlacement, AnalyticsPlacement) {
+        let dc = DataCenter::uniform(4, PlacementParams::default());
+        let flows = vec![Flow {
+            src: 0,
+            dst: 1,
+            rate_bps: 1_000_000_000,
+        }];
+        let monitors = MonitorPlacement {
+            monitors: vec![PlacedMonitor {
+                host: 0,
+                edge: 0,
+                flows: vec![0],
+                load_bps: 1_000_000_000,
+            }],
+            unplaced: vec![],
+        };
+        let analytics = AnalyticsPlacement {
+            aggregators: vec![PlacedAggregator {
+                host: agg_host,
+                monitors: vec![0],
+                load_bps: 100_000_000,
+            }],
+            unassigned: vec![],
+        };
+        (dc, flows, monitors, analytics)
+    }
+
+    #[test]
+    fn colocated_aggregator_is_free() {
+        let (dc, flows, m, a) = one_flow_setup(0);
+        let c = placement_cost(&dc, &flows, &m, &a);
+        assert_eq!(c.bandwidth_bps_hops, 0.0, "zero hops, zero cost");
+        assert_eq!(c.extra_bandwidth_pct(), 0.0);
+        assert_eq!(c.total_processes(), 1 + 1 + 2);
+    }
+
+    #[test]
+    fn rack_local_aggregator_charges_extracted_stream_only() {
+        let (dc, flows, m, a) = one_flow_setup(1); // same rack: 2 hops
+        let c = placement_cost(&dc, &flows, &m, &a);
+        // 1 Gbps monitored x 10% extraction x 2 hops.
+        assert_eq!(c.bandwidth_bps_hops, 1e9 * 0.1 * 2.0);
+        // Workload consumes 1 Gbps x 2 hops; the ratio is 10%.
+        assert!((c.extra_bandwidth_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_pod_aggregator_is_expensive_and_weighted_more() {
+        let (dc, flows, m, a_near) = one_flow_setup(1); // same rack
+        let near = placement_cost(&dc, &flows, &m, &a_near);
+        let (_, _, _, a_far) = one_flow_setup(15); // cross-pod
+        let far = placement_cost(&dc, &flows, &m, &a_far);
+        assert!(far.bandwidth_bps_hops > near.bandwidth_bps_hops);
+        // Weighted penalizes the core crossing even more.
+        let near_ratio = near.weighted_bandwidth / near.bandwidth_bps_hops;
+        let far_ratio = far.weighted_bandwidth / far.bandwidth_bps_hops;
+        assert!(far_ratio > near_ratio);
+    }
+
+    #[test]
+    fn extraction_ratio_scales_leg_two() {
+        let (mut dc, flows, m, a) = one_flow_setup(1);
+        let base = placement_cost(&dc, &flows, &m, &a);
+        dc.params.extraction_ratio = 0.5;
+        let heavier = placement_cost(&dc, &flows, &m, &a);
+        assert!(heavier.bandwidth_bps_hops > base.bandwidth_bps_hops);
+    }
+
+    #[test]
+    fn empty_placement_is_zero_cost() {
+        let dc = DataCenter::uniform(4, PlacementParams::default());
+        let c = placement_cost(
+            &dc,
+            &[],
+            &MonitorPlacement::default(),
+            &AnalyticsPlacement::default(),
+        );
+        assert_eq!(c.total_processes(), 0);
+        assert_eq!(c.extra_bandwidth_pct(), 0.0);
+        assert_eq!(c.weighted_extra_bandwidth_pct(), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Placement of NetAlytics monitors and analytics engines (paper §4.1,
+//! evaluated in §6.2, Figs. 7-8).
+//!
+//! NetAlytics minimizes the network bandwidth its own monitoring traffic
+//! consumes — or, alternatively, the number of servers it occupies — by
+//! choosing where to run monitors, aggregators and processors:
+//!
+//! * [`place_monitors`] — Algorithm 1 (random / greedy ToR coverage).
+//! * [`place_analytics`] — Algorithm 2 (greedy) plus the local-random
+//!   and first-fit variants.
+//! * [`Strategy`] — the three composite algorithms compared in the
+//!   paper: `Local-Random`, `Netalytics-Node`, `Netalytics-Network`.
+//! * [`placement_cost`] — bandwidth, weighted-bandwidth and resource
+//!   cost metrics.
+//! * [`generate_workload`] — the staggered (50/30/20) heavy-tailed
+//!   workload of §6.2.
+//! * [`sweep`] — the full simulation campaign regenerating Figs. 7-8.
+//!
+//! # Examples
+//!
+//! ```
+//! use netalytics_placement::{sweep, SimConfig, Strategy, WorkloadSpec};
+//!
+//! let config = SimConfig {
+//!     k: 4,
+//!     workload: WorkloadSpec {
+//!         total_flows: 500,
+//!         total_rate_bps: 10_000_000_000,
+//!         tor_p: 0.5,
+//!         pod_p: 0.3,
+//!     },
+//!     runs: 2,
+//!     ..Default::default()
+//! };
+//! let points = sweep(&config, &[100], 1);
+//! assert_eq!(points.len(), Strategy::ALL.len());
+//! ```
+
+pub mod analytics;
+pub mod cost;
+pub mod model;
+pub mod place;
+pub mod sim;
+pub mod workload;
+
+pub use analytics::{place_analytics, AnalyticsPlacement, AnalyticsStrategy, PlacedAggregator};
+pub use cost::{placement_cost, PlacementCost};
+pub use model::{DataCenter, PlacementParams};
+pub use place::{place_monitors, MonitorPlacement, MonitorStrategy, PlacedMonitor};
+pub use sim::{run_once, sweep, SimConfig, SimPoint, Strategy};
+pub use workload::{generate_workload, Flow, WorkloadSpec};

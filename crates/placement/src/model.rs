@@ -1,0 +1,189 @@
+//! The placement-time view of the data center (paper §4.1, §6.2).
+
+use netalytics_netsim::{FatTree, HostIdx, HostResources, ResourceDemand};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Capacity and demand parameters of NetAlytics processes, from the
+/// paper's system evaluation (§6.2): "each monitor process can handle
+/// 10 Gbps traffic, one aggregator and two analyzer processes can handle
+/// 1 Gbps traffic. ... At the monitors, only 10% data will be extracted
+/// and sent to the aggregators."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementParams {
+    /// Raw traffic one monitor process can parse, bits/s.
+    pub monitor_capacity_bps: u64,
+    /// Extracted traffic one aggregator (plus its processors) absorbs.
+    pub aggregator_capacity_bps: u64,
+    /// Fraction of monitored bytes forwarded to the aggregation layer.
+    pub extraction_ratio: f64,
+    /// Processor processes deployed per aggregator.
+    pub processors_per_aggregator: u32,
+    /// Host resources one NetAlytics process reserves.
+    pub process_demand: ResourceDemand,
+}
+
+impl Default for PlacementParams {
+    fn default() -> Self {
+        PlacementParams {
+            monitor_capacity_bps: 10_000_000_000,
+            aggregator_capacity_bps: 1_000_000_000,
+            extraction_ratio: 0.1,
+            processors_per_aggregator: 2,
+            process_demand: ResourceDemand {
+                cpu_cores: 1.0,
+                mem_gb: 2.0,
+            },
+        }
+    }
+}
+
+/// The fabric and host inventory the placement algorithms operate on.
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    /// Fat-tree structure.
+    pub tree: FatTree,
+    /// Per-host resources (indexed by [`HostIdx`]).
+    pub hosts: Vec<HostResources>,
+    /// Process capacity parameters.
+    pub params: PlacementParams,
+}
+
+impl DataCenter {
+    /// Builds a data center with randomized host resources per §6.2:
+    /// memory 32–128 GB, CPU 12–24 cores, both 40–80 % utilized.
+    pub fn randomized(k: u32, params: PlacementParams, seed: u64) -> Self {
+        let tree = FatTree::new(k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hosts = (0..tree.num_hosts())
+            .map(|_| {
+                let cpu = rng.random_range(12.0..=24.0);
+                let mem = rng.random_range(32.0..=128.0);
+                let cpu_u = rng.random_range(0.4..=0.8);
+                let mem_u = rng.random_range(0.4..=0.8);
+                HostResources::new(cpu, mem).with_utilization(cpu_u, mem_u)
+            })
+            .collect();
+        DataCenter {
+            tree,
+            hosts,
+            params,
+        }
+    }
+
+    /// Builds a data center with identical, idle hosts (for tests).
+    pub fn uniform(k: u32, params: PlacementParams) -> Self {
+        let tree = FatTree::new(k);
+        let hosts = (0..tree.num_hosts())
+            .map(|_| HostResources::default())
+            .collect();
+        DataCenter {
+            tree,
+            hosts,
+            params,
+        }
+    }
+
+    /// The least-loaded host under `edge` (Algorithm 1, line 7), or
+    /// `None` if none can fit one more process.
+    pub fn least_loaded_host_under(&self, edge: u32) -> Option<HostIdx> {
+        self.tree
+            .hosts_of_edge(edge)
+            .filter(|&h| self.hosts[h as usize].can_fit(self.params.process_demand))
+            .min_by(|&a, &b| {
+                self.hosts[a as usize]
+                    .load()
+                    .total_cmp(&self.hosts[b as usize].load())
+            })
+    }
+
+    /// Reserves one process worth of resources on `host`.
+    pub fn alloc_process(&mut self, host: HostIdx) -> bool {
+        self.hosts[host as usize].alloc(self.params.process_demand)
+    }
+
+    /// Hop count between two hosts in the fat-tree (0 if identical,
+    /// 2 within a rack, 4 within a pod, 6 across the core).
+    pub fn hops(&self, a: HostIdx, b: HostIdx) -> u32 {
+        if a == b {
+            0
+        } else if self.tree.edge_of_host(a) == self.tree.edge_of_host(b) {
+            2
+        } else if self.tree.pod_of(a) == self.tree.pod_of(b) {
+            4
+        } else {
+            6
+        }
+    }
+
+    /// Weighted hop cost between two hosts using the §6.2 link weights
+    /// (1 host↔ToR, 2 to the aggregation tier, 4 for core links).
+    pub fn weighted_hops(&self, a: HostIdx, b: HostIdx) -> u32 {
+        if a == b {
+            0
+        } else if self.tree.edge_of_host(a) == self.tree.edge_of_host(b) {
+            1 + 1
+        } else if self.tree.pod_of(a) == self.tree.pod_of(b) {
+            1 + 2 + 2 + 1
+        } else {
+            1 + 2 + 4 + 4 + 2 + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_respects_ranges() {
+        let dc = DataCenter::randomized(4, PlacementParams::default(), 7);
+        assert_eq!(dc.hosts.len(), 16);
+        for h in &dc.hosts {
+            assert!((12.0..=24.0).contains(&h.cpu_cores));
+            assert!((32.0..=128.0).contains(&h.mem_gb));
+            let load = h.load();
+            assert!((0.4..=0.8001).contains(&load), "load {load}");
+        }
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let a = DataCenter::randomized(4, PlacementParams::default(), 7);
+        let b = DataCenter::randomized(4, PlacementParams::default(), 7);
+        let c = DataCenter::randomized(4, PlacementParams::default(), 8);
+        assert_eq!(a.hosts, b.hosts);
+        assert_ne!(a.hosts, c.hosts);
+    }
+
+    #[test]
+    fn hop_counts() {
+        let dc = DataCenter::uniform(4, PlacementParams::default());
+        assert_eq!(dc.hops(0, 0), 0);
+        assert_eq!(dc.hops(0, 1), 2); // same ToR (k=4: 2 hosts/edge)
+        assert_eq!(dc.hops(0, 2), 4); // same pod, different ToR
+        assert_eq!(dc.hops(0, 15), 6); // cross-pod
+        assert_eq!(dc.weighted_hops(0, 1), 2);
+        assert_eq!(dc.weighted_hops(0, 2), 6);
+        assert_eq!(dc.weighted_hops(0, 15), 14);
+    }
+
+    #[test]
+    fn least_loaded_host_prefers_idle() {
+        let mut dc = DataCenter::uniform(4, PlacementParams::default());
+        // Load host 0 heavily.
+        dc.hosts[0] = HostResources::new(16.0, 64.0).with_utilization(0.9, 0.9);
+        assert_eq!(dc.least_loaded_host_under(0), Some(1));
+        assert!(dc.alloc_process(1));
+    }
+
+    #[test]
+    fn exhausted_rack_yields_none() {
+        let mut dc = DataCenter::uniform(4, PlacementParams::default());
+        for h in dc.tree.hosts_of_edge(0) {
+            dc.hosts[h as usize] = HostResources::new(0.5, 0.5);
+        }
+        assert_eq!(dc.least_loaded_host_under(0), None);
+    }
+}

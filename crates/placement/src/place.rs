@@ -1,0 +1,270 @@
+//! Monitor placement — paper Algorithm 1.
+//!
+//! Two observations drive it (§4.1): a flow can only be monitored under a
+//! ToR switch that *covers* it (contains its source or destination host),
+//! and one monitor under a ToR can monitor every flow that ToR covers.
+
+use netalytics_netsim::HostIdx;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::DataCenter;
+use crate::workload::Flow;
+
+/// Monitor placement strategy (Algorithm 1's `strategy` input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorStrategy {
+    /// Pick a covering ToR uniformly at random.
+    Random,
+    /// Pick the ToR covering the most unmonitored flows.
+    Greedy,
+}
+
+/// A placed monitor process and the flows assigned to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedMonitor {
+    /// Host running the monitor.
+    pub host: HostIdx,
+    /// The ToR switch (edge index) whose traffic it taps.
+    pub edge: u32,
+    /// Indices into the monitored-flow slice.
+    pub flows: Vec<usize>,
+    /// Raw monitored traffic, bits/s.
+    pub load_bps: u64,
+}
+
+/// Outcome of monitor placement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MonitorPlacement {
+    /// Placed monitors in placement order.
+    pub monitors: Vec<PlacedMonitor>,
+    /// Flows that could not be covered (no host capacity anywhere).
+    pub unplaced: Vec<usize>,
+}
+
+impl MonitorPlacement {
+    /// Total monitor processes.
+    pub fn num_monitors(&self) -> usize {
+        self.monitors.len()
+    }
+}
+
+/// Places monitors for `flows` on `dc` per Algorithm 1, mutating host
+/// resource usage in `dc`.
+///
+/// `flows` are the *monitored* flows selected by the query; indices in
+/// the result refer into this slice.
+pub fn place_monitors(
+    dc: &mut DataCenter,
+    flows: &[Flow],
+    strategy: MonitorStrategy,
+    seed: u64,
+) -> MonitorPlacement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_edges = dc.tree.num_edges() as usize;
+    // Covering lists: flow -> (src ToR, dst ToR); ToR -> flow indices.
+    let mut tor_flows: Vec<Vec<usize>> = vec![Vec::new(); num_edges];
+    let mut uncovered_count: Vec<usize> = vec![0; num_edges];
+    for (i, f) in flows.iter().enumerate() {
+        let a = dc.tree.edge_of_host(f.src) as usize;
+        let b = dc.tree.edge_of_host(f.dst) as usize;
+        tor_flows[a].push(i);
+        uncovered_count[a] += 1;
+        if b != a {
+            tor_flows[b].push(i);
+            uncovered_count[b] += 1;
+        }
+    }
+    let mut monitored = vec![false; flows.len()];
+    let mut remaining = flows.len();
+    let mut placement = MonitorPlacement::default();
+    // ToRs where we failed to find a host with capacity.
+    let mut exhausted = vec![false; num_edges];
+
+    while remaining > 0 {
+        let candidates: Vec<usize> = (0..num_edges)
+            .filter(|&e| uncovered_count[e] > 0 && !exhausted[e])
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let edge = match strategy {
+            MonitorStrategy::Random => *candidates.choose(&mut rng).expect("non-empty"),
+            MonitorStrategy::Greedy => *candidates
+                .iter()
+                .max_by_key(|&&e| uncovered_count[e])
+                .expect("non-empty"),
+        };
+        // Host with minimal load under that ToR (Algorithm 1, line 7).
+        let Some(host) = dc.least_loaded_host_under(edge as u32) else {
+            exhausted[edge] = true;
+            continue;
+        };
+        assert!(dc.alloc_process(host), "least-loaded host must fit");
+        let mut monitor = PlacedMonitor {
+            host,
+            edge: edge as u32,
+            flows: Vec::new(),
+            load_bps: 0,
+        };
+        // Assign flows covered by this ToR until monitor capacity.
+        let flow_list = std::mem::take(&mut tor_flows[edge]);
+        let mut leftover = Vec::new();
+        for i in flow_list {
+            if monitored[i] {
+                continue;
+            }
+            if monitor.load_bps + flows[i].rate_bps > dc.params.monitor_capacity_bps
+                && !monitor.flows.is_empty()
+            {
+                leftover.push(i);
+                continue;
+            }
+            monitored[i] = true;
+            remaining -= 1;
+            monitor.load_bps += flows[i].rate_bps;
+            monitor.flows.push(i);
+            // Maintain the other covering ToR's counter.
+            let f = &flows[i];
+            let a = dc.tree.edge_of_host(f.src) as usize;
+            let b = dc.tree.edge_of_host(f.dst) as usize;
+            if a != edge {
+                uncovered_count[a] -= 1;
+            }
+            if b != edge && b != a {
+                uncovered_count[b] -= 1;
+            }
+        }
+        uncovered_count[edge] = leftover.len();
+        tor_flows[edge] = leftover;
+        if monitor.flows.is_empty() {
+            // Capacity was allocated but nothing assigned (all covered
+            // concurrently) — release by not recording; next loop exits.
+            continue;
+        }
+        placement.monitors.push(monitor);
+    }
+    placement.unplaced = (0..flows.len()).filter(|&i| !monitored[i]).collect();
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PlacementParams;
+    use crate::workload::{generate_workload, WorkloadSpec};
+
+    fn dc() -> DataCenter {
+        DataCenter::uniform(8, PlacementParams::default())
+    }
+
+    fn flows(n: usize, seed: u64) -> Vec<Flow> {
+        generate_workload(
+            &netalytics_netsim::FatTree::new(8),
+            &WorkloadSpec {
+                total_flows: n,
+                total_rate_bps: 10_000_000_000,
+                tor_p: 0.5,
+                pod_p: 0.3,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn every_flow_is_covered_by_its_monitor() {
+        let mut d = dc();
+        let fs = flows(2_000, 1);
+        let p = place_monitors(&mut d, &fs, MonitorStrategy::Greedy, 1);
+        assert!(p.unplaced.is_empty());
+        let mut covered = vec![false; fs.len()];
+        for m in &p.monitors {
+            for &i in &m.flows {
+                assert!(!covered[i], "flow {i} double-assigned");
+                covered[i] = true;
+                let f = &fs[i];
+                let src_e = d.tree.edge_of_host(f.src);
+                let dst_e = d.tree.edge_of_host(f.dst);
+                assert!(
+                    m.edge == src_e || m.edge == dst_e,
+                    "monitor ToR must cover the flow"
+                );
+                // Monitor host sits under its ToR.
+                assert_eq!(d.tree.edge_of_host(m.host), m.edge);
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn greedy_uses_no_more_monitors_than_random() {
+        let fs = flows(5_000, 2);
+        let mut d1 = dc();
+        let g = place_monitors(&mut d1, &fs, MonitorStrategy::Greedy, 3);
+        let mut d2 = dc();
+        let r = place_monitors(&mut d2, &fs, MonitorStrategy::Random, 3);
+        assert!(
+            g.num_monitors() <= r.num_monitors(),
+            "greedy {} vs random {}",
+            g.num_monitors(),
+            r.num_monitors()
+        );
+    }
+
+    #[test]
+    fn capacity_splits_heavy_tors_across_monitors() {
+        let mut d = dc();
+        // All flows between hosts 0 and 1 (same ToR), each 4 Gbps: one
+        // 10 Gbps monitor holds at most 2.
+        let fs: Vec<Flow> = (0..6)
+            .map(|_| Flow {
+                src: 0,
+                dst: 1,
+                rate_bps: 4_000_000_000,
+            })
+            .collect();
+        let p = place_monitors(&mut d, &fs, MonitorStrategy::Greedy, 1);
+        assert!(p.unplaced.is_empty());
+        assert_eq!(p.num_monitors(), 3);
+        for m in &p.monitors {
+            assert!(m.load_bps <= d.params.monitor_capacity_bps);
+        }
+    }
+
+    #[test]
+    fn oversize_flow_still_gets_a_dedicated_monitor() {
+        let mut d = dc();
+        let fs = vec![Flow {
+            src: 0,
+            dst: 1,
+            rate_bps: 50_000_000_000, // exceeds one monitor's capacity
+        }];
+        let p = place_monitors(&mut d, &fs, MonitorStrategy::Greedy, 1);
+        assert!(p.unplaced.is_empty(), "first flow always assigned");
+        assert_eq!(p.num_monitors(), 1);
+    }
+
+    #[test]
+    fn exhausted_hosts_leave_flows_unplaced() {
+        let mut d = dc();
+        for h in &mut d.hosts {
+            *h = netalytics_netsim::HostResources::new(0.5, 0.5);
+        }
+        let fs = flows(100, 4);
+        let p = place_monitors(&mut d, &fs, MonitorStrategy::Random, 4);
+        assert_eq!(p.num_monitors(), 0);
+        assert_eq!(p.unplaced.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fs = flows(1_000, 9);
+        let mut d1 = dc();
+        let mut d2 = dc();
+        let a = place_monitors(&mut d1, &fs, MonitorStrategy::Random, 11);
+        let b = place_monitors(&mut d2, &fs, MonitorStrategy::Random, 11);
+        assert_eq!(a, b);
+    }
+}

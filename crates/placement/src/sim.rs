@@ -1,0 +1,281 @@
+//! The large-scale placement simulator driving Figs. 7 and 8.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::analytics::{place_analytics, AnalyticsStrategy};
+use crate::cost::{placement_cost, PlacementCost};
+use crate::model::{DataCenter, PlacementParams};
+use crate::place::{place_monitors, MonitorStrategy};
+use crate::workload::{generate_workload, Flow, WorkloadSpec};
+
+/// The three composite placement algorithms compared in §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Optimized-random monitor and analytics placement.
+    LocalRandom,
+    /// Minimize node count: random monitors + first-fit analytics.
+    NetalyticsNode,
+    /// Minimize traffic: greedy monitors + greedy analytics.
+    NetalyticsNetwork,
+}
+
+impl Strategy {
+    /// All three strategies, in the paper's legend order.
+    pub const ALL: [Strategy; 3] = [
+        Strategy::LocalRandom,
+        Strategy::NetalyticsNode,
+        Strategy::NetalyticsNetwork,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::LocalRandom => "Local-Random",
+            Strategy::NetalyticsNode => "Netalytics-Node",
+            Strategy::NetalyticsNetwork => "Netalytics-Network",
+        }
+    }
+
+    fn parts(&self) -> (MonitorStrategy, AnalyticsStrategy) {
+        match self {
+            Strategy::LocalRandom => (MonitorStrategy::Random, AnalyticsStrategy::LocalRandom),
+            Strategy::NetalyticsNode => (MonitorStrategy::Random, AnalyticsStrategy::FirstFit),
+            Strategy::NetalyticsNetwork => (MonitorStrategy::Greedy, AnalyticsStrategy::Greedy),
+        }
+    }
+}
+
+/// Configuration of one simulation campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Fat-tree arity (paper: 16 → 1024 hosts).
+    pub k: u32,
+    /// Workload shape.
+    pub workload: WorkloadSpec,
+    /// Process capacities.
+    pub params: PlacementParams,
+    /// Independent seeded runs to average (paper: ≥10).
+    pub runs: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            k: 16,
+            workload: WorkloadSpec::default(),
+            params: PlacementParams::default(),
+            runs: 10,
+        }
+    }
+}
+
+/// Averaged result for one (strategy, monitored-flow-count) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimPoint {
+    /// Strategy evaluated.
+    pub strategy: Strategy,
+    /// Number of monitored flows requested.
+    pub monitored_flows: usize,
+    /// Mean extra bandwidth (%), plain hop counting.
+    pub extra_bandwidth_pct: f64,
+    /// Mean extra bandwidth (%), tier-weighted.
+    pub weighted_extra_bandwidth_pct: f64,
+    /// Mean total NetAlytics processes.
+    pub processes: f64,
+    /// Mean monitor count.
+    pub monitors: f64,
+    /// Mean aggregator count.
+    pub aggregators: f64,
+}
+
+/// Runs one placement for `strategy` over `monitored` flows drawn from
+/// `all_flows`, returning its cost.
+pub fn run_once(
+    config: &SimConfig,
+    all_flows: &[Flow],
+    monitored: usize,
+    strategy: Strategy,
+    seed: u64,
+) -> PlacementCost {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // "In each experiment, we set the number of flows that need to be
+    // monitored and then randomly choose these flows from the total
+    // workload."
+    let mut idx: Vec<usize> = (0..all_flows.len()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(monitored.min(all_flows.len()));
+    let flows: Vec<Flow> = idx.iter().map(|&i| all_flows[i]).collect();
+
+    let mut dc = DataCenter::randomized(config.k, config.params, seed ^ 0xd0c5);
+    let (ms, as_) = strategy.parts();
+    let mp = place_monitors(&mut dc, &flows, ms, seed ^ 0x0a11);
+    let ap = place_analytics(&mut dc, &mp, as_, seed ^ 0x0a22);
+    let mut cost = placement_cost(&dc, &flows, &mp, &ap);
+    // The Fig. 7 ratio is relative to the *whole* workload's own
+    // bandwidth consumption, not just the monitored subset's.
+    cost.workload_bps = 0.0;
+    cost.workload_bps_hops = 0.0;
+    cost.workload_weighted = 0.0;
+    for f in all_flows {
+        cost.workload_bps += f.rate_bps as f64;
+        cost.workload_bps_hops += f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
+        cost.workload_weighted += f.rate_bps as f64 * f64::from(dc.weighted_hops(f.src, f.dst));
+    }
+    cost
+}
+
+/// Sweeps `monitored_points` × [`Strategy::ALL`], averaging `config.runs`
+/// seeded runs per point — the full Figs. 7-8 campaign.
+pub fn sweep(config: &SimConfig, monitored_points: &[usize], base_seed: u64) -> Vec<SimPoint> {
+    let tree = netalytics_netsim::FatTree::new(config.k);
+    let mut out = Vec::new();
+    for &monitored in monitored_points {
+        for strategy in Strategy::ALL {
+            let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for run in 0..config.runs {
+                let seed = base_seed
+                    .wrapping_add(run as u64)
+                    .wrapping_mul(0x9e37_79b9);
+                let flows = generate_workload(&tree, &config.workload, seed);
+                let c = run_once(config, &flows, monitored, strategy, seed);
+                acc.0 += c.extra_bandwidth_pct();
+                acc.1 += c.weighted_extra_bandwidth_pct();
+                acc.2 += c.total_processes() as f64;
+                acc.3 += c.monitors as f64;
+                acc.4 += c.aggregators as f64;
+            }
+            let n = f64::from(config.runs);
+            out.push(SimPoint {
+                strategy,
+                monitored_flows: monitored,
+                extra_bandwidth_pct: acc.0 / n,
+                weighted_extra_bandwidth_pct: acc.1 / n,
+                processes: acc.2 / n,
+                monitors: acc.3 / n,
+                aggregators: acc.4 / n,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            k: 8,
+            workload: WorkloadSpec {
+                total_flows: 20_000,
+                total_rate_bps: 120_000_000_000,
+                tor_p: 0.5,
+                pod_p: 0.3,
+            },
+            params: PlacementParams::default(),
+            runs: 3,
+        }
+    }
+
+    #[test]
+    fn network_strategy_has_lowest_network_cost() {
+        let cfg = small_config();
+        let points = sweep(&cfg, &[8_000], 42);
+        let get = |s: Strategy| {
+            points
+                .iter()
+                .find(|p| p.strategy == s)
+                .expect("strategy present")
+        };
+        let net = get(Strategy::NetalyticsNetwork);
+        let node = get(Strategy::NetalyticsNode);
+        let local = get(Strategy::LocalRandom);
+        assert!(
+            net.extra_bandwidth_pct <= local.extra_bandwidth_pct,
+            "network {} vs local {}",
+            net.extra_bandwidth_pct,
+            local.extra_bandwidth_pct
+        );
+        assert!(
+            net.extra_bandwidth_pct <= node.extra_bandwidth_pct,
+            "network {} vs node {}",
+            net.extra_bandwidth_pct,
+            node.extra_bandwidth_pct
+        );
+    }
+
+    #[test]
+    fn node_strategy_has_lowest_resource_cost() {
+        let cfg = small_config();
+        let points = sweep(&cfg, &[8_000], 43);
+        let get = |s: Strategy| points.iter().find(|p| p.strategy == s).unwrap();
+        let node = get(Strategy::NetalyticsNode);
+        for other in [Strategy::LocalRandom, Strategy::NetalyticsNetwork] {
+            assert!(
+                node.processes <= get(other).processes + 0.01,
+                "node {} vs {} {}",
+                node.processes,
+                other.name(),
+                get(other).processes
+            );
+        }
+    }
+
+    #[test]
+    fn network_strategy_weighted_tracks_plain() {
+        // §6.2: "the two lines of Netalytics-Network almost overlap"
+        // because its traffic stays rack-local. Allow modest divergence.
+        let cfg = small_config();
+        let points = sweep(&cfg, &[8_000], 44);
+        let net = points
+            .iter()
+            .find(|p| p.strategy == Strategy::NetalyticsNetwork)
+            .unwrap();
+        let ratio = net.weighted_extra_bandwidth_pct / net.extra_bandwidth_pct.max(1e-9);
+        assert!(ratio < 3.0, "weighted/plain ratio {ratio}");
+        // By contrast Local-Random pays heavily for cross-core traffic.
+        let local = points
+            .iter()
+            .find(|p| p.strategy == Strategy::LocalRandom)
+            .unwrap();
+        let local_ratio =
+            local.weighted_extra_bandwidth_pct / local.extra_bandwidth_pct.max(1e-9);
+        assert!(local_ratio > ratio, "local {local_ratio} vs net {ratio}");
+    }
+
+    #[test]
+    fn extra_bandwidth_grows_with_monitored_flows() {
+        let cfg = small_config();
+        let points = sweep(&cfg, &[2_000, 10_000], 45);
+        for s in Strategy::ALL {
+            let small = points
+                .iter()
+                .find(|p| p.strategy == s && p.monitored_flows == 2_000)
+                .unwrap();
+            let large = points
+                .iter()
+                .find(|p| p.strategy == s && p.monitored_flows == 10_000)
+                .unwrap();
+            assert!(
+                large.extra_bandwidth_pct > small.extra_bandwidth_pct,
+                "{}: {} !> {}",
+                s.name(),
+                large.extra_bandwidth_pct,
+                small.extra_bandwidth_pct
+            );
+        }
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let cfg = small_config();
+        let tree = netalytics_netsim::FatTree::new(cfg.k);
+        let flows = generate_workload(&tree, &cfg.workload, 9);
+        let a = run_once(&cfg, &flows, 1_000, Strategy::NetalyticsNetwork, 9);
+        let b = run_once(&cfg, &flows, 1_000, Strategy::NetalyticsNetwork, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Abstract syntax of a NetAlytics query.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netalytics_monitor::SampleSpec;
+use netalytics_stream::ProcessorSpec;
+
+/// One endpoint in a `FROM`/`TO` address list (paper Table 3:
+/// `ip:port | subnet:port | hostname:port | *`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Address {
+    /// `*` — all hosts, all ports.
+    Any,
+    /// A literal IPv4 host, optionally restricted to one port.
+    Ip {
+        /// Host address.
+        ip: Ipv4Addr,
+        /// Port, or `None` for `*`/omitted ("all ports within the host").
+        port: Option<u16>,
+    },
+    /// A subnet in CIDR form, optionally with a port.
+    Subnet {
+        /// Network address.
+        ip: Ipv4Addr,
+        /// Prefix length.
+        prefix: u8,
+        /// Port, or `None` for all.
+        port: Option<u16>,
+    },
+    /// A symbolic hostname resolved via the deployment's IP-to-host map.
+    Host {
+        /// Hostname (e.g. `h1`).
+        name: String,
+        /// Port, or `None` for all.
+        port: Option<u16>,
+    },
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn port(p: &Option<u16>) -> String {
+            p.map_or("*".into(), |v| v.to_string())
+        }
+        match self {
+            Address::Any => f.write_str("*"),
+            Address::Ip { ip, port: p } => write!(f, "{ip}:{}", port(p)),
+            Address::Subnet { ip, prefix, port: p } => {
+                write!(f, "{ip}/{prefix}:{}", port(p))
+            }
+            Address::Host { name, port: p } => write!(f, "{name}:{}", port(p)),
+        }
+    }
+}
+
+/// The `LIMIT` clause: how long the query's monitors and processors run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// Run for a wall/virtual-clock duration (`90s`).
+    Time(u64),
+    /// Stop after observing this many packets (`5000p`).
+    Packets(u64),
+}
+
+impl fmt::Display for Limit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Limit::Time(ns) => write!(f, "{}s", *ns as f64 / 1e9),
+            Limit::Packets(n) => write!(f, "{n}p"),
+        }
+    }
+}
+
+/// A parsed query, one per administrator request (paper §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Parsers to deploy on monitors (`PARSE`).
+    pub parsers: Vec<String>,
+    /// Source endpoints (`FROM`).
+    pub from: Vec<Address>,
+    /// Destination endpoints (`TO`).
+    pub to: Vec<Address>,
+    /// Run bound (`LIMIT`).
+    pub limit: Limit,
+    /// Sampling request (`SAMPLE`).
+    pub sample: SampleSpec,
+    /// Stream processors to deploy (`PROCESS`).
+    pub processors: Vec<ProcessorSpec>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PARSE {}", self.parsers.join(", "))?;
+        let list = |v: &[Address]| {
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(f, " FROM {} TO {}", list(&self.from), list(&self.to))?;
+        write!(f, " LIMIT {}", self.limit)?;
+        match self.sample {
+            SampleSpec::All => write!(f, " SAMPLE *")?,
+            SampleSpec::Auto => write!(f, " SAMPLE auto")?,
+            SampleSpec::Rate(r) => write!(f, " SAMPLE {r}")?,
+        }
+        write!(f, " PROCESS ")?;
+        for (i, p) in self.processors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({}", p.name)?;
+            if !p.args.is_empty() {
+                write!(f, ":")?;
+                for (j, (k, v)) in p.args.iter().enumerate() {
+                    write!(f, "{}{k}={v}", if j > 0 { ", " } else { " " })?;
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = Query {
+            parsers: vec!["tcp_conn_time".into(), "http_get".into()],
+            from: vec![Address::Ip {
+                ip: Ipv4Addr::new(10, 0, 2, 8),
+                port: Some(5555),
+            }],
+            to: vec![Address::Host {
+                name: "h1".into(),
+                port: Some(80),
+            }],
+            limit: Limit::Time(90_000_000_000),
+            sample: SampleSpec::Auto,
+            processors: vec![ProcessorSpec::new("top-k").with_arg("k", "10")],
+        };
+        let s = q.to_string();
+        assert!(s.contains("PARSE tcp_conn_time, http_get"));
+        assert!(s.contains("FROM 10.0.2.8:5555 TO h1:80"));
+        assert!(s.contains("LIMIT 90s"));
+        assert!(s.contains("SAMPLE auto"));
+        assert!(s.contains("(top-k: k=10)"));
+    }
+
+    #[test]
+    fn address_display_forms() {
+        assert_eq!(Address::Any.to_string(), "*");
+        assert_eq!(
+            Address::Subnet {
+                ip: Ipv4Addr::new(10, 0, 2, 0),
+                prefix: 24,
+                port: None
+            }
+            .to_string(),
+            "10.0.2.0/24:*"
+        );
+        assert_eq!(Limit::Packets(5000).to_string(), "5000p");
+    }
+}

@@ -1,0 +1,288 @@
+//! Query → deployment compilation (paper §3.4 "Query Instantiation").
+//!
+//! "The values from these clauses in the query are translated into the
+//! match portion of an OpenFlow rule. ... The PARSE portion of the query
+//! dictates which parsing modules need to be deployed. ... The Storm
+//! topology indicated by the PROCESS clause determines what analytic
+//! components need to be initialized."
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netalytics_monitor::{SampleSpec, STOCK_PARSERS};
+use netalytics_sdn::{FlowMatch, IpMask};
+use netalytics_stream::{topologies, ProcessorSpec};
+
+use crate::ast::{Address, Limit, Query};
+
+/// Resolves symbolic hostnames to fabric IPs — the "IP-to-host mapping
+/// table" the paper assumes NetAlytics has access to (§4.1).
+pub trait HostResolver {
+    /// Returns the IP of `name`, or `None` if unknown.
+    fn resolve(&self, name: &str) -> Option<Ipv4Addr>;
+}
+
+impl HostResolver for HashMap<String, Ipv4Addr> {
+    fn resolve(&self, name: &str) -> Option<Ipv4Addr> {
+        self.get(name).copied()
+    }
+}
+
+/// A compiled query, ready for the orchestrator: the flow matches to
+/// install, the parsers and sampling for the monitors, and the processing
+/// topologies to deploy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// One match per `FROM`×`TO` pair, in query order.
+    pub matches: Vec<FlowMatch>,
+    /// Validated parser names.
+    pub parsers: Vec<String>,
+    /// Sampling spec for the monitors.
+    pub sample: SampleSpec,
+    /// Query run bound.
+    pub limit: Limit,
+    /// Validated processor specs.
+    pub processors: Vec<ProcessorSpec>,
+}
+
+/// Semantic errors raised while compiling a parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// `PARSE` named a parser missing from the registry.
+    UnknownParser(String),
+    /// A hostname did not resolve.
+    UnknownHost(String),
+    /// A `PROCESS` entry failed catalog validation.
+    BadProcessor(String),
+    /// FROM and TO are both fully wildcarded — the paper requires at
+    /// least one anchored endpoint for monitor placement (§3.4).
+    Unanchored,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownParser(p) => write!(f, "unknown parser {p:?}"),
+            CompileError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            CompileError::BadProcessor(e) => write!(f, "invalid processor: {e}"),
+            CompileError::Unanchored => f.write_str(
+                "FROM and TO are both '*'; queries must anchor at least one endpoint \
+                 for monitor placement",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn apply_address(
+    m: FlowMatch,
+    addr: &Address,
+    src_side: bool,
+    resolver: &dyn HostResolver,
+) -> Result<FlowMatch, CompileError> {
+    let (mask, port) = match addr {
+        Address::Any => return Ok(m),
+        Address::Ip { ip, port } => (IpMask::host(*ip), *port),
+        Address::Subnet { ip, prefix, port } => (IpMask::new(*ip, *prefix), *port),
+        Address::Host { name, port } => {
+            let ip = resolver
+                .resolve(name)
+                .ok_or_else(|| CompileError::UnknownHost(name.clone()))?;
+            (IpMask::host(ip), *port)
+        }
+    };
+    let mut m = if src_side {
+        if mask.prefix() == 0 {
+            m
+        } else {
+            m.from_subnet(mask)
+        }
+    } else if mask.prefix() == 0 {
+        m
+    } else {
+        m.to_subnet(mask)
+    };
+    if let Some(p) = port {
+        if src_side {
+            m.src_port = netalytics_sdn::FieldMatch::Exact(p);
+        } else {
+            m.dst_port = netalytics_sdn::FieldMatch::Exact(p);
+        }
+    }
+    Ok(m)
+}
+
+fn is_anchored(addr: &Address) -> bool {
+    !matches!(addr, Address::Any)
+}
+
+/// Compiles a parsed [`Query`] into a [`Deployment`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unknown parsers/hosts/processors or a
+/// query with neither endpoint anchored.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use std::net::Ipv4Addr;
+/// use netalytics_query::{compile, parse};
+///
+/// let mut hosts = HashMap::new();
+/// hosts.insert("h1".to_string(), Ipv4Addr::new(10, 0, 2, 9));
+/// let q = parse("PARSE http_get FROM * TO h1:80 LIMIT 5000p SAMPLE 0.1 \
+///                PROCESS (diff-group: group=get)")?;
+/// let d = compile(&q, &hosts)?;
+/// assert_eq!(d.matches.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(query: &Query, resolver: &dyn HostResolver) -> Result<Deployment, CompileError> {
+    for p in &query.parsers {
+        if !STOCK_PARSERS.contains(&p.as_str()) {
+            return Err(CompileError::UnknownParser(p.clone()));
+        }
+    }
+    if !query.from.iter().any(is_anchored) && !query.to.iter().any(is_anchored) {
+        return Err(CompileError::Unanchored);
+    }
+    for spec in &query.processors {
+        topologies::build(spec).map_err(|e| CompileError::BadProcessor(e.to_string()))?;
+    }
+    let mut matches = Vec::new();
+    for from in &query.from {
+        for to in &query.to {
+            let m = FlowMatch::any();
+            let m = apply_address(m, from, true, resolver)?;
+            let m = apply_address(m, to, false, resolver)?;
+            matches.push(m);
+        }
+    }
+    Ok(Deployment {
+        matches,
+        parsers: query.parsers.clone(),
+        sample: query.sample,
+        limit: query.limit,
+        processors: query.processors.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use netalytics_packet::{FlowKey, IpProto};
+
+    fn hosts() -> HashMap<String, Ipv4Addr> {
+        let mut m = HashMap::new();
+        m.insert("h1".to_string(), Ipv4Addr::new(10, 0, 2, 9));
+        m.insert("h2".to_string(), Ipv4Addr::new(10, 0, 3, 6));
+        m
+    }
+
+    #[test]
+    fn cartesian_matches_from_lists() {
+        let q = parse(
+            "PARSE http_get FROM 10.0.1.1:*, 10.0.1.2:* TO h1:80, h2:3306 \
+             LIMIT 1s SAMPLE * PROCESS (group-sum)",
+        )
+        .unwrap();
+        let d = compile(&q, &hosts()).unwrap();
+        assert_eq!(d.matches.len(), 4, "2 FROM x 2 TO");
+        // First match: 10.0.1.1 -> h1:80.
+        let flow = FlowKey::new(
+            Ipv4Addr::new(10, 0, 1, 1),
+            5555,
+            Ipv4Addr::new(10, 0, 2, 9),
+            80,
+            IpProto::Tcp,
+        );
+        assert!(d.matches[0].matches(&flow));
+        assert!(!d.matches[1].matches(&flow), "h2 match must not catch h1");
+    }
+
+    #[test]
+    fn wildcard_from_leaves_src_unconstrained() {
+        let q = parse(
+            "PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (group-sum)",
+        )
+        .unwrap();
+        let d = compile(&q, &hosts()).unwrap();
+        let flow = FlowKey::new(
+            Ipv4Addr::new(192, 168, 9, 9),
+            1,
+            Ipv4Addr::new(10, 0, 2, 9),
+            80,
+            IpProto::Tcp,
+        );
+        assert!(d.matches[0].matches(&flow));
+    }
+
+    #[test]
+    fn unknown_parser_and_host_rejected() {
+        let q = parse("PARSE wat FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+        assert_eq!(
+            compile(&q, &hosts()).unwrap_err(),
+            CompileError::UnknownParser("wat".into())
+        );
+        let q = parse(
+            "PARSE http_get FROM * TO nosuch:80 LIMIT 1s SAMPLE * PROCESS (group-sum)",
+        )
+        .unwrap();
+        assert_eq!(
+            compile(&q, &hosts()).unwrap_err(),
+            CompileError::UnknownHost("nosuch".into())
+        );
+    }
+
+    #[test]
+    fn bad_processor_rejected() {
+        let q = parse(
+            "PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (windowed-join: on=id)",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&q, &hosts()).unwrap_err(),
+            CompileError::BadProcessor(_)
+        ));
+    }
+
+    #[test]
+    fn fully_wildcard_query_rejected() {
+        let q = parse("PARSE http_get FROM * TO * LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+        assert_eq!(compile(&q, &hosts()).unwrap_err(), CompileError::Unanchored);
+        // But a port-only anchor counts (it pins a subnet match).
+        let q2 =
+            parse("PARSE http_get FROM * TO *:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+        assert!(compile(&q2, &hosts()).is_ok());
+    }
+
+    #[test]
+    fn subnet_matches_compile() {
+        let q = parse(
+            "PARSE tcp_flow_key FROM 10.0.2.0/24 TO h2:3306 LIMIT 1s SAMPLE * \
+             PROCESS (group-sum)",
+        )
+        .unwrap();
+        let d = compile(&q, &hosts()).unwrap();
+        let inside = FlowKey::new(
+            Ipv4Addr::new(10, 0, 2, 200),
+            1,
+            Ipv4Addr::new(10, 0, 3, 6),
+            3306,
+            IpProto::Tcp,
+        );
+        let outside = FlowKey::new(
+            Ipv4Addr::new(10, 0, 4, 200),
+            1,
+            Ipv4Addr::new(10, 0, 3, 6),
+            3306,
+            IpProto::Tcp,
+        );
+        assert!(d.matches[0].matches(&inside));
+        assert!(!d.matches[0].matches(&outside));
+    }
+}

@@ -1,0 +1,267 @@
+//! Tokenizer for the query language (paper Table 3).
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// Token kinds of the query grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `PARSE` keyword.
+    Parse,
+    /// `FROM` keyword.
+    From,
+    /// `TO` keyword.
+    To,
+    /// `LIMIT` keyword.
+    Limit,
+    /// `SAMPLE` keyword.
+    Sample,
+    /// `PROCESS` keyword.
+    Process,
+    /// A word: identifier, hostname, dotted IP, number with suffix, etc.
+    Word(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `/` (subnet prefix separator)
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Parse => f.write_str("PARSE"),
+            TokenKind::From => f.write_str("FROM"),
+            TokenKind::To => f.write_str("TO"),
+            TokenKind::Limit => f.write_str("LIMIT"),
+            TokenKind::Sample => f.write_str("SAMPLE"),
+            TokenKind::Process => f.write_str("PROCESS"),
+            TokenKind::Word(w) => write!(f, "{w:?}"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Colon => f.write_str("':'"),
+            TokenKind::Equals => f.write_str("'='"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::Eof => f.write_str("end of query"),
+        }
+    }
+}
+
+/// A lexical error: an unexpected character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending byte offset.
+    pub pos: usize,
+    /// The unexpected character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at offset {}", self.ch, self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_word_char(c: char) -> bool {
+    // `+` appears in multi-attribute argument values (group=src_ip+dst_ip).
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')
+}
+
+/// Tokenizes a query string.
+///
+/// Keywords are case-insensitive; whitespace (including newlines)
+/// separates tokens. A trailing [`TokenKind::Eof`] is always appended.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the grammar's alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_query::lexer::{tokenize, TokenKind};
+///
+/// let toks = tokenize("PARSE http_get FROM * TO h1:80")?;
+/// assert_eq!(toks[0].kind, TokenKind::Parse);
+/// assert_eq!(toks[1].kind, TokenKind::Word("http_get".into()));
+/// # Ok::<(), netalytics_query::lexer::LexError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
+            }
+            ',' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
+            }
+            '(' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+            }
+            ':' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    pos,
+                });
+            }
+            '=' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    pos,
+                });
+            }
+            '/' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
+            }
+            c if is_word_char(c) => {
+                let mut word = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_word_char(c) {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "PARSE" => TokenKind::Parse,
+                    "FROM" => TokenKind::From,
+                    "TO" => TokenKind::To,
+                    "LIMIT" => TokenKind::Limit,
+                    "SAMPLE" => TokenKind::Sample,
+                    "PROCESS" => TokenKind::Process,
+                    _ => TokenKind::Word(word),
+                };
+                out.push(Token { kind, pos });
+            }
+            other => return Err(LexError { pos, ch: other }),
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("parse FROM to Limit SAMPLE process").unwrap();
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Parse,
+                TokenKind::From,
+                TokenKind::To,
+                TokenKind::Limit,
+                TokenKind::Sample,
+                TokenKind::Process,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_words() {
+        let toks = tokenize("(top-k: k=10, w=10s)").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::LParen,
+                TokenKind::Word("top-k".into()),
+                TokenKind::Colon,
+                TokenKind::Word("k".into()),
+                TokenKind::Equals,
+                TokenKind::Word("10".into()),
+                TokenKind::Comma,
+                TokenKind::Word("w".into()),
+                TokenKind::Equals,
+                TokenKind::Word("10s".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn addresses_lex_as_words_and_punctuation() {
+        let toks = tokenize("10.0.2.8:5555").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Word("10.0.2.8".into()));
+        assert_eq!(toks[1].kind, TokenKind::Colon);
+        assert_eq!(toks[2].kind, TokenKind::Word("5555".into()));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("PARSE  x").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 7);
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = tokenize("PARSE @http").unwrap_err();
+        assert_eq!(err.pos, 6);
+        assert_eq!(err.ch, '@');
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,37 @@
+//! The NetAlytics query language (paper §3.3-3.4, Table 3).
+//!
+//! Administrators describe *what to monitor* and *how to analyze it* in a
+//! SQL-like query:
+//!
+//! ```text
+//! PARSE tcp_conn_time, http_get
+//! FROM 10.0.2.8:5555 TO 10.0.2.9:80
+//! LIMIT 90s SAMPLE auto
+//! PROCESS (top-k: k=10, w=10s)
+//! ```
+//!
+//! This crate provides the [`lexer`], the recursive-descent [`parse`]r
+//! producing a [`Query`] AST, and [`compile()`](compile()) — semantic validation plus
+//! translation of the `FROM`/`TO` clauses into OpenFlow
+//! [`netalytics_sdn::FlowMatch`]es and the `PARSE`/`PROCESS` clauses into
+//! validated monitor and topology deployments.
+//!
+//! # Examples
+//!
+//! ```
+//! use netalytics_query::parse;
+//!
+//! let q = parse("PARSE http_get FROM * TO h1:80, h2:3306 \
+//!                LIMIT 5000p SAMPLE 0.1 PROCESS (diff-group: group=get)")?;
+//! assert_eq!(q.to.len(), 2);
+//! # Ok::<(), netalytics_query::ParseQueryError>(())
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Address, Limit, Query};
+pub use compile::{compile, CompileError, Deployment, HostResolver};
+pub use parser::{parse, ParseQueryError};

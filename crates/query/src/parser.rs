@@ -1,0 +1,458 @@
+//! Recursive-descent parser implementing the Table 3 grammar.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netalytics_monitor::SampleSpec;
+use netalytics_stream::ProcessorSpec;
+
+use crate::ast::{Address, Limit, Query};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parse error with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueryError {
+    /// Byte offset in the query string.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at offset {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+impl From<LexError> for ParseQueryError {
+    fn from(e: LexError) -> Self {
+        ParseQueryError {
+            pos: e.pos,
+            message: format!("unexpected character {:?}", e.ch),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseQueryError> {
+        Err(ParseQueryError {
+            pos: self.peek().pos,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseQueryError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, ParseQueryError> {
+        match self.peek().kind.clone() {
+            TokenKind::Word(w) => {
+                self.next();
+                Ok(w)
+            }
+            other => self.err(format!("expected {what}, found {other}")),
+        }
+    }
+
+    fn parse_clause(&mut self) -> Result<Vec<String>, ParseQueryError> {
+        self.expect(&TokenKind::Parse)?;
+        let mut parsers = vec![self.word("parser name")?];
+        while self.peek().kind == TokenKind::Comma {
+            self.next();
+            parsers.push(self.word("parser name")?);
+        }
+        Ok(parsers)
+    }
+
+    fn port(&mut self) -> Result<Option<u16>, ParseQueryError> {
+        if self.peek().kind != TokenKind::Colon {
+            // Port omitted entirely: all ports.
+            return Ok(None);
+        }
+        self.next();
+        match self.peek().kind.clone() {
+            TokenKind::Star => {
+                self.next();
+                Ok(None)
+            }
+            TokenKind::Word(w) => match w.parse::<u16>() {
+                Ok(p) => {
+                    self.next();
+                    Ok(Some(p))
+                }
+                Err(_) => self.err(format!("invalid port {w:?}")),
+            },
+            other => self.err(format!("expected port or '*', found {other}")),
+        }
+    }
+
+    fn address(&mut self) -> Result<Address, ParseQueryError> {
+        if self.peek().kind == TokenKind::Star {
+            self.next();
+            // `*:80` is permitted: any host, fixed port.
+            let port = self.port()?;
+            return Ok(match port {
+                None => Address::Any,
+                Some(p) => Address::Subnet {
+                    ip: Ipv4Addr::UNSPECIFIED,
+                    prefix: 0,
+                    port: Some(p),
+                },
+            });
+        }
+        let head = self.word("address")?;
+        if let Ok(ip) = head.parse::<Ipv4Addr>() {
+            if self.peek().kind == TokenKind::Slash {
+                self.next();
+                let pw = self.word("prefix length")?;
+                let prefix: u8 = pw
+                    .parse()
+                    .ok()
+                    .filter(|p| *p <= 32)
+                    .ok_or_else(|| ParseQueryError {
+                        pos: self.peek().pos,
+                        message: format!("invalid prefix length {pw:?}"),
+                    })?;
+                let port = self.port()?;
+                return Ok(Address::Subnet { ip, prefix, port });
+            }
+            let port = self.port()?;
+            return Ok(Address::Ip { ip, port });
+        }
+        // Dotted-but-not-IPv4 words (e.g. 300.1.2.3) are rejected rather
+        // than silently treated as hostnames.
+        if head.chars().all(|c| c.is_ascii_digit() || c == '.') {
+            return self.err(format!("invalid IPv4 address {head:?}"));
+        }
+        let port = self.port()?;
+        Ok(Address::Host { name: head, port })
+    }
+
+    fn address_list(&mut self) -> Result<Vec<Address>, ParseQueryError> {
+        let mut list = vec![self.address()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.next();
+            list.push(self.address()?);
+        }
+        Ok(list)
+    }
+
+    fn limit(&mut self) -> Result<Limit, ParseQueryError> {
+        self.expect(&TokenKind::Limit)?;
+        let w = self.word("limit (e.g. 90s or 5000p)")?;
+        let (digits, suffix): (String, String) = {
+            let split = w.find(|c: char| !c.is_ascii_digit()).unwrap_or(w.len());
+            (w[..split].to_string(), w[split..].to_string())
+        };
+        let n: u64 = match digits.parse() {
+            Ok(n) => n,
+            Err(_) => return self.err(format!("invalid limit {w:?}")),
+        };
+        if n == 0 {
+            return self.err("limit must be positive");
+        }
+        match suffix.as_str() {
+            "s" => Ok(Limit::Time(n * 1_000_000_000)),
+            "ms" => Ok(Limit::Time(n * 1_000_000)),
+            "m" => Ok(Limit::Time(n * 60_000_000_000)),
+            "p" => Ok(Limit::Packets(n)),
+            other => self.err(format!(
+                "invalid limit unit {other:?} (expected s, ms, m or p)"
+            )),
+        }
+    }
+
+    fn sample(&mut self) -> Result<SampleSpec, ParseQueryError> {
+        self.expect(&TokenKind::Sample)?;
+        match self.peek().kind.clone() {
+            TokenKind::Star => {
+                self.next();
+                Ok(SampleSpec::All)
+            }
+            TokenKind::Word(w) => {
+                if w == "auto" {
+                    self.next();
+                    return Ok(SampleSpec::Auto);
+                }
+                match w.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) && r > 0.0 => {
+                        self.next();
+                        Ok(SampleSpec::Rate(r))
+                    }
+                    _ => self.err(format!(
+                        "invalid sample rate {w:?} (expected auto, '*', or a rate in (0,1])"
+                    )),
+                }
+            }
+            other => self.err(format!("expected sample rate, found {other}")),
+        }
+    }
+
+    fn processor(&mut self) -> Result<ProcessorSpec, ParseQueryError> {
+        self.expect(&TokenKind::LParen)?;
+        let name = self.word("processor name")?;
+        let mut spec = ProcessorSpec::new(name);
+        if self.peek().kind == TokenKind::Colon {
+            self.next();
+            loop {
+                let key = self.word("argument name")?;
+                self.expect(&TokenKind::Equals)?;
+                let value = match self.peek().kind.clone() {
+                    TokenKind::Word(w) => {
+                        self.next();
+                        w
+                    }
+                    TokenKind::Star => {
+                        self.next();
+                        "*".to_string()
+                    }
+                    other => return self.err(format!("expected argument value, found {other}")),
+                };
+                spec = spec.with_arg(key, value);
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(spec)
+    }
+
+    fn query(&mut self) -> Result<Query, ParseQueryError> {
+        let parsers = self.parse_clause()?;
+        self.expect(&TokenKind::From)?;
+        let from = self.address_list()?;
+        self.expect(&TokenKind::To)?;
+        let to = self.address_list()?;
+        let limit = self.limit()?;
+        let sample = self.sample()?;
+        self.expect(&TokenKind::Process)?;
+        let mut processors = vec![self.processor()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.next();
+            processors.push(self.processor()?);
+        }
+        if self.peek().kind != TokenKind::Eof {
+            return self.err(format!("unexpected trailing {}", self.peek().kind));
+        }
+        Ok(Query {
+            parsers,
+            from,
+            to,
+            limit,
+            sample,
+            processors,
+        })
+    }
+}
+
+/// Parses a query string into its AST.
+///
+/// # Errors
+///
+/// Returns [`ParseQueryError`] with the byte offset of the first
+/// offending token.
+///
+/// # Examples
+///
+/// The first example query of paper §3.3:
+///
+/// ```
+/// use netalytics_query::parse;
+///
+/// let q = parse(
+///     "PARSE tcp_conn_time, http_get \
+///      FROM 10.0.2.8:5555 TO 10.0.2.9:80 \
+///      LIMIT 90s SAMPLE auto \
+///      PROCESS (top-k: k=10, w=10s)",
+/// )?;
+/// assert_eq!(q.parsers, vec!["tcp_conn_time", "http_get"]);
+/// assert_eq!(q.processors[0].arg("k"), Some("10"));
+/// # Ok::<(), netalytics_query::ParseQueryError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Query, ParseQueryError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, idx: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's second example query (§3.3).
+    const PAPER_Q2: &str = "PARSE http_get FROM * TO h1:80, h2:3306 \
+                            LIMIT 5000p SAMPLE 0.1 PROCESS (diff-group: group=get)";
+
+    #[test]
+    fn paper_query_one_parses() {
+        let q = parse(
+            "PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 \
+             LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)",
+        )
+        .unwrap();
+        assert_eq!(q.parsers.len(), 2);
+        assert_eq!(q.limit, Limit::Time(90_000_000_000));
+        assert_eq!(q.sample, SampleSpec::Auto);
+        assert_eq!(q.processors[0].name, "top-k");
+        assert_eq!(q.processors[0].arg("w"), Some("10s"));
+    }
+
+    #[test]
+    fn paper_query_two_parses() {
+        let q = parse(PAPER_Q2).unwrap();
+        assert_eq!(q.from, vec![Address::Any]);
+        assert_eq!(
+            q.to,
+            vec![
+                Address::Host {
+                    name: "h1".into(),
+                    port: Some(80)
+                },
+                Address::Host {
+                    name: "h2".into(),
+                    port: Some(3306)
+                }
+            ]
+        );
+        assert_eq!(q.limit, Limit::Packets(5000));
+        assert_eq!(q.sample, SampleSpec::Rate(0.1));
+    }
+
+    #[test]
+    fn subnets_and_wildcard_ports() {
+        let q = parse(
+            "PARSE tcp_flow_key FROM 10.0.2.0/24:* TO *:80 \
+             LIMIT 1s SAMPLE * PROCESS (group-sum)",
+        )
+        .unwrap();
+        assert_eq!(
+            q.from[0],
+            Address::Subnet {
+                ip: Ipv4Addr::new(10, 0, 2, 0),
+                prefix: 24,
+                port: None
+            }
+        );
+        assert_eq!(
+            q.to[0],
+            Address::Subnet {
+                ip: Ipv4Addr::UNSPECIFIED,
+                prefix: 0,
+                port: Some(80)
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_processors() {
+        let q = parse(
+            "PARSE http_get FROM * TO h1:80 LIMIT 10s SAMPLE * \
+             PROCESS (top-k: k=5), (histogram: bucket=20)",
+        )
+        .unwrap();
+        assert_eq!(q.processors.len(), 2);
+        assert_eq!(q.processors[1].name, "histogram");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("PARSE http_get FROM * TO h1:80 LIMIT bogus SAMPLE * PROCESS (x)")
+            .unwrap_err();
+        assert!(err.message.contains("invalid limit"));
+        assert!(err.to_string().contains("offset"));
+    }
+
+    #[test]
+    fn rejections() {
+        // Missing clauses.
+        assert!(parse("FROM * TO * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p TO * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * TO * SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * TO * LIMIT 1s PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * TO * LIMIT 1s SAMPLE *").is_err());
+        // Bad values.
+        assert!(parse("PARSE p FROM * TO * LIMIT 0s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * TO * LIMIT 1s SAMPLE 2.0 PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM * TO * LIMIT 1s SAMPLE 0 PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM 999.0.0.1:80 TO * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM 10.0.0.0/40:80 TO * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        assert!(parse("PARSE p FROM h1:99999 TO * LIMIT 1s SAMPLE * PROCESS (x)").is_err());
+        // Trailing garbage.
+        assert!(parse("PARSE p FROM * TO * LIMIT 1s SAMPLE * PROCESS (x) extra").is_err());
+    }
+
+    #[test]
+    fn limit_units() {
+        let t = |s: &str| {
+            parse(&format!(
+                "PARSE p FROM * TO * LIMIT {s} SAMPLE * PROCESS (x)"
+            ))
+            .unwrap()
+            .limit
+        };
+        assert_eq!(t("500ms"), Limit::Time(500_000_000));
+        assert_eq!(t("2m"), Limit::Time(120_000_000_000));
+        assert_eq!(t("5000p"), Limit::Packets(5000));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(src in ".{0,200}") {
+            let _ = parse(&src);
+        }
+
+        #[test]
+        fn parser_never_panics_on_near_queries(
+            parser in "[a-z_]{1,12}",
+            ip in any::<u32>(),
+            port in any::<u16>(),
+            limit in 1u64..100_000,
+            unit in prop_oneof![Just("s"), Just("p"), Just("ms"), Just("x")],
+        ) {
+            let ip = std::net::Ipv4Addr::from(ip);
+            let src = format!(
+                "PARSE {parser} FROM * TO {ip}:{port} LIMIT {limit}{unit} SAMPLE auto PROCESS (top-k: k=3)"
+            );
+            let res = parse(&src);
+            if unit != "x" {
+                prop_assert!(res.is_ok(), "{src} -> {res:?}");
+            } else {
+                prop_assert!(res.is_err());
+            }
+        }
+    }
+}

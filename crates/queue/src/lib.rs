@@ -1,0 +1,18 @@
+//! Kafka-style aggregation layer for the NetAlytics reproduction.
+//!
+//! The paper inserts a distributed queuing service between monitors and
+//! the stream processor (§3.2): it fuses tuple streams from replicated
+//! parsers, buffers bursts while short queries gather "a substantial
+//! amount of data", and — tuned for throughput over reliability (§6.1) —
+//! keeps its log in memory with a short retention window.
+//!
+//! This crate is that service: [`QueueCluster`] hosts partitioned topics
+//! ([`PartitionLog`]) with keyed produce, consumer groups, overflow
+//! shedding, and the watermark [`Pressure`] signal that drives the
+//! feedback sampler in `netalytics-monitor` (§4.2).
+
+pub mod cluster;
+pub mod log;
+
+pub use cluster::{QueueCluster, QueueConfig};
+pub use log::{Message, PartitionLog, Pressure};

@@ -1,0 +1,261 @@
+//! The partition log: a bounded, offset-addressed message buffer.
+//!
+//! The paper runs Kafka with its log on a RAM disk and a short retention
+//! window (§6.1), accepting message loss in exchange for throughput —
+//! "since NetAlytics queries already involve sampling the data stream, the
+//! potential for message loss is not significant". The log here is the
+//! same trade: a bounded in-memory ring that sheds its oldest messages
+//! when full.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+/// One message in a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Monotone offset within the partition.
+    pub offset: u64,
+    /// Producer-assigned key (used for partitioning upstream).
+    pub key: u64,
+    /// Opaque payload (encoded tuple batches in NetAlytics).
+    pub payload: Bytes,
+    /// Producer timestamp, nanoseconds.
+    pub ts_ns: u64,
+}
+
+/// Buffer state relative to the watermarks (§4.2 back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// Above the high watermark — upstream should shed load.
+    Overloaded,
+    /// Between the watermarks — steady state.
+    Normal,
+    /// Below the low watermark — upstream may recover its rate.
+    Underloaded,
+}
+
+/// A bounded partition log.
+#[derive(Debug)]
+pub struct PartitionLog {
+    messages: VecDeque<Message>,
+    /// Offset of the front message (grows as messages are shed).
+    base_offset: u64,
+    /// Next offset to assign.
+    next_offset: u64,
+    capacity: usize,
+    /// Messages shed due to overflow.
+    dropped: u64,
+    /// Total bytes ever appended.
+    bytes_in: u64,
+}
+
+impl PartitionLog {
+    /// High watermark as a fraction of capacity.
+    pub const HIGH_WATERMARK: f64 = 0.8;
+    /// Low watermark as a fraction of capacity.
+    pub const LOW_WATERMARK: f64 = 0.5;
+
+    /// Creates a log bounded to `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "partition capacity must be positive");
+        PartitionLog {
+            messages: VecDeque::with_capacity(capacity.min(4096)),
+            base_offset: 0,
+            next_offset: 0,
+            capacity,
+            dropped: 0,
+            bytes_in: 0,
+        }
+    }
+
+    /// Appends a message, shedding the oldest if full. Returns the offset.
+    pub fn append(&mut self, key: u64, payload: Bytes, ts_ns: u64) -> u64 {
+        if self.messages.len() == self.capacity {
+            self.messages.pop_front();
+            self.base_offset += 1;
+            self.dropped += 1;
+        }
+        let offset = self.next_offset;
+        self.next_offset += 1;
+        self.bytes_in += payload.len() as u64;
+        self.messages.push_back(Message {
+            offset,
+            key,
+            payload,
+            ts_ns,
+        });
+        offset
+    }
+
+    /// Reads up to `max` messages starting at `from_offset`. If that
+    /// offset was already shed, reading starts at the oldest retained
+    /// message. Returns the messages and the next offset to poll.
+    pub fn read(&self, from_offset: u64, max: usize) -> (Vec<Message>, u64) {
+        // Clamp into the live window: shed offsets jump forward to the
+        // oldest retained message, over-run offsets re-sync to the end.
+        let start = from_offset.max(self.base_offset).min(self.next_offset);
+        let idx = (start - self.base_offset) as usize;
+        let msgs: Vec<Message> = self
+            .messages
+            .iter()
+            .skip(idx)
+            .take(max)
+            .cloned()
+            .collect();
+        let next = msgs.last().map_or(start, |m| m.offset + 1);
+        (msgs, next)
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The newest assigned offset plus one (i.e. the log end).
+    pub fn end_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Oldest retained offset.
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Messages shed to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total bytes appended so far.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Buffer pressure relative to the watermarks.
+    pub fn pressure(&self) -> Pressure {
+        let fill = self.messages.len() as f64 / self.capacity as f64;
+        if fill >= Self::HIGH_WATERMARK {
+            Pressure::Overloaded
+        } else if fill <= Self::LOW_WATERMARK {
+            Pressure::Underloaded
+        } else {
+            Pressure::Normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn append_assigns_monotone_offsets() {
+        let mut log = PartitionLog::new(10);
+        assert_eq!(log.append(1, payload(4), 0), 0);
+        assert_eq!(log.append(1, payload(4), 1), 1);
+        assert_eq!(log.end_offset(), 2);
+        assert_eq!(log.bytes_in(), 8);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest() {
+        let mut log = PartitionLog::new(3);
+        for i in 0..5 {
+            log.append(i, payload(1), i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.base_offset(), 2);
+        let (msgs, next) = log.read(0, 10);
+        assert_eq!(msgs[0].offset, 2, "read skips shed messages");
+        assert_eq!(next, 5);
+    }
+
+    #[test]
+    fn read_is_bounded_and_resumable() {
+        let mut log = PartitionLog::new(10);
+        for i in 0..6 {
+            log.append(i, payload(1), i);
+        }
+        let (a, next) = log.read(0, 4);
+        assert_eq!(a.len(), 4);
+        let (b, next2) = log.read(next, 4);
+        assert_eq!(b.len(), 2);
+        assert_eq!(next2, 6);
+        let (c, next3) = log.read(next2, 4);
+        assert!(c.is_empty());
+        assert_eq!(next3, 6, "polling past the end is stable");
+    }
+
+    #[test]
+    fn pressure_transitions() {
+        let mut log = PartitionLog::new(10);
+        assert_eq!(log.pressure(), Pressure::Underloaded);
+        for i in 0..6 {
+            log.append(i, payload(1), 0);
+        }
+        assert_eq!(log.pressure(), Pressure::Normal);
+        for i in 0..2 {
+            log.append(i, payload(1), 0);
+        }
+        assert_eq!(log.pressure(), Pressure::Overloaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = PartitionLog::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Offsets are dense and monotone; retention never exceeds
+        /// capacity; reads return a contiguous window of live offsets.
+        #[test]
+        fn log_invariants(
+            capacity in 1usize..64,
+            appends in 0usize..256,
+            read_from in any::<u64>(),
+            max in 0usize..64,
+        ) {
+            let mut log = PartitionLog::new(capacity);
+            for i in 0..appends {
+                let off = log.append(i as u64, Bytes::from_static(b"m"), i as u64);
+                prop_assert_eq!(off, i as u64);
+            }
+            prop_assert!(log.len() <= capacity);
+            prop_assert_eq!(log.len() as u64, log.end_offset() - log.base_offset());
+            prop_assert_eq!(log.dropped(), (appends as u64).saturating_sub(log.len() as u64));
+            let (msgs, next) = log.read(read_from, max);
+            prop_assert!(msgs.len() <= max);
+            for w in msgs.windows(2) {
+                prop_assert_eq!(w[1].offset, w[0].offset + 1, "contiguous");
+            }
+            if let Some(first) = msgs.first() {
+                prop_assert!(first.offset >= log.base_offset());
+                prop_assert!(first.offset >= read_from.min(log.end_offset()));
+                prop_assert_eq!(next, msgs.last().unwrap().offset + 1);
+            }
+            prop_assert!(next <= log.end_offset());
+        }
+    }
+}

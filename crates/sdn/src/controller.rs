@@ -1,0 +1,205 @@
+//! The logically centralized SDN controller.
+//!
+//! Holds the desired rule state for every switch (the paper's controller
+//! receives compiled rules from the query interpreter over its northbound
+//! interface, §3.4) and exposes them for the data plane to pull — either
+//! proactively at install time or reactively on a packet-in.
+
+use std::collections::HashMap;
+
+use netalytics_packet::FlowKey;
+
+use crate::rule::FlowRule;
+
+/// Identifier of a switch in the emulated network.
+pub type SwitchId = u32;
+
+/// A rule targeted at a specific switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleInstallation {
+    /// Which switch receives the rule.
+    pub switch: SwitchId,
+    /// The rule itself.
+    pub rule: FlowRule,
+}
+
+/// Install mode requested for a batch of rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstallMode {
+    /// Push to switches immediately (paper: "proactively pushed").
+    #[default]
+    Proactive,
+    /// Leave in controller state; switches pull on first packet-in
+    /// (paper: "pulled on demand by switches when they see new packets").
+    Reactive,
+}
+
+/// The SDN controller: desired rules per switch plus an install log.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
+///
+/// let mut ctl = SdnController::new();
+/// ctl.install(3, FlowRule::mirror(FlowMatch::any(), 42, 1), InstallMode::Proactive);
+/// assert_eq!(ctl.pending_for(3).len(), 1);
+/// assert_eq!(ctl.pending_for(3).len(), 0, "drained by the pull");
+/// ```
+#[derive(Debug, Default)]
+pub struct SdnController {
+    /// Full desired state, per switch.
+    desired: HashMap<SwitchId, Vec<FlowRule>>,
+    /// Rules awaiting proactive push (drained by the data plane).
+    pending: HashMap<SwitchId, Vec<FlowRule>>,
+    /// Count of packet-in events served per switch.
+    packet_ins: HashMap<SwitchId, u64>,
+}
+
+impl SdnController {
+    /// Creates an empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a rule for `switch`; proactive installs are queued for the
+    /// data plane to drain via [`SdnController::pending_for`].
+    pub fn install(&mut self, switch: SwitchId, rule: FlowRule, mode: InstallMode) {
+        self.desired.entry(switch).or_default().push(rule.clone());
+        if mode == InstallMode::Proactive {
+            self.pending.entry(switch).or_default().push(rule);
+        }
+    }
+
+    /// Installs a batch of rules.
+    pub fn install_all<I>(&mut self, rules: I, mode: InstallMode)
+    where
+        I: IntoIterator<Item = RuleInstallation>,
+    {
+        for r in rules {
+            self.install(r.switch, r.rule, mode);
+        }
+    }
+
+    /// Drains rules queued for proactive push to `switch`.
+    pub fn pending_for(&mut self, switch: SwitchId) -> Vec<FlowRule> {
+        self.pending.remove(&switch).unwrap_or_default()
+    }
+
+    /// Reactive path: a switch saw a packet with no matching rule.
+    /// Returns the desired rules matching that flow so the switch can
+    /// install them, and counts the packet-in.
+    pub fn packet_in(&mut self, switch: SwitchId, flow: &FlowKey) -> Vec<FlowRule> {
+        *self.packet_ins.entry(switch).or_default() += 1;
+        self.desired
+            .get(&switch)
+            .map(|rules| {
+                rules
+                    .iter()
+                    .filter(|r| r.matcher.matches(flow))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Removes all rules tagged with `cookie` from the desired state of
+    /// every switch, returning `(switch, removed_count)` pairs. Also
+    /// queues nothing — the data plane is told separately (the emulated
+    /// network removes by cookie too).
+    pub fn remove_cookie(&mut self, cookie: u64) -> Vec<(SwitchId, usize)> {
+        let mut out = Vec::new();
+        for (sw, rules) in self.desired.iter_mut() {
+            let before = rules.len();
+            rules.retain(|r| r.cookie != cookie);
+            let removed = before - rules.len();
+            if removed > 0 {
+                out.push((*sw, removed));
+            }
+        }
+        for rules in self.pending.values_mut() {
+            rules.retain(|r| r.cookie != cookie);
+        }
+        out.sort_unstable_by_key(|&(sw, _)| sw);
+        out
+    }
+
+    /// Desired rules currently held for `switch`.
+    pub fn desired_for(&self, switch: SwitchId) -> &[FlowRule] {
+        self.desired.get(&switch).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of packet-in events served for `switch`.
+    pub fn packet_in_count(&self, switch: SwitchId) -> u64 {
+        self.packet_ins.get(&switch).copied().unwrap_or(0)
+    }
+
+    /// Total number of desired rules across all switches.
+    pub fn rule_count(&self) -> usize {
+        self.desired.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::FlowMatch;
+    use netalytics_packet::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn mirror(cookie: u64) -> FlowRule {
+        FlowRule::mirror(
+            FlowMatch::any().to_host(Ipv4Addr::new(10, 0, 0, 9), Some(80)),
+            5,
+            cookie,
+        )
+    }
+
+    #[test]
+    fn proactive_rules_are_queued_once() {
+        let mut c = SdnController::new();
+        c.install(1, mirror(7), InstallMode::Proactive);
+        assert_eq!(c.pending_for(1).len(), 1);
+        assert!(c.pending_for(1).is_empty());
+        assert_eq!(c.desired_for(1).len(), 1);
+    }
+
+    #[test]
+    fn reactive_rules_served_on_packet_in() {
+        let mut c = SdnController::new();
+        c.install(1, mirror(7), InstallMode::Reactive);
+        assert!(c.pending_for(1).is_empty(), "reactive rules are not pushed");
+        let hit = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 9),
+            80,
+            IpProto::Tcp,
+        );
+        assert_eq!(c.packet_in(1, &hit).len(), 1);
+        let miss = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 8),
+            80,
+            IpProto::Tcp,
+        );
+        assert!(c.packet_in(1, &miss).is_empty());
+        assert_eq!(c.packet_in_count(1), 2);
+        assert_eq!(c.packet_in_count(2), 0);
+    }
+
+    #[test]
+    fn cookie_removal_spans_switches() {
+        let mut c = SdnController::new();
+        c.install(1, mirror(7), InstallMode::Proactive);
+        c.install(2, mirror(7), InstallMode::Proactive);
+        c.install(2, mirror(8), InstallMode::Proactive);
+        let removed = c.remove_cookie(7);
+        assert_eq!(removed, vec![(1, 1), (2, 1)]);
+        assert_eq!(c.rule_count(), 1);
+        // Pending queues were also purged of the cookie.
+        assert!(c.pending_for(1).is_empty());
+        assert_eq!(c.pending_for(2).len(), 1);
+    }
+}

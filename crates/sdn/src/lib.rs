@@ -1,0 +1,43 @@
+//! OpenFlow-style SDN model for the NetAlytics reproduction.
+//!
+//! NetAlytics (§2.1, §3.4) relies on an SDN controller to install rules
+//! whose match portion comes from a query's `FROM`/`TO` clauses and whose
+//! action list forwards traffic normally **plus** mirrors a copy to an NFV
+//! monitor. This crate models exactly that:
+//!
+//! * [`FlowMatch`]/[`IpMask`]/[`FieldMatch`] — wildcardable 5-tuple match.
+//! * [`Action`]/[`FlowRule`] — action lists including [`Action::MirrorToHost`].
+//! * [`FlowTable`] — per-switch priority table with counters.
+//! * [`SdnController`] — desired-state store with proactive push and
+//!   reactive packet-in paths, and cookie-scoped bulk removal so a query's
+//!   rules disappear when its `LIMIT` expires.
+//!
+//! The emulated data plane lives in `netalytics-netsim`, which embeds a
+//! [`FlowTable`] in every switch.
+//!
+//! # Examples
+//!
+//! ```
+//! use netalytics_sdn::{FlowMatch, FlowRule, FlowTable, Action};
+//! use netalytics_packet::{FlowKey, IpProto};
+//!
+//! // Mirror all traffic to 10.0.2.9:80 toward monitor host 17.
+//! let matcher = FlowMatch::any().to_host("10.0.2.9".parse()?, Some(80));
+//! let mut table = FlowTable::new();
+//! table.install(FlowRule::mirror(matcher, 17, 0xcafe));
+//!
+//! let flow = FlowKey::new("10.0.2.8".parse()?, 5555, "10.0.2.9".parse()?, 80, IpProto::Tcp);
+//! let actions = table.lookup(&flow, 128).unwrap();
+//! assert_eq!(actions, &[Action::Native, Action::MirrorToHost(17)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod controller;
+pub mod matcher;
+pub mod rule;
+pub mod table;
+
+pub use controller::{InstallMode, RuleInstallation, SdnController, SwitchId};
+pub use matcher::{FieldMatch, FlowMatch, IpMask};
+pub use rule::{Action, FlowRule, HostId, PortId};
+pub use table::{FlowTable, RuleId, RuleStats};

@@ -1,0 +1,293 @@
+//! OpenFlow-style wildcard matching over transport 5-tuples.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netalytics_packet::{FlowKey, IpProto};
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 address with a prefix length, matching a subnet.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_sdn::IpMask;
+///
+/// let net = IpMask::new("10.0.2.0".parse()?, 24);
+/// assert!(net.contains("10.0.2.99".parse()?));
+/// assert!(!net.contains("10.0.3.1".parse()?));
+/// # Ok::<(), std::net::AddrParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpMask {
+    addr: Ipv4Addr,
+    prefix: u8,
+}
+
+impl IpMask {
+    /// Creates a mask; `prefix` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Self {
+        IpMask {
+            addr,
+            prefix: prefix.min(32),
+        }
+    }
+
+    /// An exact-host mask (/32).
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Self::new(addr, 32)
+    }
+
+    /// The network address this mask was built from.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// True if `ip` falls inside the subnet.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.prefix == 0 {
+            return true;
+        }
+        let shift = 32 - u32::from(self.prefix);
+        (u32::from(self.addr) >> shift) == (u32::from(ip) >> shift)
+    }
+}
+
+impl fmt::Display for IpMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix)
+    }
+}
+
+/// A single match field: wildcard or a concrete requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FieldMatch<T> {
+    /// Matches anything (the `*` of the query language).
+    #[default]
+    Any,
+    /// Matches exactly this value.
+    Exact(T),
+}
+
+impl<T: PartialEq> FieldMatch<T> {
+    /// True if `v` satisfies this field.
+    pub fn matches(&self, v: &T) -> bool {
+        match self {
+            FieldMatch::Any => true,
+            FieldMatch::Exact(want) => want == v,
+        }
+    }
+
+    /// True if this field is a wildcard.
+    pub fn is_any(&self) -> bool {
+        matches!(self, FieldMatch::Any)
+    }
+}
+
+/// The match portion of an OpenFlow rule: five maskable/wildcardable
+/// fields over the transport 5-tuple (paper §3.4: FROM/TO clauses become
+/// the match portion of an OpenFlow rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Source subnet, if constrained.
+    pub src_ip: Option<IpMask>,
+    /// Destination subnet, if constrained.
+    pub dst_ip: Option<IpMask>,
+    /// Source port.
+    pub src_port: FieldMatch<u16>,
+    /// Destination port.
+    pub dst_port: FieldMatch<u16>,
+    /// Transport protocol.
+    pub proto: FieldMatch<u8>,
+}
+
+impl FlowMatch {
+    /// A match-everything rule (all wildcards).
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Builder: constrain the source subnet.
+    pub fn from_subnet(mut self, mask: IpMask) -> Self {
+        self.src_ip = Some(mask);
+        self
+    }
+
+    /// Builder: constrain the destination subnet.
+    pub fn to_subnet(mut self, mask: IpMask) -> Self {
+        self.dst_ip = Some(mask);
+        self
+    }
+
+    /// Builder: constrain the source host (/32) and optionally port.
+    pub fn from_host(mut self, ip: Ipv4Addr, port: Option<u16>) -> Self {
+        self.src_ip = Some(IpMask::host(ip));
+        if let Some(p) = port {
+            self.src_port = FieldMatch::Exact(p);
+        }
+        self
+    }
+
+    /// Builder: constrain the destination host (/32) and optionally port.
+    pub fn to_host(mut self, ip: Ipv4Addr, port: Option<u16>) -> Self {
+        self.dst_ip = Some(IpMask::host(ip));
+        if let Some(p) = port {
+            self.dst_port = FieldMatch::Exact(p);
+        }
+        self
+    }
+
+    /// Builder: constrain the transport protocol.
+    pub fn with_proto(mut self, proto: IpProto) -> Self {
+        self.proto = FieldMatch::Exact(proto.to_u8());
+        self
+    }
+
+    /// True if `flow` satisfies every constrained field.
+    pub fn matches(&self, flow: &FlowKey) -> bool {
+        self.src_ip.is_none_or(|m| m.contains(flow.src_ip))
+            && self.dst_ip.is_none_or(|m| m.contains(flow.dst_ip))
+            && self.src_port.matches(&flow.src_port)
+            && self.dst_port.matches(&flow.dst_port)
+            && self.proto.matches(&flow.proto)
+    }
+
+    /// The same match with source and destination constraints swapped —
+    /// used to monitor both directions of a flow (a query's `TO h1:80`
+    /// must also capture h1's responses).
+    pub fn reversed(&self) -> FlowMatch {
+        FlowMatch {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Number of constrained fields — a crude specificity measure used to
+    /// derive default priorities (more specific ⇒ higher priority).
+    pub fn specificity(&self) -> u16 {
+        let mut n = 0;
+        n += u16::from(self.src_ip.is_some());
+        n += u16::from(self.dst_ip.is_some());
+        n += u16::from(!self.src_port.is_any());
+        n += u16::from(!self.dst_port.is_any());
+        n += u16::from(!self.proto.is_any());
+        n
+    }
+}
+
+impl fmt::Display for FlowMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn port(p: &FieldMatch<u16>) -> String {
+            match p {
+                FieldMatch::Any => "*".into(),
+                FieldMatch::Exact(v) => v.to_string(),
+            }
+        }
+        let src = self
+            .src_ip
+            .map_or_else(|| "*".to_string(), |m| m.to_string());
+        let dst = self
+            .dst_ip
+            .map_or_else(|| "*".to_string(), |m| m.to_string());
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            src,
+            port(&self.src_port),
+            dst,
+            port(&self.dst_port)
+        )?;
+        if let FieldMatch::Exact(p) = self.proto {
+            write!(f, " proto={p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 2, 8),
+            5555,
+            Ipv4Addr::new(10, 0, 2, 9),
+            80,
+            IpProto::Tcp,
+        )
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(FlowMatch::any().matches(&flow()));
+        assert_eq!(FlowMatch::any().specificity(), 0);
+    }
+
+    #[test]
+    fn exact_host_and_port() {
+        let m = FlowMatch::any()
+            .from_host(Ipv4Addr::new(10, 0, 2, 8), Some(5555))
+            .to_host(Ipv4Addr::new(10, 0, 2, 9), Some(80));
+        assert!(m.matches(&flow()));
+        assert!(!m.matches(&flow().reversed()));
+        assert_eq!(m.specificity(), 4);
+    }
+
+    #[test]
+    fn subnet_match() {
+        let m = FlowMatch::any().to_subnet(IpMask::new(Ipv4Addr::new(10, 0, 2, 0), 24));
+        assert!(m.matches(&flow()));
+        let other = FlowKey::new(
+            Ipv4Addr::new(10, 0, 2, 8),
+            5555,
+            Ipv4Addr::new(10, 0, 3, 9),
+            80,
+            IpProto::Tcp,
+        );
+        assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn reversed_matches_the_return_direction() {
+        let m = FlowMatch::any().to_host(Ipv4Addr::new(10, 0, 2, 9), Some(80));
+        assert!(m.matches(&flow()));
+        assert!(!m.matches(&flow().reversed()));
+        assert!(m.reversed().matches(&flow().reversed()));
+        assert_eq!(m.reversed().reversed(), m);
+    }
+
+    #[test]
+    fn proto_match() {
+        let m = FlowMatch::any().with_proto(IpProto::Udp);
+        assert!(!m.matches(&flow()));
+        let mut udp = flow();
+        udp.proto = IpProto::Udp.to_u8();
+        assert!(m.matches(&udp));
+    }
+
+    #[test]
+    fn zero_prefix_is_wildcard() {
+        let m = IpMask::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(m.contains(Ipv4Addr::new(250, 250, 250, 250)));
+    }
+
+    #[test]
+    fn prefix_clamped() {
+        assert_eq!(IpMask::new(Ipv4Addr::new(1, 2, 3, 4), 99).prefix(), 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = FlowMatch::any().to_host(Ipv4Addr::new(10, 0, 0, 1), Some(80));
+        assert_eq!(m.to_string(), "*:* -> 10.0.0.1/32:80");
+    }
+}

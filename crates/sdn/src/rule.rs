@@ -1,0 +1,132 @@
+//! Flow rules: match + action list + counters, OpenFlow-style.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::matcher::FlowMatch;
+
+/// Identifier of a switch port in the emulated network.
+pub type PortId = u16;
+
+/// Identifier of an emulated host (monitor placement target).
+pub type HostId = u32;
+
+/// An action applied to a matching packet.
+///
+/// The paper's query interpreter builds "an action list with both the
+/// standard output port leading to the destination and a secondary output
+/// leading to the monitor" (§3.4); that list here is
+/// `[Action::Native, Action::MirrorToHost(monitor)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward normally using the switch's native (fat-tree) routing.
+    Native,
+    /// Emit on a specific port.
+    Output(PortId),
+    /// Send a copy toward the given host (route resolved by the switch).
+    MirrorToHost(HostId),
+    /// Send the packet to the SDN controller (packet-in).
+    Controller,
+    /// Discard the packet.
+    Drop,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Native => f.write_str("native"),
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::MirrorToHost(h) => write!(f, "mirror:h{h}"),
+            Action::Controller => f.write_str("controller"),
+            Action::Drop => f.write_str("drop"),
+        }
+    }
+}
+
+/// A rule installed in a switch's flow table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Higher priorities win; ties break to the more recently installed.
+    pub priority: u16,
+    /// Match portion.
+    pub matcher: FlowMatch,
+    /// Action list, applied in order.
+    pub actions: Vec<Action>,
+    /// Opaque tag grouping rules by the query that installed them
+    /// (OpenFlow cookie); enables bulk removal when a query's LIMIT ends.
+    pub cookie: u64,
+}
+
+impl FlowRule {
+    /// Creates a rule; priority defaults to the match specificity.
+    pub fn new(matcher: FlowMatch, actions: Vec<Action>) -> Self {
+        FlowRule {
+            priority: matcher.specificity(),
+            matcher,
+            actions,
+            cookie: 0,
+        }
+    }
+
+    /// Builder: sets an explicit priority.
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: tags the rule with a query cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Convenience: the paper's standard monitoring rule — forward
+    /// natively and mirror a copy toward `monitor`.
+    pub fn mirror(matcher: FlowMatch, monitor: HostId, cookie: u64) -> Self {
+        FlowRule::new(matcher, vec![Action::Native, Action::MirrorToHost(monitor)])
+            .with_cookie(cookie)
+    }
+}
+
+impl fmt::Display for FlowRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio={} [{}] ->", self.priority, self.matcher)?;
+        for a in &self.actions {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_priority_tracks_specificity() {
+        let any = FlowRule::new(FlowMatch::any(), vec![Action::Native]);
+        assert_eq!(any.priority, 0);
+        let specific = FlowRule::new(
+            FlowMatch::any().to_host("10.0.0.1".parse().unwrap(), Some(80)),
+            vec![Action::Native],
+        );
+        assert_eq!(specific.priority, 2);
+    }
+
+    #[test]
+    fn mirror_rule_shape() {
+        let r = FlowRule::mirror(FlowMatch::any(), 7, 0xbeef);
+        assert_eq!(r.actions, vec![Action::Native, Action::MirrorToHost(7)]);
+        assert_eq!(r.cookie, 0xbeef);
+    }
+
+    #[test]
+    fn display_contains_actions() {
+        let r = FlowRule::mirror(FlowMatch::any(), 7, 1).with_priority(9);
+        let s = r.to_string();
+        assert!(s.contains("prio=9"));
+        assert!(s.contains("mirror:h7"));
+        assert!(s.contains("native"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Priority flow tables, as held by each emulated switch.
+
+use netalytics_packet::FlowKey;
+
+use crate::rule::{Action, FlowRule};
+
+/// Handle to a rule inside a [`FlowTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(u64);
+
+/// Per-rule statistics (OpenFlow flow-stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Packets that matched this rule.
+    pub packets: u64,
+    /// Bytes across those packets.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    id: RuleId,
+    rule: FlowRule,
+    stats: RuleStats,
+}
+
+/// A switch flow table: rules ordered by priority, highest first.
+///
+/// Lookups return the single highest-priority matching rule, like an
+/// OpenFlow single-table pipeline; ties break to the most recently
+/// installed rule (larger [`RuleId`]).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_sdn::{Action, FlowMatch, FlowRule, FlowTable};
+/// use netalytics_packet::{FlowKey, IpProto};
+///
+/// let mut table = FlowTable::new();
+/// table.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]));
+/// table.install(
+///     FlowRule::new(
+///         FlowMatch::any().to_host("10.0.0.9".parse()?, Some(80)),
+///         vec![Action::Native],
+///     )
+///     .with_priority(10),
+/// );
+/// let web = FlowKey::new("10.0.0.1".parse()?, 5555, "10.0.0.9".parse()?, 80, IpProto::Tcp);
+/// assert_eq!(table.lookup(&web, 64).unwrap(), &[Action::Native]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    entries: Vec<Entry>,
+    next_id: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule, returning its handle.
+    pub fn install(&mut self, rule: FlowRule) -> RuleId {
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        // Keep entries sorted: priority desc, then id desc (newest first),
+        // so lookup can take the first match.
+        let pos = self
+            .entries
+            .partition_point(|e| e.rule.priority > rule.priority);
+        self.entries.insert(
+            pos,
+            Entry {
+                id,
+                rule,
+                stats: RuleStats::default(),
+            },
+        );
+        id
+    }
+
+    /// Removes a rule by handle. Returns the rule if it was present.
+    pub fn remove(&mut self, id: RuleId) -> Option<FlowRule> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos).rule)
+    }
+
+    /// Removes every rule with the given cookie, returning how many.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.rule.cookie != cookie);
+        before - self.entries.len()
+    }
+
+    /// Looks up the highest-priority rule matching `flow`, updating its
+    /// counters with one packet of `len` bytes. Returns the action list.
+    pub fn lookup(&mut self, flow: &FlowKey, len: usize) -> Option<&[Action]> {
+        // entries are priority-desc; within equal priority, newest-first
+        // requires reversed scan of the equal-priority run. We instead scan
+        // in order but prefer the newest among equal priority.
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if let Some(b) = best {
+                if e.rule.priority < self.entries[b].rule.priority {
+                    break;
+                }
+            }
+            if e.rule.matcher.matches(flow) {
+                match best {
+                    Some(b) => {
+                        if e.rule.priority == self.entries[b].rule.priority
+                            && e.id > self.entries[b].id
+                        {
+                            best = Some(i);
+                        }
+                    }
+                    None => best = Some(i),
+                }
+            }
+        }
+        let idx = best?;
+        let e = &mut self.entries[idx];
+        e.stats.packets += 1;
+        e.stats.bytes += len as u64;
+        Some(&e.rule.actions)
+    }
+
+    /// Looks up **every** rule matching `flow`, updating each one's
+    /// counters, and returns the union of their action lists with
+    /// duplicate actions removed (order of first occurrence).
+    ///
+    /// Single-rule [`FlowTable::lookup`] models a plain OpenFlow table;
+    /// this models the group-table/action-bucket arrangement monitoring
+    /// fabrics use so several concurrent queries can each mirror the same
+    /// flow to their own monitor.
+    pub fn lookup_all(&mut self, flow: &FlowKey, len: usize) -> Vec<Action> {
+        let mut out: Vec<Action> = Vec::new();
+        for e in &mut self.entries {
+            if e.rule.matcher.matches(flow) {
+                e.stats.packets += 1;
+                e.stats.bytes += len as u64;
+                for a in &e.rule.actions {
+                    if !out.contains(a) {
+                        out.push(*a);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matches without mutating counters (for tests and planning).
+    pub fn peek(&self, flow: &FlowKey) -> Option<&FlowRule> {
+        let mut best: Option<&Entry> = None;
+        for e in &self.entries {
+            if let Some(b) = best {
+                if e.rule.priority < b.rule.priority {
+                    break;
+                }
+            }
+            if e.rule.matcher.matches(flow) {
+                match best {
+                    Some(b) if e.rule.priority == b.rule.priority && e.id > b.id => {
+                        best = Some(e)
+                    }
+                    None => best = Some(e),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|e| &e.rule)
+    }
+
+    /// Statistics for a rule.
+    pub fn stats(&self, id: RuleId) -> Option<RuleStats> {
+        self.entries.iter().find(|e| e.id == id).map(|e| e.stats)
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over installed rules in match order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &FlowRule)> {
+        self.entries.iter().map(|e| (e.id, &e.rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::FlowMatch;
+    use netalytics_packet::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn flow(dst_port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            dst_port,
+            IpProto::Tcp,
+        )
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]).with_priority(1));
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Native]).with_priority(5));
+        assert_eq!(t.lookup(&flow(80), 64).unwrap(), &[Action::Native]);
+    }
+
+    #[test]
+    fn ties_break_to_newest() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]).with_priority(5));
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Native]).with_priority(5));
+        assert_eq!(t.lookup(&flow(80), 64).unwrap(), &[Action::Native]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        let id = t.install(FlowRule::new(FlowMatch::any(), vec![Action::Native]));
+        t.lookup(&flow(80), 100);
+        t.lookup(&flow(81), 50);
+        assert_eq!(
+            t.stats(id).unwrap(),
+            RuleStats {
+                packets: 2,
+                bytes: 150
+            }
+        );
+    }
+
+    #[test]
+    fn remove_by_id_and_cookie() {
+        let mut t = FlowTable::new();
+        let a = t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]).with_cookie(7));
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]).with_cookie(7));
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]).with_cookie(8));
+        assert!(t.remove(a).is_some());
+        assert!(t.remove(a).is_none());
+        assert_eq!(t.remove_by_cookie(7), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(
+            FlowMatch::any().to_host(Ipv4Addr::new(1, 1, 1, 1), None),
+            vec![Action::Drop],
+        ));
+        assert!(t.lookup(&flow(80), 64).is_none());
+        assert!(t.peek(&flow(80)).is_none());
+    }
+
+    #[test]
+    fn lookup_all_unions_actions_and_dedupes() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::mirror(FlowMatch::any(), 5, 1));
+        t.install(FlowRule::mirror(FlowMatch::any(), 9, 2));
+        let actions = t.lookup_all(&flow(80), 64);
+        // Newest rule scans first (same priority), Native deduped.
+        assert_eq!(
+            actions,
+            vec![
+                Action::Native,
+                Action::MirrorToHost(9),
+                Action::MirrorToHost(5)
+            ],
+            "both queries mirror; Native appears once"
+        );
+        assert!(t.lookup_all(&flow(80), 64).len() == 3);
+        // Counters advanced on every matching rule.
+        let ids: Vec<_> = t.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            assert_eq!(t.stats(id).unwrap().packets, 2);
+        }
+    }
+
+    #[test]
+    fn more_specific_beats_wildcard_by_default() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(FlowMatch::any(), vec![Action::Drop]));
+        t.install(FlowRule::new(
+            FlowMatch::any().to_host(Ipv4Addr::new(10, 0, 0, 2), Some(80)),
+            vec![Action::Native],
+        ));
+        assert_eq!(t.peek(&flow(80)).unwrap().actions, vec![Action::Native]);
+        assert_eq!(t.peek(&flow(81)).unwrap().actions, vec![Action::Drop]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::matcher::{FieldMatch, FlowMatch, IpMask};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn arb_match() -> impl Strategy<Value = FlowMatch> {
+        (
+            proptest::option::of((any::<u32>(), 0u8..=32)),
+            proptest::option::of((any::<u32>(), 0u8..=32)),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u16>()),
+        )
+            .prop_map(|(s, d, sp, dp)| FlowMatch {
+                src_ip: s.map(|(ip, p)| IpMask::new(Ipv4Addr::from(ip), p)),
+                dst_ip: d.map(|(ip, p)| IpMask::new(Ipv4Addr::from(ip), p)),
+                src_port: sp.map_or(FieldMatch::Any, FieldMatch::Exact),
+                dst_port: dp.map_or(FieldMatch::Any, FieldMatch::Exact),
+                proto: FieldMatch::Any,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn lookup_agrees_with_linear_scan(
+            matches in proptest::collection::vec((arb_match(), 0u16..8), 1..16),
+            ip in any::<u32>(),
+            port in any::<u16>(),
+        ) {
+            let mut t = FlowTable::new();
+            for (m, prio) in &matches {
+                t.install(FlowRule::new(*m, vec![Action::Native]).with_priority(*prio));
+            }
+            let flow = FlowKey::new(
+                Ipv4Addr::from(ip), port,
+                Ipv4Addr::from(!ip), port.wrapping_add(1),
+                netalytics_packet::IpProto::Tcp,
+            );
+            // Reference: maximal (priority, install order) among matches.
+            let expect = matches
+                .iter()
+                .enumerate()
+                .filter(|(_, (m, _))| m.matches(&flow))
+                .max_by_key(|(i, (_, p))| (*p, *i))
+                .map(|(i, _)| i);
+            let got = t.peek(&flow);
+            match (expect, got) {
+                (None, None) => {}
+                (Some(i), Some(rule)) => {
+                    prop_assert_eq!(rule.priority, matches[i].1);
+                    prop_assert!(rule.matcher.matches(&flow));
+                }
+                other => prop_assert!(false, "mismatch: {:?}", other),
+            }
+        }
+    }
+}

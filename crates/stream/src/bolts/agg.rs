@@ -1,0 +1,255 @@
+//! Grouped aggregation: the `sum`, `avg`, `max`, `min` and `group`
+//! building blocks of Table 2.
+
+use std::collections::HashMap;
+
+use netalytics_data::{DataTuple, Value};
+
+use crate::bolt::Bolt;
+
+/// The aggregate operator applied per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Total of the value field.
+    Sum,
+    /// Arithmetic mean of the value field.
+    Avg,
+    /// Largest value.
+    Max,
+    /// Smallest value.
+    Min,
+    /// Count of tuples (value field ignored).
+    Count,
+}
+
+impl AggOp {
+    /// Parses the operator name used by the query language.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "sum" => AggOp::Sum,
+            "avg" => AggOp::Avg,
+            "max" => AggOp::Max,
+            "min" => AggOp::Min,
+            "count" => AggOp::Count,
+            _ => return None,
+        })
+    }
+
+    fn result_field(self) -> &'static str {
+        match self {
+            AggOp::Sum => "sum",
+            AggOp::Avg => "avg",
+            AggOp::Max => "max",
+            AggOp::Min => "min",
+            AggOp::Count => "count",
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct GroupState {
+    sum: f64,
+    count: u64,
+    max: f64,
+    min: f64,
+    /// Group attribute values carried into the emission.
+    attrs: Vec<(String, Value)>,
+}
+
+/// Aggregates a numeric field per group key, emitting one tuple per group
+/// on tick — the `group` block of Table 2 combined with an operator
+/// (`diff_group`, `group_sum`, `diff-group-avg` in the paper's §7 use).
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_data::{DataTuple, Value};
+/// use netalytics_stream::bolts::{AggBolt, AggOp};
+/// use netalytics_stream::Bolt;
+///
+/// let mut b = AggBolt::new(AggOp::Avg, "rt_ms", vec!["dst_ip".into()]);
+/// let mut out = Vec::new();
+/// b.execute(&DataTuple::new(1, 0).with("dst_ip", "10.0.0.9").with("rt_ms", 10.0), &mut out);
+/// b.execute(&DataTuple::new(2, 0).with("dst_ip", "10.0.0.9").with("rt_ms", 30.0), &mut out);
+/// b.finish(99, &mut out);
+/// assert_eq!(out[0].get("avg").and_then(Value::as_f64), Some(20.0));
+/// ```
+#[derive(Debug)]
+pub struct AggBolt {
+    op: AggOp,
+    value_field: String,
+    group_fields: Vec<String>,
+    groups: HashMap<String, GroupState>,
+}
+
+impl AggBolt {
+    /// Creates an aggregator over `value_field`, grouped by
+    /// `group_fields` (empty = one global group).
+    pub fn new(op: AggOp, value_field: impl Into<String>, group_fields: Vec<String>) -> Self {
+        AggBolt {
+            op,
+            value_field: value_field.into(),
+            group_fields,
+            groups: HashMap::new(),
+        }
+    }
+
+    fn group_key(&self, tuple: &DataTuple) -> (String, Vec<(String, Value)>) {
+        let mut key = String::new();
+        let mut attrs = Vec::new();
+        for f in &self.group_fields {
+            let v = tuple.get(f).cloned().unwrap_or(Value::Null);
+            key.push_str(&v.to_string());
+            key.push('\u{1f}');
+            attrs.push((f.clone(), v));
+        }
+        (key, attrs)
+    }
+}
+
+impl Bolt for AggBolt {
+    fn execute(&mut self, tuple: &DataTuple, _out: &mut Vec<DataTuple>) {
+        let value = match self.op {
+            AggOp::Count => 0.0,
+            _ => match tuple.get(&self.value_field).and_then(Value::as_f64) {
+                Some(v) => v,
+                None => return,
+            },
+        };
+        let (key, attrs) = self.group_key(tuple);
+        let st = self.groups.entry(key).or_insert_with(|| GroupState {
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+            attrs,
+            ..Default::default()
+        });
+        st.sum += value;
+        st.count += 1;
+        st.max = st.max.max(value);
+        st.min = st.min.min(value);
+    }
+
+    fn tick(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {
+        // Aggregates accumulate for the query's whole LIMIT window; the
+        // final figures are released on finish (like the paper's per-tier
+        // averages, which summarize the full measurement run).
+    }
+
+    fn finish(&mut self, now_ns: u64, out: &mut Vec<DataTuple>) {
+        let mut groups: Vec<_> = self.groups.drain().collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, st) in groups {
+            let result = match self.op {
+                AggOp::Sum => st.sum,
+                AggOp::Avg => st.sum / st.count as f64,
+                AggOp::Max => st.max,
+                AggOp::Min => st.min,
+                AggOp::Count => st.count as f64,
+            };
+            let mut t = DataTuple::new(0, now_ns).from_source("agg");
+            for (k, v) in st.attrs {
+                t.push(k, v);
+            }
+            t.push(self.op.result_field(), result);
+            t.push("n", st.count);
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ip: &str, v: f64) -> DataTuple {
+        DataTuple::new(0, 0).with("dst_ip", ip).with("v", v)
+    }
+
+    fn run(op: AggOp, tuples: &[DataTuple]) -> Vec<DataTuple> {
+        let mut b = AggBolt::new(op, "v", vec!["dst_ip".into()]);
+        let mut out = Vec::new();
+        for tu in tuples {
+            b.execute(tu, &mut out);
+        }
+        b.finish(1, &mut out);
+        out
+    }
+
+    #[test]
+    fn sum_and_count_per_group() {
+        let out = run(AggOp::Sum, &[t("a", 1.0), t("a", 2.0), t("b", 5.0)]);
+        assert_eq!(out.len(), 2);
+        let a = out
+            .iter()
+            .find(|x| x.get("dst_ip").and_then(Value::as_str) == Some("a"))
+            .unwrap();
+        assert_eq!(a.get("sum").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(a.get("n").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let data = [t("a", 10.0), t("a", 20.0), t("a", 60.0)];
+        assert_eq!(
+            run(AggOp::Avg, &data)[0].get("avg").and_then(Value::as_f64),
+            Some(30.0)
+        );
+        assert_eq!(
+            run(AggOp::Max, &data)[0].get("max").and_then(Value::as_f64),
+            Some(60.0)
+        );
+        assert_eq!(
+            run(AggOp::Min, &data)[0].get("min").and_then(Value::as_f64),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn count_ignores_missing_value() {
+        let mut b = AggBolt::new(AggOp::Count, "v", vec![]);
+        let mut out = Vec::new();
+        b.execute(&DataTuple::new(0, 0).with("other", 1u64), &mut out);
+        b.execute(&DataTuple::new(0, 0), &mut out);
+        b.finish(1, &mut out);
+        assert_eq!(out[0].get("count").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn non_numeric_values_skipped() {
+        let out = run(AggOp::Sum, &[DataTuple::new(0, 0).with("dst_ip", "a").with("v", "nope")]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn state_drains_on_tick() {
+        let mut b = AggBolt::new(AggOp::Sum, "v", vec![]);
+        let mut out = Vec::new();
+        b.execute(&t("a", 1.0), &mut out);
+        b.finish(1, &mut out);
+        out.clear();
+        b.finish(2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_field_grouping() {
+        let mut b = AggBolt::new(AggOp::Sum, "v", vec!["x".into(), "y".into()]);
+        let mut out = Vec::new();
+        b.execute(
+            &DataTuple::new(0, 0).with("x", "1").with("y", "a").with("v", 1.0),
+            &mut out,
+        );
+        b.execute(
+            &DataTuple::new(0, 0).with("x", "1").with("y", "b").with("v", 1.0),
+            &mut out,
+        );
+        b.finish(1, &mut out);
+        assert_eq!(out.len(), 2, "distinct (x,y) pairs stay separate");
+    }
+
+    #[test]
+    fn op_parse() {
+        assert_eq!(AggOp::parse("avg"), Some(AggOp::Avg));
+        assert_eq!(AggOp::parse("bogus"), None);
+    }
+}

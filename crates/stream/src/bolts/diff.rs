@@ -1,0 +1,147 @@
+//! The `diff` block of Table 2: difference of two streams.
+//!
+//! "diff_group takes two streams (e.g., the start and end times of a TCP
+//! flow) and calculates their difference value, and then groups the
+//! results by some attribute (e.g., the destination IP)."
+
+use std::collections::HashMap;
+
+use netalytics_data::{DataTuple, Value};
+
+use crate::bolt::Bolt;
+
+/// Pairs tuples sharing an ID and emits the difference of a numeric
+/// field, carrying the first tuple's attributes for downstream grouping.
+///
+/// Typical input: `tcp_conn_time` start/end events; output:
+/// per-connection response time in milliseconds.
+#[derive(Debug)]
+pub struct DiffBolt {
+    value_field: String,
+    /// id → first observed (value, tuple).
+    pending: HashMap<u64, (f64, DataTuple)>,
+    /// Cap on outstanding unmatched tuples (stale halves are evicted
+    /// oldest-insertion-first once exceeded).
+    max_pending: usize,
+}
+
+impl DiffBolt {
+    /// Creates a diff bolt over `value_field` (commonly `t_ns`).
+    pub fn new(value_field: impl Into<String>) -> Self {
+        DiffBolt {
+            value_field: value_field.into(),
+            pending: HashMap::new(),
+            max_pending: 1_000_000,
+        }
+    }
+
+    /// Builder: bounds the unmatched-tuple table.
+    pub fn with_max_pending(mut self, max: usize) -> Self {
+        self.max_pending = max.max(1);
+        self
+    }
+
+    /// Outstanding unmatched tuples.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl Bolt for DiffBolt {
+    fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        let Some(v) = tuple.get(&self.value_field).and_then(Value::as_f64) else {
+            return;
+        };
+        match self.pending.remove(&tuple.id) {
+            Some((first_v, first_t)) => {
+                let diff_ns = (v - first_v).abs();
+                let mut t = DataTuple::new(tuple.id, tuple.ts_ns).from_source("diff");
+                t.push("diff_ms", diff_ns / 1e6);
+                // Carry the first tuple's attributes (minus the raw value
+                // field) so `group` can use them.
+                for (k, val) in &first_t.fields {
+                    if k != &self.value_field {
+                        t.push(k.clone(), val.clone());
+                    }
+                }
+                out.push(t);
+            }
+            None => {
+                if self.pending.len() >= self.max_pending {
+                    // Shed an arbitrary stale entry to stay bounded.
+                    if let Some(&k) = self.pending.keys().next() {
+                        self.pending.remove(&k);
+                    }
+                }
+                self.pending.insert(tuple.id, (v, tuple.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, event: &str, t_ns: u64) -> DataTuple {
+        DataTuple::new(id, t_ns)
+            .with("event", event)
+            .with("t_ns", t_ns)
+            .with("dst_ip", "10.0.0.9")
+    }
+
+    #[test]
+    fn pairs_start_and_end() {
+        let mut b = DiffBolt::new("t_ns");
+        let mut out = Vec::new();
+        b.execute(&ev(7, "start", 1_000_000), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(b.pending_len(), 1);
+        b.execute(&ev(7, "end", 5_000_000), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("diff_ms").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(
+            out[0].get("dst_ip").and_then(Value::as_str),
+            Some("10.0.0.9"),
+            "group attributes carried from the start tuple"
+        );
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_pairs_still_match() {
+        let mut b = DiffBolt::new("t_ns");
+        let mut out = Vec::new();
+        b.execute(&ev(9, "end", 3_000_000), &mut out);
+        b.execute(&ev(9, "start", 1_000_000), &mut out);
+        assert_eq!(out[0].get("diff_ms").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn distinct_ids_do_not_cross_match() {
+        let mut b = DiffBolt::new("t_ns");
+        let mut out = Vec::new();
+        b.execute(&ev(1, "start", 0), &mut out);
+        b.execute(&ev(2, "start", 10), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(b.pending_len(), 2);
+    }
+
+    #[test]
+    fn pending_is_bounded() {
+        let mut b = DiffBolt::new("t_ns").with_max_pending(10);
+        let mut out = Vec::new();
+        for id in 0..100 {
+            b.execute(&ev(id, "start", id), &mut out);
+        }
+        assert!(b.pending_len() <= 10);
+    }
+
+    #[test]
+    fn missing_value_ignored() {
+        let mut b = DiffBolt::new("t_ns");
+        let mut out = Vec::new();
+        b.execute(&DataTuple::new(1, 0).with("event", "start"), &mut out);
+        assert_eq!(b.pending_len(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Generic two-stream join — the paper's stated future work ("Though it
+//! is possible [to] add operations such as join in the query language,
+//! we leave this as future work", §3.4). Implemented here as a catalog
+//! processor: tuples from two named sources pair on their ID field and
+//! emit one merged tuple per pair.
+
+use std::collections::HashMap;
+
+use netalytics_data::DataTuple;
+
+use crate::bolt::Bolt;
+
+/// Joins tuples of source `left` with tuples of source `right` sharing a
+/// tuple ID, emitting the union of their fields (left's fields first;
+/// duplicate keys keep both, left's instance first).
+///
+/// Memory is bounded: each side's unmatched table holds at most
+/// `max_pending` entries (oldest shed).
+#[derive(Debug)]
+pub struct JoinBolt {
+    left: String,
+    right: String,
+    pending_left: HashMap<u64, DataTuple>,
+    pending_right: HashMap<u64, DataTuple>,
+    max_pending: usize,
+    /// Matches emitted.
+    matched: u64,
+    /// Unmatched entries shed to the bound.
+    shed: u64,
+}
+
+impl JoinBolt {
+    /// Creates a join between the two named sources.
+    pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
+        JoinBolt {
+            left: left.into(),
+            right: right.into(),
+            pending_left: HashMap::new(),
+            pending_right: HashMap::new(),
+            max_pending: 1_000_000,
+            matched: 0,
+            shed: 0,
+        }
+    }
+
+    /// Builder: bounds each side's unmatched table.
+    pub fn with_max_pending(mut self, max: usize) -> Self {
+        self.max_pending = max.max(1);
+        self
+    }
+
+    /// `(matched pairs, shed unmatched entries)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.matched, self.shed)
+    }
+
+    fn merge(a: &DataTuple, b: &DataTuple) -> DataTuple {
+        let mut out = DataTuple::new(a.id, a.ts_ns.max(b.ts_ns)).from_source("join");
+        for (k, v) in a.fields.iter().chain(&b.fields) {
+            out.push(k.clone(), v.clone());
+        }
+        out
+    }
+}
+
+impl Bolt for JoinBolt {
+    fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        let (mine, other, left_side) = if tuple.source == self.left {
+            (&mut self.pending_left, &mut self.pending_right, true)
+        } else if tuple.source == self.right {
+            (&mut self.pending_right, &mut self.pending_left, false)
+        } else {
+            return;
+        };
+        if let Some(partner) = other.remove(&tuple.id) {
+            self.matched += 1;
+            out.push(if left_side {
+                Self::merge(tuple, &partner)
+            } else {
+                Self::merge(&partner, tuple)
+            });
+            return;
+        }
+        if mine.len() >= self.max_pending {
+            if let Some(&k) = mine.keys().next() {
+                mine.remove(&k);
+                self.shed += 1;
+            }
+        }
+        mine.insert(tuple.id, tuple.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+
+    fn l(id: u64) -> DataTuple {
+        DataTuple::new(id, 10).from_source("http_get").with("url", "/a")
+    }
+    fn r(id: u64) -> DataTuple {
+        DataTuple::new(id, 20).from_source("tcp_conn_time").with("t_ns", 5u64)
+    }
+
+    #[test]
+    fn pairs_across_sources_in_any_order() {
+        let mut b = JoinBolt::new("http_get", "tcp_conn_time");
+        let mut out = Vec::new();
+        b.execute(&l(1), &mut out);
+        b.execute(&r(1), &mut out);
+        b.execute(&r(2), &mut out);
+        b.execute(&l(2), &mut out);
+        assert_eq!(out.len(), 2);
+        for t in &out {
+            assert_eq!(t.get("url").and_then(Value::as_str), Some("/a"));
+            assert_eq!(t.get("t_ns").and_then(Value::as_u64), Some(5));
+            assert_eq!(t.source, "join");
+            assert_eq!(t.ts_ns, 20, "merged timestamp is the later side");
+        }
+        assert_eq!(b.stats(), (2, 0));
+    }
+
+    #[test]
+    fn left_fields_come_first_regardless_of_arrival() {
+        let mut b = JoinBolt::new("http_get", "tcp_conn_time");
+        let mut out = Vec::new();
+        b.execute(&r(1), &mut out);
+        b.execute(&l(1), &mut out);
+        assert_eq!(out[0].fields[0].0, "url");
+    }
+
+    #[test]
+    fn foreign_sources_ignored() {
+        let mut b = JoinBolt::new("a", "b");
+        let mut out = Vec::new();
+        b.execute(&DataTuple::new(1, 0).from_source("c"), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(b.stats(), (0, 0));
+    }
+
+    #[test]
+    fn unmatched_tables_are_bounded() {
+        let mut b = JoinBolt::new("a", "b").with_max_pending(5);
+        let mut out = Vec::new();
+        for id in 0..20 {
+            b.execute(&DataTuple::new(id, 0).from_source("a"), &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(b.stats().1, 15, "15 shed beyond the bound of 5");
+    }
+
+    #[test]
+    fn same_id_pairs_once() {
+        let mut b = JoinBolt::new("a", "b");
+        let mut out = Vec::new();
+        b.execute(&DataTuple::new(7, 0).from_source("a"), &mut out);
+        b.execute(&DataTuple::new(7, 0).from_source("b"), &mut out);
+        b.execute(&DataTuple::new(7, 0).from_source("b"), &mut out);
+        assert_eq!(out.len(), 1, "third tuple waits for a new partner");
+    }
+}

@@ -1,0 +1,207 @@
+//! Histogram and CDF collectors backing the §7 case-study figures
+//! (Figs. 10, 12, 13, 14, 15).
+
+use std::collections::BTreeMap;
+
+use netalytics_data::{DataTuple, Value};
+
+use crate::bolt::Bolt;
+
+/// Buckets a numeric field into fixed-width bins, emitting
+/// `(bucket_lo, frequency)` tuples on finish — the shape of the paper's
+/// response-time histograms.
+#[derive(Debug)]
+pub struct HistogramBolt {
+    value_field: String,
+    bucket_width: f64,
+    buckets: BTreeMap<i64, u64>,
+    group_field: Option<String>,
+}
+
+impl HistogramBolt {
+    /// Creates a histogram over `value_field` with `bucket_width`-sized
+    /// bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive.
+    pub fn new(value_field: impl Into<String>, bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        HistogramBolt {
+            value_field: value_field.into(),
+            bucket_width,
+            buckets: BTreeMap::new(),
+            group_field: None,
+        }
+    }
+}
+
+impl Bolt for HistogramBolt {
+    fn execute(&mut self, tuple: &DataTuple, _out: &mut Vec<DataTuple>) {
+        let Some(v) = tuple.get(&self.value_field).and_then(Value::as_f64) else {
+            return;
+        };
+        let _ = &self.group_field;
+        let bucket = (v / self.bucket_width).floor() as i64;
+        *self.buckets.entry(bucket).or_default() += 1;
+    }
+
+    fn tick(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {
+        // Histograms accumulate for the whole query (LIMIT bounds it).
+    }
+
+    fn finish(&mut self, now_ns: u64, out: &mut Vec<DataTuple>) {
+        for (bucket, freq) in std::mem::take(&mut self.buckets) {
+            out.push(
+                DataTuple::new(bucket as u64, now_ns)
+                    .from_source("histogram")
+                    .with("bucket_lo", bucket as f64 * self.bucket_width)
+                    .with("freq", freq),
+            );
+        }
+    }
+}
+
+/// Collects all values of a field and emits the empirical CDF on finish
+/// (one tuple per sample: value plus cumulative probability), the form
+/// plotted in Figs. 13 and 14.
+#[derive(Debug)]
+pub struct CdfBolt {
+    value_field: String,
+    group_field: Option<String>,
+    /// (group, value) samples.
+    samples: Vec<(String, f64)>,
+}
+
+impl CdfBolt {
+    /// Creates a CDF collector over `value_field`.
+    pub fn new(value_field: impl Into<String>) -> Self {
+        CdfBolt {
+            value_field: value_field.into(),
+            group_field: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Builder: separate CDFs per value of `group_field` (the paper plots
+    /// one CDF per URL).
+    pub fn grouped_by(mut self, group_field: impl Into<String>) -> Self {
+        self.group_field = Some(group_field.into());
+        self
+    }
+}
+
+impl Bolt for CdfBolt {
+    fn execute(&mut self, tuple: &DataTuple, _out: &mut Vec<DataTuple>) {
+        let Some(v) = tuple.get(&self.value_field).and_then(Value::as_f64) else {
+            return;
+        };
+        let group = self
+            .group_field
+            .as_ref()
+            .and_then(|f| tuple.get(f))
+            .map(ToString::to_string)
+            .unwrap_or_default();
+        self.samples.push((group, v));
+    }
+
+    fn tick(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {}
+
+    fn finish(&mut self, now_ns: u64, out: &mut Vec<DataTuple>) {
+        let mut samples = std::mem::take(&mut self.samples);
+        samples.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut i = 0;
+        while i < samples.len() {
+            let group = samples[i].0.clone();
+            let end = samples[i..]
+                .iter()
+                .position(|(g, _)| *g != group)
+                .map_or(samples.len(), |p| i + p);
+            let n = (end - i) as f64;
+            for (j, (_, v)) in samples[i..end].iter().enumerate() {
+                out.push(
+                    DataTuple::new(j as u64, now_ns)
+                        .from_source("cdf")
+                        .with("group", group.clone())
+                        .with("value", *v)
+                        .with("p", (j + 1) as f64 / n),
+                );
+            }
+            i = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> DataTuple {
+        DataTuple::new(0, 0).with("rt", x)
+    }
+
+    #[test]
+    fn histogram_buckets_and_frequencies() {
+        let mut b = HistogramBolt::new("rt", 10.0);
+        let mut out = Vec::new();
+        for x in [1.0, 5.0, 9.9, 10.0, 25.0] {
+            b.execute(&v(x), &mut out);
+        }
+        b.finish(0, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("bucket_lo").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(out[0].get("freq").and_then(Value::as_u64), Some(3));
+        assert_eq!(out[2].get("bucket_lo").and_then(Value::as_f64), Some(20.0));
+    }
+
+    #[test]
+    fn histogram_ignores_ticks() {
+        let mut b = HistogramBolt::new("rt", 1.0);
+        let mut out = Vec::new();
+        b.execute(&v(0.5), &mut out);
+        b.tick(1, &mut out);
+        assert!(out.is_empty(), "only finish releases the histogram");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let mut b = CdfBolt::new("rt");
+        let mut out = Vec::new();
+        for x in [30.0, 10.0, 20.0, 40.0] {
+            b.execute(&v(x), &mut out);
+        }
+        b.finish(0, &mut out);
+        let ps: Vec<f64> = out
+            .iter()
+            .filter_map(|t| t.get("p").and_then(Value::as_f64))
+            .collect();
+        assert_eq!(ps, vec![0.25, 0.5, 0.75, 1.0]);
+        let vs: Vec<f64> = out
+            .iter()
+            .filter_map(|t| t.get("value").and_then(Value::as_f64))
+            .collect();
+        assert!(vs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cdf_grouping_separates_urls() {
+        let mut b = CdfBolt::new("rt").grouped_by("url");
+        let mut out = Vec::new();
+        for (u, x) in [("/a", 1.0), ("/a", 2.0), ("/b", 9.0)] {
+            b.execute(&DataTuple::new(0, 0).with("url", u).with("rt", x), &mut out);
+        }
+        b.finish(0, &mut out);
+        let b_points: Vec<_> = out
+            .iter()
+            .filter(|t| t.get("group").and_then(Value::as_str) == Some("/b"))
+            .collect();
+        assert_eq!(b_points.len(), 1);
+        assert_eq!(b_points[0].get("p").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = HistogramBolt::new("rt", 0.0);
+    }
+}

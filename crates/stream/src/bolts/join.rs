@@ -1,0 +1,146 @@
+//! Joining two parser streams on the tuple ID — the paper's flagship
+//! cross-layer query (§7.2): "NetAlytics can start both parsers which
+//! independently send the requested URL and the connection time to the
+//! processors, which will group the results based on the page requested,
+//! combining both network and application-level data."
+
+use std::collections::HashMap;
+
+use netalytics_data::{DataTuple, Value};
+
+use crate::bolt::Bolt;
+
+/// Joins `http_get` request tuples with `tcp_conn_time` start/end events
+/// sharing the same connection ID, emitting one tuple per connection with
+/// the requested `url` and the connection's `diff_ms`.
+#[derive(Debug, Default)]
+pub struct RequestTimeJoinBolt {
+    /// conn id → requested URL.
+    urls: HashMap<u64, String>,
+    /// conn id → first seen conn-time event timestamp.
+    pending_time: HashMap<u64, u64>,
+    /// Completed (diff_ms) waiting for a URL, by conn id.
+    pending_diff: HashMap<u64, f64>,
+}
+
+impl RequestTimeJoinBolt {
+    /// Creates the join bolt.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn try_emit(&mut self, id: u64, ts_ns: u64, out: &mut Vec<DataTuple>) {
+        if let (Some(url), Some(diff)) = (self.urls.get(&id), self.pending_diff.get(&id)) {
+            out.push(
+                DataTuple::new(id, ts_ns)
+                    .from_source("url_rt")
+                    .with("url", url.clone())
+                    .with("diff_ms", *diff),
+            );
+            self.urls.remove(&id);
+            self.pending_diff.remove(&id);
+        }
+    }
+}
+
+impl Bolt for RequestTimeJoinBolt {
+    fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        match tuple.source.as_str() {
+            "http_get" if tuple.get("kind").and_then(Value::as_str) == Some("request") => {
+                if let Some(url) = tuple.get("url").and_then(Value::as_str) {
+                    self.urls.insert(tuple.id, url.to_owned());
+                    self.try_emit(tuple.id, tuple.ts_ns, out);
+                }
+            }
+            "tcp_conn_time" => {
+                let Some(t) = tuple.get("t_ns").and_then(Value::as_u64) else {
+                    return;
+                };
+                match self.pending_time.remove(&tuple.id) {
+                    Some(first) => {
+                        let diff_ms = (t.abs_diff(first)) as f64 / 1e6;
+                        self.pending_diff.insert(tuple.id, diff_ms);
+                        self.try_emit(tuple.id, tuple.ts_ns, out);
+                    }
+                    None => {
+                        self.pending_time.insert(tuple.id, t);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn_event(id: u64, event: &str, t: u64) -> DataTuple {
+        DataTuple::new(id, t)
+            .from_source("tcp_conn_time")
+            .with("event", event)
+            .with("t_ns", t)
+    }
+
+    fn url_req(id: u64, url: &str) -> DataTuple {
+        DataTuple::new(id, 0)
+            .from_source("http_get")
+            .with("kind", "request")
+            .with("url", url)
+    }
+
+    #[test]
+    fn joins_url_with_connection_time() {
+        let mut b = RequestTimeJoinBolt::new();
+        let mut out = Vec::new();
+        b.execute(&conn_event(5, "start", 1_000_000), &mut out);
+        b.execute(&url_req(5, "/films"), &mut out);
+        b.execute(&conn_event(5, "end", 9_000_000), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("url").and_then(Value::as_str), Some("/films"));
+        assert_eq!(out[0].get("diff_ms").and_then(Value::as_f64), Some(8.0));
+    }
+
+    #[test]
+    fn any_arrival_order_works() {
+        let mut b = RequestTimeJoinBolt::new();
+        let mut out = Vec::new();
+        b.execute(&conn_event(5, "start", 0), &mut out);
+        b.execute(&conn_event(5, "end", 2_000_000), &mut out);
+        b.execute(&url_req(5, "/late"), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("diff_ms").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn responses_do_not_count_as_urls() {
+        let mut b = RequestTimeJoinBolt::new();
+        let mut out = Vec::new();
+        b.execute(
+            &DataTuple::new(5, 0)
+                .from_source("http_get")
+                .with("kind", "response")
+                .with("status", 200u64),
+            &mut out,
+        );
+        b.execute(&conn_event(5, "start", 0), &mut out);
+        b.execute(&conn_event(5, "end", 1_000_000), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn distinct_connections_stay_separate() {
+        let mut b = RequestTimeJoinBolt::new();
+        let mut out = Vec::new();
+        b.execute(&url_req(1, "/a"), &mut out);
+        b.execute(&url_req(2, "/b"), &mut out);
+        b.execute(&conn_event(1, "start", 0), &mut out);
+        b.execute(&conn_event(2, "start", 0), &mut out);
+        b.execute(&conn_event(2, "end", 4_000_000), &mut out);
+        b.execute(&conn_event(1, "end", 2_000_000), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("url").and_then(Value::as_str), Some("/b"));
+        assert_eq!(out[1].get("diff_ms").and_then(Value::as_f64), Some(2.0));
+    }
+}

@@ -1,0 +1,399 @@
+//! Threaded executor: one worker thread per bolt instance, used by the
+//! Fig. 6 scaling experiments.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netalytics_data::DataTuple;
+use parking_lot::Mutex;
+
+use crate::bolt::Grouping;
+use crate::spout::Spout;
+use crate::topology::{SourceRef, Topology};
+
+enum Msg {
+    Tuple(DataTuple),
+    Tick(u64),
+    Finish(u64),
+}
+
+/// Configuration for [`ThreadedExecutor::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Max tuples per spout poll.
+    pub poll_batch: usize,
+    /// Wall-clock interval between ticks delivered to windowed bolts.
+    pub tick_interval: Duration,
+    /// Spout idle sleep when a poll returns nothing.
+    pub idle_sleep: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            poll_batch: 512,
+            tick_interval: Duration::from_millis(100),
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+fn wall_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos() as u64
+}
+
+struct EdgeRt {
+    targets: Vec<Sender<Msg>>,
+    grouping: Grouping,
+}
+
+fn route(edges: &[EdgeRt], rr: &mut [usize], tuple: DataTuple) {
+    match edges {
+        [] => {}
+        [only] => {
+            let i = only.grouping.route(&tuple, only.targets.len(), &mut rr[0]);
+            let _ = only.targets[i].send(Msg::Tuple(tuple));
+        }
+        many => {
+            for (e, r) in many.iter().zip(rr.iter_mut()) {
+                let i = e.grouping.route(&tuple, e.targets.len(), r);
+                let _ = e.targets[i].send(Msg::Tuple(tuple.clone()));
+            }
+        }
+    }
+}
+
+/// A running threaded topology.
+///
+/// Tuples flow spout → bolts on dedicated threads; terminal-bolt
+/// emissions appear on [`ThreadedExecutor::output`]. Call
+/// [`ThreadedExecutor::shutdown`] to finish windows, join threads and
+/// collect the residual output.
+pub struct ThreadedExecutor {
+    output_rx: Receiver<DataTuple>,
+    stop: Arc<AtomicBool>,
+    spout_handle: Option<JoinHandle<()>>,
+    tick_handle: Option<JoinHandle<()>>,
+    /// Instance threads, grouped per bolt node in topological order, with
+    /// each instance's sender (for Finish sequencing).
+    node_threads: Vec<Vec<(Sender<Msg>, JoinHandle<()>)>>,
+    spout_tuples: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ThreadedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedExecutor")
+            .field("nodes", &self.node_threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadedExecutor {
+    /// Spawns worker threads for every bolt instance plus a spout poller
+    /// and a tick timer.
+    pub fn spawn(topology: &Topology, spout: Box<dyn Spout>, config: ThreadedConfig) -> Self {
+        let n = topology.bolts.len();
+        let terminals = topology.terminals();
+        let (output_tx, output_rx) = unbounded::<DataTuple>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let spout_tuples = Arc::new(AtomicU64::new(0));
+
+        // Create channels per instance.
+        let mut inst_tx: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(n);
+        let mut inst_rx: Vec<Vec<Receiver<Msg>>> = Vec::with_capacity(n);
+        for node in &topology.bolts {
+            let mut txs = Vec::new();
+            let mut rxs = Vec::new();
+            for _ in 0..node.parallelism {
+                let (tx, rx) = unbounded::<Msg>();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            inst_tx.push(txs);
+            inst_rx.push(rxs);
+        }
+
+        // Build routing tables.
+        let spout_edges: Vec<EdgeRt> = topology
+            .edges
+            .iter()
+            .filter(|e| e.from == SourceRef::Spout)
+            .map(|e| EdgeRt {
+                targets: inst_tx[e.to.0].clone(),
+                grouping: e.grouping.clone(),
+            })
+            .collect();
+        let node_edges: Vec<Vec<EdgeRt>> = (0..n)
+            .map(|i| {
+                topology
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == SourceRef::Bolt(crate::topology::BoltId(i)))
+                    .map(|e| EdgeRt {
+                        targets: inst_tx[e.to.0].clone(),
+                        grouping: e.grouping.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Spawn instance threads.
+        let mut node_threads: Vec<Vec<(Sender<Msg>, JoinHandle<()>)>> = Vec::with_capacity(n);
+        for (i, node) in topology.bolts.iter().enumerate() {
+            let mut threads = Vec::new();
+            for (inst, rx) in inst_rx[i].drain(..).enumerate() {
+                let mut bolt = (node.factory)();
+                let edges: Vec<EdgeRt> = node_edges[i]
+                    .iter()
+                    .map(|e| EdgeRt {
+                        targets: e.targets.clone(),
+                        grouping: e.grouping.clone(),
+                    })
+                    .collect();
+                let terminal = terminals[i];
+                let output_tx = output_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("bolt-{}-{inst}", node.name))
+                    .spawn(move || {
+                        let mut rr = vec![0usize; edges.len().max(1)];
+                        let dispatch = |out: Vec<DataTuple>, rr: &mut Vec<usize>| {
+                            for t in out {
+                                if terminal {
+                                    let _ = output_tx.send(t);
+                                } else {
+                                    route(&edges, rr, t);
+                                }
+                            }
+                        };
+                        while let Ok(msg) = rx.recv() {
+                            let mut out = Vec::new();
+                            match msg {
+                                Msg::Tuple(t) => bolt.execute(&t, &mut out),
+                                Msg::Tick(now) => bolt.tick(now, &mut out),
+                                Msg::Finish(now) => {
+                                    bolt.finish(now, &mut out);
+                                    dispatch(out, &mut rr);
+                                    break;
+                                }
+                            }
+                            dispatch(out, &mut rr);
+                        }
+                    })
+                    .expect("spawn bolt thread");
+                threads.push((inst_tx[i][inst].clone(), handle));
+            }
+            node_threads.push(threads);
+        }
+
+        // Spout thread.
+        let spout_handle = {
+            let stop = stop.clone();
+            let counter = spout_tuples.clone();
+            let spout = Mutex::new(spout);
+            Some(
+                std::thread::Builder::new()
+                    .name("spout".into())
+                    .spawn(move || {
+                        let mut spout = spout.into_inner();
+                        let mut rr = vec![0usize; spout_edges.len().max(1)];
+                        while !stop.load(Ordering::Relaxed) {
+                            let tuples = spout.poll(config.poll_batch);
+                            if tuples.is_empty() {
+                                std::thread::sleep(config.idle_sleep);
+                                continue;
+                            }
+                            counter.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                            for t in tuples {
+                                route(&spout_edges, &mut rr, t);
+                            }
+                        }
+                    })
+                    .expect("spawn spout thread"),
+            )
+        };
+
+        // Tick thread.
+        let tick_handle = {
+            let stop = stop.clone();
+            let all_tx: Vec<Sender<Msg>> = inst_tx.iter().flatten().cloned().collect();
+            Some(
+                std::thread::Builder::new()
+                    .name("ticker".into())
+                    .spawn(move || {
+                        let step = config.tick_interval.min(Duration::from_millis(20));
+                        let mut elapsed = Duration::ZERO;
+                        loop {
+                            // Sleep in short steps so shutdown is prompt
+                            // even with very long tick intervals.
+                            std::thread::sleep(step);
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            elapsed += step;
+                            if elapsed >= config.tick_interval {
+                                elapsed = Duration::ZERO;
+                                let now = wall_ns();
+                                for tx in &all_tx {
+                                    let _ = tx.send(Msg::Tick(now));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn tick thread"),
+            )
+        };
+
+        ThreadedExecutor {
+            output_rx,
+            stop,
+            spout_handle,
+            tick_handle,
+            node_threads,
+            spout_tuples,
+        }
+    }
+
+    /// The stream of terminal-bolt emissions.
+    pub fn output(&self) -> &Receiver<DataTuple> {
+        &self.output_rx
+    }
+
+    /// Tuples pulled from the spout so far.
+    pub fn spout_tuples(&self) -> u64 {
+        self.spout_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Stops the spout and ticker, finishes bolts upstream-first, joins
+    /// all threads and returns any output still buffered.
+    pub fn shutdown(mut self) -> Vec<DataTuple> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.spout_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.tick_handle.take() {
+            let _ = h.join();
+        }
+        let now = wall_ns();
+        // Finish in node order (catalog topologies wire upstream-first),
+        // joining each tier before finishing the next so final emissions
+        // are processed downstream.
+        let mut collected = Vec::new();
+        for tier in self.node_threads.drain(..) {
+            for (tx, _) in &tier {
+                let _ = tx.send(Msg::Finish(now));
+            }
+            for (_, handle) in tier {
+                // Keep the output channel drained while joining.
+                while !handle.is_finished() {
+                    while let Ok(t) = self.output_rx.try_recv() {
+                        collected.push(t);
+                    }
+                    std::thread::yield_now();
+                }
+                let _ = handle.join();
+            }
+        }
+        while let Ok(t) = self.output_rx.try_recv() {
+            collected.push(t);
+        }
+        collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spout::VecSpout;
+    use crate::topologies::{build, ProcessorSpec};
+    use netalytics_data::Value;
+
+    #[test]
+    fn threaded_top_k_matches_expectation() {
+        let topo = build(
+            &ProcessorSpec::new("top-k")
+                .with_arg("k", "2")
+                .with_arg("par", "4")
+                .with_arg("key", "url"),
+        )
+        .unwrap();
+        let tuples: Vec<DataTuple> = (0..300)
+            .map(|i| {
+                let url = match i % 6 {
+                    0..=2 => "/hot",
+                    3 | 4 => "/warm",
+                    _ => "/cold",
+                };
+                DataTuple::new(i, 1_000 + i).with("url", url)
+            })
+            .collect();
+        let exec = ThreadedExecutor::spawn(
+            &topo,
+            Box::new(VecSpout::new(tuples)),
+            ThreadedConfig::default(),
+        );
+        // Wait for the spout to drain.
+        while exec.spout_tuples() < 300 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let out = exec.shutdown();
+        // The global ranker's final window must rank /hot first.
+        let last_window: Vec<_> = out
+            .iter()
+            .filter(|t| t.source == "rank")
+            .collect();
+        assert!(!last_window.is_empty(), "no rankings emitted");
+        let top = last_window
+            .iter()
+            .find(|t| t.get("rank").and_then(Value::as_u64) == Some(0))
+            .unwrap();
+        assert_eq!(top.get("key").and_then(Value::as_str), Some("/hot"));
+    }
+
+    #[test]
+    fn threaded_group_sum_totals_are_exact() {
+        let topo = build(
+            &ProcessorSpec::new("group-sum")
+                .with_arg("group", "dst_ip")
+                .with_arg("value", "bytes"),
+        )
+        .unwrap();
+        let tuples: Vec<DataTuple> = (0..1000)
+            .map(|i| {
+                DataTuple::new(i, 0)
+                    .with("dst_ip", if i % 2 == 0 { "a" } else { "b" })
+                    .with("bytes", 10.0)
+            })
+            .collect();
+        let exec = ThreadedExecutor::spawn(
+            &topo,
+            Box::new(VecSpout::new(tuples)),
+            ThreadedConfig {
+                tick_interval: Duration::from_secs(3600), // no mid-run ticks
+                ..Default::default()
+            },
+        );
+        while exec.spout_tuples() < 1000 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let out = exec.shutdown();
+        let mut sums: Vec<(String, f64)> = out
+            .iter()
+            .filter_map(|t| {
+                Some((
+                    t.get("dst_ip")?.to_string(),
+                    t.get("sum").and_then(Value::as_f64)?,
+                ))
+            })
+            .collect();
+        sums.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(sums, vec![("a".into(), 5000.0), ("b".into(), 5000.0)]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Topology description: a DAG of bolts fed by a spout.
+
+use std::fmt;
+
+use crate::bolt::{BoltFactory, Grouping};
+
+/// Handle to a bolt node within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoltId(pub(crate) usize);
+
+/// Where a bolt's input edge originates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceRef {
+    /// The topology's spout (external tuple source).
+    Spout,
+    /// Another bolt.
+    Bolt(BoltId),
+}
+
+pub(crate) struct BoltNode {
+    pub name: String,
+    pub parallelism: usize,
+    pub factory: BoltFactory,
+}
+
+impl fmt::Debug for BoltNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoltNode")
+            .field("name", &self.name)
+            .field("parallelism", &self.parallelism)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An edge in the topology DAG.
+#[derive(Debug)]
+pub(crate) struct Edge {
+    pub from: SourceRef,
+    pub to: BoltId,
+    pub grouping: Grouping,
+}
+
+/// Error raised while assembling a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A wire referenced a bolt id from another topology.
+    UnknownBolt,
+    /// The edge set contains a cycle — Storm topologies are DAGs (§2.2).
+    Cyclic,
+    /// A bolt has no input edge and would never run.
+    Orphan(String),
+    /// The topology has no bolts.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownBolt => f.write_str("edge references an unknown bolt"),
+            TopologyError::Cyclic => f.write_str("topology contains a cycle"),
+            TopologyError::Orphan(name) => write!(f, "bolt {name:?} has no input edge"),
+            TopologyError::Empty => f.write_str("topology has no bolts"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated spout→bolts DAG ready to execute.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_data::DataTuple;
+/// use netalytics_stream::{Bolt, Grouping, SourceRef, Topology};
+///
+/// struct Pass;
+/// impl Bolt for Pass {
+///     fn execute(&mut self, t: &DataTuple, out: &mut Vec<DataTuple>) {
+///         out.push(t.clone());
+///     }
+/// }
+///
+/// let mut b = Topology::builder("demo");
+/// let stage = b.add_bolt("pass", 2, || Box::new(Pass));
+/// b.wire(SourceRef::Spout, stage, Grouping::Shuffle);
+/// let topo = b.build()?;
+/// assert_eq!(topo.name(), "demo");
+/// # Ok::<(), netalytics_stream::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct Topology {
+    name: String,
+    pub(crate) bolts: Vec<BoltNode>,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder(name: impl Into<String>) -> TopologyBuilder {
+        TopologyBuilder {
+            name: name.into(),
+            bolts: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bolt nodes.
+    pub fn num_bolts(&self) -> usize {
+        self.bolts.len()
+    }
+
+    /// Total parallel bolt instances (the paper's process accounting).
+    pub fn num_instances(&self) -> usize {
+        self.bolts.iter().map(|b| b.parallelism).sum()
+    }
+
+    /// Bolt names in definition order.
+    pub fn bolt_names(&self) -> Vec<&str> {
+        self.bolts.iter().map(|b| b.name.as_str()).collect()
+    }
+
+    /// Ids of terminal bolts (no outgoing edges) — their emissions are
+    /// the topology's results.
+    pub(crate) fn terminals(&self) -> Vec<bool> {
+        let mut term = vec![true; self.bolts.len()];
+        for e in &self.edges {
+            if let SourceRef::Bolt(BoltId(i)) = e.from {
+                term[i] = false;
+            }
+        }
+        term
+    }
+}
+
+/// Incremental [`Topology`] constructor.
+pub struct TopologyBuilder {
+    name: String,
+    bolts: Vec<BoltNode>,
+    edges: Vec<Edge>,
+}
+
+impl fmt::Debug for TopologyBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TopologyBuilder")
+            .field("name", &self.name)
+            .field("bolts", &self.bolts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopologyBuilder {
+    /// Adds a bolt with `parallelism` instances created by `factory`.
+    pub fn add_bolt<F, B>(&mut self, name: impl Into<String>, parallelism: usize, factory: F) -> BoltId
+    where
+        F: Fn() -> Box<B> + Send + Sync + 'static,
+        B: crate::bolt::Bolt + 'static,
+    {
+        let id = BoltId(self.bolts.len());
+        self.bolts.push(BoltNode {
+            name: name.into(),
+            parallelism: parallelism.max(1),
+            factory: Box::new(move || factory() as Box<dyn crate::bolt::Bolt>),
+        });
+        id
+    }
+
+    /// Connects `from` to `to` with the given grouping.
+    pub fn wire(&mut self, from: SourceRef, to: BoltId, grouping: Grouping) -> &mut Self {
+        self.edges.push(Edge { from, to, grouping });
+        self
+    }
+
+    /// Validates and produces the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] for empty, cyclic, orphaned or
+    /// out-of-range wiring.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.bolts.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let n = self.bolts.len();
+        for e in &self.edges {
+            if e.to.0 >= n {
+                return Err(TopologyError::UnknownBolt);
+            }
+            if let SourceRef::Bolt(BoltId(i)) = e.from {
+                if i >= n {
+                    return Err(TopologyError::UnknownBolt);
+                }
+            }
+        }
+        // Every bolt needs an input.
+        for (i, b) in self.bolts.iter().enumerate() {
+            if !self.edges.iter().any(|e| e.to.0 == i) {
+                return Err(TopologyError::Orphan(b.name.clone()));
+            }
+        }
+        // Cycle check via Kahn's algorithm over bolt→bolt edges.
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if let SourceRef::Bolt(_) = e.from {
+                indeg[e.to.0] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = stack.pop() {
+            seen += 1;
+            for e in &self.edges {
+                if e.from == SourceRef::Bolt(BoltId(i)) {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        stack.push(e.to.0);
+                    }
+                }
+            }
+        }
+        if seen != n {
+            return Err(TopologyError::Cyclic);
+        }
+        Ok(Topology {
+            name: self.name,
+            bolts: self.bolts,
+            edges: self.edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::DataTuple;
+
+    struct Nop;
+    impl crate::bolt::Bolt for Nop {
+        fn execute(&mut self, _t: &DataTuple, _out: &mut Vec<DataTuple>) {}
+    }
+
+    #[test]
+    fn valid_chain_builds() {
+        let mut b = Topology::builder("t");
+        let x = b.add_bolt("x", 2, || Box::new(Nop));
+        let y = b.add_bolt("y", 1, || Box::new(Nop));
+        b.wire(SourceRef::Spout, x, Grouping::Shuffle);
+        b.wire(SourceRef::Bolt(x), y, Grouping::Global);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_bolts(), 2);
+        assert_eq!(t.num_instances(), 3);
+        assert_eq!(t.terminals(), vec![false, true]);
+        assert_eq!(t.bolt_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Topology::builder("t").build().unwrap_err(),
+            TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn orphan_rejected() {
+        let mut b = Topology::builder("t");
+        let x = b.add_bolt("x", 1, || Box::new(Nop));
+        b.add_bolt("lonely", 1, || Box::new(Nop));
+        b.wire(SourceRef::Spout, x, Grouping::Shuffle);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::Orphan(name) if name == "lonely"
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = Topology::builder("t");
+        let x = b.add_bolt("x", 1, || Box::new(Nop));
+        let y = b.add_bolt("y", 1, || Box::new(Nop));
+        b.wire(SourceRef::Spout, x, Grouping::Shuffle);
+        b.wire(SourceRef::Bolt(x), y, Grouping::Shuffle);
+        b.wire(SourceRef::Bolt(y), x, Grouping::Shuffle);
+        assert_eq!(b.build().unwrap_err(), TopologyError::Cyclic);
+    }
+
+    #[test]
+    fn bad_reference_rejected() {
+        let mut a = Topology::builder("a");
+        let foreign = a.add_bolt("f", 1, || Box::new(Nop));
+        let _ = a.add_bolt("g", 1, || Box::new(Nop)); // make id 1 exist in a
+        let mut b = Topology::builder("b");
+        let x = b.add_bolt("x", 1, || Box::new(Nop));
+        b.wire(SourceRef::Spout, x, Grouping::Shuffle);
+        b.wire(SourceRef::Bolt(BoltId(5)), x, Grouping::Shuffle);
+        let _ = foreign;
+        assert_eq!(b.build().unwrap_err(), TopologyError::UnknownBolt);
+    }
+}

@@ -1,0 +1,152 @@
+//! §4.2 — Feedback-driven sampling, visualized.
+//!
+//! An undersized analytics deployment cannot keep up with a traffic
+//! burst. Without feedback, the aggregation buffers overflow and data is
+//! silently lost; with the §4.2 back-pressure loop, the aggregator's
+//! watermark signals make the monitor shed flows *early* (before any
+//! network or parsing cost), and the sampling rate recovers when the
+//! burst passes.
+//!
+//! Prints the monitor's sampling rate and the aggregation buffer's
+//! behaviour over time, for both configurations.
+//!
+//! Run with: `cargo run --release --example feedback_sampling`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netalytics::{AggregatorApp, MonitorApp};
+use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
+use netalytics_netsim::{App, Ctx, Engine, LinkSpec, Network, SimDuration, SimTime};
+use netalytics_packet::{Packet, TcpFlags};
+use netalytics_sdn::{FlowMatch, FlowRule};
+use netalytics_stream::{topologies, InlineExecutor, ProcessorSpec};
+
+/// Open-loop generator: `rate` new flows per millisecond between
+/// `from_ms` and `to_ms`.
+struct Burst {
+    dst: std::net::Ipv4Addr,
+    rate: u16,
+    from_ms: u64,
+    to_ms: u64,
+    tick: u64,
+}
+
+impl App for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(SimDuration::from_millis(self.from_ms), 0);
+    }
+    fn on_packet(&mut self, _p: &Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rate {
+            let port = (self.tick as u16).wrapping_mul(self.rate).wrapping_add(i);
+            ctx.send(Packet::tcp(
+                ctx.ip(),
+                1000u16.wrapping_add(port),
+                self.dst,
+                80,
+                TcpFlags::SYN,
+                0,
+                0,
+                b"",
+            ));
+        }
+        self.tick += 1;
+        if self.from_ms + self.tick < self.to_ms {
+            ctx.timer_in(SimDuration::from_millis(1), 0);
+        }
+    }
+}
+
+struct RunResult {
+    /// (t_ms, sampling rate) series.
+    rates: Vec<(u64, f64)>,
+    processed: u64,
+    dropped: u64,
+    overloads: u64,
+}
+
+fn run(sample: SampleSpec) -> RunResult {
+    let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+    let dst_ip = engine.network().host_ip(1);
+    let mon_ip = engine.network().host_ip(2);
+    let agg_ip = engine.network().host_ip(3);
+    engine.install_rule(
+        0,
+        FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+    );
+    let monitor = Monitor::new(MonitorConfig {
+        parsers: vec!["tcp_flow_key".into()],
+        sample,
+        batch_size: 64,
+    })
+    .expect("stock parser");
+    let topo = topologies::build(&ProcessorSpec::new("group-sum")).expect("catalog");
+    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+    // Undersized aggregation: small buffer, slow drain.
+    let agg = AggregatorApp::new(executor, vec![mon_ip], 400, 20);
+    let agg_handle = agg.handle();
+    let mon = MonitorApp::new(monitor, agg_ip, None);
+    let mon_handle = mon.handle();
+    engine.set_app(
+        0,
+        Box::new(Burst {
+            dst: dst_ip,
+            rate: 30,
+            from_ms: 100,
+            to_ms: 600,
+            tick: 0,
+        }),
+    );
+    engine.set_app(2, Box::new(mon));
+    engine.set_app(3, Box::new(agg));
+
+    let mut rates = Vec::new();
+    for step in 0..40u64 {
+        engine.run_until(SimTime::from_nanos((step + 1) * 50_000_000));
+        rates.push((step * 50, mon_handle.borrow().sample_rate));
+    }
+    let a = agg_handle.borrow();
+    RunResult {
+        rates,
+        processed: a.tuples_processed,
+        dropped: a.dropped,
+        overloads: a.overload_signals,
+    }
+}
+
+fn main() {
+    println!("== §4.2 feedback-driven sampling under a 500ms burst ==\n");
+    let auto = run(SampleSpec::Auto);
+    let fixed = run(SampleSpec::All);
+
+    println!("monitor sampling rate over time (burst: t=100..600ms):\n");
+    println!("{:>8} {:>14} {:>14}", "t (ms)", "SAMPLE auto", "SAMPLE *");
+    for ((t, r_auto), (_, r_fixed)) in auto.rates.iter().zip(&fixed.rates) {
+        if t % 200 == 0 {
+            println!("{t:>8} {r_auto:>14.3} {r_fixed:>14.3}");
+        }
+    }
+    println!("\naggregation-layer outcome:");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12}",
+        "", "processed", "dropped", "overloads"
+    );
+    println!(
+        "{:>16} {:>12} {:>12} {:>12}",
+        "SAMPLE auto", auto.processed, auto.dropped, auto.overloads
+    );
+    println!(
+        "{:>16} {:>12} {:>12} {:>12}",
+        "SAMPLE *", fixed.processed, fixed.dropped, fixed.overloads
+    );
+    let auto_loss = auto.dropped as f64 / (auto.dropped + auto.processed).max(1) as f64;
+    let fixed_loss = fixed.dropped as f64 / (fixed.dropped + fixed.processed).max(1) as f64;
+    println!(
+        "\nuncontrolled loss {:.1}% -> with feedback {:.1}%: the monitor sheds",
+        100.0 * fixed_loss,
+        100.0 * auto_loss
+    );
+    println!("whole flows at the collector instead of losing arbitrary tuples at");
+    println!("a full buffer, and the rate climbs back once the burst ends.");
+}

@@ -1,0 +1,202 @@
+//! Use case §7.1 — Multi-Tier Performance Debugging (Figs. 9, 10, 11).
+//!
+//! A two-tier web application: a proxy load-balances across two app
+//! servers, each of which consults either Memcached or MySQL. App
+//! server 1 is *misconfigured* — it almost never uses the cache — so
+//! client response times are bimodal. Two NetAlytics queries find the
+//! culprit without touching any server:
+//!
+//! 1. `tcp_conn_time` + `diff-group-avg` — per-tier response times
+//!    (Fig. 9): the proxy→app1 hop is ~4x slower than proxy→app2.
+//! 2. `tcp_pkt_size` + `group-sum` — per-connection throughput
+//!    (Fig. 11): app1 pushes ~3x more bytes to MySQL and far fewer to
+//!    Memcached, exposing the misconfiguration.
+//!
+//! Run with: `cargo run --release --example multi_tier_debug`
+
+use netalytics::Orchestrator;
+use netalytics_apps::{
+    sample_sink, AppServerBehavior, ClientApp, Conversation, MemcachedBehavior, MysqlBehavior,
+    ProxyBehavior, TierApp,
+};
+use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_packet::http;
+
+fn histogram(samples: &[f64], bucket_ms: f64) -> Vec<(f64, usize)> {
+    let mut buckets = std::collections::BTreeMap::new();
+    for &s in samples {
+        *buckets.entry((s / bucket_ms) as i64).or_insert(0usize) += 1;
+    }
+    buckets
+        .into_iter()
+        .map(|(b, n)| (b as f64 * bucket_ms, n))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut orch = Orchestrator::new(4, LinkSpec::default());
+
+    // Topology roles (paper Fig. 9): client → proxy → {app1, app2} →
+    // {MySQL, Memcached}.
+    let (client, proxy, app1, app2, db, cache) = (0u32, 2u32, 4u32, 5u32, 8u32, 9u32);
+    for (name, host) in [
+        ("proxy", proxy),
+        ("app1", app1),
+        ("app2", app2),
+        ("db", db),
+        ("cache", cache),
+    ] {
+        orch.name_host(name, host);
+    }
+    let ip = |h| -> std::net::Ipv4Addr { orch.host_ip(h) };
+    let (proxy_ip, app1_ip, app2_ip, db_ip, cache_ip) =
+        (ip(proxy), ip(app1), ip(app2), ip(db), ip(cache));
+
+    // Backends: MySQL ~30 ms per lookup, Memcached ~0.5 ms.
+    orch.deploy_app(
+        db,
+        Box::new(TierApp::new(3306, Box::new(MysqlBehavior::new(30.0, 11)))),
+    );
+    orch.deploy_app(
+        cache,
+        Box::new(TierApp::new(
+            11211,
+            Box::new(MemcachedBehavior::new(0.5, 12)),
+        )),
+    );
+    // App servers: app2 healthy (80% cache hits), app1 MISCONFIGURED
+    // (5% cache hits — nearly everything goes to the slow database).
+    orch.deploy_app(
+        app1,
+        Box::new(TierApp::new(
+            80,
+            Box::new(AppServerBehavior::new(
+                (db_ip, 3306),
+                (cache_ip, 11211),
+                0.05,
+                13,
+            )),
+        )),
+    );
+    orch.deploy_app(
+        app2,
+        Box::new(TierApp::new(
+            80,
+            Box::new(AppServerBehavior::new(
+                (db_ip, 3306),
+                (cache_ip, 11211),
+                0.80,
+                14,
+            )),
+        )),
+    );
+    // Proxy round-robins across both app servers.
+    let pool = ProxyBehavior::pool_of(&[(app1_ip, 80), (app2_ip, 80)]);
+    orch.deploy_app(
+        proxy,
+        Box::new(TierApp::new(80, Box::new(ProxyBehavior::new(pool)))),
+    );
+    // Client: 900 requests over ~45s of virtual time (both queries run
+    // against live traffic, one after the other).
+    let sink = sample_sink();
+    let schedule = (0..900u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 50_000_000),
+                Conversation {
+                    dst: (proxy_ip, 80),
+                    requests: vec![http::build_get(&format!("/page{}", i % 20), "proxy")],
+                    tag: "client".into(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(client, Box::new(ClientApp::new(schedule, sink.clone())));
+
+    // ---- Fig. 10: the symptom — bimodal client response times. ----
+    // Warm the system up while the first query runs.
+    println!("== Query 1: per-tier response times (Fig. 9) ==");
+    println!("PARSE tcp_conn_time FROM * TO app1:80, app2:80, db:3306, cache:11211");
+    println!("LIMIT 21s SAMPLE * PROCESS (diff-group-avg: group=dst_ip)\n");
+    let report = orch.run_query(
+        "PARSE tcp_conn_time FROM * TO app1:80, app2:80, db:3306, cache:11211 \
+         LIMIT 21s SAMPLE * PROCESS (diff-group-avg: group=dst_ip)",
+        SimDuration::from_secs(21),
+    )?;
+    let per_tier = report.first().group_values("dst_ip", "avg");
+    let name_of = |ip_s: &str| -> &str {
+        if ip_s == app1_ip.to_string() {
+            "proxy -> AppServer1"
+        } else if ip_s == app2_ip.to_string() {
+            "proxy -> AppServer2"
+        } else if ip_s == db_ip.to_string() {
+            "app   -> MySQL"
+        } else if ip_s == cache_ip.to_string() {
+            "app   -> Memcached"
+        } else {
+            "other"
+        }
+    };
+    for (ip_s, avg) in &per_tier {
+        println!("  {:<22} avg {avg:8.2} ms", name_of(ip_s));
+    }
+    let a1 = per_tier.get(&app1_ip.to_string()).copied().unwrap_or(0.0);
+    let a2 = per_tier.get(&app2_ip.to_string()).copied().unwrap_or(1.0);
+    println!("  => AppServer1 is {:.1}x slower than AppServer2\n", a1 / a2);
+
+    println!("== Fig. 10: client-side response time histogram (bimodal) ==");
+    let rts: Vec<f64> = sink.borrow().iter().map(|s| s.rt_ms()).collect();
+    for (lo, n) in histogram(&rts, 10.0) {
+        println!("  {:>5.0}-{:<5.0} ms | {}", lo, lo + 10.0, "#".repeat(n.min(70)));
+    }
+    println!();
+
+    // ---- Fig. 11: root cause — per-connection throughput. ----
+    println!("== Query 2: backend throughput (Fig. 11) ==");
+    println!("PARSE tcp_pkt_size FROM app1, app2 TO db:3306, cache:11211");
+    println!("LIMIT 20s SAMPLE * PROCESS (group-sum: group=src_ip+dst_ip, value=bytes)\n");
+    let report2 = orch.run_query(
+        "PARSE tcp_pkt_size FROM app1, app2 TO db:3306, cache:11211 \
+         LIMIT 20s SAMPLE * PROCESS (group-sum: group=src_ip+dst_ip, value=bytes)",
+        SimDuration::from_secs(20),
+    )?;
+    let mut rows: Vec<(String, String, f64)> = report2
+        .first()
+        .tuples
+        .iter()
+        .filter_map(|t| {
+            Some((
+                t.get("src_ip")?.to_string(),
+                t.get("dst_ip")?.to_string(),
+                t.get("sum")?.as_f64()?,
+            ))
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    // Keep only the request direction (app -> backend); the monitors also
+    // report the mirrored response direction.
+    rows.retain(|(src, dst, _)| {
+        (*src == app1_ip.to_string() || *src == app2_ip.to_string())
+            && (*dst == db_ip.to_string() || *dst == cache_ip.to_string())
+    });
+    let mut app1_db = 0.0;
+    let mut app2_db = 0.0;
+    for (src, dst, bytes) in &rows {
+        let s = if *src == app1_ip.to_string() { "AppServer1" } else { "AppServer2" };
+        let d = if *dst == db_ip.to_string() { "MySQL" } else { "Memcached" };
+        println!("  {s} -> {d:<10} {bytes:>10.0} bytes");
+        if *dst == db_ip.to_string() {
+            if *src == app1_ip.to_string() {
+                app1_db = *bytes;
+            } else {
+                app2_db = *bytes;
+            }
+        }
+    }
+    println!(
+        "\n  => AppServer1 sends {:.1}x more traffic to MySQL than AppServer2:",
+        app1_db / app2_db.max(1.0)
+    );
+    println!("     AppServer1 is misconfigured and bypasses the cache.");
+    Ok(())
+}

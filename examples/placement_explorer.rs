@@ -1,0 +1,128 @@
+//! Placement explorer — inspect what the §4.1 algorithms actually do.
+//!
+//! Builds a configurable fat-tree workload, runs one composite strategy,
+//! and prints the physical placement: which racks host monitors, where
+//! the aggregators landed, per-monitor load, and the resulting costs.
+//!
+//! Usage: `cargo run --release --example placement_explorer -- [k] [strategy] [monitored]`
+//! where strategy is `local-random`, `node`, or `network` (default).
+
+use netalytics_placement::{
+    generate_workload, place_analytics, place_monitors, placement_cost, DataCenter,
+    PlacementParams, Strategy, WorkloadSpec,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let strategy = match args.next().as_deref() {
+        Some("local-random") => Strategy::LocalRandom,
+        Some("node") => Strategy::NetalyticsNode,
+        _ => Strategy::NetalyticsNetwork,
+    };
+    let tree = netalytics_netsim::FatTree::new(k);
+    let spec = WorkloadSpec {
+        total_flows: (tree.num_hosts() as usize) * 200,
+        total_rate_bps: u64::from(tree.num_hosts()) * 1_200_000_000,
+        tor_p: 0.5,
+        pod_p: 0.3,
+    };
+    let monitored: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(spec.total_flows / 4);
+    println!(
+        "k={k} ({} hosts), {} flows @ {:.1} Tbps, monitoring {} flows, strategy {}",
+        tree.num_hosts(),
+        spec.total_flows,
+        spec.total_rate_bps as f64 / 1e12,
+        monitored,
+        strategy.name()
+    );
+
+    let all = generate_workload(&tree, &spec, 2016);
+    let flows: Vec<_> = all.iter().copied().take(monitored).collect();
+    let mut dc = DataCenter::randomized(k, PlacementParams::default(), 2016);
+    let (ms, as_) = match strategy {
+        Strategy::LocalRandom => (
+            netalytics_placement::MonitorStrategy::Random,
+            netalytics_placement::AnalyticsStrategy::LocalRandom,
+        ),
+        Strategy::NetalyticsNode => (
+            netalytics_placement::MonitorStrategy::Random,
+            netalytics_placement::AnalyticsStrategy::FirstFit,
+        ),
+        Strategy::NetalyticsNetwork => (
+            netalytics_placement::MonitorStrategy::Greedy,
+            netalytics_placement::AnalyticsStrategy::Greedy,
+        ),
+    };
+    let mp = place_monitors(&mut dc, &flows, ms, 7);
+    let ap = place_analytics(&mut dc, &mp, as_, 7);
+    let mut cost = placement_cost(&dc, &flows, &mp, &ap);
+    cost.workload_bps_hops = 0.0;
+    cost.workload_weighted = 0.0;
+    for f in &all {
+        cost.workload_bps_hops += f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
+        cost.workload_weighted += f.rate_bps as f64 * f64::from(dc.weighted_hops(f.src, f.dst));
+    }
+
+    println!("\n== monitors ({}) ==", mp.monitors.len());
+    println!(
+        "{:>6} {:>6} {:>6} {:>8} {:>12}",
+        "#", "host", "rack", "flows", "load (Gbps)"
+    );
+    for (i, m) in mp.monitors.iter().enumerate().take(20) {
+        println!(
+            "{:>6} {:>6} {:>6} {:>8} {:>12.2}",
+            i,
+            m.host,
+            m.edge,
+            m.flows.len(),
+            m.load_bps as f64 / 1e9
+        );
+    }
+    if mp.monitors.len() > 20 {
+        println!("   ... {} more", mp.monitors.len() - 20);
+    }
+
+    println!("\n== aggregators ({}) ==", ap.aggregators.len());
+    println!(
+        "{:>6} {:>6} {:>5} {:>10} {:>14} {:>16}",
+        "#", "host", "pod", "monitors", "load (Gbps)", "mean dist (hops)"
+    );
+    for (i, a) in ap.aggregators.iter().enumerate().take(20) {
+        let mean_hops: f64 = a
+            .monitors
+            .iter()
+            .map(|&mi| f64::from(dc.hops(mp.monitors[mi].host, a.host)))
+            .sum::<f64>()
+            / a.monitors.len().max(1) as f64;
+        println!(
+            "{:>6} {:>6} {:>5} {:>10} {:>14.2} {:>16.2}",
+            i,
+            a.host,
+            dc.tree.pod_of(a.host),
+            a.monitors.len(),
+            a.load_bps as f64 / 1e9,
+            mean_hops
+        );
+    }
+    if ap.aggregators.len() > 20 {
+        println!("   ... {} more", ap.aggregators.len() - 20);
+    }
+
+    println!("\n== cost ==");
+    println!("  extra bandwidth        : {:.4}%", cost.extra_bandwidth_pct());
+    println!(
+        "  weighted extra bandwidth: {:.4}%",
+        cost.weighted_extra_bandwidth_pct()
+    );
+    println!(
+        "  processes               : {} ({} monitors + {} aggregators + {} processors)",
+        cost.total_processes(),
+        cost.monitors,
+        cost.aggregators,
+        cost.processors
+    );
+}

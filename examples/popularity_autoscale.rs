@@ -1,0 +1,269 @@
+//! Use case §7.3 — Real-Time Popularity Monitoring (Figs. 16, 17).
+//!
+//! Part 1 (Fig. 16): run the top-k topology over a YouTube-like request
+//! trace (synthetic Zipf-with-churn stand-in for the Zink et al. trace)
+//! and show how even top content's popularity fluctuates over time.
+//!
+//! Part 2 (Fig. 17): close the loop. A proxy serves video requests from
+//! a pool of web servers; NetAlytics monitors HTTP GETs, ranks content
+//! in rolling windows, and an Updater bolt grows the pool (replicating
+//! hot content) when the top URL's frequency crosses a threshold. When a
+//! hotspot starts, the auto-scaler brings two replicas online and load
+//! shifts off the overloaded server.
+//!
+//! Run with: `cargo run --release --example popularity_autoscale`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netalytics::{AggregatorApp, MonitorApp};
+use netalytics_apps::{
+    generate_trace, sample_sink, ClientApp, Conversation, Endpoint, KvStore, Plan, ProxyBehavior,
+    ScalerConfig, StaticHttpBehavior, TierApp, TierBehavior, TraceSpec, UpdaterBolt,
+};
+use netalytics_data::{DataTuple, Value};
+use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
+use netalytics_netsim::{Engine, LinkSpec, Network, SimTime};
+use netalytics_packet::http;
+use netalytics_sdn::{FlowMatch, FlowRule};
+use netalytics_stream::bolts::{KeyExtractBolt, RankBolt, RollingCountBolt};
+use netalytics_stream::{Grouping, InlineExecutor, SourceRef, Topology};
+
+fn part1_trace_topk() {
+    println!("== Fig. 16: content popularity over time (synthetic trace) ==\n");
+    let spec = TraceSpec {
+        num_items: 300,
+        requests_per_interval: 3_000,
+        intervals: 20,
+        churn: 0.35,
+        ..Default::default()
+    };
+    let trace = generate_trace(&spec, 2016);
+    let topo = netalytics_stream::topologies::build(
+        &netalytics_stream::ProcessorSpec::new("top-k")
+            .with_arg("k", "10")
+            .with_arg("w", "1s")
+            .with_arg("key", "url"),
+    )
+    .expect("catalog topology");
+    let mut exec = InlineExecutor::new(&topo);
+    // Track the popularity score (count relative to the window max) of
+    // the videos that rank #2 and #3 in the first window.
+    let mut tracked: Vec<String> = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    let mut last_window_seen = 0;
+    for (i, req) in trace.iter().enumerate() {
+        exec.push(DataTuple::new(i as u64, req.ts_ns).with("url", req.url.clone()));
+        let window = req.ts_ns / spec.interval_ns;
+        if window != last_window_seen {
+            last_window_seen = window;
+            exec.tick(req.ts_ns);
+            let out = exec.take_output();
+            let ranked: Vec<(String, u64)> = out
+                .iter()
+                .filter_map(|t| {
+                    Some((
+                        t.get("key")?.to_string(),
+                        t.get("count").and_then(Value::as_u64)?,
+                    ))
+                })
+                .collect();
+            if ranked.is_empty() {
+                continue;
+            }
+            if tracked.is_empty() && ranked.len() > 3 {
+                tracked = vec![ranked[1].0.clone(), ranked[2].0.clone()];
+                println!(
+                    "tracking the initially 2nd/3rd most popular videos: {} and {}\n",
+                    tracked[0], tracked[1]
+                );
+            }
+            let max = ranked.iter().map(|(_, c)| *c).max().unwrap_or(1) as f64;
+            for (slot, url) in tracked.iter().enumerate() {
+                let score = ranked
+                    .iter()
+                    .find(|(k, _)| k == url)
+                    .map(|(_, c)| 100.0 * *c as f64 / max)
+                    .unwrap_or(0.0);
+                series[slot].push(score);
+            }
+        }
+    }
+    println!("time(s)  video-A  video-B   (100 = most popular that window)");
+    for (i, (a, b)) in series[0].iter().zip(&series[1]).enumerate() {
+        println!("  {:>4}   {:>6.1}   {:>6.1}", i, a, b);
+    }
+    println!();
+}
+
+/// Proxy wrapper that logs (time, backend) per forwarded request so we
+/// can plot Fig. 17's per-server request rates.
+struct RecordingProxy {
+    inner: ProxyBehavior,
+    log: Rc<RefCell<Vec<(u64, Endpoint)>>>,
+}
+
+impl TierBehavior for RecordingProxy {
+    fn plan(&mut self, request: &[u8], src: Endpoint, now_ns: u64) -> Plan {
+        let plan = self.inner.plan(request, src, now_ns);
+        if let Plan::Backend { dst, .. } = &plan {
+            self.log.borrow_mut().push((now_ns, *dst));
+        }
+        plan
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn part2_autoscale() {
+    println!("== Fig. 17: top-k-driven dynamic replication ==\n");
+    let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+
+    // Hosts: clients 0,1; proxy 2; web servers 4 (active), 5, 6 (spares);
+    // monitor 3; aggregator 7.
+    let (c1, c2, proxy, mon, s1, s2, s3, agg) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+    let ips: Vec<std::net::Ipv4Addr> =
+        (0..8).map(|h| engine.network().host_ip(h)).collect();
+    let net_ip = |h: u32| ips[h as usize];
+    for s in [s1, s2, s3] {
+        engine.set_app(
+            s,
+            Box::new(TierApp::new(
+                80,
+                Box::new(StaticHttpBehavior::new(1.0, u64::from(s)).with_body_bytes(256)),
+            )),
+        );
+    }
+    let pool = ProxyBehavior::pool_of(&[(net_ip(s1), 80)]);
+    let proxy_log = Rc::new(RefCell::new(Vec::new()));
+    engine.set_app(
+        proxy,
+        Box::new(TierApp::new(
+            80,
+            Box::new(RecordingProxy {
+                inner: ProxyBehavior::new(pool.clone()),
+                log: proxy_log.clone(),
+            }),
+        )),
+    );
+
+    // Client 1: steady background load over 1000 distinct URLs.
+    let sink1 = sample_sink();
+    let bg: Vec<(SimTime, Conversation)> = (0..2_400u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 12_500_000), // 80 req/s for 30s
+                Conversation {
+                    dst: (net_ip(proxy), 80),
+                    requests: vec![http::build_get(&format!("/u{}", i % 1000), "p")],
+                    tag: "bg".into(),
+                },
+            )
+        })
+        .collect();
+    engine.set_app(c1, Box::new(ClientApp::new(bg, sink1)));
+    // Client 2: after t=10s, hammers 10 hot URLs.
+    let sink2 = sample_sink();
+    let hot: Vec<(SimTime, Conversation)> = (0..6_000u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(10_000_000_000 + i * 3_300_000), // ~300 req/s
+                Conversation {
+                    dst: (net_ip(proxy), 80),
+                    requests: vec![http::build_get(&format!("/hot{}", i % 10), "p")],
+                    tag: "hot".into(),
+                },
+            )
+        })
+        .collect();
+    engine.set_app(c2, Box::new(ClientApp::new(hot, sink2).with_port_base(28_000)));
+
+    // NetAlytics: mirror proxy-bound HTTP at the clients' ToR (edge 0
+    // covers both clients) and at the proxy's ToR; one monitor suffices
+    // at the proxy's rack since all requests converge there.
+    let proxy_edge = engine.network().tree().edge_of_host(proxy);
+    engine.install_rule(
+        proxy_edge, // edge switch ids equal their index
+        FlowRule::mirror(FlowMatch::any().to_host(net_ip(proxy), Some(80)), mon, 1)
+            .with_priority(100),
+    );
+
+    // Custom topology: the catalog top-k chain plus the Updater bolt.
+    let kv = KvStore::shared();
+    let mut b = Topology::builder("top-k-autoscale");
+    let parse = b.add_bolt("parsing", 1, || Box::new(KeyExtractBolt::new("url")));
+    let count = b.add_bolt("counting", 2, || {
+        Box::new(RollingCountBolt::new(1_000_000_000))
+    });
+    let local = b.add_bolt("rank_local", 2, || Box::new(RankBolt::new(10)));
+    let global = b.add_bolt("rank_global", 1, || Box::new(RankBolt::new(10)));
+    let kv2 = kv.clone();
+    let pool2 = pool.clone();
+    let spares = vec![(net_ip(s2), 80), (net_ip(s3), 80)];
+    let updater = b.add_bolt("updater", 1, move || {
+        Box::new(UpdaterBolt::new(
+            ScalerConfig {
+                // Hot client: ~300 req/s over 10 URLs = ~30 per URL per 1s
+                // window; background top URLs count ~1.
+                upper_threshold: 25,
+                lower_threshold: 2,
+                backoff_ns: 3_000_000_000,
+            },
+            pool2.clone(),
+            spares.clone(),
+            kv2.clone(),
+        ))
+    });
+    b.wire(SourceRef::Spout, parse, Grouping::Shuffle);
+    b.wire(SourceRef::Bolt(parse), count, Grouping::Fields(vec!["key".into()]));
+    b.wire(SourceRef::Bolt(count), local, Grouping::Fields(vec!["key".into()]));
+    b.wire(SourceRef::Bolt(local), global, Grouping::Global);
+    b.wire(SourceRef::Bolt(global), updater, Grouping::Global);
+    let topo = b.build().expect("valid topology");
+    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+
+    let monitor = Monitor::new(MonitorConfig {
+        parsers: vec!["http_get".into()],
+        sample: SampleSpec::All,
+        batch_size: 64,
+    })
+    .expect("stock parser");
+    engine.set_app(mon, Box::new(MonitorApp::new(monitor, net_ip(agg), None)));
+    engine.set_app(
+        agg,
+        Box::new(AggregatorApp::new(executor, vec![net_ip(mon)], 100_000, 10_000)),
+    );
+
+    engine.run_until(SimTime::from_nanos(30_000_000_000));
+
+    // Fig. 17: requests per server per second.
+    let log = proxy_log.borrow();
+    let names = [(net_ip(s1), "server1"), (net_ip(s2), "server2"), (net_ip(s3), "server3")];
+    println!("per-server forwarded requests per second:");
+    println!("  t(s)   server1  server2  server3");
+    for sec in 0..30u64 {
+        let lo = sec * 1_000_000_000;
+        let hi = lo + 1_000_000_000;
+        let mut counts = [0usize; 3];
+        for (t, dst) in log.iter() {
+            if *t >= lo && *t < hi {
+                if let Some(i) = names.iter().position(|(ip, _)| *ip == dst.0) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        println!(
+            "  {:>4}   {:>7}  {:>7}  {:>7}",
+            sec, counts[0], counts[1], counts[2]
+        );
+    }
+    println!("\nfinal pool size: {}", pool.lock().len());
+    println!("top-k snapshot in KV store:");
+    for key in kv.keys_with_prefix("topk:").iter().take(3) {
+        println!("  {key} = {}", kv.get(key).unwrap_or_default());
+    }
+}
+
+fn main() {
+    part1_trace_topk();
+    part2_autoscale();
+}

@@ -1,0 +1,1 @@
+//! Root helper lib for examples/tests.

@@ -1,0 +1,96 @@
+//! Integration: the §4.2 feedback loop end to end — an undersized
+//! analytics layer pushes back until monitors shed load, and recovery
+//! restores the sampling rate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netalytics::{AggregatorApp, MonitorApp};
+use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
+use netalytics_netsim::{App, Ctx, Engine, LinkSpec, Network, SimDuration, SimTime};
+use netalytics_packet::{Packet, TcpFlags};
+use netalytics_sdn::{FlowMatch, FlowRule};
+use netalytics_stream::{topologies, InlineExecutor, ProcessorSpec};
+
+/// Sends a burst of `rate` conns/tick for `bursts` ticks, then goes quiet.
+struct BurstyGen {
+    dst: std::net::Ipv4Addr,
+    rate: u16,
+    bursts: u32,
+    sent: u32,
+}
+
+impl App for BurstyGen {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(SimDuration::from_millis(1), 0);
+    }
+    fn on_packet(&mut self, _p: &Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rate {
+            let port = 1000u16.wrapping_add((self.sent as u16).wrapping_mul(self.rate) + i);
+            ctx.send(Packet::tcp(ctx.ip(), port, self.dst, 80, TcpFlags::SYN, 0, 0, b""));
+        }
+        self.sent += 1;
+        if self.sent < self.bursts {
+            ctx.timer_in(SimDuration::from_millis(1), 0);
+        }
+    }
+}
+
+#[test]
+fn overload_backpressure_adapts_sampling_and_recovers() {
+    let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+    let dst_ip = engine.network().host_ip(1);
+    let mon_ip = engine.network().host_ip(2);
+    let agg_ip = engine.network().host_ip(3);
+    engine.install_rule(
+        0,
+        FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+    );
+    let monitor = Monitor::new(MonitorConfig {
+        parsers: vec!["tcp_flow_key".into()],
+        sample: SampleSpec::Auto,
+        batch_size: 32,
+    })
+    .unwrap();
+    let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
+    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+    // Deliberately tiny aggregation buffer with a slow drain.
+    let agg = AggregatorApp::new(executor, vec![mon_ip], 50, 5);
+    let agg_handle = agg.handle();
+    let mon = MonitorApp::new(monitor, agg_ip, None);
+    let mon_handle = mon.handle();
+    engine.set_app(
+        0,
+        Box::new(BurstyGen {
+            dst: dst_ip,
+            rate: 40,
+            bursts: 100,
+            sent: 0,
+        }),
+    );
+    engine.set_app(2, Box::new(mon));
+    engine.set_app(3, Box::new(agg));
+
+    // Phase 1: sustained burst overloads the aggregation layer.
+    engine.run_until(SimTime::from_nanos(120_000_000));
+    let mid_rate = mon_handle.borrow().sample_rate;
+    assert!(
+        agg_handle.borrow().overload_signals >= 1,
+        "aggregator must signal overload"
+    );
+    assert!(mid_rate < 1.0, "monitor must shed load (rate {mid_rate})");
+    assert!(agg_handle.borrow().dropped > 0, "buffer overflowed first");
+
+    // Phase 2: traffic stops; drain brings the buffer under the low
+    // watermark and recovery signals raise the sampling rate again.
+    engine.run_until(SimTime::from_nanos(3_000_000_000));
+    let final_rate = mon_handle.borrow().sample_rate;
+    assert!(
+        final_rate > mid_rate,
+        "rate must recover ({mid_rate} -> {final_rate})"
+    );
+    // All buffered tuples eventually reached the executor.
+    let a = agg_handle.borrow();
+    assert_eq!(a.tuples_processed + a.dropped, a.tuples_in);
+}

@@ -1,0 +1,112 @@
+//! Integration + property tests of the placement layer's invariants
+//! across random workloads and seeds.
+
+use netalytics_placement::{
+    generate_workload, place_analytics, place_monitors, placement_cost, run_once, AnalyticsStrategy,
+    DataCenter, MonitorStrategy, PlacementParams, SimConfig, Strategy, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn workload_spec(flows: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        total_flows: flows,
+        total_rate_bps: 50_000_000_000,
+        tor_p: 0.5,
+        pod_p: 0.3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every flow ends up on exactly one monitor under a covering ToR,
+    /// and every monitor/aggregator respects its capacity — regardless
+    /// of seed, strategy or workload size.
+    #[test]
+    fn full_placement_invariants(
+        seed in 0u64..1_000,
+        flows in 200usize..3_000,
+        greedy_monitors in any::<bool>(),
+        analytics_idx in 0usize..3,
+    ) {
+        let tree = netalytics_netsim::FatTree::new(8);
+        let workload = generate_workload(&tree, &workload_spec(flows), seed);
+        let mut dc = DataCenter::uniform(8, PlacementParams::default());
+        let ms = if greedy_monitors { MonitorStrategy::Greedy } else { MonitorStrategy::Random };
+        let mp = place_monitors(&mut dc, &workload, ms, seed);
+        prop_assert!(mp.unplaced.is_empty(), "uniform idle hosts must fit all monitors");
+        let mut assigned = vec![false; workload.len()];
+        for m in &mp.monitors {
+            prop_assert!(
+                m.load_bps <= dc.params.monitor_capacity_bps || m.flows.len() == 1,
+                "monitor overloaded with {} flows at {}bps", m.flows.len(), m.load_bps
+            );
+            for &i in &m.flows {
+                prop_assert!(!assigned[i], "flow {i} double-monitored");
+                assigned[i] = true;
+                let f = &workload[i];
+                let covers = dc.tree.edge_of_host(f.src) == m.edge
+                    || dc.tree.edge_of_host(f.dst) == m.edge;
+                prop_assert!(covers, "monitor's ToR must cover its flows");
+            }
+        }
+        prop_assert!(assigned.iter().all(|&a| a));
+
+        let strat = [
+            AnalyticsStrategy::LocalRandom,
+            AnalyticsStrategy::FirstFit,
+            AnalyticsStrategy::Greedy,
+        ][analytics_idx];
+        let ap = place_analytics(&mut dc, &mp, strat, seed);
+        prop_assert!(ap.unassigned.is_empty());
+        let total: usize = ap.aggregators.iter().map(|a| a.monitors.len()).sum();
+        prop_assert_eq!(total, mp.monitors.len());
+        for a in &ap.aggregators {
+            prop_assert!(
+                a.load_bps <= dc.params.aggregator_capacity_bps || a.monitors.len() == 1
+            );
+        }
+        let cost = placement_cost(&dc, &workload, &mp, &ap);
+        prop_assert!(cost.bandwidth_bps_hops >= 0.0);
+        prop_assert!(cost.weighted_bandwidth >= cost.bandwidth_bps_hops);
+    }
+
+    /// The paper's headline ordering holds across seeds: the network
+    /// strategy never consumes more bandwidth than local-random, on
+    /// sufficiently large monitored sets.
+    #[test]
+    fn network_strategy_dominates_local_random(seed in 0u64..20) {
+        let cfg = SimConfig {
+            k: 8,
+            workload: workload_spec(20_000),
+            params: PlacementParams::default(),
+            runs: 1,
+        };
+        let tree = netalytics_netsim::FatTree::new(cfg.k);
+        let flows = generate_workload(&tree, &cfg.workload, seed);
+        let net = run_once(&cfg, &flows, 8_000, Strategy::NetalyticsNetwork, seed);
+        let local = run_once(&cfg, &flows, 8_000, Strategy::LocalRandom, seed);
+        prop_assert!(
+            net.weighted_extra_bandwidth_pct() <= local.weighted_extra_bandwidth_pct() * 1.05,
+            "net {} vs local {}",
+            net.weighted_extra_bandwidth_pct(),
+            local.weighted_extra_bandwidth_pct()
+        );
+    }
+}
+
+#[test]
+fn monitored_subset_is_a_subset_and_costs_scale() {
+    let cfg = SimConfig {
+        k: 8,
+        workload: workload_spec(30_000),
+        params: PlacementParams::default(),
+        runs: 1,
+    };
+    let tree = netalytics_netsim::FatTree::new(cfg.k);
+    let flows = generate_workload(&tree, &cfg.workload, 5);
+    let small = run_once(&cfg, &flows, 1_000, Strategy::NetalyticsNetwork, 5);
+    let large = run_once(&cfg, &flows, 20_000, Strategy::NetalyticsNetwork, 5);
+    assert!(large.bandwidth_bps_hops > small.bandwidth_bps_hops);
+    assert!(large.total_processes() >= small.total_processes());
+}

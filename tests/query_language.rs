@@ -1,0 +1,135 @@
+//! Integration: query text → AST → deployment → OpenFlow semantics.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netalytics_monitor::SampleSpec;
+use netalytics_packet::{FlowKey, IpProto};
+use netalytics_query::{compile, parse, Limit};
+use netalytics_sdn::{Action, FlowRule, FlowTable};
+use proptest::prelude::*;
+
+fn hosts() -> HashMap<String, Ipv4Addr> {
+    let mut m = HashMap::new();
+    m.insert("h1".into(), Ipv4Addr::new(10, 0, 2, 9));
+    m.insert("h2".into(), Ipv4Addr::new(10, 0, 3, 6));
+    m
+}
+
+/// The paper's §3.3 example queries compile into working flow tables.
+#[test]
+fn paper_queries_drive_a_flow_table() {
+    let q = parse(
+        "PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 \
+         LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)",
+    )
+    .unwrap();
+    assert_eq!(q.limit, Limit::Time(90_000_000_000));
+    assert_eq!(q.sample, SampleSpec::Auto);
+    let d = compile(&q, &hosts()).unwrap();
+    let mut table = FlowTable::new();
+    for m in &d.matches {
+        table.install(FlowRule::mirror(*m, 42, 7));
+    }
+    let target = FlowKey::new(
+        Ipv4Addr::new(10, 0, 2, 8),
+        5555,
+        Ipv4Addr::new(10, 0, 2, 9),
+        80,
+        IpProto::Tcp,
+    );
+    assert_eq!(
+        table.lookup(&target, 64).unwrap(),
+        &[Action::Native, Action::MirrorToHost(42)]
+    );
+    // Wrong source port: not mirrored.
+    let mut other = target;
+    other.src_port = 5556;
+    assert!(table.lookup(&other, 64).is_none());
+
+    let q2 = parse(
+        "PARSE http_get FROM * TO h1:80, h2:3306 \
+         LIMIT 5000p SAMPLE 0.1 PROCESS (diff-group: group=get)",
+    )
+    .unwrap();
+    let d2 = compile(&q2, &hosts()).unwrap();
+    assert_eq!(d2.matches.len(), 2);
+    assert_eq!(d2.limit, Limit::Packets(5000));
+    let mut t2 = FlowTable::new();
+    for m in &d2.matches {
+        t2.install(FlowRule::mirror(*m, 1, 8));
+    }
+    let to_h2 = FlowKey::new(
+        Ipv4Addr::new(172, 16, 0, 1),
+        999,
+        Ipv4Addr::new(10, 0, 3, 6),
+        3306,
+        IpProto::Tcp,
+    );
+    assert!(t2.lookup(&to_h2, 64).is_some(), "wildcard FROM matches anyone");
+    let wrong_port = FlowKey::new(
+        Ipv4Addr::new(172, 16, 0, 1),
+        999,
+        Ipv4Addr::new(10, 0, 3, 6),
+        3307,
+        IpProto::Tcp,
+    );
+    assert!(t2.lookup(&wrong_port, 64).is_none());
+}
+
+/// Round-trip: `Display` of a parsed query re-parses to the same AST.
+#[test]
+fn query_display_reparses() {
+    let src = "PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO h1:80, 10.0.3.0/24:3306 \
+               LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s), (cdf: value=diff_ms)";
+    let q1 = parse(src).unwrap();
+    let q2 = parse(&q1.to_string()).unwrap();
+    assert_eq!(q1, q2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled matches are sound: a flow matching the compiled
+    /// `FlowMatch` always satisfies the query's TO constraint.
+    #[test]
+    fn compiled_matches_are_sound(
+        dst_port in 1u16..65_535,
+        probe_ip in any::<u32>(),
+        probe_port in 1u16..65_535,
+    ) {
+        let src = format!(
+            "PARSE http_get FROM * TO 10.0.2.9:{dst_port} LIMIT 1s SAMPLE * PROCESS (group-sum)"
+        );
+        let q = parse(&src).unwrap();
+        let d = compile(&q, &hosts()).unwrap();
+        let flow = FlowKey::new(
+            Ipv4Addr::from(probe_ip),
+            probe_port,
+            Ipv4Addr::new(10, 0, 2, 9),
+            probe_port,
+            IpProto::Tcp,
+        );
+        let matched = d.matches[0].matches(&flow);
+        prop_assert_eq!(matched, probe_port == dst_port);
+    }
+
+    /// Valid generated queries always parse and compile.
+    #[test]
+    fn generated_queries_compile(
+        parsers in proptest::sample::subsequence(
+            vec!["tcp_flow_key", "tcp_conn_time", "tcp_pkt_size", "http_get",
+                 "memcached_get", "mysql_query"], 1..4),
+        port in 1u16..65_535,
+        secs in 1u64..1_000,
+        k in 1usize..50,
+    ) {
+        let src = format!(
+            "PARSE {} FROM * TO h1:{port} LIMIT {secs}s SAMPLE auto PROCESS (top-k: k={k})",
+            parsers.join(", ")
+        );
+        let q = parse(&src).unwrap();
+        let d = compile(&q, &hosts()).unwrap();
+        prop_assert_eq!(d.parsers.len(), parsers.len());
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration: the threaded plane — monitor pipeline → queue cluster →
+//! threaded Storm-style executor — used by the Fig. 5/6 experiments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use netalytics_data::Value;
+use netalytics_monitor::{Pipeline, PipelineConfig, SampleSpec};
+use netalytics_packet::{http, Packet, TcpFlags};
+use netalytics_queue::{QueueCluster, QueueConfig};
+use netalytics_stream::{
+    topologies, ProcessorSpec, QueueSpout, ThreadedConfig, ThreadedExecutor,
+};
+
+#[test]
+fn pipeline_to_queue_to_executor_counts_are_exact() {
+    let cluster = Arc::new(QueueCluster::new(QueueConfig {
+        brokers: 2,
+        partitions: 4,
+        partition_capacity: 1 << 16,
+    }));
+    let topo = topologies::build(
+        &ProcessorSpec::new("top-k")
+            .with_arg("k", "5")
+            .with_arg("key", "url")
+            .with_arg("par", "3"),
+    )
+    .unwrap();
+    let exec = ThreadedExecutor::spawn(
+        &topo,
+        Box::new(QueueSpout::new(cluster.clone(), "http_get", "storm")),
+        ThreadedConfig::default(),
+    );
+    let pipeline = Pipeline::spawn(PipelineConfig {
+        parsers: vec!["http_get".into()],
+        sample: SampleSpec::All,
+        batch_size: 64,
+        ..Default::default()
+    })
+    .unwrap();
+
+    // 600 GETs: /hot 3x as popular as /warm.
+    let src: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let dst: std::net::Ipv4Addr = "10.0.0.9".parse().unwrap();
+    for i in 0..600u32 {
+        let url = if i % 4 == 3 { "/warm" } else { "/hot" };
+        pipeline.offer(Packet::tcp(
+            src,
+            4000 + (i % 512) as u16,
+            dst,
+            80,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
+            &http::build_get(url, "h"),
+        ));
+    }
+    let summary = pipeline.shutdown(false);
+    assert_eq!(summary.packets_in, 600);
+    assert_eq!(summary.tuples_out, 600);
+    // Ship the batches into the queue like the monitor output interface.
+    let mut key = 0u64;
+    for batch in summary.residual_batches {
+        key += 1;
+        cluster.produce("http_get", key, batch.encode(), 0);
+    }
+    // Let the spout drain everything.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while exec.spout_tuples() < 600 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(exec.spout_tuples(), 600, "all tuples reached the executor");
+    std::thread::sleep(Duration::from_millis(50));
+    let out = exec.shutdown();
+    let top = out
+        .iter()
+        .filter(|t| t.source == "rank")
+        .find(|t| t.get("rank").and_then(Value::as_u64) == Some(0))
+        .expect("a top-ranked key");
+    assert_eq!(top.get("key").and_then(Value::as_str), Some("/hot"));
+    assert_eq!(cluster.lag("storm", "http_get"), 0);
+}
+
+#[test]
+fn queue_retention_sheds_under_slow_consumer() {
+    let cluster = Arc::new(QueueCluster::new(QueueConfig {
+        brokers: 1,
+        partitions: 1,
+        partition_capacity: 50,
+    }));
+    for i in 0..500u64 {
+        cluster.produce("t", i, bytes::Bytes::from_static(b"x"), i);
+    }
+    assert_eq!(cluster.depth("t"), 50, "bounded buffer");
+    assert_eq!(cluster.dropped("t"), 450);
+    // A late consumer only sees the retained tail.
+    let got = cluster.consume("late", "t", 1_000);
+    assert_eq!(got.len(), 50);
+    assert_eq!(got[0].offset, 450);
+}
+
+#[test]
+fn sampler_in_pipeline_is_flow_consistent() {
+    let pipeline = Pipeline::spawn(PipelineConfig {
+        parsers: vec!["tcp_flow_key".into()],
+        sample: SampleSpec::Rate(0.4),
+        batch_size: 32,
+        ..Default::default()
+    })
+    .unwrap();
+    let src: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let dst: std::net::Ipv4Addr = "10.0.0.9".parse().unwrap();
+    // 50 flows x 10 packets each.
+    for round in 0..10u32 {
+        for port in 0..50u16 {
+            pipeline.offer(Packet::tcp(
+                src,
+                1000 + port,
+                dst,
+                80,
+                TcpFlags::ACK,
+                round,
+                0,
+                b"",
+            ));
+        }
+    }
+    let summary = pipeline.shutdown(false);
+    // Flow-consistent sampling admits whole flows: the per-flow tuple
+    // count is 10 for every sampled flow.
+    let mut per_flow: std::collections::HashMap<u64, usize> = Default::default();
+    for b in &summary.residual_batches {
+        for t in &b.tuples {
+            *per_flow.entry(t.id).or_default() += 1;
+        }
+    }
+    assert!(!per_flow.is_empty());
+    for (flow, n) in &per_flow {
+        assert_eq!(*n, 10, "flow {flow:#x} partially sampled");
+    }
+}

@@ -1,0 +1,227 @@
+//! Integration: miniature versions of the three §7 case studies,
+//! asserting the diagnostic *shapes* the paper reports.
+
+use netalytics::Orchestrator;
+use netalytics_apps::{
+    sample_sink, AppServerBehavior, ClientApp, Conversation, MemcachedBehavior, MysqlBehavior,
+    ProxyBehavior, TierApp,
+};
+use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_packet::http;
+
+/// §7.1 in miniature: the misconfigured app server shows up in per-tier
+/// latencies and backend throughput, exactly like Figs. 9 and 11.
+#[test]
+fn multi_tier_misconfiguration_is_diagnosable() {
+    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let (proxy, app1, app2, db, cache) = (2u32, 4, 5, 8, 9);
+    for (n, h) in [("app1", app1), ("app2", app2), ("db", db), ("cache", cache)] {
+        orch.name_host(n, h);
+    }
+    let (app1_ip, app2_ip, db_ip, cache_ip) = (
+        orch.host_ip(app1),
+        orch.host_ip(app2),
+        orch.host_ip(db),
+        orch.host_ip(cache),
+    );
+    orch.deploy_app(db, Box::new(TierApp::new(3306, Box::new(MysqlBehavior::new(30.0, 1)))));
+    orch.deploy_app(
+        cache,
+        Box::new(TierApp::new(11211, Box::new(MemcachedBehavior::new(0.5, 2)))),
+    );
+    orch.deploy_app(
+        app1,
+        Box::new(TierApp::new(
+            80,
+            Box::new(AppServerBehavior::new((db_ip, 3306), (cache_ip, 11211), 0.05, 3)),
+        )),
+    );
+    orch.deploy_app(
+        app2,
+        Box::new(TierApp::new(
+            80,
+            Box::new(AppServerBehavior::new((db_ip, 3306), (cache_ip, 11211), 0.8, 4)),
+        )),
+    );
+    let pool = ProxyBehavior::pool_of(&[(app1_ip, 80), (app2_ip, 80)]);
+    orch.deploy_app(proxy, Box::new(TierApp::new(80, Box::new(ProxyBehavior::new(pool)))));
+    let sink = sample_sink();
+    let proxy_ip = orch.host_ip(proxy);
+    let schedule = (0..600u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 40_000_000),
+                Conversation {
+                    dst: (proxy_ip, 80),
+                    requests: vec![http::build_get(&format!("/p{}", i % 7), "p")],
+                    tag: "c".into(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sink.clone())));
+
+    let report = orch
+        .run_query(
+            "PARSE tcp_conn_time FROM * TO app1:80, app2:80, db:3306, cache:11211 \
+             LIMIT 11s SAMPLE * PROCESS (diff-group-avg: group=dst_ip)",
+            SimDuration::from_secs(11),
+        )
+        .expect("per-tier query");
+    let tiers = report.first().group_values("dst_ip", "avg");
+    let a1 = tiers[&app1_ip.to_string()];
+    let a2 = tiers[&app2_ip.to_string()];
+    assert!(
+        a1 > 2.5 * a2,
+        "misconfigured app1 ({a1:.1}ms) must be much slower than app2 ({a2:.1}ms)"
+    );
+    // Paper Fig. 9: backend times are similar from both app servers.
+    let db_t = tiers[&db_ip.to_string()];
+    let cache_t = tiers[&cache_ip.to_string()];
+    assert!(db_t > 10.0 * cache_t, "db ({db_t:.1}) >> cache ({cache_t:.2})");
+
+    // Fig. 11 shape: app1 pushes much more to MySQL than app2.
+    let report2 = orch
+        .run_query(
+            "PARSE tcp_pkt_size FROM app1, app2 TO db:3306, cache:11211 \
+             LIMIT 10s SAMPLE * PROCESS (group-sum: group=src_ip+dst_ip, value=bytes)",
+            SimDuration::from_secs(10),
+        )
+        .expect("throughput query");
+    let mut app1_db = 0.0;
+    let mut app2_db = 0.0;
+    for t in &report2.first().tuples {
+        let (Some(src), Some(dst), Some(sum)) = (
+            t.get("src_ip").map(ToString::to_string),
+            t.get("dst_ip").map(ToString::to_string),
+            t.get("sum").and_then(netalytics_data::Value::as_f64),
+        ) else {
+            continue;
+        };
+        if dst == db_ip.to_string() {
+            if src == app1_ip.to_string() {
+                app1_db = sum;
+            } else if src == app2_ip.to_string() {
+                app2_db = sum;
+            }
+        }
+    }
+    assert!(
+        app1_db > 2.0 * app2_db,
+        "app1->db bytes {app1_db} must dwarf app2->db {app2_db}"
+    );
+}
+
+/// §7.2 in miniature: the buggy page is visibly too fast, and per-query
+/// MySQL latencies are observable despite shared connections (Fig. 14/15).
+#[test]
+fn buggy_page_and_per_query_latency_are_visible() {
+    use netalytics_apps::{Endpoint, Plan, TierBehavior};
+    use netalytics_packet::mysql;
+
+    struct Php {
+        db: Endpoint,
+    }
+    impl TierBehavior for Php {
+        fn plan(&mut self, request: &[u8], _src: Endpoint, _now: u64) -> Plan {
+            let Some(req) = http::parse_request(request) else {
+                return Plan::Drop;
+            };
+            if req.url == "/overdue-bug.php" {
+                return Plan::Respond {
+                    delay: netalytics_netsim::SimDuration::from_millis(2),
+                    payload: http::build_response(200, b"empty"),
+                    close: true,
+                };
+            }
+            Plan::Backend {
+                dst: self.db,
+                requests: vec![
+                    mysql::build_query("SELECT_SLOW overdue"),
+                    mysql::build_query("SELECT_CHEAP fmt"),
+                ],
+                post_delay: netalytics_netsim::SimDuration::from_millis(1),
+                payload: http::build_response(200, b"report"),
+                close: true,
+            }
+        }
+    }
+
+    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let (web, db) = (4u32, 8u32);
+    orch.name_host("h1", web);
+    orch.name_host("h2", db);
+    let db_ip = orch.host_ip(db);
+    let web_ip = orch.host_ip(web);
+    orch.deploy_app(
+        db,
+        Box::new(TierApp::new(
+            3306,
+            Box::new(
+                MysqlBehavior::new(5.0, 7)
+                    .with_statement("SELECT_SLOW", 60.0)
+                    .with_statement("SELECT_CHEAP", 1.0),
+            ),
+        )),
+    );
+    orch.deploy_app(web, Box::new(TierApp::new(80, Box::new(Php { db: (db_ip, 3306) }))));
+    let sink = sample_sink();
+    let schedule = (0..400u64)
+        .map(|i| {
+            let url = if i % 2 == 0 { "/overdue.php" } else { "/overdue-bug.php" };
+            (
+                SimTime::from_nanos(i * 60_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get(url, "h1")],
+                    tag: url.to_string(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sink)));
+
+    // Fig. 13/14: per-URL average via the joined query.
+    let r = orch
+        .run_query(
+            "PARSE tcp_conn_time, http_get FROM * TO h1:80 LIMIT 11s SAMPLE * \
+             PROCESS (url-avg)",
+            SimDuration::from_secs(11),
+        )
+        .expect("url query");
+    let per_url = r.first().group_values("url", "avg");
+    let ok = per_url["/overdue.php"];
+    let bug = per_url["/overdue-bug.php"];
+    assert!(
+        ok > 10.0 * bug,
+        "buggy page ({bug:.1}ms) must be suspiciously faster than {ok:.1}ms"
+    );
+
+    // Fig. 15: per-query latencies show two modes (slow + cheap).
+    let r2 = orch
+        .run_query(
+            "PARSE mysql_query FROM * TO h2:3306 LIMIT 10s SAMPLE * \
+             PROCESS (histogram: value=rt_ms, bucket=20)",
+            SimDuration::from_secs(10),
+        )
+        .expect("mysql query");
+    let buckets: Vec<(f64, u64)> = r2
+        .first()
+        .tuples
+        .iter()
+        .filter_map(|t| {
+            Some((
+                t.get("bucket_lo").and_then(netalytics_data::Value::as_f64)?,
+                t.get("freq").and_then(netalytics_data::Value::as_u64)?,
+            ))
+        })
+        .collect();
+    assert!(
+        buckets.iter().any(|(lo, _)| *lo < 20.0),
+        "cheap mode present: {buckets:?}"
+    );
+    assert!(
+        buckets.iter().any(|(lo, _)| *lo >= 40.0),
+        "slow mode present: {buckets:?}"
+    );
+}
