@@ -112,7 +112,8 @@ impl Bolt for UpdaterBolt {
             return;
         };
         // Database bolt role: persist the ranking for the dynamic proxy.
-        self.kv.set(format!("topk:{rank}"), format!("{key}={count}"));
+        self.kv
+            .set(format!("topk:{rank}"), format!("{key}={count}"));
         if rank != 0 {
             return; // scaling decisions track the hottest key only
         }

@@ -267,7 +267,9 @@ mod tests {
         let sink = sample_sink();
         let conv = Conversation {
             dst: (db_ip, 3306),
-            requests: (0..5).map(|i| mysql::build_query(&format!("SELECT {i}"))).collect(),
+            requests: (0..5)
+                .map(|i| mysql::build_query(&format!("SELECT {i}")))
+                .collect(),
             tag: "batch".into(),
         };
         engine.set_app(

@@ -422,7 +422,10 @@ mod tests {
         let fe_ip = engine.network().host_ip(1);
         let be_ip = engine.network().host_ip(2);
         let got = Rc::new(RefCell::new(Vec::new()));
-        engine.set_app(1, Box::new(TierApp::new(80, Box::new(Frontend((be_ip, 3306))))));
+        engine.set_app(
+            1,
+            Box::new(TierApp::new(80, Box::new(Frontend((be_ip, 3306))))),
+        );
         engine.set_app(2, Box::new(TierApp::new(3306, Box::new(Persistent))));
         engine.set_app(
             0,

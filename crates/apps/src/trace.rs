@@ -139,8 +139,7 @@ mod tests {
             }
             counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
         };
-        let tops: std::collections::HashSet<String> =
-            (0..spec.intervals).map(top_of).collect();
+        let tops: std::collections::HashSet<String> = (0..spec.intervals).map(top_of).collect();
         assert!(tops.len() > 1, "the #1 item must change over time");
     }
 

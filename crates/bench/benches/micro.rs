@@ -20,15 +20,18 @@ fn bench_micro(c: &mut Criterion) {
         for i in 0..64u16 {
             table.install(
                 FlowRule::new(
-                    FlowMatch::any().to_host(format!("10.0.9.{}", i % 250).parse().unwrap(), Some(80 + i)),
+                    FlowMatch::any()
+                        .to_host(format!("10.0.9.{}", i % 250).parse().unwrap(), Some(80 + i)),
                     vec![Action::Native],
                 )
                 .with_priority(i),
             );
         }
         let flow = FlowKey::new(
-            "10.0.2.8".parse().unwrap(), 5555,
-            "10.0.9.3".parse().unwrap(), 83,
+            "10.0.2.8".parse().unwrap(),
+            5555,
+            "10.0.9.3".parse().unwrap(),
+            83,
             IpProto::Tcp,
         );
         b.iter(|| table.lookup(&flow, 64).map(<[Action]>::len));
@@ -36,8 +39,10 @@ fn bench_micro(c: &mut Criterion) {
 
     group.bench_function("flow_hash", |b| {
         let flow = FlowKey::new(
-            "10.0.2.8".parse().unwrap(), 5555,
-            "10.0.2.9".parse().unwrap(), 80,
+            "10.0.2.8".parse().unwrap(),
+            5555,
+            "10.0.2.9".parse().unwrap(),
+            80,
             IpProto::Tcp,
         );
         b.iter(|| flow.stable_hash());
@@ -46,9 +51,14 @@ fn bench_micro(c: &mut Criterion) {
     group.bench_function("sampler_accept", |b| {
         let mut sampler = FlowSampler::new(SampleSpec::Rate(0.1));
         let pkt = Packet::tcp(
-            "10.0.2.8".parse().unwrap(), 5555,
-            "10.0.2.9".parse().unwrap(), 80,
-            TcpFlags::ACK, 0, 0, b"",
+            "10.0.2.8".parse().unwrap(),
+            5555,
+            "10.0.2.9".parse().unwrap(),
+            80,
+            TcpFlags::ACK,
+            0,
+            0,
+            b"",
         );
         b.iter(|| sampler.accept(&pkt));
     });

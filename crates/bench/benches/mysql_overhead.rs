@@ -43,15 +43,23 @@ fn bench_overheads(c: &mut Criterion) {
     // NetAlytics path: parse the mirrored COM_QUERY + OK packets.
     group.bench_function("netalytics_mysql_parser", |b| {
         let query_pkt = Packet::tcp(
-            "10.0.0.1".parse().unwrap(), 4000,
-            "10.0.0.2".parse().unwrap(), 3306,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            "10.0.0.1".parse().unwrap(),
+            4000,
+            "10.0.0.2".parse().unwrap(),
+            3306,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &mysql::build_query(SQL),
         );
         let ok_pkt = Packet::tcp(
-            "10.0.0.2".parse().unwrap(), 3306,
-            "10.0.0.1".parse().unwrap(), 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            "10.0.0.2".parse().unwrap(),
+            3306,
+            "10.0.0.1".parse().unwrap(),
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            2,
             &mysql::build_ok(1),
         );
         let mut parser = make_parser("mysql_query").unwrap();

@@ -32,7 +32,10 @@ fn main() {
     let n = 200_000;
 
     println!("== 1. batching: batch size vs throughput and wire overhead ==\n");
-    println!("{:>10} {:>12} {:>18}", "batch", "rate (Mbps)", "bytes/tuple");
+    println!(
+        "{:>10} {:>12} {:>18}",
+        "batch", "rate (Mbps)", "bytes/tuple"
+    );
     for batch in [1usize, 8, 32, 128, 512] {
         let (mbps, s) = drive(
             PipelineConfig {
@@ -53,7 +56,11 @@ fn main() {
         "rate", "sampled %", "tuples out", "rate (Mbps)"
     );
     for rate in [1.0f64, 0.5, 0.2, 0.05] {
-        let spec = if rate >= 1.0 { SampleSpec::All } else { SampleSpec::Rate(rate) };
+        let spec = if rate >= 1.0 {
+            SampleSpec::All
+        } else {
+            SampleSpec::Rate(rate)
+        };
         let stream = http_get_stream(2048, 512, 1024);
         let p = Pipeline::spawn(PipelineConfig {
             parsers: vec!["http_get".into()],
@@ -78,7 +85,9 @@ fn main() {
     println!("(sampling sheds whole flows at the collector, before parsing)\n");
 
     println!("== 3. parser workers vs throughput ==\n");
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} core(s)");
     println!("{:>10} {:>12}", "workers", "rate (Mbps)");
     for workers in [1usize, 2, 4] {
@@ -117,7 +126,13 @@ fn main() {
         }
     }
     let deep = start.elapsed().as_secs_f64();
-    println!("  descriptor clone: {:>8.1} ns/packet", zc * 1e9 / (rounds * stream.len()) as f64);
-    println!("  deep copy       : {:>8.1} ns/packet", deep * 1e9 / (rounds * stream.len()) as f64);
+    println!(
+        "  descriptor clone: {:>8.1} ns/packet",
+        zc * 1e9 / (rounds * stream.len()) as f64
+    );
+    println!(
+        "  deep copy       : {:>8.1} ns/packet",
+        deep * 1e9 / (rounds * stream.len()) as f64
+    );
     println!("  speedup         : {:>8.1}x   (checksum {acc})", deep / zc);
 }

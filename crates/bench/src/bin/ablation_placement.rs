@@ -51,8 +51,7 @@ fn main() {
                 c.workload_bps_hops = 0.0;
                 c.workload_weighted = 0.0;
                 for f in &all {
-                    c.workload_bps_hops +=
-                        f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
+                    c.workload_bps_hops += f.rate_bps as f64 * f64::from(dc.hops(f.src, f.dst));
                     c.workload_weighted +=
                         f.rate_bps as f64 * f64::from(dc.weighted_hops(f.src, f.dst));
                 }

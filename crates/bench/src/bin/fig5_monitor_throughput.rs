@@ -37,7 +37,10 @@ fn main() {
     let n = 4096;
     let rounds = 200;
     println!("Fig. 5 — monitor throughput, one parser core (line rate {LINE_RATE_GBPS} Gbps)\n");
-    println!("{:>10} {:>22} {:>22}", "pkt size", "tcp_conn_time (Gbps)", "http_get (Gbps)");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "pkt size", "tcp_conn_time (Gbps)", "http_get (Gbps)"
+    );
     for &size in &[64usize, 128, 256, 512, 1024] {
         let tcp = measure("tcp_conn_time", &syn_fin_stream(n, size, 256), rounds);
         let http = if size >= 128 {
@@ -49,7 +52,11 @@ fn main() {
             if v.is_nan() {
                 "    -".to_string()
             } else {
-                format!("{:>8.2}{}", v.min(1e4), if v >= LINE_RATE_GBPS { " (>=line)" } else { "" })
+                format!(
+                    "{:>8.2}{}",
+                    v.min(1e4),
+                    if v >= LINE_RATE_GBPS { " (>=line)" } else { "" }
+                )
             }
         };
         println!("{:>10} {:>22} {:>22}", size, cap(tcp), cap(http));

@@ -7,7 +7,10 @@
 //!
 //! Here each configuration runs the real threaded stack — monitor
 //! pipeline → queue cluster → threaded top-k executor — for a fixed
-//! duration, and reports the sustained end-to-end input rate.
+//! duration, and reports the sustained end-to-end input rate. The whole
+//! path is batch-first: parser workers ship [`TupleBatch`]es straight
+//! into the queue through a [`QueueWriter`] sink (no relay threads), and
+//! the executor's spout pulls them back out with batched consumes.
 //!
 //! Run with: `cargo run --release -p netalytics-bench --bin fig6_pipeline_scaling`
 
@@ -16,10 +19,8 @@ use std::time::{Duration, Instant};
 
 use netalytics_bench::http_get_stream;
 use netalytics_monitor::{Pipeline, PipelineConfig, SampleSpec};
-use netalytics_queue::{QueueCluster, QueueConfig};
-use netalytics_stream::{
-    topologies, ProcessorSpec, QueueSpout, ThreadedConfig, ThreadedExecutor,
-};
+use netalytics_queue::{QueueCluster, QueueConfig, QueueWriter};
+use netalytics_stream::{topologies, ProcessorSpec, QueueSpout, ThreadedConfig, ThreadedExecutor};
 
 /// One Fig. 6 configuration: process counts per layer.
 struct Config {
@@ -58,41 +59,27 @@ fn run_config(cfg: &Config, secs: f64) -> f64 {
         },
     );
 
-    // Monitors: threaded pipelines whose batches land in the queue.
+    // Monitors: threaded pipelines whose output interface ships batches
+    // straight into the queue (parser worker → QueueWriter → partition),
+    // with no relay threads in between.
     let stream = http_get_stream(2048, 512, 512);
+    let writer = Arc::new(QueueWriter::new(cluster.clone(), "http_get"));
     let mut pipelines = Vec::new();
     for _ in 0..cfg.monitors {
         pipelines.push(
-            Pipeline::spawn(PipelineConfig {
-                parsers: vec!["http_get".into()],
-                sample: SampleSpec::All,
-                batch_size: 256,
-                ..Default::default()
-            })
+            Pipeline::spawn_with_sink(
+                PipelineConfig {
+                    parsers: vec!["http_get".into()],
+                    sample: SampleSpec::All,
+                    batch_size: 256,
+                    ..Default::default()
+                },
+                writer.clone(),
+            )
             .expect("pipeline"),
         );
     }
-    // Shipper threads move pipeline batches into the queue (the monitor
-    // output interface).
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let mut shippers = Vec::new();
-    for p in &pipelines {
-        let rx = p.batches().clone();
-        let cluster = cluster.clone();
-        let stop = stop.clone();
-        shippers.push(std::thread::spawn(move || {
-            let mut key = 0u64;
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(batch) => {
-                        key += 1;
-                        cluster.produce("http_get", key, batch.encode(), 0);
-                    }
-                    Err(_) => continue,
-                }
-            }
-        }));
-    }
 
     // Drive each pipeline from its own generator thread (the paper's
     // PktGen role); blocking offers self-pace to pipeline capacity.
@@ -126,11 +113,9 @@ fn run_config(cfg: &Config, secs: f64) -> f64 {
     for p in pipelines {
         let _ = p.shutdown(true);
     }
-    for s in shippers {
-        let _ = s.join();
-    }
     let _ = exec.shutdown();
-    offered.load(std::sync::atomic::Ordering::Relaxed) as f64 * 8.0 / elapsed / 1e6 // Mbps
+    offered.load(std::sync::atomic::Ordering::Relaxed) as f64 * 8.0 / elapsed / 1e6
+    // Mbps
 }
 
 fn main() {
@@ -140,15 +125,37 @@ fn main() {
         .unwrap_or(2.0);
     // Paper keeps broker:worker = 1:2; x-axis is total processes 4..16.
     let configs = [
-        Config { monitors: 1, brokers: 1, workers: 2 },
-        Config { monitors: 1, brokers: 2, workers: 4 },
-        Config { monitors: 1, brokers: 3, workers: 6 },
-        Config { monitors: 2, brokers: 4, workers: 8 },
-        Config { monitors: 2, brokers: 5, workers: 10 },
+        Config {
+            monitors: 1,
+            brokers: 1,
+            workers: 2,
+        },
+        Config {
+            monitors: 1,
+            brokers: 2,
+            workers: 4,
+        },
+        Config {
+            monitors: 1,
+            brokers: 3,
+            workers: 6,
+        },
+        Config {
+            monitors: 2,
+            brokers: 4,
+            workers: 8,
+        },
+        Config {
+            monitors: 2,
+            brokers: 5,
+            workers: 10,
+        },
     ];
     println!("Fig. 6 — end-to-end sustained input rate vs NetAlytics processes");
     println!("(broker:worker ratio 1:2, as in the paper; {secs:.0}s per point)");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} core(s)");
     if cores < 4 {
         println!("NOTE: on a host with fewer cores than processes, all threads");
@@ -156,7 +163,10 @@ fn main() {
         println!("flattens; run on a >=16-core machine to reproduce the slope.");
     }
     println!();
-    println!("{:>10} {:>12} {:>14}", "processes", "rate (Mbps)", "layout m/b/w");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "processes", "rate (Mbps)", "layout m/b/w"
+    );
     for cfg in &configs {
         let mbps = run_config(cfg, secs);
         println!(

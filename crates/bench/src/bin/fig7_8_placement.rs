@@ -65,7 +65,11 @@ fn main() {
     for r in &rows {
         println!(
             "{:>10} {:>22} {:>10.1} {:>10.1} {:>10.1}",
-            r.monitored_flows, r.strategy.name(), r.processes, r.monitors, r.aggregators
+            r.monitored_flows,
+            r.strategy.name(),
+            r.processes,
+            r.monitors,
+            r.aggregators
         );
     }
 
@@ -82,9 +86,7 @@ fn main() {
         .max(1e-9);
     let vs_local = at(Strategy::LocalRandom).weighted_extra_bandwidth_pct / net;
     let vs_node = at(Strategy::NetalyticsNode).weighted_extra_bandwidth_pct / net;
-    println!(
-        "\nmonitoring-traffic reduction vs Netalytics-Network (weighted, {last} flows):"
-    );
+    println!("\nmonitoring-traffic reduction vs Netalytics-Network (weighted, {last} flows):");
     println!("  Local-Random    / Netalytics-Network: {vs_local:.1}x");
     println!("  Netalytics-Node / Netalytics-Network: {vs_node:.1}x   (paper headline: ~4.5x)");
     println!("\nShape checks (paper §6.2):");

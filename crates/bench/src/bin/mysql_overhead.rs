@@ -29,7 +29,11 @@ fn main() {
     let q_plain = qps(&mut plain, n);
     let q_logged = qps(&mut logged, n);
     println!("== §7.2: cost of observing MySQL (simple statement) ==\n");
-    println!("  {:<28} {:>10} queries/s", "no logging", format!("{q_plain:.0}"));
+    println!(
+        "  {:<28} {:>10} queries/s",
+        "no logging",
+        format!("{q_plain:.0}")
+    );
     println!(
         "  {:<28} {:>10} queries/s  ({:.1}% drop)",
         "general query log enabled",

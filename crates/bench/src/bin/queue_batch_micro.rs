@@ -1,0 +1,107 @@
+//! Queue-layer microbenchmark: per-message vs batch transport path.
+//!
+//! The per-message side uses the name-keyed [`QueueCluster::produce`] /
+//! [`QueueCluster::consume`] calls one message at a time — the shape of
+//! the pre-batch data plane, where every message paid a registry lookup,
+//! a partition lock, and a cursor update. The batch side interns the
+//! topic/group once and moves 128 messages per [`produce_batch`] /
+//! [`consume_batch`] call, so those costs are amortized across the slab.
+//!
+//! [`produce_batch`]: QueueCluster::produce_batch
+//! [`consume_batch`]: QueueCluster::consume_batch
+//!
+//! Run with: `cargo run --release -p netalytics-bench --bin queue_batch_micro`
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use netalytics_queue::{QueueCluster, QueueConfig};
+
+/// Messages moved through the queue per measured round.
+const TOTAL: usize = 1 << 18;
+/// Messages per batch call on the batch path.
+const BATCH: usize = 128;
+/// Measured rounds per path; the best round is reported.
+const ROUNDS: usize = 3;
+
+fn cluster() -> QueueCluster {
+    QueueCluster::new(QueueConfig {
+        brokers: 2,
+        partitions: 8,
+        partition_capacity: TOTAL,
+    })
+}
+
+fn payload() -> Bytes {
+    // A plausible encoded-tuple-batch size class for one small batch.
+    Bytes::from_static(&[0u8; 64])
+}
+
+/// One message per API call, name-keyed — the pre-batch hot path.
+fn per_message_round(total: usize) -> f64 {
+    let q = cluster();
+    let p = payload();
+    let start = Instant::now();
+    for i in 0..total as u64 {
+        q.produce("http_get", i, p.clone(), i);
+    }
+    let mut drained = 0;
+    while drained < total {
+        let msgs = q.consume("storm", "http_get", 1);
+        assert!(!msgs.is_empty(), "queue drained early");
+        drained += msgs.len();
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// 128 messages per API call, id-keyed — the batch-first hot path.
+fn batch_round(total: usize, batch: usize) -> f64 {
+    let q = cluster();
+    let p = payload();
+    let topic = q.topic_id("http_get");
+    let group = q.group_id("storm");
+    let start = Instant::now();
+    let mut next = 0u64;
+    while (next as usize) < total {
+        let items: Vec<_> = (0..batch as u64)
+            .map(|j| (next + j, p.clone(), next + j))
+            .collect();
+        q.produce_batch(topic, items);
+        next += batch as u64;
+    }
+    let mut out = Vec::with_capacity(batch);
+    let mut drained = 0;
+    while drained < total {
+        out.clear();
+        let n = q.consume_batch(group, topic, batch, &mut out);
+        assert!(n > 0, "queue drained early");
+        drained += n;
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn best(rounds: usize, f: impl Fn() -> f64) -> f64 {
+    let _ = f(); // warmup
+    (0..rounds).map(|_| f()).fold(0.0, f64::max)
+}
+
+fn main() {
+    println!("Queue transport microbenchmark ({TOTAL} messages/round, best of {ROUNDS})");
+    println!();
+    let per_msg = best(ROUNDS, || per_message_round(TOTAL));
+    let batched = best(ROUNDS, || batch_round(TOTAL, BATCH));
+    println!("{:>34} {:>14}", "path", "msgs/sec");
+    println!("{:>34} {:>14.0}", "per-message (produce/consume)", per_msg);
+    println!(
+        "{:>34} {:>14.0}",
+        format!("batch x{BATCH} (produce_batch/consume_batch)"),
+        batched
+    );
+    println!();
+    println!("batch speedup: {:.2}x", batched / per_msg);
+    assert!(
+        batched >= 2.0 * per_msg,
+        "batch path must be >=2x the per-message path (got {:.2}x)",
+        batched / per_msg
+    );
+}

@@ -24,14 +24,25 @@ fn main() {
         monitor.process(get);
         for j in 0..10u32 {
             monitor.process(&Packet::tcp(
-                src, 80, dst, port,
-                TcpFlags::ACK, j, 0,
+                src,
+                80,
+                dst,
+                port,
+                TcpFlags::ACK,
+                j,
+                0,
                 &vec![0u8; 1400],
             ));
         }
         monitor.process(&Packet::tcp(
-            src, 80, dst, port,
-            TcpFlags::FIN | TcpFlags::ACK, 11, 0, b"",
+            src,
+            80,
+            dst,
+            port,
+            TcpFlags::FIN | TcpFlags::ACK,
+            11,
+            0,
+            b"",
         ));
     }
     monitor.drain(0);
@@ -63,8 +74,6 @@ fn main() {
     println!("\n== core budget for a 40 Gbps aggregate (paper: 4 monitor + 15 processing) ==");
     println!("  this machine, http_get @512B: {gbps_core:.2} Gbps per core");
     println!("  monitor cores for 40 Gbps   : {monitor_cores:.0}");
-    println!(
-        "  processing cores (paper model): 40 Gbps / 10:1 reduction = 4 Gbps of tuples;"
-    );
+    println!("  processing cores (paper model): 40 Gbps / 10:1 reduction = 4 Gbps of tuples;");
     println!("  at ~0.27 Gbps per analytics process (Fig. 6: 4.15 Gbps / 15 procs), ~15 cores.");
 }

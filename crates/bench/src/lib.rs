@@ -7,7 +7,9 @@
 
 use std::net::Ipv4Addr;
 
-use netalytics_packet::{http, Packet, TcpFlags, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN};
+use netalytics_packet::{
+    http, Packet, TcpFlags, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN,
+};
 
 /// Source address used by generated streams.
 pub const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 8);

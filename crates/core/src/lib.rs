@@ -53,6 +53,9 @@ pub mod nfv;
 pub mod orchestrator;
 pub mod results;
 
-pub use nfv::{AggregatorApp, AggregatorHandle, AggregatorShared, MonitorApp, MonitorHandle, MonitorShared, BATCH_PORT, FEEDBACK_PORT};
+pub use nfv::{
+    shared_executor, AggregatorApp, AggregatorHandle, AggregatorShared, MonitorApp, MonitorHandle,
+    MonitorShared, SharedExecutor, BATCH_PORT, FEEDBACK_PORT,
+};
 pub use orchestrator::{Orchestrator, OrchestratorError, QueryReport, RunningQuery};
 pub use results::ResultSet;

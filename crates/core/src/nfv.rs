@@ -11,7 +11,7 @@ use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_monitor::{FeedbackSignal, Monitor, MonitorStats};
 use netalytics_netsim::{App, Ctx, SimDuration};
 use netalytics_packet::Packet;
-use netalytics_stream::InlineExecutor;
+use netalytics_stream::{build_executor, Executor, ExecutorMode, Topology};
 
 /// UDP port monitors listen on for aggregator feedback.
 pub const FEEDBACK_PORT: u16 = 9990;
@@ -154,11 +154,21 @@ pub struct AggregatorShared {
 /// Handle to an aggregator's shared state.
 pub type AggregatorHandle = Rc<RefCell<AggregatorShared>>;
 
+/// An analytics engine shared between the aggregator app and whoever
+/// reads its results — any [`Executor`] behind the unified trait.
+pub type SharedExecutor = Rc<RefCell<Box<dyn Executor>>>;
+
+/// Instantiates `topology` on the engine picked by `mode` and wraps it
+/// for sharing with an [`AggregatorApp`].
+pub fn shared_executor(topology: &Topology, mode: ExecutorMode) -> SharedExecutor {
+    Rc::new(RefCell::new(build_executor(topology, mode)))
+}
+
 /// The aggregation point: buffers tuple batches from monitors (the
 /// Kafka layer's role) and feeds them into the inline Storm executor at
 /// a bounded processing rate, emitting §4.2 back-pressure feedback.
 pub struct AggregatorApp {
-    executors: Vec<Rc<RefCell<InlineExecutor>>>,
+    executors: Vec<SharedExecutor>,
     buffer: VecDeque<DataTuple>,
     capacity: usize,
     /// Tuples the analytics engine absorbs per drain tick.
@@ -181,7 +191,7 @@ impl AggregatorApp {
     /// Creates an aggregator feeding one executor, signalling feedback
     /// to `monitors`.
     pub fn new(
-        executor: Rc<RefCell<InlineExecutor>>,
+        executor: SharedExecutor,
         monitors: Vec<Ipv4Addr>,
         capacity: usize,
         drain_per_tick: usize,
@@ -192,7 +202,7 @@ impl AggregatorApp {
     /// Creates an aggregator fanning tuples into several executors (one
     /// per `PROCESS` entry of the query).
     pub fn with_executors(
-        executors: Vec<Rc<RefCell<InlineExecutor>>>,
+        executors: Vec<SharedExecutor>,
         monitors: Vec<Ipv4Addr>,
         capacity: usize,
         drain_per_tick: usize,
@@ -256,10 +266,16 @@ impl App for AggregatorApp {
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
         let take = self.buffer.len().min(self.drain_per_tick);
-        for _ in 0..take {
-            let t = self.buffer.pop_front().expect("len checked");
-            for exec in &self.executors {
-                exec.borrow_mut().push(t.clone());
+        if take > 0 {
+            // Drain this tick's quantum as ONE slab per executor rather
+            // than per-tuple pushes: the batch is cloned only for the
+            // extra `PROCESS` entries.
+            let slab: TupleBatch = self.buffer.drain(..take).collect();
+            if let Some((last, rest)) = self.executors.split_last() {
+                for exec in rest {
+                    exec.borrow_mut().offer(slab.clone());
+                }
+                last.borrow_mut().offer(slab);
             }
         }
         for exec in &self.executors {
@@ -309,15 +325,35 @@ mod tests {
         fn on_packet(&mut self, _p: &Packet, _ctx: &mut Ctx<'_>) {}
         fn on_timer(&mut self, i: u64, ctx: &mut Ctx<'_>) {
             let port = 5000 + i as u16;
-            ctx.send(Packet::tcp(ctx.ip(), port, self.dst, 80, TcpFlags::SYN, 0, 0, b""));
             ctx.send(Packet::tcp(
-                ctx.ip(), port, self.dst, 80,
-                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                ctx.ip(),
+                port,
+                self.dst,
+                80,
+                TcpFlags::SYN,
+                0,
+                0,
+                b"",
+            ));
+            ctx.send(Packet::tcp(
+                ctx.ip(),
+                port,
+                self.dst,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
                 &netalytics_packet::http::build_get(&format!("/u{}", i % 3), "h"),
             ));
             ctx.send(Packet::tcp(
-                ctx.ip(), port, self.dst, 80,
-                TcpFlags::FIN | TcpFlags::ACK, 2, 1, b"",
+                ctx.ip(),
+                port,
+                self.dst,
+                80,
+                TcpFlags::FIN | TcpFlags::ACK,
+                2,
+                1,
+                b"",
             ));
         }
     }
@@ -339,10 +375,12 @@ mod tests {
         })
         .unwrap();
         let topo = topologies::build(
-            &ProcessorSpec::new("top-k").with_arg("k", "3").with_arg("key", "url"),
+            &ProcessorSpec::new("top-k")
+                .with_arg("k", "3")
+                .with_arg("key", "url"),
         )
         .unwrap();
-        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        let executor = shared_executor(&topo, ExecutorMode::Inline);
         let agg_ip = engine.network().host_ip(3);
         let mon_app = MonitorApp::new(monitor, agg_ip, None);
         let mon_handle = mon_app.handle();
@@ -355,9 +393,7 @@ mod tests {
         assert_eq!(mon_handle.borrow().stats.tuples_out, 30, "one URL per conn");
         assert_eq!(agg_handle.borrow().tuples_in, 30);
         assert_eq!(agg_handle.borrow().tuples_processed, 30);
-        let mut exec = executor.borrow_mut();
-        exec.finish(2_000_000_000);
-        let out = exec.take_output();
+        let out = executor.borrow_mut().stop(2_000_000_000);
         assert!(!out.is_empty(), "top-k rankings must emerge");
     }
 
@@ -371,15 +407,12 @@ mod tests {
         );
         let monitor = Monitor::new(MonitorConfig::default()).unwrap();
         let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
-        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        let executor = shared_executor(&topo, ExecutorMode::Inline);
         let mon_app = MonitorApp::new(monitor, engine.network().host_ip(3), Some(10));
         let handle = mon_app.handle();
         engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 30 }));
         engine.set_app(2, Box::new(mon_app));
-        engine.set_app(
-            3,
-            Box::new(AggregatorApp::new(executor, vec![], 100, 10)),
-        );
+        engine.set_app(3, Box::new(AggregatorApp::new(executor, vec![], 100, 10)));
         engine.run_until(SimTime::from_nanos(2_000_000_000));
         let shared = handle.borrow();
         assert!(shared.stopped);
@@ -402,13 +435,19 @@ mod tests {
         })
         .unwrap();
         let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
-        let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+        let executor = shared_executor(&topo, ExecutorMode::Inline);
         // Tiny buffer and slow drain: must overload.
         let agg_app = AggregatorApp::new(executor, vec![mon_ip], 20, 1);
         let agg_handle = agg_app.handle();
         let mon_app = MonitorApp::new(monitor, engine.network().host_ip(3), None);
         let mon_handle = mon_app.handle();
-        engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 200 }));
+        engine.set_app(
+            0,
+            Box::new(Gen {
+                dst: dst_ip,
+                n: 200,
+            }),
+        );
         engine.set_app(2, Box::new(mon_app));
         engine.set_app(3, Box::new(agg_app));
         // Mid-burst: the monitor must have adapted down.
@@ -422,7 +461,8 @@ mod tests {
         // HEALTHY heartbeat restores full sampling.
         engine.run_until(SimTime::from_nanos(5_000_000_000));
         assert_eq!(
-            mon_handle.borrow().sample_rate, 1.0,
+            mon_handle.borrow().sample_rate,
+            1.0,
             "sampling must recover once the aggregator drains"
         );
     }

@@ -5,19 +5,19 @@
 //! plane, so experiments are deterministic and the monitoring traffic's
 //! bandwidth cost is observable on the emulated links.
 
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
 
 use netalytics_monitor::{Monitor, MonitorConfig};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
-use netalytics_stream::{topologies, InlineExecutor};
+use netalytics_stream::{topologies, ExecutorMode};
 
-use crate::nfv::{AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle};
+use crate::nfv::{
+    shared_executor, AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle, SharedExecutor,
+};
 use crate::results::ResultSet;
 
 /// Errors surfaced by the orchestrator.
@@ -68,7 +68,7 @@ pub struct RunningQuery {
     pub cookie: u64,
     /// Virtual-time deadline, when the LIMIT is time-based.
     pub deadline: Option<SimTime>,
-    executors: Vec<(String, Rc<RefCell<InlineExecutor>>)>,
+    executors: Vec<(String, SharedExecutor)>,
     /// Handles to the deployed monitors.
     pub monitor_handles: Vec<MonitorHandle>,
     /// Handle to the aggregator.
@@ -117,6 +117,7 @@ pub struct Orchestrator {
     used_hosts: BTreeSet<HostIdx>,
     next_cookie: u64,
     install_mode: InstallMode,
+    executor_mode: ExecutorMode,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -142,6 +143,7 @@ impl Orchestrator {
             used_hosts: BTreeSet::new(),
             next_cookie: 1,
             install_mode: InstallMode::Proactive,
+            executor_mode: ExecutorMode::Inline,
         }
     }
 
@@ -149,6 +151,12 @@ impl Orchestrator {
     /// (default) or reactive pull on the first table miss (§3.4).
     pub fn set_install_mode(&mut self, mode: InstallMode) {
         self.install_mode = mode;
+    }
+
+    /// Selects the analytics engine future queries deploy their
+    /// `PROCESS` topologies on (default: deterministic inline).
+    pub fn set_executor_mode(&mut self, mode: ExecutorMode) {
+        self.executor_mode = mode;
     }
 
     /// Access to the underlying engine (topology, stats, clock).
@@ -251,19 +259,17 @@ impl Orchestrator {
         for &edge in &edges {
             let host = self
                 .free_host_under(edge)
-                .or_else(|| self.any_free_host_preferring_pod(
-                    self.engine.network().tree().pod_of_edge(edge),
-                ))
+                .or_else(|| {
+                    self.any_free_host_preferring_pod(
+                        self.engine.network().tree().pod_of_edge(edge),
+                    )
+                })
                 .ok_or(OrchestratorError::NoFreeHost)?;
             self.used_hosts.insert(host);
             monitor_hosts.push((edge, host));
         }
         // Aggregator host near the first monitor.
-        let agg_pod = self
-            .engine
-            .network()
-            .tree()
-            .pod_of_edge(monitor_hosts[0].0);
+        let agg_pod = self.engine.network().tree().pod_of_edge(monitor_hosts[0].0);
         let aggregator_host = self
             .any_free_host_preferring_pod(agg_pod)
             .ok_or(OrchestratorError::NoFreeHost)?;
@@ -273,11 +279,12 @@ impl Orchestrator {
         // Analytics executors, one per PROCESS entry.
         let mut executors = Vec::new();
         for spec in &deployment.processors {
-            let topo = topologies::build(spec)
-                .map_err(|e| OrchestratorError::Compile(CompileError::BadProcessor(e.to_string())))?;
+            let topo = topologies::build(spec).map_err(|e| {
+                OrchestratorError::Compile(CompileError::BadProcessor(e.to_string()))
+            })?;
             executors.push((
                 spec.name.clone(),
-                Rc::new(RefCell::new(InlineExecutor::new(&topo))),
+                shared_executor(&topo, self.executor_mode),
             ));
         }
 
@@ -374,11 +381,7 @@ impl Orchestrator {
         let results = q
             .executors
             .iter()
-            .map(|(name, exec)| {
-                let mut e = exec.borrow_mut();
-                e.finish(now);
-                (name.clone(), ResultSet::new(e.take_output()))
-            })
+            .map(|(name, exec)| (name.clone(), ResultSet::new(exec.borrow_mut().stop(now))))
             .collect();
         QueryReport {
             results,
@@ -402,7 +405,8 @@ impl Orchestrator {
         let deadline = q.deadline.unwrap_or(self.engine.now() + horizon);
         // Let in-flight batches land: run a small grace period past the
         // deadline before tearing down.
-        self.engine.run_until(deadline + SimDuration::from_millis(50));
+        self.engine
+            .run_until(deadline + SimDuration::from_millis(50));
         Ok(self.finalize(q))
     }
 }
@@ -448,7 +452,12 @@ mod tests {
     fn monitors_avoid_busy_hosts_and_rules_are_scoped() {
         struct Noop;
         impl App for Noop {
-            fn on_packet(&mut self, _p: &netalytics_packet::Packet, _c: &mut netalytics_netsim::Ctx<'_>) {}
+            fn on_packet(
+                &mut self,
+                _p: &netalytics_packet::Packet,
+                _c: &mut netalytics_netsim::Ctx<'_>,
+            ) {
+            }
         }
         let mut orch = Orchestrator::new(4, LinkSpec::default());
         orch.name_host("web", 0);
@@ -462,8 +471,11 @@ mod tests {
         let cookie = q.cookie;
         let report = orch.finalize(q);
         assert!(report.results[0].1.is_empty());
-        assert_eq!(orch.engine_mut().remove_rules_by_cookie(cookie), 0,
-            "finalize already removed the rules");
+        assert_eq!(
+            orch.engine_mut().remove_rules_by_cookie(cookie),
+            0,
+            "finalize already removed the rules"
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@ impl ResultSet {
             return None;
         }
         v.sort_by(f64::total_cmp);
-        let rank = ((p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize)
-            .clamp(1, v.len());
+        let rank = ((p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len());
         Some(v[rank - 1])
     }
 
@@ -54,7 +53,10 @@ impl ResultSet {
     pub fn group_values(&self, group_field: &str, value_field: &str) -> BTreeMap<String, f64> {
         let mut out = BTreeMap::new();
         for t in &self.tuples {
-            if let (Some(g), Some(v)) = (t.get(group_field), t.get(value_field).and_then(Value::as_f64)) {
+            if let (Some(g), Some(v)) = (
+                t.get(group_field),
+                t.get(value_field).and_then(Value::as_f64),
+            ) {
                 out.insert(g.to_string(), v);
             }
         }
@@ -78,8 +80,7 @@ impl ResultSet {
             .tuples
             .iter()
             .filter(|t| {
-                t.source == "rank"
-                    && t.get("window_end").and_then(Value::as_u64) == Some(w)
+                t.source == "rank" && t.get("window_end").and_then(Value::as_u64) == Some(w)
             })
             .filter_map(|t| {
                 Some((
@@ -160,7 +161,9 @@ mod tests {
 
     #[test]
     fn table_renders_missing_as_dash() {
-        let rs: ResultSet = vec![DataTuple::new(0, 0).with("x", 1u64)].into_iter().collect();
+        let rs: ResultSet = vec![DataTuple::new(0, 0).with("x", 1u64)]
+            .into_iter()
+            .collect();
         let t = rs.table(&["x", "y"]);
         assert!(t.contains("1\t-"));
         assert!(!rs.is_empty());

@@ -29,9 +29,11 @@
 //! ```
 
 pub mod codec;
+pub mod transport;
 pub mod tuple;
 pub mod value;
 
 pub use codec::{CodecError, Decode, Encode};
+pub use transport::{BatchSink, CollectSink, SinkClosed};
 pub use tuple::{DataTuple, TupleBatch};
 pub use value::Value;

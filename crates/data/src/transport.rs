@@ -1,0 +1,115 @@
+//! The batch hand-off contract between pipeline stages.
+//!
+//! Every seam in the data plane — monitor → queue, queue → stream, stream →
+//! external consumers — moves whole [`TupleBatch`]es, never individual
+//! tuples. A producer holds some `dyn BatchSink` and calls [`BatchSink::ship`]
+//! once per batch; the sink either accepts the batch (enqueuing, encoding, or
+//! forwarding it as one unit) or reports that the downstream side is gone.
+//!
+//! Implementations must be cheap to share across producer threads: parser
+//! workers in `netalytics-monitor` all ship into one sink concurrently, so
+//! `ship` takes `&self` and implementors handle their own synchronization.
+
+use crate::tuple::TupleBatch;
+
+/// Error returned when a sink's downstream consumer has disconnected.
+///
+/// Carries the batch back to the caller so no tuples are silently lost; the
+/// producer decides whether to retry elsewhere, count the drop, or stop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkClosed(pub TupleBatch);
+
+impl std::fmt::Display for SinkClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch sink closed ({} tuples returned to producer)",
+            self.0.len()
+        )
+    }
+}
+
+impl std::error::Error for SinkClosed {}
+
+/// A destination that accepts tuple batches as indivisible units.
+///
+/// This is the one transport abstraction shared by all layers: the monitor
+/// pipeline ships into a queue-backed sink, benchmarks ship into channel
+/// sinks, and tests ship into in-memory collectors.
+pub trait BatchSink: Send + Sync {
+    /// Hands one batch downstream.
+    ///
+    /// Empty batches are accepted and may be dropped by the implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkClosed`] with the rejected batch if the downstream
+    /// consumer has disconnected and will never accept more data.
+    fn ship(&self, batch: TupleBatch) -> Result<(), SinkClosed>;
+}
+
+/// A sink that appends batches to a shared vector, for tests and examples.
+#[derive(Default)]
+pub struct CollectSink {
+    batches: std::sync::Mutex<Vec<TupleBatch>>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every batch shipped so far.
+    pub fn drain(&self) -> Vec<TupleBatch> {
+        std::mem::take(&mut self.batches.lock().expect("collect sink poisoned"))
+    }
+
+    /// Total number of tuples shipped so far.
+    pub fn tuple_count(&self) -> usize {
+        self.batches
+            .lock()
+            .expect("collect sink poisoned")
+            .iter()
+            .map(TupleBatch::len)
+            .sum()
+    }
+}
+
+impl BatchSink for CollectSink {
+    fn ship(&self, batch: TupleBatch) -> Result<(), SinkClosed> {
+        self.batches
+            .lock()
+            .expect("collect sink poisoned")
+            .push(batch);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::DataTuple;
+
+    #[test]
+    fn collect_sink_accumulates_batches() {
+        let sink = CollectSink::new();
+        sink.ship(TupleBatch::from_tuples(vec![DataTuple::new(1, 0)]))
+            .unwrap();
+        sink.ship(TupleBatch::from_tuples(vec![
+            DataTuple::new(2, 0),
+            DataTuple::new(3, 0),
+        ]))
+        .unwrap();
+        assert_eq!(sink.tuple_count(), 3);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(sink.tuple_count(), 0);
+    }
+
+    #[test]
+    fn sink_closed_reports_batch_size() {
+        let e = SinkClosed(TupleBatch::from_tuples(vec![DataTuple::new(9, 9)]));
+        assert!(e.to_string().contains("1 tuples"));
+    }
+}

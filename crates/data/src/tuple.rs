@@ -187,6 +187,61 @@ impl TupleBatch {
         }
         Ok(TupleBatch { tuples })
     }
+
+    /// Appends one tuple to the batch.
+    pub fn push(&mut self, tuple: DataTuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Borrowing iterator over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, DataTuple> {
+        self.tuples.iter()
+    }
+
+    /// Takes the current contents, leaving the batch empty (its capacity is
+    /// retained so producers can keep filling the same allocation).
+    pub fn take(&mut self) -> TupleBatch {
+        TupleBatch {
+            tuples: std::mem::take(&mut self.tuples),
+        }
+    }
+
+    /// Consumes the batch and returns the raw tuple vector.
+    pub fn into_tuples(self) -> Vec<DataTuple> {
+        self.tuples
+    }
+
+    /// Splits the batch into chunks of at most `max` tuples.
+    ///
+    /// The last chunk holds the remainder; an empty batch yields no chunks.
+    /// Used where a transport caps its message size (UDP framing, queue
+    /// segment limits).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netalytics_data::{DataTuple, TupleBatch};
+    ///
+    /// let batch: TupleBatch = (0..5).map(|i| DataTuple::new(i, 0)).collect();
+    /// let sizes: Vec<usize> = batch.split_into(2).map(|c| c.len()).collect();
+    /// assert_eq!(sizes, [2, 2, 1]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn split_into(self, max: usize) -> impl Iterator<Item = TupleBatch> {
+        assert!(max > 0, "chunk size must be positive");
+        let mut rest = self.tuples;
+        std::iter::from_fn(move || {
+            if rest.is_empty() {
+                return None;
+            }
+            let tail = rest.split_off(rest.len().min(max));
+            let head = std::mem::replace(&mut rest, tail);
+            Some(TupleBatch { tuples: head })
+        })
+    }
 }
 
 impl FromIterator<DataTuple> for TupleBatch {
@@ -209,6 +264,21 @@ impl IntoIterator for TupleBatch {
 
     fn into_iter(self) -> Self::IntoIter {
         self.tuples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleBatch {
+    type Item = &'a DataTuple;
+    type IntoIter = std::slice::Iter<'a, DataTuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl From<Vec<DataTuple>> for TupleBatch {
+    fn from(tuples: Vec<DataTuple>) -> Self {
+        TupleBatch { tuples }
     }
 }
 
@@ -283,6 +353,27 @@ mod tests {
         // never smaller than half.
         let est = t.wire_size();
         assert!(est >= enc.len() / 2 && est <= enc.len() * 2);
+    }
+
+    #[test]
+    fn split_into_covers_all_tuples_in_order() {
+        let batch: TupleBatch = (0..10).map(|i| DataTuple::new(i, 0)).collect();
+        let chunks: Vec<TupleBatch> = batch.clone().split_into(3).collect();
+        assert_eq!(
+            chunks.iter().map(TupleBatch::len).collect::<Vec<_>>(),
+            [3, 3, 3, 1]
+        );
+        let rejoined: Vec<DataTuple> = chunks.into_iter().flatten().collect();
+        assert_eq!(rejoined, batch.tuples);
+        assert_eq!(TupleBatch::new().split_into(4).count(), 0);
+    }
+
+    #[test]
+    fn take_empties_but_preserves_contents() {
+        let mut batch: TupleBatch = (0..4).map(|i| DataTuple::new(i, 0)).collect();
+        let taken = batch.take();
+        assert_eq!(taken.len(), 4);
+        assert!(batch.is_empty());
     }
 
     #[test]

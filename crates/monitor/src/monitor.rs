@@ -113,7 +113,10 @@ pub struct Monitor {
 impl std::fmt::Debug for Monitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Monitor")
-            .field("parsers", &self.parsers.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "parsers",
+                &self.parsers.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -201,8 +204,13 @@ mod tests {
 
     fn http_pkt(url: &str) -> Packet {
         Packet::tcp(
-            A, 4000, B, 80,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            A,
+            4000,
+            B,
+            80,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &http::build_get(url, "b"),
         )
     }
@@ -273,8 +281,13 @@ mod tests {
             m.process(&http_pkt(&format!("/page{}", i % 5)));
             for j in 0..10u32 {
                 m.process(&Packet::tcp(
-                    B, 80, A, 4000,
-                    TcpFlags::ACK, i * 100 + j, 0,
+                    B,
+                    80,
+                    A,
+                    4000,
+                    TcpFlags::ACK,
+                    i * 100 + j,
+                    0,
                     &vec![0u8; 1024],
                 ));
             }

@@ -32,7 +32,9 @@ impl Parser for HttpGetParser {
         if view.tcp.is_none() || view.payload.is_empty() {
             return;
         }
-        let Some(flow) = packet.flow_key() else { return };
+        let Some(flow) = packet.flow_key() else {
+            return;
+        };
         // Requests and responses of one connection share an ID so the
         // processor can pair them (canonical = direction-independent).
         let id = flow.canonical_hash();
@@ -82,13 +84,23 @@ mod tests {
     #[test]
     fn request_and_response_pair_by_id() {
         let req = Packet::tcp(
-            C, 4000, S, 80,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            C,
+            4000,
+            S,
+            80,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &http::build_get("/videos/7", "s"),
         );
         let resp = Packet::tcp(
-            S, 80, C, 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            S,
+            80,
+            C,
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            2,
             &http::build_response(200, b"data"),
         );
         let out = parse(&[req, resp]);
@@ -101,8 +113,13 @@ mod tests {
     #[test]
     fn post_requests_skipped() {
         let post = Packet::tcp(
-            C, 4000, S, 80,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            C,
+            4000,
+            S,
+            80,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             b"POST /submit HTTP/1.1\r\n\r\n",
         );
         assert!(parse(&[post]).is_empty());

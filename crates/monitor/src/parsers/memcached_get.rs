@@ -29,7 +29,9 @@ impl Parser for MemcachedGetParser {
         if view.tcp.is_none() || view.payload.is_empty() {
             return;
         }
-        let Some(flow) = packet.flow_key() else { return };
+        let Some(flow) = packet.flow_key() else {
+            return;
+        };
         let id = flow.canonical_hash();
         if let Some(memcached::Command::Get { key }) = memcached::parse_command(view.payload) {
             out.push(
@@ -67,18 +69,33 @@ mod tests {
         let mut p = MemcachedGetParser::new();
         let mut out = Vec::new();
         let req = Packet::tcp(
-            C, 4000, S, 11211,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            C,
+            4000,
+            S,
+            11211,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &memcached::build_get("user:1"),
         );
         let hit = Packet::tcp(
-            S, 11211, C, 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            S,
+            11211,
+            C,
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            2,
             &memcached::build_value_response("user:1", Some(b"v")),
         );
         let miss = Packet::tcp(
-            S, 11211, C, 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 2, 3,
+            S,
+            11211,
+            C,
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            2,
+            3,
             &memcached::build_value_response("user:2", None),
         );
         p.on_packet(&req, &mut out);
@@ -96,8 +113,13 @@ mod tests {
         let mut p = MemcachedGetParser::new();
         let mut out = Vec::new();
         let set = Packet::tcp(
-            C, 4000, S, 11211,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            C,
+            4000,
+            S,
+            11211,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &memcached::build_set("k", b"v"),
         );
         let noise = Packet::tcp(C, 4000, S, 11211, TcpFlags::ACK, 2, 1, b"hello");

@@ -44,7 +44,9 @@ impl Parser for MysqlQueryParser {
         if view.tcp.is_none() || view.payload.is_empty() {
             return;
         }
-        let Some(flow) = packet.flow_key() else { return };
+        let Some(flow) = packet.flow_key() else {
+            return;
+        };
         let conn = flow.canonical_hash();
         // Heuristic direction split: queries go client->server (toward the
         // MySQL port), responses come back. We try the client parse first;
@@ -86,8 +88,13 @@ mod tests {
 
     fn query_pkt(sql: &str, ts: u64) -> Packet {
         Packet::tcp(
-            C, 4000, S, 3306,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            C,
+            4000,
+            S,
+            3306,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &mysql::build_query(sql),
         )
         .at_time(ts)
@@ -95,8 +102,13 @@ mod tests {
 
     fn ok_pkt(ts: u64) -> Packet {
         Packet::tcp(
-            S, 3306, C, 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            S,
+            3306,
+            C,
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            2,
             &mysql::build_ok(1),
         )
         .at_time(ts)
@@ -143,8 +155,13 @@ mod tests {
         let mut out = Vec::new();
         p.on_packet(&query_pkt("SELECT * FROM t", 0), &mut out);
         let rs = Packet::tcp(
-            S, 3306, C, 4000,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+            S,
+            3306,
+            C,
+            4000,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            2,
             &mysql::build_result_set(1, 3),
         )
         .at_time(7_000_000);

@@ -59,7 +59,14 @@ impl Parser for TcpConnTimeParser {
                 .with("t_ns", packet.ts_ns)
                 .with("src_ip", src_ip.to_string())
                 .with("dst_ip", dst_ip.to_string())
-                .with("dst_port", if event == "start" { tcp.dst_port } else { flow.canonical().dst_port }),
+                .with(
+                    "dst_port",
+                    if event == "start" {
+                        tcp.dst_port
+                    } else {
+                        flow.canonical().dst_port
+                    },
+                ),
         );
     }
 }
@@ -86,8 +93,8 @@ mod tests {
     fn syn_and_fin_events_share_id() {
         let syn = Packet::tcp(A, 4000, B, 80, TcpFlags::SYN, 0, 0, b"").at_time(100);
         // Server closes: FIN travels B -> A.
-        let fin = Packet::tcp(B, 80, A, 4000, TcpFlags::FIN | TcpFlags::ACK, 9, 9, b"")
-            .at_time(5_100);
+        let fin =
+            Packet::tcp(B, 80, A, 4000, TcpFlags::FIN | TcpFlags::ACK, 9, 9, b"").at_time(5_100);
         let out = run(&[syn, fin]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].get("event").and_then(Value::as_str), Some("start"));
@@ -99,8 +106,7 @@ mod tests {
 
     #[test]
     fn syn_ack_and_data_are_ignored() {
-        let synack =
-            Packet::tcp(B, 80, A, 4000, TcpFlags::SYN | TcpFlags::ACK, 0, 1, b"");
+        let synack = Packet::tcp(B, 80, A, 4000, TcpFlags::SYN | TcpFlags::ACK, 0, 1, b"");
         let data = Packet::tcp(A, 4000, B, 80, TcpFlags::PSH | TcpFlags::ACK, 1, 1, b"x");
         assert!(run(&[synack, data]).is_empty());
     }

@@ -68,7 +68,10 @@ mod tests {
         let mut out = Vec::new();
         p.on_packet(&pkt, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].get("src_ip").and_then(Value::as_str), Some("10.0.2.8"));
+        assert_eq!(
+            out[0].get("src_ip").and_then(Value::as_str),
+            Some("10.0.2.8")
+        );
         assert_eq!(out[0].get("dst_port").and_then(Value::as_u64), Some(80));
         assert_eq!(out[0].id, pkt.flow_key().unwrap().stable_hash());
     }
@@ -77,7 +80,13 @@ mod tests {
     fn skips_udp_and_garbage() {
         let mut p = TcpFlowKeyParser::new();
         let mut out = Vec::new();
-        let udp = Packet::udp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, b"");
+        let udp = Packet::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            2,
+            b"",
+        );
         p.on_packet(&udp, &mut out);
         let junk = Packet::from_bytes(bytes::Bytes::from_static(b"nonsense"), 0);
         p.on_packet(&junk, &mut out);

@@ -42,13 +42,9 @@ impl Parser for TcpPktSizeParser {
                 *b += bytes;
                 *n += 1;
             }
-            None => self.acc.push((
-                id,
-                ip.src.to_string(),
-                ip.dst.to_string(),
-                bytes,
-                1,
-            )),
+            None => self
+                .acc
+                .push((id, ip.src.to_string(), ip.dst.to_string(), bytes, 1)),
         }
     }
 

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_data::{BatchSink, DataTuple, TupleBatch};
 use netalytics_packet::Packet;
 
 use crate::monitor::MonitorError;
@@ -97,12 +97,36 @@ impl std::fmt::Debug for Pipeline {
 }
 
 impl Pipeline {
-    /// Spawns the collector and one worker per parser.
+    /// Spawns the collector and one worker per parser. Output batches
+    /// accumulate on the internal channel, [`Pipeline::batches`].
     ///
     /// # Errors
     ///
     /// Returns [`MonitorError`] for an empty or unknown parser list.
     pub fn spawn(config: PipelineConfig) -> Result<Self, MonitorError> {
+        Self::spawn_inner(config, None)
+    }
+
+    /// Spawns the pipeline with its output interface wired straight into
+    /// `sink` — parser workers [`ship`](BatchSink::ship) each full batch
+    /// from their own thread, so no relay threads sit between the monitor
+    /// and the aggregation layer. [`Pipeline::batches`] stays empty in
+    /// this mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError`] for an empty or unknown parser list.
+    pub fn spawn_with_sink(
+        config: PipelineConfig,
+        sink: Arc<dyn BatchSink>,
+    ) -> Result<Self, MonitorError> {
+        Self::spawn_inner(config, Some(sink))
+    }
+
+    fn spawn_inner(
+        config: PipelineConfig,
+        sink: Option<Arc<dyn BatchSink>>,
+    ) -> Result<Self, MonitorError> {
         if config.parsers.is_empty() {
             return Err(MonitorError::NoParsers);
         }
@@ -130,6 +154,7 @@ impl Pipeline {
                 worker_txs.push(ptx);
                 let mut parser = make_parser(name).expect("validated above");
                 let out_tx = out_tx.clone();
+                let sink = sink.clone();
                 let counters = counters.clone();
                 let batch_size = config.batch_size.max(1);
                 let handle = std::thread::Builder::new()
@@ -148,7 +173,14 @@ impl Pipeline {
                                 .bytes_out
                                 .fetch_add(batch.wire_size() as u64, Ordering::Relaxed);
                             // If the consumer went away we just drop output.
-                            let _ = out_tx.send(batch);
+                            match &sink {
+                                Some(s) => {
+                                    let _ = s.ship(batch);
+                                }
+                                None => {
+                                    let _ = out_tx.send(batch);
+                                }
+                            }
                         };
                         while let Ok(pkt) = prx.recv() {
                             parser.on_packet(&pkt, &mut pending);
@@ -189,9 +221,7 @@ impl Pipeline {
                             .fetch_add(pkt.len() as u64, Ordering::Relaxed);
                         // Flow-consistent worker dispatch within each
                         // parser, round-robin fallback for non-IP frames.
-                        let flow_slot = pkt
-                            .flow_key()
-                            .map(|f| f.canonical_hash() as usize);
+                        let flow_slot = pkt.flow_key().map(|f| f.canonical_hash() as usize);
                         for worker_txs in &parser_txs {
                             let slot = flow_slot.unwrap_or(0) % worker_txs.len();
                             // Zero-copy fan-out: descriptor clone only.
@@ -253,16 +283,13 @@ impl Pipeline {
             self.stop.store(true, Ordering::Relaxed);
         }
         drop(self.input); // closes the collector loop
-        // Drain the output so parser threads never block on a full channel.
+                          // Blocking drain: every worker holds an output sender it drops on
+                          // exit, so recv() hands us each buffered batch as it arrives and
+                          // disconnects exactly when the last worker is done — no polling,
+                          // and parser threads never block on a full output channel.
         let drain: Vec<TupleBatch> = {
             let mut v = Vec::new();
-            while !self.handles.iter().all(JoinHandle::is_finished) {
-                while let Ok(b) = self.output.try_recv() {
-                    v.push(b);
-                }
-                std::thread::yield_now();
-            }
-            while let Ok(b) = self.output.try_recv() {
+            while let Ok(b) = self.output.recv() {
                 v.push(b);
             }
             v
@@ -334,8 +361,13 @@ mod tests {
         .unwrap();
         for i in 0..20 {
             p.offer(Packet::tcp(
-                A, 4000 + i, B, 80,
-                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
                 &http::build_get(&format!("/u{i}"), "b"),
             ));
         }
@@ -357,8 +389,13 @@ mod tests {
         .unwrap();
         p.offer(Packet::tcp(A, 1, B, 80, TcpFlags::SYN, 0, 0, b""));
         p.offer(Packet::tcp(
-            A, 1, B, 80,
-            TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+            A,
+            1,
+            B,
+            80,
+            TcpFlags::PSH | TcpFlags::ACK,
+            1,
+            1,
             &http::build_get("/x", "b"),
         ));
         let summary = p.shutdown(false);
@@ -369,6 +406,39 @@ mod tests {
             .collect();
         assert!(sources.contains("tcp_conn_time"), "{sources:?}");
         assert!(sources.contains("http_get"), "{sources:?}");
+    }
+
+    #[test]
+    fn sink_mode_ships_batches_without_relay() {
+        let sink = Arc::new(netalytics_data::CollectSink::new());
+        let p = Pipeline::spawn_with_sink(
+            PipelineConfig {
+                parsers: vec!["http_get".into()],
+                batch_size: 4,
+                ..Default::default()
+            },
+            sink.clone(),
+        )
+        .unwrap();
+        for i in 0..20 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/s{i}"), "b"),
+            ));
+        }
+        let summary = p.shutdown(false);
+        assert_eq!(summary.tuples_out, 20);
+        assert!(
+            summary.residual_batches.is_empty(),
+            "sink mode bypasses the internal channel"
+        );
+        assert_eq!(sink.tuple_count(), 20, "all tuples reached the sink");
     }
 
     #[test]
@@ -404,7 +474,16 @@ mod tests {
             "SELECT * FROM film JOIN actor USING (id) WHERE title LIKE '%X%'",
         );
         for _ in 0..5000 {
-            p.offer(Packet::tcp(A, 1, B, 3306, TcpFlags::PSH | TcpFlags::ACK, 1, 1, &payload));
+            p.offer(Packet::tcp(
+                A,
+                1,
+                B,
+                3306,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &payload,
+            ));
         }
         let s = p.shutdown(false);
         assert_eq!(s.packets_in, 5000);
@@ -435,8 +514,13 @@ mod worker_tests {
         .unwrap();
         for i in 0..200u16 {
             p.offer(Packet::tcp(
-                A, 4000 + i, B, 80,
-                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
                 &http::build_get(&format!("/w{i}"), "b"),
             ));
         }
@@ -461,13 +545,23 @@ mod worker_tests {
         for i in 0..50u16 {
             let port = 4000 + i;
             p.offer(Packet::tcp(
-                A, port, B, 3306,
-                TcpFlags::PSH | TcpFlags::ACK, 1, 1,
+                A,
+                port,
+                B,
+                3306,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
                 &netalytics_packet::mysql::build_query("SELECT 1"),
             ));
             p.offer(Packet::tcp(
-                B, 3306, A, port,
-                TcpFlags::PSH | TcpFlags::ACK, 1, 2,
+                B,
+                3306,
+                A,
+                port,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                2,
                 &netalytics_packet::mysql::build_ok(1),
             ));
         }

@@ -368,13 +368,7 @@ impl Engine {
         link.bytes[dir] += packet.len() as u64;
         link.packets[dir] += 1;
         let arrive = start + ser + link.spec.latency;
-        self.push(
-            arrive,
-            EventKind::Arrive {
-                node: peer,
-                packet,
-            },
-        );
+        self.push(arrive, EventKind::Arrive { node: peer, packet });
     }
 
     fn forward_native(&mut self, node: NodeId, packet: Packet, when: SimTime) {
@@ -390,10 +384,7 @@ impl Engine {
     }
 
     fn forward_toward(&mut self, node: NodeId, dst_host: HostIdx, packet: Packet, when: SimTime) {
-        let hash = packet
-            .flow_key()
-            .map(|f| f.stable_hash())
-            .unwrap_or(0);
+        let hash = packet.flow_key().map(|f| f.stable_hash()).unwrap_or(0);
         match self.net.next_hop(node, dst_host, hash) {
             Some(port) => self.transmit(node, port, packet, when),
             None => self.stats.dropped += 1,
@@ -446,8 +437,7 @@ impl Engine {
                         self.stats.mirrored += 1;
                         // Encapsulate so intermediate switches route the
                         // copy to the monitor, not the original target.
-                        let encap =
-                            encapsulate_mirror(&packet, self.net.host_ip(h));
+                        let encap = encapsulate_mirror(&packet, self.net.host_ip(h));
                         self.forward_toward(node, h, encap, when);
                     } else {
                         self.stats.dropped += 1;
@@ -596,7 +586,13 @@ mod tests {
         let mut e = Engine::new(net4());
         let got = Rc::new(RefCell::new(Vec::new()));
         let dst_ip = e.network().host_ip(15);
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 1 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
         e.set_app(15, Box::new(Sink(got.clone())));
         e.run_until_idle();
         assert_eq!(got.borrow().len(), 1);
@@ -615,13 +611,15 @@ mod tests {
         // Mirror at host 0/1's ToR (edge 0) toward monitor host 2.
         e.install_rule(
             e.edge_switch_id(0),
-            FlowRule::mirror(
-                FlowMatch::any().to_host(dst_ip, Some(80)),
-                2,
-                1,
-            ),
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
         );
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 3 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 3,
+            }),
+        );
         e.set_app(1, Box::new(Sink(got.clone())));
         e.set_app(2, Box::new(Sink(mon.clone())));
         e.run_until_idle();
@@ -643,7 +641,13 @@ mod tests {
             e.edge_switch_id(0),
             FlowRule::new(FlowMatch::any(), vec![netalytics_sdn::Action::Drop]),
         );
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 2 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 2,
+            }),
+        );
         e.set_app(1, Box::new(Sink(got.clone())));
         e.run_until_idle();
         assert!(got.borrow().is_empty());
@@ -662,7 +666,13 @@ mod tests {
             netalytics_sdn::InstallMode::Reactive,
         );
         e.set_controller(ctl, true);
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 2 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 2,
+            }),
+        );
         e.set_app(1, Box::new(Sink(Rc::new(RefCell::new(Vec::new())))));
         e.set_app(2, Box::new(Sink(mon.clone())));
         e.run_until_idle();
@@ -683,7 +693,13 @@ mod tests {
         e.set_controller(ctl, false);
         e.sync_controller();
         let mon = Rc::new(RefCell::new(Vec::new()));
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 1 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
         e.set_app(1, Box::new(Sink(Rc::new(RefCell::new(Vec::new())))));
         e.set_app(2, Box::new(Sink(mon.clone())));
         e.run_until_idle();
@@ -720,7 +736,13 @@ mod tests {
         let mut e = Engine::new(net4());
         let got = Rc::new(RefCell::new(Vec::new()));
         let dst_ip = e.network().host_ip(15);
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 1 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
         e.set_app(15, Box::new(Sink(got.clone())));
         e.run_until(SimTime::from_nanos(10)); // far too early
         assert!(got.borrow().is_empty());
@@ -732,7 +754,13 @@ mod tests {
     fn traffic_counters_accumulate_by_tier() {
         let mut e = Engine::new(net4());
         let dst_ip = e.network().host_ip(15); // cross-pod
-        e.set_app(0, Box::new(SendOnce { dst: dst_ip, count: 1 }));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
         e.set_app(15, Box::new(Sink(Rc::new(RefCell::new(Vec::new())))));
         e.run_until_idle();
         let t = e.network().tier_traffic();
@@ -802,7 +830,14 @@ mod timing_tests {
         let mut e = Engine::new(Network::fat_tree(4, LinkSpec::default()));
         let got = Rc::new(RefCell::new(Vec::new()));
         let dst = e.network().host_ip(1);
-        e.set_app(0, Box::new(BigBurst { dst, frames: 10, frame_len: 1250 }));
+        e.set_app(
+            0,
+            Box::new(BigBurst {
+                dst,
+                frames: 10,
+                frame_len: 1250,
+            }),
+        );
         e.set_app(1, Box::new(Stamps(got.clone())));
         e.run_until_idle();
         let ts = got.borrow();
@@ -826,7 +861,14 @@ mod timing_tests {
         let measure = |e: &mut Engine| {
             let got = Rc::new(RefCell::new(Vec::new()));
             let dst = e.network().host_ip(1);
-            e.set_app(0, Box::new(BigBurst { dst, frames: 5, frame_len: 1250 }));
+            e.set_app(
+                0,
+                Box::new(BigBurst {
+                    dst,
+                    frames: 5,
+                    frame_len: 1250,
+                }),
+            );
             e.set_app(1, Box::new(Stamps(got.clone())));
             e.run_until_idle();
             let b = got.borrow();
@@ -846,7 +888,14 @@ mod timing_tests {
             let mut e = Engine::new(Network::fat_tree(4, LinkSpec::default()));
             let got = Rc::new(RefCell::new(Vec::new()));
             let dst = e.network().host_ip(14);
-            e.set_app(3, Box::new(BigBurst { dst, frames: 50, frame_len: 700 }));
+            e.set_app(
+                3,
+                Box::new(BigBurst {
+                    dst,
+                    frames: 50,
+                    frame_len: 700,
+                }),
+            );
             e.set_app(14, Box::new(Stamps(got.clone())));
             e.run_until_idle();
             let stats = e.stats();

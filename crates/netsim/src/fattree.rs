@@ -52,7 +52,10 @@ impl FatTree {
     /// Panics if `k` is odd, less than 2, or greater than 64 (IP scheme
     /// limit: pods and per-pod indices must fit in an octet).
     pub fn new(k: u32) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree k must be even and >= 2"
+        );
         assert!(k <= 64, "fat-tree k must be <= 64");
         FatTree { k }
     }
@@ -199,7 +202,11 @@ mod tests {
         assert_eq!(ft.host_of_ip(Ipv4Addr::new(192, 168, 0, 1)), None);
         assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 99, 0, 2)), None);
         assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 0, 0, 1)), None, "octet < 2");
-        assert_eq!(ft.host_of_ip(Ipv4Addr::new(10, 0, 0, 4)), None, "octet >= 2+k/2");
+        assert_eq!(
+            ft.host_of_ip(Ipv4Addr::new(10, 0, 0, 4)),
+            None,
+            "octet >= 2+k/2"
+        );
     }
 
     #[test]

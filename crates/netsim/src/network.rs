@@ -150,7 +150,12 @@ impl Network {
         // Host <-> edge.
         for h in 0..tree.num_hosts() {
             let edge = tree.edge_of_host(h);
-            net.add_link(net.host_node(h), net.edge_node(edge), spec, LinkLevel::HostEdge);
+            net.add_link(
+                net.host_node(h),
+                net.edge_node(edge),
+                spec,
+                LinkLevel::HostEdge,
+            );
         }
         // Edge <-> agg (full mesh within pod).
         for pod in 0..tree.num_pods() {

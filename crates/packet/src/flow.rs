@@ -27,9 +27,7 @@ use crate::ipv4::IpProto;
 /// assert_eq!(f.stable_hash(), f.stable_hash());
 /// # Ok::<(), std::net::AddrParseError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_ip: Ipv4Addr,

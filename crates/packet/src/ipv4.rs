@@ -220,7 +220,12 @@ mod tests {
 
     #[test]
     fn proto_mapping_roundtrips() {
-        for p in [IpProto::Tcp, IpProto::Udp, IpProto::Icmp, IpProto::Other(89)] {
+        for p in [
+            IpProto::Tcp,
+            IpProto::Udp,
+            IpProto::Icmp,
+            IpProto::Other(89),
+        ] {
             assert_eq!(IpProto::from_u8(p.to_u8()), p);
         }
     }

@@ -99,10 +99,7 @@ mod tests {
     #[test]
     fn get_roundtrip() {
         let req = build_get("k");
-        assert_eq!(
-            parse_command(&req),
-            Some(Command::Get { key: "k".into() })
-        );
+        assert_eq!(parse_command(&req), Some(Command::Get { key: "k".into() }));
     }
 
     #[test]

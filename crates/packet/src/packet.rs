@@ -128,7 +128,13 @@ impl Packet {
         let v = self.view().ok()?;
         let ip = v.ipv4?;
         if let Some(t) = v.tcp {
-            Some(FlowKey::new(ip.src, t.src_port, ip.dst, t.dst_port, IpProto::Tcp))
+            Some(FlowKey::new(
+                ip.src,
+                t.src_port,
+                ip.dst,
+                t.dst_port,
+                IpProto::Tcp,
+            ))
         } else {
             v.udp
                 .map(|u| FlowKey::new(ip.src, u.src_port, ip.dst, u.dst_port, IpProto::Udp))
@@ -151,8 +157,7 @@ impl Packet {
         payload: &[u8],
     ) -> Packet {
         let tcp_len = TCP_HEADER_LEN + payload.len();
-        let mut buf =
-            BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + tcp_len);
+        let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + tcp_len);
         EthernetHeader {
             dst: MacAddr::from_host_index(u32::from(dst_ip)),
             src: MacAddr::from_host_index(u32::from(src_ip)),
@@ -184,8 +189,7 @@ impl Packet {
         payload: &[u8],
     ) -> Packet {
         let udp_len = UDP_HEADER_LEN + payload.len();
-        let mut buf =
-            BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len);
+        let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len);
         EthernetHeader {
             dst: MacAddr::from_host_index(u32::from(dst_ip)),
             src: MacAddr::from_host_index(u32::from(src_ip)),

@@ -105,9 +105,10 @@ pub fn place_analytics(
                 let load = ext_load(mi);
                 let pod = dc.tree.pod_of(placement.monitors[mi].host);
                 // Reuse a same-pod aggregator with room.
-                let existing = out.aggregators.iter_mut().find(|a| {
-                    dc.tree.pod_of(a.host) == pod && a.load_bps + load <= cap
-                });
+                let existing = out
+                    .aggregators
+                    .iter_mut()
+                    .find(|a| dc.tree.pod_of(a.host) == pod && a.load_bps + load <= cap);
                 match existing {
                     Some(a) => {
                         a.monitors.push(mi);

@@ -82,8 +82,7 @@ pub fn placement_cost(
     let mut cost = PlacementCost {
         monitors: monitors.num_monitors(),
         aggregators: analytics.num_aggregators(),
-        processors: analytics.num_aggregators()
-            * dc.params.processors_per_aggregator as usize,
+        processors: analytics.num_aggregators() * dc.params.processors_per_aggregator as usize,
         workload_bps: flows.iter().map(|f| f.rate_bps as f64).sum(),
         ..Default::default()
     };
@@ -110,7 +109,9 @@ mod tests {
     use crate::model::PlacementParams;
     use crate::place::PlacedMonitor;
 
-    fn one_flow_setup(agg_host: u32) -> (DataCenter, Vec<Flow>, MonitorPlacement, AnalyticsPlacement) {
+    fn one_flow_setup(
+        agg_host: u32,
+    ) -> (DataCenter, Vec<Flow>, MonitorPlacement, AnalyticsPlacement) {
         let dc = DataCenter::uniform(4, PlacementParams::default());
         let flows = vec![Flow {
             src: 0,

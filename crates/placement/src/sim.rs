@@ -136,9 +136,7 @@ pub fn sweep(config: &SimConfig, monitored_points: &[usize], base_seed: u64) -> 
         for strategy in Strategy::ALL {
             let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
             for run in 0..config.runs {
-                let seed = base_seed
-                    .wrapping_add(run as u64)
-                    .wrapping_mul(0x9e37_79b9);
+                let seed = base_seed.wrapping_add(run as u64).wrapping_mul(0x9e37_79b9);
                 let flows = generate_workload(&tree, &config.workload, seed);
                 let c = run_once(config, &flows, monitored, strategy, seed);
                 acc.0 += c.extra_bandwidth_pct();
@@ -241,8 +239,7 @@ mod tests {
             .iter()
             .find(|p| p.strategy == Strategy::LocalRandom)
             .unwrap();
-        let local_ratio =
-            local.weighted_extra_bandwidth_pct / local.extra_bandwidth_pct.max(1e-9);
+        let local_ratio = local.weighted_extra_bandwidth_pct / local.extra_bandwidth_pct.max(1e-9);
         assert!(local_ratio > ratio, "local {local_ratio} vs net {ratio}");
     }
 

@@ -45,7 +45,11 @@ impl fmt::Display for Address {
         match self {
             Address::Any => f.write_str("*"),
             Address::Ip { ip, port: p } => write!(f, "{ip}:{}", port(p)),
-            Address::Subnet { ip, prefix, port: p } => {
+            Address::Subnet {
+                ip,
+                prefix,
+                port: p,
+            } => {
                 write!(f, "{ip}/{prefix}:{}", port(p))
             }
             Address::Host { name, port: p } => write!(f, "{name}:{}", port(p)),

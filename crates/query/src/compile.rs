@@ -206,10 +206,8 @@ mod tests {
 
     #[test]
     fn wildcard_from_leaves_src_unconstrained() {
-        let q = parse(
-            "PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (group-sum)",
-        )
-        .unwrap();
+        let q =
+            parse("PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
         let d = compile(&q, &hosts()).unwrap();
         let flow = FlowKey::new(
             Ipv4Addr::new(192, 168, 9, 9),
@@ -228,10 +226,8 @@ mod tests {
             compile(&q, &hosts()).unwrap_err(),
             CompileError::UnknownParser("wat".into())
         );
-        let q = parse(
-            "PARSE http_get FROM * TO nosuch:80 LIMIT 1s SAMPLE * PROCESS (group-sum)",
-        )
-        .unwrap();
+        let q = parse("PARSE http_get FROM * TO nosuch:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .unwrap();
         assert_eq!(
             compile(&q, &hosts()).unwrap_err(),
             CompileError::UnknownHost("nosuch".into())

@@ -79,7 +79,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} at offset {}", self.ch, self.pos)
+        write!(
+            f,
+            "unexpected character {:?} at offset {}",
+            self.ch, self.pos
+        )
     }
 }
 

@@ -130,14 +130,14 @@ impl Parser {
             if self.peek().kind == TokenKind::Slash {
                 self.next();
                 let pw = self.word("prefix length")?;
-                let prefix: u8 = pw
-                    .parse()
-                    .ok()
-                    .filter(|p| *p <= 32)
-                    .ok_or_else(|| ParseQueryError {
-                        pos: self.peek().pos,
-                        message: format!("invalid prefix length {pw:?}"),
-                    })?;
+                let prefix: u8 =
+                    pw.parse()
+                        .ok()
+                        .filter(|p| *p <= 32)
+                        .ok_or_else(|| ParseQueryError {
+                            pos: self.peek().pos,
+                            message: format!("invalid prefix length {pw:?}"),
+                        })?;
                 let port = self.port()?;
                 return Ok(Address::Subnet { ip, prefix, port });
             }
@@ -383,8 +383,8 @@ mod tests {
 
     #[test]
     fn error_positions_are_reported() {
-        let err = parse("PARSE http_get FROM * TO h1:80 LIMIT bogus SAMPLE * PROCESS (x)")
-            .unwrap_err();
+        let err =
+            parse("PARSE http_get FROM * TO h1:80 LIMIT bogus SAMPLE * PROCESS (x)").unwrap_err();
         assert!(err.message.contains("invalid limit"));
         assert!(err.to_string().contains("offset"));
     }

@@ -13,6 +13,8 @@
 
 pub mod cluster;
 pub mod log;
+pub mod writer;
 
-pub use cluster::{QueueCluster, QueueConfig};
+pub use cluster::{GroupId, QueueCluster, QueueConfig, TopicId};
 pub use log::{Message, PartitionLog, Pressure};
+pub use writer::QueueWriter;

@@ -100,13 +100,7 @@ impl PartitionLog {
         // oldest retained message, over-run offsets re-sync to the end.
         let start = from_offset.max(self.base_offset).min(self.next_offset);
         let idx = (start - self.base_offset) as usize;
-        let msgs: Vec<Message> = self
-            .messages
-            .iter()
-            .skip(idx)
-            .take(max)
-            .cloned()
-            .collect();
+        let msgs: Vec<Message> = self.messages.iter().skip(idx).take(max).cloned().collect();
         let next = msgs.last().map_or(start, |m| m.offset + 1);
         (msgs, next)
     }

@@ -1,0 +1,137 @@
+//! [`QueueWriter`]: the monitor-side output interface.
+//!
+//! Parser pipelines ship [`TupleBatch`]es; the writer encodes each batch
+//! once and appends it to an interned topic, spreading successive batches
+//! across partitions round-robin (the paper's monitors likewise write
+//! batches to Kafka, §5.2 "Output Interface"). Because it implements
+//! [`BatchSink`], the monitor layer needs no queue-specific code and no
+//! intermediate shipper threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netalytics_data::{BatchSink, SinkClosed, TupleBatch};
+
+use crate::cluster::{QueueCluster, TopicId};
+
+/// A [`BatchSink`] that encodes batches into a [`QueueCluster`] topic.
+///
+/// Shareable across producer threads: partition keys come from one atomic
+/// sequence, and the topic id is interned at construction so the hot path
+/// never touches the name registry.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use netalytics_data::{BatchSink, DataTuple, TupleBatch};
+/// use netalytics_queue::{QueueCluster, QueueConfig, QueueWriter};
+///
+/// let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+/// let writer = QueueWriter::new(Arc::clone(&cluster), "http_get");
+/// writer
+///     .ship(TupleBatch::from_tuples(vec![DataTuple::new(1, 0)]))
+///     .unwrap();
+/// assert_eq!(cluster.depth("http_get"), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueueWriter {
+    cluster: Arc<QueueCluster>,
+    topic: TopicId,
+    seq: AtomicU64,
+    batches: AtomicU64,
+    tuples: AtomicU64,
+}
+
+impl QueueWriter {
+    /// Creates a writer appending to `topic` (interned immediately).
+    pub fn new(cluster: Arc<QueueCluster>, topic: &str) -> Self {
+        let topic = cluster.topic_id(topic);
+        QueueWriter {
+            cluster,
+            topic,
+            seq: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            tuples: AtomicU64::new(0),
+        }
+    }
+
+    /// Batches shipped so far.
+    pub fn batches_shipped(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Tuples shipped so far.
+    pub fn tuples_shipped(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// The interned topic this writer appends to.
+    pub fn topic(&self) -> TopicId {
+        self.topic
+    }
+}
+
+impl BatchSink for QueueWriter {
+    fn ship(&self, batch: TupleBatch) -> Result<(), SinkClosed> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let key = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_ns = batch.tuples.last().map_or(0, |t| t.ts_ns);
+        let n = batch.len() as u64;
+        self.cluster
+            .produce_to(self.topic, key, batch.encode(), ts_ns);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.tuples.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::QueueConfig;
+    use netalytics_data::DataTuple;
+
+    fn batch(ids: std::ops::Range<u64>) -> TupleBatch {
+        ids.map(|i| DataTuple::new(i, i * 10)).collect()
+    }
+
+    #[test]
+    fn ship_appends_encoded_batches() {
+        let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        let w = QueueWriter::new(Arc::clone(&cluster), "t");
+        w.ship(batch(0..3)).unwrap();
+        w.ship(batch(3..5)).unwrap();
+        w.ship(TupleBatch::new()).unwrap();
+        assert_eq!(w.batches_shipped(), 2, "empty batches are dropped");
+        assert_eq!(w.tuples_shipped(), 5);
+        assert_eq!(cluster.depth("t"), 2);
+        let msgs = cluster.consume("g", "t", 10);
+        let total: usize = msgs
+            .iter()
+            .map(|m| {
+                let mut b = m.payload.clone();
+                TupleBatch::decode(&mut b).unwrap().len()
+            })
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn successive_batches_round_robin_partitions() {
+        let cluster = Arc::new(QueueCluster::new(QueueConfig {
+            brokers: 1,
+            partitions: 4,
+            partition_capacity: 1024,
+        }));
+        let w = QueueWriter::new(Arc::clone(&cluster), "t");
+        for i in 0..8u64 {
+            w.ship(batch(i..i + 1)).unwrap();
+        }
+        let msgs = cluster.consume("g", "t", 100);
+        let keys: std::collections::BTreeSet<u64> = msgs.iter().map(|m| m.key % 4).collect();
+        assert_eq!(keys.len(), 4, "batches spread across all partitions");
+    }
+}

@@ -162,9 +162,7 @@ impl FlowTable {
             }
             if e.rule.matcher.matches(flow) {
                 match best {
-                    Some(b) if e.rule.priority == b.rule.priority && e.id > b.id => {
-                        best = Some(e)
-                    }
+                    Some(b) if e.rule.priority == b.rule.priority && e.id > b.id => best = Some(e),
                     None => best = Some(e),
                     _ => {}
                 }

@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn non_numeric_values_skipped() {
-        let out = run(AggOp::Sum, &[DataTuple::new(0, 0).with("dst_ip", "a").with("v", "nope")]);
+        let out = run(
+            AggOp::Sum,
+            &[DataTuple::new(0, 0).with("dst_ip", "a").with("v", "nope")],
+        );
         assert!(out.is_empty());
     }
 
@@ -236,11 +239,17 @@ mod tests {
         let mut b = AggBolt::new(AggOp::Sum, "v", vec!["x".into(), "y".into()]);
         let mut out = Vec::new();
         b.execute(
-            &DataTuple::new(0, 0).with("x", "1").with("y", "a").with("v", 1.0),
+            &DataTuple::new(0, 0)
+                .with("x", "1")
+                .with("y", "a")
+                .with("v", 1.0),
             &mut out,
         );
         b.execute(
-            &DataTuple::new(0, 0).with("x", "1").with("y", "b").with("v", 1.0),
+            &DataTuple::new(0, 0)
+                .with("x", "1")
+                .with("y", "b")
+                .with("v", 1.0),
             &mut out,
         );
         b.finish(1, &mut out);

@@ -97,10 +97,14 @@ mod tests {
     use netalytics_data::Value;
 
     fn l(id: u64) -> DataTuple {
-        DataTuple::new(id, 10).from_source("http_get").with("url", "/a")
+        DataTuple::new(id, 10)
+            .from_source("http_get")
+            .with("url", "/a")
     }
     fn r(id: u64) -> DataTuple {
-        DataTuple::new(id, 20).from_source("tcp_conn_time").with("t_ns", 5u64)
+        DataTuple::new(id, 20)
+            .from_source("tcp_conn_time")
+            .with("t_ns", 5u64)
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use std::collections::VecDeque;
 
-use netalytics_data::DataTuple;
+use netalytics_data::{DataTuple, TupleBatch};
 
 use crate::bolt::{Bolt, Grouping};
+use crate::executor::Executor;
 use crate::topology::{SourceRef, Topology};
 
 struct NodeRt {
@@ -94,6 +95,33 @@ impl InlineExecutor {
         self.drain_work(work);
     }
 
+    /// Feeds a whole batch through the DAG in one call — the batch-first
+    /// twin of [`InlineExecutor::push`]. Tuples are routed in order; with
+    /// a single spout edge no tuple is cloned.
+    pub fn push_batch(&mut self, batch: TupleBatch) {
+        self.processed += batch.len() as u64;
+        let edges = self.spout_edges.clone();
+        let mut work: VecDeque<(usize, DataTuple)> = VecDeque::new();
+        match edges.as_slice() {
+            [] => return,
+            [(node, grouping)] => {
+                for t in batch {
+                    self.enqueue(&mut work, *node, grouping, t);
+                }
+            }
+            many => {
+                let (last, rest) = many.split_last().expect("non-empty edge list");
+                for t in batch {
+                    for (node, grouping) in rest {
+                        self.enqueue(&mut work, *node, grouping, t.clone());
+                    }
+                    self.enqueue(&mut work, last.0, &last.1, t);
+                }
+            }
+        }
+        self.drain_work(work);
+    }
+
     /// Advances every windowed bolt to `now_ns`, flowing any released
     /// tuples downstream.
     pub fn tick(&mut self, now_ns: u64) {
@@ -174,6 +202,29 @@ impl InlineExecutor {
 
     /// Tuples pushed so far.
     pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl Executor for InlineExecutor {
+    fn offer(&mut self, batch: TupleBatch) {
+        self.push_batch(batch);
+    }
+
+    fn tick(&mut self, now_ns: u64) {
+        InlineExecutor::tick(self, now_ns);
+    }
+
+    fn poll_output(&mut self) -> Vec<DataTuple> {
+        self.take_output()
+    }
+
+    fn stop(&mut self, now_ns: u64) -> Vec<DataTuple> {
+        self.finish(now_ns);
+        self.take_output()
+    }
+
+    fn processed(&self) -> u64 {
         self.processed
     }
 }
@@ -283,6 +334,29 @@ mod tests {
             .filter_map(|t| t.get("count").and_then(Value::as_u64))
             .collect();
         assert_eq!(counts, vec![5, 5]);
+    }
+
+    #[test]
+    fn push_batch_matches_per_tuple_push() {
+        let mk = || {
+            let mut b = Topology::builder("t");
+            let c = b.add_bolt("count", 2, Box::<Count>::default);
+            let tag = b.add_bolt("tag", 1, || Box::new(Tag("after")));
+            b.wire(SourceRef::Spout, c, Grouping::ById);
+            b.wire(SourceRef::Bolt(c), tag, Grouping::Global);
+            InlineExecutor::new(&b.build().unwrap())
+        };
+        let tuples: Vec<DataTuple> = (0..10).map(|i| DataTuple::new(i % 2, 0)).collect();
+        let mut per_tuple = mk();
+        for t in tuples.clone() {
+            per_tuple.push(t);
+        }
+        per_tuple.tick(1);
+        let mut batched = mk();
+        batched.push_batch(TupleBatch::from_tuples(tuples));
+        batched.tick(1);
+        assert_eq!(per_tuple.take_output(), batched.take_output());
+        assert_eq!(per_tuple.processed(), batched.processed());
     }
 
     #[test]

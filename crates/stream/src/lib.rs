@@ -11,10 +11,13 @@
 //! * [`topologies`] — the named catalog the query language's `PROCESS`
 //!   clause refers to, including the paper's Fig. 4 top-k topology
 //!   (Parsing → Counting → local Rank → global Rank).
+//! * [`Executor`] — the unified batch-first engine interface; construct
+//!   one with [`build_executor`] and an [`ExecutorMode`].
 //! * [`InlineExecutor`] — deterministic, for the discrete-event plane.
-//! * [`ThreadedExecutor`] — one thread per bolt instance, fed by a
-//!   [`Spout`] (e.g. [`QueueSpout`] polling the Kafka-style queue), for
-//!   the Fig. 6 scaling experiments.
+//! * [`ThreadedExecutor`] — one thread per bolt instance with bounded
+//!   channels and a [`BackpressurePolicy`], fed by a [`Spout`] (e.g.
+//!   [`QueueSpout`] polling the Kafka-style queue) or driven by
+//!   [`Executor::offer`], for the Fig. 6 scaling experiments.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 
 pub mod bolt;
 pub mod bolts;
+pub mod executor;
 pub mod inline;
 pub mod spout;
 pub mod threaded;
@@ -45,6 +49,7 @@ pub mod topologies;
 pub mod topology;
 
 pub use bolt::{Bolt, BoltFactory, Grouping};
+pub use executor::{build_executor, BackpressurePolicy, Executor, ExecutorMode};
 pub use inline::InlineExecutor;
 pub use spout::{QueueSpout, Spout, VecSpout};
 pub use threaded::{ThreadedConfig, ThreadedExecutor};

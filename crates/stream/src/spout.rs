@@ -4,34 +4,49 @@
 use std::sync::Arc;
 
 use netalytics_data::{DataTuple, TupleBatch};
-use netalytics_queue::QueueCluster;
+use netalytics_queue::{GroupId, Message, QueueCluster, TopicId};
 
 /// A pull-based tuple source.
 pub trait Spout: Send {
-    /// Fetches up to `max` tuples; an empty result means "nothing right
-    /// now", not end-of-stream.
+    /// Fetches up to `max` messages' worth of tuples; an empty result
+    /// means "nothing right now", not end-of-stream.
     fn poll(&mut self, max: usize) -> Vec<DataTuple>;
+
+    /// Batch-first poll: the executor's preferred entry point. The
+    /// default wraps [`Spout::poll`]; sources that already hold batches
+    /// (like [`QueueSpout`]) override it to skip the intermediate vector.
+    fn poll_batch(&mut self, max: usize) -> TupleBatch {
+        TupleBatch::from_tuples(self.poll(max))
+    }
 }
 
 /// Spout that polls a [`QueueCluster`] topic, decoding [`TupleBatch`]
 /// payloads — the paper's Kafka Spout (§5.3: "Storm then uses multiple
 /// Kafka 'Spouts' ... to poll for new messages").
+///
+/// The topic and group names are interned once at construction; each poll
+/// is a [`QueueCluster::consume_batch`] into a reused scratch buffer
+/// followed by a straight decode into the outgoing batch.
 #[derive(Debug)]
 pub struct QueueSpout {
     cluster: Arc<QueueCluster>,
-    topic: String,
-    group: String,
+    topic: TopicId,
+    group: GroupId,
+    scratch: Vec<Message>,
     /// Batches that failed to decode (corrupt payloads are skipped).
     decode_errors: u64,
 }
 
 impl QueueSpout {
     /// Creates a spout consuming `topic` as consumer group `group`.
-    pub fn new(cluster: Arc<QueueCluster>, topic: impl Into<String>, group: impl Into<String>) -> Self {
+    pub fn new(cluster: Arc<QueueCluster>, topic: &str, group: &str) -> Self {
+        let topic = cluster.topic_id(topic);
+        let group = cluster.group_id(group);
         QueueSpout {
             cluster,
-            topic: topic.into(),
-            group: group.into(),
+            topic,
+            group,
+            scratch: Vec::new(),
             decode_errors: 0,
         }
     }
@@ -44,10 +59,16 @@ impl QueueSpout {
 
 impl Spout for QueueSpout {
     fn poll(&mut self, max: usize) -> Vec<DataTuple> {
-        let msgs = self.cluster.consume(&self.group, &self.topic, max);
-        let mut out = Vec::new();
-        for m in msgs {
-            let mut payload = m.payload.clone();
+        self.poll_batch(max).into_tuples()
+    }
+
+    fn poll_batch(&mut self, max: usize) -> TupleBatch {
+        self.scratch.clear();
+        self.cluster
+            .consume_batch(self.group, self.topic, max, &mut self.scratch);
+        let mut out = TupleBatch::new();
+        for m in self.scratch.drain(..) {
+            let mut payload = m.payload;
             match TupleBatch::decode(&mut payload) {
                 Ok(batch) => out.extend(batch),
                 Err(_) => self.decode_errors += 1,
@@ -121,6 +142,22 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert!(spout.poll(10).is_empty(), "offsets advanced");
         assert_eq!(spout.decode_errors(), 0);
+    }
+
+    #[test]
+    fn queue_spout_poll_batch_drains_multiple_messages() {
+        let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        for k in 0..3u64 {
+            let batch = TupleBatch::from_tuples(vec![
+                DataTuple::new(k * 2, 0),
+                DataTuple::new(k * 2 + 1, 0),
+            ]);
+            cluster.produce("t", k, batch.encode(), 0);
+        }
+        let mut spout = QueueSpout::new(cluster, "t", "g");
+        let got = spout.poll_batch(10);
+        assert_eq!(got.len(), 6);
+        assert!(spout.poll_batch(10).is_empty());
     }
 
     #[test]

@@ -1,21 +1,30 @@
 //! Threaded executor: one worker thread per bolt instance, used by the
 //! Fig. 6 scaling experiments.
+//!
+//! Data moves as tuple *slabs*: each routing step groups a batch by
+//! destination instance and performs one channel send per non-empty slab,
+//! so channel traffic scales with fan-out, not tuple count. Inter-bolt
+//! channels are bounded; when one fills, the configured
+//! [`BackpressurePolicy`] either blocks the producer (pushing backpressure
+//! toward the spout and, through queue lag, the adaptive sampler of §4.2)
+//! or sheds the slab and counts the dropped tuples.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use netalytics_data::DataTuple;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use netalytics_data::{DataTuple, TupleBatch};
 use parking_lot::Mutex;
 
 use crate::bolt::Grouping;
+use crate::executor::{BackpressurePolicy, Executor};
 use crate::spout::Spout;
 use crate::topology::{SourceRef, Topology};
 
 enum Msg {
-    Tuple(DataTuple),
+    Batch(Vec<DataTuple>),
     Tick(u64),
     Finish(u64),
 }
@@ -23,12 +32,17 @@ enum Msg {
 /// Configuration for [`ThreadedExecutor::spawn`].
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadedConfig {
-    /// Max tuples per spout poll.
+    /// Max messages per spout poll.
     pub poll_batch: usize,
     /// Wall-clock interval between ticks delivered to windowed bolts.
     pub tick_interval: Duration,
     /// Spout idle sleep when a poll returns nothing.
     pub idle_sleep: Duration,
+    /// Capacity of each bolt instance's input channel, counted in slabs
+    /// (channel messages), not tuples.
+    pub channel_capacity: usize,
+    /// What producers do when an input channel is full.
+    pub backpressure: BackpressurePolicy,
 }
 
 impl Default for ThreadedConfig {
@@ -37,33 +51,111 @@ impl Default for ThreadedConfig {
             poll_batch: 512,
             tick_interval: Duration::from_millis(100),
             idle_sleep: Duration::from_micros(200),
+            channel_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
         }
     }
 }
 
-fn wall_ns() -> u64 {
+pub(crate) fn wall_ns() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .unwrap_or_default()
         .as_nanos() as u64
 }
 
+/// A bolt instance's input endpoint plus the overflow policy applied to
+/// data slabs sent into it.
+#[derive(Clone)]
+struct BoltTx {
+    tx: Sender<Msg>,
+    policy: BackpressurePolicy,
+    shed: Arc<AtomicU64>,
+}
+
+impl BoltTx {
+    fn send_slab(&self, slab: Vec<DataTuple>) {
+        if slab.is_empty() {
+            return;
+        }
+        match self.policy {
+            BackpressurePolicy::Block => {
+                let _ = self.tx.send(Msg::Batch(slab));
+            }
+            BackpressurePolicy::Shed => {
+                if let Err(TrySendError::Full(Msg::Batch(dropped))) =
+                    self.tx.try_send(Msg::Batch(slab))
+                {
+                    self.shed.fetch_add(dropped.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Ticks are best-effort: a full channel means the instance is busy
+    /// with data and will receive the next tick soon enough.
+    fn send_tick(&self, now_ns: u64) {
+        let _ = self.tx.try_send(Msg::Tick(now_ns));
+    }
+
+    /// Finish must arrive regardless of policy — blocking send. Safe
+    /// because the receiving instance is still draining its channel.
+    fn send_finish(&self, now_ns: u64) {
+        let _ = self.tx.send(Msg::Finish(now_ns));
+    }
+}
+
 struct EdgeRt {
-    targets: Vec<Sender<Msg>>,
+    targets: Vec<BoltTx>,
     grouping: Grouping,
 }
 
-fn route(edges: &[EdgeRt], rr: &mut [usize], tuple: DataTuple) {
+impl EdgeRt {
+    fn clone_refs(&self) -> Self {
+        EdgeRt {
+            targets: self.targets.clone(),
+            grouping: self.grouping.clone(),
+        }
+    }
+}
+
+/// Routes one batch across one edge: groups tuples into per-instance
+/// slabs (preserving the grouping's per-tuple decisions), then sends each
+/// non-empty slab once.
+fn route_edge(edge: &EdgeRt, rr: &mut usize, batch: Vec<DataTuple>) {
+    let n = edge.targets.len();
+    if n == 1 {
+        edge.targets[0].send_slab(batch);
+        return;
+    }
+    let mut slabs: Vec<Vec<DataTuple>> = (0..n).map(|_| Vec::new()).collect();
+    for t in batch {
+        let i = edge.grouping.route(&t, n, rr);
+        slabs[i].push(t);
+    }
+    for (i, slab) in slabs.into_iter().enumerate() {
+        edge.targets[i].send_slab(slab);
+    }
+}
+
+fn route_batch(edges: &[EdgeRt], rr: &mut [usize], batch: Vec<DataTuple>) {
+    if batch.is_empty() {
+        return;
+    }
     match edges {
         [] => {}
-        [only] => {
-            let i = only.grouping.route(&tuple, only.targets.len(), &mut rr[0]);
-            let _ = only.targets[i].send(Msg::Tuple(tuple));
-        }
+        [only] => route_edge(only, &mut rr[0], batch),
         many => {
-            for (e, r) in many.iter().zip(rr.iter_mut()) {
-                let i = e.grouping.route(&tuple, e.targets.len(), r);
-                let _ = e.targets[i].send(Msg::Tuple(tuple.clone()));
+            // Clone for every edge but the last, which takes ownership.
+            let last = many.len() - 1;
+            let mut batch = Some(batch);
+            for (k, (e, r)) in many.iter().zip(rr.iter_mut()).enumerate() {
+                let b = if k == last {
+                    batch.take().expect("batch consumed before last edge")
+                } else {
+                    batch.as_ref().expect("batch gone mid-fanout").clone()
+                };
+                route_edge(e, r, b);
             }
         }
     }
@@ -80,10 +172,16 @@ pub struct ThreadedExecutor {
     stop: Arc<AtomicBool>,
     spout_handle: Option<JoinHandle<()>>,
     tick_handle: Option<JoinHandle<()>>,
-    /// Instance threads, grouped per bolt node in topological order, with
-    /// each instance's sender (for Finish sequencing).
-    node_threads: Vec<Vec<(Sender<Msg>, JoinHandle<()>)>>,
+    /// Instance endpoints + threads, grouped per bolt node in topological
+    /// order (for Finish sequencing).
+    node_threads: Vec<Vec<(BoltTx, JoinHandle<()>)>>,
+    /// Every instance endpoint, for caller-driven ticks.
+    all_tx: Vec<BoltTx>,
+    /// Spout-edge routing table for caller-driven [`Executor::offer`].
+    spout_edges: Vec<EdgeRt>,
+    offer_rr: Vec<usize>,
     spout_tuples: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -98,21 +196,43 @@ impl ThreadedExecutor {
     /// Spawns worker threads for every bolt instance plus a spout poller
     /// and a tick timer.
     pub fn spawn(topology: &Topology, spout: Box<dyn Spout>, config: ThreadedConfig) -> Self {
+        Self::spawn_inner(topology, Some(spout), config)
+    }
+
+    /// Spawns the bolt threads and ticker only; data arrives through
+    /// [`Executor::offer`] from the calling thread.
+    pub fn spawn_driven(topology: &Topology, config: ThreadedConfig) -> Self {
+        Self::spawn_inner(topology, None, config)
+    }
+
+    fn spawn_inner(
+        topology: &Topology,
+        spout: Option<Box<dyn Spout>>,
+        config: ThreadedConfig,
+    ) -> Self {
         let n = topology.bolts.len();
         let terminals = topology.terminals();
         let (output_tx, output_rx) = unbounded::<DataTuple>();
         let stop = Arc::new(AtomicBool::new(false));
         let spout_tuples = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
 
-        // Create channels per instance.
-        let mut inst_tx: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(n);
+        // Bounded input channel per instance. The terminal output channel
+        // stays unbounded: finishing bolts must never block on emission
+        // while shutdown is joining their tier.
+        let cap = config.channel_capacity.max(1);
+        let mut inst_tx: Vec<Vec<BoltTx>> = Vec::with_capacity(n);
         let mut inst_rx: Vec<Vec<Receiver<Msg>>> = Vec::with_capacity(n);
         for node in &topology.bolts {
             let mut txs = Vec::new();
             let mut rxs = Vec::new();
             for _ in 0..node.parallelism {
-                let (tx, rx) = unbounded::<Msg>();
-                txs.push(tx);
+                let (tx, rx) = bounded::<Msg>(cap);
+                txs.push(BoltTx {
+                    tx,
+                    policy: config.backpressure,
+                    shed: shed.clone(),
+                });
                 rxs.push(rx);
             }
             inst_tx.push(txs);
@@ -144,18 +264,12 @@ impl ThreadedExecutor {
             .collect();
 
         // Spawn instance threads.
-        let mut node_threads: Vec<Vec<(Sender<Msg>, JoinHandle<()>)>> = Vec::with_capacity(n);
+        let mut node_threads: Vec<Vec<(BoltTx, JoinHandle<()>)>> = Vec::with_capacity(n);
         for (i, node) in topology.bolts.iter().enumerate() {
             let mut threads = Vec::new();
             for (inst, rx) in inst_rx[i].drain(..).enumerate() {
                 let mut bolt = (node.factory)();
-                let edges: Vec<EdgeRt> = node_edges[i]
-                    .iter()
-                    .map(|e| EdgeRt {
-                        targets: e.targets.clone(),
-                        grouping: e.grouping.clone(),
-                    })
-                    .collect();
+                let edges: Vec<EdgeRt> = node_edges[i].iter().map(EdgeRt::clone_refs).collect();
                 let terminal = terminals[i];
                 let output_tx = output_tx.clone();
                 let handle = std::thread::Builder::new()
@@ -163,18 +277,22 @@ impl ThreadedExecutor {
                     .spawn(move || {
                         let mut rr = vec![0usize; edges.len().max(1)];
                         let dispatch = |out: Vec<DataTuple>, rr: &mut Vec<usize>| {
-                            for t in out {
-                                if terminal {
+                            if terminal {
+                                for t in out {
                                     let _ = output_tx.send(t);
-                                } else {
-                                    route(&edges, rr, t);
                                 }
+                            } else {
+                                route_batch(&edges, rr, out);
                             }
                         };
                         while let Ok(msg) = rx.recv() {
                             let mut out = Vec::new();
                             match msg {
-                                Msg::Tuple(t) => bolt.execute(&t, &mut out),
+                                Msg::Batch(slab) => {
+                                    for t in &slab {
+                                        bolt.execute(t, &mut out);
+                                    }
+                                }
                                 Msg::Tick(now) => bolt.tick(now, &mut out),
                                 Msg::Finish(now) => {
                                     bolt.finish(now, &mut out);
@@ -191,37 +309,35 @@ impl ThreadedExecutor {
             node_threads.push(threads);
         }
 
-        // Spout thread.
-        let spout_handle = {
+        // Spout thread (absent in caller-driven mode).
+        let spout_handle = spout.map(|spout| {
             let stop = stop.clone();
             let counter = spout_tuples.clone();
+            let edges: Vec<EdgeRt> = spout_edges.iter().map(EdgeRt::clone_refs).collect();
             let spout = Mutex::new(spout);
-            Some(
-                std::thread::Builder::new()
-                    .name("spout".into())
-                    .spawn(move || {
-                        let mut spout = spout.into_inner();
-                        let mut rr = vec![0usize; spout_edges.len().max(1)];
-                        while !stop.load(Ordering::Relaxed) {
-                            let tuples = spout.poll(config.poll_batch);
-                            if tuples.is_empty() {
-                                std::thread::sleep(config.idle_sleep);
-                                continue;
-                            }
-                            counter.fetch_add(tuples.len() as u64, Ordering::Relaxed);
-                            for t in tuples {
-                                route(&spout_edges, &mut rr, t);
-                            }
+            std::thread::Builder::new()
+                .name("spout".into())
+                .spawn(move || {
+                    let mut spout = spout.into_inner();
+                    let mut rr = vec![0usize; edges.len().max(1)];
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = spout.poll_batch(config.poll_batch);
+                        if batch.is_empty() {
+                            std::thread::sleep(config.idle_sleep);
+                            continue;
                         }
-                    })
-                    .expect("spawn spout thread"),
-            )
-        };
+                        counter.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        route_batch(&edges, &mut rr, batch.into_tuples());
+                    }
+                })
+                .expect("spawn spout thread")
+        });
 
         // Tick thread.
+        let all_tx: Vec<BoltTx> = inst_tx.iter().flatten().cloned().collect();
         let tick_handle = {
             let stop = stop.clone();
-            let all_tx: Vec<Sender<Msg>> = inst_tx.iter().flatten().cloned().collect();
+            let all_tx = all_tx.clone();
             Some(
                 std::thread::Builder::new()
                     .name("ticker".into())
@@ -240,7 +356,7 @@ impl ThreadedExecutor {
                                 elapsed = Duration::ZERO;
                                 let now = wall_ns();
                                 for tx in &all_tx {
-                                    let _ = tx.send(Msg::Tick(now));
+                                    tx.send_tick(now);
                                 }
                             }
                         }
@@ -249,13 +365,18 @@ impl ThreadedExecutor {
             )
         };
 
+        let offer_rr = vec![0usize; spout_edges.len().max(1)];
         ThreadedExecutor {
             output_rx,
             stop,
             spout_handle,
             tick_handle,
             node_threads,
+            all_tx,
+            spout_edges,
+            offer_rr,
             spout_tuples,
+            shed,
         }
     }
 
@@ -264,14 +385,35 @@ impl ThreadedExecutor {
         &self.output_rx
     }
 
-    /// Tuples pulled from the spout so far.
+    /// Tuples accepted so far (spout polls plus [`Executor::offer`]).
     pub fn spout_tuples(&self) -> u64 {
         self.spout_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Tuples dropped by the [`BackpressurePolicy::Shed`] policy so far.
+    pub fn shed_tuples(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Stops the spout and ticker, finishes bolts upstream-first, joins
     /// all threads and returns any output still buffered.
     pub fn shutdown(mut self) -> Vec<DataTuple> {
+        self.drain_shutdown(wall_ns())
+    }
+
+    /// The shutdown protocol, reusable from [`Executor::stop`]:
+    ///
+    /// 1. Stop and join the spout and ticker — no new data enters.
+    /// 2. Tier by tier in topological order: send `Finish`, then join.
+    ///    Joining tier *k* before finishing tier *k + 1* guarantees every
+    ///    in-flight slab is executed before downstream windows close, and
+    ///    each tier's threads keep draining their channels until their own
+    ///    `Finish` arrives, so the blocking sends cannot deadlock (the
+    ///    topology is a DAG).
+    /// 3. Block on the output channel until every sender is gone — the
+    ///    channel disconnects exactly when the last bolt thread exits, so
+    ///    no polling loop is needed.
+    fn drain_shutdown(&mut self, now_ns: u64) -> Vec<DataTuple> {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.spout_handle.take() {
             let _ = h.join();
@@ -279,30 +421,58 @@ impl ThreadedExecutor {
         if let Some(h) = self.tick_handle.take() {
             let _ = h.join();
         }
-        let now = wall_ns();
-        // Finish in node order (catalog topologies wire upstream-first),
-        // joining each tier before finishing the next so final emissions
-        // are processed downstream.
-        let mut collected = Vec::new();
         for tier in self.node_threads.drain(..) {
             for (tx, _) in &tier {
-                let _ = tx.send(Msg::Finish(now));
+                tx.send_finish(now_ns);
             }
             for (_, handle) in tier {
-                // Keep the output channel drained while joining.
-                while !handle.is_finished() {
-                    while let Ok(t) = self.output_rx.try_recv() {
-                        collected.push(t);
-                    }
-                    std::thread::yield_now();
-                }
                 let _ = handle.join();
             }
         }
-        while let Ok(t) = self.output_rx.try_recv() {
+        // All bolt threads have exited, so all output senders are dropped:
+        // recv() yields the buffered tail, then disconnects.
+        let mut collected = Vec::new();
+        while let Ok(t) = self.output_rx.recv() {
             collected.push(t);
         }
         collected
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn offer(&mut self, batch: TupleBatch) {
+        if batch.is_empty() || self.node_threads.is_empty() {
+            return;
+        }
+        self.spout_tuples
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        route_batch(&self.spout_edges, &mut self.offer_rr, batch.into_tuples());
+    }
+
+    fn tick(&mut self, now_ns: u64) {
+        for tx in &self.all_tx {
+            tx.send_tick(now_ns);
+        }
+    }
+
+    fn poll_output(&mut self) -> Vec<DataTuple> {
+        let mut out = Vec::new();
+        while let Ok(t) = self.output_rx.try_recv() {
+            out.push(t);
+        }
+        out
+    }
+
+    fn stop(&mut self, now_ns: u64) -> Vec<DataTuple> {
+        self.drain_shutdown(now_ns)
+    }
+
+    fn processed(&self) -> u64 {
+        self.spout_tuples()
+    }
+
+    fn shed_tuples(&self) -> u64 {
+        ThreadedExecutor::shed_tuples(self)
     }
 }
 
@@ -344,10 +514,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let out = exec.shutdown();
         // The global ranker's final window must rank /hot first.
-        let last_window: Vec<_> = out
-            .iter()
-            .filter(|t| t.source == "rank")
-            .collect();
+        let last_window: Vec<_> = out.iter().filter(|t| t.source == "rank").collect();
         assert!(!last_window.is_empty(), "no rankings emitted");
         let top = last_window
             .iter()
@@ -395,5 +562,41 @@ mod tests {
             .collect();
         sums.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(sums, vec![("a".into(), 5000.0), ("b".into(), 5000.0)]);
+    }
+
+    #[test]
+    fn driven_executor_accepts_offers_and_drains_on_stop() {
+        let topo = build(
+            &ProcessorSpec::new("group-sum")
+                .with_arg("group", "k")
+                .with_arg("value", "v"),
+        )
+        .unwrap();
+        let mut exec = ThreadedExecutor::spawn_driven(
+            &topo,
+            ThreadedConfig {
+                tick_interval: Duration::from_secs(3600),
+                channel_capacity: 4,
+                ..Default::default()
+            },
+        );
+        for chunk in 0..50 {
+            let batch: TupleBatch = (0..20)
+                .map(|i| {
+                    DataTuple::new(chunk * 20 + i, 0)
+                        .with("k", "x")
+                        .with("v", 1.0)
+                })
+                .collect();
+            exec.offer(batch);
+        }
+        assert_eq!(exec.processed(), 1000);
+        let out = exec.stop(1);
+        let total: f64 = out
+            .iter()
+            .filter_map(|t| t.get("sum").and_then(Value::as_f64))
+            .sum();
+        assert_eq!(total, 1000.0, "Block policy loses nothing");
+        assert_eq!(Executor::shed_tuples(&exec), 0);
     }
 }

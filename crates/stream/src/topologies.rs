@@ -211,15 +211,25 @@ pub fn build(spec: &ProcessorSpec) -> Result<Topology, CatalogError> {
             let window_ns = window.unwrap_or(10_000_000_000);
             let mut b = Topology::builder("top-k");
             let kf = key_field.clone();
-            let parse = b.add_bolt("parsing", par, move || Box::new(KeyExtractBolt::new(kf.clone())));
+            let parse = b.add_bolt("parsing", par, move || {
+                Box::new(KeyExtractBolt::new(kf.clone()))
+            });
             let count = b.add_bolt("counting", par, move || {
                 Box::new(RollingCountBolt::new(window_ns))
             });
             let local = b.add_bolt("rank_local", par, move || Box::new(RankBolt::new(k)));
             let global = b.add_bolt("rank_global", 1, move || Box::new(RankBolt::new(k)));
             b.wire(SourceRef::Spout, parse, Grouping::Shuffle);
-            b.wire(SourceRef::Bolt(parse), count, Grouping::Fields(vec!["key".into()]));
-            b.wire(SourceRef::Bolt(count), local, Grouping::Fields(vec!["key".into()]));
+            b.wire(
+                SourceRef::Bolt(parse),
+                count,
+                Grouping::Fields(vec!["key".into()]),
+            );
+            b.wire(
+                SourceRef::Bolt(count),
+                local,
+                Grouping::Fields(vec!["key".into()]),
+            );
             b.wire(SourceRef::Bolt(local), global, Grouping::Global);
             Ok(b.build()?)
         }
@@ -474,7 +484,9 @@ mod join_tests {
     #[test]
     fn join_rejects_identical_sides() {
         assert!(build(
-            &ProcessorSpec::new("join").with_arg("left", "x").with_arg("right", "x")
+            &ProcessorSpec::new("join")
+                .with_arg("left", "x")
+                .with_arg("right", "x")
         )
         .is_err());
     }

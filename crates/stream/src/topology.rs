@@ -156,7 +156,12 @@ impl fmt::Debug for TopologyBuilder {
 
 impl TopologyBuilder {
     /// Adds a bolt with `parallelism` instances created by `factory`.
-    pub fn add_bolt<F, B>(&mut self, name: impl Into<String>, parallelism: usize, factory: F) -> BoltId
+    pub fn add_bolt<F, B>(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: F,
+    ) -> BoltId
     where
         F: Fn() -> Box<B> + Send + Sync + 'static,
         B: crate::bolt::Bolt + 'static,

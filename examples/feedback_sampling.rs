@@ -12,15 +12,12 @@
 //!
 //! Run with: `cargo run --release --example feedback_sampling`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use netalytics::{AggregatorApp, MonitorApp};
+use netalytics::{shared_executor, AggregatorApp, MonitorApp};
 use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
 use netalytics_netsim::{App, Ctx, Engine, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_packet::{Packet, TcpFlags};
 use netalytics_sdn::{FlowMatch, FlowRule};
-use netalytics_stream::{topologies, InlineExecutor, ProcessorSpec};
+use netalytics_stream::{topologies, ExecutorMode, ProcessorSpec};
 
 /// Open-loop generator: `rate` new flows per millisecond between
 /// `from_ms` and `to_ms`.
@@ -82,7 +79,7 @@ fn run(sample: SampleSpec) -> RunResult {
     })
     .expect("stock parser");
     let topo = topologies::build(&ProcessorSpec::new("group-sum")).expect("catalog");
-    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+    let executor = shared_executor(&topo, ExecutorMode::Inline);
     // Undersized aggregation: small buffer, slow drain.
     let agg = AggregatorApp::new(executor, vec![mon_ip], 400, 20);
     let agg_handle = agg.handle();

@@ -142,12 +142,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let a1 = per_tier.get(&app1_ip.to_string()).copied().unwrap_or(0.0);
     let a2 = per_tier.get(&app2_ip.to_string()).copied().unwrap_or(1.0);
-    println!("  => AppServer1 is {:.1}x slower than AppServer2\n", a1 / a2);
+    println!(
+        "  => AppServer1 is {:.1}x slower than AppServer2\n",
+        a1 / a2
+    );
 
     println!("== Fig. 10: client-side response time histogram (bimodal) ==");
     let rts: Vec<f64> = sink.borrow().iter().map(|s| s.rt_ms()).collect();
     for (lo, n) in histogram(&rts, 10.0) {
-        println!("  {:>5.0}-{:<5.0} ms | {}", lo, lo + 10.0, "#".repeat(n.min(70)));
+        println!(
+            "  {:>5.0}-{:<5.0} ms | {}",
+            lo,
+            lo + 10.0,
+            "#".repeat(n.min(70))
+        );
     }
     println!();
 
@@ -182,8 +190,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app1_db = 0.0;
     let mut app2_db = 0.0;
     for (src, dst, bytes) in &rows {
-        let s = if *src == app1_ip.to_string() { "AppServer1" } else { "AppServer2" };
-        let d = if *dst == db_ip.to_string() { "MySQL" } else { "Memcached" };
+        let s = if *src == app1_ip.to_string() {
+            "AppServer1"
+        } else {
+            "AppServer2"
+        };
+        let d = if *dst == db_ip.to_string() {
+            "MySQL"
+        } else {
+            "Memcached"
+        };
         println!("  {s} -> {d:<10} {bytes:>10.0} bytes");
         if *dst == db_ip.to_string() {
             if *src == app1_ip.to_string() {

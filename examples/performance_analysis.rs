@@ -32,13 +32,35 @@ use netalytics_packet::{http, mysql};
 /// variable name means it never issues its queries.
 const PAGES: [(&str, &[&str]); 6] = [
     ("/simple.php", &["SELECT_CHEAP 1"]),
-    ("/polyglot-actors.php", &["SELECT_MED actors", "SELECT_CHEAP langs", "SELECT_CHEAP names"]),
-    ("/expensive-films.php", &["SELECT_SLOW films", "SELECT_MED inventory"]),
+    (
+        "/polyglot-actors.php",
+        &[
+            "SELECT_MED actors",
+            "SELECT_CHEAP langs",
+            "SELECT_CHEAP names",
+        ],
+    ),
+    (
+        "/expensive-films.php",
+        &["SELECT_SLOW films", "SELECT_MED inventory"],
+    ),
     (
         "/country-max-payments.php",
-        &["SELECT_HUGE payments", "SELECT_SLOW grouping", "SELECT_MED join", "SELECT_CHEAP fmt"],
+        &[
+            "SELECT_HUGE payments",
+            "SELECT_SLOW grouping",
+            "SELECT_MED join",
+            "SELECT_CHEAP fmt",
+        ],
     ),
-    ("/overdue.php", &["SELECT_SLOW overdue", "SELECT_MED rentals", "SELECT_CHEAP fmt"]),
+    (
+        "/overdue.php",
+        &[
+            "SELECT_SLOW overdue",
+            "SELECT_MED rentals",
+            "SELECT_CHEAP fmt",
+        ],
+    ),
     ("/overdue-bug.php", &[]),
 ];
 
@@ -112,7 +134,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         )),
     );
-    orch.deploy_app(web, Box::new(TierApp::new(80, Box::new(PhpBehavior { db: (db_ip, 3306) }))));
+    orch.deploy_app(
+        web,
+        Box::new(TierApp::new(
+            80,
+            Box::new(PhpBehavior { db: (db_ip, 3306) }),
+        )),
+    );
 
     // Client cycles through the pages for ~50 virtual seconds.
     let sink = sample_sink();
@@ -162,7 +190,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
-    orch.deploy_app(1, Box::new(ClientApp::new(schedule2, sink2).with_port_base(20_000)));
+    orch.deploy_app(
+        1,
+        Box::new(ClientApp::new(schedule2, sink2).with_port_base(20_000)),
+    );
 
     println!("== Figs. 13/14: per-URL response-time CDFs ==");
     println!("PARSE tcp_conn_time, http_get FROM * TO h1:80 LIMIT 50s SAMPLE *");
@@ -183,7 +214,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             per_url.entry(g).or_default().push((v, p));
         }
     }
-    println!("  {:<28} {:>10} {:>10} {:>10}", "page", "p50 (ms)", "p95 (ms)", "n");
+    println!(
+        "  {:<28} {:>10} {:>10} {:>10}",
+        "page", "p50 (ms)", "p95 (ms)", "n"
+    );
     for (url, points) in &per_url {
         let q = |target: f64| {
             points
@@ -192,14 +226,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|(v, _)| *v)
                 .unwrap_or(f64::NAN)
         };
-        println!("  {:<28} {:>10.1} {:>10.1} {:>10}", url, q(0.5), q(0.95), points.len());
-    }
-    let ok = per_url.get("/overdue.php").and_then(|p| p.first()).map(|(v, _)| *v);
-    let bug = per_url.get("/overdue-bug.php").and_then(|p| p.last()).map(|(v, _)| *v);
-    if let (Some(ok), Some(bug)) = (ok, bug) {
         println!(
-            "\n  Fig. 14: overdue-bug.php max {bug:.1} ms << overdue.php min {ok:.1} ms"
+            "  {:<28} {:>10.1} {:>10.1} {:>10}",
+            url,
+            q(0.5),
+            q(0.95),
+            points.len()
         );
+    }
+    let ok = per_url
+        .get("/overdue.php")
+        .and_then(|p| p.first())
+        .map(|(v, _)| *v);
+    let bug = per_url
+        .get("/overdue-bug.php")
+        .and_then(|p| p.last())
+        .map(|(v, _)| *v);
+    if let (Some(ok), Some(bug)) = (ok, bug) {
+        println!("\n  Fig. 14: overdue-bug.php max {bug:.1} ms << overdue.php min {ok:.1} ms");
         println!("  => the page completes *too fast*: its DB queries never ran (the bug).\n");
     }
 
@@ -219,7 +263,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
-    orch.deploy_app(5, Box::new(ClientApp::new(schedule3, sink3).with_port_base(30_000)));
+    orch.deploy_app(
+        5,
+        Box::new(ClientApp::new(schedule3, sink3).with_port_base(30_000)),
+    );
     println!("== Fig. 15: per-SQL-query response-time histogram ==");
     println!("PARSE mysql_query FROM * TO h2:3306 LIMIT 34s SAMPLE *");
     println!("PROCESS (histogram: value=rt_ms, bucket=5)\n");
@@ -229,9 +276,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimDuration::from_secs(34),
     )?;
     for t in &r15.first().tuples {
-        let lo = t.get("bucket_lo").and_then(netalytics_data::Value::as_f64).unwrap_or(0.0);
-        let n = t.get("freq").and_then(netalytics_data::Value::as_u64).unwrap_or(0);
-        println!("  {:>6.0}-{:<6.0} ms | {}", lo, lo + 5.0, "#".repeat((n as usize).min(70)));
+        let lo = t
+            .get("bucket_lo")
+            .and_then(netalytics_data::Value::as_f64)
+            .unwrap_or(0.0);
+        let n = t
+            .get("freq")
+            .and_then(netalytics_data::Value::as_u64)
+            .unwrap_or(0);
+        println!(
+            "  {:>6.0}-{:<6.0} ms | {}",
+            lo,
+            lo + 5.0,
+            "#".repeat((n as usize).min(70))
+        );
     }
 
     // ---- §7.2 overhead comparison (text) ----

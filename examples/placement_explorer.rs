@@ -113,7 +113,10 @@ fn main() {
     }
 
     println!("\n== cost ==");
-    println!("  extra bandwidth        : {:.4}%", cost.extra_bandwidth_pct());
+    println!(
+        "  extra bandwidth        : {:.4}%",
+        cost.extra_bandwidth_pct()
+    );
     println!(
         "  weighted extra bandwidth: {:.4}%",
         cost.weighted_extra_bandwidth_pct()

@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use netalytics::{AggregatorApp, MonitorApp};
+use netalytics::{shared_executor, AggregatorApp, MonitorApp};
 use netalytics_apps::{
     generate_trace, sample_sink, ClientApp, Conversation, Endpoint, KvStore, Plan, ProxyBehavior,
     ScalerConfig, StaticHttpBehavior, TierApp, TierBehavior, TraceSpec, UpdaterBolt,
@@ -27,7 +27,7 @@ use netalytics_netsim::{Engine, LinkSpec, Network, SimTime};
 use netalytics_packet::http;
 use netalytics_sdn::{FlowMatch, FlowRule};
 use netalytics_stream::bolts::{KeyExtractBolt, RankBolt, RollingCountBolt};
-use netalytics_stream::{Grouping, InlineExecutor, SourceRef, Topology};
+use netalytics_stream::{ExecutorMode, Grouping, InlineExecutor, SourceRef, Topology};
 
 fn part1_trace_topk() {
     println!("== Fig. 16: content popularity over time (synthetic trace) ==\n");
@@ -121,8 +121,7 @@ fn part2_autoscale() {
     // Hosts: clients 0,1; proxy 2; web servers 4 (active), 5, 6 (spares);
     // monitor 3; aggregator 7.
     let (c1, c2, proxy, mon, s1, s2, s3, agg) = (0u32, 1, 2, 3, 4, 5, 6, 7);
-    let ips: Vec<std::net::Ipv4Addr> =
-        (0..8).map(|h| engine.network().host_ip(h)).collect();
+    let ips: Vec<std::net::Ipv4Addr> = (0..8).map(|h| engine.network().host_ip(h)).collect();
     let net_ip = |h: u32| ips[h as usize];
     for s in [s1, s2, s3] {
         engine.set_app(
@@ -175,7 +174,10 @@ fn part2_autoscale() {
             )
         })
         .collect();
-    engine.set_app(c2, Box::new(ClientApp::new(hot, sink2).with_port_base(28_000)));
+    engine.set_app(
+        c2,
+        Box::new(ClientApp::new(hot, sink2).with_port_base(28_000)),
+    );
 
     // NetAlytics: mirror proxy-bound HTTP at the clients' ToR (edge 0
     // covers both clients) and at the proxy's ToR; one monitor suffices
@@ -214,12 +216,20 @@ fn part2_autoscale() {
         ))
     });
     b.wire(SourceRef::Spout, parse, Grouping::Shuffle);
-    b.wire(SourceRef::Bolt(parse), count, Grouping::Fields(vec!["key".into()]));
-    b.wire(SourceRef::Bolt(count), local, Grouping::Fields(vec!["key".into()]));
+    b.wire(
+        SourceRef::Bolt(parse),
+        count,
+        Grouping::Fields(vec!["key".into()]),
+    );
+    b.wire(
+        SourceRef::Bolt(count),
+        local,
+        Grouping::Fields(vec!["key".into()]),
+    );
     b.wire(SourceRef::Bolt(local), global, Grouping::Global);
     b.wire(SourceRef::Bolt(global), updater, Grouping::Global);
     let topo = b.build().expect("valid topology");
-    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+    let executor = shared_executor(&topo, ExecutorMode::Inline);
 
     let monitor = Monitor::new(MonitorConfig {
         parsers: vec!["http_get".into()],
@@ -230,14 +240,23 @@ fn part2_autoscale() {
     engine.set_app(mon, Box::new(MonitorApp::new(monitor, net_ip(agg), None)));
     engine.set_app(
         agg,
-        Box::new(AggregatorApp::new(executor, vec![net_ip(mon)], 100_000, 10_000)),
+        Box::new(AggregatorApp::new(
+            executor,
+            vec![net_ip(mon)],
+            100_000,
+            10_000,
+        )),
     );
 
     engine.run_until(SimTime::from_nanos(30_000_000_000));
 
     // Fig. 17: requests per server per second.
     let log = proxy_log.borrow();
-    let names = [(net_ip(s1), "server1"), (net_ip(s2), "server2"), (net_ip(s3), "server3")];
+    let names = [
+        (net_ip(s1), "server1"),
+        (net_ip(s2), "server2"),
+        (net_ip(s3), "server3"),
+    ];
     println!("per-server forwarded requests per second:");
     println!("  t(s)   server1  server2  server3");
     for sec in 0..30u64 {

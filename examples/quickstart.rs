@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\n== aggregation ==");
     println!("  tuples in        : {}", report.aggregator.tuples_in);
-    println!("  tuples processed : {}", report.aggregator.tuples_processed);
+    println!(
+        "  tuples processed : {}",
+        report.aggregator.tuples_processed
+    );
 
     let samples = sink.borrow();
     let avg: f64 = samples.iter().map(|s| s.rt_ms()).sum::<f64>() / samples.len() as f64;

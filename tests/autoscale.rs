@@ -2,20 +2,17 @@
 //! traffic drives the updater bolt, which grows the proxy's backend pool
 //! through the KV store when a hotspot appears.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use netalytics::{AggregatorApp, MonitorApp};
+use netalytics::{shared_executor, AggregatorApp, MonitorApp};
 use netalytics_apps::{
-    sample_sink, ClientApp, Conversation, KvStore, ProxyBehavior, ScalerConfig,
-    StaticHttpBehavior, TierApp, UpdaterBolt,
+    sample_sink, ClientApp, Conversation, KvStore, ProxyBehavior, ScalerConfig, StaticHttpBehavior,
+    TierApp, UpdaterBolt,
 };
 use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
 use netalytics_netsim::{Engine, LinkSpec, Network, SimTime};
 use netalytics_packet::http;
 use netalytics_sdn::{FlowMatch, FlowRule};
 use netalytics_stream::bolts::{KeyExtractBolt, RankBolt, RollingCountBolt};
-use netalytics_stream::{Grouping, InlineExecutor, SourceRef, Topology};
+use netalytics_stream::{ExecutorMode, Grouping, SourceRef, Topology};
 
 #[test]
 fn hotspot_triggers_replication_and_load_spreads() {
@@ -35,10 +32,7 @@ fn hotspot_triggers_replication_and_load_spreads() {
     let pool = ProxyBehavior::pool_of(&[(ips[s1 as usize], 80)]);
     engine.set_app(
         proxy,
-        Box::new(TierApp::new(
-            80,
-            Box::new(ProxyBehavior::new(pool.clone())),
-        )),
+        Box::new(TierApp::new(80, Box::new(ProxyBehavior::new(pool.clone())))),
     );
     // Hot content from t=2s: 10 URLs at ~200 req/s.
     let schedule: Vec<(SimTime, Conversation)> = (0..1_600u64)
@@ -87,7 +81,11 @@ fn hotspot_triggers_replication_and_load_spreads() {
         ))
     });
     b.wire(SourceRef::Spout, parse, Grouping::Shuffle);
-    b.wire(SourceRef::Bolt(parse), count, Grouping::Fields(vec!["key".into()]));
+    b.wire(
+        SourceRef::Bolt(parse),
+        count,
+        Grouping::Fields(vec!["key".into()]),
+    );
     b.wire(SourceRef::Bolt(count), rank, Grouping::Global);
     b.wire(SourceRef::Bolt(rank), updater, Grouping::Global);
     let topo = b.build().unwrap();
@@ -98,11 +96,14 @@ fn hotspot_triggers_replication_and_load_spreads() {
         batch_size: 32,
     })
     .unwrap();
-    engine.set_app(mon, Box::new(MonitorApp::new(monitor, ips[agg as usize], None)));
+    engine.set_app(
+        mon,
+        Box::new(MonitorApp::new(monitor, ips[agg as usize], None)),
+    );
     engine.set_app(
         agg,
         Box::new(AggregatorApp::new(
-            Rc::new(RefCell::new(InlineExecutor::new(&topo))),
+            shared_executor(&topo, ExecutorMode::Inline),
             vec![ips[mon as usize]],
             100_000,
             10_000,
@@ -116,7 +117,10 @@ fn hotspot_triggers_replication_and_load_spreads() {
     // After the hotspot ramps: the updater must have added the spare.
     engine.run_until(SimTime::from_nanos(8_000_000_000));
     assert_eq!(pool.lock().len(), 2, "replica added by the top-k loop");
-    assert!(!kv.keys_with_prefix("topk:").is_empty(), "ranking persisted");
+    assert!(
+        !kv.keys_with_prefix("topk:").is_empty(),
+        "ranking persisted"
+    );
 
     // Both servers now serve traffic (round robin over the grown pool).
     let s1_served = {

@@ -2,15 +2,12 @@
 //! analytics layer pushes back until monitors shed load, and recovery
 //! restores the sampling rate.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use netalytics::{AggregatorApp, MonitorApp};
+use netalytics::{shared_executor, AggregatorApp, MonitorApp};
 use netalytics_monitor::{Monitor, MonitorConfig, SampleSpec};
 use netalytics_netsim::{App, Ctx, Engine, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_packet::{Packet, TcpFlags};
 use netalytics_sdn::{FlowMatch, FlowRule};
-use netalytics_stream::{topologies, InlineExecutor, ProcessorSpec};
+use netalytics_stream::{topologies, ExecutorMode, ProcessorSpec};
 
 /// Sends a burst of `rate` conns/tick for `bursts` ticks, then goes quiet.
 struct BurstyGen {
@@ -28,7 +25,16 @@ impl App for BurstyGen {
     fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
         for i in 0..self.rate {
             let port = 1000u16.wrapping_add((self.sent as u16).wrapping_mul(self.rate) + i);
-            ctx.send(Packet::tcp(ctx.ip(), port, self.dst, 80, TcpFlags::SYN, 0, 0, b""));
+            ctx.send(Packet::tcp(
+                ctx.ip(),
+                port,
+                self.dst,
+                80,
+                TcpFlags::SYN,
+                0,
+                0,
+                b"",
+            ));
         }
         self.sent += 1;
         if self.sent < self.bursts {
@@ -54,7 +60,7 @@ fn overload_backpressure_adapts_sampling_and_recovers() {
     })
     .unwrap();
     let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();
-    let executor = Rc::new(RefCell::new(InlineExecutor::new(&topo)));
+    let executor = shared_executor(&topo, ExecutorMode::Inline);
     // Deliberately tiny aggregation buffer with a slow drain.
     let agg = AggregatorApp::new(executor, vec![mon_ip], 50, 5);
     let agg_handle = agg.handle();

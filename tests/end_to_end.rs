@@ -27,7 +27,10 @@ fn web_setup(urls: &[&str], requests: u64) -> (Orchestrator, netalytics_apps::Sa
                 SimTime::from_nanos(i * 4_000_000),
                 Conversation {
                     dst: (web_ip, 80),
-                    requests: vec![http::build_get(urls[(i % urls.len() as u64) as usize], "web")],
+                    requests: vec![http::build_get(
+                        urls[(i % urls.len() as u64) as usize],
+                        "web",
+                    )],
                     tag: urls[(i % urls.len() as u64) as usize].to_string(),
                 },
             )
@@ -200,10 +203,6 @@ fn concurrent_queries_are_isolated() {
     assert_eq!(groups.len(), 1);
     assert!(*groups.values().next().unwrap() > 0.0);
     // Neither query's tuples leaked into the other's results.
-    assert!(r1
-        .first()
-        .tuples
-        .iter()
-        .all(|t| t.source == "rank"));
+    assert!(r1.first().tuples.iter().all(|t| t.source == "rank"));
     assert!(r2.first().tuples.iter().all(|t| t.source == "agg"));
 }

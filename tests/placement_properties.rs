@@ -2,8 +2,9 @@
 //! across random workloads and seeds.
 
 use netalytics_placement::{
-    generate_workload, place_analytics, place_monitors, placement_cost, run_once, AnalyticsStrategy,
-    DataCenter, MonitorStrategy, PlacementParams, SimConfig, Strategy, WorkloadSpec,
+    generate_workload, place_analytics, place_monitors, placement_cost, run_once,
+    AnalyticsStrategy, DataCenter, MonitorStrategy, PlacementParams, SimConfig, Strategy,
+    WorkloadSpec,
 };
 use proptest::prelude::*;
 

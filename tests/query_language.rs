@@ -66,7 +66,10 @@ fn paper_queries_drive_a_flow_table() {
         3306,
         IpProto::Tcp,
     );
-    assert!(t2.lookup(&to_h2, 64).is_some(), "wildcard FROM matches anyone");
+    assert!(
+        t2.lookup(&to_h2, 64).is_some(),
+        "wildcard FROM matches anyone"
+    );
     let wrong_port = FlowKey::new(
         Ipv4Addr::new(172, 16, 0, 1),
         999,

@@ -8,9 +8,7 @@ use netalytics_data::Value;
 use netalytics_monitor::{Pipeline, PipelineConfig, SampleSpec};
 use netalytics_packet::{http, Packet, TcpFlags};
 use netalytics_queue::{QueueCluster, QueueConfig};
-use netalytics_stream::{
-    topologies, ProcessorSpec, QueueSpout, ThreadedConfig, ThreadedExecutor,
-};
+use netalytics_stream::{topologies, ProcessorSpec, QueueSpout, ThreadedConfig, ThreadedExecutor};
 
 #[test]
 fn pipeline_to_queue_to_executor_counts_are_exact() {

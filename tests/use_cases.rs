@@ -24,27 +24,46 @@ fn multi_tier_misconfiguration_is_diagnosable() {
         orch.host_ip(db),
         orch.host_ip(cache),
     );
-    orch.deploy_app(db, Box::new(TierApp::new(3306, Box::new(MysqlBehavior::new(30.0, 1)))));
+    orch.deploy_app(
+        db,
+        Box::new(TierApp::new(3306, Box::new(MysqlBehavior::new(30.0, 1)))),
+    );
     orch.deploy_app(
         cache,
-        Box::new(TierApp::new(11211, Box::new(MemcachedBehavior::new(0.5, 2)))),
+        Box::new(TierApp::new(
+            11211,
+            Box::new(MemcachedBehavior::new(0.5, 2)),
+        )),
     );
     orch.deploy_app(
         app1,
         Box::new(TierApp::new(
             80,
-            Box::new(AppServerBehavior::new((db_ip, 3306), (cache_ip, 11211), 0.05, 3)),
+            Box::new(AppServerBehavior::new(
+                (db_ip, 3306),
+                (cache_ip, 11211),
+                0.05,
+                3,
+            )),
         )),
     );
     orch.deploy_app(
         app2,
         Box::new(TierApp::new(
             80,
-            Box::new(AppServerBehavior::new((db_ip, 3306), (cache_ip, 11211), 0.8, 4)),
+            Box::new(AppServerBehavior::new(
+                (db_ip, 3306),
+                (cache_ip, 11211),
+                0.8,
+                4,
+            )),
         )),
     );
     let pool = ProxyBehavior::pool_of(&[(app1_ip, 80), (app2_ip, 80)]);
-    orch.deploy_app(proxy, Box::new(TierApp::new(80, Box::new(ProxyBehavior::new(pool)))));
+    orch.deploy_app(
+        proxy,
+        Box::new(TierApp::new(80, Box::new(ProxyBehavior::new(pool)))),
+    );
     let sink = sample_sink();
     let proxy_ip = orch.host_ip(proxy);
     let schedule = (0..600u64)
@@ -78,7 +97,10 @@ fn multi_tier_misconfiguration_is_diagnosable() {
     // Paper Fig. 9: backend times are similar from both app servers.
     let db_t = tiers[&db_ip.to_string()];
     let cache_t = tiers[&cache_ip.to_string()];
-    assert!(db_t > 10.0 * cache_t, "db ({db_t:.1}) >> cache ({cache_t:.2})");
+    assert!(
+        db_t > 10.0 * cache_t,
+        "db ({db_t:.1}) >> cache ({cache_t:.2})"
+    );
 
     // Fig. 11 shape: app1 pushes much more to MySQL than app2.
     let report2 = orch
@@ -164,11 +186,18 @@ fn buggy_page_and_per_query_latency_are_visible() {
             ),
         )),
     );
-    orch.deploy_app(web, Box::new(TierApp::new(80, Box::new(Php { db: (db_ip, 3306) }))));
+    orch.deploy_app(
+        web,
+        Box::new(TierApp::new(80, Box::new(Php { db: (db_ip, 3306) }))),
+    );
     let sink = sample_sink();
     let schedule = (0..400u64)
         .map(|i| {
-            let url = if i % 2 == 0 { "/overdue.php" } else { "/overdue-bug.php" };
+            let url = if i % 2 == 0 {
+                "/overdue.php"
+            } else {
+                "/overdue-bug.php"
+            };
             (
                 SimTime::from_nanos(i * 60_000_000),
                 Conversation {
@@ -211,7 +240,8 @@ fn buggy_page_and_per_query_latency_are_visible() {
         .iter()
         .filter_map(|t| {
             Some((
-                t.get("bucket_lo").and_then(netalytics_data::Value::as_f64)?,
+                t.get("bucket_lo")
+                    .and_then(netalytics_data::Value::as_f64)?,
                 t.get("freq").and_then(netalytics_data::Value::as_u64)?,
             ))
         })
