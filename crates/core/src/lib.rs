@@ -54,8 +54,8 @@ pub mod orchestrator;
 pub mod results;
 
 pub use nfv::{
-    shared_executor, AggregatorApp, AggregatorHandle, AggregatorShared, MonitorApp, MonitorHandle,
-    MonitorShared, SharedExecutor, BATCH_PORT, FEEDBACK_PORT,
+    shared_executor, shared_executor_with, AggregatorApp, AggregatorHandle, AggregatorShared,
+    MonitorApp, MonitorHandle, MonitorShared, SharedExecutor, BATCH_PORT, FEEDBACK_PORT,
 };
 pub use orchestrator::{Orchestrator, OrchestratorError, QueryReport, RunningQuery};
 pub use results::ResultSet;

@@ -6,12 +6,14 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_monitor::{FeedbackSignal, Monitor, MonitorStats};
 use netalytics_netsim::{App, Ctx, SimDuration};
 use netalytics_packet::Packet;
-use netalytics_stream::{build_executor, Executor, ExecutorMode, Topology};
+use netalytics_stream::{build_executor_with, Executor, ExecutorMode, Topology};
+use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
 
 /// UDP port monitors listen on for aggregator feedback.
 pub const FEEDBACK_PORT: u16 = 9990;
@@ -41,6 +43,8 @@ pub struct MonitorApp {
     /// Stop after observing this many packets (LIMIT ...p).
     packet_limit: Option<u64>,
     shared: MonitorHandle,
+    /// Registry + instance label for self-telemetry export at flush.
+    telemetry: Option<(Arc<MetricsRegistry>, String)>,
 }
 
 impl std::fmt::Debug for MonitorApp {
@@ -65,7 +69,21 @@ impl MonitorApp {
             batch_interval: SimDuration::from_millis(10),
             packet_limit,
             shared,
+            telemetry: None,
         }
+    }
+
+    /// Builder: exports this monitor's counters into `metrics` (as
+    /// `monitor.*{monitor=name}` gauges) on every batch flush. The
+    /// export happens at scrape points only, so instrumenting a
+    /// deterministic simulation cannot perturb it.
+    pub fn with_telemetry(
+        mut self,
+        metrics: Arc<MetricsRegistry>,
+        name: impl Into<String>,
+    ) -> Self {
+        self.telemetry = Some((metrics, name.into()));
+        self
     }
 
     /// Handle for the orchestrator to observe/stop this monitor.
@@ -87,6 +105,9 @@ impl MonitorApp {
         let mut shared = self.shared.borrow_mut();
         shared.stats = self.monitor.stats();
         shared.sample_rate = self.monitor.sample_rate();
+        if let Some((metrics, name)) = &self.telemetry {
+            shared.stats.export(metrics, name);
+        }
     }
 }
 
@@ -161,7 +182,43 @@ pub type SharedExecutor = Rc<RefCell<Box<dyn Executor>>>;
 /// Instantiates `topology` on the engine picked by `mode` and wraps it
 /// for sharing with an [`AggregatorApp`].
 pub fn shared_executor(topology: &Topology, mode: ExecutorMode) -> SharedExecutor {
-    Rc::new(RefCell::new(build_executor(topology, mode)))
+    shared_executor_with(topology, mode, None)
+}
+
+/// Like [`shared_executor`], registering the executor's `stream.*`
+/// counters and per-bolt latency histograms in `metrics` when given.
+pub fn shared_executor_with(
+    topology: &Topology,
+    mode: ExecutorMode,
+    metrics: Option<&MetricsRegistry>,
+) -> SharedExecutor {
+    Rc::new(RefCell::new(build_executor_with(topology, mode, metrics)))
+}
+
+/// Telemetry instruments of one [`AggregatorApp`]. The aggregator plays
+/// the distributed queue's role on the emulated plane, so its series
+/// reuse the `queue.*` names (labeled `topic="aggregator"`) and it owns
+/// the plane's `e2e.tuple_latency_ns` histogram, recorded against
+/// virtual time when tuples leave the buffer for the executors.
+struct AggTelemetry {
+    depth: Arc<Gauge>,
+    dropped: Arc<Gauge>,
+    tuples_in: Arc<Gauge>,
+    overload_signals: Arc<Gauge>,
+    e2e_latency: Arc<Histogram>,
+}
+
+impl AggTelemetry {
+    fn register(metrics: &MetricsRegistry) -> Self {
+        let labels: &[(&str, &str)] = &[("topic", "aggregator")];
+        AggTelemetry {
+            depth: metrics.gauge("queue.depth", labels),
+            dropped: metrics.gauge("queue.dropped", labels),
+            tuples_in: metrics.gauge("queue.tuples_in", labels),
+            overload_signals: metrics.gauge("queue.overload_signals", labels),
+            e2e_latency: metrics.histogram("e2e.tuple_latency_ns", &[]),
+        }
+    }
 }
 
 /// The aggregation point: buffers tuple batches from monitors (the
@@ -177,6 +234,7 @@ pub struct AggregatorApp {
     monitors: Vec<Ipv4Addr>,
     overloaded: bool,
     shared: AggregatorHandle,
+    telemetry: Option<AggTelemetry>,
 }
 
 impl std::fmt::Debug for AggregatorApp {
@@ -216,7 +274,15 @@ impl AggregatorApp {
             monitors,
             overloaded: false,
             shared: Rc::new(RefCell::new(AggregatorShared::default())),
+            telemetry: None,
         }
+    }
+
+    /// Builder: publishes the buffer's queue-layer metrics and the
+    /// virtual-time `e2e.tuple_latency_ns` histogram into `metrics`.
+    pub fn with_telemetry(mut self, metrics: &MetricsRegistry) -> Self {
+        self.telemetry = Some(AggTelemetry::register(metrics));
+        self
     }
 
     /// Handle for the orchestrator to observe this aggregator.
@@ -271,6 +337,16 @@ impl App for AggregatorApp {
             // than per-tuple pushes: the batch is cloned only for the
             // extra `PROCESS` entries.
             let slab: TupleBatch = self.buffer.drain(..take).collect();
+            if let Some(tel) = &self.telemetry {
+                // Capture-to-analytics latency on the virtual clock:
+                // tuples carry their monitor-side capture time in ts_ns.
+                let now = ctx.now().as_nanos();
+                for t in slab.tuples.iter() {
+                    if t.ts_ns > 0 && t.ts_ns <= now {
+                        tel.e2e_latency.record(now - t.ts_ns);
+                    }
+                }
+            }
             if let Some((last, rest)) = self.executors.split_last() {
                 for exec in rest {
                     exec.borrow_mut().offer(slab.clone());
@@ -282,6 +358,13 @@ impl App for AggregatorApp {
             exec.borrow_mut().tick(ctx.now().as_nanos());
         }
         self.shared.borrow_mut().tuples_processed += take as u64;
+        if let Some(tel) = &self.telemetry {
+            let shared = self.shared.borrow();
+            tel.depth.set(self.buffer.len() as i64);
+            tel.dropped.set(shared.dropped as i64);
+            tel.tuples_in.set(shared.tuples_in as i64);
+            tel.overload_signals.set(shared.overload_signals as i64);
+        }
         if self.overloaded {
             if self.buffer.len() <= self.capacity * 5 / 10 {
                 // Low watermark: allow recovery.

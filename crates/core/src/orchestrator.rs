@@ -8,15 +8,18 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use netalytics_monitor::{Monitor, MonitorConfig};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
 use netalytics_stream::{topologies, ExecutorMode};
+use netalytics_telemetry::{MetricsRegistry, RegistrySnapshot};
 
 use crate::nfv::{
-    shared_executor, AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle, SharedExecutor,
+    shared_executor_with, AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle,
+    SharedExecutor,
 };
 use crate::results::ResultSet;
 
@@ -118,6 +121,9 @@ pub struct Orchestrator {
     next_cookie: u64,
     install_mode: InstallMode,
     executor_mode: ExecutorMode,
+    /// Root self-telemetry registry: every component the orchestrator
+    /// deploys (monitors, aggregators, executors) publishes here.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -144,7 +150,32 @@ impl Orchestrator {
             next_cookie: 1,
             install_mode: InstallMode::Proactive,
             executor_mode: ExecutorMode::Inline,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The root metrics registry all deployed components publish into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Scrapes the layers that export on demand (the netsim engine's
+    /// fabric counters) and returns a point-in-time snapshot of every
+    /// metric in the registry — monitor, queue (aggregator), stream and
+    /// netsim series plus the end-to-end tuple latency histogram.
+    pub fn telemetry_report(&self) -> RegistrySnapshot {
+        let stats = self.engine.stats();
+        let pairs: [(&str, u64); 5] = [
+            ("netsim.delivered", stats.delivered),
+            ("netsim.dropped", stats.dropped),
+            ("netsim.mirrored", stats.mirrored),
+            ("netsim.events", stats.events),
+            ("netsim.packet_ins", stats.packet_ins),
+        ];
+        for (name, v) in pairs {
+            self.metrics.gauge(name, &[]).set(v as i64);
+        }
+        self.metrics.snapshot()
     }
 
     /// Selects how future queries install their rules: proactive push
@@ -284,7 +315,7 @@ impl Orchestrator {
             })?;
             executors.push((
                 spec.name.clone(),
-                shared_executor(&topo, self.executor_mode),
+                shared_executor_with(&topo, self.executor_mode, Some(&self.metrics)),
             ));
         }
 
@@ -304,7 +335,8 @@ impl Orchestrator {
                 batch_size: 64,
             })
             .expect("parsers validated at compile time");
-            let app = MonitorApp::new(monitor, aggregator_ip, packet_limit);
+            let app = MonitorApp::new(monitor, aggregator_ip, packet_limit)
+                .with_telemetry(self.metrics.clone(), format!("host{host}"));
             monitor_handles.push(app.handle());
             monitor_ips.push(self.host_ip(host));
             self.engine.set_app(host, Box::new(app));
@@ -343,7 +375,8 @@ impl Orchestrator {
             monitor_ips,
             100_000,
             10_000,
-        );
+        )
+        .with_telemetry(&self.metrics);
         let aggregator_handle = agg.handle();
         self.engine.set_app(aggregator_host, Box::new(agg));
 
@@ -548,6 +581,34 @@ mod reactive_tests {
             report.monitor_stats[0].packets_seen > 0,
             "mirroring active after the pull"
         );
+    }
+
+    #[test]
+    fn telemetry_report_covers_all_four_layers() {
+        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        deploy_web(&mut orch);
+        orch.run_query(
+            "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+             PROCESS (group-sum: group=url, value=t_ns)",
+            SimDuration::from_secs(1),
+        )
+        .expect("query");
+        let snap = orch.telemetry_report();
+        let names = snap.names();
+        for prefix in ["monitor.", "queue.", "stream.", "netsim."] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "snapshot must contain {prefix}* series, got {names:?}"
+            );
+        }
+        assert!(snap.counter_total("stream.processed") > 0, "tuples flowed");
+        let e2e = snap.histogram_merged("e2e.tuple_latency_ns");
+        assert!(e2e.count() > 0, "e2e latency populated");
+        assert!(e2e.p50() > 0 && e2e.p50() <= e2e.p99());
+        // Renderers must carry the same series.
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("e2e_tuple_latency_ns_count"));
+        assert!(prom.contains("netsim_delivered"));
     }
 
     #[test]

@@ -58,6 +58,30 @@ impl MonitorStats {
             Some(self.bytes_in as f64 / self.bytes_out as f64)
         }
     }
+
+    /// Publishes this snapshot as `monitor.*` gauges labeled
+    /// `{monitor=name}`. The inline monitor runs on the deterministic
+    /// plane where the per-event cost of live instruments would distort
+    /// the simulation, so stats stay a plain struct and are exported on
+    /// scrape instead.
+    pub fn export(&self, metrics: &netalytics_telemetry::MetricsRegistry, name: &str) {
+        let l: &[(&str, &str)] = &[("monitor", name)];
+        metrics
+            .gauge("monitor.packets_seen", l)
+            .set(self.packets_seen as i64);
+        metrics
+            .gauge("monitor.packets_sampled", l)
+            .set(self.packets_sampled as i64);
+        metrics
+            .gauge("monitor.bytes_in", l)
+            .set(self.bytes_in as i64);
+        metrics
+            .gauge("monitor.tuples_out", l)
+            .set(self.tuples_out as i64);
+        metrics
+            .gauge("monitor.bytes_out", l)
+            .set(self.bytes_out as i64);
+    }
 }
 
 /// Error constructing a monitor.

@@ -12,13 +12,14 @@
 //!   load-shedding of §5.1);
 //! * the **output interface** batches tuples and hands them to a sink.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use netalytics_data::{BatchSink, DataTuple, TupleBatch};
 use netalytics_packet::Packet;
+use netalytics_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::monitor::MonitorError;
 use crate::parser::make_parser;
@@ -44,6 +45,10 @@ pub struct PipelineConfig {
     pub parser_depth: usize,
     /// Tuples per output batch.
     pub batch_size: usize,
+    /// Optional metrics registry: when set, pipeline counters register as
+    /// `monitor.*` series and the workers additionally record per-parser
+    /// queue depth, output batch sizes, and (sampled) parse latency.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for PipelineConfig {
@@ -55,26 +60,60 @@ impl Default for PipelineConfig {
             input_depth: 8192,
             parser_depth: 8192,
             batch_size: 128,
+            metrics: None,
         }
     }
 }
 
-/// Shared pipeline counters.
-#[derive(Debug, Default)]
+/// Shared pipeline counters — telemetry [`Counter`]s, so a pipeline built
+/// with [`PipelineConfig::metrics`] shares these very cells with the
+/// registry's `monitor.*` series (no double accounting, no extra cost).
+/// Without a registry they are free-standing atomics.
+#[derive(Debug)]
 pub struct PipelineCounters {
-    /// Packets accepted into the input ring.
-    pub packets_in: AtomicU64,
-    /// Raw bytes across accepted packets.
-    pub bytes_in: AtomicU64,
-    /// Descriptors dropped because a parser queue was full.
-    pub queue_drops: AtomicU64,
-    /// Packets rejected by the sampler.
-    pub sampler_drops: AtomicU64,
-    /// Tuples emitted across all parsers.
-    pub tuples_out: AtomicU64,
-    /// Encoded batch bytes emitted.
-    pub bytes_out: AtomicU64,
+    /// Packets accepted into the input ring (`monitor.packets_in`).
+    pub packets_in: Arc<Counter>,
+    /// Raw bytes across accepted packets (`monitor.bytes_in`).
+    pub bytes_in: Arc<Counter>,
+    /// Descriptors dropped because a parser queue was full
+    /// (`monitor.queue_drops`).
+    pub queue_drops: Arc<Counter>,
+    /// Packets rejected by the sampler (`monitor.sampler_drops`).
+    pub sampler_drops: Arc<Counter>,
+    /// Tuples emitted across all parsers (`monitor.tuples_out`).
+    pub tuples_out: Arc<Counter>,
+    /// Encoded batch bytes emitted (`monitor.bytes_out`).
+    pub bytes_out: Arc<Counter>,
 }
+
+impl PipelineCounters {
+    fn new(metrics: Option<&MetricsRegistry>) -> Self {
+        let counter = |name: &str| match metrics {
+            Some(m) => m.counter(name, &[]),
+            None => Arc::new(Counter::new()),
+        };
+        PipelineCounters {
+            packets_in: counter("monitor.packets_in"),
+            bytes_in: counter("monitor.bytes_in"),
+            queue_drops: counter("monitor.queue_drops"),
+            sampler_drops: counter("monitor.sampler_drops"),
+            tuples_out: counter("monitor.tuples_out"),
+            bytes_out: counter("monitor.bytes_out"),
+        }
+    }
+}
+
+/// Per-worker instruments, present only when the pipeline has a registry.
+struct WorkerTelemetry {
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    parse_latency: Arc<Histogram>,
+}
+
+/// Record one parse latency for every `LATENCY_SAMPLE` packets: keeps the
+/// two `Instant::now` calls off most of the hot path so the instrumented
+/// pipeline stays within the ≤5 % overhead budget.
+const LATENCY_SAMPLE: u64 = 32;
 
 /// A running threaded monitor pipeline.
 ///
@@ -136,7 +175,7 @@ impl Pipeline {
                 return Err(MonitorError::UnknownParser(name.clone()));
             }
         }
-        let counters = Arc::new(PipelineCounters::default());
+        let counters = Arc::new(PipelineCounters::new(config.metrics.as_deref()));
         let stop = Arc::new(AtomicBool::new(false));
         let (in_tx, in_rx) = bounded::<Packet>(config.input_depth);
         let (out_tx, out_rx) = bounded::<TupleBatch>(config.input_depth);
@@ -157,6 +196,15 @@ impl Pipeline {
                 let sink = sink.clone();
                 let counters = counters.clone();
                 let batch_size = config.batch_size.max(1);
+                let telemetry = config.metrics.as_deref().map(|m| {
+                    let worker = w.to_string();
+                    let l: &[(&str, &str)] = &[("parser", name), ("worker", &worker)];
+                    WorkerTelemetry {
+                        queue_depth: m.gauge("monitor.parser_queue_depth", l),
+                        batch_size: m.histogram("monitor.batch_size", &[("parser", name)]),
+                        parse_latency: m.histogram("monitor.parse_latency_ns", &[("parser", name)]),
+                    }
+                });
                 let handle = std::thread::Builder::new()
                     .name(format!("parser-{name}-{w}"))
                     .spawn(move || {
@@ -166,12 +214,12 @@ impl Pipeline {
                                 return;
                             }
                             let batch = TupleBatch::from_tuples(std::mem::take(pending));
-                            counters
-                                .tuples_out
-                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                            counters
-                                .bytes_out
-                                .fetch_add(batch.wire_size() as u64, Ordering::Relaxed);
+                            counters.tuples_out.add(batch.len() as u64);
+                            counters.bytes_out.add(batch.wire_size() as u64);
+                            if let Some(tel) = &telemetry {
+                                tel.batch_size.record(batch.len() as u64);
+                                tel.queue_depth.set(prx.len() as i64);
+                            }
                             // If the consumer went away we just drop output.
                             match &sink {
                                 Some(s) => {
@@ -182,8 +230,18 @@ impl Pipeline {
                                 }
                             }
                         };
+                        let mut seen = 0u64;
                         while let Ok(pkt) = prx.recv() {
-                            parser.on_packet(&pkt, &mut pending);
+                            seen += 1;
+                            if telemetry.is_some() && seen.is_multiple_of(LATENCY_SAMPLE) {
+                                let t0 = std::time::Instant::now();
+                                parser.on_packet(&pkt, &mut pending);
+                                if let Some(tel) = &telemetry {
+                                    tel.parse_latency.record(t0.elapsed().as_nanos() as u64);
+                                }
+                            } else {
+                                parser.on_packet(&pkt, &mut pending);
+                            }
                             if pending.len() >= batch_size {
                                 flush_to_sink(&mut pending);
                             }
@@ -191,6 +249,9 @@ impl Pipeline {
                         // Input closed: final flush (aggregating parsers).
                         parser.flush(0, &mut pending);
                         flush_to_sink(&mut pending);
+                        if let Some(tel) = &telemetry {
+                            tel.queue_depth.set(0);
+                        }
                     })
                     .expect("spawn parser thread");
                 handles.push(handle);
@@ -212,13 +273,11 @@ impl Pipeline {
                             break;
                         }
                         if !sampler.accept(&pkt) {
-                            counters.sampler_drops.fetch_add(1, Ordering::Relaxed);
+                            counters.sampler_drops.inc();
                             continue;
                         }
-                        counters.packets_in.fetch_add(1, Ordering::Relaxed);
-                        counters
-                            .bytes_in
-                            .fetch_add(pkt.len() as u64, Ordering::Relaxed);
+                        counters.packets_in.inc();
+                        counters.bytes_in.add(pkt.len() as u64);
                         // Flow-consistent worker dispatch within each
                         // parser, round-robin fallback for non-IP frames.
                         let flow_slot = pkt.flow_key().map(|f| f.canonical_hash() as usize);
@@ -228,7 +287,7 @@ impl Pipeline {
                             match worker_txs[slot].try_send(pkt.clone()) {
                                 Ok(()) => {}
                                 Err(TrySendError::Full(_)) => {
-                                    counters.queue_drops.fetch_add(1, Ordering::Relaxed);
+                                    counters.queue_drops.inc();
                                 }
                                 Err(TrySendError::Disconnected(_)) => return,
                             }
@@ -298,12 +357,12 @@ impl Pipeline {
             let _ = h.join();
         }
         PipelineSummary {
-            packets_in: self.counters.packets_in.load(Ordering::Relaxed),
-            bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
-            queue_drops: self.counters.queue_drops.load(Ordering::Relaxed),
-            sampler_drops: self.counters.sampler_drops.load(Ordering::Relaxed),
-            tuples_out: self.counters.tuples_out.load(Ordering::Relaxed),
-            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
+            packets_in: self.counters.packets_in.get(),
+            bytes_in: self.counters.bytes_in.get(),
+            queue_drops: self.counters.queue_drops.get(),
+            sampler_drops: self.counters.sampler_drops.get(),
+            tuples_out: self.counters.tuples_out.get(),
+            bytes_out: self.counters.bytes_out.get(),
             residual_batches: drain,
         }
     }
@@ -439,6 +498,47 @@ mod tests {
             "sink mode bypasses the internal channel"
         );
         assert_eq!(sink.tuple_count(), 20, "all tuples reached the sink");
+    }
+
+    #[test]
+    fn registry_mode_reports_monitor_metrics() {
+        use netalytics_telemetry::MetricValue;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            batch_size: 4,
+            metrics: Some(Arc::clone(&metrics)),
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..64 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/m{i}"), "b"),
+            ));
+        }
+        let summary = p.shutdown(false);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter_total("monitor.packets_in"), summary.packets_in);
+        assert_eq!(snap.counter_total("monitor.tuples_out"), 64);
+        let batches = snap.histogram_merged("monitor.batch_size");
+        assert_eq!(batches.sum(), 64, "batch sizes sum to the tuple total");
+        assert!(batches.max() <= 4);
+        let lat = snap.histogram_merged("monitor.parse_latency_ns");
+        assert!(lat.count() >= 1, "latency sampled at 1/{LATENCY_SAMPLE}");
+        match snap.get(
+            "monitor.parser_queue_depth",
+            &[("parser", "http_get"), ("worker", "0")],
+        ) {
+            Some(MetricValue::Gauge(d)) => assert_eq!(*d, 0, "drained at shutdown"),
+            other => panic!("queue depth gauge missing: {other:?}"),
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
+use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
+
 use crate::log::{Message, PartitionLog, Pressure};
 
 /// Configuration of a [`QueueCluster`].
@@ -60,12 +62,41 @@ struct GroupCursor {
     next_start: usize,
 }
 
+/// Per-topic instrument handles, created once when the topic is interned
+/// (or when a registry is attached) so the hot produce/consume paths touch
+/// only atomics.
+#[derive(Debug)]
+struct TopicTelemetry {
+    depth: Arc<Gauge>,
+    dropped: Arc<Gauge>,
+    bytes_in: Arc<Gauge>,
+    produce_batch: Arc<Histogram>,
+    consume_batch: Arc<Histogram>,
+}
+
+impl TopicTelemetry {
+    fn register(metrics: &MetricsRegistry, topic: &str) -> Self {
+        let l: &[(&str, &str)] = &[("topic", topic)];
+        TopicTelemetry {
+            depth: metrics.gauge("queue.depth", l),
+            dropped: metrics.gauge("queue.dropped", l),
+            bytes_in: metrics.gauge("queue.bytes_in", l),
+            produce_batch: metrics.histogram("queue.produce_batch_size", l),
+            consume_batch: metrics.histogram("queue.consume_batch_size", l),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Registry {
     topics: Vec<Arc<Topic>>,
     topic_ids: HashMap<String, TopicId>,
     groups: Vec<String>,
     group_ids: HashMap<String, GroupId>,
+    /// Parallel to `topics`; populated only when a metrics registry is
+    /// attached.
+    telemetry: Vec<Arc<TopicTelemetry>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// The Kafka-style aggregation layer (paper §3.2).
@@ -138,7 +169,65 @@ impl QueueCluster {
                 .collect(),
         }));
         reg.topic_ids.insert(name.to_owned(), id);
+        if let Some(metrics) = reg.metrics.clone() {
+            reg.telemetry
+                .push(Arc::new(TopicTelemetry::register(&metrics, name)));
+        }
         id
+    }
+
+    /// Attaches a metrics registry: every existing and future topic gets
+    /// `queue.depth` / `queue.dropped` / `queue.bytes_in` gauges plus
+    /// produce/consume batch-size histograms under a `{topic=...}` label.
+    /// Gauges are refreshed by [`QueueCluster::scrape`]; histograms are
+    /// recorded inline on the batch paths (one atomic per batch).
+    pub fn set_registry(&self, metrics: Arc<MetricsRegistry>) {
+        let mut reg = self.registry.write();
+        reg.telemetry = reg
+            .topics
+            .iter()
+            .map(|t| Arc::new(TopicTelemetry::register(&metrics, &t.name)))
+            .collect();
+        reg.metrics = Some(metrics);
+    }
+
+    fn telemetry_of(&self, id: TopicId) -> Option<Arc<TopicTelemetry>> {
+        self.registry.read().telemetry.get(id.0).cloned()
+    }
+
+    /// Refreshes the per-topic gauges (and per-group lag gauges for every
+    /// consumer cursor seen so far) from the logs. Call from a scrape
+    /// loop; the hot paths never pay for gauge recomputation.
+    pub fn scrape(&self) {
+        let (metrics, ntopics) = {
+            let reg = self.registry.read();
+            let Some(m) = reg.metrics.clone() else {
+                return;
+            };
+            (m, reg.topics.len())
+        };
+        for i in 0..ntopics {
+            let id = TopicId(i);
+            let Some(tel) = self.telemetry_of(id) else {
+                continue;
+            };
+            tel.depth.set(self.depth_of(id) as i64);
+            tel.dropped.set(self.dropped_of(id) as i64);
+            tel.bytes_in.set(self.bytes_in_of(id) as i64);
+        }
+        let pairs: Vec<(GroupId, TopicId)> = self.cursors.lock().keys().copied().collect();
+        let named: Vec<(GroupId, TopicId, String, String)> = {
+            let reg = self.registry.read();
+            pairs
+                .into_iter()
+                .map(|(g, t)| (g, t, reg.groups[g.0].clone(), reg.topics[t.0].name.clone()))
+                .collect()
+        };
+        for (g, tid, group, topic) in named {
+            metrics
+                .gauge("queue.lag", &[("group", &group), ("topic", &topic)])
+                .set(self.lag_of(g, tid) as i64);
+        }
     }
 
     /// Interns a consumer-group name.
@@ -228,6 +317,9 @@ impl QueueCluster {
                 log.append(key, payload, ts_ns);
             }
         }
+        if let Some(tel) = self.telemetry_of(topic) {
+            tel.produce_batch.record(total as u64);
+        }
         total
     }
 
@@ -273,6 +365,12 @@ impl QueueCluster {
             appended += msgs.len();
             out.extend(msgs);
         }
+        drop(cursors);
+        if appended > 0 {
+            if let Some(tel) = self.telemetry_of(topic) {
+                tel.consume_batch.record(appended as u64);
+            }
+        }
         appended
     }
 
@@ -283,6 +381,13 @@ impl QueueCluster {
             .unwrap_or(0)
     }
 
+    /// Id-keyed [`QueueCluster::depth`]: no string hashing, for telemetry
+    /// polling loops that hold an interned [`TopicId`].
+    pub fn depth_of(&self, topic: TopicId) -> usize {
+        let t = self.topic(topic);
+        t.partitions.iter().map(|p| p.lock().len()).sum()
+    }
+
     /// Messages dropped to overflow across a topic's partitions.
     pub fn dropped(&self, topic: &str) -> u64 {
         self.lookup(topic)
@@ -290,11 +395,23 @@ impl QueueCluster {
             .unwrap_or(0)
     }
 
+    /// Id-keyed [`QueueCluster::dropped`].
+    pub fn dropped_of(&self, topic: TopicId) -> u64 {
+        let t = self.topic(topic);
+        t.partitions.iter().map(|p| p.lock().dropped()).sum()
+    }
+
     /// Total payload bytes appended to a topic.
     pub fn bytes_in(&self, topic: &str) -> u64 {
         self.lookup(topic)
             .map(|t| t.partitions.iter().map(|p| p.lock().bytes_in()).sum())
             .unwrap_or(0)
+    }
+
+    /// Id-keyed [`QueueCluster::bytes_in`].
+    pub fn bytes_in_of(&self, topic: TopicId) -> u64 {
+        let t = self.topic(topic);
+        t.partitions.iter().map(|p| p.lock().bytes_in()).sum()
     }
 
     /// The worst (most loaded) partition pressure of a topic — the signal
@@ -317,6 +434,12 @@ impl QueueCluster {
     /// How far `group` lags behind the end of `topic`, in messages.
     pub fn lag(&self, group: &str, topic: &str) -> u64 {
         let (g, tid) = (self.group_id(group), self.topic_id(topic));
+        self.lag_of(g, tid)
+    }
+
+    /// Id-keyed [`QueueCluster::lag`]: hot-path telemetry polling doesn't
+    /// re-intern the group and topic names on every scrape.
+    pub fn lag_of(&self, g: GroupId, tid: TopicId) -> u64 {
         let t = self.topic(tid);
         let cursors = self.cursors.lock();
         let cur = cursors.get(&(g, tid));
@@ -525,6 +648,42 @@ mod tests {
             4,
             "4 single-message consumes must visit all 4 partitions, saw {seen:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_covers_existing_and_future_topics() {
+        use netalytics_telemetry::MetricValue;
+        let q = small();
+        let early = q.topic_id("early"); // interned before the registry
+        let metrics = Arc::new(MetricsRegistry::new());
+        q.set_registry(Arc::clone(&metrics));
+        let late = q.topic_id("late");
+        let items: Vec<(u64, Bytes, u64)> = (0..6u64)
+            .map(|i| (i, Bytes::from_static(b"m"), i))
+            .collect();
+        q.produce_batch(early, items.clone());
+        q.produce_batch(late, items);
+        let g = q.group_id("g");
+        let mut out = Vec::new();
+        q.consume_batch(g, late, 100, &mut out);
+        q.scrape();
+        let snap = metrics.snapshot();
+        for topic in ["early", "late"] {
+            match snap.get("queue.depth", &[("topic", topic)]) {
+                // capacity 4 × 2 partitions, 6 keyed messages: all retained.
+                Some(MetricValue::Gauge(d)) => assert_eq!(*d, 6, "{topic} depth"),
+                other => panic!("queue.depth{{topic={topic}}} missing: {other:?}"),
+            }
+        }
+        let produced = snap.histogram_merged("queue.produce_batch_size");
+        assert_eq!(produced.count(), 2);
+        assert_eq!(produced.sum(), 12);
+        match snap.get("queue.lag", &[("group", "g"), ("topic", "late")]) {
+            Some(MetricValue::Gauge(lag)) => assert_eq!(*lag, 0),
+            other => panic!("queue.lag missing: {other:?}"),
+        }
+        assert_eq!(q.depth_of(early), q.depth("early"));
+        assert_eq!(q.lag_of(g, late), q.lag("g", "late"));
     }
 
     #[test]

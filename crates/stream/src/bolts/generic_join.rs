@@ -14,6 +14,16 @@ use crate::bolt::Bolt;
 /// tuple ID, emitting the union of their fields (left's fields first;
 /// duplicate keys keep both, left's instance first).
 ///
+/// Accounting of one [`JoinBolt`], named so emitted and shed counts
+/// cannot be transposed at call sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Matched pairs emitted.
+    pub emitted: u64,
+    /// Unmatched entries shed to the `max_pending` bound.
+    pub shed: u64,
+}
+
 /// Memory is bounded: each side's unmatched table holds at most
 /// `max_pending` entries (oldest shed).
 #[derive(Debug)]
@@ -49,9 +59,13 @@ impl JoinBolt {
         self
     }
 
-    /// `(matched pairs, shed unmatched entries)` so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.matched, self.shed)
+    /// Join accounting so far. (Previously a bare `(u64, u64)` whose
+    /// element order was misread even by this module's own tests.)
+    pub fn stats(&self) -> JoinStats {
+        JoinStats {
+            emitted: self.matched,
+            shed: self.shed,
+        }
     }
 
     fn merge(a: &DataTuple, b: &DataTuple) -> DataTuple {
@@ -122,7 +136,13 @@ mod tests {
             assert_eq!(t.source, "join");
             assert_eq!(t.ts_ns, 20, "merged timestamp is the later side");
         }
-        assert_eq!(b.stats(), (2, 0));
+        assert_eq!(
+            b.stats(),
+            JoinStats {
+                emitted: 2,
+                shed: 0
+            }
+        );
     }
 
     #[test]
@@ -140,7 +160,7 @@ mod tests {
         let mut out = Vec::new();
         b.execute(&DataTuple::new(1, 0).from_source("c"), &mut out);
         assert!(out.is_empty());
-        assert_eq!(b.stats(), (0, 0));
+        assert_eq!(b.stats(), JoinStats::default());
     }
 
     #[test]
@@ -151,7 +171,7 @@ mod tests {
             b.execute(&DataTuple::new(id, 0).from_source("a"), &mut out);
         }
         assert!(out.is_empty());
-        assert_eq!(b.stats().1, 15, "15 shed beyond the bound of 5");
+        assert_eq!(b.stats().shed, 15, "15 shed beyond the bound of 5");
     }
 
     #[test]

@@ -25,7 +25,7 @@ mod rank;
 pub use agg::{AggBolt, AggOp};
 pub use count::RollingCountBolt;
 pub use diff::DiffBolt;
-pub use generic_join::JoinBolt;
+pub use generic_join::{JoinBolt, JoinStats};
 pub use histogram::{CdfBolt, HistogramBolt};
 pub use join::RequestTimeJoinBolt;
 pub use key::KeyExtractBolt;

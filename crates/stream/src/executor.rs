@@ -9,6 +9,7 @@
 //! with [`ExecutorMode`] at construction time.
 
 use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_telemetry::MetricsRegistry;
 
 use crate::inline::InlineExecutor;
 use crate::threaded::{ThreadedConfig, ThreadedExecutor};
@@ -59,6 +60,10 @@ pub trait Executor {
     /// Tuples accepted via `offer` (plus any internal spout) so far.
     fn processed(&self) -> u64;
 
+    /// Tuples emitted by terminal bolts so far (including ones already
+    /// drained through [`Executor::poll_output`] or [`Executor::stop`]).
+    fn emitted(&self) -> u64;
+
     /// Tuples dropped by the [`BackpressurePolicy::Shed`] policy.
     fn shed_tuples(&self) -> u64 {
         0
@@ -103,10 +108,23 @@ pub enum ExecutorMode {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn build_executor(topology: &Topology, mode: ExecutorMode) -> Box<dyn Executor> {
+    build_executor_with(topology, mode, None)
+}
+
+/// [`build_executor`] with an optional metrics registry: the executor's
+/// processed/emitted/shed counters register as `stream.*` series, every
+/// bolt gets a `stream.execute_latency_ns{bolt=...}` histogram, and the
+/// threaded engine additionally records `e2e.tuple_latency_ns` (capture
+/// timestamp → arrival at the topology, wall clock) for offered tuples.
+pub fn build_executor_with(
+    topology: &Topology,
+    mode: ExecutorMode,
+    metrics: Option<&MetricsRegistry>,
+) -> Box<dyn Executor> {
     match mode {
-        ExecutorMode::Inline => Box::new(InlineExecutor::new(topology)),
-        ExecutorMode::Threaded(config) => {
-            Box::new(ThreadedExecutor::spawn_driven(topology, config))
-        }
+        ExecutorMode::Inline => Box::new(InlineExecutor::with_metrics(topology, metrics)),
+        ExecutorMode::Threaded(config) => Box::new(ThreadedExecutor::spawn_driven_with_metrics(
+            topology, config, metrics,
+        )),
     }
 }

@@ -2,8 +2,10 @@
 //! analytics engine).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::bolt::{Bolt, Grouping};
 use crate::executor::Executor;
@@ -43,14 +45,21 @@ pub struct InlineExecutor {
     nodes: Vec<NodeRt>,
     spout_edges: Vec<(usize, Grouping)>,
     output: Vec<DataTuple>,
-    processed: u64,
+    /// Shared with the registry's `stream.processed` when instrumented,
+    /// free-standing otherwise — either way one cell, no double counting.
+    processed: Arc<Counter>,
+    emitted: Arc<Counter>,
+    /// Parallel to `nodes`: `stream.execute_latency_ns{bolt=...}`.
+    node_latency: Vec<Option<Arc<Histogram>>>,
+    /// Rolling sample counter for latency timing (1 in [`LAT_SAMPLE`]).
+    lat_ticks: u64,
 }
 
 impl std::fmt::Debug for InlineExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InlineExecutor")
             .field("nodes", &self.nodes.len())
-            .field("processed", &self.processed)
+            .field("processed", &self.processed.get())
             .finish_non_exhaustive()
     }
 }
@@ -58,6 +67,15 @@ impl std::fmt::Debug for InlineExecutor {
 impl InlineExecutor {
     /// Instantiates every bolt of `topology`.
     pub fn new(topology: &Topology) -> Self {
+        Self::with_metrics(topology, None)
+    }
+
+    /// [`InlineExecutor::new`] with optional telemetry: tuple counters
+    /// register as `stream.processed` / `stream.emitted` and each bolt
+    /// records (sampled) execute latency. The inline engine runs on the
+    /// deterministic plane, so instruments never change scheduling — only
+    /// observation.
+    pub fn with_metrics(topology: &Topology, metrics: Option<&MetricsRegistry>) -> Self {
         let terminals = topology.terminals();
         let mut nodes: Vec<NodeRt> = topology
             .bolts
@@ -77,17 +95,31 @@ impl InlineExecutor {
                 SourceRef::Bolt(b) => nodes[b.0].out_edges.push((e.to.0, e.grouping.clone())),
             }
         }
+        let counter = |name: &str| match metrics {
+            Some(m) => m.counter(name, &[]),
+            None => Arc::new(Counter::new()),
+        };
+        let node_latency = topology
+            .bolts
+            .iter()
+            .map(|b| {
+                metrics.map(|m| m.histogram("stream.execute_latency_ns", &[("bolt", &b.name)]))
+            })
+            .collect();
         InlineExecutor {
             nodes,
             spout_edges,
             output: Vec::new(),
-            processed: 0,
+            processed: counter("stream.processed"),
+            emitted: counter("stream.emitted"),
+            node_latency,
+            lat_ticks: 0,
         }
     }
 
     /// Feeds one tuple from the spout through the whole DAG.
     pub fn push(&mut self, tuple: DataTuple) {
-        self.processed += 1;
+        self.processed.inc();
         let mut work: VecDeque<(usize, DataTuple)> = VecDeque::new();
         for (node, grouping) in &self.spout_edges.clone() {
             self.enqueue(&mut work, *node, grouping, tuple.clone());
@@ -99,7 +131,7 @@ impl InlineExecutor {
     /// twin of [`InlineExecutor::push`]. Tuples are routed in order; with
     /// a single spout edge no tuple is cloned.
     pub fn push_batch(&mut self, batch: TupleBatch) {
-        self.processed += batch.len() as u64;
+        self.processed.add(batch.len() as u64);
         let edges = self.spout_edges.clone();
         let mut work: VecDeque<(usize, DataTuple)> = VecDeque::new();
         match edges.as_slice() {
@@ -175,6 +207,7 @@ impl InlineExecutor {
         emitted: Vec<DataTuple>,
     ) {
         if self.nodes[node].terminal {
+            self.emitted.add(emitted.len() as u64);
             self.output.extend(emitted);
             return;
         }
@@ -190,7 +223,19 @@ impl InlineExecutor {
         while let Some((slot, tuple)) = work.pop_front() {
             let (node, inst) = (slot / MAX_PAR, slot % MAX_PAR);
             let mut out = Vec::new();
-            self.nodes[node].instances[inst].execute(&tuple, &mut out);
+            let timed = self.node_latency[node].is_some() && {
+                self.lat_ticks = self.lat_ticks.wrapping_add(1);
+                self.lat_ticks.is_multiple_of(LAT_SAMPLE)
+            };
+            if timed {
+                let t0 = std::time::Instant::now();
+                self.nodes[node].instances[inst].execute(&tuple, &mut out);
+                if let Some(h) = &self.node_latency[node] {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            } else {
+                self.nodes[node].instances[inst].execute(&tuple, &mut out);
+            }
             self.route_emissions(&mut work, node, out);
         }
     }
@@ -202,7 +247,12 @@ impl InlineExecutor {
 
     /// Tuples pushed so far.
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.processed.get()
+    }
+
+    /// Tuples emitted by terminal bolts so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.get()
     }
 }
 
@@ -225,13 +275,21 @@ impl Executor for InlineExecutor {
     }
 
     fn processed(&self) -> u64 {
-        self.processed
+        self.processed.get()
+    }
+
+    fn emitted(&self) -> u64 {
+        InlineExecutor::emitted(self)
     }
 }
 
 /// Encoding base for (node, instance) work slots; bounds per-bolt
 /// parallelism in the inline executor.
 const MAX_PAR: usize = 1024;
+
+/// Execute-latency sampling period: timing every call would put two
+/// `Instant::now` syscalls on each tuple execution.
+const LAT_SAMPLE: u64 = 32;
 
 #[cfg(test)]
 mod tests {

@@ -49,7 +49,9 @@ pub mod topologies;
 pub mod topology;
 
 pub use bolt::{Bolt, BoltFactory, Grouping};
-pub use executor::{build_executor, BackpressurePolicy, Executor, ExecutorMode};
+pub use executor::{
+    build_executor, build_executor_with, BackpressurePolicy, Executor, ExecutorMode,
+};
 pub use inline::InlineExecutor;
 pub use spout::{QueueSpout, Spout, VecSpout};
 pub use threaded::{ThreadedConfig, ThreadedExecutor};

@@ -9,13 +9,14 @@
 //! toward the spout and, through queue lag, the adaptive sampler of §4.2)
 //! or sheds the slab and counts the dropped tuples.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::bolt::Grouping;
@@ -70,7 +71,7 @@ pub(crate) fn wall_ns() -> u64 {
 struct BoltTx {
     tx: Sender<Msg>,
     policy: BackpressurePolicy,
-    shed: Arc<AtomicU64>,
+    shed: Arc<Counter>,
 }
 
 impl BoltTx {
@@ -86,7 +87,7 @@ impl BoltTx {
                 if let Err(TrySendError::Full(Msg::Batch(dropped))) =
                     self.tx.try_send(Msg::Batch(slab))
                 {
-                    self.shed.fetch_add(dropped.len() as u64, Ordering::Relaxed);
+                    self.shed.add(dropped.len() as u64);
                 }
             }
         }
@@ -180,8 +181,13 @@ pub struct ThreadedExecutor {
     /// Spout-edge routing table for caller-driven [`Executor::offer`].
     spout_edges: Vec<EdgeRt>,
     offer_rr: Vec<usize>,
-    spout_tuples: Arc<AtomicU64>,
-    shed: Arc<AtomicU64>,
+    spout_tuples: Arc<Counter>,
+    emitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    /// `e2e.tuple_latency_ns` — capture timestamp to topology entry,
+    /// recorded on the wall clock as tuples arrive. Present only when the
+    /// executor was built with a metrics registry.
+    e2e_latency: Option<Arc<Histogram>>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -196,26 +202,55 @@ impl ThreadedExecutor {
     /// Spawns worker threads for every bolt instance plus a spout poller
     /// and a tick timer.
     pub fn spawn(topology: &Topology, spout: Box<dyn Spout>, config: ThreadedConfig) -> Self {
-        Self::spawn_inner(topology, Some(spout), config)
+        Self::spawn_inner(topology, Some(spout), config, None)
+    }
+
+    /// [`ThreadedExecutor::spawn`] with telemetry: counters register as
+    /// `stream.*`, bolts record per-slab execute latency, and arriving
+    /// tuples with a capture timestamp feed `e2e.tuple_latency_ns`.
+    pub fn spawn_with_metrics(
+        topology: &Topology,
+        spout: Box<dyn Spout>,
+        config: ThreadedConfig,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Self {
+        Self::spawn_inner(topology, Some(spout), config, metrics)
     }
 
     /// Spawns the bolt threads and ticker only; data arrives through
     /// [`Executor::offer`] from the calling thread.
     pub fn spawn_driven(topology: &Topology, config: ThreadedConfig) -> Self {
-        Self::spawn_inner(topology, None, config)
+        Self::spawn_inner(topology, None, config, None)
+    }
+
+    /// Caller-driven spawn with telemetry, as
+    /// [`ThreadedExecutor::spawn_with_metrics`].
+    pub fn spawn_driven_with_metrics(
+        topology: &Topology,
+        config: ThreadedConfig,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Self {
+        Self::spawn_inner(topology, None, config, metrics)
     }
 
     fn spawn_inner(
         topology: &Topology,
         spout: Option<Box<dyn Spout>>,
         config: ThreadedConfig,
+        metrics: Option<&MetricsRegistry>,
     ) -> Self {
         let n = topology.bolts.len();
         let terminals = topology.terminals();
         let (output_tx, output_rx) = unbounded::<DataTuple>();
         let stop = Arc::new(AtomicBool::new(false));
-        let spout_tuples = Arc::new(AtomicU64::new(0));
-        let shed = Arc::new(AtomicU64::new(0));
+        let counter = |name: &str| match metrics {
+            Some(m) => m.counter(name, &[]),
+            None => Arc::new(Counter::new()),
+        };
+        let spout_tuples = counter("stream.processed");
+        let emitted = counter("stream.emitted");
+        let shed = counter("stream.shed");
+        let e2e_latency = metrics.map(|m| m.histogram("e2e.tuple_latency_ns", &[]));
 
         // Bounded input channel per instance. The terminal output channel
         // stays unbounded: finishing bolts must never block on emission
@@ -267,17 +302,22 @@ impl ThreadedExecutor {
         let mut node_threads: Vec<Vec<(BoltTx, JoinHandle<()>)>> = Vec::with_capacity(n);
         for (i, node) in topology.bolts.iter().enumerate() {
             let mut threads = Vec::new();
+            let latency =
+                metrics.map(|m| m.histogram("stream.execute_latency_ns", &[("bolt", &node.name)]));
             for (inst, rx) in inst_rx[i].drain(..).enumerate() {
                 let mut bolt = (node.factory)();
                 let edges: Vec<EdgeRt> = node_edges[i].iter().map(EdgeRt::clone_refs).collect();
                 let terminal = terminals[i];
                 let output_tx = output_tx.clone();
+                let latency = latency.clone();
+                let emitted = emitted.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("bolt-{}-{inst}", node.name))
                     .spawn(move || {
                         let mut rr = vec![0usize; edges.len().max(1)];
                         let dispatch = |out: Vec<DataTuple>, rr: &mut Vec<usize>| {
                             if terminal {
+                                emitted.add(out.len() as u64);
                                 for t in out {
                                     let _ = output_tx.send(t);
                                 }
@@ -288,11 +328,22 @@ impl ThreadedExecutor {
                         while let Ok(msg) = rx.recv() {
                             let mut out = Vec::new();
                             match msg {
-                                Msg::Batch(slab) => {
-                                    for t in &slab {
-                                        bolt.execute(t, &mut out);
+                                Msg::Batch(slab) => match &latency {
+                                    // One timing per slab, amortized over
+                                    // its tuples.
+                                    Some(h) => {
+                                        let t0 = std::time::Instant::now();
+                                        for t in &slab {
+                                            bolt.execute(t, &mut out);
+                                        }
+                                        h.record(t0.elapsed().as_nanos() as u64);
                                     }
-                                }
+                                    None => {
+                                        for t in &slab {
+                                            bolt.execute(t, &mut out);
+                                        }
+                                    }
+                                },
                                 Msg::Tick(now) => bolt.tick(now, &mut out),
                                 Msg::Finish(now) => {
                                     bolt.finish(now, &mut out);
@@ -313,6 +364,7 @@ impl ThreadedExecutor {
         let spout_handle = spout.map(|spout| {
             let stop = stop.clone();
             let counter = spout_tuples.clone();
+            let e2e = e2e_latency.clone();
             let edges: Vec<EdgeRt> = spout_edges.iter().map(EdgeRt::clone_refs).collect();
             let spout = Mutex::new(spout);
             std::thread::Builder::new()
@@ -326,7 +378,10 @@ impl ThreadedExecutor {
                             std::thread::sleep(config.idle_sleep);
                             continue;
                         }
-                        counter.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        counter.add(batch.len() as u64);
+                        if let Some(h) = &e2e {
+                            record_e2e(h, batch.tuples.iter());
+                        }
                         route_batch(&edges, &mut rr, batch.into_tuples());
                     }
                 })
@@ -376,7 +431,9 @@ impl ThreadedExecutor {
             spout_edges,
             offer_rr,
             spout_tuples,
+            emitted,
             shed,
+            e2e_latency,
         }
     }
 
@@ -387,12 +444,17 @@ impl ThreadedExecutor {
 
     /// Tuples accepted so far (spout polls plus [`Executor::offer`]).
     pub fn spout_tuples(&self) -> u64 {
-        self.spout_tuples.load(Ordering::Relaxed)
+        self.spout_tuples.get()
+    }
+
+    /// Tuples emitted by terminal bolts so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.get()
     }
 
     /// Tuples dropped by the [`BackpressurePolicy::Shed`] policy so far.
     pub fn shed_tuples(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Stops the spout and ticker, finishes bolts upstream-first, joins
@@ -439,13 +501,28 @@ impl ThreadedExecutor {
     }
 }
 
+/// Records capture→now latency for every tuple carrying a capture
+/// timestamp. Tuples with `ts_ns == 0` (synthetic, no capture time) and
+/// clock skew (capture after now) are skipped rather than recorded as
+/// nonsense.
+fn record_e2e<'a>(h: &Histogram, tuples: impl Iterator<Item = &'a DataTuple>) {
+    let now = wall_ns();
+    for t in tuples {
+        if t.ts_ns > 0 && t.ts_ns <= now {
+            h.record(now - t.ts_ns);
+        }
+    }
+}
+
 impl Executor for ThreadedExecutor {
     fn offer(&mut self, batch: TupleBatch) {
         if batch.is_empty() || self.node_threads.is_empty() {
             return;
         }
-        self.spout_tuples
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.spout_tuples.add(batch.len() as u64);
+        if let Some(h) = &self.e2e_latency {
+            record_e2e(h, batch.tuples.iter());
+        }
         route_batch(&self.spout_edges, &mut self.offer_rr, batch.into_tuples());
     }
 
@@ -469,6 +546,10 @@ impl Executor for ThreadedExecutor {
 
     fn processed(&self) -> u64 {
         self.spout_tuples()
+    }
+
+    fn emitted(&self) -> u64 {
+        ThreadedExecutor::emitted(self)
     }
 
     fn shed_tuples(&self) -> u64 {

@@ -1,0 +1,274 @@
+//! Log-bucketed histogram with lock-free recording.
+//!
+//! Values are `u64` (we use nanoseconds, byte counts, and batch sizes).
+//! The bucket layout is the classic HdrHistogram compromise: exact below
+//! `SUBS`, then `SUBS` linear sub-buckets per power of two, which bounds
+//! the relative quantile error at `1 / SUBS` (12.5 %) while keeping the
+//! whole table small enough to scan on every snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave. Must be a power of two.
+const SUBS: u64 = 8;
+const SUBS_SHIFT: u32 = 3; // log2(SUBS)
+
+/// Total bucket count covering the full `u64` range.
+///
+/// Values `0..SUBS` get one bucket each; every octave above contributes
+/// `SUBS` buckets. The top octave of a `u64` is octave 63, giving
+/// `SUBS + (63 - SUBS_SHIFT + 1) * SUBS` buckets overall.
+pub const BUCKETS: usize = (SUBS + (64 - SUBS_SHIFT as u64) * SUBS) as usize;
+
+/// Map a value to its bucket index.
+///
+/// Monotone in `v`, exact for `v < SUBS`, and never out of range.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUBS_SHIFT
+    let sub = (v >> (exp - SUBS_SHIFT)) & (SUBS - 1);
+    (((exp - SUBS_SHIFT) as u64 + 1) * SUBS + sub) as usize
+}
+
+/// Smallest value that maps to bucket `idx` — the inverse used when
+/// reconstructing quantiles from counts.
+#[inline]
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        return idx;
+    }
+    let octave = (idx / SUBS) - 1 + SUBS_SHIFT as u64;
+    let sub = idx % SUBS;
+    (1u64 << octave) + (sub << (octave - SUBS_SHIFT as u64))
+}
+
+/// Lock-free log-bucketed histogram.
+///
+/// `record` is wait-free (two relaxed atomic RMWs plus a CAS loop for the
+/// max); `snapshot` is a plain scan. Concurrent recorders never block each
+/// other, and a snapshot taken mid-record is merely a moment-in-time view.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while v > cur {
+            match self
+                .max
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materialise a mergeable point-in-time view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable view of a [`Histogram`]; merge snapshots from different
+/// shards (e.g. per-worker histograms) before asking for quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another snapshot into this one. Associative and commutative
+    /// up to the shared fixed bucket layout. Sums wrap on overflow, the
+    /// same semantics as the recorder's atomic `fetch_add`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate: the lower bound of the bucket holding the
+    /// `q`-th observation (`0.0 ..= 1.0`). Within one bucket of exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Don't report a bound above the true max (top bucket is wide).
+                return bucket_lower_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUBS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_inverse_of_index() {
+        for idx in 0..BUCKETS {
+            let lb = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lb), idx, "lower bound of {idx} maps back");
+        }
+    }
+
+    #[test]
+    fn extremes_are_in_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1000);
+        // 12.5% relative error bound from the bucket width.
+        let p50 = s.p50() as f64;
+        assert!((440.0..=500.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99() as f64;
+        assert!((860.0..=990.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000_000, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 64, 65, 4096, 123_456_789] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+    }
+}

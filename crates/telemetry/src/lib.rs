@@ -1,0 +1,32 @@
+//! Self-telemetry plane for the NetAlytics reproduction.
+//!
+//! NetAlytics is a performance-monitoring system, so it has to be able to
+//! monitor itself: every layer of the data plane (monitor parsers, queue
+//! topics, stream bolts, the netsim substrate) reports into one
+//! [`MetricsRegistry`] owned by the orchestrator. The registry hands out
+//! cheap, lock-free instrument handles:
+//!
+//! * [`Counter`] — a monotone `AtomicU64`; increments are a single
+//!   relaxed `fetch_add`.
+//! * [`Gauge`] — a settable `AtomicU64` for levels (queue depth, lag).
+//! * [`Histogram`] — a log-bucketed distribution (HdrHistogram-style,
+//!   8 sub-buckets per octave, ≤ 12.5 % relative error) with lock-free
+//!   recording and mergeable [`HistogramSnapshot`]s exposing
+//!   p50/p95/p99/max.
+//!
+//! Metrics are identified by a dotted `component.metric` name plus a small
+//! set of `label=value` pairs, and the whole registry renders to Prometheus
+//! text exposition ([`MetricsRegistry::render_prometheus`]) or JSON
+//! ([`MetricsRegistry::render_json`]).
+//!
+//! Registration is the cold path (a mutex-guarded map lookup); recording is
+//! the hot path (atomics only). Components keep their `Arc` handles and
+//! never touch the registry map again after startup.
+
+mod histogram;
+mod registry;
+
+pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
+};

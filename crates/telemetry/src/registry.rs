@@ -1,0 +1,414 @@
+//! Labeled metrics registry with Prometheus/JSON exposition.
+//!
+//! Names follow a `component.metric` scheme (`queue.depth`,
+//! `stream.execute_latency_ns`, `e2e.tuple_latency_ns`); labels narrow a
+//! metric to one instance (`{topic=tuples.http}`, `{bolt=count}`).
+//! Registering the same name + labels twice returns the same underlying
+//! instrument, so independent components can share a series safely.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Monotone counter. Cloned handles share the same cell.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Settable level. Signed so lags and deltas can dip below zero.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Series key: metric name plus sorted labels. BTreeMap keeps label order
+/// canonical so `{a=1,b=2}` and `{b=2,a=1}` are the same series.
+type SeriesKey = (String, BTreeMap<String, String>);
+
+/// The registry proper. Cheap to clone via `Arc<MetricsRegistry>`;
+/// instrument handles are `Arc`s that never touch the map after lookup.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<SeriesKey, Instrument>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    (
+        name.to_string(),
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create a counter for `name{labels}`.
+    ///
+    /// Panics if the series already exists with a different instrument
+    /// kind — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.series.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create a gauge for `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.series.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create a histogram for `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut map = self.series.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time view of every registered series, sorted by name
+    /// then labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.series.lock();
+        let metrics = map
+            .iter()
+            .map(|((name, labels), inst)| MetricSnapshot {
+                name: name.clone(),
+                labels: labels.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                value: match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+
+    /// Prometheus text exposition (`name{labels} value`). Dots in metric
+    /// names become underscores per Prometheus naming rules; histograms
+    /// expand to `_count`/`_sum`/`_max` plus quantile series.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Single JSON object keyed by `name{labels}`. Hand-rolled — the
+    /// workspace deliberately carries no JSON dependency.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("series", &self.series.lock().len())
+            .finish()
+    }
+}
+
+/// One series in a [`RegistrySnapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// Snapshot value of one instrument.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Sorted, immutable view of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn series_id(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", inner.join(","))
+}
+
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Look up a series by exact name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| {
+                m.name == name
+                    && m.labels.len() == labels.len()
+                    && m.labels
+                        .iter()
+                        .zip(labels.iter())
+                        .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+            })
+            .map(|m| &m.value)
+    }
+
+    /// Sum every counter whose name matches exactly, across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Merge every histogram series with this exact name into one snapshot.
+    pub fn histogram_merged(&self, name: &str) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::empty();
+        for m in self.metrics.iter().filter(|m| m.name == name) {
+            if let MetricValue::Histogram(h) = &m.value {
+                acc.merge(h);
+            }
+        }
+        acc
+    }
+
+    /// Series names with at least one sample/registration, deduplicated.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.metrics.iter().map(|m| m.name.as_str()).collect();
+        v.dedup();
+        v
+    }
+
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = m.name.replace('.', "_");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", prom_labels(&m.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", prom_labels(&m.labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        prom_labels(&m.labels, None),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        prom_labels(&m.labels, None),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_max{} {}",
+                        prom_labels(&m.labels, None),
+                        h.max()
+                    );
+                    for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {v}",
+                            prom_labels(&m.labels, Some(("quantile", q)))
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let id = json_escape(&series_id(&m.name, &m.labels));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"{id}\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"{id}\":{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"{id}\":{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.max()
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("queue.dropped", &[("topic", "t")]);
+        let b = r.counter("queue.dropped", &[("topic", "t")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let other = r.counter("queue.dropped", &[("topic", "u")]);
+        assert_eq!(other.get(), 0);
+        assert_eq!(r.snapshot().counter_total("queue.dropped"), 4);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_escaped() {
+        let r = MetricsRegistry::new();
+        r.gauge("queue.depth", &[("topic", "tuples.http")]).set(7);
+        r.counter("monitor.packets", &[]).add(10);
+        let h = r.histogram("e2e.tuple_latency_ns", &[]);
+        h.record(1000);
+        h.record(2000);
+        let text = r.render_prometheus();
+        assert!(text.contains("queue_depth{topic=\"tuples.http\"} 7"));
+        assert!(text.contains("monitor_packets 10"));
+        assert!(text.contains("e2e_tuple_latency_ns_count 2"));
+        assert!(text.contains("e2e_tuple_latency_ns{quantile=\"0.99\"}"));
+        // Sorted: e2e before monitor before queue.
+        let e = text.find("e2e_").unwrap();
+        let m = text.find("monitor_").unwrap();
+        let q = text.find("queue_").unwrap();
+        assert!(e < m && m < q);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_enough() {
+        let r = MetricsRegistry::new();
+        r.counter("a.b", &[("k", "v")]).add(2);
+        r.histogram("c.d", &[]).record(5);
+        let js = r.render_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"a.b{k=v}\":2"));
+        assert!(js.contains("\"c.d\":{\"count\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x.y", &[]);
+        r.gauge("x.y", &[]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests pinning down the histogram's bucket algebra: indexing
+//! is monotone and value-preserving within bucket bounds, merge is
+//! associative, and quantiles land within one bucket of exact.
+
+use netalytics_telemetry::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket indexing is monotone: a larger value never maps to a
+    /// smaller bucket.
+    #[test]
+    fn index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi), "{lo} vs {hi}");
+    }
+
+    /// Value-preserving within bucket bounds: every value lies at or
+    /// above its bucket's lower bound, and below the next bucket's.
+    #[test]
+    fn value_within_bucket_bounds(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(bucket_lower_bound(idx) <= v);
+        if idx + 1 < netalytics_telemetry::BUCKETS {
+            prop_assert!(v < bucket_lower_bound(idx + 1), "v={v} idx={idx}");
+        }
+    }
+
+    /// Merge is associative (and order-independent): (a ∪ b) ∪ c equals
+    /// a ∪ (b ∪ c) bucket-for-bucket.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+        zs in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals { h.record(v); }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+
+        let mut left: HistogramSnapshot = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantile estimates stay within one bucket of the exact order
+    /// statistic: the reported value is in [lower_bound(bucket(exact)),
+    /// exact] — never above the true value's bucket, never below its
+    /// bucket's floor.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..256),
+        qnum in 0u32..=100,
+    ) {
+        let q = f64::from(qnum) / 100.0;
+        let h = Histogram::new();
+        for &v in &vals { h.record(v); }
+        let s = h.snapshot();
+
+        let mut vals = vals;
+        vals.sort_unstable();
+        let rank = ((q * vals.len() as f64).ceil() as usize).max(1);
+        let exact = vals[rank - 1];
+
+        let est = s.quantile(q);
+        prop_assert!(est <= exact, "estimate {est} above exact {exact}");
+        prop_assert!(
+            est >= bucket_lower_bound(bucket_index(exact)),
+            "estimate {est} below the exact value's bucket floor (exact {exact})"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Self-telemetry: watch NetAlytics watch itself.
+//!
+//! Same scenario as `quickstart` — a web server, a client, one query —
+//! but the point here is the orchestrator's metrics registry: every
+//! layer (monitors, the aggregation queue, the stream executor, the
+//! emulated fabric) publishes into one registry, and
+//! `telemetry_report()` returns a point-in-time snapshot with the
+//! end-to-end capture-to-analytics latency histogram.
+//!
+//! Run with: `cargo run --release --example telemetry`
+
+use netalytics::Orchestrator;
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_packet::http;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut orch = Orchestrator::new(4, LinkSpec::default());
+
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(
+            80,
+            Box::new(StaticHttpBehavior::new(2.0, 7).with_body_bytes(512)),
+        )),
+    );
+    let sink = sample_sink();
+    let urls = ["/video/7", "/video/7", "/video/2", "/index"];
+    let schedule = (0..400u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 3_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get(urls[(i % 4) as usize], "web")],
+                    tag: urls[(i % 4) as usize].to_string(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sink)));
+
+    orch.run_query(
+        "PARSE http_get FROM * TO web:80 LIMIT 2s SAMPLE * \
+         PROCESS (top-k: k=3, w=10s, key=url)",
+        SimDuration::from_secs(2),
+    )?;
+
+    // The registry outlives the query: scrape it after finalize.
+    let snap = orch.telemetry_report();
+
+    println!("== Prometheus exposition (every layer, one scrape) ==");
+    print!("{}", snap.render_prometheus());
+
+    let e2e = snap.histogram_merged("e2e.tuple_latency_ns");
+    println!("\n== end-to-end tuple latency (capture -> analytics) ==");
+    println!("  samples: {}", e2e.count());
+    println!("  p50: {:.3} ms", e2e.p50() as f64 / 1e6);
+    println!("  p95: {:.3} ms", e2e.p95() as f64 / 1e6);
+    println!("  p99: {:.3} ms", e2e.p99() as f64 / 1e6);
+    println!("  max: {:.3} ms", e2e.max() as f64 / 1e6);
+
+    println!("\n== same snapshot as JSON ==");
+    println!("{}", snap.render_json());
+    Ok(())
+}

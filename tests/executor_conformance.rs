@@ -12,7 +12,10 @@ use std::time::Duration;
 
 use netalytics_data::{DataTuple, TupleBatch, Value};
 use netalytics_stream::topologies::{build, ProcessorSpec};
-use netalytics_stream::{build_executor, Executor, ExecutorMode, ThreadedConfig};
+use netalytics_stream::{
+    build_executor, build_executor_with, Executor, ExecutorMode, ThreadedConfig,
+};
+use netalytics_telemetry::MetricsRegistry;
 
 /// Both engine modes, with the threaded engine configured so the test is
 /// deterministic (no wall-clock ticks) and the bounded channels are
@@ -154,6 +157,47 @@ fn stop_drains_gracefully_and_later_calls_are_safe() {
         let _ = exec.stop(3);
         let _ = exec.processed();
         let _ = exec.shed_tuples();
+    }
+}
+
+#[test]
+fn both_modes_report_identical_counter_totals() {
+    // Same workload through both engines, each publishing into its own
+    // registry: the self-telemetry counters must agree exactly — with
+    // each other and with the trait accessors they back.
+    let mut per_mode = Vec::new();
+    for (name, mode) in modes() {
+        let topo = build(
+            &ProcessorSpec::new("group-sum")
+                .with_arg("group", "host")
+                .with_arg("value", "bytes"),
+        )
+        .unwrap();
+        let metrics = MetricsRegistry::new();
+        let mut exec = build_executor_with(&topo, mode, Some(&metrics));
+        let tuples: Vec<DataTuple> = (0..500u64)
+            .map(|i| {
+                DataTuple::new(i, 0)
+                    .with("host", if i % 3 == 0 { "a" } else { "b" })
+                    .with("bytes", 2.0)
+            })
+            .collect();
+        offer_in_batches(exec.as_mut(), tuples, 16);
+        let _ = exec.stop(1);
+        let snap = metrics.snapshot();
+        let processed = snap.counter_total("stream.processed");
+        let emitted = snap.counter_total("stream.emitted");
+        let shed = snap.counter_total("stream.shed");
+        assert_eq!(processed, exec.processed(), "[{name}] accessor == registry");
+        assert_eq!(emitted, exec.emitted(), "[{name}] accessor == registry");
+        assert_eq!(shed, exec.shed_tuples(), "[{name}] accessor == registry");
+        per_mode.push((name, processed, emitted, shed));
+    }
+    let (_, p0, e0, s0) = per_mode[0];
+    for &(name, p, e, s) in &per_mode[1..] {
+        assert_eq!(p, p0, "[{name}] processed totals agree across engines");
+        assert_eq!(e, e0, "[{name}] emitted totals agree across engines");
+        assert_eq!(s, s0, "[{name}] shed totals agree across engines");
     }
 }
 
