@@ -53,6 +53,7 @@ fn run_config(cfg: &Config, secs: f64) -> (f64, HistogramSnapshot) {
         brokers: cfg.brokers,
         partitions: cfg.brokers * 2,
         partition_capacity: 1 << 16,
+        replication: 1,
     }));
     cluster.set_registry(metrics.clone());
     // Analytics: top-k with `workers` parallel instances per stage.

@@ -1,10 +1,9 @@
 //! Queue-layer microbenchmark: per-message vs batch transport path.
 //!
-//! The per-message side uses the name-keyed [`QueueCluster::produce`] /
-//! [`QueueCluster::consume`] calls one message at a time — the shape of
-//! the pre-batch data plane, where every message paid a registry lookup,
-//! a partition lock, and a cursor update. The batch side interns the
-//! topic/group once and moves 128 messages per [`produce_batch`] /
+//! The per-message side moves one message per [`QueueCluster::produce_to`]
+//! / [`QueueCluster::consume_batch`] call — the shape of the pre-batch
+//! data plane, where every message paid a partition lock and a cursor
+//! update. The batch side moves 128 messages per [`produce_batch`] /
 //! [`consume_batch`] call, so those costs are amortized across the slab.
 //!
 //! [`produce_batch`]: QueueCluster::produce_batch
@@ -29,6 +28,7 @@ fn cluster() -> QueueCluster {
         brokers: 2,
         partitions: 8,
         partition_capacity: TOTAL,
+        replication: 1,
     })
 }
 
@@ -37,19 +37,23 @@ fn payload() -> Bytes {
     Bytes::from_static(&[0u8; 64])
 }
 
-/// One message per API call, name-keyed — the pre-batch hot path.
+/// One message per API call — the pre-batch hot path.
 fn per_message_round(total: usize) -> f64 {
     let q = cluster();
     let p = payload();
+    let topic = q.topic_id("http_get");
+    let group = q.group_id("storm");
     let start = Instant::now();
     for i in 0..total as u64 {
-        q.produce("http_get", i, p.clone(), i);
+        q.produce_to(topic, i, p.clone(), i);
     }
+    let mut out = Vec::with_capacity(1);
     let mut drained = 0;
     while drained < total {
-        let msgs = q.consume("storm", "http_get", 1);
-        assert!(!msgs.is_empty(), "queue drained early");
-        drained += msgs.len();
+        out.clear();
+        let n = q.consume_batch(group, topic, 1, &mut out);
+        assert!(n > 0, "queue drained early");
+        drained += n;
     }
     total as f64 / start.elapsed().as_secs_f64()
 }

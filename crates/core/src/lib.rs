@@ -21,10 +21,10 @@
 //! ```
 //! use netalytics::{Orchestrator};
 //! use netalytics_apps::{ClientApp, Conversation, sample_sink, StaticHttpBehavior, TierApp};
-//! use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+//! use netalytics_netsim::{SimDuration, SimTime};
 //! use netalytics_packet::http;
 //!
-//! let mut orch = Orchestrator::new(4, LinkSpec::default());
+//! let mut orch = Orchestrator::builder(4).build();
 //! // A web server on host 1 and a client on host 0.
 //! orch.name_host("web", 1);
 //! let web_ip = orch.host_ip(1);
@@ -57,5 +57,8 @@ pub use nfv::{
     shared_executor, shared_executor_with, AggregatorApp, AggregatorHandle, AggregatorShared,
     MonitorApp, MonitorHandle, MonitorShared, SharedExecutor, BATCH_PORT, FEEDBACK_PORT,
 };
-pub use orchestrator::{Orchestrator, OrchestratorError, QueryReport, RunningQuery};
+pub use orchestrator::{
+    FailurePolicy, MonitorSlot, Orchestrator, OrchestratorBuilder, OrchestratorError, QueryReport,
+    ReconcileReport, RunningQuery,
+};
 pub use results::ResultSet;

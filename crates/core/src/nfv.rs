@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_monitor::{FeedbackSignal, Monitor, MonitorStats};
-use netalytics_netsim::{App, Ctx, SimDuration};
+use netalytics_netsim::{App, Ctx, SimDuration, SimTime};
 use netalytics_packet::Packet;
 use netalytics_stream::{build_executor_with, Executor, ExecutorMode, Topology};
 use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
@@ -29,6 +29,17 @@ pub struct MonitorShared {
     pub stats: MonitorStats,
     /// Current effective sampling rate.
     pub sample_rate: f64,
+    /// Virtual time of the monitor's last flush tick — its heartbeat on
+    /// the emulated plane. A reconciler that sees this fall behind the
+    /// clock by several intervals declares the monitor dead.
+    pub last_heartbeat: SimTime,
+    /// Set by the orchestrator to point the monitor at a replacement
+    /// aggregator; consumed at the next flush tick.
+    pub retarget_aggregator: Option<Ipv4Addr>,
+    /// Set by the reconciler to force one step of sampling backoff
+    /// (graceful degradation under aggregator overload); consumed at the
+    /// next flush tick.
+    pub degrade: bool,
 }
 
 /// Handle to a monitor's shared state.
@@ -59,9 +70,8 @@ impl MonitorApp {
     /// Creates a monitor app shipping batches to `aggregator_ip`.
     pub fn new(monitor: Monitor, aggregator_ip: Ipv4Addr, packet_limit: Option<u64>) -> Self {
         let shared = Rc::new(RefCell::new(MonitorShared {
-            stopped: false,
-            stats: MonitorStats::default(),
             sample_rate: monitor.sample_rate(),
+            ..MonitorShared::default()
         }));
         MonitorApp {
             monitor,
@@ -86,12 +96,23 @@ impl MonitorApp {
         self
     }
 
+    /// Builder: overrides the flush/heartbeat cadence (default 10 ms of
+    /// virtual time). The flush timer doubles as the liveness beat, so
+    /// this is also the orchestrator's heartbeat interval.
+    pub fn with_batch_interval(mut self, interval: SimDuration) -> Self {
+        self.batch_interval = interval;
+        self
+    }
+
     /// Handle for the orchestrator to observe/stop this monitor.
     pub fn handle(&self) -> MonitorHandle {
         self.shared.clone()
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(ip) = self.shared.borrow_mut().retarget_aggregator.take() {
+            self.aggregator = (ip, BATCH_PORT);
+        }
         for batch in self.monitor.drain(ctx.now().as_nanos()) {
             let payload = batch.encode();
             ctx.send(Packet::udp(
@@ -105,6 +126,7 @@ impl MonitorApp {
         let mut shared = self.shared.borrow_mut();
         shared.stats = self.monitor.stats();
         shared.sample_rate = self.monitor.sample_rate();
+        shared.last_heartbeat = ctx.now();
         if let Some((metrics, name)) = &self.telemetry {
             shared.stats.export(metrics, name);
         }
@@ -152,6 +174,9 @@ impl App for MonitorApp {
     }
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if std::mem::take(&mut self.shared.borrow_mut().degrade) {
+            self.monitor.on_feedback(FeedbackSignal::Overloaded);
+        }
         self.flush(ctx);
         if !self.shared.borrow().stopped {
             ctx.timer_in(self.batch_interval, 0);
@@ -170,6 +195,10 @@ pub struct AggregatorShared {
     pub dropped: u64,
     /// Overload feedback messages sent.
     pub overload_signals: u64,
+    /// Set by the orchestrator after re-placing a monitor: replaces the
+    /// feedback target list at the next drain tick, so back-pressure
+    /// reaches the replacement instead of the dead host.
+    pub retarget_monitors: Option<Vec<Ipv4Addr>>,
 }
 
 /// Handle to an aggregator's shared state.
@@ -331,6 +360,9 @@ impl App for AggregatorApp {
     }
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if let Some(monitors) = self.shared.borrow_mut().retarget_monitors.take() {
+            self.monitors = monitors;
+        }
         let take = self.buffer.len().min(self.drain_per_tick);
         if take > 0 {
             // Drain this tick's quantum as ONE slab per executor rather

@@ -4,13 +4,21 @@
 //! deployment → result interface. Queries run against the discrete-event
 //! plane, so experiments are deterministic and the monitoring traffic's
 //! bandwidth cost is observable on the emulated links.
+//!
+//! The control plane is self-healing: deployed monitors publish
+//! heartbeats into their shared handles, and the [`Orchestrator`]'s
+//! reconcile pass ([`Orchestrator::reconcile`]) re-runs placement for
+//! any monitor whose host died or whose heartbeat went stale, reinstalls
+//! the affected mirror rules, and re-points the aggregator's feedback
+//! loop — recording `reconcile.recovery_time_ns` and
+//! `reconcile.tuples_lost` into the self-telemetry registry.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use netalytics_monitor::{Monitor, MonitorConfig};
+use netalytics_monitor::{Monitor, MonitorConfig, MonitorError, SampleSpec};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
@@ -34,6 +42,21 @@ pub enum OrchestratorError {
     NoMonitorableEndpoint,
     /// Not enough free hosts to deploy monitors/aggregators.
     NoFreeHost,
+    /// An anchored FROM/TO endpoint resolved to a host that is
+    /// currently failed — there is no traffic there to monitor.
+    HostDown(HostIdx),
+    /// The reconciler detected a failure it could not repair: either no
+    /// live free host was available for re-placement, or the query's
+    /// replacement budget ([`FailurePolicy::max_replacements`]) ran out.
+    ReplacementFailed {
+        /// Cookie of the affected query.
+        cookie: u64,
+        /// The dead host whose monitor needed replacing.
+        host: HostIdx,
+    },
+    /// [`Orchestrator::await_recovery`] reached its deadline before the
+    /// query healed.
+    Timeout,
 }
 
 impl fmt::Display for OrchestratorError {
@@ -47,6 +70,16 @@ impl fmt::Display for OrchestratorError {
             OrchestratorError::NoFreeHost => {
                 f.write_str("no free host available for NetAlytics processes")
             }
+            OrchestratorError::HostDown(h) => {
+                write!(f, "anchored endpoint host {h} is down")
+            }
+            OrchestratorError::ReplacementFailed { cookie, host } => {
+                write!(
+                    f,
+                    "query {cookie}: could not re-place monitor of dead host {host}"
+                )
+            }
+            OrchestratorError::Timeout => f.write_str("recovery deadline expired"),
         }
     }
 }
@@ -65,6 +98,143 @@ impl From<CompileError> for OrchestratorError {
     }
 }
 
+/// Reconciler policy: how aggressively the control loop declares death
+/// and how much repair it is willing to do per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePolicy {
+    /// Consecutive heartbeat intervals a monitor may miss before the
+    /// reconciler declares it dead.
+    pub miss_threshold: u32,
+    /// Per-query budget of monitor/aggregator replacements; once spent,
+    /// the next detection surfaces as
+    /// [`OrchestratorError::ReplacementFailed`].
+    pub max_replacements: u32,
+    /// Whether aggregator-side drops trigger one step of sampling
+    /// backoff on every monitor at the next reconcile pass (graceful
+    /// degradation instead of silent loss).
+    pub degrade_on_overload: bool,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            miss_threshold: 3,
+            max_replacements: 8,
+            degrade_on_overload: true,
+        }
+    }
+}
+
+/// Typed constructor for [`Orchestrator`]: topology plus the §3.4
+/// control-plane knobs in one surface, replacing the old
+/// `new(k, links)` + setter pattern.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics::{FailurePolicy, Orchestrator};
+/// use netalytics_netsim::SimDuration;
+/// use netalytics_sdn::InstallMode;
+///
+/// let orch = Orchestrator::builder(4)
+///     .install_mode(InstallMode::Reactive)
+///     .heartbeat_interval(SimDuration::from_millis(5))
+///     .failure_policy(FailurePolicy { miss_threshold: 2, ..Default::default() })
+///     .build();
+/// assert_eq!(orch.engine().network().num_hosts(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrchestratorBuilder {
+    k: u32,
+    links: LinkSpec,
+    install_mode: InstallMode,
+    executor_mode: ExecutorMode,
+    heartbeat_interval: SimDuration,
+    policy: FailurePolicy,
+}
+
+impl OrchestratorBuilder {
+    fn new(k: u32) -> Self {
+        OrchestratorBuilder {
+            k,
+            links: LinkSpec::default(),
+            install_mode: InstallMode::Proactive,
+            executor_mode: ExecutorMode::Inline,
+            heartbeat_interval: SimDuration::from_millis(10),
+            policy: FailurePolicy::default(),
+        }
+    }
+
+    /// Link characteristics of the emulated fat-tree (default:
+    /// [`LinkSpec::default`]).
+    pub fn links(mut self, links: LinkSpec) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// How queries install their mirror rules: proactive push (default)
+    /// or reactive pull on the first table miss (§3.4).
+    pub fn install_mode(mut self, mode: InstallMode) -> Self {
+        self.install_mode = mode;
+        self
+    }
+
+    /// Which analytics engine `PROCESS` topologies deploy on (default:
+    /// deterministic inline).
+    pub fn executor_mode(mut self, mode: ExecutorMode) -> Self {
+        self.executor_mode = mode;
+        self
+    }
+
+    /// Monitor flush/heartbeat cadence in virtual time (default 10 ms).
+    /// Clamped to at least 1 ns.
+    pub fn heartbeat_interval(mut self, interval: SimDuration) -> Self {
+        self.heartbeat_interval = SimDuration::from_nanos(interval.as_nanos().max(1));
+        self
+    }
+
+    /// Failure-detection and repair policy for the reconcile loop.
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the orchestrator over a fresh k-ary fat-tree.
+    pub fn build(self) -> Orchestrator {
+        let mut engine = Engine::new(Network::fat_tree(self.k, self.links));
+        // The controller serves the reactive packet-in path (§3.4:
+        // rules are "either pulled on demand by switches when they see
+        // new packets or proactively pushed").
+        engine.set_controller(SdnController::new(), true);
+        Orchestrator {
+            engine,
+            hostnames: HashMap::new(),
+            used_hosts: BTreeSet::new(),
+            next_cookie: 1,
+            install_mode: self.install_mode,
+            executor_mode: self.executor_mode,
+            heartbeat_interval: self.heartbeat_interval,
+            policy: self.policy,
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+}
+
+/// One deployed monitor of a running query: which rack it taps, where
+/// it runs, and the handle the reconciler watches.
+#[derive(Debug, Clone)]
+pub struct MonitorSlot {
+    /// Edge switch (rack) whose traffic this monitor taps.
+    pub edge: u32,
+    /// Host the monitor currently runs on.
+    pub host: HostIdx,
+    /// Shared state: heartbeat, stats, stop/retarget flags.
+    pub handle: MonitorHandle,
+    /// Virtual time this monitor (or its replacement) was deployed —
+    /// heartbeats are only expected after `deployed_at`.
+    pub deployed_at: SimTime,
+}
+
 /// A deployed, running query.
 pub struct RunningQuery {
     /// SDN cookie tagging this query's rules.
@@ -72,23 +242,75 @@ pub struct RunningQuery {
     /// Virtual-time deadline, when the LIMIT is time-based.
     pub deadline: Option<SimTime>,
     executors: Vec<(String, SharedExecutor)>,
-    /// Handles to the deployed monitors.
-    pub monitor_handles: Vec<MonitorHandle>,
+    monitors: Vec<MonitorSlot>,
     /// Handle to the aggregator.
     pub aggregator_handle: AggregatorHandle,
-    /// Hosts running monitors.
-    pub monitor_hosts: Vec<HostIdx>,
     /// Host running the aggregator + processors.
     pub aggregator_host: HostIdx,
+    aggregator_ip: Ipv4Addr,
+    // Everything the reconciler needs to re-run placement.
+    parsers: Vec<String>,
+    sample: SampleSpec,
+    packet_limit: Option<u64>,
+    match_edges: Vec<(FlowMatch, u32)>,
+    replacements: u32,
+    lost_seen: u64,
+    dropped_seen: u64,
+}
+
+impl RunningQuery {
+    /// The query's monitor slots (rack, host, handle).
+    pub fn monitors(&self) -> &[MonitorSlot] {
+        &self.monitors
+    }
+
+    /// Hosts currently running this query's monitors.
+    pub fn monitor_hosts(&self) -> Vec<HostIdx> {
+        self.monitors.iter().map(|s| s.host).collect()
+    }
+
+    /// Handles to the deployed monitors.
+    pub fn monitor_handles(&self) -> Vec<MonitorHandle> {
+        self.monitors.iter().map(|s| s.handle.clone()).collect()
+    }
+
+    /// How many monitor/aggregator replacements the reconciler has
+    /// performed for this query.
+    pub fn replacements(&self) -> u32 {
+        self.replacements
+    }
 }
 
 impl fmt::Debug for RunningQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RunningQuery")
             .field("cookie", &self.cookie)
-            .field("monitor_hosts", &self.monitor_hosts)
+            .field("monitor_hosts", &self.monitor_hosts())
+            .field("replacements", &self.replacements)
             .finish_non_exhaustive()
     }
+}
+
+/// Everything needed to (re)deploy one monitor of a query.
+struct DeploySpec<'a> {
+    cookie: u64,
+    parsers: &'a [String],
+    sample: SampleSpec,
+    packet_limit: Option<u64>,
+    aggregator_ip: Ipv4Addr,
+    match_edges: &'a [(FlowMatch, u32)],
+}
+
+/// What one [`Orchestrator::reconcile`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileReport {
+    /// `(old_host, new_host)` for every replacement performed.
+    pub replaced: Vec<(HostIdx, HostIdx)>,
+    /// Fabric tuples/packets newly charged to failures since the last
+    /// pass (from the engine's `lost_to_failure` counter).
+    pub tuples_lost: u64,
+    /// Whether sampling backoff was pushed to the monitors this pass.
+    pub degraded: bool,
 }
 
 /// Results and statistics of a completed query.
@@ -121,6 +343,8 @@ pub struct Orchestrator {
     next_cookie: u64,
     install_mode: InstallMode,
     executor_mode: ExecutorMode,
+    heartbeat_interval: SimDuration,
+    policy: FailurePolicy,
     /// Root self-telemetry registry: every component the orchestrator
     /// deploys (monitors, aggregators, executors) publishes here.
     metrics: Arc<MetricsRegistry>,
@@ -136,22 +360,15 @@ impl fmt::Debug for Orchestrator {
 }
 
 impl Orchestrator {
+    /// Starts configuring an orchestrator over a k-ary fat-tree.
+    pub fn builder(k: u32) -> OrchestratorBuilder {
+        OrchestratorBuilder::new(k)
+    }
+
     /// Creates an orchestrator over a fresh k-ary fat-tree.
+    #[deprecated(note = "use Orchestrator::builder(k).links(links).build()")]
     pub fn new(k: u32, links: LinkSpec) -> Self {
-        let mut engine = Engine::new(Network::fat_tree(k, links));
-        // The controller serves the reactive packet-in path (§3.4:
-        // rules are "either pulled on demand by switches when they see
-        // new packets or proactively pushed").
-        engine.set_controller(SdnController::new(), true);
-        Orchestrator {
-            engine,
-            hostnames: HashMap::new(),
-            used_hosts: BTreeSet::new(),
-            next_cookie: 1,
-            install_mode: InstallMode::Proactive,
-            executor_mode: ExecutorMode::Inline,
-            metrics: Arc::new(MetricsRegistry::new()),
-        }
+        Orchestrator::builder(k).links(links).build()
     }
 
     /// The root metrics registry all deployed components publish into.
@@ -162,15 +379,18 @@ impl Orchestrator {
     /// Scrapes the layers that export on demand (the netsim engine's
     /// fabric counters) and returns a point-in-time snapshot of every
     /// metric in the registry — monitor, queue (aggregator), stream and
-    /// netsim series plus the end-to-end tuple latency histogram.
+    /// netsim series, the end-to-end tuple latency histogram, and the
+    /// reconciler's `reconcile.*` recovery series.
     pub fn telemetry_report(&self) -> RegistrySnapshot {
         let stats = self.engine.stats();
-        let pairs: [(&str, u64); 5] = [
+        let pairs: [(&str, u64); 7] = [
             ("netsim.delivered", stats.delivered),
             ("netsim.dropped", stats.dropped),
             ("netsim.mirrored", stats.mirrored),
             ("netsim.events", stats.events),
             ("netsim.packet_ins", stats.packet_ins),
+            ("netsim.faults", stats.faults),
+            ("netsim.lost_to_failure", stats.lost_to_failure),
         ];
         for (name, v) in pairs {
             self.metrics.gauge(name, &[]).set(v as i64);
@@ -178,16 +398,26 @@ impl Orchestrator {
         self.metrics.snapshot()
     }
 
-    /// Selects how future queries install their rules: proactive push
-    /// (default) or reactive pull on the first table miss (§3.4).
+    /// Selects how future queries install their rules.
+    #[deprecated(note = "configure at construction: Orchestrator::builder(k).install_mode(mode)")]
     pub fn set_install_mode(&mut self, mode: InstallMode) {
         self.install_mode = mode;
     }
 
-    /// Selects the analytics engine future queries deploy their
-    /// `PROCESS` topologies on (default: deterministic inline).
+    /// Selects the analytics engine future queries deploy on.
+    #[deprecated(note = "configure at construction: Orchestrator::builder(k).executor_mode(mode)")]
     pub fn set_executor_mode(&mut self, mode: ExecutorMode) {
         self.executor_mode = mode;
+    }
+
+    /// The monitor heartbeat/flush cadence queries are deployed with.
+    pub fn heartbeat_interval(&self) -> SimDuration {
+        self.heartbeat_interval
+    }
+
+    /// The reconciler's failure policy.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.policy
     }
 
     /// Access to the underlying engine (topology, stats, clock).
@@ -195,7 +425,7 @@ impl Orchestrator {
         &self.engine
     }
 
-    /// Mutable engine access (e.g. to reset traffic counters).
+    /// Mutable engine access (e.g. to inject faults or reset counters).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
     }
@@ -219,7 +449,7 @@ impl Orchestrator {
         self.engine.set_app(h, app);
     }
 
-    /// Runs the emulation until `deadline`.
+    /// Runs the emulation until `deadline` with no reconcile passes.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.engine.run_until(deadline);
     }
@@ -227,6 +457,13 @@ impl Orchestrator {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// The staleness window: a monitor whose last heartbeat is older
+    /// than this is declared dead.
+    fn heartbeat_window(&self) -> SimDuration {
+        self.heartbeat_interval
+            .saturating_mul(u64::from(self.policy.miss_threshold.max(1)))
     }
 
     fn anchored_hosts(&self, m: &FlowMatch) -> Vec<HostIdx> {
@@ -241,20 +478,103 @@ impl Orchestrator {
         out
     }
 
+    fn host_available(&self, h: HostIdx) -> bool {
+        !self.used_hosts.contains(&h) && self.engine.host_is_up(h)
+    }
+
     fn free_host_under(&self, edge: u32) -> Option<HostIdx> {
         self.engine
             .network()
             .tree()
             .hosts_of_edge(edge)
-            .find(|h| !self.used_hosts.contains(h))
+            .find(|&h| self.host_available(h))
     }
 
     fn any_free_host_preferring_pod(&self, pod: u32) -> Option<HostIdx> {
         let tree = *self.engine.network().tree();
         tree.edges_of_pod(pod)
             .flat_map(|e| tree.hosts_of_edge(e))
-            .find(|h| !self.used_hosts.contains(h))
-            .or_else(|| (0..tree.num_hosts()).find(|h| !self.used_hosts.contains(h)))
+            .find(|&h| self.host_available(h))
+            .or_else(|| (0..tree.num_hosts()).find(|&h| self.host_available(h)))
+    }
+
+    /// Builds a monitor instance from a query's validated parser set.
+    fn build_monitor(
+        &self,
+        parsers: &[String],
+        sample: SampleSpec,
+    ) -> Result<Monitor, OrchestratorError> {
+        Monitor::new(MonitorConfig {
+            parsers: parsers.to_vec(),
+            sample,
+            batch_size: 64,
+        })
+        .map_err(|e| match e {
+            MonitorError::UnknownParser(p) => {
+                OrchestratorError::Compile(CompileError::UnknownParser(p))
+            }
+            MonitorError::NoParsers => OrchestratorError::Compile(CompileError::BadProcessor(
+                "query names no parsers".into(),
+            )),
+        })
+    }
+
+    /// Installs both-direction mirror rules for every match anchored at
+    /// `edge`, targeting `host`, honoring the install mode.
+    fn install_mirrors(
+        &mut self,
+        edge: u32,
+        host: HostIdx,
+        cookie: u64,
+        match_edges: &[(FlowMatch, u32)],
+    ) {
+        let sw = self.engine.edge_switch_id(edge);
+        for (m, m_edge) in match_edges {
+            if *m_edge != edge {
+                continue;
+            }
+            // Monitor both directions of each matched flow: the forward
+            // match plus its reverse, so responses and FINs from the
+            // anchored endpoint reach the parsers too.
+            for mm in [*m, m.reversed()] {
+                let rule = FlowRule::mirror(mm, host, cookie).with_priority(100);
+                match self.install_mode {
+                    InstallMode::Proactive => {
+                        // Record in the controller's desired state and
+                        // push straight into the switch table.
+                        if let Some(ctl) = self.engine.controller_mut() {
+                            ctl.install(sw, rule.clone(), InstallMode::Reactive);
+                        }
+                        self.engine.install_rule(sw, rule);
+                    }
+                    InstallMode::Reactive => {
+                        // Desired state only; the switch pulls on its
+                        // first matching table miss (packet-in).
+                        if let Some(ctl) = self.engine.controller_mut() {
+                            ctl.install(sw, rule, InstallMode::Reactive);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deploys one monitor on `host` for rack `edge` per `spec` and
+    /// wires its mirror rules; returns the handle.
+    fn deploy_monitor(
+        &mut self,
+        edge: u32,
+        host: HostIdx,
+        spec: &DeploySpec<'_>,
+    ) -> Result<MonitorHandle, OrchestratorError> {
+        let monitor = self.build_monitor(spec.parsers, spec.sample)?;
+        let app = MonitorApp::new(monitor, spec.aggregator_ip, spec.packet_limit)
+            .with_telemetry(self.metrics.clone(), format!("host{host}"))
+            .with_batch_interval(self.heartbeat_interval);
+        let handle = app.handle();
+        self.engine.set_app(host, Box::new(app));
+        self.install_mirrors(edge, host, spec.cookie, spec.match_edges);
+        Ok(handle)
     }
 
     /// Compiles and deploys a query: SDN mirror rules at every covering
@@ -263,8 +583,9 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// Returns [`OrchestratorError`] on parse/compile failures or if the
-    /// fabric lacks free hosts.
+    /// Returns [`OrchestratorError`] on parse/compile failures, if an
+    /// anchored endpoint's host is down, or if the fabric lacks free
+    /// hosts.
     pub fn submit(&mut self, query_src: &str) -> Result<RunningQuery, OrchestratorError> {
         let query = parse(query_src)?;
         let deployment: Deployment = compile(&query, &self.hostnames)?;
@@ -278,6 +599,9 @@ impl Orchestrator {
             let Some(&h) = self.anchored_hosts(m).first() else {
                 continue;
             };
+            if !self.engine.host_is_up(h) {
+                return Err(OrchestratorError::HostDown(h));
+            }
             let edge = self.engine.network().tree().edge_of_host(h);
             edges.insert(edge);
             match_edges.push((*m, edge));
@@ -326,49 +650,26 @@ impl Orchestrator {
             Limit::Packets(n) => Some(n),
             Limit::Time(_) => None,
         };
-        let mut monitor_handles = Vec::new();
+        let now = self.engine.now();
+        let mut monitors = Vec::new();
         let mut monitor_ips = Vec::new();
+        let spec = DeploySpec {
+            cookie,
+            parsers: &deployment.parsers,
+            sample: deployment.sample,
+            packet_limit,
+            aggregator_ip,
+            match_edges: &match_edges,
+        };
         for &(edge, host) in &monitor_hosts {
-            let monitor = Monitor::new(MonitorConfig {
-                parsers: deployment.parsers.clone(),
-                sample: deployment.sample,
-                batch_size: 64,
-            })
-            .expect("parsers validated at compile time");
-            let app = MonitorApp::new(monitor, aggregator_ip, packet_limit)
-                .with_telemetry(self.metrics.clone(), format!("host{host}"));
-            monitor_handles.push(app.handle());
+            let handle = self.deploy_monitor(edge, host, &spec)?;
             monitor_ips.push(self.host_ip(host));
-            self.engine.set_app(host, Box::new(app));
-            for (m, m_edge) in &match_edges {
-                if *m_edge != edge {
-                    continue;
-                }
-                // Monitor both directions of each matched flow: the
-                // forward match plus its reverse, so responses and FINs
-                // from the anchored endpoint reach the parsers too.
-                for mm in [*m, m.reversed()] {
-                    let rule = FlowRule::mirror(mm, host, cookie).with_priority(100);
-                    let sw = self.engine.edge_switch_id(edge);
-                    match self.install_mode {
-                        InstallMode::Proactive => {
-                            // Record in the controller's desired state and
-                            // push straight into the switch table.
-                            if let Some(ctl) = self.engine.controller_mut() {
-                                ctl.install(sw, rule.clone(), InstallMode::Reactive);
-                            }
-                            self.engine.install_rule(sw, rule);
-                        }
-                        InstallMode::Reactive => {
-                            // Desired state only; the switch pulls on its
-                            // first matching table miss (packet-in).
-                            if let Some(ctl) = self.engine.controller_mut() {
-                                ctl.install(sw, rule, InstallMode::Reactive);
-                            }
-                        }
-                    }
-                }
-            }
+            monitors.push(MonitorSlot {
+                edge,
+                host,
+                handle,
+                deployed_at: now,
+            });
         }
         let agg = AggregatorApp::with_executors(
             executors.iter().map(|(_, e)| e.clone()).collect(),
@@ -388,11 +689,252 @@ impl Orchestrator {
             cookie,
             deadline,
             executors,
-            monitor_handles,
+            monitors,
             aggregator_handle,
-            monitor_hosts: monitor_hosts.iter().map(|&(_, h)| h).collect(),
             aggregator_host,
+            aggregator_ip,
+            parsers: deployment.parsers,
+            sample: deployment.sample,
+            packet_limit,
+            match_edges,
+            replacements: 0,
+            lost_seen: self.engine.stats().lost_to_failure,
+            dropped_seen: 0,
         })
+    }
+
+    /// One pass of the self-healing control loop: declares dead any
+    /// monitor whose host failed or whose heartbeat went stale beyond
+    /// [`FailurePolicy::miss_threshold`] intervals, re-runs placement
+    /// for it (fresh monitor on a live free host, mirror rules
+    /// reinstalled under the same cookie, aggregator feedback
+    /// re-pointed), fails over the aggregator if its host died, and —
+    /// when enabled — pushes sampling backoff to the monitors after
+    /// aggregator drops. Records `reconcile.recovery_time_ns`,
+    /// `reconcile.tuples_lost`, `reconcile.replacements` and
+    /// `reconcile.degradations` into the telemetry registry.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::ReplacementFailed`] when a detected failure
+    /// cannot be repaired (no live free host, or the query's
+    /// replacement budget ran out).
+    pub fn reconcile(
+        &mut self,
+        q: &mut RunningQuery,
+    ) -> Result<ReconcileReport, OrchestratorError> {
+        let mut report = ReconcileReport::default();
+        let now = self.engine.now();
+        let window = self.heartbeat_window();
+        // Charge fabric losses since the last pass to this query. The
+        // counter is touched unconditionally so the series exists in
+        // every telemetry report once the reconciler is running.
+        let lost_counter = self.metrics.counter("reconcile.tuples_lost", &[]);
+        let lost_total = self.engine.stats().lost_to_failure;
+        if lost_total > q.lost_seen {
+            let delta = lost_total - q.lost_seen;
+            q.lost_seen = lost_total;
+            report.tuples_lost = delta;
+            lost_counter.add(delta);
+        }
+        // Monitor replacement.
+        for i in 0..q.monitors.len() {
+            let (edge, old, handle, deployed_at) = {
+                let s = &q.monitors[i];
+                (s.edge, s.host, s.handle.clone(), s.deployed_at)
+            };
+            let (stopped, beat) = {
+                let sh = handle.borrow();
+                (sh.stopped, sh.last_heartbeat)
+            };
+            if stopped {
+                continue;
+            }
+            let last_seen = beat.max(deployed_at);
+            let stale = now - last_seen > window;
+            if self.engine.host_is_up(old) && !stale {
+                continue;
+            }
+            if q.replacements >= self.policy.max_replacements {
+                return Err(OrchestratorError::ReplacementFailed {
+                    cookie: q.cookie,
+                    host: old,
+                });
+            }
+            // Retire what is left of the old monitor: stop it, purge its
+            // mirror rules from the data plane AND the controller's
+            // desired state (so reactive pulls cannot resurrect them).
+            handle.borrow_mut().stopped = true;
+            self.engine.remove_mirrors_to(old);
+            if let Some(ctl) = self.engine.controller_mut() {
+                ctl.remove_mirrors_to(old);
+            }
+            self.used_hosts.remove(&old);
+            // Re-run placement for this rack.
+            let pod = self.engine.network().tree().pod_of_edge(edge);
+            let host = self
+                .free_host_under(edge)
+                .or_else(|| self.any_free_host_preferring_pod(pod))
+                .ok_or(OrchestratorError::ReplacementFailed {
+                    cookie: q.cookie,
+                    host: old,
+                })?;
+            self.used_hosts.insert(host);
+            let spec = DeploySpec {
+                cookie: q.cookie,
+                parsers: &q.parsers,
+                sample: q.sample,
+                packet_limit: q.packet_limit,
+                aggregator_ip: q.aggregator_ip,
+                match_edges: &q.match_edges,
+            };
+            let new_handle = self.deploy_monitor(edge, host, &spec)?;
+            q.monitors[i] = MonitorSlot {
+                edge,
+                host,
+                handle: new_handle,
+                deployed_at: now,
+            };
+            q.replacements += 1;
+            // Point the aggregator's feedback loop at the new fleet.
+            let ips: Vec<_> = q.monitors.iter().map(|s| self.host_ip(s.host)).collect();
+            q.aggregator_handle.borrow_mut().retarget_monitors = Some(ips);
+            self.metrics.counter("reconcile.replacements", &[]).inc();
+            self.metrics
+                .histogram("reconcile.recovery_time_ns", &[])
+                .record((now - last_seen).as_nanos());
+            report.replaced.push((old, host));
+        }
+        // Aggregator failover.
+        if !self.engine.host_is_up(q.aggregator_host) {
+            if q.replacements >= self.policy.max_replacements {
+                return Err(OrchestratorError::ReplacementFailed {
+                    cookie: q.cookie,
+                    host: q.aggregator_host,
+                });
+            }
+            let old = q.aggregator_host;
+            self.used_hosts.remove(&old);
+            let tree = *self.engine.network().tree();
+            let host = self
+                .any_free_host_preferring_pod(tree.pod_of_edge(tree.edge_of_host(old)))
+                .ok_or(OrchestratorError::ReplacementFailed {
+                    cookie: q.cookie,
+                    host: old,
+                })?;
+            self.used_hosts.insert(host);
+            let ips: Vec<_> = q.monitors.iter().map(|s| self.host_ip(s.host)).collect();
+            let agg = AggregatorApp::with_executors(
+                q.executors.iter().map(|(_, e)| e.clone()).collect(),
+                ips,
+                100_000,
+                10_000,
+            )
+            .with_telemetry(&self.metrics);
+            let new_handle = agg.handle();
+            {
+                // Carry counters over so the final report stays
+                // cumulative across the failover.
+                let old_shared = q.aggregator_handle.borrow();
+                let mut fresh = new_handle.borrow_mut();
+                fresh.tuples_in = old_shared.tuples_in;
+                fresh.tuples_processed = old_shared.tuples_processed;
+                fresh.dropped = old_shared.dropped;
+                fresh.overload_signals = old_shared.overload_signals;
+            }
+            self.engine.set_app(host, Box::new(agg));
+            let new_ip = self.host_ip(host);
+            q.aggregator_host = host;
+            q.aggregator_ip = new_ip;
+            q.aggregator_handle = new_handle;
+            // Monitors learn the new destination at their next flush.
+            for s in &q.monitors {
+                s.handle.borrow_mut().retarget_aggregator = Some(new_ip);
+            }
+            q.replacements += 1;
+            self.metrics.counter("reconcile.replacements", &[]).inc();
+            self.metrics
+                .histogram("reconcile.recovery_time_ns", &[])
+                .record(window.as_nanos());
+            report.replaced.push((old, host));
+        }
+        // Graceful degradation: aggregator drops push sampling backoff.
+        if self.policy.degrade_on_overload {
+            let dropped = q.aggregator_handle.borrow().dropped;
+            if dropped > q.dropped_seen {
+                q.dropped_seen = dropped;
+                for s in &q.monitors {
+                    s.handle.borrow_mut().degrade = true;
+                }
+                self.metrics.counter("reconcile.degradations", &[]).inc();
+                report.degraded = true;
+            }
+        }
+        Ok(report)
+    }
+
+    /// True when every non-stopped monitor runs on a live host with a
+    /// fresh heartbeat and the aggregator host is up.
+    pub fn query_is_healthy(&self, q: &RunningQuery) -> bool {
+        if !self.engine.host_is_up(q.aggregator_host) {
+            return false;
+        }
+        let now = self.engine.now();
+        let window = self.heartbeat_window();
+        q.monitors.iter().all(|s| {
+            let sh = s.handle.borrow();
+            sh.stopped
+                || (self.engine.host_is_up(s.host)
+                    && now - sh.last_heartbeat.max(s.deployed_at) <= window)
+        })
+    }
+
+    /// Runs the emulation until `deadline`, reconciling the query once
+    /// per heartbeat interval — the self-healing equivalent of
+    /// [`Orchestrator::run_until`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Orchestrator::reconcile`] failures.
+    pub fn run_reconciling(
+        &mut self,
+        q: &mut RunningQuery,
+        deadline: SimTime,
+    ) -> Result<(), OrchestratorError> {
+        while self.engine.now() < deadline {
+            let step = (self.engine.now() + self.heartbeat_interval).min(deadline);
+            self.engine.run_until(step);
+            self.reconcile(q)?;
+        }
+        Ok(())
+    }
+
+    /// Advances virtual time (reconciling every heartbeat interval)
+    /// until the query is healthy again, returning how long recovery
+    /// took.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::Timeout`] if the query has not healed
+    /// `within` the given budget; reconcile errors propagate.
+    pub fn await_recovery(
+        &mut self,
+        q: &mut RunningQuery,
+        within: SimDuration,
+    ) -> Result<SimDuration, OrchestratorError> {
+        let start = self.engine.now();
+        let deadline = start + within;
+        loop {
+            self.reconcile(q)?;
+            if self.query_is_healthy(q) {
+                return Ok(self.engine.now() - start);
+            }
+            if self.engine.now() >= deadline {
+                return Err(OrchestratorError::Timeout);
+            }
+            let step = (self.engine.now() + self.heartbeat_interval).min(deadline);
+            self.engine.run_until(step);
+        }
     }
 
     /// Tears a query down (removes its rules, stops its monitors,
@@ -402,12 +944,12 @@ impl Orchestrator {
         if let Some(ctl) = self.engine.controller_mut() {
             ctl.remove_cookie(q.cookie);
         }
-        for h in &q.monitor_handles {
-            h.borrow_mut().stopped = true;
+        for s in &q.monitors {
+            s.handle.borrow_mut().stopped = true;
         }
         // Free the hosts for subsequent queries.
-        for &h in &q.monitor_hosts {
-            self.used_hosts.remove(&h);
+        for s in &q.monitors {
+            self.used_hosts.remove(&s.host);
         }
         self.used_hosts.remove(&q.aggregator_host);
         let now = self.engine.now().as_nanos();
@@ -418,13 +960,16 @@ impl Orchestrator {
             .collect();
         QueryReport {
             results,
-            monitor_stats: q.monitor_handles.iter().map(|h| h.borrow().stats).collect(),
+            monitor_stats: q.monitors.iter().map(|s| s.handle.borrow().stats).collect(),
             aggregator: std::mem::take(&mut q.aggregator_handle.borrow_mut()),
         }
     }
 
     /// Convenience: submit, run until the query's own deadline (or for
-    /// `horizon` when the LIMIT is packet-based), then finalize.
+    /// `horizon` when the LIMIT is packet-based), then finalize. No
+    /// reconcile passes run; see
+    /// [`Orchestrator::run_query_resilient`] for the self-healing
+    /// variant.
     ///
     /// # Errors
     ///
@@ -442,6 +987,25 @@ impl Orchestrator {
             .run_until(deadline + SimDuration::from_millis(50));
         Ok(self.finalize(q))
     }
+
+    /// Like [`Orchestrator::run_query`], but with the reconcile loop
+    /// engaged: failures injected mid-query (host/link faults) are
+    /// detected via heartbeats and repaired by re-placement, so the
+    /// query still finalizes with results.
+    ///
+    /// # Errors
+    ///
+    /// Submit and reconcile errors propagate.
+    pub fn run_query_resilient(
+        &mut self,
+        query_src: &str,
+        horizon: SimDuration,
+    ) -> Result<QueryReport, OrchestratorError> {
+        let mut q = self.submit(query_src)?;
+        let deadline = q.deadline.unwrap_or(self.engine.now() + horizon);
+        self.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
+        Ok(self.finalize(q))
+    }
 }
 
 #[cfg(test)]
@@ -450,7 +1014,7 @@ mod tests {
 
     #[test]
     fn hostnames_resolve_in_queries() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         orch.name_host("web", 1);
         let err = orch
             .submit("PARSE http_get FROM * TO nosuch:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
@@ -459,15 +1023,18 @@ mod tests {
         let q = orch
             .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
             .unwrap();
-        assert_eq!(q.monitor_hosts.len(), 1);
+        assert_eq!(q.monitor_hosts().len(), 1);
         // Monitor sits in the web host's rack but not on the web host.
         let tree = *orch.engine().network().tree();
-        assert_eq!(tree.edge_of_host(q.monitor_hosts[0]), tree.edge_of_host(1));
+        assert_eq!(
+            tree.edge_of_host(q.monitor_hosts()[0]),
+            tree.edge_of_host(1)
+        );
     }
 
     #[test]
     fn bad_queries_are_rejected() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         assert!(matches!(
             orch.submit("garbage").unwrap_err(),
             OrchestratorError::Parse(_)
@@ -482,6 +1049,81 @@ mod tests {
     }
 
     #[test]
+    fn fault_submit_rejects_queries_anchored_at_dead_hosts() {
+        let mut orch = Orchestrator::builder(4).build();
+        orch.name_host("web", 1);
+        orch.engine_mut().fail_host(1);
+        assert!(matches!(
+            orch.submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+                .unwrap_err(),
+            OrchestratorError::HostDown(1)
+        ));
+        orch.engine_mut().repair_host(1);
+        assert!(orch
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_placement_skips_dead_hosts() {
+        struct Noop;
+        impl App for Noop {
+            fn on_packet(
+                &mut self,
+                _p: &netalytics_packet::Packet,
+                _c: &mut netalytics_netsim::Ctx<'_>,
+            ) {
+            }
+        }
+        let mut orch = Orchestrator::builder(4).build();
+        orch.name_host("web", 0);
+        orch.deploy_app(0, Box::new(Noop));
+        // Kill every other host in web's rack: the monitor must land in
+        // a different rack rather than on a dead NIC.
+        let tree = *orch.engine().network().tree();
+        let edge = tree.edge_of_host(0);
+        for h in tree.hosts_of_edge(edge) {
+            if h != 0 {
+                orch.engine_mut().fail_host(h);
+            }
+        }
+        let q = orch
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .unwrap();
+        for &h in &q.monitor_hosts() {
+            assert!(orch.engine().host_is_up(h), "placed on live host");
+            assert_ne!(tree.edge_of_host(h), edge, "rack was busy or dead");
+        }
+    }
+
+    #[test]
+    fn builder_configures_policy_and_heartbeat() {
+        let orch = Orchestrator::builder(4)
+            .heartbeat_interval(SimDuration::from_millis(5))
+            .failure_policy(FailurePolicy {
+                miss_threshold: 2,
+                max_replacements: 1,
+                degrade_on_overload: false,
+            })
+            .build();
+        assert_eq!(orch.heartbeat_interval(), SimDuration::from_millis(5));
+        assert_eq!(orch.failure_policy().miss_threshold, 2);
+        assert!(!orch.failure_policy().degrade_on_overload);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_and_setters_still_work() {
+        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        orch.set_install_mode(InstallMode::Reactive);
+        orch.set_executor_mode(ExecutorMode::Inline);
+        orch.name_host("web", 1);
+        assert!(orch
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .is_ok());
+    }
+
+    #[test]
     fn monitors_avoid_busy_hosts_and_rules_are_scoped() {
         struct Noop;
         impl App for Noop {
@@ -492,15 +1134,15 @@ mod tests {
             ) {
             }
         }
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         orch.name_host("web", 0);
         orch.deploy_app(0, Box::new(Noop));
         orch.deploy_app(1, Box::new(Noop)); // rack of host 0 is full
         let q = orch
             .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
             .unwrap();
-        assert!(!q.monitor_hosts.contains(&0));
-        assert!(!q.monitor_hosts.contains(&1));
+        assert!(!q.monitor_hosts().contains(&0));
+        assert!(!q.monitor_hosts().contains(&1));
         let cookie = q.cookie;
         let report = orch.finalize(q);
         assert!(report.results[0].1.is_empty());
@@ -513,7 +1155,7 @@ mod tests {
 
     #[test]
     fn two_sequential_queries_reuse_hosts() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         orch.name_host("web", 0);
         let r1 = orch
             .run_query(
@@ -564,9 +1206,10 @@ mod reactive_tests {
 
     #[test]
     fn reactive_install_pulls_rules_on_first_miss() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4)
+            .install_mode(InstallMode::Reactive)
+            .build();
         deploy_web(&mut orch);
-        orch.set_install_mode(InstallMode::Reactive);
         let report = orch
             .run_query(
                 "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
@@ -585,7 +1228,7 @@ mod reactive_tests {
 
     #[test]
     fn telemetry_report_covers_all_four_layers() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         deploy_web(&mut orch);
         orch.run_query(
             "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
@@ -613,7 +1256,7 @@ mod reactive_tests {
 
     #[test]
     fn proactive_install_needs_no_packet_ins_for_matched_flows() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
+        let mut orch = Orchestrator::builder(4).build();
         deploy_web(&mut orch);
         let before = orch.engine().stats().packet_ins;
         let report = orch
@@ -634,5 +1277,111 @@ mod reactive_tests {
             0,
             "both directions mirrored from the start (GET+response per conn)"
         );
+    }
+
+    #[test]
+    fn fault_reconciler_replaces_dead_monitor_mid_query() {
+        let mut orch = Orchestrator::builder(4)
+            .heartbeat_interval(SimDuration::from_millis(10))
+            .build();
+        deploy_web(&mut orch);
+        let mut q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        let victim = q.monitor_hosts()[0];
+        // Let traffic flow, then kill the monitor host mid-query.
+        orch.engine_mut().schedule_fault(
+            SimTime::from_nanos(200_000_000),
+            netalytics_netsim::FaultKind::HostDown(victim),
+        );
+        let deadline = q.deadline.expect("time-limited query");
+        orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+            .expect("reconciling run");
+        assert!(q.replacements() >= 1, "the dead monitor was replaced");
+        assert_ne!(q.monitor_hosts()[0], victim, "placement moved");
+        assert!(orch.query_is_healthy(&q), "healed before the deadline");
+        let snap = orch.telemetry_report();
+        assert!(
+            snap.histogram_merged("reconcile.recovery_time_ns").count() >= 1,
+            "recovery time recorded"
+        );
+        let report = orch.finalize(q);
+        assert!(
+            report.monitor_stats.iter().any(|s| s.packets_seen > 0),
+            "replacement monitor observed traffic"
+        );
+    }
+
+    #[test]
+    fn fault_replacement_budget_is_enforced() {
+        let mut orch = Orchestrator::builder(4)
+            .failure_policy(FailurePolicy {
+                max_replacements: 0,
+                ..Default::default()
+            })
+            .build();
+        deploy_web(&mut orch);
+        let mut q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        let victim = q.monitor_hosts()[0];
+        orch.engine_mut().fail_host(victim);
+        assert!(matches!(
+            orch.reconcile(&mut q).unwrap_err(),
+            OrchestratorError::ReplacementFailed { host, .. } if host == victim
+        ));
+    }
+
+    #[test]
+    fn fault_await_recovery_times_out_without_capacity() {
+        // 4-ary fat tree: 16 hosts. Use them all up so a replacement
+        // cannot be placed, then check await_recovery surfaces Timeout
+        // is NOT reached — ReplacementFailed fires first.
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        let mut q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        // Occupy every remaining host, then kill the monitor.
+        for h in 0..orch.engine().network().num_hosts() {
+            orch.used_hosts.insert(h);
+        }
+        let victim = q.monitor_hosts()[0];
+        orch.engine_mut().fail_host(victim);
+        assert!(matches!(
+            orch.await_recovery(&mut q, SimDuration::from_millis(100))
+                .unwrap_err(),
+            OrchestratorError::ReplacementFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn fault_healthy_query_reconciles_to_noop() {
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        let mut q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        orch.run_until(SimTime::from_nanos(100_000_000));
+        let report = orch.reconcile(&mut q).expect("reconcile");
+        assert!(report.replaced.is_empty(), "nothing to repair");
+        assert_eq!(q.replacements(), 0);
+        assert!(orch.query_is_healthy(&q));
+        let recovered = orch
+            .await_recovery(&mut q, SimDuration::from_millis(100))
+            .expect("already healthy");
+        assert_eq!(recovered.as_nanos(), 0, "no time needed");
     }
 }

@@ -12,11 +12,12 @@
 //!   load-shedding of §5.1);
 //! * the **output interface** batches tuples and hands them to a sink.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use netalytics_data::{BatchSink, DataTuple, TupleBatch};
 use netalytics_packet::Packet;
 use netalytics_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -49,6 +50,11 @@ pub struct PipelineConfig {
     /// `monitor.*` series and the workers additionally record per-parser
     /// queue depth, output batch sizes, and (sampled) parse latency.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// How often the collector refreshes the pipeline's wall-clock
+    /// heartbeat even when no packets arrive. An orchestrator that polls
+    /// [`Pipeline::heartbeat_age`] declares the monitor dead once the age
+    /// exceeds a few intervals.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +67,7 @@ impl Default for PipelineConfig {
             parser_depth: 8192,
             batch_size: 128,
             metrics: None,
+            heartbeat_interval: Duration::from_millis(100),
         }
     }
 }
@@ -125,6 +132,9 @@ pub struct Pipeline {
     counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
+    /// Nanoseconds since `epoch` of the collector's last liveness beat.
+    heartbeat_ns: Arc<AtomicU64>,
+    epoch: Instant,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -261,14 +271,26 @@ impl Pipeline {
         drop(out_tx);
 
         // Collector thread.
+        let epoch = Instant::now();
+        let heartbeat_ns = Arc::new(AtomicU64::new(0));
         {
             let counters = counters.clone();
             let stop = stop.clone();
+            let heartbeat_ns = heartbeat_ns.clone();
+            let beat_every = config.heartbeat_interval.max(Duration::from_millis(1));
             let mut sampler = FlowSampler::new(config.sample);
             let handle = std::thread::Builder::new()
                 .name("collector".into())
                 .spawn(move || {
-                    while let Ok(pkt) = in_rx.recv() {
+                    loop {
+                        // Liveness beat on every pass, so an idle but
+                        // healthy monitor keeps announcing itself.
+                        heartbeat_ns.store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let pkt = match in_rx.recv_timeout(beat_every) {
+                            Ok(pkt) => pkt,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
@@ -305,6 +327,8 @@ impl Pipeline {
             counters,
             stop,
             handles,
+            heartbeat_ns,
+            epoch,
         })
     }
 
@@ -333,6 +357,22 @@ impl Pipeline {
     /// Shared counters.
     pub fn counters(&self) -> &PipelineCounters {
         &self.counters
+    }
+
+    /// Nanoseconds (since pipeline start) of the collector's most recent
+    /// liveness beat. Beats continue while idle, so a stalled value means
+    /// the collector thread itself is gone.
+    pub fn last_heartbeat_ns(&self) -> u64 {
+        self.heartbeat_ns.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the collector last beat. Compare against a
+    /// multiple of [`PipelineConfig::heartbeat_interval`] to declare the
+    /// monitor dead.
+    pub fn heartbeat_age(&self) -> Duration {
+        self.epoch
+            .elapsed()
+            .saturating_sub(Duration::from_nanos(self.last_heartbeat_ns()))
     }
 
     /// Stops all threads and waits for them; pending queue contents are
@@ -539,6 +579,23 @@ mod tests {
             Some(MetricValue::Gauge(d)) => assert_eq!(*d, 0, "drained at shutdown"),
             other => panic!("queue depth gauge missing: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_heartbeat_beats_while_idle_and_stops_at_shutdown() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            heartbeat_interval: Duration::from_millis(5),
+            ..Default::default()
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let first = p.last_heartbeat_ns();
+        assert!(first > 0, "collector beat without any traffic");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(p.last_heartbeat_ns() > first, "heartbeat keeps advancing");
+        assert!(p.heartbeat_age() < Duration::from_secs(1));
+        p.shutdown(false);
     }
 
     #[test]

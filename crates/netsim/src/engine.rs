@@ -10,7 +10,7 @@ use netalytics_packet::Packet;
 use netalytics_sdn::{Action, FlowRule, FlowTable, SdnController, SwitchId};
 
 use crate::fattree::HostIdx;
-use crate::network::{Network, NodeId, NodeKind, PortId};
+use crate::network::{LinkId, Network, NodeId, NodeKind, PortId};
 use crate::time::{SimDuration, SimTime};
 
 /// A side effect requested by an application during a callback.
@@ -111,10 +111,94 @@ pub trait App {
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
 }
 
+/// One fault (or repair) the engine can apply to the substrate, either
+/// immediately or at a scheduled virtual time.
+///
+/// NFV monitors and queue brokers are ordinary cloud instances; at scale
+/// they fail, and the paper's placement algorithms exist precisely so
+/// queries survive on a changing substrate. These events are the
+/// substrate half of that story — the orchestrator's reconciler is the
+/// control-plane half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The host crashes: its app and pending timers are discarded, and
+    /// every packet addressed (or mirrored) to it is lost.
+    HostDown(HostIdx),
+    /// The host comes back empty; an app installed while it was down
+    /// receives its `on_start` now.
+    HostUp(HostIdx),
+    /// The link stops carrying packets in either direction.
+    LinkDown(LinkId),
+    /// The link carries traffic again.
+    LinkUp(LinkId),
+}
+
+/// A deterministic, pre-scheduled sequence of fault events.
+///
+/// Scripts make chaos experiments reproducible: the same script over the
+/// same workload yields the same packet-level outcome.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_netsim::{Engine, FailureScript, LinkSpec, Network, SimTime};
+///
+/// let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+/// let script = FailureScript::new()
+///     .fail_host(SimTime::from_nanos(1_000_000), 3)
+///     .repair_host(SimTime::from_nanos(5_000_000), 3);
+/// engine.apply_script(&script);
+/// engine.run_until(SimTime::from_nanos(2_000_000));
+/// assert!(!engine.host_is_up(3));
+/// engine.run_until(SimTime::from_nanos(6_000_000));
+/// assert!(engine.host_is_up(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailureScript {
+    events: Vec<(SimTime, FaultKind)>,
+}
+
+impl FailureScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a host crash at `at`.
+    pub fn fail_host(mut self, at: SimTime, host: HostIdx) -> Self {
+        self.events.push((at, FaultKind::HostDown(host)));
+        self
+    }
+
+    /// Schedules a host repair at `at`.
+    pub fn repair_host(mut self, at: SimTime, host: HostIdx) -> Self {
+        self.events.push((at, FaultKind::HostUp(host)));
+        self
+    }
+
+    /// Schedules a link failure at `at`.
+    pub fn fail_link(mut self, at: SimTime, link: LinkId) -> Self {
+        self.events.push((at, FaultKind::LinkDown(link)));
+        self
+    }
+
+    /// Schedules a link repair at `at`.
+    pub fn repair_link(mut self, at: SimTime, link: LinkId) -> Self {
+        self.events.push((at, FaultKind::LinkUp(link)));
+        self
+    }
+
+    /// The scheduled `(time, fault)` pairs, in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultKind)] {
+        &self.events
+    }
+}
+
 #[derive(Debug)]
 enum EventKind {
     Arrive { node: NodeId, packet: Packet },
     Timer { host: HostIdx, token: u64 },
+    Fault(FaultKind),
 }
 
 #[derive(Debug)]
@@ -154,6 +238,12 @@ pub struct EngineStats {
     pub events: u64,
     /// Packet-in requests sent to the controller.
     pub packet_ins: u64,
+    /// Fault events applied (host/link failures and repairs).
+    pub faults: u64,
+    /// Packets lost to failed hosts or links (subset of nothing else:
+    /// counted separately from `dropped` so recovery loops can attribute
+    /// loss to faults rather than policy).
+    pub lost_to_failure: u64,
 }
 
 /// The discrete-event simulator.
@@ -206,6 +296,10 @@ pub struct Engine {
     stats: EngineStats,
     /// Fixed per-switch processing latency.
     switch_latency: SimDuration,
+    /// Liveness of each host (index = `HostIdx`).
+    host_up: Vec<bool>,
+    /// Liveness of each link (index = `LinkId`).
+    link_up: Vec<bool>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -223,6 +317,7 @@ impl Engine {
     pub fn new(net: Network) -> Self {
         let hosts = net.num_hosts() as usize;
         let switches = net.num_switches() as usize;
+        let links = net.num_links();
         Engine {
             net,
             apps: (0..hosts).map(|_| None).collect(),
@@ -235,6 +330,8 @@ impl Engine {
             started: false,
             stats: EngineStats::default(),
             switch_latency: SimDuration::from_micros(1),
+            host_up: vec![true; hosts],
+            link_up: vec![true; links],
         }
     }
 
@@ -353,9 +450,117 @@ impl Engine {
         self.push(time, EventKind::Timer { host, token });
     }
 
+    /// True if host `h` is currently alive.
+    pub fn host_is_up(&self, h: HostIdx) -> bool {
+        self.host_up.get(h as usize).copied().unwrap_or(false)
+    }
+
+    /// True if link `l` is currently carrying traffic.
+    pub fn link_is_up(&self, l: LinkId) -> bool {
+        self.link_up.get(l.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Crashes host `h` immediately: its application and pending timers
+    /// are discarded, mirror rules targeting it are invalidated in every
+    /// switch table, and packets addressed to it (including copies
+    /// already in flight) are lost on arrival. Returns the number of
+    /// mirror rules invalidated. Idempotent.
+    pub fn fail_host(&mut self, h: HostIdx) -> usize {
+        if !self.host_is_up(h) {
+            return 0;
+        }
+        self.host_up[h as usize] = false;
+        self.apps[h as usize] = None;
+        self.stats.faults += 1;
+        // Purge the host's pending timers so a future tenant of the
+        // repaired host cannot receive a dead app's tokens.
+        let drained = std::mem::take(&mut self.queue);
+        self.queue = drained
+            .into_iter()
+            .filter(|Reverse(q)| !matches!(q.kind, EventKind::Timer { host, .. } if host == h))
+            .collect();
+        // Invalidate data-plane rules that mirror toward the dead host;
+        // the controller's desired state is the reconciler's business.
+        self.tables.iter_mut().map(|t| t.remove_mirrors_to(h)).sum()
+    }
+
+    /// Removes every switch-table rule mirroring toward `host` (without
+    /// failing the host), returning how many rules were removed. The
+    /// reconciler uses this to retire a monitor that is being replaced
+    /// while its host is still up.
+    pub fn remove_mirrors_to(&mut self, host: HostIdx) -> usize {
+        self.tables
+            .iter_mut()
+            .map(|t| t.remove_mirrors_to(host))
+            .sum()
+    }
+
+    /// Repairs host `h`: it comes back empty. If an application was
+    /// installed while the host was down, it receives `on_start` now.
+    /// Idempotent.
+    pub fn repair_host(&mut self, h: HostIdx) {
+        if self.host_is_up(h) {
+            return;
+        }
+        self.host_up[h as usize] = true;
+        self.stats.faults += 1;
+        if self.started && self.apps[h as usize].is_some() {
+            self.run_app(h, |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Fails link `l`: packets offered to it in either direction are
+    /// lost. Idempotent.
+    pub fn fail_link(&mut self, l: LinkId) {
+        if let Some(up) = self.link_up.get_mut(l.0 as usize) {
+            if *up {
+                *up = false;
+                self.stats.faults += 1;
+            }
+        }
+    }
+
+    /// Repairs link `l`. Idempotent.
+    pub fn repair_link(&mut self, l: LinkId) {
+        if let Some(up) = self.link_up.get_mut(l.0 as usize) {
+            if !*up {
+                *up = true;
+                self.stats.faults += 1;
+            }
+        }
+    }
+
+    /// Applies `fault` immediately.
+    pub fn apply_fault(&mut self, fault: FaultKind) {
+        match fault {
+            FaultKind::HostDown(h) => {
+                self.fail_host(h);
+            }
+            FaultKind::HostUp(h) => self.repair_host(h),
+            FaultKind::LinkDown(l) => self.fail_link(l),
+            FaultKind::LinkUp(l) => self.repair_link(l),
+        }
+    }
+
+    /// Schedules `fault` to strike at virtual time `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: FaultKind) {
+        self.push(at, EventKind::Fault(fault));
+    }
+
+    /// Schedules every event of `script` (deterministic chaos).
+    pub fn apply_script(&mut self, script: &FailureScript) {
+        for &(at, fault) in script.events() {
+            self.schedule_fault(at, fault);
+        }
+    }
+
     /// Transmits `packet` from `node` out `port` no earlier than `when`.
     fn transmit(&mut self, node: NodeId, port: PortId, packet: Packet, when: SimTime) {
         let link_id = self.net.link_at(node, port);
+        if !self.link_is_up(link_id) {
+            self.stats.lost_to_failure += 1;
+            return;
+        }
         let peer = self.net.peer(node, port);
         let link = &mut self.net.links[link_id.0 as usize];
         let dir = usize::from(link.ends[0].0 != node);
@@ -433,7 +638,11 @@ impl Engine {
                     }
                 }
                 Action::MirrorToHost(h) => {
-                    if h < self.net.num_hosts() {
+                    if h < self.net.num_hosts() && !self.host_is_up(h) {
+                        // Stale rule racing its invalidation: the copy
+                        // would die at the dead monitor anyway.
+                        self.stats.lost_to_failure += 1;
+                    } else if h < self.net.num_hosts() {
                         self.stats.mirrored += 1;
                         // Encapsulate so intermediate switches route the
                         // copy to the monitor, not the original target.
@@ -458,6 +667,9 @@ impl Engine {
     where
         F: FnOnce(&mut dyn App, &mut Ctx<'_>),
     {
+        if !self.host_is_up(host) {
+            return;
+        }
         let Some(mut app) = self.apps[host as usize].take() else {
             return;
         };
@@ -510,15 +722,21 @@ impl Engine {
         match ev.kind {
             EventKind::Arrive { node, packet } => match self.net.kind(node) {
                 NodeKind::Host(h) => {
-                    self.stats.delivered += 1;
-                    let stamped = packet.at_time(self.now.as_nanos());
-                    self.run_app(h, |app, ctx| app.on_packet(&stamped, ctx));
+                    if !self.host_is_up(h) {
+                        // In-flight packet reaching a dead NIC.
+                        self.stats.lost_to_failure += 1;
+                    } else {
+                        self.stats.delivered += 1;
+                        let stamped = packet.at_time(self.now.as_nanos());
+                        self.run_app(h, |app, ctx| app.on_packet(&stamped, ctx));
+                    }
                 }
                 NodeKind::Switch(..) => self.handle_switch(node, packet),
             },
             EventKind::Timer { host, token } => {
                 self.run_app(host, |app, ctx| app.on_timer(token, ctx));
             }
+            EventKind::Fault(fault) => self.apply_fault(fault),
         }
         true
     }
@@ -784,6 +1002,164 @@ mod tests {
         e.run_until_idle();
         assert_eq!(e.stats().dropped, 1);
         assert_eq!(e.stats().delivered, 0);
+    }
+
+    #[test]
+    fn fault_dead_host_loses_packets() {
+        let mut e = Engine::new(net4());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let dst_ip = e.network().host_ip(1);
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 3,
+            }),
+        );
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.fail_host(1);
+        assert!(!e.host_is_up(1));
+        e.run_until_idle();
+        assert!(got.borrow().is_empty(), "dead host must not deliver");
+        assert_eq!(e.stats().delivered, 0);
+        assert_eq!(e.stats().lost_to_failure, 3);
+        assert_eq!(e.stats().faults, 1);
+    }
+
+    #[test]
+    fn fault_repair_restores_delivery_and_restarts_app() {
+        let mut e = Engine::new(net4());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let dst_ip = e.network().host_ip(1);
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.fail_host(1);
+        e.repair_host(1);
+        assert!(e.host_is_up(1));
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 2,
+            }),
+        );
+        e.run_until_idle();
+        assert_eq!(got.borrow().len(), 2);
+        assert_eq!(e.stats().lost_to_failure, 0);
+    }
+
+    #[test]
+    fn fault_dead_host_invalidates_mirror_rules() {
+        let mut e = Engine::new(net4());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let dst_ip = e.network().host_ip(1);
+        e.install_rule(
+            e.edge_switch_id(0),
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+        );
+        // Killing monitor host 2 removes the mirror rule from the table.
+        let removed = e.fail_host(2);
+        assert_eq!(removed, 1);
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 2,
+            }),
+        );
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.run_until_idle();
+        assert_eq!(got.borrow().len(), 2, "original path unaffected");
+        assert_eq!(e.stats().mirrored, 0, "no copies to the dead monitor");
+        assert_eq!(
+            e.stats().lost_to_failure,
+            0,
+            "rule removed, not black-holed"
+        );
+    }
+
+    #[test]
+    fn fault_link_down_drops_in_flight() {
+        let mut e = Engine::new(net4());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let dst_ip = e.network().host_ip(1);
+        let uplink = e.network().host_uplink(0).expect("host 0 has an uplink");
+        e.fail_link(uplink);
+        assert!(!e.link_is_up(uplink));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 2,
+            }),
+        );
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.run_until_idle();
+        assert!(got.borrow().is_empty());
+        assert_eq!(e.stats().lost_to_failure, 2);
+        // Repair and resend: traffic flows again.
+        e.repair_link(uplink);
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
+        e.run_until_idle();
+        assert_eq!(got.borrow().len(), 1);
+    }
+
+    #[test]
+    fn fault_script_applies_at_virtual_times() {
+        let mut e = Engine::new(net4());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let dst_ip = e.network().host_ip(1);
+        let script = FailureScript::new()
+            .fail_host(SimTime::from_nanos(1_000_000), 1)
+            .repair_host(SimTime::from_nanos(2_000_000), 1);
+        e.apply_script(&script);
+        e.set_app(1, Box::new(Sink(got.clone())));
+        e.set_app(
+            0,
+            Box::new(SendOnce {
+                dst: dst_ip,
+                count: 1,
+            }),
+        );
+        // Before the failure fires, delivery works.
+        e.run_until(SimTime::from_nanos(500_000));
+        assert_eq!(got.borrow().len(), 1);
+        // Past the failure point the host is down; past repair it is up
+        // again (but appless — the script only restores the NIC).
+        e.run_until(SimTime::from_nanos(1_500_000));
+        assert!(!e.host_is_up(1));
+        e.run_until(SimTime::from_nanos(2_500_000));
+        assert!(e.host_is_up(1));
+        assert_eq!(e.stats().faults, 2);
+    }
+
+    #[test]
+    fn fault_dead_host_timers_purged() {
+        struct Ticker(Rc<RefCell<u64>>);
+        impl App for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.timer_in(SimDuration::from_millis(1), 1);
+            }
+            fn on_packet(&mut self, _p: &Packet, _c: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+                *self.0.borrow_mut() += 1;
+                ctx.timer_in(SimDuration::from_millis(1), 1);
+            }
+        }
+        let ticks = Rc::new(RefCell::new(0u64));
+        let mut e = Engine::new(net4());
+        e.set_app(0, Box::new(Ticker(ticks.clone())));
+        e.run_until(SimTime::from_nanos(3_500_000));
+        assert_eq!(*ticks.borrow(), 3);
+        e.fail_host(0);
+        e.run_until(SimTime::from_nanos(10_000_000));
+        assert_eq!(*ticks.borrow(), 3, "no ticks after host death");
     }
 }
 

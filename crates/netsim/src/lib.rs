@@ -24,7 +24,8 @@ pub mod resources;
 pub mod time;
 
 pub use engine::{
-    decapsulate_mirror, encapsulate_mirror, App, Ctx, Engine, EngineStats, MIRROR_ENCAP_PORT,
+    decapsulate_mirror, encapsulate_mirror, App, Ctx, Engine, EngineStats, FailureScript,
+    FaultKind, MIRROR_ENCAP_PORT,
 };
 pub use fattree::{FatTree, HostIdx, SwitchIdx, SwitchLevel};
 pub use network::{LinkId, LinkLevel, LinkSpec, Network, NodeId, NodeKind, PortId, TierTraffic};

@@ -207,6 +207,20 @@ impl Network {
         self.tree.num_switches()
     }
 
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link joining host `h` to its ToR switch, if `h` is in range.
+    pub fn host_uplink(&self, h: HostIdx) -> Option<LinkId> {
+        let node = self.host_node(h);
+        self.nodes
+            .get(node.0 as usize)
+            .and_then(|adj| adj.ports.first())
+            .map(|&(link, _)| link)
+    }
+
     /// [`NodeId`] of host `h`.
     pub fn host_node(&self, h: HostIdx) -> NodeId {
         NodeId(h)

@@ -8,6 +8,8 @@
 //! front; steady-state calls never hash or allocate a `String`.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -27,6 +29,13 @@ pub struct QueueConfig {
     pub partitions: usize,
     /// Message capacity per partition.
     pub partition_capacity: usize,
+    /// Replication factor: each partition is hosted by up to `replication`
+    /// consecutive brokers starting at its hash-assigned one, and the first
+    /// *live* replica acts as leader. This in-process reproduction models
+    /// synchronous replication by collapsing the replica logs into one
+    /// backing log, so failover changes only which broker is leader —
+    /// retained messages and consumer offsets survive the switch.
+    pub replication: usize,
 }
 
 impl Default for QueueConfig {
@@ -35,9 +44,36 @@ impl Default for QueueConfig {
             brokers: 1,
             partitions: 4,
             partition_capacity: 65_536,
+            replication: 1,
         }
     }
 }
+
+/// Why a produce was rejected instead of appended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProduceError {
+    /// Every replica of the target partition sits on a dead broker, so no
+    /// leader can accept the write. Producers should back off and retry —
+    /// the cluster re-elects as soon as a replica comes back.
+    NoLeader {
+        /// Topic the write was addressed to.
+        topic: String,
+        /// Partition (derived from the message key) that has no leader.
+        partition: usize,
+    },
+}
+
+impl fmt::Display for ProduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProduceError::NoLeader { topic, partition } => {
+                write!(f, "no live leader for {topic}/{partition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProduceError {}
 
 /// Interned handle for a topic name; cheap to copy and hash-free to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,10 +150,12 @@ struct Registry {
 /// use bytes::Bytes;
 ///
 /// let q = QueueCluster::new(QueueConfig::default());
-/// q.produce("http_get", 7, Bytes::from_static(b"batch"), 0);
-/// let msgs = q.consume("storm", "http_get", 10);
-/// assert_eq!(msgs.len(), 1);
-/// assert!(q.consume("storm", "http_get", 10).is_empty(), "offset advanced");
+/// let t = q.topic_id("http_get");
+/// let g = q.group_id("storm");
+/// q.produce_to(t, 7, Bytes::from_static(b"batch"), 0);
+/// let mut out = Vec::new();
+/// assert_eq!(q.consume_batch(g, t, 10, &mut out), 1);
+/// assert_eq!(q.consume_batch(g, t, 10, &mut out), 0, "offset advanced");
 /// ```
 #[derive(Debug)]
 pub struct QueueCluster {
@@ -125,6 +163,11 @@ pub struct QueueCluster {
     registry: RwLock<Registry>,
     /// (group, topic) → per-partition cursor.
     cursors: Mutex<HashMap<(GroupId, TopicId), GroupCursor>>,
+    /// Per-broker liveness, toggled by [`QueueCluster::fail_broker`] /
+    /// [`QueueCluster::restore_broker`].
+    broker_up: Vec<AtomicBool>,
+    /// Messages rejected because their partition had no live leader.
+    failure_drops: AtomicU64,
 }
 
 impl QueueCluster {
@@ -132,14 +175,17 @@ impl QueueCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `brokers` or `partitions` is zero.
+    /// Panics if `brokers`, `partitions`, or `replication` is zero.
     pub fn new(config: QueueConfig) -> Self {
         assert!(config.brokers > 0, "need at least one broker");
         assert!(config.partitions > 0, "need at least one partition");
+        assert!(config.replication > 0, "need a replication factor of >= 1");
         QueueCluster {
             config,
             registry: RwLock::new(Registry::default()),
             cursors: Mutex::new(HashMap::new()),
+            broker_up: (0..config.brokers).map(|_| AtomicBool::new(true)).collect(),
+            failure_drops: AtomicU64::new(0),
         }
     }
 
@@ -266,6 +312,8 @@ impl QueueCluster {
     }
 
     /// The broker that owns `partition` of `topic` (stable assignment).
+    /// With replication this is the *preferred* leader; the acting leader
+    /// is [`QueueCluster::leader_of`].
     pub fn broker_of(&self, topic: &str, partition: usize) -> usize {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in topic.bytes() {
@@ -274,22 +322,104 @@ impl QueueCluster {
         ((h as usize).wrapping_add(partition)) % self.config.brokers
     }
 
+    /// The replica set of `partition`: up to `replication` distinct brokers
+    /// starting at the preferred leader, wrapping around the cluster.
+    pub fn replicas_of(&self, topic: &str, partition: usize) -> Vec<usize> {
+        let base = self.broker_of(topic, partition);
+        let n = self.config.replication.min(self.config.brokers);
+        (0..n).map(|i| (base + i) % self.config.brokers).collect()
+    }
+
+    /// The acting leader of `partition`: the first live replica, or `None`
+    /// when every replica is on a dead broker. Election is stateless and
+    /// deterministic, so all producers and consumers agree without a
+    /// coordination round — the paper's controller would drive the same
+    /// re-election through ZooKeeper.
+    pub fn leader_of(&self, topic: &str, partition: usize) -> Option<usize> {
+        self.replicas_of(topic, partition)
+            .into_iter()
+            .find(|&b| self.broker_is_up(b))
+    }
+
+    /// Marks a broker dead: partitions it leads fail over to the next live
+    /// replica (or reject writes if there is none). Idempotent.
+    pub fn fail_broker(&self, broker: usize) {
+        if let Some(b) = self.broker_up.get(broker) {
+            b.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Brings a broker back; partitions preferring it regain their leader.
+    pub fn restore_broker(&self, broker: usize) {
+        if let Some(b) = self.broker_up.get(broker) {
+            b.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `broker` is currently alive (out-of-range indices are dead).
+    pub fn broker_is_up(&self, broker: usize) -> bool {
+        self.broker_up
+            .get(broker)
+            .is_some_and(|b| b.load(Ordering::Relaxed))
+    }
+
+    /// How many brokers are currently alive.
+    pub fn alive_brokers(&self) -> usize {
+        self.broker_up
+            .iter()
+            .filter(|b| b.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Messages rejected by the infallible produce paths because their
+    /// partition had no live leader.
+    pub fn lost_to_failure(&self) -> u64 {
+        self.failure_drops.load(Ordering::Relaxed)
+    }
+
     /// Produces a message; the partition is chosen by `key` so tuples of
     /// one flow stay ordered. Topics are auto-created. Returns the
     /// assigned offset.
-    ///
-    /// Name-keyed convenience wrapper over [`QueueCluster::produce_to`];
-    /// hot paths should intern once and use the id-keyed APIs.
+    #[deprecated(note = "intern once with `topic_id` and call `produce_to`")]
     pub fn produce(&self, topic: &str, key: u64, payload: Bytes, ts_ns: u64) -> u64 {
         self.produce_to(self.topic_id(topic), key, payload, ts_ns)
     }
 
     /// Produces one message to an interned topic. Returns the offset.
+    ///
+    /// If the target partition currently has no live leader the message is
+    /// counted in [`QueueCluster::lost_to_failure`] and `0` is returned;
+    /// producers that must not lose data should use
+    /// [`QueueCluster::try_produce_to`] and retry with backoff.
     pub fn produce_to(&self, topic: TopicId, key: u64, payload: Bytes, ts_ns: u64) -> u64 {
+        match self.try_produce_to(topic, key, payload, ts_ns) {
+            Ok(offset) => offset,
+            Err(ProduceError::NoLeader { .. }) => {
+                self.failure_drops.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
+    /// Produces one message, or reports that the partition has no live
+    /// leader so the caller can back off and retry.
+    pub fn try_produce_to(
+        &self,
+        topic: TopicId,
+        key: u64,
+        payload: Bytes,
+        ts_ns: u64,
+    ) -> Result<u64, ProduceError> {
         let t = self.topic(topic);
         let p = (key % t.partitions.len() as u64) as usize;
+        if self.leader_of(&t.name, p).is_none() {
+            return Err(ProduceError::NoLeader {
+                topic: t.name.clone(),
+                partition: p,
+            });
+        }
         let offset = t.partitions[p].lock().append(key, payload, ts_ns);
-        offset
+        Ok(offset)
     }
 
     /// Produces a whole batch of `(key, payload, ts_ns)` messages,
@@ -303,18 +433,23 @@ impl QueueCluster {
         let t = self.topic(topic);
         let nparts = t.partitions.len();
         let mut buckets: Vec<Vec<(u64, Bytes, u64)>> = vec![Vec::new(); nparts];
-        let mut total = 0;
         for (key, payload, ts_ns) in items {
             buckets[(key % nparts as u64) as usize].push((key, payload, ts_ns));
-            total += 1;
         }
+        let mut total = 0;
         for (p, bucket) in buckets.into_iter().enumerate() {
             if bucket.is_empty() {
+                continue;
+            }
+            if self.leader_of(&t.name, p).is_none() {
+                self.failure_drops
+                    .fetch_add(bucket.len() as u64, Ordering::Relaxed);
                 continue;
             }
             let mut log = t.partitions[p].lock();
             for (key, payload, ts_ns) in bucket {
                 log.append(key, payload, ts_ns);
+                total += 1;
             }
         }
         if let Some(tel) = self.telemetry_of(topic) {
@@ -325,8 +460,7 @@ impl QueueCluster {
 
     /// Consumes up to `max` messages for `group` from `topic`, visiting
     /// partitions round-robin and advancing the group's offsets.
-    ///
-    /// Name-keyed convenience wrapper over [`QueueCluster::consume_batch`].
+    #[deprecated(note = "intern once with `group_id`/`topic_id` and call `consume_batch`")]
     pub fn consume(&self, group: &str, topic: &str, max: usize) -> Vec<Message> {
         let (g, t) = (self.group_id(group), self.topic_id(topic));
         let mut out = Vec::new();
@@ -340,6 +474,11 @@ impl QueueCluster {
     /// Successive calls start their partition scan one partition further
     /// along, so with small `max` every partition is eventually visited
     /// first and none can be starved by its lower-numbered peers.
+    ///
+    /// Partitions whose replicas are all on dead brokers are skipped —
+    /// their group offsets are retained cluster-side (the replicated
+    /// `__consumer_offsets` of real Kafka), so consumption resumes exactly
+    /// where it stopped once a replica returns.
     pub fn consume_batch(
         &self,
         group: GroupId,
@@ -360,6 +499,9 @@ impl QueueCluster {
                 break;
             }
             let p = (start + i) % nparts;
+            if self.leader_of(&t.name, p).is_none() {
+                continue;
+            }
             let (msgs, next) = t.partitions[p].lock().read(cur.offsets[p], max - appended);
             cur.offsets[p] = next;
             appended += msgs.len();
@@ -375,6 +517,7 @@ impl QueueCluster {
     }
 
     /// Total messages buffered across a topic's partitions.
+    #[deprecated(note = "intern once with `topic_id` and call `depth_of`")]
     pub fn depth(&self, topic: &str) -> usize {
         self.lookup(topic)
             .map(|t| t.partitions.iter().map(|p| p.lock().len()).sum())
@@ -389,6 +532,7 @@ impl QueueCluster {
     }
 
     /// Messages dropped to overflow across a topic's partitions.
+    #[deprecated(note = "intern once with `topic_id` and call `dropped_of`")]
     pub fn dropped(&self, topic: &str) -> u64 {
         self.lookup(topic)
             .map(|t| t.partitions.iter().map(|p| p.lock().dropped()).sum())
@@ -402,6 +546,7 @@ impl QueueCluster {
     }
 
     /// Total payload bytes appended to a topic.
+    #[deprecated(note = "intern once with `topic_id` and call `bytes_in_of`")]
     pub fn bytes_in(&self, topic: &str) -> u64 {
         self.lookup(topic)
             .map(|t| t.partitions.iter().map(|p| p.lock().bytes_in()).sum())
@@ -416,10 +561,18 @@ impl QueueCluster {
 
     /// The worst (most loaded) partition pressure of a topic — the signal
     /// sent back to monitors for adaptive sampling (§4.2).
+    #[deprecated(note = "intern once with `topic_id` and call `pressure_of`")]
     pub fn pressure(&self, topic: &str) -> Pressure {
-        let Some(t) = self.lookup(topic) else {
-            return Pressure::Underloaded;
-        };
+        match self.registry.read().topic_ids.get(topic) {
+            Some(&id) => self.pressure_of(id),
+            None => Pressure::Underloaded,
+        }
+    }
+
+    /// Id-keyed [`QueueCluster::pressure`]: the adaptive-sampling feedback
+    /// loop polls this every tick, so it must not hash topic names.
+    pub fn pressure_of(&self, topic: TopicId) -> Pressure {
+        let t = self.topic(topic);
         let mut worst = Pressure::Underloaded;
         for p in &t.partitions {
             match p.lock().pressure() {
@@ -432,6 +585,7 @@ impl QueueCluster {
     }
 
     /// How far `group` lags behind the end of `topic`, in messages.
+    #[deprecated(note = "intern once with `group_id`/`topic_id` and call `lag_of`")]
     pub fn lag(&self, group: &str, topic: &str) -> u64 {
         let (g, tid) = (self.group_id(group), self.topic_id(topic));
         self.lag_of(g, tid)
@@ -478,70 +632,84 @@ mod tests {
             brokers: 2,
             partitions: 2,
             partition_capacity: 4,
+            replication: 1,
         })
     }
 
     #[test]
     fn produce_consume_roundtrip() {
         let q = small();
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
         for i in 0..4u64 {
-            q.produce("t", i, Bytes::from(vec![i as u8]), i);
+            q.produce_to(t, i, Bytes::from(vec![i as u8]), i);
         }
-        let msgs = q.consume("g", "t", 10);
-        assert_eq!(msgs.len(), 4);
-        assert!(q.consume("g", "t", 10).is_empty());
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(g, t, 10, &mut out), 4);
+        assert_eq!(q.consume_batch(g, t, 10, &mut out), 0);
     }
 
     #[test]
     fn groups_are_independent() {
         let q = small();
-        q.produce("t", 0, Bytes::from_static(b"m"), 0);
-        assert_eq!(q.consume("g1", "t", 10).len(), 1);
-        assert_eq!(q.consume("g2", "t", 10).len(), 1, "g2 has its own offsets");
+        let t = q.topic_id("t");
+        q.produce_to(t, 0, Bytes::from_static(b"m"), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(q.group_id("g1"), t, 10, &mut out), 1);
+        let mut out2 = Vec::new();
+        assert_eq!(
+            q.consume_batch(q.group_id("g2"), t, 10, &mut out2),
+            1,
+            "g2 has its own offsets"
+        );
     }
 
     #[test]
     fn same_key_preserves_order() {
         let q = small();
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
         for i in 0..8u64 {
-            q.produce("t", 42, Bytes::from(vec![i as u8]), i);
+            q.produce_to(t, 42, Bytes::from(vec![i as u8]), i);
         }
         // capacity 4 per partition: oldest 4 shed.
-        let msgs = q.consume("g", "t", 10);
+        let mut msgs = Vec::new();
+        q.consume_batch(g, t, 10, &mut msgs);
         let payloads: Vec<u8> = msgs.iter().map(|m| m.payload[0]).collect();
         assert_eq!(payloads, vec![4, 5, 6, 7]);
-        assert_eq!(q.dropped("t"), 4);
+        assert_eq!(q.dropped_of(t), 4);
     }
 
     #[test]
     fn pressure_reflects_fill() {
         let q = small();
-        assert_eq!(q.pressure("t"), Pressure::Underloaded);
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        assert_eq!(q.pressure_of(t), Pressure::Underloaded);
         for i in 0..8u64 {
-            q.produce("t", i, Bytes::from_static(b"m"), 0);
+            q.produce_to(t, i, Bytes::from_static(b"m"), 0);
         }
-        assert_eq!(q.pressure("t"), Pressure::Overloaded);
-        q.consume("g", "t", 100);
+        assert_eq!(q.pressure_of(t), Pressure::Overloaded);
+        let mut out = Vec::new();
+        q.consume_batch(g, t, 100, &mut out);
         // Consuming does not remove messages (retention-based log), so
         // pressure stays until overwritten — matching Kafka semantics.
-        assert_eq!(q.pressure("t"), Pressure::Overloaded);
+        assert_eq!(q.pressure_of(t), Pressure::Overloaded);
     }
 
     #[test]
     fn lag_accounts_for_shed_messages() {
         let q = small();
-        for i in 0..4u64 {
-            q.produce("t", 0, Bytes::from_static(b"m"), 0);
-            let _ = i;
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        for _ in 0..4 {
+            q.produce_to(t, 0, Bytes::from_static(b"m"), 0);
         }
-        assert_eq!(q.lag("g", "t"), 4);
-        q.consume("g", "t", 2);
-        assert_eq!(q.lag("g", "t"), 2);
+        assert_eq!(q.lag_of(g, t), 4);
+        let mut out = Vec::new();
+        q.consume_batch(g, t, 2, &mut out);
+        assert_eq!(q.lag_of(g, t), 2);
         // Overflow the partition; lag counts only retained + future.
         for _ in 0..6 {
-            q.produce("t", 0, Bytes::from_static(b"m"), 0);
+            q.produce_to(t, 0, Bytes::from_static(b"m"), 0);
         }
-        assert_eq!(q.lag("g", "t"), 4, "capped by retention window");
+        assert_eq!(q.lag_of(g, t), 4, "capped by retention window");
     }
 
     #[test]
@@ -561,13 +729,15 @@ mod tests {
             brokers: 2,
             partitions: 4,
             partition_capacity: 100_000,
+            replication: 1,
         }));
+        let topic = q.topic_id("t");
         let producers: Vec<_> = (0..4)
             .map(|t| {
                 let q = q.clone();
                 std::thread::spawn(move || {
                     for i in 0..1000u64 {
-                        q.produce("t", t * 1000 + i, Bytes::from_static(b"m"), i);
+                        q.produce_to(topic, t * 1000 + i, Bytes::from_static(b"m"), i);
                     }
                 })
             })
@@ -575,9 +745,11 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
+        let g = q.group_id("g");
         let mut total = 0;
         loop {
-            let got = q.consume("g", "t", 512).len();
+            let mut out = Vec::new();
+            let got = q.consume_batch(g, topic, 512, &mut out);
             if got == 0 {
                 break;
             }
@@ -606,20 +778,23 @@ mod tests {
         let items: Vec<(u64, Bytes, u64)> = (0..64u64)
             .map(|i| (i, Bytes::from(vec![i as u8]), i))
             .collect();
+        let tp = per_msg.topic_id("t");
         for (k, p, ts) in items.clone() {
-            per_msg.produce("t", k, p, ts);
+            per_msg.produce_to(tp, k, p, ts);
         }
         let t = batched.topic_id("t");
         assert_eq!(batched.produce_batch(t, items), 64);
-        let a = per_msg.consume("g", "t", 1000);
-        let b = batched.consume("g", "t", 1000);
+        let mut a = Vec::new();
+        per_msg.consume_batch(per_msg.group_id("g"), tp, 1000, &mut a);
+        let mut b = Vec::new();
+        batched.consume_batch(batched.group_id("g"), t, 1000, &mut b);
         assert_eq!(a.len(), b.len());
         // Same per-partition ordering: compare (key, payload) multisets per
         // consume order, which is deterministic given identical state.
         let pa: Vec<_> = a.iter().map(|m| (m.key, m.payload.clone())).collect();
         let pb: Vec<_> = b.iter().map(|m| (m.key, m.payload.clone())).collect();
         assert_eq!(pa, pb);
-        assert_eq!(batched.depth("t"), 64);
+        assert_eq!(batched.depth_of(t), 64);
     }
 
     #[test]
@@ -630,16 +805,19 @@ mod tests {
             brokers: 1,
             partitions: 4,
             partition_capacity: 1024,
+            replication: 1,
         });
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
         // One message in every partition (keys 0..4 map to partitions 0..4).
         for k in 0..4u64 {
-            q.produce("t", k, Bytes::from(vec![k as u8]), 0);
+            q.produce_to(t, k, Bytes::from(vec![k as u8]), 0);
         }
         let mut seen = std::collections::BTreeSet::new();
         for round in 0..4 {
             // Keep partition 0 permanently non-empty, as a hot flow would.
-            q.produce("t", 0, Bytes::from_static(b"hot"), 0);
-            let msgs = q.consume("g", "t", 1);
+            q.produce_to(t, 0, Bytes::from_static(b"hot"), 0);
+            let mut msgs = Vec::new();
+            q.consume_batch(g, t, 1, &mut msgs);
             assert_eq!(msgs.len(), 1, "round {round} should yield a message");
             seen.insert((msgs[0].key % 4) as u8);
         }
@@ -682,8 +860,8 @@ mod tests {
             Some(MetricValue::Gauge(lag)) => assert_eq!(*lag, 0),
             other => panic!("queue.lag missing: {other:?}"),
         }
-        assert_eq!(q.depth_of(early), q.depth("early"));
-        assert_eq!(q.lag_of(g, late), q.lag("g", "late"));
+        assert_eq!(q.depth_of(early), 6);
+        assert_eq!(q.lag_of(g, late), 0);
     }
 
     #[test]
@@ -700,5 +878,125 @@ mod tests {
         assert_eq!(second, 2);
         assert_eq!(out.len(), 6);
         assert_eq!(q.consume_batch(g, t, 4, &mut out), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn string_wrappers_delegate_to_id_keyed_paths() {
+        let q = small();
+        q.produce("t", 3, Bytes::from_static(b"m"), 0);
+        assert_eq!(q.depth("t"), 1);
+        assert_eq!(q.depth("missing"), 0);
+        assert_eq!(q.pressure("missing"), Pressure::Underloaded);
+        assert_eq!(q.consume("g", "t", 10).len(), 1);
+        assert_eq!(q.lag("g", "t"), 0);
+        assert_eq!(q.dropped("t"), 0);
+        assert_eq!(q.bytes_in("t"), 1);
+    }
+
+    #[test]
+    fn fault_replica_sets_are_distinct_consecutive_brokers() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 3,
+            partitions: 2,
+            partition_capacity: 16,
+            replication: 2,
+        });
+        for p in 0..2 {
+            let reps = q.replicas_of("t", p);
+            assert_eq!(reps.len(), 2);
+            assert_ne!(reps[0], reps[1]);
+            assert_eq!(reps[0], q.broker_of("t", p), "preferred leader first");
+            assert_eq!(q.leader_of("t", p), Some(reps[0]));
+        }
+        // Replication clamps to the broker count.
+        let wide = QueueCluster::new(QueueConfig {
+            brokers: 2,
+            partitions: 1,
+            partition_capacity: 16,
+            replication: 5,
+        });
+        assert_eq!(wide.replicas_of("t", 0).len(), 2);
+    }
+
+    #[test]
+    fn fault_failover_reelects_and_resumes_offsets() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 2,
+            partitions: 1,
+            partition_capacity: 64,
+            replication: 2,
+        });
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        for i in 0..6u64 {
+            q.produce_to(t, 0, Bytes::from(vec![i as u8]), i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(g, t, 3, &mut out), 3);
+        // Kill the preferred leader: the follower is elected, writes and
+        // reads keep flowing, and the group resumes from its old offset.
+        let leader = q.leader_of("t", 0).unwrap();
+        q.fail_broker(leader);
+        let new_leader = q.leader_of("t", 0).unwrap();
+        assert_ne!(new_leader, leader);
+        assert!(q.try_produce_to(t, 0, Bytes::from_static(b"x"), 6).is_ok());
+        out.clear();
+        assert_eq!(q.consume_batch(g, t, 100, &mut out), 4);
+        assert_eq!(out[0].payload[0], 3, "resumed at offset 3, not 0");
+        assert_eq!(q.lost_to_failure(), 0);
+        // Restoring the preferred leader hands leadership back.
+        q.restore_broker(leader);
+        assert_eq!(q.leader_of("t", 0), Some(leader));
+    }
+
+    #[test]
+    fn fault_no_leader_rejects_and_counts() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 2,
+            partitions: 1,
+            partition_capacity: 64,
+            replication: 1,
+        });
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        q.produce_to(t, 0, Bytes::from_static(b"before"), 0);
+        let leader = q.leader_of("t", 0).unwrap();
+        q.fail_broker(leader);
+        assert_eq!(q.leader_of("t", 0), None, "replication=1: no failover");
+        assert_eq!(
+            q.try_produce_to(t, 0, Bytes::from_static(b"x"), 1),
+            Err(ProduceError::NoLeader {
+                topic: "t".into(),
+                partition: 0,
+            })
+        );
+        // The infallible paths count instead of silently succeeding.
+        q.produce_to(t, 0, Bytes::from_static(b"x"), 1);
+        let items = vec![(0u64, Bytes::from_static(b"x"), 2u64)];
+        assert_eq!(q.produce_batch(t, items), 0);
+        assert_eq!(q.lost_to_failure(), 2);
+        // Consumers skip the dead partition but keep their offsets.
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(g, t, 10, &mut out), 0);
+        q.restore_broker(leader);
+        assert_eq!(q.consume_batch(g, t, 10, &mut out), 1);
+        assert_eq!(&out[0].payload[..], b"before");
+    }
+
+    #[test]
+    fn fault_alive_broker_accounting() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 3,
+            partitions: 1,
+            partition_capacity: 4,
+            replication: 1,
+        });
+        assert_eq!(q.alive_brokers(), 3);
+        q.fail_broker(1);
+        q.fail_broker(1); // idempotent
+        assert_eq!(q.alive_brokers(), 2);
+        assert!(!q.broker_is_up(1));
+        assert!(!q.broker_is_up(99), "out of range is dead");
+        q.restore_broker(1);
+        assert_eq!(q.alive_brokers(), 3);
     }
 }

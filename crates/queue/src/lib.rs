@@ -10,11 +10,16 @@
 //! ([`PartitionLog`]) with keyed produce, consumer groups, overflow
 //! shedding, and the watermark [`Pressure`] signal that drives the
 //! feedback sampler in `netalytics-monitor` (§4.2).
+//!
+//! Partitions are replicated across brokers ([`QueueConfig::replication`]);
+//! when a broker dies the first live replica is elected leader, producers
+//! retry with capped exponential backoff ([`RetryPolicy`]), and consumer
+//! groups resume from their cluster-side offsets after failover.
 
 pub mod cluster;
 pub mod log;
 pub mod writer;
 
-pub use cluster::{GroupId, QueueCluster, QueueConfig, TopicId};
+pub use cluster::{GroupId, ProduceError, QueueCluster, QueueConfig, TopicId};
 pub use log::{Message, PartitionLog, Pressure};
-pub use writer::QueueWriter;
+pub use writer::{QueueWriter, RetryPolicy};

@@ -124,6 +124,25 @@ impl SdnController {
         out
     }
 
+    /// Removes every desired/pending rule carrying a
+    /// `MirrorToHost(host)` action — the control-plane invalidation step
+    /// when a monitor host dies, so reactive pulls cannot resurrect
+    /// mirrors to a dead NIC. Returns how many desired rules were
+    /// removed.
+    pub fn remove_mirrors_to(&mut self, host: crate::rule::HostId) -> usize {
+        let dead = crate::rule::Action::MirrorToHost(host);
+        let mut removed = 0;
+        for rules in self.desired.values_mut() {
+            let before = rules.len();
+            rules.retain(|r| !r.actions.contains(&dead));
+            removed += before - rules.len();
+        }
+        for rules in self.pending.values_mut() {
+            rules.retain(|r| !r.actions.contains(&dead));
+        }
+        removed
+    }
+
     /// Desired rules currently held for `switch`.
     pub fn desired_for(&self, switch: SwitchId) -> &[FlowRule] {
         self.desired.get(&switch).map_or(&[], Vec::as_slice)
@@ -187,6 +206,24 @@ mod tests {
         assert!(c.packet_in(1, &miss).is_empty());
         assert_eq!(c.packet_in_count(1), 2);
         assert_eq!(c.packet_in_count(2), 0);
+    }
+
+    #[test]
+    fn fault_dead_host_mirrors_purged_from_desired_state() {
+        let mut c = SdnController::new();
+        c.install(1, mirror(7), InstallMode::Reactive); // mirrors to host 5
+        assert_eq!(c.remove_mirrors_to(5), 1);
+        let hit = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 9),
+            80,
+            IpProto::Tcp,
+        );
+        assert!(
+            c.packet_in(1, &hit).is_empty(),
+            "a reactive pull must not resurrect mirrors to a dead host"
+        );
     }
 
     #[test]

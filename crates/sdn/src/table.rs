@@ -94,6 +94,16 @@ impl FlowTable {
         before - self.entries.len()
     }
 
+    /// Removes every rule carrying a `MirrorToHost(host)` action — the
+    /// data-plane invalidation step when a monitor host dies. Returns how
+    /// many rules were removed.
+    pub fn remove_mirrors_to(&mut self, host: crate::rule::HostId) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !e.rule.actions.contains(&Action::MirrorToHost(host)));
+        before - self.entries.len()
+    }
+
     /// Looks up the highest-priority rule matching `flow`, updating its
     /// counters with one packet of `len` bytes. Returns the action list.
     pub fn lookup(&mut self, flow: &FlowKey, len: usize) -> Option<&[Action]> {

@@ -136,7 +136,8 @@ mod tests {
             DataTuple::new(1, 0).with("url", "/a"),
             DataTuple::new(2, 0).with("url", "/b"),
         ]);
-        cluster.produce("http_get", 1, batch.encode(), 0);
+        let t = cluster.topic_id("http_get");
+        cluster.produce_to(t, 1, batch.encode(), 0);
         let mut spout = QueueSpout::new(cluster.clone(), "http_get", "storm");
         let got = spout.poll(10);
         assert_eq!(got.len(), 2);
@@ -147,12 +148,13 @@ mod tests {
     #[test]
     fn queue_spout_poll_batch_drains_multiple_messages() {
         let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        let t = cluster.topic_id("t");
         for k in 0..3u64 {
             let batch = TupleBatch::from_tuples(vec![
                 DataTuple::new(k * 2, 0),
                 DataTuple::new(k * 2 + 1, 0),
             ]);
-            cluster.produce("t", k, batch.encode(), 0);
+            cluster.produce_to(t, k, batch.encode(), 0);
         }
         let mut spout = QueueSpout::new(cluster, "t", "g");
         let got = spout.poll_batch(10);
@@ -163,9 +165,10 @@ mod tests {
     #[test]
     fn corrupt_payloads_counted_not_fatal() {
         let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
-        cluster.produce("t", 1, Bytes::from_static(&[0xff; 3]), 0);
+        let t = cluster.topic_id("t");
+        cluster.produce_to(t, 1, Bytes::from_static(&[0xff; 3]), 0);
         let good = TupleBatch::from_tuples(vec![DataTuple::new(1, 0)]);
-        cluster.produce("t", 1, good.encode(), 0);
+        cluster.produce_to(t, 1, good.encode(), 0);
         let mut spout = QueueSpout::new(cluster, "t", "g");
         let got = spout.poll(10);
         assert_eq!(got.len(), 1);

@@ -19,7 +19,7 @@ use netalytics_apps::{
     sample_sink, AppServerBehavior, ClientApp, Conversation, MemcachedBehavior, MysqlBehavior,
     ProxyBehavior, TierApp,
 };
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 
 fn histogram(samples: &[f64], bucket_ms: f64) -> Vec<(f64, usize)> {
@@ -34,7 +34,7 @@ fn histogram(samples: &[f64], bucket_ms: f64) -> Vec<(f64, usize)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
 
     // Topology roles (paper Fig. 9): client → proxy → {app1, app2} →
     // {MySQL, Memcached}.

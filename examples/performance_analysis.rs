@@ -24,7 +24,7 @@ use netalytics::Orchestrator;
 use netalytics_apps::{
     sample_sink, ClientApp, Conversation, Endpoint, MysqlBehavior, Plan, TierApp, TierBehavior,
 };
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::{http, mysql};
 
 /// The web application's pages and the SQL each one runs (the paper's
@@ -114,7 +114,7 @@ fn print_histogram(values: &[f64], bucket: f64, unit: &str) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
     let (client, web, db) = (0u32, 4u32, 8u32);
     orch.name_host("h1", web);
     orch.name_host("h2", db);

@@ -8,12 +8,12 @@
 
 use netalytics::Orchestrator;
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An emulated data center: 16 hosts, 10 GbE links.
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
 
     // 2. A web server on host 1 ...
     orch.name_host("web", 1);

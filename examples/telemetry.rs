@@ -11,11 +11,11 @@
 
 use netalytics::Orchestrator;
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
 
     orch.name_host("web", 1);
     let web_ip = orch.host_ip(1);

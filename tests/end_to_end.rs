@@ -4,13 +4,13 @@
 
 use netalytics::Orchestrator;
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 
 /// Builds a k=4 data center with a web server on host 1 and a client on
 /// host 0 fetching `urls` round-robin.
 fn web_setup(urls: &[&str], requests: u64) -> (Orchestrator, netalytics_apps::SampleSink) {
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
     orch.name_host("web", 1);
     let web_ip = orch.host_ip(1);
     orch.deploy_app(
@@ -190,7 +190,8 @@ fn concurrent_queries_are_isolated() {
         .expect("q2");
     assert_ne!(q1.cookie, q2.cookie);
     assert_ne!(
-        q1.monitor_hosts, q2.monitor_hosts,
+        q1.monitor_hosts(),
+        q2.monitor_hosts(),
         "each query gets its own monitor host"
     );
     orch.run_until(SimTime::from_nanos(2_100_000_000));

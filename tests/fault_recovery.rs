@@ -1,0 +1,181 @@
+//! Chaos end-to-end: the self-healing control loop across the whole
+//! stack. A deterministic failure script kills NetAlytics processes
+//! mid-query; the reconciler must detect via heartbeats, re-run
+//! placement, reinstall mirror rules and keep the query's results close
+//! to the no-failure baseline.
+
+use netalytics::Orchestrator;
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::{FailureScript, SimDuration, SimTime};
+use netalytics_packet::http;
+
+const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                     PROCESS (group-sum: group=url, value=t_ns)";
+
+/// Web tier on host 1, a client on host 0 driving one conversation
+/// every 10 ms of virtual time.
+fn deploy_web(orch: &mut Orchestrator, conversations: u64) {
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+    );
+    let schedule = (0..conversations)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 10_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get("/r", "web")],
+                    tag: "c".into(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+}
+
+/// The headline acceptance scenario: one monitor host fails mid-query;
+/// the reconciler redeploys within 3 heartbeat intervals and the final
+/// tuple count stays within 10% of a failure-free baseline.
+#[test]
+fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
+    // Failure-free baseline.
+    let mut base = Orchestrator::builder(4).build();
+    deploy_web(&mut base, 60);
+    let baseline = base
+        .run_query_resilient(QUERY, SimDuration::from_secs(1))
+        .expect("baseline query");
+    let baseline_tuples = baseline.aggregator.tuples_in;
+    assert!(baseline_tuples > 0, "baseline saw traffic");
+
+    // Chaos run: identical workload, monitor host dies at t=200ms.
+    let hb = SimDuration::from_millis(10);
+    let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
+    deploy_web(&mut orch, 60);
+    let mut q = orch.submit(QUERY).expect("submit");
+    let victim = q.monitor_hosts()[0];
+    let fail_at = SimTime::from_nanos(200_000_000);
+    let script = FailureScript::new().fail_host(fail_at, victim);
+    orch.engine_mut().apply_script(&script);
+
+    // Run (reconciling) up to the failure point, then time the repair.
+    orch.run_reconciling(&mut q, fail_at)
+        .expect("pre-fault run");
+    let took = orch
+        .await_recovery(&mut q, SimDuration::from_millis(200))
+        .expect("recovered");
+    assert!(
+        took.as_nanos() <= 3 * hb.as_nanos(),
+        "redeployed within 3 heartbeat intervals (took {} ns)",
+        took.as_nanos()
+    );
+    assert!(q.replacements() >= 1, "a replacement happened");
+    assert_ne!(
+        q.monitor_hosts()[0],
+        victim,
+        "placement moved off the dead host"
+    );
+
+    // Run the query out and finalize.
+    let deadline = q.deadline.expect("time-limited query");
+    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+        .expect("post-fault run");
+    let snap = orch.telemetry_report();
+    assert!(
+        snap.histogram_merged("reconcile.recovery_time_ns").count() >= 1,
+        "recovery time histogram populated"
+    );
+    assert!(
+        snap.names().contains(&"reconcile.tuples_lost"),
+        "tuples_lost counter present in the report"
+    );
+    let report = orch.finalize(q);
+    let tuples = report.aggregator.tuples_in;
+    assert!(
+        tuples as f64 >= baseline_tuples as f64 * 0.9,
+        "tuple count within 10% of baseline: got {tuples}, baseline {baseline_tuples}"
+    );
+}
+
+/// Killing the aggregator host fails the analytics tier over to a new
+/// host; monitors re-point their batch shipping at the next flush and
+/// the query still finalizes with cumulative counters.
+#[test]
+fn fault_aggregator_host_killed_mid_query_fails_over() {
+    let mut orch = Orchestrator::builder(4).build();
+    deploy_web(&mut orch, 60);
+    let mut q = orch.submit(QUERY).expect("submit");
+    let victim = q.aggregator_host;
+    let fail_at = SimTime::from_nanos(200_000_000);
+    orch.engine_mut()
+        .apply_script(&FailureScript::new().fail_host(fail_at, victim));
+
+    let deadline = q.deadline.expect("time-limited query");
+    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+        .expect("reconciling run");
+    assert_ne!(q.aggregator_host, victim, "aggregator moved");
+    assert!(q.replacements() >= 1);
+    let report = orch.finalize(q);
+    assert!(
+        report.aggregator.tuples_in > 0,
+        "tuples flowed across the failover"
+    );
+    let ranking = report.first();
+    assert!(!ranking.is_empty(), "analytics produced results");
+}
+
+/// A monitor that dies and whose host comes straight back (process
+/// crash, not hardware loss) is still detected via heartbeat staleness
+/// and replaced.
+#[test]
+fn fault_crashed_monitor_process_detected_by_stale_heartbeat() {
+    let hb = SimDuration::from_millis(10);
+    let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
+    deploy_web(&mut orch, 60);
+    let mut q = orch.submit(QUERY).expect("submit");
+    let victim = q.monitor_hosts()[0];
+    // Crash and immediately repair: the host answers host_is_up but the
+    // monitor app (and its heartbeat) is gone.
+    let fail_at = SimTime::from_nanos(200_000_000);
+    let script = FailureScript::new()
+        .fail_host(fail_at, victim)
+        .repair_host(fail_at + SimDuration::from_millis(1), victim);
+    orch.engine_mut().apply_script(&script);
+
+    orch.run_reconciling(&mut q, fail_at + SimDuration::from_millis(2))
+        .expect("pre-fault run");
+    assert!(orch.engine().host_is_up(victim), "host itself is back");
+    let took = orch
+        .await_recovery(&mut q, SimDuration::from_millis(200))
+        .expect("recovered");
+    // Staleness needs miss_threshold (3) beats to trip, plus one
+    // reconcile tick to repair.
+    assert!(
+        took.as_nanos() <= 5 * hb.as_nanos(),
+        "stale heartbeat detected and repaired (took {} ns)",
+        took.as_nanos()
+    );
+    assert!(q.replacements() >= 1, "monitor was replaced");
+}
+
+/// Query runs to completion when no failures strike, even with the
+/// reconciler engaged — the control loop must be a no-op on health.
+#[test]
+fn fault_free_run_is_unaffected_by_the_reconciler() {
+    let mut plain = Orchestrator::builder(4).build();
+    deploy_web(&mut plain, 30);
+    let r1 = plain
+        .run_query(QUERY, SimDuration::from_secs(1))
+        .expect("plain");
+    let mut healing = Orchestrator::builder(4).build();
+    deploy_web(&mut healing, 30);
+    let r2 = healing
+        .run_query_resilient(QUERY, SimDuration::from_secs(1))
+        .expect("resilient");
+    assert_eq!(
+        r1.aggregator.tuples_in, r2.aggregator.tuples_in,
+        "reconcile passes on a healthy query change nothing"
+    );
+}

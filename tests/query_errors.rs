@@ -1,0 +1,88 @@
+//! Error paths of the query front end: malformed SQL must surface as
+//! typed errors at every layer — parser, compiler, orchestrator — and
+//! never panic.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netalytics::{Orchestrator, OrchestratorError};
+use netalytics_query::{compile, parse, CompileError};
+
+#[test]
+fn malformed_queries_yield_typed_parse_errors() {
+    let cases = [
+        "",
+        "garbage",
+        "PARSE",
+        "PARSE http_get",
+        "PARSE http_get FROM * TO",
+        "PARSE http_get FROM * TO h:80",
+        "PARSE http_get FROM * TO h:80 LIMIT bogus SAMPLE * PROCESS (x)",
+        "PARSE http_get FROM * TO h:80 LIMIT 1s SAMPLE * PROCESS",
+        "PARSE http_get FROM * TO h:80 LIMIT 1s SAMPLE * PROCESS (x) trailing",
+        "PARSE http_get FROM * TO h:80 LIMIT 1s SAMPLE bogus PROCESS (x)",
+        "FROM * TO h:80 LIMIT 1s SAMPLE * PROCESS (x)",
+        "PARSE , FROM * TO h:80 LIMIT 1s SAMPLE * PROCESS (x)",
+    ];
+    for src in cases {
+        let err = parse(src).expect_err(src);
+        assert!(
+            !err.to_string().is_empty(),
+            "error for {src:?} carries a message"
+        );
+    }
+}
+
+#[test]
+fn semantic_errors_are_typed_compile_errors() {
+    let mut hosts: HashMap<String, Ipv4Addr> = HashMap::new();
+    hosts.insert("h1".into(), Ipv4Addr::new(10, 0, 2, 9));
+
+    let q =
+        parse("PARSE nosuch_parser FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+    assert!(matches!(
+        compile(&q, &hosts),
+        Err(CompileError::UnknownParser(_))
+    ));
+
+    let q =
+        parse("PARSE http_get FROM * TO nosuch:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+    assert!(matches!(
+        compile(&q, &hosts),
+        Err(CompileError::UnknownHost(_))
+    ));
+
+    let q = parse("PARSE http_get FROM * TO * LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
+    assert!(matches!(compile(&q, &hosts), Err(CompileError::Unanchored)));
+
+    let q =
+        parse("PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (nosuch-proc)").unwrap();
+    assert!(matches!(
+        compile(&q, &hosts),
+        Err(CompileError::BadProcessor(_))
+    ));
+}
+
+#[test]
+fn orchestrator_surfaces_typed_errors_never_panics() {
+    let mut orch = Orchestrator::builder(4).build();
+    orch.name_host("web", 1);
+    assert!(matches!(
+        orch.submit("garbage"),
+        Err(OrchestratorError::Parse(_))
+    ));
+    assert!(matches!(
+        orch.submit("PARSE nosuch FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)"),
+        Err(OrchestratorError::Compile(_))
+    ));
+    assert!(matches!(
+        orch.submit("PARSE http_get FROM * TO 99.9.9.9:80 LIMIT 1s SAMPLE * PROCESS (group-sum)"),
+        Err(OrchestratorError::NoMonitorableEndpoint)
+    ));
+    // Failed submissions must not leak host reservations: a good query
+    // still deploys afterwards.
+    let q = orch
+        .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+        .expect("clean state after errors");
+    assert_eq!(q.monitor_hosts().len(), 1);
+}

@@ -16,6 +16,7 @@ fn pipeline_to_queue_to_executor_counts_are_exact() {
         brokers: 2,
         partitions: 4,
         partition_capacity: 1 << 16,
+        replication: 1,
     }));
     let topo = topologies::build(
         &ProcessorSpec::new("top-k")
@@ -57,10 +58,11 @@ fn pipeline_to_queue_to_executor_counts_are_exact() {
     assert_eq!(summary.packets_in, 600);
     assert_eq!(summary.tuples_out, 600);
     // Ship the batches into the queue like the monitor output interface.
+    let topic = cluster.topic_id("http_get");
     let mut key = 0u64;
     for batch in summary.residual_batches {
         key += 1;
-        cluster.produce("http_get", key, batch.encode(), 0);
+        cluster.produce_to(topic, key, batch.encode(), 0);
     }
     // Let the spout drain everything.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -76,7 +78,7 @@ fn pipeline_to_queue_to_executor_counts_are_exact() {
         .find(|t| t.get("rank").and_then(Value::as_u64) == Some(0))
         .expect("a top-ranked key");
     assert_eq!(top.get("key").and_then(Value::as_str), Some("/hot"));
-    assert_eq!(cluster.lag("storm", "http_get"), 0);
+    assert_eq!(cluster.lag_of(cluster.group_id("storm"), topic), 0);
 }
 
 #[test]
@@ -85,14 +87,17 @@ fn queue_retention_sheds_under_slow_consumer() {
         brokers: 1,
         partitions: 1,
         partition_capacity: 50,
+        replication: 1,
     }));
+    let t = cluster.topic_id("t");
     for i in 0..500u64 {
-        cluster.produce("t", i, bytes::Bytes::from_static(b"x"), i);
+        cluster.produce_to(t, i, bytes::Bytes::from_static(b"x"), i);
     }
-    assert_eq!(cluster.depth("t"), 50, "bounded buffer");
-    assert_eq!(cluster.dropped("t"), 450);
+    assert_eq!(cluster.depth_of(t), 50, "bounded buffer");
+    assert_eq!(cluster.dropped_of(t), 450);
     // A late consumer only sees the retained tail.
-    let got = cluster.consume("late", "t", 1_000);
+    let mut got = Vec::new();
+    cluster.consume_batch(cluster.group_id("late"), t, 1_000, &mut got);
     assert_eq!(got.len(), 50);
     assert_eq!(got[0].offset, 450);
 }

@@ -6,14 +6,14 @@ use netalytics_apps::{
     sample_sink, AppServerBehavior, ClientApp, Conversation, MemcachedBehavior, MysqlBehavior,
     ProxyBehavior, TierApp,
 };
-use netalytics_netsim::{LinkSpec, SimDuration, SimTime};
+use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 
 /// §7.1 in miniature: the misconfigured app server shows up in per-tier
 /// latencies and backend throughput, exactly like Figs. 9 and 11.
 #[test]
 fn multi_tier_misconfiguration_is_diagnosable() {
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
     let (proxy, app1, app2, db, cache) = (2u32, 4, 5, 8, 9);
     for (n, h) in [("app1", app1), ("app2", app2), ("db", db), ("cache", cache)] {
         orch.name_host(n, h);
@@ -169,7 +169,7 @@ fn buggy_page_and_per_query_latency_are_visible() {
         }
     }
 
-    let mut orch = Orchestrator::new(4, LinkSpec::default());
+    let mut orch = Orchestrator::builder(4).build();
     let (web, db) = (4u32, 8u32);
     orch.name_host("h1", web);
     orch.name_host("h2", db);
