@@ -10,7 +10,10 @@
 //! [`consume_batch`]: QueueCluster::consume_batch
 //!
 //! Run with: `cargo run --release -p netalytics-bench --bin queue_batch_micro`
+//! (add `--quick` for a reduced-size run). Writes
+//! `results/queue_batch_micro.txt`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -90,19 +93,37 @@ fn best(rounds: usize, f: impl Fn() -> f64) -> f64 {
 }
 
 fn main() {
-    println!("Queue transport microbenchmark ({TOTAL} messages/round, best of {ROUNDS})");
-    println!();
-    let per_msg = best(ROUNDS, || per_message_round(TOTAL));
-    let batched = best(ROUNDS, || batch_round(TOTAL, BATCH));
-    println!("{:>34} {:>14}", "path", "msgs/sec");
-    println!("{:>34} {:>14.0}", "per-message (produce/consume)", per_msg);
-    println!(
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, rounds) = if quick { (1 << 15, 1) } else { (TOTAL, ROUNDS) };
+
+    let per_msg = best(rounds, || per_message_round(total));
+    let batched = best(rounds, || batch_round(total, BATCH));
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Queue transport microbenchmark ({total} messages/round, best of {rounds})"
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(report, "{:>34} {:>14}", "path", "msgs/sec");
+    let _ = writeln!(
+        report,
+        "{:>34} {:>14.0}",
+        "per-message (produce/consume)", per_msg
+    );
+    let _ = writeln!(
+        report,
         "{:>34} {:>14.0}",
         format!("batch x{BATCH} (produce_batch/consume_batch)"),
         batched
     );
-    println!();
-    println!("batch speedup: {:.2}x", batched / per_msg);
+    let _ = writeln!(report);
+    let _ = writeln!(report, "batch speedup: {:.2}x", batched / per_msg);
+    print!("{report}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/queue_batch_micro.txt", &report).expect("write results");
+
     assert!(
         batched >= 2.0 * per_msg,
         "batch path must be >=2x the per-message path (got {:.2}x)",

@@ -1,0 +1,98 @@
+//! Results-store ingest microbenchmark: sustained single-threaded append
+//! throughput into [`TimeSeriesStore`], memory-backed and disk-backed.
+//!
+//! The store sits at the end of every query's data plane (the
+//! `StoreSink` terminal bolt), so its append path must comfortably
+//! outrun the analytics tier: the gate below asserts ≥100k tuples/s on
+//! the durable path. Appends are CRC-framed batch writes with no fsync —
+//! crash tolerance comes from torn-tail truncation on reopen, not from
+//! syncing every frame.
+//!
+//! Run with: `cargo run --release -p netalytics-bench --bin store_ingest`
+//! (add `--quick` for a reduced-size run). Writes
+//! `results/store_ingest.txt`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_store::{SeriesKey, TimeSeriesStore};
+
+/// Tuples per appended batch — the `StoreSink` flush threshold.
+const BATCH: usize = 64;
+/// Distinct `(query, group)` series the ingest fans out over.
+const SERIES: usize = 8;
+
+fn batch(base_id: u64) -> TupleBatch {
+    (0..BATCH as u64)
+        .map(|i| {
+            let id = base_id + i;
+            DataTuple::new(id, id * 1_000)
+                .from_source("agg")
+                .with("url", "/checkout")
+                .with("t_ns", id * 7)
+        })
+        .collect()
+}
+
+/// Appends `total` tuples round-robin across [`SERIES`] series and
+/// returns tuples/second.
+fn ingest_round(store: &TimeSeriesStore, total: usize) -> f64 {
+    let series: Vec<SeriesKey> = (0..SERIES as u64)
+        .map(|q| SeriesKey::new(q, "/checkout"))
+        .collect();
+    let start = Instant::now();
+    let mut written = 0usize;
+    let mut next_id = 0u64;
+    while written < total {
+        let s = &series[(next_id / BATCH as u64) as usize % SERIES];
+        store.append(s, &batch(next_id)).expect("append");
+        next_id += BATCH as u64;
+        written += BATCH;
+    }
+    written as f64 / start.elapsed().as_secs_f64()
+}
+
+fn best(rounds: usize, f: impl Fn() -> f64) -> f64 {
+    let _ = f(); // warmup
+    (0..rounds).map(|_| f()).fold(0.0, f64::max)
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("netalytics-store-ingest-{}", std::process::id()))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, rounds) = if quick { (1 << 16, 1) } else { (1 << 19, 3) };
+
+    let mem = best(rounds, || {
+        ingest_round(&TimeSeriesStore::in_memory(), total)
+    });
+    let dir = scratch_dir();
+    let disk = best(rounds, || {
+        std::fs::remove_dir_all(&dir).ok();
+        ingest_round(&TimeSeriesStore::open(&dir).expect("open"), total)
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Results-store ingest ({total} tuples/round, batches of {BATCH}, \
+         {SERIES} series, best of {rounds})"
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(report, "{:>28} {:>16}", "backend", "tuples/sec");
+    let _ = writeln!(report, "{:>28} {:>16.0}", "in-memory", mem);
+    let _ = writeln!(report, "{:>28} {:>16.0}", "durable (segmented log)", disk);
+    print!("{report}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/store_ingest.txt", &report).expect("write results");
+
+    assert!(
+        disk >= 100_000.0,
+        "durable ingest must sustain >=100k tuples/s single-threaded (got {disk:.0})"
+    );
+}

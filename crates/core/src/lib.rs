@@ -62,3 +62,5 @@ pub use orchestrator::{
     ReconcileReport, RunningQuery,
 };
 pub use results::ResultSet;
+// Storage-layer surface used by the orchestrator's result-store API.
+pub use netalytics_store::{SeriesKey, StoreConfig, TimeSeriesStore};

@@ -22,6 +22,7 @@ use netalytics_monitor::{Monitor, MonitorConfig, MonitorError, SampleSpec};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
+use netalytics_store::{StoreSink, TimeSeriesStore};
 use netalytics_stream::{topologies, ExecutorMode};
 use netalytics_telemetry::{MetricsRegistry, RegistrySnapshot};
 
@@ -151,6 +152,7 @@ pub struct OrchestratorBuilder {
     executor_mode: ExecutorMode,
     heartbeat_interval: SimDuration,
     policy: FailurePolicy,
+    result_store: Option<Arc<TimeSeriesStore>>,
 }
 
 impl OrchestratorBuilder {
@@ -162,6 +164,7 @@ impl OrchestratorBuilder {
             executor_mode: ExecutorMode::Inline,
             heartbeat_interval: SimDuration::from_millis(10),
             policy: FailurePolicy::default(),
+            result_store: None,
         }
     }
 
@@ -199,6 +202,19 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Attaches a durable results store. Every query submitted to this
+    /// orchestrator gets a pass-through [`StoreSink`] appended to its
+    /// analytics topology, committing output tuples as series keyed by
+    /// `(query cookie, group key)`. The store is shared (`Arc`), held
+    /// outside the per-query executors, so committed results survive
+    /// `reconcile()` re-placements and — when opened on a directory —
+    /// orchestrator restarts. Its `store.*` stats register into the
+    /// root metrics registry at `build()`.
+    pub fn result_store(mut self, store: Arc<TimeSeriesStore>) -> Self {
+        self.result_store = Some(store);
+        self
+    }
+
     /// Builds the orchestrator over a fresh k-ary fat-tree.
     pub fn build(self) -> Orchestrator {
         let mut engine = Engine::new(Network::fat_tree(self.k, self.links));
@@ -206,6 +222,10 @@ impl OrchestratorBuilder {
         // rules are "either pulled on demand by switches when they see
         // new packets or proactively pushed").
         engine.set_controller(SdnController::new(), true);
+        let metrics = Arc::new(MetricsRegistry::new());
+        if let Some(store) = &self.result_store {
+            store.register_metrics(&metrics);
+        }
         Orchestrator {
             engine,
             hostnames: HashMap::new(),
@@ -215,7 +235,8 @@ impl OrchestratorBuilder {
             executor_mode: self.executor_mode,
             heartbeat_interval: self.heartbeat_interval,
             policy: self.policy,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
+            result_store: self.result_store,
         }
     }
 }
@@ -348,6 +369,8 @@ pub struct Orchestrator {
     /// Root self-telemetry registry: every component the orchestrator
     /// deploys (monitors, aggregators, executors) publishes here.
     metrics: Arc<MetricsRegistry>,
+    /// Optional durable results store shared by every query's sink.
+    result_store: Option<Arc<TimeSeriesStore>>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -365,15 +388,28 @@ impl Orchestrator {
         OrchestratorBuilder::new(k)
     }
 
-    /// Creates an orchestrator over a fresh k-ary fat-tree.
-    #[deprecated(note = "use Orchestrator::builder(k).links(links).build()")]
-    pub fn new(k: u32, links: LinkSpec) -> Self {
-        Orchestrator::builder(k).links(links).build()
-    }
-
     /// The root metrics registry all deployed components publish into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The attached durable results store, if one was configured via
+    /// [`OrchestratorBuilder::result_store`].
+    pub fn result_store(&self) -> Option<&Arc<TimeSeriesStore>> {
+        self.result_store.as_ref()
+    }
+
+    /// The durable history of a query (by its cookie) from the attached
+    /// results store: every committed output tuple still inside
+    /// retention, across all group series, as a [`ResultSet`]. `None`
+    /// when no store is attached or the store could not be read.
+    ///
+    /// Unlike the in-memory `ResultSet` returned by
+    /// [`Orchestrator::finalize`], this survives aggregator failover,
+    /// query teardown and — with an on-disk store — process restarts.
+    pub fn query_history(&self, cookie: u64) -> Option<ResultSet> {
+        let store = self.result_store.as_ref()?;
+        store.query_history(cookie).ok().map(ResultSet::new)
     }
 
     /// Scrapes the layers that export on demand (the netsim engine's
@@ -396,18 +432,6 @@ impl Orchestrator {
             self.metrics.gauge(name, &[]).set(v as i64);
         }
         self.metrics.snapshot()
-    }
-
-    /// Selects how future queries install their rules.
-    #[deprecated(note = "configure at construction: Orchestrator::builder(k).install_mode(mode)")]
-    pub fn set_install_mode(&mut self, mode: InstallMode) {
-        self.install_mode = mode;
-    }
-
-    /// Selects the analytics engine future queries deploy on.
-    #[deprecated(note = "configure at construction: Orchestrator::builder(k).executor_mode(mode)")]
-    pub fn set_executor_mode(&mut self, mode: ExecutorMode) {
-        self.executor_mode = mode;
     }
 
     /// The monitor heartbeat/flush cadence queries are deployed with.
@@ -631,12 +655,28 @@ impl Orchestrator {
         self.used_hosts.insert(aggregator_host);
         let aggregator_ip = self.host_ip(aggregator_host);
 
-        // Analytics executors, one per PROCESS entry.
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+
+        // Analytics executors, one per PROCESS entry. With a results
+        // store attached, each topology gets a pass-through StoreSink
+        // appended after its terminals, committing the query's output
+        // as series keyed by (cookie, group key).
         let mut executors = Vec::new();
         for spec in &deployment.processors {
-            let topo = topologies::build(spec).map_err(|e| {
+            let mut topo = topologies::build(spec).map_err(|e| {
                 OrchestratorError::Compile(CompileError::BadProcessor(e.to_string()))
             })?;
+            if let Some(store) = &self.result_store {
+                let store = store.clone();
+                let group_field = spec
+                    .arg("group")
+                    .or_else(|| spec.arg("key"))
+                    .map(str::to_string);
+                topo = topo.with_sink("store-sink", move || {
+                    Box::new(StoreSink::new(store.clone(), cookie, group_field.clone()))
+                });
+            }
             executors.push((
                 spec.name.clone(),
                 shared_executor_with(&topo, self.executor_mode, Some(&self.metrics)),
@@ -644,8 +684,6 @@ impl Orchestrator {
         }
 
         // Deploy monitors and mirror rules.
-        let cookie = self.next_cookie;
-        self.next_cookie += 1;
         let packet_limit = match deployment.limit {
             Limit::Packets(n) => Some(n),
             Limit::Time(_) => None,
@@ -869,6 +907,13 @@ impl Orchestrator {
                 self.metrics.counter("reconcile.degradations", &[]).inc();
                 report.degraded = true;
             }
+        }
+        // Housekeeping: let the results store enforce retention and
+        // fold expired segments into rollups. Compaction failures are
+        // not repair failures — the store records them in its own
+        // stats — so they never abort the control loop.
+        if let Some(store) = &self.result_store {
+            let _ = store.compact(now.as_nanos());
         }
         Ok(report)
     }
@@ -1112,15 +1157,62 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_and_setters_still_work() {
-        let mut orch = Orchestrator::new(4, LinkSpec::default());
-        orch.set_install_mode(InstallMode::Reactive);
-        orch.set_executor_mode(ExecutorMode::Inline);
+    fn result_store_commits_query_output_and_serves_history() {
+        use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+        use netalytics_packet::http;
+
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        let mut orch = Orchestrator::builder(4).result_store(store.clone()).build();
         orch.name_host("web", 1);
-        assert!(orch
-            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
-            .is_ok());
+        let web_ip = orch.host_ip(1);
+        orch.deploy_app(
+            1,
+            Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+        );
+        let schedule = (0..30u64)
+            .map(|i| {
+                (
+                    SimTime::from_nanos(i * 10_000_000),
+                    Conversation {
+                        dst: (web_ip, 80),
+                        requests: vec![http::build_get("/r", "web")],
+                        tag: "c".into(),
+                    },
+                )
+            })
+            .collect();
+        orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+
+        let q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        let cookie = q.cookie;
+        let deadline = q.deadline.expect("time-limited");
+        orch.run_until(deadline + SimDuration::from_millis(50));
+        let report = orch.finalize(q);
+        assert!(!report.first().tuples.is_empty(), "query produced results");
+
+        // The durable history matches the in-memory result set and
+        // outlives the query's teardown.
+        let history = orch.query_history(cookie).expect("store attached");
+        assert_eq!(history.tuples.len(), report.first().tuples.len());
+        assert!(store.stats().tuples > 0);
+        assert!(
+            store
+                .series()
+                .iter()
+                .any(|s| s.query_id == cookie && s.group == "/r"),
+            "series keyed by (cookie, group key): {:?}",
+            store.series()
+        );
+        // Store ingest stats registered into the root registry.
+        let snap = orch.telemetry_report();
+        assert!(snap.counter_total("store.ingest_tuples") > 0);
+        // No store on a plain orchestrator → no history.
+        assert!(Orchestrator::builder(4).build().query_history(1).is_none());
     }
 
     #[test]

@@ -1,21 +1,55 @@
 //! The result interface: what the administrator gets back (Fig. 1).
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
 
 use netalytics_data::{DataTuple, Value};
 
+/// Memoized sorted values from the last [`ResultSet::percentile`] call,
+/// so sweeping p50/p90/p99 over the same field sorts once.
+struct SortedCache {
+    field: String,
+    tuples_len: usize,
+    values: Vec<f64>,
+}
+
 /// The tuples a query's terminal bolts emitted, with convenience
 /// accessors for the shapes the paper plots.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Default)]
 pub struct ResultSet {
     /// Raw output tuples, in emission order.
     pub tuples: Vec<DataTuple>,
+    sorted_cache: Mutex<Option<SortedCache>>,
+}
+
+impl fmt::Debug for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultSet")
+            .field("tuples", &self.tuples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for ResultSet {
+    fn clone(&self) -> Self {
+        ResultSet::new(self.tuples.clone())
+    }
+}
+
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
 }
 
 impl ResultSet {
     /// Wraps raw output tuples.
     pub fn new(tuples: Vec<DataTuple>) -> Self {
-        ResultSet { tuples }
+        ResultSet {
+            tuples,
+            sorted_cache: Mutex::new(None),
+        }
     }
 
     /// Number of output tuples.
@@ -38,12 +72,32 @@ impl ResultSet {
 
     /// The p-th percentile (0.0–1.0) of `field`, nearest-rank method;
     /// `None` if no tuple carries a numeric `field`.
+    ///
+    /// The sorted values are memoized per field, so sweeping a set of
+    /// quantiles (p50/p90/p99 on the same field) sorts only once. The
+    /// cache is keyed on `(field, tuples.len())`: appending or removing
+    /// tuples invalidates it, but mutating a tuple in place without
+    /// changing the count will serve stale values — rebuild with
+    /// [`ResultSet::new`] after such edits.
     pub fn percentile(&self, field: &str, p: f64) -> Option<f64> {
-        let mut v = self.values(field);
+        let mut cache = self.sorted_cache.lock().unwrap();
+        let stale = !matches!(
+            &*cache,
+            Some(c) if c.field == field && c.tuples_len == self.tuples.len()
+        );
+        if stale {
+            let mut values = self.values(field);
+            values.sort_by(f64::total_cmp);
+            *cache = Some(SortedCache {
+                field: field.to_string(),
+                tuples_len: self.tuples.len(),
+                values,
+            });
+        }
+        let v = &cache.as_ref().expect("cache populated above").values;
         if v.is_empty() {
             return None;
         }
-        v.sort_by(f64::total_cmp);
         let rank = ((p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len());
         Some(v[rank - 1])
     }
@@ -186,5 +240,28 @@ mod tests {
         assert_eq!(rs.percentile("v", 1.0), Some(100.0));
         assert_eq!(rs.percentile("missing", 0.5), None);
         assert_eq!(ResultSet::default().percentile("v", 0.5), None);
+    }
+
+    #[test]
+    fn repeated_percentile_calls_agree_and_cache_invalidates() {
+        let mut rs: ResultSet = (1..=9u64)
+            .map(|i| DataTuple::new(i, 0).with("v", i as f64))
+            .collect();
+        // Repeated calls (cold, then cached) must agree, across quantiles
+        // and after switching fields back and forth.
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let cold = rs.percentile("v", p);
+            assert_eq!(cold, rs.percentile("v", p));
+            assert_eq!(rs.percentile("missing", p), None);
+            assert_eq!(cold, rs.percentile("v", p), "field switch evicts cleanly");
+        }
+        // Appending a tuple changes the length and must refresh the cache.
+        assert_eq!(rs.percentile("v", 1.0), Some(9.0));
+        rs.tuples.push(DataTuple::new(10, 0).with("v", 100.0));
+        assert_eq!(rs.percentile("v", 1.0), Some(100.0));
+        // Clones start with a fresh cache but equal contents.
+        let copy = rs.clone();
+        assert_eq!(copy, rs);
+        assert_eq!(copy.percentile("v", 0.5), rs.percentile("v", 0.5));
     }
 }

@@ -304,13 +304,6 @@ impl QueueCluster {
         Arc::clone(&self.registry.read().topics[id.0])
     }
 
-    fn lookup(&self, name: &str) -> Option<Arc<Topic>> {
-        let reg = self.registry.read();
-        reg.topic_ids
-            .get(name)
-            .map(|id| Arc::clone(&reg.topics[id.0]))
-    }
-
     /// The broker that owns `partition` of `topic` (stable assignment).
     /// With replication this is the *preferred* leader; the acting leader
     /// is [`QueueCluster::leader_of`].
@@ -375,14 +368,6 @@ impl QueueCluster {
     /// partition had no live leader.
     pub fn lost_to_failure(&self) -> u64 {
         self.failure_drops.load(Ordering::Relaxed)
-    }
-
-    /// Produces a message; the partition is chosen by `key` so tuples of
-    /// one flow stay ordered. Topics are auto-created. Returns the
-    /// assigned offset.
-    #[deprecated(note = "intern once with `topic_id` and call `produce_to`")]
-    pub fn produce(&self, topic: &str, key: u64, payload: Bytes, ts_ns: u64) -> u64 {
-        self.produce_to(self.topic_id(topic), key, payload, ts_ns)
     }
 
     /// Produces one message to an interned topic. Returns the offset.
@@ -458,16 +443,6 @@ impl QueueCluster {
         total
     }
 
-    /// Consumes up to `max` messages for `group` from `topic`, visiting
-    /// partitions round-robin and advancing the group's offsets.
-    #[deprecated(note = "intern once with `group_id`/`topic_id` and call `consume_batch`")]
-    pub fn consume(&self, group: &str, topic: &str, max: usize) -> Vec<Message> {
-        let (g, t) = (self.group_id(group), self.topic_id(topic));
-        let mut out = Vec::new();
-        self.consume_batch(g, t, max, &mut out);
-        out
-    }
-
     /// Drains up to `max` messages into `out`, amortizing offset
     /// bookkeeping over the whole batch. Returns the number appended.
     ///
@@ -516,61 +491,30 @@ impl QueueCluster {
         appended
     }
 
-    /// Total messages buffered across a topic's partitions.
-    #[deprecated(note = "intern once with `topic_id` and call `depth_of`")]
-    pub fn depth(&self, topic: &str) -> usize {
-        self.lookup(topic)
-            .map(|t| t.partitions.iter().map(|p| p.lock().len()).sum())
-            .unwrap_or(0)
-    }
-
-    /// Id-keyed [`QueueCluster::depth`]: no string hashing, for telemetry
-    /// polling loops that hold an interned [`TopicId`].
+    /// Total messages buffered across a topic's partitions. Topic-keyed
+    /// by interned [`TopicId`] so telemetry polling loops never hash
+    /// topic names.
     pub fn depth_of(&self, topic: TopicId) -> usize {
         let t = self.topic(topic);
         t.partitions.iter().map(|p| p.lock().len()).sum()
     }
 
     /// Messages dropped to overflow across a topic's partitions.
-    #[deprecated(note = "intern once with `topic_id` and call `dropped_of`")]
-    pub fn dropped(&self, topic: &str) -> u64 {
-        self.lookup(topic)
-            .map(|t| t.partitions.iter().map(|p| p.lock().dropped()).sum())
-            .unwrap_or(0)
-    }
-
-    /// Id-keyed [`QueueCluster::dropped`].
     pub fn dropped_of(&self, topic: TopicId) -> u64 {
         let t = self.topic(topic);
         t.partitions.iter().map(|p| p.lock().dropped()).sum()
     }
 
     /// Total payload bytes appended to a topic.
-    #[deprecated(note = "intern once with `topic_id` and call `bytes_in_of`")]
-    pub fn bytes_in(&self, topic: &str) -> u64 {
-        self.lookup(topic)
-            .map(|t| t.partitions.iter().map(|p| p.lock().bytes_in()).sum())
-            .unwrap_or(0)
-    }
-
-    /// Id-keyed [`QueueCluster::bytes_in`].
     pub fn bytes_in_of(&self, topic: TopicId) -> u64 {
         let t = self.topic(topic);
         t.partitions.iter().map(|p| p.lock().bytes_in()).sum()
     }
 
     /// The worst (most loaded) partition pressure of a topic — the signal
-    /// sent back to monitors for adaptive sampling (§4.2).
-    #[deprecated(note = "intern once with `topic_id` and call `pressure_of`")]
-    pub fn pressure(&self, topic: &str) -> Pressure {
-        match self.registry.read().topic_ids.get(topic) {
-            Some(&id) => self.pressure_of(id),
-            None => Pressure::Underloaded,
-        }
-    }
-
-    /// Id-keyed [`QueueCluster::pressure`]: the adaptive-sampling feedback
-    /// loop polls this every tick, so it must not hash topic names.
+    /// sent back to monitors for adaptive sampling (§4.2). The
+    /// adaptive-sampling feedback loop polls this every tick, so it is
+    /// keyed by interned [`TopicId`] and never hashes topic names.
     pub fn pressure_of(&self, topic: TopicId) -> Pressure {
         let t = self.topic(topic);
         let mut worst = Pressure::Underloaded;
@@ -584,15 +528,9 @@ impl QueueCluster {
         worst
     }
 
-    /// How far `group` lags behind the end of `topic`, in messages.
-    #[deprecated(note = "intern once with `group_id`/`topic_id` and call `lag_of`")]
-    pub fn lag(&self, group: &str, topic: &str) -> u64 {
-        let (g, tid) = (self.group_id(group), self.topic_id(topic));
-        self.lag_of(g, tid)
-    }
-
-    /// Id-keyed [`QueueCluster::lag`]: hot-path telemetry polling doesn't
-    /// re-intern the group and topic names on every scrape.
+    /// How far `group` lags behind the end of `topic`, in messages —
+    /// id-keyed so hot-path telemetry polling doesn't re-intern the
+    /// group and topic names on every scrape.
     pub fn lag_of(&self, g: GroupId, tid: TopicId) -> u64 {
         let t = self.topic(tid);
         let cursors = self.cursors.lock();
@@ -881,17 +819,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn string_wrappers_delegate_to_id_keyed_paths() {
+    fn id_keyed_stats_cover_fresh_and_active_topics() {
         let q = small();
-        q.produce("t", 3, Bytes::from_static(b"m"), 0);
-        assert_eq!(q.depth("t"), 1);
-        assert_eq!(q.depth("missing"), 0);
-        assert_eq!(q.pressure("missing"), Pressure::Underloaded);
-        assert_eq!(q.consume("g", "t", 10).len(), 1);
-        assert_eq!(q.lag("g", "t"), 0);
-        assert_eq!(q.dropped("t"), 0);
-        assert_eq!(q.bytes_in("t"), 1);
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        q.produce_to(t, 3, Bytes::from_static(b"m"), 0);
+        assert_eq!(q.depth_of(t), 1);
+        // A freshly interned topic reads as empty and underloaded.
+        let fresh = q.topic_id("fresh");
+        assert_eq!(q.depth_of(fresh), 0);
+        assert_eq!(q.pressure_of(fresh), Pressure::Underloaded);
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(g, t, 10, &mut out), 1);
+        assert_eq!(q.lag_of(g, t), 0);
+        assert_eq!(q.dropped_of(t), 0);
+        assert_eq!(q.bytes_in_of(t), 1);
     }
 
     #[test]

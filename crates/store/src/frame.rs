@@ -1,0 +1,155 @@
+//! Length-prefixed, CRC-guarded frames — the on-disk unit of the
+//! results log.
+//!
+//! ```text
+//! frame := len:u32le crc:u32le payload[len]
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. The log is fsync-free: a
+//! crash can leave a torn final frame, so readers stop at the first
+//! frame whose length or checksum does not hold and report the length of
+//! the clean prefix, which [`crate::TimeSeriesStore`] truncates back to
+//! on open.
+
+/// Bytes of frame header (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame's payload; anything larger is treated
+/// as corruption rather than an allocation request.
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends one frame wrapping `payload` to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Iterator over the clean prefix of a frame log.
+///
+/// Yields `(frame_offset, payload)` for every intact frame and stops at
+/// the first torn or corrupt one; [`FrameIter::valid_len`] then reports
+/// how many bytes of the buffer form the recoverable prefix.
+pub struct FrameIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameIter<'a> {
+    /// Starts scanning `bytes` from the beginning.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FrameIter { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed by intact frames so far — after the iterator is
+    /// exhausted, the length of the clean prefix.
+    pub fn valid_len(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = (usize, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < FRAME_HEADER {
+            return None;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME || rest.len() < FRAME_HEADER + len {
+            return None;
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return None;
+        }
+        let at = self.pos;
+        self.pos += FRAME_HEADER + len;
+        Some((at, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_stop_at_torn_tail() {
+        let mut log = Vec::new();
+        write_frame(&mut log, b"alpha");
+        write_frame(&mut log, b"");
+        write_frame(&mut log, b"beta");
+        let clean = log.len();
+        // A torn final frame: header promising more bytes than exist.
+        log.extend_from_slice(&100u32.to_le_bytes());
+        log.extend_from_slice(&0u32.to_le_bytes());
+        log.extend_from_slice(b"short");
+
+        let mut it = FrameIter::new(&log);
+        let payloads: Vec<&[u8]> = it.by_ref().map(|(_, p)| p).collect();
+        assert_eq!(payloads, vec![b"alpha" as &[u8], b"", b"beta"]);
+        assert_eq!(it.valid_len(), clean);
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_scan() {
+        let mut log = Vec::new();
+        write_frame(&mut log, b"good");
+        let keep = log.len();
+        write_frame(&mut log, b"bad!");
+        let last = log.len() - 1;
+        log[last] ^= 0xFF; // flip a payload byte under the old checksum
+        let mut it = FrameIter::new(&log);
+        assert_eq!(it.by_ref().count(), 1);
+        assert_eq!(it.valid_len(), keep);
+    }
+
+    #[test]
+    fn absurd_length_is_corruption_not_allocation() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&0u32.to_le_bytes());
+        let mut it = FrameIter::new(&log);
+        assert!(it.next().is_none());
+        assert_eq!(it.valid_len(), 0);
+    }
+}

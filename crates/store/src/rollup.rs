@@ -1,0 +1,206 @@
+//! Downsampled rollups: per-bucket aggregates kept after raw segments
+//! expire.
+//!
+//! A [`RollupPoint`] summarises every observation of one numeric field
+//! of one series inside one time bucket — count/sum/min/max exactly,
+//! p50/p95 via [`HistogramSnapshot`], the same mergeable log-bucketed
+//! sketch the telemetry plane uses. Points with the same bucket merge
+//! associatively, so coarser query buckets are folds of the stored
+//! ones and re-compacting a bucket just appends a superseding record.
+
+use netalytics_telemetry::HistogramSnapshot;
+
+use crate::store::{SeriesKey, StoreError};
+use crate::wire::{put_f64, put_str16, put_u16, put_u64, Reader};
+
+/// Aggregates for one `(series, field, bucket)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupPoint {
+    /// Inclusive start of the bucket, nanoseconds.
+    pub bucket_start: u64,
+    /// Bucket width in nanoseconds.
+    pub bucket_ns: u64,
+    /// Observations folded into this bucket.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Distribution sketch; values are rounded to `u64` (negatives
+    /// clamp to 0) before recording, so quantiles of negative-valued
+    /// fields saturate at zero while count/sum/min/max stay exact.
+    pub hist: HistogramSnapshot,
+}
+
+impl RollupPoint {
+    /// An empty cell ready to merge observations into.
+    pub fn empty(bucket_start: u64, bucket_ns: u64) -> Self {
+        RollupPoint {
+            bucket_start,
+            bucket_ns,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.hist.record(v.max(0.0).round() as u64);
+    }
+
+    /// Merges another point covering the same (or a finer, contained)
+    /// bucket into this one.
+    pub fn merge(&mut self, other: &RollupPoint) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Mean of observed values (0 for an empty cell).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Median estimate from the sketch.
+    pub fn p50(&self) -> u64 {
+        self.hist.p50()
+    }
+
+    /// 95th-percentile estimate from the sketch.
+    pub fn p95(&self) -> u64 {
+        self.hist.p95()
+    }
+}
+
+/// A rollup record as persisted in `rollups.log`:
+///
+/// ```text
+/// query_id:u64 group:str16 field:str16 bucket_start:u64 bucket_ns:u64
+/// count:u64 sum:f64 min:f64 max:f64 hist_sum:u64 hist_max:u64
+/// n:u16 (bucket_idx:u16 count:u64)*n
+/// ```
+///
+/// The histogram travels sparse (non-zero buckets only). Records for
+/// the same cell supersede earlier ones, so reloading applies them
+/// last-wins in log order.
+pub fn encode_rollup(out: &mut Vec<u8>, series: &SeriesKey, field: &str, p: &RollupPoint) {
+    put_u64(out, series.query_id);
+    put_str16(out, &series.group);
+    put_str16(out, field);
+    put_u64(out, p.bucket_start);
+    put_u64(out, p.bucket_ns);
+    put_u64(out, p.count);
+    put_f64(out, p.sum);
+    put_f64(out, p.min);
+    put_f64(out, p.max);
+    put_u64(out, p.hist.sum());
+    put_u64(out, p.hist.max());
+    let sparse: Vec<(usize, u64)> = p.hist.nonzero_buckets().collect();
+    put_u16(out, sparse.len().min(u16::MAX as usize) as u16);
+    for (idx, c) in sparse.into_iter().take(u16::MAX as usize) {
+        put_u16(out, idx as u16);
+        put_u64(out, c);
+    }
+}
+
+/// Decodes one rollup record; inverse of [`encode_rollup`].
+pub fn decode_rollup(payload: &[u8]) -> Result<(SeriesKey, String, RollupPoint), StoreError> {
+    let mut r = Reader::new(payload);
+    let query_id = r.u64("rollup.query_id")?;
+    let group = r.str16("rollup.group")?.to_string();
+    let field = r.str16("rollup.field")?.to_string();
+    let bucket_start = r.u64("rollup.bucket_start")?;
+    let bucket_ns = r.u64("rollup.bucket_ns")?;
+    let count = r.u64("rollup.count")?;
+    let sum = r.f64("rollup.sum")?;
+    let min = r.f64("rollup.min")?;
+    let max = r.f64("rollup.max")?;
+    let hist_sum = r.u64("rollup.hist_sum")?;
+    let hist_max = r.u64("rollup.hist_max")?;
+    let n = r.u16("rollup.hist_len")?;
+    let mut sparse = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let idx = r.u16("rollup.hist_idx")?;
+        let c = r.u64("rollup.hist_count")?;
+        sparse.push((idx as usize, c));
+    }
+    let point = RollupPoint {
+        bucket_start,
+        bucket_ns,
+        count,
+        sum,
+        min,
+        max,
+        hist: HistogramSnapshot::from_parts(sparse, hist_sum, hist_max),
+    };
+    Ok((SeriesKey::new(query_id, group), field, point))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_then_roundtrip() {
+        let series = SeriesKey::new(9, "api/v1");
+        let mut p = RollupPoint::empty(1_000_000_000, 1_000_000_000);
+        for v in [10.0, 20.0, 30.0, -5.0] {
+            p.observe(v);
+        }
+        assert_eq!(p.count, 4);
+        assert_eq!(p.sum, 55.0);
+        assert_eq!(p.min, -5.0);
+        assert_eq!(p.max, 30.0);
+        assert_eq!(p.mean(), 13.75);
+
+        let mut buf = Vec::new();
+        encode_rollup(&mut buf, &series, "t_ns", &p);
+        let (s2, f2, p2) = decode_rollup(&buf).expect("decode");
+        assert_eq!(s2, series);
+        assert_eq!(f2, "t_ns");
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn merge_matches_combined_observation() {
+        let mut a = RollupPoint::empty(0, 1);
+        let mut b = RollupPoint::empty(0, 1);
+        let mut all = RollupPoint::empty(0, 1);
+        for v in [1.0, 2.0, 100.0] {
+            a.observe(v);
+            all.observe(v);
+        }
+        for v in [50.0, 0.5] {
+            b.observe(v);
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let series = SeriesKey::new(1, "g");
+        let mut p = RollupPoint::empty(0, 1);
+        p.observe(7.0);
+        let mut buf = Vec::new();
+        encode_rollup(&mut buf, &series, "f", &p);
+        buf.truncate(buf.len() - 1);
+        assert!(decode_rollup(&buf).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! `StoreSink`: the terminal bolt that commits query output to a
+//! [`TimeSeriesStore`].
+//!
+//! The sink is pass-through: every tuple it receives is re-emitted, so
+//! appending it after a topology's previous terminals changes nothing
+//! about the in-memory `ResultSet` — it only adds durability. Tuples
+//! buffer per group key and flush as batches on a size threshold, on
+//! every tick, and at shutdown, so the store sees the same batch-first
+//! traffic shape as the rest of the data plane.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_stream::Bolt;
+
+use crate::store::{SeriesKey, TimeSeriesStore};
+
+/// Tuples buffered across all groups before an early flush.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// Terminal bolt persisting tuples into a shared store.
+pub struct StoreSink {
+    store: Arc<TimeSeriesStore>,
+    query_id: u64,
+    group_field: Option<String>,
+    pending: HashMap<String, TupleBatch>,
+    pending_tuples: usize,
+}
+
+impl StoreSink {
+    /// Builds a sink for one query. `group_field` names the tuple field
+    /// whose value becomes the series group key (tuples without it, or
+    /// ungrouped queries, land in the `""` series).
+    pub fn new(store: Arc<TimeSeriesStore>, query_id: u64, group_field: Option<String>) -> Self {
+        StoreSink {
+            store,
+            query_id,
+            group_field,
+            pending: HashMap::new(),
+            pending_tuples: 0,
+        }
+    }
+
+    fn group_of(&self, tuple: &DataTuple) -> String {
+        self.group_field
+            .as_deref()
+            .and_then(|f| tuple.get(f))
+            .map(|v| v.to_string())
+            .unwrap_or_default()
+    }
+
+    fn flush(&mut self) {
+        if self.pending_tuples == 0 {
+            return;
+        }
+        for (group, batch) in self.pending.drain() {
+            let series = SeriesKey::new(self.query_id, group);
+            if self.store.append(&series, &batch).is_err() {
+                self.store.note_append_error();
+            }
+        }
+        self.pending_tuples = 0;
+        self.store.note_sink_flush();
+    }
+}
+
+impl Bolt for StoreSink {
+    fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        let group = self.group_of(tuple);
+        self.pending.entry(group).or_default().push(tuple.clone());
+        self.pending_tuples += 1;
+        out.push(tuple.clone());
+        if self.pending_tuples >= FLUSH_THRESHOLD {
+            self.flush();
+        }
+    }
+
+    fn tick(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {
+        self.flush();
+    }
+}
+
+impl Drop for StoreSink {
+    /// Belt and braces: executors call `finish` (default: a last tick)
+    /// on shutdown, but a dropped executor must not strand buffered
+    /// tuples either.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(ts: u64, url: &str, n: u64) -> DataTuple {
+        DataTuple::new(1, ts).with("url", url).with("count", n)
+    }
+
+    #[test]
+    fn sink_is_passthrough_and_commits_on_tick() {
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        let mut sink = StoreSink::new(store.clone(), 7, Some("url".into()));
+        let mut out = Vec::new();
+        sink.execute(&tuple(10, "/a", 1), &mut out);
+        sink.execute(&tuple(20, "/b", 2), &mut out);
+        assert_eq!(out.len(), 2, "every tuple re-emitted");
+        assert_eq!(store.stats().tuples, 0, "buffered, not yet committed");
+
+        sink.tick(99, &mut out);
+        assert_eq!(store.stats().tuples, 2);
+        let a = store
+            .latest(&SeriesKey::new(7, "/a"))
+            .expect("series /a exists");
+        assert_eq!(a.ts_ns, 10);
+        assert!(store.latest(&SeriesKey::new(7, "/b")).is_some());
+        assert!(store.latest(&SeriesKey::new(8, "/a")).is_none());
+    }
+
+    #[test]
+    fn threshold_flushes_without_tick_and_groups_default_series() {
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        let mut sink = StoreSink::new(store.clone(), 1, None);
+        let mut out = Vec::new();
+        for i in 0..FLUSH_THRESHOLD as u64 {
+            sink.execute(&tuple(i, "/x", i), &mut out);
+        }
+        assert_eq!(store.stats().tuples, FLUSH_THRESHOLD as u64);
+        assert_eq!(store.series(), vec![SeriesKey::new(1, "")]);
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        {
+            let mut sink = StoreSink::new(store.clone(), 2, None);
+            let mut out = Vec::new();
+            sink.execute(&tuple(5, "/y", 1), &mut out);
+        }
+        assert_eq!(store.stats().tuples, 1);
+    }
+}

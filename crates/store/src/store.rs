@@ -1,0 +1,897 @@
+//! The embedded time-series store: segmented CRC-framed append log,
+//! per-series memtables, retention, and rollup compaction.
+//!
+//! # Data layout
+//!
+//! A store directory holds `seg-NNNNNNNN.log` segment files plus one
+//! `rollups.log`. Every file is a sequence of [`crate::frame`] frames.
+//! A data frame's payload is
+//!
+//! ```text
+//! query_id:u64 group:str16 min_ts:u64 max_ts:u64 batch(TupleBatch codec)
+//! ```
+//!
+//! so readers can route and time-filter a frame without decoding its
+//! tuples. Writes are fsync-free: the commit point is the buffered
+//! `write(2)` into the active segment, and a torn tail left by a crash
+//! is detected by CRC and truncated away on the next open.
+//!
+//! Reads come from three structures kept coherent under one lock: the
+//! segments (source of truth), a bounded per-series tail memtable
+//! (`latest` and recent `range`s without touching the log), and the
+//! rollup map (downsampled history that outlives expired segments).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use netalytics_data::{CodecError, DataTuple, TupleBatch};
+use netalytics_telemetry::{Counter, Gauge, MetricsRegistry};
+use parking_lot::Mutex;
+
+use crate::frame::{write_frame, FrameIter, FRAME_HEADER};
+use crate::rollup::{decode_rollup, encode_rollup, RollupPoint};
+use crate::wire::{put_str16, put_u64, Reader};
+
+/// Identity of one stored series: the query that produced the tuples
+/// and the group key they aggregate under (empty for ungrouped output).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    /// Orchestrator cookie of the producing query.
+    pub query_id: u64,
+    /// Group-by key value, `""` when the query has no grouping.
+    pub group: String,
+}
+
+impl SeriesKey {
+    /// Builds a series key.
+    pub fn new(query_id: u64, group: impl Into<String>) -> Self {
+        SeriesKey {
+            query_id,
+            group: group.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}/{}", self.query_id, self.group)
+    }
+}
+
+/// Store tuning knobs; the defaults suit the simulation-scale loads in
+/// this repo (a few MiB of results per query).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Roll the active segment once it would exceed this many bytes.
+    pub segment_max_bytes: usize,
+    /// Drop (after folding into rollups) sealed segments whose newest
+    /// tuple is older than `now - retention_ns`. `None` keeps raw data
+    /// forever.
+    pub retention_ns: Option<u64>,
+    /// Native rollup bucket width; queries may ask for any multiple.
+    pub rollup_bucket_ns: u64,
+    /// Sparse-index stride: one seek entry per this many frames.
+    pub index_every: u64,
+    /// Tuples kept per series in the in-memory tail memtable.
+    pub memtable_per_series: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_max_bytes: 4 << 20,
+            retention_ns: None,
+            rollup_bucket_ns: 1_000_000_000,
+            index_every: 16,
+            memtable_per_series: 256,
+        }
+    }
+}
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem trouble (open, append, truncate, remove).
+    Io(std::io::Error),
+    /// A frame passed its CRC but its tuple payload would not decode —
+    /// a layout bug or version skew, never a torn write.
+    Codec(CodecError),
+    /// A frame passed its CRC but its record header would not parse.
+    Corrupt(&'static str),
+    /// `rollup()` asked for a bucket the store cannot serve exactly.
+    BadBucket {
+        /// The requested bucket width.
+        requested_ns: u64,
+        /// The configured native width it must be a multiple of.
+        native_ns: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::Codec(e) => write!(f, "store codec: {e}"),
+            StoreError::Corrupt(what) => write!(f, "store corrupt record: {what}"),
+            StoreError::BadBucket {
+                requested_ns,
+                native_ns,
+            } => write!(
+                f,
+                "rollup bucket {requested_ns}ns must be a non-zero multiple of the \
+                 configured {native_ns}ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Point-in-time counters, for tests and operator display.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live segments (including the active one).
+    pub segments: usize,
+    /// Intact frames across live segments.
+    pub frames: u64,
+    /// Bytes across live segments.
+    pub log_bytes: u64,
+    /// Distinct series seen.
+    pub series: usize,
+    /// Tuples appended over the store's lifetime (not reset by open).
+    pub tuples: u64,
+    /// Rollup cells currently held.
+    pub rollup_points: usize,
+    /// Log files whose torn tail was truncated during `open`.
+    pub truncated_on_open: u64,
+    /// Compaction passes that dropped at least one segment.
+    pub compactions: u64,
+    /// Segments dropped by retention so far.
+    pub segments_dropped: u64,
+    /// Append failures noted by sinks writing into this store.
+    pub append_errors: u64,
+}
+
+/// What one [`TimeSeriesStore::compact`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Whole segments dropped.
+    pub segments_dropped: u64,
+    /// Tuples folded into rollups before dropping.
+    pub tuples_folded: u64,
+    /// Rollup cells written or updated.
+    pub rollup_points_written: u64,
+}
+
+/// Registered metric handles; created lazily by
+/// [`TimeSeriesStore::register_metrics`].
+struct StoreMetrics {
+    ingest_tuples: Arc<Counter>,
+    ingest_batches: Arc<Counter>,
+    ingest_bytes: Arc<Counter>,
+    sink_flushes: Arc<Counter>,
+    append_errors: Arc<Counter>,
+    compactions: Arc<Counter>,
+    segments_dropped: Arc<Counter>,
+    segments: Arc<Gauge>,
+    series: Arc<Gauge>,
+    rollup_points: Arc<Gauge>,
+}
+
+/// One log segment, held both on disk (durability) and in memory
+/// (serving reads). `file` is `None` for in-memory stores.
+struct Segment {
+    seq: u64,
+    bytes: Vec<u8>,
+    file: Option<File>,
+    frames: u64,
+    min_ts: u64,
+    max_ts: u64,
+    /// `(watermark, offset)`: every tuple in frames before `offset` has
+    /// `ts <= watermark`, so a range scan for `t0 > watermark` may
+    /// start at `offset`.
+    index: Vec<(u64, usize)>,
+}
+
+impl Segment {
+    fn empty(seq: u64, file: Option<File>) -> Self {
+        Segment {
+            seq,
+            bytes: Vec::new(),
+            file,
+            frames: 0,
+            min_ts: u64::MAX,
+            max_ts: 0,
+            index: Vec::new(),
+        }
+    }
+
+    fn note_frame(&mut self, offset: usize, min_ts: u64, max_ts: u64, index_every: u64) {
+        if self.frames.is_multiple_of(index_every) {
+            self.index.push((self.max_ts, offset));
+        }
+        self.frames += 1;
+        self.min_ts = self.min_ts.min(min_ts);
+        self.max_ts = self.max_ts.max(max_ts);
+    }
+
+    /// Byte offset a scan for tuples with `ts >= t0` may start at.
+    fn seek(&self, t0: u64) -> usize {
+        let mut at = 0;
+        for &(watermark, offset) in &self.index {
+            if watermark < t0 {
+                at = offset;
+            } else {
+                break;
+            }
+        }
+        at
+    }
+
+    fn overlaps(&self, t0: u64, t1: u64) -> bool {
+        self.frames > 0 && self.min_ts <= t1 && self.max_ts >= t0
+    }
+
+    fn path(dir: &Path, seq: u64) -> PathBuf {
+        dir.join(format!("seg-{seq:08}.log"))
+    }
+}
+
+/// Data-frame payload header plus the raw batch bytes.
+struct RecordRef<'a> {
+    query_id: u64,
+    group: &'a str,
+    min_ts: u64,
+    max_ts: u64,
+    batch: &'a [u8],
+}
+
+fn encode_record(series: &SeriesKey, batch: &TupleBatch) -> (Vec<u8>, u64, u64) {
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0;
+    for t in batch.iter() {
+        min_ts = min_ts.min(t.ts_ns);
+        max_ts = max_ts.max(t.ts_ns);
+    }
+    let mut payload = Vec::with_capacity(32 + series.group.len() + batch.wire_size());
+    put_u64(&mut payload, series.query_id);
+    put_str16(&mut payload, &series.group);
+    put_u64(&mut payload, min_ts);
+    put_u64(&mut payload, max_ts);
+    payload.extend_from_slice(&batch.encode());
+    (payload, min_ts, max_ts)
+}
+
+fn decode_record(payload: &[u8]) -> Result<RecordRef<'_>, StoreError> {
+    let mut r = Reader::new(payload);
+    let query_id = r.u64("record.query_id")?;
+    let group = r.str16("record.group")?;
+    let min_ts = r.u64("record.min_ts")?;
+    let max_ts = r.u64("record.max_ts")?;
+    Ok(RecordRef {
+        query_id,
+        group,
+        min_ts,
+        max_ts,
+        batch: r.rest(),
+    })
+}
+
+fn decode_batch(bytes: &[u8]) -> Result<TupleBatch, StoreError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    Ok(TupleBatch::decode(&mut buf)?)
+}
+
+/// Bounded tail of one series, serving `latest` and recent ranges.
+struct MemSeries {
+    tail: VecDeque<DataTuple>,
+    /// Tuples ever appended; when this equals `tail.len()` the tail is
+    /// the complete series.
+    appended: u64,
+}
+
+impl MemSeries {
+    fn new() -> Self {
+        MemSeries {
+            tail: VecDeque::new(),
+            appended: 0,
+        }
+    }
+
+    /// True when every retained tuple with `ts >= t0` is in the tail.
+    fn covers_from(&self, t0: u64) -> bool {
+        self.appended == self.tail.len() as u64 || self.tail.front().is_some_and(|f| f.ts_ns < t0)
+    }
+}
+
+type RollupSeries = (SeriesKey, String);
+
+struct Inner {
+    cfg: StoreConfig,
+    dir: Option<PathBuf>,
+    segments: Vec<Segment>,
+    mem: BTreeMap<SeriesKey, MemSeries>,
+    rollups: BTreeMap<RollupSeries, BTreeMap<u64, RollupPoint>>,
+    rollup_file: Option<File>,
+    stats: StoreStats,
+    metrics: Option<StoreMetrics>,
+}
+
+impl Inner {
+    fn active(&mut self) -> &mut Segment {
+        self.segments.last_mut().expect("at least one segment")
+    }
+
+    fn roll_segment(&mut self) -> Result<(), StoreError> {
+        let seq = self.active().seq + 1;
+        let file = match &self.dir {
+            Some(dir) => Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(Segment::path(dir, seq))?,
+            ),
+            None => None,
+        };
+        self.segments.push(Segment::empty(seq, file));
+        Ok(())
+    }
+
+    fn refresh_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.segments.set(self.segments.len() as i64);
+            m.series.set(self.mem.len() as i64);
+            m.rollup_points
+                .set(self.rollups.values().map(BTreeMap::len).sum::<usize>() as i64);
+        }
+    }
+
+    fn rollup_points(&self) -> usize {
+        self.rollups.values().map(BTreeMap::len).sum()
+    }
+
+    /// All tuples of `series` in `[t0, t1]`, oldest first.
+    fn range(&self, series: &SeriesKey, t0: u64, t1: u64) -> Result<Vec<DataTuple>, StoreError> {
+        if t0 > t1 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        if let Some(ms) = self.mem.get(series) {
+            if ms.covers_from(t0) {
+                out.extend(
+                    ms.tail
+                        .iter()
+                        .filter(|t| t.ts_ns >= t0 && t.ts_ns <= t1)
+                        .cloned(),
+                );
+                out.sort_by_key(|t| t.ts_ns);
+                return Ok(out);
+            }
+        }
+        for seg in &self.segments {
+            if !seg.overlaps(t0, t1) {
+                continue;
+            }
+            let start = seg.seek(t0);
+            for (_, payload) in FrameIter::new(&seg.bytes[start..]) {
+                let rec = decode_record(payload)?;
+                if rec.query_id != series.query_id
+                    || rec.group != series.group
+                    || rec.min_ts > t1
+                    || rec.max_ts < t0
+                {
+                    continue;
+                }
+                let batch = decode_batch(rec.batch)?;
+                out.extend(
+                    batch
+                        .into_tuples()
+                        .into_iter()
+                        .filter(|t| t.ts_ns >= t0 && t.ts_ns <= t1),
+                );
+            }
+        }
+        out.sort_by_key(|t| t.ts_ns);
+        Ok(out)
+    }
+}
+
+/// The embedded, thread-safe results store. Cheap to share via `Arc`;
+/// all operations take one internal lock, so a single writer and many
+/// readers interleave safely from both executor planes.
+pub struct TimeSeriesStore {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for TimeSeriesStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("TimeSeriesStore")
+            .field("segments", &stats.segments)
+            .field("series", &stats.series)
+            .field("tuples", &stats.tuples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimeSeriesStore {
+    /// Opens (or creates) a store directory with default config,
+    /// truncating any torn tail left by a crash.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on filesystem errors; corrupt log tails are repaired,
+    /// not reported.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// [`TimeSeriesStore::open`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on filesystem errors.
+    pub fn open_with(dir: impl AsRef<Path>, cfg: StoreConfig) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut inner = Inner {
+            cfg,
+            dir: Some(dir.clone()),
+            segments: Vec::new(),
+            mem: BTreeMap::new(),
+            rollups: BTreeMap::new(),
+            rollup_file: None,
+            stats: StoreStats::default(),
+            metrics: None,
+        };
+
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+
+        for &seq in &seqs {
+            let path = Segment::path(&dir, seq);
+            let bytes = fs::read(&path)?;
+            let mut seg = Segment::empty(seq, None);
+            let mut it = FrameIter::new(&bytes);
+            for (offset, payload) in it.by_ref() {
+                let rec = decode_record(payload)?;
+                seg.note_frame(offset, rec.min_ts, rec.max_ts, inner.cfg.index_every);
+                let series = SeriesKey::new(rec.query_id, rec.group);
+                let batch = decode_batch(rec.batch)?;
+                inner.stats.tuples += batch.len() as u64;
+                let ms = inner.mem.entry(series).or_insert_with(MemSeries::new);
+                for t in batch.into_tuples() {
+                    ms.tail.push_back(t);
+                    ms.appended += 1;
+                    if ms.tail.len() > inner.cfg.memtable_per_series {
+                        ms.tail.pop_front();
+                    }
+                }
+            }
+            let valid = it.valid_len();
+            if valid < bytes.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(valid as u64)?;
+                inner.stats.truncated_on_open += 1;
+            }
+            seg.bytes = bytes[..valid].to_vec();
+            inner.stats.frames += seg.frames;
+            inner.segments.push(seg);
+        }
+
+        // Reopen the newest segment for append, or start segment 0.
+        let next_seq = seqs.last().map_or(0, |s| s + 1);
+        match inner.segments.last_mut() {
+            Some(last) if last.bytes.len() < inner.cfg.segment_max_bytes => {
+                last.file = Some(
+                    OpenOptions::new()
+                        .append(true)
+                        .open(Segment::path(&dir, last.seq))?,
+                );
+            }
+            _ => {
+                let file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(Segment::path(&dir, next_seq))?;
+                inner.segments.push(Segment::empty(next_seq, Some(file)));
+            }
+        }
+
+        // Rollups: replay last-wins, repair torn tail.
+        let rollup_path = dir.join("rollups.log");
+        if rollup_path.exists() {
+            let bytes = fs::read(&rollup_path)?;
+            let mut it = FrameIter::new(&bytes);
+            for (_, payload) in it.by_ref() {
+                let (series, field, point) = decode_rollup(payload)?;
+                inner
+                    .rollups
+                    .entry((series, field))
+                    .or_default()
+                    .insert(point.bucket_start, point);
+            }
+            let valid = it.valid_len();
+            if valid < bytes.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&rollup_path)?
+                    .set_len(valid as u64)?;
+                inner.stats.truncated_on_open += 1;
+            }
+        }
+        inner.rollup_file = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&rollup_path)?,
+        );
+
+        Ok(TimeSeriesStore {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// A purely in-memory store with the same semantics minus
+    /// durability — for tests and ephemeral queries.
+    pub fn in_memory() -> Self {
+        Self::in_memory_with(StoreConfig::default())
+    }
+
+    /// [`TimeSeriesStore::in_memory`] with explicit tuning.
+    pub fn in_memory_with(cfg: StoreConfig) -> Self {
+        TimeSeriesStore {
+            inner: Mutex::new(Inner {
+                cfg,
+                dir: None,
+                segments: vec![Segment::empty(0, None)],
+                mem: BTreeMap::new(),
+                rollups: BTreeMap::new(),
+                rollup_file: None,
+                stats: StoreStats::default(),
+                metrics: None,
+            }),
+        }
+    }
+
+    /// True when backed by a directory (false for in-memory stores).
+    pub fn is_durable(&self) -> bool {
+        self.inner.lock().dir.is_some()
+    }
+
+    /// Appends a batch to a series. The write is committed once this
+    /// returns: it survives process death (modulo OS page cache) and
+    /// any later orchestrator re-placement.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem append failures; the in-memory copy is not updated on
+    /// error, so the store never claims more than the log holds.
+    pub fn append(&self, series: &SeriesKey, batch: &TupleBatch) -> Result<(), StoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let (payload, min_ts, max_ts) = encode_record(series, batch);
+        let mut inner = self.inner.lock();
+        let frame_len = FRAME_HEADER + payload.len();
+        if inner.active().frames > 0
+            && inner.active().bytes.len() + frame_len > inner.cfg.segment_max_bytes
+        {
+            inner.roll_segment()?;
+        }
+        let index_every = inner.cfg.index_every;
+        let seg = inner.active();
+        let offset = seg.bytes.len();
+        write_frame(&mut seg.bytes, &payload);
+        if let Some(file) = &mut seg.file {
+            if let Err(e) = file.write_all(&seg.bytes[offset..]) {
+                // Keep memory and disk consistent: undo the in-memory append.
+                seg.bytes.truncate(offset);
+                return Err(e.into());
+            }
+        }
+        seg.note_frame(offset, min_ts, max_ts, index_every);
+
+        let cap = inner.cfg.memtable_per_series;
+        let ms = inner
+            .mem
+            .entry(series.clone())
+            .or_insert_with(MemSeries::new);
+        for t in batch.iter() {
+            ms.tail.push_back(t.clone());
+            ms.appended += 1;
+            if ms.tail.len() > cap {
+                ms.tail.pop_front();
+            }
+        }
+
+        inner.stats.frames += 1;
+        inner.stats.tuples += batch.len() as u64;
+        if let Some(m) = &inner.metrics {
+            m.ingest_tuples.add(batch.len() as u64);
+            m.ingest_batches.inc();
+            m.ingest_bytes.add(frame_len as u64);
+        }
+        inner.refresh_gauges();
+        Ok(())
+    }
+
+    /// The newest retained tuple of a series, if any.
+    pub fn latest(&self, series: &SeriesKey) -> Option<DataTuple> {
+        self.inner.lock().mem.get(series)?.tail.back().cloned()
+    }
+
+    /// All retained tuples of `series` with `t0 <= ts <= t1`, oldest
+    /// first. Served from the memtable when it covers the range, else
+    /// from the log via each overlapping segment's sparse index.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors on a frame that passed its CRC (version skew).
+    pub fn range(
+        &self,
+        series: &SeriesKey,
+        t0: u64,
+        t1: u64,
+    ) -> Result<Vec<DataTuple>, StoreError> {
+        self.inner.lock().range(series, t0, t1)
+    }
+
+    /// Downsampled view of one numeric field over `[t0, t1]` in buckets
+    /// of `bucket_ns`, merging persisted rollups (for expired raw data)
+    /// with on-the-fly folds of still-retained tuples.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadBucket`] unless `bucket_ns` is a non-zero
+    /// multiple of [`StoreConfig::rollup_bucket_ns`] (persisted cells
+    /// must nest exactly into query buckets), plus any decode error.
+    pub fn rollup(
+        &self,
+        series: &SeriesKey,
+        field: &str,
+        t0: u64,
+        t1: u64,
+        bucket_ns: u64,
+    ) -> Result<Vec<RollupPoint>, StoreError> {
+        let inner = self.inner.lock();
+        let native = inner.cfg.rollup_bucket_ns;
+        if bucket_ns == 0 || bucket_ns < native || !bucket_ns.is_multiple_of(native) {
+            return Err(StoreError::BadBucket {
+                requested_ns: bucket_ns,
+                native_ns: native,
+            });
+        }
+        let mut out: BTreeMap<u64, RollupPoint> = BTreeMap::new();
+        let mut fold = |bucket_start: u64, apply: &dyn Fn(&mut RollupPoint)| {
+            let p = out
+                .entry(bucket_start)
+                .or_insert_with(|| RollupPoint::empty(bucket_start, bucket_ns));
+            apply(p);
+        };
+        if let Some(cells) = inner.rollups.get(&(series.clone(), field.to_string())) {
+            for (&start, cell) in cells {
+                // Include a native cell if it overlaps [t0, t1].
+                if start <= t1 && start.saturating_add(cell.bucket_ns) > t0 {
+                    fold(start - start % bucket_ns, &|p| p.merge(cell));
+                }
+            }
+        }
+        for tuple in inner.range(series, t0, t1)? {
+            if let Some(v) = tuple.get(field).and_then(|v| v.as_f64()) {
+                fold(tuple.ts_ns - tuple.ts_ns % bucket_ns, &|p| p.observe(v));
+            }
+        }
+        Ok(out.into_values().collect())
+    }
+
+    /// Every tuple the store has retained for a query, across all of
+    /// its group series, sorted by timestamp — the durable counterpart
+    /// of a finalized `ResultSet`.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors on a frame that passed its CRC (version skew).
+    pub fn query_history(&self, query_id: u64) -> Result<Vec<DataTuple>, StoreError> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for seg in &inner.segments {
+            for (_, payload) in FrameIter::new(&seg.bytes) {
+                let rec = decode_record(payload)?;
+                if rec.query_id == query_id {
+                    out.extend(decode_batch(rec.batch)?.into_tuples());
+                }
+            }
+        }
+        out.sort_by_key(|t| t.ts_ns);
+        Ok(out)
+    }
+
+    /// All series the store currently knows about.
+    pub fn series(&self) -> Vec<SeriesKey> {
+        self.inner.lock().mem.keys().cloned().collect()
+    }
+
+    /// Retention + compaction pass. Sealed segments whose newest tuple
+    /// is older than `now_ns - retention` have every numeric field of
+    /// every tuple folded into native-bucket rollups, are deleted from
+    /// disk, and dropped from memory. A no-op without a configured
+    /// retention.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors while persisting rollups or removing segment
+    /// files; the fold happens before the drop, so an error never loses
+    /// data that was not already summarised.
+    pub fn compact(&self, now_ns: u64) -> Result<CompactionReport, StoreError> {
+        let mut inner = self.inner.lock();
+        let mut report = CompactionReport::default();
+        let Some(retention) = inner.cfg.retention_ns else {
+            return Ok(report);
+        };
+        let cutoff = now_ns.saturating_sub(retention);
+        let native = inner.cfg.rollup_bucket_ns;
+
+        let expired: Vec<usize> = inner.segments[..inner.segments.len() - 1]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.frames > 0 && s.max_ts < cutoff)
+            .map(|(i, _)| i)
+            .collect();
+        if expired.is_empty() {
+            return Ok(report);
+        }
+
+        // Fold every expired tuple into the rollup map.
+        let mut touched: BTreeMap<RollupSeries, Vec<u64>> = BTreeMap::new();
+        for &i in &expired {
+            let seg = &inner.segments[i];
+            let mut folds: Vec<(RollupSeries, u64, f64)> = Vec::new();
+            for (_, payload) in FrameIter::new(&seg.bytes) {
+                let rec = decode_record(payload)?;
+                let series = SeriesKey::new(rec.query_id, rec.group);
+                for tuple in decode_batch(rec.batch)?.into_tuples() {
+                    report.tuples_folded += 1;
+                    let bucket = tuple.ts_ns - tuple.ts_ns % native;
+                    for (k, v) in &tuple.fields {
+                        if let Some(v) = v.as_f64() {
+                            folds.push(((series.clone(), k.clone()), bucket, v));
+                        }
+                    }
+                }
+            }
+            for (key, bucket, v) in folds {
+                inner
+                    .rollups
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(bucket)
+                    .or_insert_with(|| RollupPoint::empty(bucket, native))
+                    .observe(v);
+                let list = touched.entry(key).or_default();
+                if !list.contains(&bucket) {
+                    list.push(bucket);
+                }
+            }
+        }
+
+        // Persist the merged cells (last-wins supersedes older records).
+        let mut log = Vec::new();
+        for ((series, field), buckets) in &touched {
+            for bucket in buckets {
+                let cell = &inner.rollups[&(series.clone(), field.clone())][bucket];
+                let mut payload = Vec::new();
+                encode_rollup(&mut payload, series, field, cell);
+                write_frame(&mut log, &payload);
+                report.rollup_points_written += 1;
+            }
+        }
+        if let Some(file) = &mut inner.rollup_file {
+            file.write_all(&log)?;
+        }
+
+        // Drop the segments, newest index first so indices stay valid.
+        for &i in expired.iter().rev() {
+            let seg = inner.segments.remove(i);
+            inner.stats.frames = inner.stats.frames.saturating_sub(seg.frames);
+            if let Some(dir) = &inner.dir {
+                fs::remove_file(Segment::path(dir, seg.seq))?;
+            }
+            report.segments_dropped += 1;
+        }
+        inner.stats.segments_dropped += report.segments_dropped;
+        inner.stats.compactions += 1;
+
+        // Expired tuples may linger in memtables; evict them so reads
+        // are consistent with the log.
+        for ms in inner.mem.values_mut() {
+            while ms.tail.front().is_some_and(|t| t.ts_ns < cutoff) {
+                ms.tail.pop_front();
+            }
+        }
+
+        if let Some(m) = &inner.metrics {
+            m.compactions.inc();
+            m.segments_dropped.add(report.segments_dropped);
+        }
+        inner.refresh_gauges();
+        Ok(report)
+    }
+
+    /// Registers this store's counters and gauges under `store.*` in a
+    /// [`MetricsRegistry`]. Gauges reflect current state immediately;
+    /// counters count from registration onward.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let mut inner = self.inner.lock();
+        inner.metrics = Some(StoreMetrics {
+            ingest_tuples: registry.counter("store.ingest_tuples", &[]),
+            ingest_batches: registry.counter("store.ingest_batches", &[]),
+            ingest_bytes: registry.counter("store.ingest_bytes", &[]),
+            sink_flushes: registry.counter("store.sink_flushes", &[]),
+            append_errors: registry.counter("store.append_errors", &[]),
+            compactions: registry.counter("store.compactions", &[]),
+            segments_dropped: registry.counter("store.segments_dropped", &[]),
+            segments: registry.gauge("store.segments", &[]),
+            series: registry.gauge("store.series", &[]),
+            rollup_points: registry.gauge("store.rollup_points", &[]),
+        });
+        inner.refresh_gauges();
+    }
+
+    /// Called by sinks after flushing their buffers into the store.
+    pub fn note_sink_flush(&self) {
+        if let Some(m) = &self.inner.lock().metrics {
+            m.sink_flushes.inc();
+        }
+    }
+
+    /// Called by sinks when an append failed and the batch was dropped.
+    pub fn note_append_error(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.append_errors += 1;
+        if let Some(m) = &inner.metrics {
+            m.append_errors.inc();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            segments: inner.segments.len(),
+            log_bytes: inner.segments.iter().map(|s| s.bytes.len() as u64).sum(),
+            series: inner.mem.len(),
+            rollup_points: inner.rollup_points(),
+            ..inner.stats.clone()
+        }
+    }
+}

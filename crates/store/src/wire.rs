@@ -1,0 +1,116 @@
+//! Minimal little-endian field helpers for frame payloads.
+//!
+//! Tuple data itself travels as [`netalytics_data`]'s binary codec
+//! (`TupleBatch::encode`/`decode`); these helpers only lay out the
+//! record headers around it.
+
+use crate::store::StoreError;
+
+/// Appends a `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` (IEEE 754 bits).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a string as `len:u16` + UTF-8 bytes. Longer strings are
+/// truncated at a character boundary.
+pub fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(out, end as u16);
+    out.extend_from_slice(&s.as_bytes()[..end]);
+}
+
+/// Cursor over a frame payload. Reads fail with
+/// [`StoreError::Corrupt`] rather than panicking, so a record from a
+/// future or foreign layout degrades to an error.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(StoreError::Corrupt(what))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub fn str16(&mut self, what: &'static str) -> Result<&'a str, StoreError> {
+        let len = self.u16(what)? as usize;
+        std::str::from_utf8(self.take(len, what)?).map_err(|_| StoreError::Corrupt(what))
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -2.5);
+        put_str16(&mut buf, "grüße");
+        buf.extend_from_slice(b"tail");
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("c").unwrap(), -2.5);
+        assert_eq!(r.str16("d").unwrap(), "grüße");
+        assert_eq!(r.rest(), b"tail");
+    }
+
+    #[test]
+    fn short_reads_error_instead_of_panicking() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(r.u64("x"), Err(StoreError::Corrupt("x"))));
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 100); // promises 100 string bytes, provides none
+        let mut r = Reader::new(&buf);
+        assert!(r.str16("s").is_err());
+    }
+}

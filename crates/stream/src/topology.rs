@@ -125,6 +125,38 @@ impl Topology {
         self.bolts.iter().map(|b| b.name.as_str()).collect()
     }
 
+    /// Appends a pass-through sink stage: a single-instance bolt wired
+    /// (globally grouped) after every current terminal, so it observes
+    /// the topology's full output and becomes the sole terminal. Used
+    /// by the orchestrator to attach a durable results sink without the
+    /// query compiler knowing about storage.
+    pub fn with_sink<F, B>(mut self, name: impl Into<String>, factory: F) -> Topology
+    where
+        F: Fn() -> Box<B> + Send + Sync + 'static,
+        B: crate::bolt::Bolt + 'static,
+    {
+        let terminals = self.terminals();
+        let sink = BoltId(self.bolts.len());
+        self.bolts.push(BoltNode {
+            name: name.into(),
+            parallelism: 1,
+            factory: Box::new(move || factory() as Box<dyn crate::bolt::Bolt>),
+        });
+        for (i, is_term) in terminals.into_iter().enumerate() {
+            if is_term {
+                self.edges.push(Edge {
+                    from: SourceRef::Bolt(BoltId(i)),
+                    to: sink,
+                    grouping: Grouping::Global,
+                });
+            }
+        }
+        // Re-validation is unnecessary: adding a fresh node with only
+        // incoming edges cannot create a cycle, an orphan, or a
+        // dangling reference.
+        self
+    }
+
     /// Ids of terminal bolts (no outgoing edges) — their emissions are
     /// the topology's results.
     pub(crate) fn terminals(&self) -> Vec<bool> {
@@ -261,6 +293,22 @@ mod tests {
         assert_eq!(t.num_instances(), 3);
         assert_eq!(t.terminals(), vec![false, true]);
         assert_eq!(t.bolt_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn with_sink_becomes_sole_terminal() {
+        let mut b = Topology::builder("t");
+        let x = b.add_bolt("x", 1, || Box::new(Nop));
+        let y = b.add_bolt("y", 1, || Box::new(Nop));
+        b.wire(SourceRef::Spout, x, Grouping::Shuffle);
+        b.wire(SourceRef::Spout, y, Grouping::Shuffle);
+        let t = b.build().unwrap().with_sink("sink", || Box::new(Nop));
+        assert_eq!(t.bolt_names(), vec!["x", "y", "sink"]);
+        assert_eq!(
+            t.terminals(),
+            vec![false, false, true],
+            "both old terminals feed the sink, which is now the only one"
+        );
     }
 
     #[test]

@@ -179,6 +179,45 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// Record one observation directly into this snapshot — the
+    /// single-owner path for code that builds a distribution offline
+    /// (e.g. the results store folding tuples into rollups) and does
+    /// not need the lock-free recorder.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].wrapping_add(1);
+        self.count = self.count.wrapping_add(1);
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// The non-zero `(bucket_index, count)` pairs — the sparse form a
+    /// store can persist and later rebuild with
+    /// [`HistogramSnapshot::from_parts`].
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuilds a snapshot from its sparse persisted form: the non-zero
+    /// buckets plus the recorded sum and max. The total count is the sum
+    /// of the bucket counts; entries beyond [`BUCKETS`] are ignored.
+    pub fn from_parts(buckets: impl IntoIterator<Item = (usize, u64)>, sum: u64, max: u64) -> Self {
+        let mut snap = Self::empty();
+        for (idx, c) in buckets {
+            if let Some(b) = snap.buckets.get_mut(idx) {
+                *b = b.wrapping_add(c);
+                snap.count = snap.count.wrapping_add(c);
+            }
+        }
+        snap.sum = sum;
+        snap.max = max;
+        snap
+    }
+
     /// Quantile estimate: the lower bound of the bucket holding the
     /// `q`-th observation (`0.0 ..= 1.0`). Within one bucket of exact.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -252,6 +291,35 @@ mod tests {
         assert!((440.0..=500.0).contains(&p50), "p50 = {p50}");
         let p99 = s.p99() as f64;
         assert!((860.0..=990.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_snapshot() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 9, 1000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let back = HistogramSnapshot::from_parts(
+            s.nonzero_buckets().collect::<Vec<_>>(),
+            s.sum(),
+            s.max(),
+        );
+        assert_eq!(back, s);
+        // Out-of-range entries are ignored rather than panicking.
+        let odd = HistogramSnapshot::from_parts([(usize::MAX, 3)], 0, 0);
+        assert_eq!(odd.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_record_matches_recorder() {
+        let h = Histogram::new();
+        let mut s = HistogramSnapshot::empty();
+        for v in [0u64, 1, 9, 512, 123_456, u64::MAX] {
+            h.record(v);
+            s.record(v);
+        }
+        assert_eq!(s, h.snapshot());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Durable results: replay a query's output from disk after an
+//! orchestrator restart.
+//!
+//! Attaches a disk-backed [`TimeSeriesStore`] to the orchestrator, runs
+//! a top-k query, then tears the whole orchestrator down — data center,
+//! apps, analytics, everything — and rebuilds it from scratch over the
+//! same store directory. The query's committed output is still there:
+//! `query_history()` replays it from the segmented log, and the store's
+//! range/rollup API serves time-windowed slices of it.
+//!
+//! Run with: `cargo run --release --example results_store`
+
+use std::sync::Arc;
+
+use netalytics::{Orchestrator, SeriesKey, TimeSeriesStore};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::{SimDuration, SimTime};
+use netalytics_packet::http;
+
+const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 2s SAMPLE * \
+                     PROCESS (top-k: k=3, w=500ms, key=url)";
+
+fn deploy_web(orch: &mut Orchestrator) {
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(2.0, 7)))),
+    );
+    let urls = ["/video/7", "/video/7", "/video/2", "/index"];
+    let schedule = (0..200u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 8_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get(urls[(i % 4) as usize], "web")],
+                    tag: String::new(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("netalytics-results-{}", std::process::id()));
+
+    // ---- First life: run the query with a durable store attached. ----
+    let store = Arc::new(TimeSeriesStore::open(&dir)?);
+    let mut orch = Orchestrator::builder(4)
+        .result_store(Arc::clone(&store))
+        .build();
+    deploy_web(&mut orch);
+
+    let mut q = orch.submit(QUERY)?;
+    let cookie = q.cookie;
+    let deadline = q.deadline.expect("time-limited query");
+    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
+    let report = orch.finalize(q);
+
+    println!("== first life ==");
+    println!("  live result tuples : {}", report.first().len());
+    let stats = store.stats();
+    println!(
+        "  store committed    : {} tuples, {} frames, {} bytes on disk",
+        stats.tuples, stats.frames, stats.log_bytes
+    );
+
+    // ---- Restart: drop everything, reopen the directory cold. ----
+    drop(orch);
+    drop(store);
+
+    let reopened = Arc::new(TimeSeriesStore::open(&dir)?);
+    let orch2 = Orchestrator::builder(4)
+        .result_store(Arc::clone(&reopened))
+        .build();
+
+    let history = orch2
+        .query_history(cookie)
+        .expect("store attached and readable");
+    println!("\n== after restart (replayed from disk) ==");
+    println!("  history tuples     : {}", history.len());
+    assert_eq!(
+        history.len(),
+        report.first().len(),
+        "every committed tuple survived the restart"
+    );
+    println!("  last window ranking:");
+    for (rank, (url, count)) in history.final_ranking().iter().enumerate() {
+        println!("    #{} {url}  ({count} requests)", rank + 1);
+    }
+
+    // The store's own API slices the same data by series and time.
+    let series = SeriesKey::new(cookie, "");
+    let latest = reopened.latest(&series).expect("query emitted tuples");
+    let half = latest.ts_ns / 2;
+    let early = reopened.range(&series, 0, half)?;
+    let late = reopened.range(&series, half + 1, u64::MAX)?;
+    println!("\n== range queries on series {series} ==");
+    println!("  first half         : {} tuples", early.len());
+    println!("  second half        : {} tuples", late.len());
+    println!(
+        "  p95(count) rollup  : {:?}",
+        reopened
+            .rollup(&series, "count", 0, u64::MAX, 1_000_000_000)?
+            .iter()
+            .map(|p| p.p95())
+            .collect::<Vec<_>>()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -4,7 +4,9 @@
 //! placement, reinstall mirror rules and keep the query's results close
 //! to the no-failure baseline.
 
-use netalytics::Orchestrator;
+use std::sync::Arc;
+
+use netalytics::{Orchestrator, TimeSeriesStore};
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
 use netalytics_netsim::{FailureScript, SimDuration, SimTime};
 use netalytics_packet::http;
@@ -158,6 +160,61 @@ fn fault_crashed_monitor_process_detected_by_stale_heartbeat() {
         took.as_nanos()
     );
     assert!(q.replacements() >= 1, "monitor was replaced");
+}
+
+/// Aggregator failover with a results store attached: every tuple the
+/// store committed before the fault must still be served by
+/// `query_history()` after recovery — durable results don't ride on the
+/// aggregator's life.
+#[test]
+fn fault_aggregator_killed_with_store_keeps_committed_history() {
+    // top-k with a short window releases rankings throughout the run, so
+    // the store commits tuples well before the fault (unlike group-sum,
+    // which releases its figures only on finish).
+    const RANK_QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                              PROCESS (top-k: k=5, w=50ms, key=url)";
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let mut orch = Orchestrator::builder(4)
+        .result_store(Arc::clone(&store))
+        .build();
+    deploy_web(&mut orch, 60);
+    let mut q = orch.submit(RANK_QUERY).expect("submit");
+    let cookie = q.cookie;
+    let victim = q.aggregator_host;
+    let fail_at = SimTime::from_nanos(200_000_000);
+    orch.engine_mut()
+        .apply_script(&FailureScript::new().fail_host(fail_at, victim));
+
+    // Run up to the fault and snapshot what the store has committed.
+    orch.run_reconciling(&mut q, fail_at)
+        .expect("pre-fault run");
+    let committed = orch.query_history(cookie).expect("store attached").tuples;
+    assert!(
+        !committed.is_empty(),
+        "rankings were committed before the fault"
+    );
+
+    // Ride through the failover and finish the query.
+    let deadline = q.deadline.expect("time-limited query");
+    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+        .expect("post-fault run");
+    assert_ne!(q.aggregator_host, victim, "aggregator moved");
+    assert!(q.replacements() >= 1);
+    let report = orch.finalize(q);
+    assert!(!report.first().is_empty(), "analytics produced results");
+
+    // Every pre-fault tuple survived: the history (sorted by timestamp,
+    // stably) must start with exactly the committed prefix.
+    let history = orch
+        .query_history(cookie)
+        .expect("history after recovery")
+        .tuples;
+    assert!(history.len() >= committed.len(), "history only grows");
+    assert_eq!(
+        &history[..committed.len()],
+        &committed[..],
+        "tuples committed before the fault survived the failover intact"
+    );
 }
 
 /// Query runs to completion when no failures strike, even with the
