@@ -23,6 +23,7 @@ pub mod client;
 pub mod kvstore;
 pub mod tier;
 pub mod trace;
+pub mod zipf;
 
 pub use autoscaler::{ScaleEvent, ScalerConfig, UpdaterBolt};
 pub use behaviors::{
@@ -33,3 +34,4 @@ pub use client::{sample_sink, ClientApp, Conversation, Sample, SampleSink};
 pub use kvstore::KvStore;
 pub use tier::{Endpoint, Plan, TierApp, TierBehavior};
 pub use trace::{generate_trace, TraceRequest, TraceSpec};
+pub use zipf::{zipf_cdf, ZipfKeys};

@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::zipf::zipf_cdf;
+
 /// Configuration of the synthetic trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSpec {
@@ -56,17 +58,7 @@ pub struct TraceRequest {
 pub fn generate_trace(spec: &TraceSpec, seed: u64) -> Vec<TraceRequest> {
     assert!(spec.num_items > 0, "need at least one item");
     let mut rng = StdRng::seed_from_u64(seed);
-    // Zipf CDF over ranks.
-    let weights: Vec<f64> = (1..=spec.num_items)
-        .map(|r| 1.0 / (r as f64).powf(spec.zipf_s))
-        .collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(spec.num_items);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
-    }
+    let cdf = zipf_cdf(spec.num_items, spec.zipf_s);
     // rank -> item mapping, drifting over time.
     let mut rank_to_item: Vec<usize> = (0..spec.num_items).collect();
     let mut out = Vec::with_capacity(spec.requests_per_interval * spec.intervals);

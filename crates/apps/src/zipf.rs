@@ -1,0 +1,135 @@
+//! Seeded Zipfian key generator.
+//!
+//! One deterministic source of skewed key streams shared by the trace
+//! generator, the sketch accuracy tests and the benches: rank `r`
+//! (1-based) is drawn with probability proportional to `1 / r^s`, and
+//! the same seed always yields the same sequence, so accuracy numbers
+//! and golden tests are reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Zipf CDF over `n` ranks with exponent `s`: `cdf[r]` is the
+/// probability of drawing a rank `<= r` (0-based).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// A deterministic stream of Zipf-distributed keys.
+///
+/// # Examples
+///
+/// ```
+/// use netalytics_apps::ZipfKeys;
+///
+/// let keys: Vec<String> = ZipfKeys::new(1_000, 1.1, 42).take(5).collect();
+/// assert_eq!(keys, ZipfKeys::new(1_000, 1.1, 42).take(5).collect::<Vec<_>>());
+/// assert!(keys.iter().all(|k| k.starts_with("/key/")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    cdf: Vec<f64>,
+    rng: StdRng,
+    prefix: String,
+}
+
+impl ZipfKeys {
+    /// A generator over `num_keys` distinct keys with exponent `s`,
+    /// deterministic per `seed`. Keys are `"/key/<rank>"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys` is zero.
+    pub fn new(num_keys: usize, s: f64, seed: u64) -> Self {
+        Self::with_prefix(num_keys, s, seed, "/key/")
+    }
+
+    /// Like [`ZipfKeys::new`] with a custom key prefix.
+    pub fn with_prefix(num_keys: usize, s: f64, seed: u64, prefix: impl Into<String>) -> Self {
+        ZipfKeys {
+            cdf: zipf_cdf(num_keys, s),
+            rng: StdRng::seed_from_u64(seed),
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Number of distinct keys the generator can emit.
+    pub fn num_keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws the next 0-based rank (0 is the hottest key).
+    pub fn next_rank(&mut self) -> usize {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The key string of a given rank, without advancing the stream.
+    pub fn key_of(&self, rank: usize) -> String {
+        format!("{}{rank}", self.prefix)
+    }
+}
+
+impl Iterator for ZipfKeys {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let rank = self.next_rank();
+        Some(self.key_of(rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = zipf_cdf(100, 1.0);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf[99] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<String> = ZipfKeys::new(500, 1.0, 3).take(1_000).collect();
+        let b: Vec<String> = ZipfKeys::new(500, 1.0, 3).take(1_000).collect();
+        let c: Vec<String> = ZipfKeys::new(500, 1.0, 4).take(1_000).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let mut gen = ZipfKeys::new(1_000, 1.0, 11);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(gen.next_rank()).or_default() += 1;
+        }
+        let head = counts.get(&0).copied().unwrap_or(0);
+        let tail = counts.get(&500).copied().unwrap_or(0);
+        assert!(head > 20 * tail.max(1), "head {head} vs tail {tail}");
+        assert!(counts.keys().all(|&r| r < 1_000));
+    }
+
+    #[test]
+    fn prefix_is_applied() {
+        let mut gen = ZipfKeys::with_prefix(10, 1.0, 1, "/videos/");
+        let k = gen.next().unwrap();
+        assert!(k.starts_with("/videos/"), "{k}");
+    }
+}

@@ -13,6 +13,7 @@ fn main() {
         parsers: vec!["http_get".into(), "tcp_conn_time".into()],
         sample: SampleSpec::All,
         batch_size: 128,
+        preagg: None,
     })
     .expect("stock parsers");
     let gets = http_get_stream(2_000, 512, 256);

@@ -487,6 +487,7 @@ mod tests {
             parsers: vec!["http_get".into()],
             sample: SampleSpec::All,
             batch_size: 16,
+            preagg: None,
         })
         .unwrap();
         let topo = topologies::build(
@@ -547,6 +548,7 @@ mod tests {
             parsers: vec!["tcp_flow_key".into()],
             sample: SampleSpec::Auto,
             batch_size: 16,
+            preagg: None,
         })
         .unwrap();
         let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();

@@ -22,8 +22,9 @@ use netalytics_monitor::{Monitor, MonitorConfig, MonitorError, SampleSpec};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
+use netalytics_sketch::PreAggSpec;
 use netalytics_store::{StoreSink, TimeSeriesStore};
-use netalytics_stream::{topologies, ExecutorMode};
+use netalytics_stream::{topologies, ExecutorMode, ProcessorSpec};
 use netalytics_telemetry::{MetricsRegistry, RegistrySnapshot};
 
 use crate::nfv::{
@@ -153,6 +154,7 @@ pub struct OrchestratorBuilder {
     heartbeat_interval: SimDuration,
     policy: FailurePolicy,
     result_store: Option<Arc<TimeSeriesStore>>,
+    monitor_preagg: bool,
 }
 
 impl OrchestratorBuilder {
@@ -165,6 +167,7 @@ impl OrchestratorBuilder {
             heartbeat_interval: SimDuration::from_millis(10),
             policy: FailurePolicy::default(),
             result_store: None,
+            monitor_preagg: false,
         }
     }
 
@@ -215,6 +218,19 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Enables monitor-side pre-aggregation for sketch queries. When a
+    /// submitted query's first `PROCESS` entry is `heavy-hitters`,
+    /// `distinct` or `quantile`, each deployed monitor folds its parsed
+    /// tuples into a matching mergeable sketch and ships one compact
+    /// delta per flush instead of every raw tuple — cutting monitoring
+    /// bandwidth by the fold factor while the stream layer merges the
+    /// deltas back to the same answer. Off by default: raw tuples flow
+    /// unchanged.
+    pub fn monitor_preagg(mut self, enabled: bool) -> Self {
+        self.monitor_preagg = enabled;
+        self
+    }
+
     /// Builds the orchestrator over a fresh k-ary fat-tree.
     pub fn build(self) -> Orchestrator {
         let mut engine = Engine::new(Network::fat_tree(self.k, self.links));
@@ -237,6 +253,7 @@ impl OrchestratorBuilder {
             policy: self.policy,
             metrics,
             result_store: self.result_store,
+            monitor_preagg: self.monitor_preagg,
         }
     }
 }
@@ -273,6 +290,7 @@ pub struct RunningQuery {
     parsers: Vec<String>,
     sample: SampleSpec,
     packet_limit: Option<u64>,
+    preagg: Option<PreAggSpec>,
     match_edges: Vec<(FlowMatch, u32)>,
     replacements: u32,
     lost_seen: u64,
@@ -318,8 +336,35 @@ struct DeploySpec<'a> {
     parsers: &'a [String],
     sample: SampleSpec,
     packet_limit: Option<u64>,
+    preagg: Option<&'a PreAggSpec>,
     aggregator_ip: Ipv4Addr,
     match_edges: &'a [(FlowMatch, u32)],
+}
+
+/// Derives the monitor-side pre-aggregation spec from a query's first
+/// sketch processor, mirroring the catalog's argument defaults so the
+/// monitors fold exactly what the topology would count.
+fn preagg_for(processors: &[ProcessorSpec]) -> Option<PreAggSpec> {
+    processors.iter().find_map(|spec| match spec.name.as_str() {
+        "heavy-hitters" => Some(PreAggSpec::HeavyHitters {
+            key_field: spec.arg("key").unwrap_or("url").to_owned(),
+            eps: spec
+                .arg("eps")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.001),
+        }),
+        "distinct" => Some(PreAggSpec::Distinct {
+            field: spec.arg("field").unwrap_or("url").to_owned(),
+            precision: spec
+                .arg("p")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(netalytics_sketch::DEFAULT_PRECISION),
+        }),
+        "quantile" => Some(PreAggSpec::Quantile {
+            value_field: spec.arg("value").unwrap_or("t_ns").to_owned(),
+        }),
+        _ => None,
+    })
 }
 
 /// What one [`Orchestrator::reconcile`] pass did.
@@ -371,6 +416,8 @@ pub struct Orchestrator {
     metrics: Arc<MetricsRegistry>,
     /// Optional durable results store shared by every query's sink.
     result_store: Option<Arc<TimeSeriesStore>>,
+    /// Whether sketch queries push pre-aggregation into their monitors.
+    monitor_preagg: bool,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -527,11 +574,13 @@ impl Orchestrator {
         &self,
         parsers: &[String],
         sample: SampleSpec,
+        preagg: Option<&PreAggSpec>,
     ) -> Result<Monitor, OrchestratorError> {
         Monitor::new(MonitorConfig {
             parsers: parsers.to_vec(),
             sample,
             batch_size: 64,
+            preagg: preagg.cloned(),
         })
         .map_err(|e| match e {
             MonitorError::UnknownParser(p) => {
@@ -591,7 +640,7 @@ impl Orchestrator {
         host: HostIdx,
         spec: &DeploySpec<'_>,
     ) -> Result<MonitorHandle, OrchestratorError> {
-        let monitor = self.build_monitor(spec.parsers, spec.sample)?;
+        let monitor = self.build_monitor(spec.parsers, spec.sample, spec.preagg)?;
         let app = MonitorApp::new(monitor, spec.aggregator_ip, spec.packet_limit)
             .with_telemetry(self.metrics.clone(), format!("host{host}"))
             .with_batch_interval(self.heartbeat_interval);
@@ -664,7 +713,7 @@ impl Orchestrator {
         // as series keyed by (cookie, group key).
         let mut executors = Vec::new();
         for spec in &deployment.processors {
-            let mut topo = topologies::build(spec).map_err(|e| {
+            let mut topo = topologies::build_with(spec, Some(&self.metrics)).map_err(|e| {
                 OrchestratorError::Compile(CompileError::BadProcessor(e.to_string()))
             })?;
             if let Some(store) = &self.result_store {
@@ -688,6 +737,11 @@ impl Orchestrator {
             Limit::Packets(n) => Some(n),
             Limit::Time(_) => None,
         };
+        let preagg = if self.monitor_preagg {
+            preagg_for(&deployment.processors)
+        } else {
+            None
+        };
         let now = self.engine.now();
         let mut monitors = Vec::new();
         let mut monitor_ips = Vec::new();
@@ -696,6 +750,7 @@ impl Orchestrator {
             parsers: &deployment.parsers,
             sample: deployment.sample,
             packet_limit,
+            preagg: preagg.as_ref(),
             aggregator_ip,
             match_edges: &match_edges,
         };
@@ -734,6 +789,7 @@ impl Orchestrator {
             parsers: deployment.parsers,
             sample: deployment.sample,
             packet_limit,
+            preagg,
             match_edges,
             replacements: 0,
             lost_seen: self.engine.stats().lost_to_failure,
@@ -823,6 +879,7 @@ impl Orchestrator {
                 parsers: &q.parsers,
                 sample: q.sample,
                 packet_limit: q.packet_limit,
+                preagg: q.preagg.as_ref(),
                 aggregator_ip: q.aggregator_ip,
                 match_edges: &q.match_edges,
             };
@@ -1344,6 +1401,69 @@ mod reactive_tests {
         let prom = snap.render_prometheus();
         assert!(prom.contains("e2e_tuple_latency_ns_count"));
         assert!(prom.contains("netsim_delivered"));
+    }
+
+    #[test]
+    fn preagg_monitors_fold_tuples_and_sketch_query_still_answers() {
+        // A 100 ms flush cadence lets each delta fold ~10 tuples, so the
+        // compression is visible in the stats.
+        let mut orch = Orchestrator::builder(4)
+            .monitor_preagg(true)
+            .heartbeat_interval(SimDuration::from_millis(100))
+            .build();
+        deploy_web(&mut orch);
+        let report = orch
+            .run_query(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (heavy-hitters: k=5, eps=0.01)",
+                SimDuration::from_secs(1),
+            )
+            .expect("sketch query with pre-aggregation");
+        // Monitors folded raw tuples into sketch deltas...
+        let stats = &report.monitor_stats[0];
+        assert!(stats.tuples_folded > 0, "monitor folded tuples: {stats:?}");
+        assert!(stats.sketches_out > 0, "monitor shipped deltas: {stats:?}");
+        assert!(
+            stats.sketches_out < stats.tuples_folded,
+            "pre-aggregation must compress: {stats:?}"
+        );
+        // ...and the analytics layer still produced the right ranking.
+        let ranking = report.first().final_ranking();
+        assert_eq!(ranking.first().map(|(k, _)| k.as_str()), Some("/r"));
+        let total: u64 = ranking.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, stats.tuples_folded, "counts survive the fold");
+        // Sketch self-telemetry registered in the root registry.
+        let snap = orch.telemetry_report();
+        assert!(snap.counter_total("sketch.merges") > 0, "merges recorded");
+        assert!(
+            snap.names().contains(&"monitor.tuples_folded"),
+            "fold stats exported"
+        );
+    }
+
+    #[test]
+    fn preagg_disabled_by_default_keeps_raw_tuple_path() {
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        let report = orch
+            .run_query(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (heavy-hitters: k=5, eps=0.01)",
+                SimDuration::from_secs(1),
+            )
+            .expect("sketch query without pre-aggregation");
+        let stats = &report.monitor_stats[0];
+        assert_eq!(stats.tuples_folded, 0, "no folding by default");
+        assert_eq!(stats.sketches_out, 0);
+        assert_eq!(
+            report
+                .first()
+                .final_ranking()
+                .first()
+                .map(|(k, _)| k.as_str()),
+            Some("/r"),
+            "raw path answers identically"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!     parsers: vec!["http_get".into(), "tcp_conn_time".into()],
 //!     sample: SampleSpec::Auto,
 //!     batch_size: 32,
+//!     preagg: None,
 //! })?;
 //!
 //! let syn = Packet::tcp("10.0.2.8".parse()?, 5555, "10.0.2.9".parse()?, 80,

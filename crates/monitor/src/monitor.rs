@@ -6,6 +6,7 @@
 
 use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_packet::Packet;
+use netalytics_sketch::{PreAgg, PreAggSpec};
 
 use crate::parser::{make_parser, Parser};
 use crate::sampler::{FeedbackSignal, FlowSampler, SampleSpec};
@@ -19,6 +20,11 @@ pub struct MonitorConfig {
     pub sample: SampleSpec,
     /// Tuples per output batch (§3.1: tuples are sent in batches).
     pub batch_size: usize,
+    /// When set, parsed tuples the spec covers fold into a bounded
+    /// in-monitor sketch and only a per-drain delta ships — the §5.2
+    /// data-reduction idea pushed from the aggregation layer all the
+    /// way into the NFV monitor.
+    pub preagg: Option<PreAggSpec>,
 }
 
 impl Default for MonitorConfig {
@@ -27,6 +33,7 @@ impl Default for MonitorConfig {
             parsers: vec!["tcp_flow_key".into()],
             sample: SampleSpec::All,
             batch_size: 64,
+            preagg: None,
         }
     }
 }
@@ -46,6 +53,11 @@ pub struct MonitorStats {
     pub tuples_out: u64,
     /// Encoded bytes across emitted batches.
     pub bytes_out: u64,
+    /// Parsed tuples folded into the pre-aggregation sketch instead of
+    /// being shipped raw.
+    pub tuples_folded: u64,
+    /// Sketch delta tuples shipped in place of the folded raw tuples.
+    pub sketches_out: u64,
 }
 
 impl MonitorStats {
@@ -56,6 +68,17 @@ impl MonitorStats {
             None
         } else {
             Some(self.bytes_in as f64 / self.bytes_out as f64)
+        }
+    }
+
+    /// How many tuples would have crossed the monitor→aggregator queue
+    /// without pre-aggregation, per tuple that actually did; `None`
+    /// until something was emitted.
+    pub fn fold_factor(&self) -> Option<f64> {
+        if self.tuples_out == 0 {
+            None
+        } else {
+            Some((self.tuples_folded + self.tuples_out) as f64 / self.tuples_out as f64)
         }
     }
 
@@ -81,6 +104,12 @@ impl MonitorStats {
         metrics
             .gauge("monitor.bytes_out", l)
             .set(self.bytes_out as i64);
+        metrics
+            .gauge("monitor.tuples_folded", l)
+            .set(self.tuples_folded as i64);
+        metrics
+            .gauge("monitor.sketches_out", l)
+            .set(self.sketches_out as i64);
     }
 }
 
@@ -116,6 +145,7 @@ impl std::error::Error for MonitorError {}
 ///     parsers: vec!["tcp_conn_time".into()],
 ///     sample: SampleSpec::All,
 ///     batch_size: 8,
+///     preagg: None,
 /// })?;
 /// let syn = Packet::tcp(
 ///     "10.0.0.1".parse()?, 4000, "10.0.0.2".parse()?, 80,
@@ -131,6 +161,7 @@ pub struct Monitor {
     sampler: FlowSampler,
     batch_size: usize,
     pending: Vec<DataTuple>,
+    preagg: Option<PreAgg>,
     stats: MonitorStats,
 }
 
@@ -166,8 +197,25 @@ impl Monitor {
             sampler: FlowSampler::new(config.sample),
             batch_size: config.batch_size.max(1),
             pending: Vec::new(),
+            preagg: config.preagg.map(PreAgg::new),
             stats: MonitorStats::default(),
         })
+    }
+
+    /// Folds `pending[start..]` into the pre-aggregation sketch; tuples
+    /// the spec does not cover (missing field) stay raw.
+    fn fold_pending(&mut self, start: usize) {
+        let Some(pa) = &mut self.preagg else {
+            return;
+        };
+        let tail: Vec<DataTuple> = self.pending.drain(start..).collect();
+        for t in tail {
+            if pa.offer(&t) {
+                self.stats.tuples_folded += 1;
+            } else {
+                self.pending.push(t);
+            }
+        }
     }
 
     /// Offers one packet to the monitor; every parser sees each sampled
@@ -179,16 +227,26 @@ impl Monitor {
         }
         self.stats.packets_sampled += 1;
         self.stats.bytes_in += packet.len() as u64;
+        let start = self.pending.len();
         for p in &mut self.parsers {
             p.on_packet(packet, &mut self.pending);
         }
+        self.fold_pending(start);
     }
 
     /// Flushes aggregating parsers and drains pending tuples into batches
     /// of at most `batch_size`, updating output-byte accounting.
     pub fn drain(&mut self, now_ns: u64) -> Vec<TupleBatch> {
+        let start = self.pending.len();
         for p in &mut self.parsers {
             p.flush(now_ns, &mut self.pending);
+        }
+        self.fold_pending(start);
+        if let Some(pa) = &mut self.preagg {
+            if let Some(delta) = pa.take_delta(now_ns, now_ns) {
+                self.pending.push(delta);
+                self.stats.sketches_out += 1;
+            }
         }
         let mut out = Vec::new();
         while !self.pending.is_empty() {
@@ -266,6 +324,7 @@ mod tests {
             parsers: vec!["tcp_flow_key".into(), "http_get".into()],
             sample: SampleSpec::All,
             batch_size: 100,
+            preagg: None,
         })
         .unwrap();
         m.process(&http_pkt("/a"));
@@ -282,6 +341,7 @@ mod tests {
             parsers: vec!["tcp_flow_key".into()],
             sample: SampleSpec::All,
             batch_size: 10,
+            preagg: None,
         })
         .unwrap();
         for i in 0..25 {
@@ -298,6 +358,7 @@ mod tests {
             parsers: vec!["http_get".into()],
             sample: SampleSpec::All,
             batch_size: 64,
+            preagg: None,
         })
         .unwrap();
         // Realistic mix: one GET per 10 data packets of 1 KB.
@@ -322,11 +383,72 @@ mod tests {
     }
 
     #[test]
+    fn preagg_folds_tuples_into_one_delta_per_drain() {
+        use netalytics_sketch::{PreAggSpec, Sketch, SKETCH_SOURCE};
+
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["http_get".into()],
+            sample: SampleSpec::All,
+            batch_size: 64,
+            preagg: Some(PreAggSpec::HeavyHitters {
+                key_field: "url".into(),
+                eps: 0.01,
+            }),
+        })
+        .unwrap();
+        for i in 0..100u32 {
+            m.process(&http_pkt(&format!("/page{}", i % 5)));
+        }
+        let tuples: Vec<_> = m.drain(7_000).into_iter().flatten().collect();
+        // 100 parsed tuples collapse to one sketch delta over the queue.
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].source, SKETCH_SOURCE);
+        let Some(Ok(Sketch::HeavyHitters(ss))) = Sketch::from_tuple(&tuples[0]) else {
+            panic!("delta tuple must carry a heavy-hitters sketch");
+        };
+        assert_eq!(ss.estimate("/page0").map(|e| e.count), Some(20));
+
+        let s = m.stats();
+        assert_eq!(s.tuples_folded, 100);
+        assert_eq!(s.sketches_out, 1);
+        assert_eq!(s.tuples_out, 1);
+        assert!(s.fold_factor().unwrap() >= 10.0);
+
+        // Delta semantics: the next drain starts from an empty sketch.
+        assert!(m.drain(8_000).is_empty());
+    }
+
+    #[test]
+    fn preagg_ships_uncovered_tuples_raw() {
+        use netalytics_sketch::PreAggSpec;
+
+        // tcp_flow_key tuples have no "url" field, so nothing folds.
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::All,
+            batch_size: 64,
+            preagg: Some(PreAggSpec::HeavyHitters {
+                key_field: "url".into(),
+                eps: 0.01,
+            }),
+        })
+        .unwrap();
+        for i in 0..10 {
+            m.process(&Packet::tcp(A, 4000 + i, B, 80, TcpFlags::ACK, 0, 0, b""));
+        }
+        let tuples: Vec<_> = m.drain(0).into_iter().flatten().collect();
+        assert_eq!(tuples.len(), 10, "uncovered tuples pass through raw");
+        assert_eq!(m.stats().tuples_folded, 0);
+        assert_eq!(m.stats().sketches_out, 0);
+    }
+
+    #[test]
     fn sampling_reduces_sampled_count() {
         let mut m = Monitor::new(MonitorConfig {
             parsers: vec!["tcp_flow_key".into()],
             sample: SampleSpec::Rate(0.2),
             batch_size: 64,
+            preagg: None,
         })
         .unwrap();
         for i in 0..1000u16 {
@@ -344,6 +466,7 @@ mod tests {
             parsers: vec!["tcp_flow_key".into()],
             sample: SampleSpec::Auto,
             batch_size: 64,
+            preagg: None,
         })
         .unwrap();
         assert_eq!(m.sample_rate(), 1.0);

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use netalytics_data::{BatchSink, DataTuple, TupleBatch};
 use netalytics_packet::Packet;
+use netalytics_sketch::{PreAgg, PreAggSpec};
 use netalytics_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::monitor::MonitorError;
@@ -55,6 +56,11 @@ pub struct PipelineConfig {
     /// [`Pipeline::heartbeat_age`] declares the monitor dead once the age
     /// exceeds a few intervals.
     pub heartbeat_interval: Duration,
+    /// When set, each parser worker folds covered tuples into its own
+    /// bounded sketch and ships periodic deltas instead of raw tuples
+    /// (deltas from different workers merge downstream, so totals are
+    /// preserved).
+    pub preagg: Option<PreAggSpec>,
 }
 
 impl Default for PipelineConfig {
@@ -68,9 +74,13 @@ impl Default for PipelineConfig {
             batch_size: 128,
             metrics: None,
             heartbeat_interval: Duration::from_millis(100),
+            preagg: None,
         }
     }
 }
+
+/// Folded tuples a worker accumulates before shipping a sketch delta.
+const PREAGG_FLUSH_TUPLES: u64 = 1024;
 
 /// Shared pipeline counters — telemetry [`Counter`]s, so a pipeline built
 /// with [`PipelineConfig::metrics`] shares these very cells with the
@@ -91,6 +101,11 @@ pub struct PipelineCounters {
     pub tuples_out: Arc<Counter>,
     /// Encoded batch bytes emitted (`monitor.bytes_out`).
     pub bytes_out: Arc<Counter>,
+    /// Parsed tuples folded into pre-aggregation sketches
+    /// (`monitor.tuples_folded`).
+    pub tuples_folded: Arc<Counter>,
+    /// Sketch delta tuples shipped (`monitor.sketches_out`).
+    pub sketches_out: Arc<Counter>,
 }
 
 impl PipelineCounters {
@@ -106,6 +121,8 @@ impl PipelineCounters {
             sampler_drops: counter("monitor.sampler_drops"),
             tuples_out: counter("monitor.tuples_out"),
             bytes_out: counter("monitor.bytes_out"),
+            tuples_folded: counter("monitor.tuples_folded"),
+            sketches_out: counter("monitor.sketches_out"),
         }
     }
 }
@@ -206,6 +223,7 @@ impl Pipeline {
                 let sink = sink.clone();
                 let counters = counters.clone();
                 let batch_size = config.batch_size.max(1);
+                let preagg_spec = config.preagg.clone();
                 let telemetry = config.metrics.as_deref().map(|m| {
                     let worker = w.to_string();
                     let l: &[(&str, &str)] = &[("parser", name), ("worker", &worker)];
@@ -240,9 +258,29 @@ impl Pipeline {
                                 }
                             }
                         };
+                        let mut preagg = preagg_spec.map(PreAgg::new);
+                        let mut last_ts = 0u64;
+                        // Folds `pending[start..]` into the worker's
+                        // sketch; uncovered tuples stay raw.
+                        let fold = |pa: &mut Option<PreAgg>,
+                                    pending: &mut Vec<DataTuple>,
+                                    start: usize,
+                                    last_ts: &mut u64| {
+                            let Some(pa) = pa.as_mut() else { return };
+                            let tail: Vec<DataTuple> = pending.drain(start..).collect();
+                            for t in tail {
+                                if pa.offer(&t) {
+                                    *last_ts = (*last_ts).max(t.ts_ns);
+                                    counters.tuples_folded.inc();
+                                } else {
+                                    pending.push(t);
+                                }
+                            }
+                        };
                         let mut seen = 0u64;
                         while let Ok(pkt) = prx.recv() {
                             seen += 1;
+                            let start = pending.len();
                             if telemetry.is_some() && seen.is_multiple_of(LATENCY_SAMPLE) {
                                 let t0 = std::time::Instant::now();
                                 parser.on_packet(&pkt, &mut pending);
@@ -252,12 +290,30 @@ impl Pipeline {
                             } else {
                                 parser.on_packet(&pkt, &mut pending);
                             }
+                            fold(&mut preagg, &mut pending, start, &mut last_ts);
+                            if let Some(pa) = &mut preagg {
+                                if pa.folded() >= PREAGG_FLUSH_TUPLES {
+                                    if let Some(delta) = pa.take_delta(last_ts, last_ts) {
+                                        counters.sketches_out.inc();
+                                        pending.push(delta);
+                                    }
+                                }
+                            }
                             if pending.len() >= batch_size {
                                 flush_to_sink(&mut pending);
                             }
                         }
-                        // Input closed: final flush (aggregating parsers).
+                        // Input closed: final flush (aggregating parsers),
+                        // then the residual sketch delta.
+                        let start = pending.len();
                         parser.flush(0, &mut pending);
+                        fold(&mut preagg, &mut pending, start, &mut last_ts);
+                        if let Some(pa) = &mut preagg {
+                            if let Some(delta) = pa.take_delta(last_ts, last_ts) {
+                                counters.sketches_out.inc();
+                                pending.push(delta);
+                            }
+                        }
                         flush_to_sink(&mut pending);
                         if let Some(tel) = &telemetry {
                             tel.queue_depth.set(0);
@@ -403,6 +459,8 @@ impl Pipeline {
             sampler_drops: self.counters.sampler_drops.get(),
             tuples_out: self.counters.tuples_out.get(),
             bytes_out: self.counters.bytes_out.get(),
+            tuples_folded: self.counters.tuples_folded.get(),
+            sketches_out: self.counters.sketches_out.get(),
             residual_batches: drain,
         }
     }
@@ -423,6 +481,10 @@ pub struct PipelineSummary {
     pub tuples_out: u64,
     /// Encoded output bytes.
     pub bytes_out: u64,
+    /// Parsed tuples folded into pre-aggregation sketches.
+    pub tuples_folded: u64,
+    /// Sketch delta tuples shipped.
+    pub sketches_out: u64,
     /// Batches that were still in the output channel at shutdown.
     pub residual_batches: Vec<TupleBatch>,
 }
@@ -578,6 +640,60 @@ mod tests {
         ) {
             Some(MetricValue::Gauge(d)) => assert_eq!(*d, 0, "drained at shutdown"),
             other => panic!("queue depth gauge missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preagg_cuts_tuples_over_queue_but_preserves_totals() {
+        use netalytics_sketch::{PreAggSpec, Sketch};
+
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            workers_per_parser: 2,
+            batch_size: 16,
+            preagg: Some(PreAggSpec::HeavyHitters {
+                key_field: "url".into(),
+                eps: 0.001,
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..400u16 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/h{}", i % 4), "b"),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.tuples_folded, 400, "every GET folds into a sketch");
+        assert!(
+            s.sketches_out >= 1 && s.sketches_out <= 2,
+            "one residual delta per worker, got {}",
+            s.sketches_out
+        );
+        assert_eq!(s.tuples_out, s.sketches_out, "only deltas cross the queue");
+        // Worker deltas merge back to exact totals at sketch capacity.
+        let mut merged: Option<Sketch> = None;
+        for t in s.residual_batches.iter().flat_map(|b| b.tuples.iter()) {
+            let sk = Sketch::from_tuple(t)
+                .expect("sketch tuple")
+                .expect("decodes");
+            match &mut merged {
+                None => merged = Some(sk),
+                Some(m) => m.merge(&sk).expect("same kind"),
+            }
+        }
+        let Some(Sketch::HeavyHitters(ss)) = merged else {
+            panic!("expected a heavy-hitters sketch");
+        };
+        for k in 0..4 {
+            assert_eq!(ss.estimate(&format!("/h{k}")).map(|e| e.count), Some(100));
         }
     }
 

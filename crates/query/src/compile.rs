@@ -247,6 +247,31 @@ mod tests {
     }
 
     #[test]
+    fn sketch_processors_compile_end_to_end() {
+        for proc in [
+            "(heavy-hitters: k=10, eps=0.001)",
+            "(distinct: field=url)",
+            "(quantile: value=t_ns, q=0.5+0.99)",
+        ] {
+            let q = parse(&format!(
+                "PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS {proc}"
+            ))
+            .unwrap();
+            let d = compile(&q, &hosts()).unwrap_or_else(|e| panic!("{proc}: {e}"));
+            assert_eq!(d.processors.len(), 1);
+        }
+        // Bad sketch arguments surface as processor errors at compile time.
+        let q = parse(
+            "PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (heavy-hitters: eps=7)",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&q, &hosts()).unwrap_err(),
+            CompileError::BadProcessor(_)
+        ));
+    }
+
+    #[test]
     fn fully_wildcard_query_rejected() {
         let q = parse("PARSE http_get FROM * TO * LIMIT 1s SAMPLE * PROCESS (group-sum)").unwrap();
         assert_eq!(compile(&q, &hosts()).unwrap_err(), CompileError::Unanchored);

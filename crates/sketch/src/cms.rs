@@ -1,0 +1,227 @@
+//! Count-Min Sketch with conservative update.
+//!
+//! A `depth × width` grid of counters. Each key hashes to one cell per
+//! row; a point estimate is the minimum over its cells, which can only
+//! overestimate, by at most `ε·N` with probability `1 − δ` for
+//! `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`. Conservative update bumps a
+//! cell only as far as the new estimate requires, tightening the bound
+//! in practice, at the cost of making *record* non-commutative — merge
+//! stays an exact elementwise sum and keeps the overestimate guarantee.
+
+use crate::hash::hash_bytes;
+use crate::wire::{self, Reader, SketchError};
+
+/// Seed base for the per-row hash functions (Kirsch–Mitzenmacher style:
+/// row `i` uses seed `CMS_SEED + i`).
+const CMS_SEED: u64 = 0x6373_6d73_6b65_7463; // "csmsketc"
+
+/// Count-Min Sketch: bounded-memory point counts, overestimate-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cms {
+    width: u32,
+    depth: u32,
+    /// Row-major `depth × width` counter grid.
+    counters: Vec<u64>,
+    /// Total weight recorded (the `N` in the `ε·N` bound).
+    total: u64,
+}
+
+impl Cms {
+    /// Sketch whose point estimates overestimate by at most `eps * N`
+    /// with probability `1 - delta`.
+    pub fn new(eps: f64, delta: f64) -> Self {
+        let eps = eps.clamp(1e-6, 1.0);
+        let delta = delta.clamp(1e-9, 0.5);
+        let width = (std::f64::consts::E / eps).ceil() as u32;
+        let depth = ((1.0 / delta).ln().ceil() as u32).max(1);
+        Self::with_dims(width.max(1), depth)
+    }
+
+    /// Sketch with explicit grid dimensions.
+    pub fn with_dims(width: u32, depth: u32) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        Cms {
+            width,
+            depth,
+            counters: vec![0; (width as usize) * (depth as usize)],
+            total: 0,
+        }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total weight recorded across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Guaranteed cap on overestimation: `⌈e/width · N⌉` (the `ε·N` bound).
+    pub fn error_bound(&self) -> u64 {
+        (std::f64::consts::E / self.width as f64 * self.total as f64).ceil() as u64
+    }
+
+    /// Bytes of counter state held in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * 8
+    }
+
+    #[inline]
+    fn cell(&self, row: u32, key: &[u8]) -> usize {
+        let h = hash_bytes(key, CMS_SEED.wrapping_add(u64::from(row)));
+        (row as usize) * (self.width as usize) + (h % u64::from(self.width)) as usize
+    }
+
+    /// Add `n` occurrences of `key` (conservative update).
+    pub fn record(&mut self, key: &[u8], n: u64) {
+        if n == 0 {
+            return;
+        }
+        let target = self.estimate(key).saturating_add(n);
+        for row in 0..self.depth {
+            let c = self.cell(row, key);
+            if self.counters[c] < target {
+                self.counters[c] = target;
+            }
+        }
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Point estimate for `key`: at least the true count, at most
+    /// `true + error_bound()` with probability `1 - δ`.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.cell(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Elementwise counter sum. Exact (associative + commutative); the
+    /// merged sketch bounds error by `ε · (N₁ + N₂)`.
+    pub fn merge(&mut self, other: &Cms) -> Result<(), SketchError> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(SketchError::Incompatible("cms dimensions differ"));
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, self.width);
+        wire::put_u32(out, self.depth);
+        wire::put_u64(out, self.total);
+        let nonzero = self.counters.iter().filter(|&&c| c > 0).count();
+        // Sparse cell = u32 index + u64 value; dense cell = u64.
+        if nonzero * 12 < self.counters.len() * 8 {
+            wire::put_u8(out, 1); // sparse
+            wire::put_u32(out, nonzero as u32);
+            for (i, &c) in self.counters.iter().enumerate() {
+                if c > 0 {
+                    wire::put_u32(out, i as u32);
+                    wire::put_u64(out, c);
+                }
+            }
+        } else {
+            wire::put_u8(out, 0); // dense
+            for &c in &self.counters {
+                wire::put_u64(out, c);
+            }
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let width = r.u32("cms width")?;
+        let depth = r.u32("cms depth")?;
+        let cells = (width as usize)
+            .checked_mul(depth as usize)
+            .filter(|&n| (1..=1 << 28).contains(&n))
+            .ok_or(SketchError::Corrupt("cms dimensions out of range"))?;
+        let total = r.u64("cms total")?;
+        let mut counters = vec![0u64; cells];
+        match r.u8("cms mode")? {
+            0 => {
+                for c in counters.iter_mut() {
+                    *c = r.u64("cms cell")?;
+                }
+            }
+            1 => {
+                let n = r.u32("cms nonzero")? as usize;
+                for _ in 0..n {
+                    let idx = r.u32("cms index")? as usize;
+                    let val = r.u64("cms value")?;
+                    *counters
+                        .get_mut(idx)
+                        .ok_or(SketchError::Corrupt("cms index out of range"))? = val;
+                }
+            }
+            _ => return Err(SketchError::Corrupt("cms mode")),
+        }
+        Ok(Cms {
+            width,
+            depth,
+            counters,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = Cms::new(0.01, 0.01);
+        for i in 0..1000u32 {
+            cms.record(format!("k{}", i % 50).as_bytes(), 1);
+        }
+        assert_eq!(cms.total(), 1000);
+        for i in 0..50u32 {
+            let est = cms.estimate(format!("k{i}").as_bytes());
+            assert!(est >= 20, "k{i} underestimated: {est}");
+            assert!(est <= 20 + cms.error_bound());
+        }
+        assert_eq!(cms.estimate(b"never-seen"), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_counter_sum() {
+        let mut a = Cms::new(0.01, 0.01);
+        let mut b = Cms::new(0.01, 0.01);
+        let mut all = Cms::new(0.01, 0.01);
+        for i in 0..100u32 {
+            let k = format!("k{i}");
+            a.record(k.as_bytes(), 2);
+            all.record(k.as_bytes(), 2);
+        }
+        for i in 50..150u32 {
+            let k = format!("k{i}");
+            b.record(k.as_bytes(), 3);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 100 * 2 + 100 * 3);
+        // Merged estimate at least the sum of the parts' true counts.
+        assert!(a.estimate(b"k60") >= 5);
+        // Still no underestimate relative to `all` + b's contribution.
+        assert!(a.estimate(b"k10") >= all.estimate(b"k10"));
+    }
+
+    #[test]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = Cms::with_dims(16, 4);
+        let b = Cms::with_dims(32, 4);
+        assert_eq!(
+            a.merge(&b),
+            Err(SketchError::Incompatible("cms dimensions differ"))
+        );
+    }
+}

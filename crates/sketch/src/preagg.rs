@@ -1,0 +1,207 @@
+//! Monitor-side pre-aggregation.
+//!
+//! When a query's processor is sketch-backed, the monitor does not need
+//! to ship every parsed tuple — it can fold tuples into a per-window
+//! sketch *at the tap point* and ship one small delta per flush. The
+//! aggregation bolts merge deltas exactly as they merge each other's
+//! partials, so the answer is unchanged while queue traffic drops from
+//! `O(tuples)` to `O(flushes)` — the bandwidth the placement layer
+//! optimizes (paper §5's 10:1 reduction, taken much further).
+//!
+//! A [`PreAgg`] owns one sketch and the field mapping derived from the
+//! query ([`PreAggSpec`]). `offer` consumes matching tuples;
+//! `take_delta` emits the accumulated sketch as a tuple and resets, so
+//! each observation is shipped exactly once and downstream sum-style
+//! merges stay correct.
+
+use netalytics_data::DataTuple;
+
+use crate::{value_key_bytes, Hll, QuantileSketch, Sketch, SpaceSaving};
+
+/// Which sketch a monitor should fold tuples into, derived from the
+/// query's `PROCESS` operator by the orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreAggSpec {
+    /// Fold `key_field` occurrences into a SpaceSaving summary.
+    HeavyHitters {
+        /// Tuple field holding the key (e.g. `url`).
+        key_field: String,
+        /// Per-key error bound as a fraction of total weight.
+        eps: f64,
+    },
+    /// Fold `field` values into a HyperLogLog distinct count.
+    Distinct {
+        /// Tuple field whose distinct values are counted.
+        field: String,
+        /// HLL precision (`2^p` registers).
+        precision: u8,
+    },
+    /// Fold numeric `value_field` observations into a quantile sketch.
+    Quantile {
+        /// Tuple field holding the observed value (e.g. `t_ns`).
+        value_field: String,
+    },
+}
+
+impl PreAggSpec {
+    /// A fresh, empty sketch of the right shape for this spec.
+    pub fn fresh(&self) -> Sketch {
+        match self {
+            PreAggSpec::HeavyHitters { eps, .. } => Sketch::HeavyHitters(SpaceSaving::new(*eps)),
+            PreAggSpec::Distinct { precision, .. } => Sketch::Distinct(Hll::new(*precision)),
+            PreAggSpec::Quantile { .. } => Sketch::Quantile(QuantileSketch::new()),
+        }
+    }
+}
+
+/// Per-monitor sketch accumulator.
+#[derive(Debug, Clone)]
+pub struct PreAgg {
+    spec: PreAggSpec,
+    sketch: Sketch,
+    folded: u64,
+}
+
+impl PreAgg {
+    pub fn new(spec: PreAggSpec) -> Self {
+        let sketch = spec.fresh();
+        PreAgg {
+            spec,
+            sketch,
+            folded: 0,
+        }
+    }
+
+    pub fn spec(&self) -> &PreAggSpec {
+        &self.spec
+    }
+
+    /// Tuples folded since the last [`PreAgg::take_delta`].
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.folded == 0
+    }
+
+    /// Try to fold one parsed tuple into the sketch.
+    ///
+    /// Returns `true` when the tuple was absorbed (the caller must NOT
+    /// also ship it raw); `false` when the tuple lacks the field the
+    /// spec needs — the caller passes it through unchanged so no data
+    /// is silently dropped.
+    pub fn offer(&mut self, t: &DataTuple) -> bool {
+        match (&self.spec, &mut self.sketch) {
+            (PreAggSpec::HeavyHitters { key_field, .. }, Sketch::HeavyHitters(ss)) => {
+                let Some(v) = t.get(key_field) else {
+                    return false;
+                };
+                match v.as_str() {
+                    Some(key) => ss.record(key, 1),
+                    None => ss.record(&String::from_utf8_lossy(&value_key_bytes(v)), 1),
+                }
+            }
+            (PreAggSpec::Distinct { field, .. }, Sketch::Distinct(hll)) => {
+                let Some(v) = t.get(field) else {
+                    return false;
+                };
+                hll.record(&value_key_bytes(v));
+            }
+            (PreAggSpec::Quantile { value_field }, Sketch::Quantile(q)) => {
+                let Some(v) = t.get(value_field).and_then(|v| v.as_f64()) else {
+                    return false;
+                };
+                q.record_f64(v);
+            }
+            _ => return false,
+        }
+        self.folded += 1;
+        true
+    }
+
+    /// Take the accumulated sketch as a shippable delta tuple and reset.
+    ///
+    /// `None` when nothing was folded since the last delta. Emitting
+    /// *and resetting* is what keeps downstream sum-style merges exact:
+    /// each folded observation appears in exactly one delta.
+    pub fn take_delta(&mut self, ts_ns: u64, window_end_ns: u64) -> Option<DataTuple> {
+        if self.folded == 0 {
+            return None;
+        }
+        let delta = std::mem::replace(&mut self.sketch, self.spec.fresh());
+        self.folded = 0;
+        Some(delta.into_tuple(ts_ns, window_end_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalytics_data::Value;
+
+    fn http(url: &str, t_ns: u64) -> DataTuple {
+        DataTuple::new(1, 100)
+            .from_source("http")
+            .with("url", url)
+            .with("t_ns", t_ns)
+    }
+
+    #[test]
+    fn folds_and_resets_exactly_once() {
+        let mut pa = PreAgg::new(PreAggSpec::HeavyHitters {
+            key_field: "url".into(),
+            eps: 0.01,
+        });
+        for _ in 0..5 {
+            assert!(pa.offer(&http("/a", 1)));
+        }
+        assert!(pa.offer(&http("/b", 1)));
+        // Missing field: passes through, not folded.
+        assert!(!pa.offer(&DataTuple::new(2, 100).from_source("dns")));
+        assert_eq!(pa.folded(), 6);
+
+        let delta = pa.take_delta(200, 10_000).expect("delta");
+        assert!(pa.is_empty());
+        assert!(pa.take_delta(300, 10_000).is_none());
+
+        let Sketch::HeavyHitters(ss) = Sketch::from_tuple(&delta).unwrap().unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(ss.estimate("/a").map(|e| e.count), Some(5));
+        assert_eq!(ss.total(), 6);
+        assert_eq!(
+            delta.get(crate::FIELD_WINDOW_END).and_then(Value::as_u64),
+            Some(10_000)
+        );
+    }
+
+    #[test]
+    fn quantile_and_distinct_specs_fold() {
+        let mut q = PreAgg::new(PreAggSpec::Quantile {
+            value_field: "t_ns".into(),
+        });
+        assert!(q.offer(&http("/a", 500)));
+        assert!(!q.offer(&DataTuple::new(3, 1).from_source("http").with("url", "/x")));
+        let t = q.take_delta(1, 2).unwrap();
+        let Sketch::Quantile(qs) = Sketch::from_tuple(&t).unwrap().unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(qs.count(), 1);
+
+        let mut d = PreAgg::new(PreAggSpec::Distinct {
+            field: "url".into(),
+            precision: 12,
+        });
+        for i in 0..100 {
+            assert!(d.offer(&http(&format!("/page/{i}"), 1)));
+            assert!(d.offer(&http(&format!("/page/{i}"), 2)));
+        }
+        let t = d.take_delta(1, 2).unwrap();
+        let Sketch::Distinct(hll) = Sketch::from_tuple(&t).unwrap().unwrap() else {
+            panic!("wrong kind");
+        };
+        let est = hll.estimate();
+        assert!((90.0..=110.0).contains(&est), "estimate {est}");
+    }
+}

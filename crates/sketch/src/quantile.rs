@@ -1,0 +1,145 @@
+//! Log-bucketed quantile sketch.
+//!
+//! A thin mergeable wrapper over the telemetry plane's
+//! [`HistogramSnapshot`] — the same HdrHistogram-style bucket layout
+//! (`netalytics_telemetry::bucket_index`) that the self-telemetry
+//! histograms use, so a quantile computed by a sketch bolt and one
+//! computed from `MetricsRegistry` output agree bucket-for-bucket.
+//! Relative quantile error is bounded by the bucket width: `1/8`
+//! (12.5 %). Merge is an elementwise bucket sum — exact, associative,
+//! and commutative.
+
+use netalytics_telemetry::HistogramSnapshot;
+
+use crate::wire::{self, Reader, SketchError};
+
+/// Mergeable quantile summary over non-negative values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QuantileSketch {
+    snap: HistogramSnapshot,
+}
+
+impl QuantileSketch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value. Negative inputs clamp to zero, fractional
+    /// inputs round — the same convention the store's rollups use.
+    pub fn record_f64(&mut self, v: f64) {
+        self.snap.record(v.max(0.0).round() as u64);
+    }
+
+    /// Record one integer value.
+    pub fn record(&mut self, v: u64) {
+        self.snap.record(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.snap.count()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.snap.sum()
+    }
+
+    pub fn max(&self) -> u64 {
+        self.snap.max()
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.snap.mean()
+    }
+
+    /// Quantile estimate (`0.0 ..= 1.0`), within one log-bucket of exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snap.quantile(q)
+    }
+
+    /// The underlying bucket snapshot, for callers that want the full
+    /// distribution (e.g. the store folding it into a rollup).
+    pub fn snapshot(&self) -> &HistogramSnapshot {
+        &self.snap
+    }
+
+    /// Approximate bytes of state held in memory (the dense bucket table).
+    pub fn memory_bytes(&self) -> usize {
+        netalytics_telemetry::BUCKETS * 8 + 24
+    }
+
+    /// Elementwise bucket sum — exact, associative, commutative.
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<(), SketchError> {
+        self.snap.merge(&other.snap);
+        Ok(())
+    }
+
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.snap.sum());
+        wire::put_u64(out, self.snap.max());
+        let nonzero: Vec<(usize, u64)> = self.snap.nonzero_buckets().collect();
+        wire::put_u32(out, nonzero.len() as u32);
+        for (idx, c) in nonzero {
+            wire::put_u16(out, idx as u16);
+            wire::put_u64(out, c);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let sum = r.u64("quantile sum")?;
+        let max = r.u64("quantile max")?;
+        let n = r.u32("quantile buckets")? as usize;
+        let mut buckets = Vec::with_capacity(n.min(netalytics_telemetry::BUCKETS));
+        for _ in 0..n {
+            let idx = r.u16("quantile bucket index")? as usize;
+            if idx >= netalytics_telemetry::BUCKETS {
+                return Err(SketchError::Corrupt("quantile bucket index out of range"));
+            }
+            buckets.push((idx, r.u64("quantile bucket count")?));
+        }
+        Ok(QuantileSketch {
+            snap: HistogramSnapshot::from_parts(buckets, sum, max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let mut q = QuantileSketch::new();
+        for v in 1..=1000u64 {
+            q.record(v);
+        }
+        assert_eq!(q.count(), 1000);
+        let p50 = q.quantile(0.5) as f64;
+        assert!((440.0..=510.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for v in [1u64, 5, 80, 4096] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 9, 700] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn negative_values_clamp() {
+        let mut q = QuantileSketch::new();
+        q.record_f64(-3.5);
+        q.record_f64(2.6);
+        assert_eq!(q.count(), 2);
+        assert_eq!(q.max(), 3);
+    }
+}

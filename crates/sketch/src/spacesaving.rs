@@ -1,0 +1,296 @@
+//! SpaceSaving heavy hitters (Metwally et al.).
+//!
+//! Keeps at most `capacity = ⌈1/ε⌉` monitored keys. When a new key
+//! arrives at a full table it *replaces* the minimum-count entry,
+//! inheriting its count as an error floor. Every reported count `c`
+//! with error `e` brackets the truth: `c − e ≤ true ≤ c`, and
+//! `e ≤ N / capacity = ε·N`. Any key whose true count exceeds `ε·N`
+//! is guaranteed to be in the table.
+//!
+//! Entries live in a `BTreeMap` so iteration — and therefore eviction
+//! tie-breaks, merge truncation, and `top(k)` — is deterministic: the
+//! same input stream always yields byte-identical state, regardless of
+//! executor mode or hasher randomization.
+
+use std::collections::BTreeMap;
+
+use crate::wire::{self, Reader, SketchError};
+
+/// Monitored-counter entry: estimated count and its error floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsEntry {
+    /// Estimated count — never below the true count.
+    pub count: u64,
+    /// Maximum overestimation: `count - err <= true <= count`.
+    pub err: u64,
+}
+
+/// SpaceSaving summary: top keys of a stream in `O(1/ε)` memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: BTreeMap<String, SsEntry>,
+    /// Total weight recorded or merged in (the `N` in `ε·N`).
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Summary guaranteeing per-key error at most `eps * N`.
+    pub fn new(eps: f64) -> Self {
+        let eps = eps.clamp(1e-6, 1.0);
+        Self::with_capacity((1.0 / eps).ceil() as usize)
+    }
+
+    /// Summary holding at most `capacity` monitored keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            entries: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently monitored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Worst-case overestimation of any reported count: `⌈N / capacity⌉`.
+    pub fn error_bound(&self) -> u64 {
+        self.total.div_ceil(self.capacity as u64)
+    }
+
+    /// Approximate bytes of state held in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .keys()
+            .map(|k| k.len() + std::mem::size_of::<SsEntry>() + 48)
+            .sum()
+    }
+
+    /// The count every absent key is known not to exceed: the minimum
+    /// monitored count once the table is full, zero before that.
+    pub fn floor(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            self.entries.values().map(|e| e.count).min().unwrap_or(0)
+        }
+    }
+
+    /// Add `n` occurrences of `key`.
+    pub fn record(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total = self.total.saturating_add(n);
+        if let Some(e) = self.entries.get_mut(key) {
+            e.count = e.count.saturating_add(n);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries
+                .insert(key.to_owned(), SsEntry { count: n, err: 0 });
+            return;
+        }
+        // Evict the minimum-count entry; ties break on the smallest key
+        // (BTreeMap iteration order) so eviction is deterministic.
+        let victim = self
+            .entries
+            .iter()
+            .min_by(|a, b| a.1.count.cmp(&b.1.count).then_with(|| a.0.cmp(b.0)))
+            .map(|(k, e)| (k.clone(), e.count))
+            .expect("non-empty at capacity");
+        self.entries.remove(&victim.0);
+        self.entries.insert(
+            key.to_owned(),
+            SsEntry {
+                count: victim.1.saturating_add(n),
+                err: victim.1,
+            },
+        );
+    }
+
+    /// Estimated count and error for a monitored key. Absent keys have
+    /// true count at most [`SpaceSaving::floor`].
+    pub fn estimate(&self, key: &str) -> Option<SsEntry> {
+        self.entries.get(key).copied()
+    }
+
+    /// The top `k` keys as `(key, count, err)`, sorted by count
+    /// descending with ties broken by key ascending.
+    pub fn top(&self, k: usize) -> Vec<(String, u64, u64)> {
+        let mut all: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(key, e)| (key.clone(), e.count, e.err))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Merge two summaries (Agarwal et al.'s mergeable-summaries
+    /// construction). A key absent from one side contributes that side's
+    /// floor as both count and error. The union is then truncated back
+    /// to `capacity` keeping the largest counts (ties by key), so the
+    /// merged summary still brackets every key:
+    /// `count − err ≤ true ≤ count` with `err ≤ (N₁+N₂)/capacity`.
+    ///
+    /// Commutative by construction; associative exactly whenever no
+    /// truncation occurs (e.g. fewer than `capacity` distinct keys), and
+    /// within the error bound otherwise.
+    pub fn merge(&mut self, other: &SpaceSaving) -> Result<(), SketchError> {
+        if self.capacity != other.capacity {
+            return Err(SketchError::Incompatible("spacesaving capacities differ"));
+        }
+        let floor_a = self.floor();
+        let floor_b = other.floor();
+        let mut merged: BTreeMap<String, SsEntry> = BTreeMap::new();
+        for (key, a) in &self.entries {
+            let (bc, be) = match other.entries.get(key) {
+                Some(b) => (b.count, b.err),
+                None => (floor_b, floor_b),
+            };
+            merged.insert(
+                key.clone(),
+                SsEntry {
+                    count: a.count.saturating_add(bc),
+                    err: a.err.saturating_add(be),
+                },
+            );
+        }
+        for (key, b) in &other.entries {
+            if self.entries.contains_key(key) {
+                continue;
+            }
+            merged.insert(
+                key.clone(),
+                SsEntry {
+                    count: b.count.saturating_add(floor_a),
+                    err: b.err.saturating_add(floor_a),
+                },
+            );
+        }
+        if merged.len() > self.capacity {
+            let mut ranked: Vec<_> = merged.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+            ranked.truncate(self.capacity);
+            merged = ranked.into_iter().collect();
+        }
+        self.entries = merged;
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, self.capacity as u32);
+        wire::put_u64(out, self.total);
+        wire::put_u32(out, self.entries.len() as u32);
+        for (key, e) in &self.entries {
+            wire::put_str16(out, key);
+            wire::put_u64(out, e.count);
+            wire::put_u64(out, e.err);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let capacity = r.u32("ss capacity")? as usize;
+        if capacity == 0 || capacity > 1 << 24 {
+            return Err(SketchError::Corrupt("ss capacity out of range"));
+        }
+        let total = r.u64("ss total")?;
+        let n = r.u32("ss entries")? as usize;
+        if n > capacity {
+            return Err(SketchError::Corrupt("ss entry count exceeds capacity"));
+        }
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.str16("ss key")?.to_owned();
+            let count = r.u64("ss count")?;
+            let err = r.u64("ss err")?;
+            entries.insert(key, SsEntry { count, err });
+        }
+        Ok(SpaceSaving {
+            capacity,
+            entries,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_true_counts() {
+        let mut ss = SpaceSaving::with_capacity(10);
+        // 5 heavy keys (100 each) over a churn of 200 singletons.
+        for round in 0..100u32 {
+            for h in 0..5u32 {
+                ss.record(&format!("heavy{h}"), 1);
+            }
+            ss.record(&format!("noise{}", round % 200), 1);
+            ss.record(&format!("noise{}", 200 + round), 1);
+        }
+        let n = ss.total();
+        assert_eq!(n, 700);
+        for h in 0..5u32 {
+            let e = ss.estimate(&format!("heavy{h}")).expect("heavy key kept");
+            assert!(e.count >= 100, "count {} below truth", e.count);
+            assert!(e.count - e.err <= 100, "lower bound above truth");
+            assert!(e.err <= ss.error_bound());
+        }
+        let top = ss.top(5);
+        assert_eq!(top.len(), 5);
+        assert!(top.iter().all(|(k, _, _)| k.starts_with("heavy")));
+    }
+
+    #[test]
+    fn top_ties_break_by_key() {
+        let mut ss = SpaceSaving::with_capacity(8);
+        for k in ["zeta", "alpha", "mid"] {
+            ss.record(k, 7);
+        }
+        let top = ss.top(3);
+        assert_eq!(
+            top.iter().map(|(k, _, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["alpha", "mid", "zeta"]
+        );
+    }
+
+    #[test]
+    fn merge_without_truncation_is_exact_sum() {
+        let mut a = SpaceSaving::with_capacity(100);
+        let mut b = SpaceSaving::with_capacity(100);
+        a.record("x", 5);
+        a.record("y", 2);
+        b.record("x", 3);
+        b.record("z", 9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 19);
+        assert_eq!(a.estimate("x"), Some(SsEntry { count: 8, err: 0 }));
+        assert_eq!(a.estimate("z"), Some(SsEntry { count: 9, err: 0 }));
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = SpaceSaving::with_capacity(4);
+        let b = SpaceSaving::with_capacity(8);
+        assert!(matches!(a.merge(&b), Err(SketchError::Incompatible(_))));
+    }
+}

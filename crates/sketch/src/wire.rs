@@ -1,0 +1,179 @@
+//! The versioned sketch wire format.
+//!
+//! Every serialized sketch starts with the same three bytes:
+//!
+//! ```text
+//! magic:0x53 ('S')  version:u8  kind:u8  payload...
+//! ```
+//!
+//! so a decoder can reject foreign bytes, refuse versions it does not
+//! speak, and dispatch on the structure kind without guessing. Payloads
+//! are fixed-width little-endian integers; counter tables travel dense
+//! or sparse, whichever is smaller, flagged by a mode byte. The blob is
+//! self-contained — it carries the dimensions (width/depth, capacity,
+//! precision) it was built with, and [`merge`](crate::Sketch::merge)
+//! rejects dimension mismatches instead of silently corrupting bounds.
+
+/// Leading magic byte of every serialized sketch.
+pub const MAGIC: u8 = 0x53;
+/// Current (only) wire version.
+pub const VERSION: u8 = 1;
+
+/// Kind tags following the version byte.
+pub(crate) const KIND_CMS: u8 = 1;
+pub(crate) const KIND_SPACESAVING: u8 = 2;
+pub(crate) const KIND_HLL: u8 = 3;
+pub(crate) const KIND_QUANTILE: u8 = 4;
+
+/// Errors decoding or merging sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// The buffer ended before `context` could be read.
+    Truncated(&'static str),
+    /// Structurally invalid bytes (bad magic, unknown kind, bad mode).
+    Corrupt(&'static str),
+    /// A valid sketch of a wire version this build does not speak.
+    UnsupportedVersion(u8),
+    /// Two sketches could not merge: different kinds or dimensions.
+    Incompatible(&'static str),
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::Truncated(what) => write!(f, "sketch bytes truncated at {what}"),
+            SketchError::Corrupt(what) => write!(f, "corrupt sketch bytes: {what}"),
+            SketchError::UnsupportedVersion(v) => write!(f, "unsupported sketch version {v}"),
+            SketchError::Incompatible(what) => write!(f, "sketches cannot merge: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let len = s.len().min(u16::MAX as usize);
+    put_u16(out, len as u16);
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+/// Bounds-checked little-endian reader over a sketch payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SketchError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SketchError::Truncated(context))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, SketchError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, SketchError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, SketchError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, SketchError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn str16(&mut self, context: &'static str) -> Result<&'a str, SketchError> {
+        let len = self.u16(context)? as usize;
+        std::str::from_utf8(self.take(len, context)?)
+            .map_err(|_| SketchError::Corrupt("non-utf8 key"))
+    }
+}
+
+/// Writes the shared header; each structure appends its payload after.
+pub(crate) fn put_header(out: &mut Vec<u8>, kind: u8) {
+    put_u8(out, MAGIC);
+    put_u8(out, VERSION);
+    put_u8(out, kind);
+}
+
+/// Checks magic/version and returns `(kind, payload reader)`.
+pub(crate) fn read_header(buf: &[u8]) -> Result<(u8, Reader<'_>), SketchError> {
+    let mut r = Reader::new(buf);
+    if r.u8("magic")? != MAGIC {
+        return Err(SketchError::Corrupt("bad magic"));
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(SketchError::UnsupportedVersion(version));
+    }
+    let kind = r.u8("kind")?;
+    Ok((kind, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_rejections() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, KIND_HLL);
+        let (kind, _) = read_header(&buf).unwrap();
+        assert_eq!(kind, KIND_HLL);
+
+        assert_eq!(
+            read_header(&[0xff, VERSION, KIND_HLL]).err(),
+            Some(SketchError::Corrupt("bad magic"))
+        );
+        assert_eq!(
+            read_header(&[MAGIC, 99, KIND_HLL]).err(),
+            Some(SketchError::UnsupportedVersion(99))
+        );
+        assert_eq!(
+            read_header(&[MAGIC]).err(),
+            Some(SketchError::Truncated("version"))
+        );
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16("x").unwrap(), 0x0201);
+        assert!(r.u64("y").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the algebraic laws the reduction tree relies on:
+//! merge must be associative and commutative (so partials can combine
+//! in any grouping/order across bolts and executor modes) and the empty
+//! sketch must be a merge identity (so an idle monitor's lack of deltas
+//! changes nothing).
+//!
+//! CMS, HLL, and the quantile sketch merge *exactly* (elementwise
+//! sum / max), so we assert structural equality. SpaceSaving merges
+//! exactly while under capacity and within its error bound once
+//! truncation kicks in, so commutativity/identity are structural but
+//! associativity is asserted at the guarantee level: every reported
+//! `(count, err)` still brackets the true count and `err ≤ N/capacity`.
+
+use std::collections::HashMap;
+
+use netalytics_sketch::{Cms, Hll, QuantileSketch, Sketch, SpaceSaving};
+use proptest::prelude::*;
+
+/// A small key universe so proptest generates plenty of collisions.
+fn keys() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..32, 1u8..=4), 0..60)
+}
+
+fn cms_of(items: &[(u8, u8)]) -> Cms {
+    let mut s = Cms::with_dims(64, 4);
+    for &(k, n) in items {
+        s.record(format!("k{k}").as_bytes(), u64::from(n));
+    }
+    s
+}
+
+fn hll_of(items: &[(u8, u8)]) -> Hll {
+    let mut s = Hll::new(8);
+    for &(k, _) in items {
+        s.record(format!("k{k}").as_bytes());
+    }
+    s
+}
+
+fn quant_of(items: &[(u8, u8)]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &(k, n) in items {
+        s.record(u64::from(k) * 100 + u64::from(n));
+    }
+    s
+}
+
+fn ss_of(items: &[(u8, u8)], capacity: usize) -> SpaceSaving {
+    let mut s = SpaceSaving::with_capacity(capacity);
+    for &(k, n) in items {
+        s.record(&format!("k{k}"), u64::from(n));
+    }
+    s
+}
+
+fn merged<T: Clone>(a: &T, b: &T, f: impl Fn(&mut T, &T)) -> T {
+    let mut out = a.clone();
+    f(&mut out, b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn cms_merge_laws(a in keys(), b in keys(), c in keys()) {
+        let (sa, sb, sc) = (cms_of(&a), cms_of(&b), cms_of(&c));
+        let m = |x: &mut Cms, y: &Cms| x.merge(y).unwrap();
+        // Commutative.
+        prop_assert_eq!(merged(&sa, &sb, m), merged(&sb, &sa, m));
+        // Associative.
+        let ab_c = merged(&merged(&sa, &sb, m), &sc, m);
+        let a_bc = merged(&sa, &merged(&sb, &sc, m), m);
+        prop_assert_eq!(ab_c, a_bc);
+        // Empty identity.
+        prop_assert_eq!(merged(&sa, &Cms::with_dims(64, 4), m), sa);
+    }
+
+    #[test]
+    fn cms_overestimates_only_within_bound(a in keys()) {
+        let sketch = cms_of(&a);
+        let mut exact: HashMap<u8, u64> = HashMap::new();
+        for &(k, n) in &a {
+            *exact.entry(k).or_default() += u64::from(n);
+        }
+        for k in 0u8..32 {
+            let truth = exact.get(&k).copied().unwrap_or(0);
+            let est = sketch.estimate(format!("k{k}").as_bytes());
+            prop_assert!(est >= truth, "underestimate: {} < {}", est, truth);
+            prop_assert!(
+                est <= truth + sketch.error_bound(),
+                "overestimate beyond eps*N: {} > {} + {}",
+                est, truth, sketch.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn hll_merge_laws(a in keys(), b in keys(), c in keys()) {
+        let (sa, sb, sc) = (hll_of(&a), hll_of(&b), hll_of(&c));
+        let m = |x: &mut Hll, y: &Hll| x.merge(y).unwrap();
+        prop_assert_eq!(merged(&sa, &sb, m), merged(&sb, &sa, m));
+        let ab_c = merged(&merged(&sa, &sb, m), &sc, m);
+        let a_bc = merged(&sa, &merged(&sb, &sc, m), m);
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(merged(&sa, &Hll::new(8), m), sa.clone());
+        // Idempotent: max-merge of a sketch with itself is itself.
+        prop_assert_eq!(merged(&sa, &sa, m), sa);
+    }
+
+    #[test]
+    fn quantile_merge_laws(a in keys(), b in keys(), c in keys()) {
+        let (sa, sb, sc) = (quant_of(&a), quant_of(&b), quant_of(&c));
+        let m = |x: &mut QuantileSketch, y: &QuantileSketch| x.merge(y).unwrap();
+        prop_assert_eq!(merged(&sa, &sb, m), merged(&sb, &sa, m));
+        let ab_c = merged(&merged(&sa, &sb, m), &sc, m);
+        let a_bc = merged(&sa, &merged(&sb, &sc, m), m);
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(merged(&sa, &QuantileSketch::new(), m), sa);
+    }
+
+    #[test]
+    fn spacesaving_commutative_and_identity(a in keys(), b in keys()) {
+        // Truncating capacity (8 < 32 possible keys) — commutativity and
+        // the empty identity hold structurally even under truncation.
+        let (sa, sb) = (ss_of(&a, 8), ss_of(&b, 8));
+        let m = |x: &mut SpaceSaving, y: &SpaceSaving| x.merge(y).unwrap();
+        prop_assert_eq!(merged(&sa, &sb, m), merged(&sb, &sa, m));
+        prop_assert_eq!(merged(&sa, &SpaceSaving::with_capacity(8), m), sa);
+    }
+
+    #[test]
+    fn spacesaving_associative_without_truncation(
+        a in keys(), b in keys(), c in keys()
+    ) {
+        // Capacity covers the whole key universe: no eviction, no
+        // truncation, merge is the exact keywise sum — fully associative.
+        let (sa, sb, sc) = (ss_of(&a, 64), ss_of(&b, 64), ss_of(&c, 64));
+        let m = |x: &mut SpaceSaving, y: &SpaceSaving| x.merge(y).unwrap();
+        let ab_c = merged(&merged(&sa, &sb, m), &sc, m);
+        let a_bc = merged(&sa, &merged(&sb, &sc, m), m);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn spacesaving_merge_keeps_guarantees(a in keys(), b in keys(), c in keys()) {
+        // Under truncation, any merge grouping still brackets the truth.
+        let m = |x: &mut SpaceSaving, y: &SpaceSaving| x.merge(y).unwrap();
+        let combined = merged(
+            &merged(&ss_of(&a, 8), &ss_of(&b, 8), m),
+            &ss_of(&c, 8),
+            m,
+        );
+        let mut exact: HashMap<u8, u64> = HashMap::new();
+        let mut n = 0u64;
+        for &(k, w) in a.iter().chain(&b).chain(&c) {
+            *exact.entry(k).or_default() += u64::from(w);
+            n += u64::from(w);
+        }
+        prop_assert_eq!(combined.total(), n);
+        for k in 0u8..32 {
+            let truth = exact.get(&k).copied().unwrap_or(0);
+            if let Some(e) = combined.estimate(&format!("k{k}")) {
+                prop_assert!(e.count >= truth, "count below truth");
+                prop_assert!(
+                    e.count.saturating_sub(e.err) <= truth,
+                    "lower bound {} above truth {}",
+                    e.count - e.err, truth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_enum_wire_roundtrip(a in keys()) {
+        for s in [
+            Sketch::Cms(cms_of(&a)),
+            Sketch::HeavyHitters(ss_of(&a, 8)),
+            Sketch::Distinct(hll_of(&a)),
+            Sketch::Quantile(quant_of(&a)),
+        ] {
+            let bytes = s.encode();
+            prop_assert_eq!(Sketch::decode(&bytes).unwrap(), s);
+        }
+    }
+}

@@ -202,6 +202,58 @@ mod tests {
     }
 
     #[test]
+    fn sketch_snapshots_survive_compaction_and_reopen() {
+        use netalytics_sketch::{Sketch, SpaceSaving};
+
+        let dir = scratch_dir("sketch");
+        let second = 1_000_000_000u64;
+        let cfg = StoreConfig {
+            segment_max_bytes: 1_000,
+            retention_ns: Some(5 * second),
+            rollup_bucket_ns: second,
+            ..StoreConfig::default()
+        };
+        let series = SeriesKey::new(8, "");
+        let store = TimeSeriesStore::open_with(&dir, cfg.clone()).expect("open");
+        // One heavy-hitters snapshot per second; /hot gains one count
+        // each time, so only the merged total sees all 20.
+        for s in 0..20u64 {
+            let mut ss = SpaceSaving::new(0.01);
+            ss.record("/hot", 1);
+            ss.record(&format!("/only-{s}"), 1);
+            let t = DataTuple::new(s, s * second)
+                .with("sketch", Sketch::HeavyHitters(ss).encode())
+                .with("n", 2u64);
+            store
+                .append(&series, &TupleBatch::from_tuples(vec![t]))
+                .unwrap();
+        }
+        let report = store.compact(20 * second).expect("compact");
+        assert!(report.segments_dropped > 0);
+
+        // The rollup view merges expired snapshots with retained ones:
+        // one coarse bucket spanning the whole run must see every delta.
+        let check = |store: &TimeSeriesStore| {
+            let pts = store
+                .rollup(&series, "sketch", 0, 20 * second, 20 * second)
+                .expect("rollup");
+            assert_eq!(pts.len(), 1);
+            let Some(Sketch::HeavyHitters(merged)) = pts[0].sketch() else {
+                panic!("bucket should hold a merged heavy-hitters sketch");
+            };
+            assert_eq!(merged.estimate("/hot").map(|e| e.count), Some(20));
+            assert_eq!(merged.top(1)[0].0, "/hot");
+        };
+        check(&store);
+
+        // Persisted rollup cells carry the blob across a reopen.
+        drop(store);
+        let store = TimeSeriesStore::open_with(&dir, cfg).expect("reopen");
+        check(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn rollup_rejects_non_multiple_buckets() {
         let store = TimeSeriesStore::in_memory();
         let s = SeriesKey::new(1, "");

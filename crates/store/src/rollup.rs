@@ -8,6 +8,7 @@
 //! associatively, so coarser query buckets are folds of the stored
 //! ones and re-compacting a bucket just appends a superseding record.
 
+use netalytics_sketch::Sketch;
 use netalytics_telemetry::HistogramSnapshot;
 
 use crate::store::{SeriesKey, StoreError};
@@ -32,6 +33,12 @@ pub struct RollupPoint {
     /// clamp to 0) before recording, so quantiles of negative-valued
     /// fields saturate at zero while count/sum/min/max stay exact.
     pub hist: HistogramSnapshot,
+    /// Encoded [`netalytics_sketch::Sketch`], present when the series
+    /// carries approximate-analytics snapshots (heavy hitters, distinct
+    /// counts, quantiles). Snapshots for the same cell merge through
+    /// the sketch algebra, so history survives raw-segment expiry with
+    /// the same bounds as the live bolts.
+    pub sketch: Option<Vec<u8>>,
 }
 
 impl RollupPoint {
@@ -45,6 +52,7 @@ impl RollupPoint {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             hist: HistogramSnapshot::empty(),
+            sketch: None,
         }
     }
 
@@ -65,6 +73,42 @@ impl RollupPoint {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.hist.merge(&other.hist);
+        if let Some(bytes) = &other.sketch {
+            self.fold_sketch(bytes);
+        }
+    }
+
+    /// Merges an encoded approximate sketch into this cell's snapshot.
+    /// Returns `false` — leaving the cell unchanged — when the bytes do
+    /// not decode or the sketch kinds are incompatible, so one bad
+    /// record cannot poison a whole bucket.
+    pub fn fold_sketch(&mut self, bytes: &[u8]) -> bool {
+        let Ok(incoming) = Sketch::decode(bytes) else {
+            return false;
+        };
+        match &self.sketch {
+            None => {
+                self.sketch = Some(bytes.to_vec());
+                true
+            }
+            Some(existing) => {
+                let Ok(mut merged) = Sketch::decode(existing) else {
+                    // An unreadable resident snapshot: replace it.
+                    self.sketch = Some(bytes.to_vec());
+                    return true;
+                };
+                if merged.merge(&incoming).is_err() {
+                    return false;
+                }
+                self.sketch = Some(merged.encode());
+                true
+            }
+        }
+    }
+
+    /// The decoded approximate sketch for this cell, if one is held.
+    pub fn sketch(&self) -> Option<Sketch> {
+        Sketch::decode(self.sketch.as_deref()?).ok()
     }
 
     /// Mean of observed values (0 for an empty cell).
@@ -92,12 +136,14 @@ impl RollupPoint {
 /// ```text
 /// query_id:u64 group:str16 field:str16 bucket_start:u64 bucket_ns:u64
 /// count:u64 sum:f64 min:f64 max:f64 hist_sum:u64 hist_max:u64
-/// n:u16 (bucket_idx:u16 count:u64)*n
+/// n:u16 (bucket_idx:u16 count:u64)*n [sketch_len:u64 sketch_bytes]
 /// ```
 ///
-/// The histogram travels sparse (non-zero buckets only). Records for
-/// the same cell supersede earlier ones, so reloading applies them
-/// last-wins in log order.
+/// The histogram travels sparse (non-zero buckets only). The trailing
+/// sketch blob is written only when the cell holds one, and the decoder
+/// reads it only when bytes remain — records written before the field
+/// existed still load. Records for the same cell supersede earlier
+/// ones, so reloading applies them last-wins in log order.
 pub fn encode_rollup(out: &mut Vec<u8>, series: &SeriesKey, field: &str, p: &RollupPoint) {
     put_u64(out, series.query_id);
     put_str16(out, &series.group);
@@ -115,6 +161,10 @@ pub fn encode_rollup(out: &mut Vec<u8>, series: &SeriesKey, field: &str, p: &Rol
     for (idx, c) in sparse.into_iter().take(u16::MAX as usize) {
         put_u16(out, idx as u16);
         put_u64(out, c);
+    }
+    if let Some(sketch) = &p.sketch {
+        put_u64(out, sketch.len() as u64);
+        out.extend_from_slice(sketch);
     }
 }
 
@@ -139,6 +189,20 @@ pub fn decode_rollup(payload: &[u8]) -> Result<(SeriesKey, String, RollupPoint),
         let c = r.u64("rollup.hist_count")?;
         sparse.push((idx as usize, c));
     }
+    // Trailing optional sketch: absent in records written before the
+    // field existed, so only read it when bytes remain.
+    let tail = r.rest();
+    let sketch = if tail.is_empty() {
+        None
+    } else {
+        let mut tr = Reader::new(tail);
+        let len = tr.u64("rollup.sketch_len")? as usize;
+        let bytes = tr.rest();
+        if bytes.len() != len {
+            return Err(StoreError::Corrupt("rollup.sketch_bytes"));
+        }
+        Some(bytes.to_vec())
+    };
     let point = RollupPoint {
         bucket_start,
         bucket_ns,
@@ -147,6 +211,7 @@ pub fn decode_rollup(payload: &[u8]) -> Result<(SeriesKey, String, RollupPoint),
         min,
         max,
         hist: HistogramSnapshot::from_parts(sparse, hist_sum, hist_max),
+        sketch,
     };
     Ok((SeriesKey::new(query_id, group), field, point))
 }
@@ -191,6 +256,55 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn sketch_blob_roundtrips_and_merges() {
+        use netalytics_sketch::SpaceSaving;
+
+        let mut ss_a = SpaceSaving::new(0.1);
+        ss_a.record("/hot", 5);
+        let mut ss_b = SpaceSaving::new(0.1);
+        ss_b.record("/hot", 2);
+        ss_b.record("/warm", 3);
+
+        let mut a = RollupPoint::empty(0, 1_000);
+        assert!(a.fold_sketch(&Sketch::HeavyHitters(ss_a).encode()));
+        let mut b = RollupPoint::empty(0, 1_000);
+        assert!(b.fold_sketch(&Sketch::HeavyHitters(ss_b).encode()));
+        a.merge(&b);
+
+        let Some(Sketch::HeavyHitters(merged)) = a.sketch() else {
+            panic!("merged cell should hold a heavy-hitters sketch");
+        };
+        assert_eq!(merged.estimate("/hot").map(|e| e.count), Some(7));
+        assert_eq!(merged.estimate("/warm").map(|e| e.count), Some(3));
+
+        // Wire roundtrip keeps the blob.
+        let mut buf = Vec::new();
+        encode_rollup(&mut buf, &SeriesKey::new(4, "g"), "sketch", &a);
+        let (_, _, back) = decode_rollup(&buf).expect("decode");
+        assert_eq!(back, a);
+
+        // Incompatible kinds are rejected without corrupting the cell.
+        let hll = Sketch::Distinct(netalytics_sketch::Hll::new(8)).encode();
+        assert!(!a.fold_sketch(&hll));
+        assert!(!a.fold_sketch(b"garbage"));
+        assert!(a.sketch().is_some());
+    }
+
+    #[test]
+    fn record_without_sketch_field_still_decodes() {
+        // Simulates a record written before the trailing sketch field
+        // existed: encode a sketch-free point (which writes no tail) and
+        // confirm the decoder treats the absence as `None`.
+        let mut p = RollupPoint::empty(0, 1);
+        p.observe(3.0);
+        let mut buf = Vec::new();
+        encode_rollup(&mut buf, &SeriesKey::new(1, ""), "v", &p);
+        let (_, _, back) = decode_rollup(&buf).expect("decode");
+        assert_eq!(back.sketch, None);
+        assert_eq!(back.count, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! every tick, and at shutdown, so the store sees the same batch-first
 //! traffic shape as the rest of the data plane.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use netalytics_data::{DataTuple, TupleBatch};
@@ -24,7 +24,10 @@ pub struct StoreSink {
     store: Arc<TimeSeriesStore>,
     query_id: u64,
     group_field: Option<String>,
-    pending: HashMap<String, TupleBatch>,
+    /// Ordered by group key so a flush appends series in the same order
+    /// on every run and under both executors — the log layout (and any
+    /// observable that depends on append order) is deterministic.
+    pending: BTreeMap<String, TupleBatch>,
     pending_tuples: usize,
 }
 
@@ -37,7 +40,7 @@ impl StoreSink {
             store,
             query_id,
             group_field,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             pending_tuples: 0,
         }
     }
@@ -54,7 +57,7 @@ impl StoreSink {
         if self.pending_tuples == 0 {
             return;
         }
-        for (group, batch) in self.pending.drain() {
+        for (group, batch) in std::mem::take(&mut self.pending) {
             let series = SeriesKey::new(self.query_id, group);
             if self.store.append(&series, &batch).is_err() {
                 self.store.note_append_error();
@@ -128,6 +131,34 @@ mod tests {
         }
         assert_eq!(store.stats().tuples, FLUSH_THRESHOLD as u64);
         assert_eq!(store.series(), vec![SeriesKey::new(1, "")]);
+    }
+
+    #[test]
+    fn flush_order_is_deterministic_across_runs() {
+        // All tuples share one timestamp, so `query_history`'s stable
+        // sort preserves append order — making the flush order of the
+        // grouped buffers observable. It must be the sorted group order
+        // on every run (a HashMap here once made this arbitrary).
+        let run = || {
+            let store = Arc::new(TimeSeriesStore::in_memory());
+            let mut sink = StoreSink::new(store.clone(), 3, Some("url".into()));
+            let mut out = Vec::new();
+            for url in ["/m", "/z", "/a", "/q", "/b"] {
+                sink.execute(&tuple(7, url, 1), &mut out);
+            }
+            sink.tick(99, &mut out);
+            store
+                .query_history(3)
+                .unwrap()
+                .into_iter()
+                .map(|t| t.get("url").unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, vec!["/a", "/b", "/m", "/q", "/z"]);
+        for _ in 0..4 {
+            assert_eq!(run(), first);
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use netalytics_data::{CodecError, DataTuple, TupleBatch};
+use netalytics_data::{CodecError, DataTuple, TupleBatch, Value};
 use netalytics_telemetry::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
 
@@ -707,8 +707,17 @@ impl TimeSeriesStore {
             }
         }
         for tuple in inner.range(series, t0, t1)? {
-            if let Some(v) = tuple.get(field).and_then(|v| v.as_f64()) {
-                fold(tuple.ts_ns - tuple.ts_ns % bucket_ns, &|p| p.observe(v));
+            let bucket = tuple.ts_ns - tuple.ts_ns % bucket_ns;
+            match tuple.get(field) {
+                Some(Value::Bytes(b)) => fold(bucket, &|p| {
+                    p.fold_sketch(b);
+                }),
+                Some(v) => {
+                    if let Some(v) = v.as_f64() {
+                        fold(bucket, &|p| p.observe(v));
+                    }
+                }
+                None => {}
             }
         }
         Ok(out.into_values().collect())
@@ -776,6 +785,7 @@ impl TimeSeriesStore {
         for &i in &expired {
             let seg = &inner.segments[i];
             let mut folds: Vec<(RollupSeries, u64, f64)> = Vec::new();
+            let mut sketch_folds: Vec<(RollupSeries, u64, Vec<u8>)> = Vec::new();
             for (_, payload) in FrameIter::new(&seg.bytes) {
                 let rec = decode_record(payload)?;
                 let series = SeriesKey::new(rec.query_id, rec.group);
@@ -785,6 +795,11 @@ impl TimeSeriesStore {
                     for (k, v) in &tuple.fields {
                         if let Some(v) = v.as_f64() {
                             folds.push(((series.clone(), k.clone()), bucket, v));
+                        } else if let Value::Bytes(b) = v {
+                            // Approximate-analytics snapshots merge
+                            // through the sketch algebra instead of the
+                            // numeric fold.
+                            sketch_folds.push(((series.clone(), k.clone()), bucket, b.clone()));
                         }
                     }
                 }
@@ -800,6 +815,21 @@ impl TimeSeriesStore {
                 let list = touched.entry(key).or_default();
                 if !list.contains(&bucket) {
                     list.push(bucket);
+                }
+            }
+            for (key, bucket, bytes) in sketch_folds {
+                let folded = inner
+                    .rollups
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(bucket)
+                    .or_insert_with(|| RollupPoint::empty(bucket, native))
+                    .fold_sketch(&bytes);
+                if folded {
+                    let list = touched.entry(key).or_default();
+                    if !list.contains(&bucket) {
+                        list.push(bucket);
+                    }
                 }
             }
         }

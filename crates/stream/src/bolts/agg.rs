@@ -22,16 +22,43 @@ pub enum AggOp {
     Count,
 }
 
+/// An operator name [`AggOp::parse`] did not recognize. The message
+/// lists every valid operator, so a query author sees what to fix
+/// instead of a silent fall-through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAggOp(pub String);
+
+impl std::fmt::Display for UnknownAggOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown aggregate operator {:?}; valid operators: {}",
+            self.0,
+            AggOp::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownAggOp {}
+
 impl AggOp {
+    /// Every operator name the query language accepts.
+    pub const NAMES: [&'static str; 5] = ["sum", "avg", "max", "min", "count"];
+
     /// Parses the operator name used by the query language.
-    pub fn parse(s: &str) -> Option<Self> {
-        Some(match s {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAggOp`] — whose message lists the valid
+    /// operators — for any name not in [`AggOp::NAMES`].
+    pub fn parse(s: &str) -> Result<Self, UnknownAggOp> {
+        Ok(match s {
             "sum" => AggOp::Sum,
             "avg" => AggOp::Avg,
             "max" => AggOp::Max,
             "min" => AggOp::Min,
             "count" => AggOp::Count,
-            _ => return None,
+            other => return Err(UnknownAggOp(other.to_owned())),
         })
     }
 
@@ -258,7 +285,13 @@ mod tests {
 
     #[test]
     fn op_parse() {
-        assert_eq!(AggOp::parse("avg"), Some(AggOp::Avg));
-        assert_eq!(AggOp::parse("bogus"), None);
+        assert_eq!(AggOp::parse("avg"), Ok(AggOp::Avg));
+        let err = AggOp::parse("bogus").unwrap_err();
+        assert_eq!(err, UnknownAggOp("bogus".into()));
+        // The message teaches the valid vocabulary.
+        let msg = err.to_string();
+        for name in AggOp::NAMES {
+            assert!(msg.contains(name), "{msg:?} missing {name}");
+        }
     }
 }

@@ -21,8 +21,9 @@ mod histogram;
 mod join;
 mod key;
 mod rank;
+mod sketch;
 
-pub use agg::{AggBolt, AggOp};
+pub use agg::{AggBolt, AggOp, UnknownAggOp};
 pub use count::RollingCountBolt;
 pub use diff::DiffBolt;
 pub use generic_join::{JoinBolt, JoinStats};
@@ -30,3 +31,4 @@ pub use histogram::{CdfBolt, HistogramBolt};
 pub use join::RequestTimeJoinBolt;
 pub use key::KeyExtractBolt;
 pub use rank::RankBolt;
+pub use sketch::{DistinctBolt, HeavyHittersBolt, QuantileBolt, SketchCounters};

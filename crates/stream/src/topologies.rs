@@ -3,10 +3,12 @@
 
 use std::collections::HashMap;
 
+use netalytics_telemetry::MetricsRegistry;
+
 use crate::bolt::Grouping;
 use crate::bolts::{
-    AggBolt, AggOp, CdfBolt, DiffBolt, HistogramBolt, JoinBolt, KeyExtractBolt, RankBolt,
-    RequestTimeJoinBolt, RollingCountBolt,
+    AggBolt, AggOp, CdfBolt, DiffBolt, DistinctBolt, HeavyHittersBolt, HistogramBolt, JoinBolt,
+    KeyExtractBolt, QuantileBolt, RankBolt, RequestTimeJoinBolt, RollingCountBolt, SketchCounters,
 };
 use crate::topology::{SourceRef, Topology, TopologyError};
 
@@ -63,7 +65,11 @@ pub enum CatalogError {
 impl std::fmt::Display for CatalogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CatalogError::UnknownProcessor(n) => write!(f, "unknown processor {n:?}"),
+            CatalogError::UnknownProcessor(n) => write!(
+                f,
+                "unknown processor {n:?}; valid processors: {}",
+                CATALOG.join(", ")
+            ),
             CatalogError::BadArgument { arg, reason } => {
                 write!(f, "bad argument {arg:?}: {reason}")
             }
@@ -81,17 +87,21 @@ impl From<TopologyError> for CatalogError {
 }
 
 /// Names of all catalog processors.
-pub const CATALOG: [&str; 10] = [
+pub const CATALOG: [&str; 14] = [
     "top-k",
     "diff-group",
     "diff-group-avg",
     "group-sum",
     "group-avg",
+    "agg",
     "histogram",
     "cdf",
     "url-cdf",
     "url-avg",
     "join",
+    "heavy-hitters",
+    "distinct",
+    "quantile",
 ];
 
 /// Parses a duration argument like `10s`, `500ms`, `90` (seconds).
@@ -167,11 +177,35 @@ pub fn top_k(k: usize, parallelism: usize) -> Result<Topology, CatalogError> {
 ///   with `tcp_conn_time` (§7.2).
 /// * `join`: merge two parser streams on the tuple ID (`left`, `right`) —
 ///   the paper's future-work operator.
+/// * `agg`: one grouped aggregate picked by name — `op` (one of
+///   [`AggOp::NAMES`]), `group`, `value`.
+/// * `heavy-hitters`: sketch-backed top-k — `k` (default 10), `eps`
+///   (per-key error bound as a fraction of traffic, default 0.001),
+///   `key` (default `url`), `w`, `par`. `O(1/eps)` memory per bolt.
+/// * `distinct`: HyperLogLog distinct count — `field` (default `url`),
+///   `p` (precision, default 12), `w`, `par`.
+/// * `quantile`: mergeable log-bucketed quantiles — `value` (default
+///   `t_ns`), `q` (`+`-separated quantiles, default `0.5+0.95+0.99`),
+///   `w`, `par`.
 ///
 /// # Errors
 ///
 /// Returns [`CatalogError`] for unknown names or invalid arguments.
 pub fn build(spec: &ProcessorSpec) -> Result<Topology, CatalogError> {
+    build_with(spec, None)
+}
+
+/// [`build`] with an optional metrics registry: sketch processors
+/// register their `sketch.bytes` / `sketch.merges` / error instruments
+/// there (the orchestrator passes its root registry).
+///
+/// # Errors
+///
+/// Returns [`CatalogError`] for unknown names or invalid arguments.
+pub fn build_with(
+    spec: &ProcessorSpec,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Topology, CatalogError> {
     let args: HashMap<&str, &str> = spec
         .args
         .iter()
@@ -346,8 +380,167 @@ pub fn build(spec: &ProcessorSpec) -> Result<Topology, CatalogError> {
             b.wire(SourceRef::Spout, j, Grouping::ById);
             Ok(b.build()?)
         }
+        "agg" => {
+            let op = AggOp::parse(args.get("op").copied().unwrap_or("avg")).map_err(|e| {
+                CatalogError::BadArgument {
+                    arg: "op".into(),
+                    reason: e.to_string(),
+                }
+            })?;
+            let mut b = Topology::builder("agg");
+            let groups: Vec<String> = group.split('+').map(str::to_owned).collect();
+            let v = value.clone();
+            let agg = b.add_bolt("agg", 1, move || {
+                Box::new(AggBolt::new(op, v.clone(), groups.clone()))
+            });
+            b.wire(SourceRef::Spout, agg, Grouping::Global);
+            Ok(b.build()?)
+        }
+        "heavy-hitters" => {
+            let k = parse_num::<usize>(&args, "k", 10)?;
+            if k == 0 {
+                return Err(CatalogError::BadArgument {
+                    arg: "k".into(),
+                    reason: "k must be positive".into(),
+                });
+            }
+            let eps = parse_num::<f64>(&args, "eps", 0.001)?;
+            if !(eps > 0.0 && eps <= 1.0) {
+                return Err(CatalogError::BadArgument {
+                    arg: "eps".into(),
+                    reason: "eps must be in (0, 1]".into(),
+                });
+            }
+            let window_ns = args
+                .get("w")
+                .map(|s| parse_window(s))
+                .transpose()?
+                .unwrap_or(10_000_000_000);
+            let key_field = args.get("key").copied().unwrap_or("url").to_owned();
+            let counters = metrics.map(|m| SketchCounters::register(m, "heavy-hitters"));
+            let mut b = Topology::builder("heavy-hitters");
+            let (kf, c) = (key_field.clone(), counters.clone());
+            let local = b.add_bolt("hh_local", par, move || {
+                let bolt = HeavyHittersBolt::local(k, eps, kf.clone(), window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            let (kf, c) = (key_field.clone(), counters);
+            let global = b.add_bolt("hh_global", 1, move || {
+                let bolt = HeavyHittersBolt::global(k, eps, kf.clone(), window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            // Fields-grouped like the Parsing→Counting edge (§5.3): each
+            // key is folded whole by one local instance, so local counts
+            // are exact and the global merge never splits a key.
+            b.wire(SourceRef::Spout, local, Grouping::Fields(vec![key_field]));
+            b.wire(SourceRef::Bolt(local), global, Grouping::Global);
+            Ok(b.build()?)
+        }
+        "distinct" => {
+            let field = args.get("field").copied().unwrap_or("url").to_owned();
+            let p = parse_num::<u8>(&args, "p", netalytics_sketch::DEFAULT_PRECISION)?;
+            if !(4..=16).contains(&p) {
+                return Err(CatalogError::BadArgument {
+                    arg: "p".into(),
+                    reason: "precision must be in 4..=16".into(),
+                });
+            }
+            let window_ns = args
+                .get("w")
+                .map(|s| parse_window(s))
+                .transpose()?
+                .unwrap_or(10_000_000_000);
+            let counters = metrics.map(|m| SketchCounters::register(m, "distinct"));
+            let mut b = Topology::builder("distinct");
+            let (f, c) = (field.clone(), counters.clone());
+            let local = b.add_bolt("distinct_local", par, move || {
+                let bolt = DistinctBolt::local(f.clone(), p, window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            let (f, c) = (field, counters);
+            let global = b.add_bolt("distinct_global", 1, move || {
+                let bolt = DistinctBolt::global(f.clone(), p, window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            // Registerwise-max merging makes shuffle routing safe.
+            b.wire(SourceRef::Spout, local, Grouping::Shuffle);
+            b.wire(SourceRef::Bolt(local), global, Grouping::Global);
+            Ok(b.build()?)
+        }
+        "quantile" => {
+            let qs: Vec<f64> = args
+                .get("q")
+                .copied()
+                .unwrap_or("0.5+0.95+0.99")
+                .split('+')
+                .map(|s| {
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|q| (0.0..=1.0).contains(q))
+                        .ok_or_else(|| CatalogError::BadArgument {
+                            arg: "q".into(),
+                            reason: format!("{s:?} is not a quantile in 0..=1"),
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let window_ns = args
+                .get("w")
+                .map(|s| parse_window(s))
+                .transpose()?
+                .unwrap_or(10_000_000_000);
+            let counters = metrics.map(|m| SketchCounters::register(m, "quantile"));
+            let mut b = Topology::builder("quantile");
+            let (v, q, c) = (value.clone(), qs.clone(), counters.clone());
+            let local = b.add_bolt("quantile_local", par, move || {
+                let bolt = QuantileBolt::local(v.clone(), q.clone(), window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            let (v, q, c) = (value, qs, counters);
+            let global = b.add_bolt("quantile_global", 1, move || {
+                let bolt = QuantileBolt::global(v.clone(), q.clone(), window_ns);
+                Box::new(match &c {
+                    Some(c) => bolt.with_counters(c.clone()),
+                    None => bolt,
+                })
+            });
+            b.wire(SourceRef::Spout, local, Grouping::Shuffle);
+            b.wire(SourceRef::Bolt(local), global, Grouping::Global);
+            Ok(b.build()?)
+        }
         other => Err(CatalogError::UnknownProcessor(other.to_owned())),
     }
+}
+
+/// Parses a numeric argument with a default, mapping parse failures to
+/// a [`CatalogError::BadArgument`] naming the argument.
+fn parse_num<T: std::str::FromStr>(
+    args: &HashMap<&str, &str>,
+    name: &str,
+    default: T,
+) -> Result<T, CatalogError> {
+    args.get(name)
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| CatalogError::BadArgument {
+            arg: name.into(),
+            reason: "not a number".into(),
+        })
+        .map(|v| v.unwrap_or(default))
 }
 
 #[cfg(test)]
@@ -379,6 +572,112 @@ mod tests {
         assert!(build(&ProcessorSpec::new("top-k").with_arg("w", "0s")).is_err());
         assert!(build(&ProcessorSpec::new("histogram").with_arg("bucket", "-5")).is_err());
         assert!(build(&ProcessorSpec::new("top-k").with_arg("par", "x")).is_err());
+        assert!(build(&ProcessorSpec::new("heavy-hitters").with_arg("k", "0")).is_err());
+        assert!(build(&ProcessorSpec::new("heavy-hitters").with_arg("eps", "2")).is_err());
+        assert!(build(&ProcessorSpec::new("distinct").with_arg("p", "30")).is_err());
+        assert!(build(&ProcessorSpec::new("quantile").with_arg("q", "0.5+nope")).is_err());
+    }
+
+    #[test]
+    fn agg_unknown_op_lists_valid_operators() {
+        let err = build(&ProcessorSpec::new("agg").with_arg("op", "median")).unwrap_err();
+        let CatalogError::BadArgument { arg, reason } = &err else {
+            panic!("expected BadArgument, got {err:?}");
+        };
+        assert_eq!(arg, "op");
+        for name in AggOp::NAMES {
+            assert!(reason.contains(name), "{reason:?} missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_processor_error_lists_catalog() {
+        let msg = build(&ProcessorSpec::new("nope")).unwrap_err().to_string();
+        assert!(
+            msg.contains("heavy-hitters") && msg.contains("top-k"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_end_to_end_matches_exact_counts() {
+        let topo = build(
+            &ProcessorSpec::new("heavy-hitters")
+                .with_arg("k", "2")
+                .with_arg("eps", "0.01")
+                .with_arg("par", "3"),
+        )
+        .unwrap();
+        let mut exec = InlineExecutor::new(&topo);
+        let mut i = 0;
+        for (url, n) in [("/hot", 5), ("/warm", 3), ("/cold", 1)] {
+            for _ in 0..n {
+                exec.push(DataTuple::new(i, 1_000 + i).with("url", url));
+                i += 1;
+            }
+        }
+        exec.finish(20_000_000_000);
+        let out = exec.take_output();
+        let ranked: Vec<(String, u64)> = out
+            .iter()
+            .filter(|t| t.source == "rank")
+            .filter_map(|t| {
+                Some((
+                    t.get("key")?.to_string(),
+                    t.get("count").and_then(Value::as_u64)?,
+                ))
+            })
+            .collect();
+        // Far under capacity: the sketch is exact here.
+        assert_eq!(ranked, vec![("/hot".into(), 5), ("/warm".into(), 3)]);
+        // A persistable sketch snapshot tuple accompanies the ranking.
+        assert!(out.iter().any(|t| t.source == "sketch"));
+    }
+
+    #[test]
+    fn quantile_end_to_end() {
+        let topo = build(
+            &ProcessorSpec::new("quantile")
+                .with_arg("value", "t_ns")
+                .with_arg("q", "0.5"),
+        )
+        .unwrap();
+        let mut exec = InlineExecutor::new(&topo);
+        for v in 1..=1000u64 {
+            exec.push(DataTuple::new(v, v).with("t_ns", v));
+        }
+        exec.finish(20_000_000_000);
+        let out = exec.take_output();
+        let p50 = out
+            .iter()
+            .find(|t| t.source == "quantile")
+            .and_then(|t| t.get("value").and_then(Value::as_u64))
+            .unwrap();
+        assert!((440..=510).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn distinct_end_to_end() {
+        let topo = build(
+            &ProcessorSpec::new("distinct")
+                .with_arg("field", "url")
+                .with_arg("par", "4"),
+        )
+        .unwrap();
+        let mut exec = InlineExecutor::new(&topo);
+        for i in 0..500u64 {
+            // Each URL appears twice; true distinct = 500.
+            exec.push(DataTuple::new(i, 1).with("url", format!("/p{}", i % 500)));
+            exec.push(DataTuple::new(i, 2).with("url", format!("/p{}", i % 500)));
+        }
+        exec.finish(20_000_000_000);
+        let out = exec.take_output();
+        let d = out
+            .iter()
+            .find(|t| t.source == "distinct")
+            .and_then(|t| t.get("distinct").and_then(Value::as_u64))
+            .unwrap();
+        assert!((460..=540).contains(&d), "distinct = {d} for 500 true");
     }
 
     #[test]

@@ -76,6 +76,7 @@ fn run(sample: SampleSpec) -> RunResult {
         parsers: vec!["tcp_flow_key".into()],
         sample,
         batch_size: 64,
+        preagg: None,
     })
     .expect("stock parser");
     let topo = topologies::build(&ProcessorSpec::new("group-sum")).expect("catalog");

@@ -235,6 +235,7 @@ fn part2_autoscale() {
         parsers: vec!["http_get".into()],
         sample: SampleSpec::All,
         batch_size: 64,
+        preagg: None,
     })
     .expect("stock parser");
     engine.set_app(mon, Box::new(MonitorApp::new(monitor, net_ip(agg), None)));

@@ -94,6 +94,7 @@ fn hotspot_triggers_replication_and_load_spreads() {
         parsers: vec!["http_get".into()],
         sample: SampleSpec::All,
         batch_size: 32,
+        preagg: None,
     })
     .unwrap();
     engine.set_app(

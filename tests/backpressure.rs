@@ -57,6 +57,7 @@ fn overload_backpressure_adapts_sampling_and_recovers() {
         parsers: vec!["tcp_flow_key".into()],
         sample: SampleSpec::Auto,
         batch_size: 32,
+        preagg: None,
     })
     .unwrap();
     let topo = topologies::build(&ProcessorSpec::new("group-sum")).unwrap();

@@ -63,6 +63,34 @@ fn semantic_errors_are_typed_compile_errors() {
     ));
 }
 
+/// A typo in the aggregate operator name must come back as a typed
+/// compile error whose message names every valid operator — not a
+/// silent default or a panic.
+#[test]
+fn unknown_agg_operator_lists_the_valid_ones() {
+    let mut hosts: HashMap<String, Ipv4Addr> = HashMap::new();
+    hosts.insert("h1".into(), Ipv4Addr::new(10, 0, 2, 9));
+
+    let q = parse("PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (agg: op=bogus)")
+        .expect("syntactically fine; the operator is a semantic check");
+    let err = compile(&q, &hosts).expect_err("bogus operator rejected");
+    assert!(matches!(err, CompileError::BadProcessor(_)));
+    let msg = err.to_string();
+    assert!(msg.contains("bogus"), "names the offender: {msg}");
+    for op in ["sum", "avg", "max", "min", "count"] {
+        assert!(msg.contains(op), "lists valid operator {op:?}: {msg}");
+    }
+
+    // Sketch processors validate their arguments the same way.
+    let q =
+        parse("PARSE http_get FROM * TO h1:80 LIMIT 1s SAMPLE * PROCESS (heavy-hitters: eps=2.0)")
+            .unwrap();
+    assert!(matches!(
+        compile(&q, &hosts),
+        Err(CompileError::BadProcessor(_))
+    ));
+}
+
 #[test]
 fn orchestrator_surfaces_typed_errors_never_panics() {
     let mut orch = Orchestrator::builder(4).build();

@@ -90,6 +90,30 @@ fn query_display_reparses() {
     assert_eq!(q1, q2);
 }
 
+/// The three approximate-analytics operators parse, survive the
+/// `Display` round-trip, and compile against the catalog without any
+/// grammar extension (`-`, `.` and `+` are ordinary word characters).
+#[test]
+fn sketch_operators_parse_and_compile() {
+    let cases = [
+        "PARSE http_get FROM * TO h1:80 LIMIT 2s SAMPLE * \
+         PROCESS (heavy-hitters: k=10, eps=0.001)",
+        "PARSE http_get FROM * TO h1:80 LIMIT 2s SAMPLE * PROCESS (distinct: field=url, p=12)",
+        "PARSE http_get FROM * TO h1:80 LIMIT 2s SAMPLE * \
+         PROCESS (quantile: value=t_ns, q=0.5+0.95+0.99)",
+        // All three at once: each PROCESS entry is its own pipeline.
+        "PARSE http_get FROM * TO h1:80 LIMIT 2s SAMPLE * \
+         PROCESS (heavy-hitters: k=5), (distinct), (quantile)",
+    ];
+    for src in cases {
+        let q = parse(src).expect(src);
+        let q2 = parse(&q.to_string()).expect("display re-parses");
+        assert_eq!(q, q2, "round-trip for {src:?}");
+        let d = compile(&q, &hosts()).expect(src);
+        assert_eq!(d.processors.len(), q.processors.len());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
