@@ -2,18 +2,26 @@
 //!
 //! Prints the Gbps a single parser core sustains per frame size, next to
 //! the 10 Gbps line-rate reference, for `tcp_conn_time` and `http_get` —
-//! the exact series of the paper's Figure 5.
+//! the exact series of the paper's Figure 5 — plus the `http_get`
+//! columnar path ([`Parser::on_packet_columns`] straight into a
+//! [`BatchBuilder`]), the hot path the columnar refactor targets.
+//! Writes `results/fig5.txt`.
+//!
+//! [`Parser::on_packet_columns`]: netalytics_monitor::Parser::on_packet_columns
 //!
 //! Run with: `cargo run --release -p netalytics-bench --bin fig5_monitor_throughput`
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use netalytics_bench::{gbps, http_get_stream, syn_fin_stream};
+use netalytics_data::BatchBuilder;
 use netalytics_monitor::make_parser;
+use netalytics_packet::Packet;
 
 const LINE_RATE_GBPS: f64 = 10.0;
 
-fn measure(parser_name: &str, stream: &[netalytics_packet::Packet], rounds: usize) -> f64 {
+fn measure(parser_name: &str, stream: &[Packet], rounds: usize) -> f64 {
     let mut parser = make_parser(parser_name).expect("stock parser");
     let mut out = Vec::with_capacity(4096);
     // Warm-up round.
@@ -33,20 +41,54 @@ fn measure(parser_name: &str, stream: &[netalytics_packet::Packet], rounds: usiz
     gbps(bytes * rounds as u64, secs)
 }
 
+/// Same packet stream, columnar emission: tuples land as typed columns
+/// in a [`BatchBuilder`] and each round seals one [`ColumnBatch`] — the
+/// shape of one output batch on the pipeline's columnar fast lane.
+///
+/// [`ColumnBatch`]: netalytics_data::ColumnBatch
+fn measure_columnar(parser_name: &str, stream: &[Packet], rounds: usize) -> f64 {
+    let mut parser = make_parser(parser_name).expect("stock parser");
+    let mut builder = BatchBuilder::new();
+    // Warm-up round.
+    for p in stream {
+        parser.on_packet_columns(p, &mut builder);
+    }
+    let _ = builder.finish();
+    let bytes: u64 = stream.iter().map(|p| p.len() as u64).sum();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for p in stream {
+            parser.on_packet_columns(p, &mut builder);
+        }
+        let _ = builder.finish();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    gbps(bytes * rounds as u64, secs)
+}
+
 fn main() {
     let n = 4096;
     let rounds = 200;
-    println!("Fig. 5 — monitor throughput, one parser core (line rate {LINE_RATE_GBPS} Gbps)\n");
-    println!(
-        "{:>10} {:>22} {:>22}",
-        "pkt size", "tcp_conn_time (Gbps)", "http_get (Gbps)"
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig. 5 — monitor throughput, one parser core (line rate {LINE_RATE_GBPS} Gbps)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{:>10} {:>22} {:>22} {:>24}",
+        "pkt size", "tcp_conn_time (Gbps)", "http_get (Gbps)", "http_get col (Gbps)"
     );
     for &size in &[64usize, 128, 256, 512, 1024] {
         let tcp = measure("tcp_conn_time", &syn_fin_stream(n, size, 256), rounds);
-        let http = if size >= 128 {
-            measure("http_get", &http_get_stream(n, size, 64), rounds)
+        let (http, http_col) = if size >= 128 {
+            let stream = http_get_stream(n, size, 64);
+            (
+                measure("http_get", &stream, rounds),
+                measure_columnar("http_get", &stream, rounds),
+            )
         } else {
-            f64::NAN // a GET does not fit a 64 B frame
+            (f64::NAN, f64::NAN) // a GET does not fit a 64 B frame
         };
         let cap = |v: f64| {
             if v.is_nan() {
@@ -59,9 +101,36 @@ fn main() {
                 )
             }
         };
-        println!("{:>10} {:>22} {:>22}", size, cap(tcp), cap(http));
+        let _ = writeln!(
+            report,
+            "{:>10} {:>22} {:>22} {:>24}",
+            size,
+            cap(tcp),
+            cap(http),
+            cap(http_col)
+        );
     }
-    println!("\nShape check (paper): the simple TCP parser reaches line rate at");
-    println!("smaller frames than the string-parsing HTTP parser; both grow with");
-    println!("packet size. Absolute Gbps depend on this machine, not the paper's.");
+    let _ = writeln!(
+        report,
+        "\nShape check (paper): the simple TCP parser reaches line rate at"
+    );
+    let _ = writeln!(
+        report,
+        "smaller frames than the string-parsing HTTP parser; both grow with"
+    );
+    let _ = writeln!(
+        report,
+        "packet size. Absolute Gbps depend on this machine, not the paper's."
+    );
+    let _ = writeln!(
+        report,
+        "The columnar column parses the same stream through on_packet_columns"
+    );
+    let _ = writeln!(
+        report,
+        "(no per-tuple heap rows), lifting http_get at every frame size."
+    );
+    print!("{report}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/fig5.txt", &report).expect("write results");
 }

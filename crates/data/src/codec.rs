@@ -64,7 +64,7 @@ pub trait Decode: Sized {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
 }
 
-fn need(buf: &Bytes, n: usize, context: &'static str) -> Result<(), CodecError> {
+pub(crate) fn need(buf: &Bytes, n: usize, context: &'static str) -> Result<(), CodecError> {
     if buf.len() < n {
         Err(CodecError::Truncated { context })
     } else {
@@ -81,13 +81,13 @@ pub(crate) fn take_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
     Ok(buf.get_u32_le())
 }
 
-fn put_str16(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str16(buf: &mut BytesMut, s: &str) {
     let len = s.len().min(u16::MAX as usize);
     buf.put_u16_le(len as u16);
     buf.put_slice(&s.as_bytes()[..len]);
 }
 
-fn take_str16(buf: &mut Bytes) -> Result<String, CodecError> {
+pub(crate) fn take_str16(buf: &mut Bytes) -> Result<String, CodecError> {
     need(buf, 2, "string length")?;
     let len = buf.get_u16_le() as usize;
     need(buf, len, "string body")?;

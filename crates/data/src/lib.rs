@@ -29,11 +29,17 @@
 //! ```
 
 pub mod codec;
+pub mod columns;
+pub mod ring;
+pub mod schema;
 pub mod transport;
 pub mod tuple;
 pub mod value;
 
 pub use codec::{CodecError, Decode, Encode};
+pub use columns::{BatchBuilder, ColumnBatch, StrColumn, COLUMNAR_MAGIC};
+pub use ring::{spsc, Consumer, PopError, Producer, PushError};
+pub use schema::{FieldId, Schema};
 pub use transport::{BatchSink, CollectSink, SinkClosed};
 pub use tuple::{DataTuple, TupleBatch};
 pub use value::Value;

@@ -1,0 +1,343 @@
+//! Bounded single-producer single-consumer ring for the shared-nothing
+//! fast lane.
+//!
+//! Both the columnar monitor pipeline (parser worker → sink drain) and
+//! the sharded stream executor (worker → worker mesh) move sealed
+//! batches over exactly one producer thread and one consumer thread per
+//! edge. That restriction buys a wait-free queue: no locks, no CAS
+//! loops — each side owns one index and only *reads* the other's.
+//!
+//! Layout follows the classic Lamport ring refined with cache-line
+//! padding: `head` (consumer-owned) and `tail` (producer-owned) live on
+//! separate 64-byte lines so the two threads never false-share, and the
+//! capacity is a power of two so wrapping is a mask. Indices are free
+//! running (`usize` wrap-around) which distinguishes full from empty
+//! without a spare slot.
+//!
+//! The module compiles against [loom] when built with
+//! `RUSTFLAGS="--cfg loom"`; atomics and `UnsafeCell` are swapped for
+//! loom's checked versions so the ordering protocol is model-checked
+//! (see `crates/data/tests/loom_ring.rs` and the CI `loom` job).
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+use std::mem::MaybeUninit;
+use std::sync::Arc;
+
+#[cfg(loom)]
+use loom::cell::UnsafeCell;
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// `std` stand-in mirroring `loom::cell::UnsafeCell`'s closure API so
+/// the ring body is identical under both builds.
+#[cfg(not(loom))]
+struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(loom))]
+impl<T> UnsafeCell<T> {
+    fn new(v: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(v))
+    }
+
+    fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}
+
+/// Pads (and aligns) its contents to a 64-byte cache line so the
+/// producer- and consumer-owned indices never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Inner<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to pop. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to push. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// Safety: values of T cross from producer to consumer thread (Send
+// required); the slot protocol guarantees exclusive access to each slot.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop whatever is still in flight.
+        let mut h = self.head.0.load(Ordering::Relaxed);
+        let t = self.tail.0.load(Ordering::Relaxed);
+        while h != t {
+            self.slots[h & self.mask].with_mut(|p| unsafe { (*p).assume_init_drop() });
+            h = h.wrapping_add(1);
+        }
+    }
+}
+
+/// Error returned by [`Producer::push`]; carries the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is full; retry after the consumer drains.
+    Full(T),
+    /// The consumer is gone; no push will ever succeed again.
+    Disconnected(T),
+}
+
+/// Error returned by [`Consumer::pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The ring is empty right now; retry later.
+    Empty,
+    /// The ring is empty and the producer is gone: end of stream.
+    Disconnected,
+}
+
+/// The producing half of an SPSC ring. Not clonable: exactly one
+/// producer thread may hold it.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consuming half of an SPSC ring. Not clonable: exactly one
+/// consumer thread may hold it.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC ring holding at least `capacity` items
+/// (rounded up to the next power of two, minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        mask: cap - 1,
+        slots,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// True if the consumer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.inner.consumer_alive.load(Ordering::Acquire)
+    }
+
+    /// Appends `v` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] if the ring has no free slot,
+    /// [`PushError::Disconnected`] if the consumer is gone; both return
+    /// the value so nothing is lost.
+    pub fn push(&mut self, v: T) -> Result<(), PushError<T>> {
+        let inner = &*self.inner;
+        if !inner.consumer_alive.load(Ordering::Acquire) {
+            return Err(PushError::Disconnected(v));
+        }
+        // We own tail; Relaxed is enough to read our own last store.
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        let head = inner.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > inner.mask {
+            return Err(PushError::Full(v));
+        }
+        inner.slots[tail & inner.mask].with_mut(|p| unsafe { (*p).write(v) });
+        // Release publishes the slot write to the consumer's Acquire load.
+        inner.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Items currently queued (a snapshot; racy by nature).
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        let tail = self.inner.tail.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True if the ring is empty right now (a snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns the head item.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] if nothing is queued,
+    /// [`PopError::Disconnected`] once the ring is empty *and* the
+    /// producer is gone (every pushed item is still delivered first).
+    pub fn pop(&mut self) -> Result<T, PopError> {
+        let inner = &*self.inner;
+        // We own head; Relaxed is enough to read our own last store.
+        let head = inner.head.0.load(Ordering::Relaxed);
+        let mut tail = inner.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            if inner.producer_alive.load(Ordering::Acquire) {
+                return Err(PopError::Empty);
+            }
+            // The producer died; re-check so pushes that landed before
+            // its alive-flag store are not mistaken for end-of-stream.
+            tail = inner.tail.0.load(Ordering::Acquire);
+            if head == tail {
+                return Err(PopError::Disconnected);
+            }
+        }
+        let v = inner.slots[head & inner.mask].with_mut(|p| unsafe { (*p).assume_init_read() });
+        // Release hands the emptied slot back to the producer.
+        inner.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Ok(v)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.inner.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(matches!(tx.push(99), Err(PushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Ok(i));
+        }
+        assert_eq!(rx.pop(), Err(PopError::Empty));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = spsc::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = spsc::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        for i in 0..100u64 {
+            tx.push(i).unwrap();
+            tx.push(i + 1000).unwrap();
+            assert_eq!(rx.pop(), Ok(i));
+            assert_eq!(rx.pop(), Ok(i + 1000));
+        }
+    }
+
+    #[test]
+    fn consumer_drop_disconnects_producer() {
+        let (mut tx, rx) = spsc::<u8>(2);
+        drop(rx);
+        assert!(tx.is_disconnected());
+        assert!(matches!(tx.push(1), Err(PushError::Disconnected(1))));
+    }
+
+    #[test]
+    fn producer_drop_delivers_remainder_then_disconnects() {
+        let (mut tx, mut rx) = spsc::<u8>(4);
+        tx.push(7).unwrap();
+        tx.push(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Ok(7));
+        assert_eq!(rx.pop(), Ok(8));
+        assert_eq!(rx.pop(), Err(PopError::Disconnected));
+    }
+
+    #[test]
+    fn in_flight_items_are_dropped_with_the_ring() {
+        let strong = Arc::new(());
+        let (mut tx, rx) = spsc::<Arc<()>>(4);
+        tx.push(Arc::clone(&strong)).unwrap();
+        tx.push(Arc::clone(&strong)).unwrap();
+        assert_eq!(Arc::strong_count(&strong), 3);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&strong), 1);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = spsc::<u8>(8);
+        assert!(rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.pop().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn thread_pair_moves_everything_in_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                        Err(PushError::Disconnected(_)) => panic!("consumer died"),
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        loop {
+            match rx.pop() {
+                Ok(v) => {
+                    assert_eq!(v, next, "FIFO order");
+                    next += 1;
+                }
+                Err(PopError::Empty) => std::hint::spin_loop(),
+                Err(PopError::Disconnected) => break,
+            }
+        }
+        assert_eq!(next, N, "no loss");
+        producer.join().unwrap();
+    }
+}

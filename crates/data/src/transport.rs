@@ -10,6 +10,9 @@
 //! workers in `netalytics-monitor` all ship into one sink concurrently, so
 //! `ship` takes `&self` and implementors handle their own synchronization.
 
+use parking_lot::Mutex;
+
+use crate::columns::ColumnBatch;
 use crate::tuple::TupleBatch;
 
 /// Error returned when a sink's downstream consumer has disconnected.
@@ -46,12 +49,27 @@ pub trait BatchSink: Send + Sync {
     /// Returns [`SinkClosed`] with the rejected batch if the downstream
     /// consumer has disconnected and will never accept more data.
     fn ship(&self, batch: TupleBatch) -> Result<(), SinkClosed>;
+
+    /// Hands one sealed columnar batch downstream.
+    ///
+    /// The default bridges to [`BatchSink::ship`] by converting to rows,
+    /// so every existing sink accepts columnar producers unchanged;
+    /// columnar-aware sinks (the queue writer) override this to keep the
+    /// batch in column form end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkClosed`] (carrying the row form of the rejected
+    /// batch) if the downstream consumer has disconnected.
+    fn ship_columns(&self, columns: ColumnBatch) -> Result<(), SinkClosed> {
+        self.ship(columns.to_batch())
+    }
 }
 
 /// A sink that appends batches to a shared vector, for tests and examples.
 #[derive(Default)]
 pub struct CollectSink {
-    batches: std::sync::Mutex<Vec<TupleBatch>>,
+    batches: Mutex<Vec<TupleBatch>>,
 }
 
 impl CollectSink {
@@ -62,26 +80,18 @@ impl CollectSink {
 
     /// Takes every batch shipped so far.
     pub fn drain(&self) -> Vec<TupleBatch> {
-        std::mem::take(&mut self.batches.lock().expect("collect sink poisoned"))
+        std::mem::take(&mut self.batches.lock()) // per-batch lock
     }
 
     /// Total number of tuples shipped so far.
     pub fn tuple_count(&self) -> usize {
-        self.batches
-            .lock()
-            .expect("collect sink poisoned")
-            .iter()
-            .map(TupleBatch::len)
-            .sum()
+        self.batches.lock().iter().map(TupleBatch::len).sum() // per-batch lock
     }
 }
 
 impl BatchSink for CollectSink {
     fn ship(&self, batch: TupleBatch) -> Result<(), SinkClosed> {
-        self.batches
-            .lock()
-            .expect("collect sink poisoned")
-            .push(batch);
+        self.batches.lock().push(batch); // per-batch lock
         Ok(())
     }
 }
@@ -105,6 +115,18 @@ mod tests {
         let drained = sink.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(sink.tuple_count(), 0);
+    }
+
+    #[test]
+    fn ship_columns_bridges_to_row_sinks_by_default() {
+        let sink = CollectSink::new();
+        let batch = TupleBatch::from_tuples(vec![
+            DataTuple::new(1, 5).with("url", "/a"),
+            DataTuple::new(2, 6).with("url", "/b"),
+        ]);
+        sink.ship_columns(ColumnBatch::from_batch(&batch)).unwrap();
+        let drained = sink.drain();
+        assert_eq!(drained, vec![batch], "lossless row bridge");
     }
 
     #[test]

@@ -56,14 +56,32 @@ impl DataTuple {
     }
 
     /// Appends a field (builder style).
+    ///
+    /// This *always* appends, even when a field named `key` already
+    /// exists — tuples allow duplicate field names and [`DataTuple::get`]
+    /// returns the first match. Use [`DataTuple::set`] for
+    /// replace-semantics.
     pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
         self.fields.push((key.into(), value.into()));
         self
     }
 
-    /// Appends a field in place.
+    /// Appends a field in place. Like [`DataTuple::with`], this appends
+    /// unconditionally; duplicates are allowed.
     pub fn push(&mut self, key: impl Into<String>, value: impl Into<Value>) {
         self.fields.push((key.into(), value.into()));
+    }
+
+    /// Sets a field, replacing the *first* existing field named `key`
+    /// (the one [`DataTuple::get`] reads) or appending if absent. Later
+    /// duplicates, if any, are left untouched.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        match self.fields.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.fields.push((key, value)),
+        }
     }
 
     /// Returns the first field with the given key, if any.
@@ -303,6 +321,25 @@ mod tests {
         let mut t = sample();
         t.push("url", "/second");
         assert_eq!(t.get("url").and_then(Value::as_str), Some("/a.html"));
+    }
+
+    #[test]
+    fn with_appends_duplicates_but_set_replaces() {
+        // Regression: `with` keeps append semantics (duplicates pile up)
+        // while `set` replaces the first occurrence in place.
+        let mut t = DataTuple::new(1, 0).with("url", "/a").with("url", "/b");
+        assert_eq!(t.len(), 2, "with() appends even for duplicate keys");
+        t.set("url", "/c");
+        assert_eq!(t.len(), 2, "set() replaces instead of appending");
+        assert_eq!(t.get("url").and_then(Value::as_str), Some("/c"));
+        assert_eq!(
+            t.fields[1].1.as_str(),
+            Some("/b"),
+            "later duplicates untouched"
+        );
+        t.set("bytes", 42u64);
+        assert_eq!(t.len(), 3, "set() appends when the key is absent");
+        assert_eq!(t.get("bytes").and_then(Value::as_u64), Some(42));
     }
 
     #[test]

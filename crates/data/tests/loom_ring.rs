@@ -1,0 +1,87 @@
+//! Loom model checks for the SPSC ring's ordering protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` with the `loom` crate
+//! injected (the CI `loom` job does `cargo add --target 'cfg(loom)'
+//! loom -p netalytics-data` before running); a normal `cargo test`
+//! builds this file to nothing. Loom exhaustively explores every
+//! interleaving of the producer/consumer atomics, so an Acquire/Release
+//! mistake in `ring.rs` fails here deterministically instead of
+//! flaking on real hardware.
+#![cfg(loom)]
+
+use netalytics_data::{spsc, PopError, PushError};
+
+/// Every pushed value is popped exactly once, in order, across all
+/// interleavings — including wrap-around on a capacity-2 ring.
+#[test]
+fn loom_fifo_no_loss() {
+    loom::model(|| {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        let producer = loom::thread::spawn(move || {
+            for i in 0..3u32 {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            loom::thread::yield_now();
+                        }
+                        Err(PushError::Disconnected(_)) => unreachable!(),
+                    }
+                }
+            }
+        });
+        let mut next = 0u32;
+        while next < 3 {
+            match rx.pop() {
+                Ok(v) => {
+                    assert_eq!(v, next, "FIFO order");
+                    next += 1;
+                }
+                Err(PopError::Empty) => loom::thread::yield_now(),
+                Err(PopError::Disconnected) => panic!("lost {} items", 3 - next),
+            }
+        }
+        producer.join().unwrap();
+    });
+}
+
+/// A producer dropping mid-stream still delivers everything it pushed
+/// before the consumer observes disconnection.
+#[test]
+fn loom_disconnect_delivers_tail() {
+    loom::model(|| {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        let producer = loom::thread::spawn(move || {
+            tx.push(1).unwrap();
+            tx.push(2).unwrap();
+            // tx drops here.
+        });
+        let mut got = Vec::new();
+        loop {
+            match rx.pop() {
+                Ok(v) => got.push(v),
+                Err(PopError::Empty) => loom::thread::yield_now(),
+                Err(PopError::Disconnected) => break,
+            }
+        }
+        assert_eq!(got, [1, 2], "tail delivered before end-of-stream");
+        producer.join().unwrap();
+    });
+}
+
+/// Consumer-side drop: the producer eventually observes disconnection
+/// and keeps ownership of the rejected value.
+#[test]
+fn loom_consumer_drop_rejects_push() {
+    loom::model(|| {
+        let (mut tx, rx) = spsc::<u32>(2);
+        let consumer = loom::thread::spawn(move || drop(rx));
+        consumer.join().unwrap();
+        match tx.push(7) {
+            Err(PushError::Disconnected(7)) => {}
+            other => panic!("expected Disconnected(7), got {other:?}"),
+        }
+    });
+}

@@ -48,6 +48,6 @@ pub mod pipeline;
 pub mod sampler;
 
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
-pub use parser::{make_parser, Parser, STOCK_PARSERS};
+pub use parser::{append_rows, make_parser, Parser, STOCK_PARSERS};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineCounters, PipelineSummary};
 pub use sampler::{FeedbackSignal, FlowSampler, SampleSpec};

@@ -7,7 +7,7 @@
 //! when each packet arrives and make use of the monitoring library's output
 //! functions to emit the desired information."
 
-use netalytics_data::DataTuple;
+use netalytics_data::{BatchBuilder, DataTuple, FieldId};
 use netalytics_packet::Packet;
 
 use crate::parsers;
@@ -52,6 +52,38 @@ pub trait Parser: Send {
     /// Periodic flush for parsers that aggregate across packets; called
     /// by the monitor between batches. Default: nothing buffered.
     fn flush(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {}
+
+    /// Columnar variant of [`Parser::on_packet`]: emissions go straight
+    /// into a [`BatchBuilder`] (interned field ids, typed columns, arena
+    /// strings) instead of heap [`DataTuple`]s. The default bridges
+    /// through [`Parser::on_packet`], so every parser works under the
+    /// columnar pipeline unchanged; hot parsers override it to skip the
+    /// row detour (see `HttpGetParser`).
+    fn on_packet_columns(&mut self, packet: &Packet, out: &mut BatchBuilder) {
+        let mut rows = Vec::new();
+        self.on_packet(packet, &mut rows);
+        append_rows(out, &rows);
+    }
+
+    /// Columnar variant of [`Parser::flush`]; same default bridge as
+    /// [`Parser::on_packet_columns`].
+    fn flush_columns(&mut self, now_ns: u64, out: &mut BatchBuilder) {
+        let mut rows = Vec::new();
+        self.flush(now_ns, &mut rows);
+        append_rows(out, &rows);
+    }
+}
+
+/// Appends row-form tuples to a columnar builder — the bridge behind the
+/// default [`Parser::on_packet_columns`]/[`Parser::flush_columns`].
+pub fn append_rows(out: &mut BatchBuilder, rows: &[DataTuple]) {
+    for t in rows {
+        out.begin_row(t.id, t.ts_ns, &t.source);
+        for (k, v) in &t.fields {
+            out.field(FieldId::intern(k), v);
+        }
+        out.end_row();
+    }
 }
 
 /// Names of all stock parsers, as listed in paper Table 1.
@@ -96,5 +128,29 @@ mod tests {
     fn unknown_parser_is_none() {
         assert!(make_parser("quic_spin_bit").is_none());
         assert!(make_parser("").is_none());
+    }
+
+    #[test]
+    fn default_columnar_bridge_matches_row_output() {
+        use netalytics_packet::TcpFlags;
+        use std::net::Ipv4Addr;
+        let pkt = Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4000,
+            Ipv4Addr::new(10, 0, 0, 9),
+            80,
+            TcpFlags::ACK,
+            1,
+            1,
+            b"x",
+        );
+        for name in STOCK_PARSERS {
+            let mut rows = Vec::new();
+            make_parser(name).unwrap().on_packet(&pkt, &mut rows);
+            let mut b = BatchBuilder::new();
+            make_parser(name).unwrap().on_packet_columns(&pkt, &mut b);
+            let back: Vec<DataTuple> = b.finish().to_batch().into_tuples();
+            assert_eq!(back, rows, "columnar bridge lossless for {name}");
+        }
     }
 }

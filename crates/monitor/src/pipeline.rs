@@ -11,6 +11,12 @@
 //!   queue; a full queue drops descriptors early (the adaptive-sampling
 //!   load-shedding of §5.1);
 //! * the **output interface** batches tuples and hands them to a sink.
+//!
+//! With [`PipelineConfig::columnar`] set, the parser→output seam runs the
+//! columnar fast lane instead: workers parse straight into
+//! [`BatchBuilder`]s (interned field ids, typed columns) and hand sealed
+//! [`ColumnBatch`]es over lock-free SPSC rings to one shipper thread
+//! that ships via [`BatchSink::ship_columns`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,13 +24,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use netalytics_data::{BatchSink, DataTuple, TupleBatch};
+use netalytics_data::{
+    spsc, BatchBuilder, BatchSink, ColumnBatch, Consumer, DataTuple, PopError, Producer,
+    PushError, TupleBatch,
+};
 use netalytics_packet::Packet;
 use netalytics_sketch::{PreAgg, PreAggSpec};
 use netalytics_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::monitor::MonitorError;
-use crate::parser::make_parser;
+use crate::parser::{make_parser, Parser};
 use crate::sampler::{FlowSampler, SampleSpec};
 
 /// Configuration of a threaded pipeline.
@@ -61,6 +70,15 @@ pub struct PipelineConfig {
     /// (deltas from different workers merge downstream, so totals are
     /// preserved).
     pub preagg: Option<PreAggSpec>,
+    /// Route parser output through the columnar fast lane: each worker
+    /// appends emissions into a [`BatchBuilder`], seals a [`ColumnBatch`]
+    /// every `batch_size` rows, and hands it over a lock-free SPSC ring
+    /// to a single shipper thread (ships via
+    /// [`BatchSink::ship_columns`], or converts to rows for the
+    /// [`Pipeline::batches`] channel). Ignored — the row path runs —
+    /// when `preagg` is also set, because sketch folding consumes row
+    /// tuples.
+    pub columnar: bool,
 }
 
 impl Default for PipelineConfig {
@@ -75,6 +93,7 @@ impl Default for PipelineConfig {
             metrics: None,
             heartbeat_interval: Duration::from_millis(100),
             preagg: None,
+            columnar: false,
         }
     }
 }
@@ -138,6 +157,73 @@ struct WorkerTelemetry {
 /// two `Instant::now` calls off most of the hot path so the instrumented
 /// pipeline stays within the ≤5 % overhead budget.
 const LATENCY_SAMPLE: u64 = 32;
+
+/// Sealed column batches queued per worker ring on the columnar lane.
+const COLUMNAR_RING_DEPTH: usize = 64;
+
+/// Blocking push onto a worker's output ring: spins (yielding) while the
+/// shipper catches up. A disconnected shipper means the pipeline is
+/// tearing down, so the batch is dropped — same contract as a closed
+/// output channel on the row path.
+fn push_blocking(ring: &mut Producer<ColumnBatch>, mut batch: ColumnBatch) {
+    loop {
+        match ring.push(batch) {
+            Ok(()) => return,
+            Err(PushError::Full(b)) => {
+                batch = b;
+                std::thread::yield_now();
+            }
+            Err(PushError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Body of one columnar parser worker: parse straight into a
+/// [`BatchBuilder`], seal every `batch_size` rows, and push the sealed
+/// [`ColumnBatch`] onto this worker's SPSC ring (one producer — this
+/// thread; one consumer — the shipper).
+fn columnar_worker(
+    mut parser: Box<dyn Parser>,
+    prx: Receiver<Packet>,
+    mut ring: Producer<ColumnBatch>,
+    batch_size: usize,
+    telemetry: Option<WorkerTelemetry>,
+) {
+    let mut builder = BatchBuilder::new();
+    let mut seen = 0u64;
+    while let Ok(pkt) = prx.recv() {
+        seen += 1;
+        if telemetry.is_some() && seen.is_multiple_of(LATENCY_SAMPLE) {
+            let t0 = Instant::now();
+            parser.on_packet_columns(&pkt, &mut builder);
+            if let Some(tel) = &telemetry {
+                tel.parse_latency.record(t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            parser.on_packet_columns(&pkt, &mut builder);
+        }
+        if builder.rows() >= batch_size {
+            let batch = builder.finish();
+            if let Some(tel) = &telemetry {
+                tel.batch_size.record(batch.rows() as u64);
+                tel.queue_depth.set(prx.len() as i64);
+            }
+            push_blocking(&mut ring, batch);
+        }
+    }
+    // Input closed: final parser flush, then the residual batch.
+    parser.flush_columns(0, &mut builder);
+    if !builder.is_empty() {
+        let batch = builder.finish();
+        if let Some(tel) = &telemetry {
+            tel.batch_size.record(batch.rows() as u64);
+        }
+        push_blocking(&mut ring, batch);
+    }
+    if let Some(tel) = &telemetry {
+        tel.queue_depth.set(0);
+    }
+}
 
 /// A running threaded monitor pipeline.
 ///
@@ -212,6 +298,10 @@ impl Pipeline {
         // two-level queuing — one instance per worker, flow-consistent).
         let mut parser_txs: Vec<Vec<Sender<Packet>>> = Vec::new();
         let workers = config.workers_per_parser.max(1);
+        // Pre-aggregation folds row tuples, so it keeps the row path.
+        let columnar = config.columnar && config.preagg.is_none();
+        // Consumer halves of the columnar worker rings (shipper-owned).
+        let mut col_rings: Vec<Consumer<ColumnBatch>> = Vec::new();
 
         for name in &config.parsers {
             let mut worker_txs = Vec::with_capacity(workers);
@@ -219,11 +309,7 @@ impl Pipeline {
                 let (ptx, prx) = bounded::<Packet>(config.parser_depth);
                 worker_txs.push(ptx);
                 let mut parser = make_parser(name).expect("validated above");
-                let out_tx = out_tx.clone();
-                let sink = sink.clone();
-                let counters = counters.clone();
                 let batch_size = config.batch_size.max(1);
-                let preagg_spec = config.preagg.clone();
                 let telemetry = config.metrics.as_deref().map(|m| {
                     let worker = w.to_string();
                     let l: &[(&str, &str)] = &[("parser", name), ("worker", &worker)];
@@ -233,6 +319,20 @@ impl Pipeline {
                         parse_latency: m.histogram("monitor.parse_latency_ns", &[("parser", name)]),
                     }
                 });
+                if columnar {
+                    let (tx, rx) = spsc::<ColumnBatch>(COLUMNAR_RING_DEPTH);
+                    col_rings.push(rx);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("parser-{name}-{w}"))
+                        .spawn(move || columnar_worker(parser, prx, tx, batch_size, telemetry))
+                        .expect("spawn parser thread");
+                    handles.push(handle);
+                    continue;
+                }
+                let out_tx = out_tx.clone();
+                let sink = sink.clone();
+                let counters = counters.clone();
+                let preagg_spec = config.preagg.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("parser-{name}-{w}"))
                     .spawn(move || {
@@ -323,6 +423,62 @@ impl Pipeline {
                 handles.push(handle);
             }
             parser_txs.push(worker_txs);
+        }
+
+        // Columnar fast lane: one shipper drains every worker ring (each
+        // ring keeps exactly one producer and one consumer) and ships
+        // sealed column batches downstream without touching row form —
+        // unless output goes to the legacy batch channel.
+        if columnar {
+            let counters = counters.clone();
+            let sink = sink.clone();
+            let out_tx = out_tx.clone();
+            let mut rings = col_rings;
+            let handle = std::thread::Builder::new()
+                .name("col-shipper".into())
+                .spawn(move || {
+                    let mut alive = vec![true; rings.len()];
+                    loop {
+                        let mut idle = true;
+                        for (i, ring) in rings.iter_mut().enumerate() {
+                            if !alive[i] {
+                                continue;
+                            }
+                            loop {
+                                match ring.pop() {
+                                    Ok(cols) => {
+                                        idle = false;
+                                        counters.tuples_out.add(cols.rows() as u64);
+                                        counters.bytes_out.add(cols.wire_size() as u64);
+                                        // A gone consumer means we drop
+                                        // output, like the row path.
+                                        match &sink {
+                                            Some(s) => {
+                                                let _ = s.ship_columns(cols);
+                                            }
+                                            None => {
+                                                let _ = out_tx.send(cols.to_batch());
+                                            }
+                                        }
+                                    }
+                                    Err(PopError::Empty) => break,
+                                    Err(PopError::Disconnected) => {
+                                        alive[i] = false;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if alive.iter().all(|a| !a) {
+                            return;
+                        }
+                        if idle {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                })
+                .expect("spawn columnar shipper");
+            handles.push(handle);
         }
         drop(out_tx);
 
@@ -600,6 +756,104 @@ mod tests {
             "sink mode bypasses the internal channel"
         );
         assert_eq!(sink.tuple_count(), 20, "all tuples reached the sink");
+    }
+
+    #[test]
+    fn columnar_mode_ships_through_the_ring() {
+        let sink = Arc::new(netalytics_data::CollectSink::new());
+        let p = Pipeline::spawn_with_sink(
+            PipelineConfig {
+                parsers: vec!["http_get".into()],
+                batch_size: 4,
+                columnar: true,
+                ..Default::default()
+            },
+            sink.clone(),
+        )
+        .unwrap();
+        for i in 0..20 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/col{i}"), "b"),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.packets_in, 20);
+        assert_eq!(s.tuples_out, 20);
+        assert!(s.bytes_out > 0);
+        assert!(s.residual_batches.is_empty(), "sink mode bypasses channel");
+        assert_eq!(sink.tuple_count(), 20, "all tuples reached the sink");
+    }
+
+    #[test]
+    fn columnar_mode_feeds_the_batch_channel_as_rows() {
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            workers_per_parser: 2,
+            batch_size: 4,
+            columnar: true,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..40 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/row{i}"), "b"),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.tuples_out, 40);
+        let urls: std::collections::HashSet<String> = s
+            .residual_batches
+            .iter()
+            .flat_map(|b| b.tuples.iter())
+            .filter_map(|t| t.get("url").and_then(netalytics_data::Value::as_str))
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(urls.len(), 40, "every GET surfaced exactly once");
+    }
+
+    #[test]
+    fn columnar_with_preagg_falls_back_to_rows() {
+        use netalytics_sketch::PreAggSpec;
+        let p = Pipeline::spawn(PipelineConfig {
+            parsers: vec!["http_get".into()],
+            batch_size: 16,
+            columnar: true,
+            preagg: Some(PreAggSpec::HeavyHitters {
+                key_field: "url".into(),
+                eps: 0.001,
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..100u16 {
+            p.offer(Packet::tcp(
+                A,
+                4000 + i,
+                B,
+                80,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1,
+                1,
+                &http::build_get(&format!("/f{}", i % 4), "b"),
+            ));
+        }
+        let s = p.shutdown(false);
+        assert_eq!(s.tuples_folded, 100, "row path in effect: preagg folds");
+        assert!(s.sketches_out >= 1);
     }
 
     #[test]

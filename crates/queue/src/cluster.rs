@@ -15,6 +15,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
+use netalytics_data::{ColumnBatch, TupleBatch};
 use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
 
 use crate::log::{Message, PartitionLog, Pressure};
@@ -200,10 +201,10 @@ impl QueueCluster {
     /// [`TopicId`]; all batch APIs are keyed by id so the steady state does
     /// no string hashing.
     pub fn topic_id(&self, name: &str) -> TopicId {
-        if let Some(&id) = self.registry.read().topic_ids.get(name) {
+        if let Some(&id) = self.registry.read().topic_ids.get(name) { // cold path
             return id;
         }
-        let mut reg = self.registry.write();
+        let mut reg = self.registry.write(); // cold path
         if let Some(&id) = reg.topic_ids.get(name) {
             return id;
         }
@@ -228,7 +229,7 @@ impl QueueCluster {
     /// Gauges are refreshed by [`QueueCluster::scrape`]; histograms are
     /// recorded inline on the batch paths (one atomic per batch).
     pub fn set_registry(&self, metrics: Arc<MetricsRegistry>) {
-        let mut reg = self.registry.write();
+        let mut reg = self.registry.write(); // cold path
         reg.telemetry = reg
             .topics
             .iter()
@@ -238,7 +239,7 @@ impl QueueCluster {
     }
 
     fn telemetry_of(&self, id: TopicId) -> Option<Arc<TopicTelemetry>> {
-        self.registry.read().telemetry.get(id.0).cloned()
+        self.registry.read().telemetry.get(id.0).cloned() // per-batch lock
     }
 
     /// Refreshes the per-topic gauges (and per-group lag gauges for every
@@ -246,7 +247,7 @@ impl QueueCluster {
     /// loop; the hot paths never pay for gauge recomputation.
     pub fn scrape(&self) {
         let (metrics, ntopics) = {
-            let reg = self.registry.read();
+            let reg = self.registry.read(); // cold path
             let Some(m) = reg.metrics.clone() else {
                 return;
             };
@@ -261,9 +262,10 @@ impl QueueCluster {
             tel.dropped.set(self.dropped_of(id) as i64);
             tel.bytes_in.set(self.bytes_in_of(id) as i64);
         }
+        // cold path: scrape-time cursor snapshot
         let pairs: Vec<(GroupId, TopicId)> = self.cursors.lock().keys().copied().collect();
         let named: Vec<(GroupId, TopicId, String, String)> = {
-            let reg = self.registry.read();
+            let reg = self.registry.read(); // cold path
             pairs
                 .into_iter()
                 .map(|(g, t)| (g, t, reg.groups[g.0].clone(), reg.topics[t.0].name.clone()))
@@ -278,10 +280,10 @@ impl QueueCluster {
 
     /// Interns a consumer-group name.
     pub fn group_id(&self, name: &str) -> GroupId {
-        if let Some(&id) = self.registry.read().group_ids.get(name) {
+        if let Some(&id) = self.registry.read().group_ids.get(name) { // cold path
             return id;
         }
-        let mut reg = self.registry.write();
+        let mut reg = self.registry.write(); // cold path
         if let Some(&id) = reg.group_ids.get(name) {
             return id;
         }
@@ -301,7 +303,7 @@ impl QueueCluster {
     }
 
     fn topic(&self, id: TopicId) -> Arc<Topic> {
-        Arc::clone(&self.registry.read().topics[id.0])
+        Arc::clone(&self.registry.read().topics[id.0]) // per-batch lock
     }
 
     /// The broker that owns `partition` of `topic` (stable assignment).
@@ -403,7 +405,7 @@ impl QueueCluster {
                 partition: p,
             });
         }
-        let offset = t.partitions[p].lock().append(key, payload, ts_ns);
+        let offset = t.partitions[p].lock().append(key, payload, ts_ns); // per-batch lock
         Ok(offset)
     }
 
@@ -431,7 +433,7 @@ impl QueueCluster {
                     .fetch_add(bucket.len() as u64, Ordering::Relaxed);
                 continue;
             }
-            let mut log = t.partitions[p].lock();
+            let mut log = t.partitions[p].lock(); // per-batch lock
             for (key, payload, ts_ns) in bucket {
                 log.append(key, payload, ts_ns);
                 total += 1;
@@ -441,6 +443,73 @@ impl QueueCluster {
             tel.produce_batch.record(total as u64);
         }
         total
+    }
+
+    /// Produces one sealed columnar batch as a single message: the frame
+    /// is encoded once, the destination partition's lock is taken once,
+    /// and payload bytes are accounted once by the log append. This is
+    /// the fast lane — where [`QueueCluster::produce_batch`] pays one
+    /// append per tuple, this pays one per *batch*. Returns the offset.
+    ///
+    /// Rows (not frames) are recorded in the topic's
+    /// `queue.produce_batch_size` histogram, so batch-size telemetry
+    /// stays comparable across the row and columnar paths.
+    ///
+    /// # Errors
+    ///
+    /// [`ProduceError::NoLeader`] if the target partition has no live
+    /// leader; the caller still owns `columns` and can retry.
+    pub fn produce_columns(
+        &self,
+        topic: TopicId,
+        key: u64,
+        columns: &ColumnBatch,
+        ts_ns: u64,
+    ) -> Result<u64, ProduceError> {
+        let rows = columns.rows() as u64;
+        let payload = columns.encode();
+        let offset = self.try_produce_to(topic, key, payload, ts_ns)?; // per-batch lock inside
+        if let Some(tel) = self.telemetry_of(topic) {
+            tel.produce_batch.record(rows);
+        }
+        Ok(offset)
+    }
+
+    /// Drains up to `max_frames` messages, decoding each payload into a
+    /// [`ColumnBatch`]. Legacy row-encoded frames on the same topic are
+    /// transparently converted (the magic word distinguishes the two
+    /// framings), so mixed producers are safe during migration; frames
+    /// that decode as neither are dropped. Returns total rows appended.
+    pub fn consume_columns(
+        &self,
+        group: GroupId,
+        topic: TopicId,
+        max_frames: usize,
+        out: &mut Vec<ColumnBatch>,
+    ) -> usize {
+        let mut msgs = Vec::with_capacity(max_frames);
+        self.consume_inner(group, topic, max_frames, &mut msgs);
+        let mut rows = 0;
+        for m in msgs {
+            let mut payload = m.payload;
+            let cols = if ColumnBatch::is_columnar_frame(&payload) {
+                ColumnBatch::decode(&mut payload).ok()
+            } else {
+                TupleBatch::decode(&mut payload)
+                    .ok()
+                    .map(|b| ColumnBatch::from_batch(&b))
+            };
+            if let Some(cols) = cols {
+                rows += cols.rows();
+                out.push(cols);
+            }
+        }
+        if rows > 0 {
+            if let Some(tel) = self.telemetry_of(topic) {
+                tel.consume_batch.record(rows as u64);
+            }
+        }
+        rows
     }
 
     /// Drains up to `max` messages into `out`, amortizing offset
@@ -461,9 +530,25 @@ impl QueueCluster {
         max: usize,
         out: &mut Vec<Message>,
     ) -> usize {
+        let appended = self.consume_inner(group, topic, max, out);
+        if appended > 0 {
+            if let Some(tel) = self.telemetry_of(topic) {
+                tel.consume_batch.record(appended as u64);
+            }
+        }
+        appended
+    }
+
+    fn consume_inner(
+        &self,
+        group: GroupId,
+        topic: TopicId,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> usize {
         let t = self.topic(topic);
         let nparts = t.partitions.len();
-        let mut cursors = self.cursors.lock();
+        let mut cursors = self.cursors.lock(); // per-batch lock
         let cur = cursors.entry((group, topic)).or_default();
         cur.offsets.resize(nparts, 0);
         let start = cur.next_start % nparts;
@@ -477,16 +562,10 @@ impl QueueCluster {
             if self.leader_of(&t.name, p).is_none() {
                 continue;
             }
-            let (msgs, next) = t.partitions[p].lock().read(cur.offsets[p], max - appended);
+            let (msgs, next) = t.partitions[p].lock().read(cur.offsets[p], max - appended); // per-batch lock
             cur.offsets[p] = next;
             appended += msgs.len();
             out.extend(msgs);
-        }
-        drop(cursors);
-        if appended > 0 {
-            if let Some(tel) = self.telemetry_of(topic) {
-                tel.consume_batch.record(appended as u64);
-            }
         }
         appended
     }
@@ -496,19 +575,19 @@ impl QueueCluster {
     /// topic names.
     pub fn depth_of(&self, topic: TopicId) -> usize {
         let t = self.topic(topic);
-        t.partitions.iter().map(|p| p.lock().len()).sum()
+        t.partitions.iter().map(|p| p.lock().len()).sum() // cold path
     }
 
     /// Messages dropped to overflow across a topic's partitions.
     pub fn dropped_of(&self, topic: TopicId) -> u64 {
         let t = self.topic(topic);
-        t.partitions.iter().map(|p| p.lock().dropped()).sum()
+        t.partitions.iter().map(|p| p.lock().dropped()).sum() // cold path
     }
 
     /// Total payload bytes appended to a topic.
     pub fn bytes_in_of(&self, topic: TopicId) -> u64 {
         let t = self.topic(topic);
-        t.partitions.iter().map(|p| p.lock().bytes_in()).sum()
+        t.partitions.iter().map(|p| p.lock().bytes_in()).sum() // cold path
     }
 
     /// The worst (most loaded) partition pressure of a topic — the signal
@@ -519,7 +598,7 @@ impl QueueCluster {
         let t = self.topic(topic);
         let mut worst = Pressure::Underloaded;
         for p in &t.partitions {
-            match p.lock().pressure() {
+            match p.lock().pressure() { // cold path
                 Pressure::Overloaded => return Pressure::Overloaded,
                 Pressure::Normal => worst = Pressure::Normal,
                 Pressure::Underloaded => {}
@@ -533,11 +612,11 @@ impl QueueCluster {
     /// group and topic names on every scrape.
     pub fn lag_of(&self, g: GroupId, tid: TopicId) -> u64 {
         let t = self.topic(tid);
-        let cursors = self.cursors.lock();
+        let cursors = self.cursors.lock(); // cold path
         let cur = cursors.get(&(g, tid));
         let mut lag = 0;
         for (p, part) in t.partitions.iter().enumerate() {
-            let part = part.lock();
+            let part = part.lock(); // cold path
             let consumed = cur
                 .and_then(|c| c.offsets.get(p).copied())
                 .unwrap_or(0)
@@ -551,7 +630,7 @@ impl QueueCluster {
     pub fn topics(&self) -> Vec<String> {
         let mut v: Vec<_> = self
             .registry
-            .read()
+            .read() // cold path
             .topics
             .iter()
             .map(|t| t.name.clone())
@@ -707,6 +786,50 @@ mod tests {
         let g1 = q.group_id("g1");
         assert_eq!(g1, q.group_id("g1"));
         assert_ne!(g1, q.group_id("g2"));
+    }
+
+    #[test]
+    fn columnar_frames_roundtrip_through_the_queue() {
+        use netalytics_data::DataTuple;
+        let q = QueueCluster::new(QueueConfig::default());
+        let (g, t) = (q.group_id("storm"), q.topic_id("http_get"));
+        let batch: TupleBatch = (0..40u64)
+            .map(|i| {
+                DataTuple::new(i, i)
+                    .from_source("http_get")
+                    .with("url", "/x")
+                    .with("bytes", 64u64)
+            })
+            .collect();
+        let cols = ColumnBatch::from_batch(&batch);
+        q.produce_columns(t, 7, &cols, 1).unwrap();
+        // A legacy row frame on the same topic is converted transparently.
+        q.produce_to(t, 8, batch.encode(), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.consume_columns(g, t, 10, &mut out), 80);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].to_batch(), batch);
+        assert_eq!(out[1].to_batch(), batch);
+        assert_eq!(q.consume_columns(g, t, 10, &mut out), 0, "offsets advance");
+    }
+
+    #[test]
+    fn produce_columns_reports_no_leader() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 1,
+            partitions: 1,
+            partition_capacity: 16,
+            replication: 1,
+        });
+        let t = q.topic_id("t");
+        let cols = ColumnBatch::from_batch(&TupleBatch::new());
+        q.fail_broker(0);
+        assert!(matches!(
+            q.produce_columns(t, 0, &cols, 0),
+            Err(ProduceError::NoLeader { .. })
+        ));
+        q.restore_broker(0);
+        assert!(q.produce_columns(t, 0, &cols, 0).is_ok());
     }
 
     #[test]

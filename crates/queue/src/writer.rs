@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use netalytics_data::{BatchSink, SinkClosed, TupleBatch};
+use netalytics_data::{BatchSink, ColumnBatch, SinkClosed, TupleBatch};
 
 use crate::cluster::{ProduceError, QueueCluster, TopicId};
 
@@ -169,6 +169,39 @@ impl BatchSink for QueueWriter {
         self.batches_lost.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    /// Ships a sealed columnar batch without ever materializing rows:
+    /// one [`QueueCluster::produce_columns`] call per attempt (one
+    /// partition lock, bytes accounted once), with the same re-keying
+    /// retry loop as [`BatchSink::ship`].
+    fn ship_columns(&self, columns: ColumnBatch) -> Result<(), SinkClosed> {
+        if columns.is_empty() {
+            return Ok(());
+        }
+        let ts_ns = columns.timestamps().last().copied().unwrap_or(0);
+        let n = columns.rows() as u64;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            let key = self.seq.fetch_add(1, Ordering::Relaxed);
+            match self
+                .cluster
+                .produce_columns(self.topic, key, &columns, ts_ns)
+            {
+                Ok(_) => {
+                    self.batches.fetch_add(1, Ordering::Relaxed);
+                    self.tuples.fetch_add(n, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(ProduceError::NoLeader { .. }) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if attempt + 1 < self.retry.max_attempts {
+                        std::thread::sleep(self.retry.backoff(attempt));
+                    }
+                }
+            }
+        }
+        self.batches_lost.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +235,22 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn ship_columns_appends_columnar_frames() {
+        let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        let w = QueueWriter::new(Arc::clone(&cluster), "t");
+        let rows = batch(0..5);
+        w.ship_columns(ColumnBatch::from_batch(&rows)).unwrap();
+        w.ship_columns(ColumnBatch::from_batch(&TupleBatch::new()))
+            .unwrap();
+        assert_eq!(w.batches_shipped(), 1, "empty columnar batches dropped");
+        assert_eq!(w.tuples_shipped(), 5);
+        let (g, t) = (cluster.group_id("g"), w.topic());
+        let mut out = Vec::new();
+        assert_eq!(cluster.consume_columns(g, t, 10, &mut out), 5);
+        assert_eq!(out[0].to_batch(), rows);
     }
 
     #[test]

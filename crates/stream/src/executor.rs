@@ -12,6 +12,7 @@ use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_telemetry::MetricsRegistry;
 
 use crate::inline::InlineExecutor;
+use crate::sharded::{ShardedConfig, ShardedExecutor};
 use crate::threaded::{ThreadedConfig, ThreadedExecutor};
 use crate::topology::Topology;
 
@@ -81,6 +82,11 @@ pub enum ExecutorMode {
     /// scaling plane's engine. The executor is caller-driven: no spout
     /// thread is spawned, data arrives via [`Executor::offer`].
     Threaded(ThreadedConfig),
+    /// One worker thread per *shard* owning partition-disjoint bolt
+    /// instances (`instance % shards`), exchanging slabs over lock-free
+    /// SPSC rings — the columnar hot path's engine. Caller-driven like
+    /// `Threaded`.
+    Sharded(ShardedConfig),
 }
 
 /// Instantiates `topology` on the chosen engine.
@@ -124,6 +130,9 @@ pub fn build_executor_with(
     match mode {
         ExecutorMode::Inline => Box::new(InlineExecutor::with_metrics(topology, metrics)),
         ExecutorMode::Threaded(config) => Box::new(ThreadedExecutor::spawn_driven_with_metrics(
+            topology, config, metrics,
+        )),
+        ExecutorMode::Sharded(config) => Box::new(ShardedExecutor::spawn_with_metrics(
             topology, config, metrics,
         )),
     }

@@ -18,6 +18,9 @@
 //!   channels and a [`BackpressurePolicy`], fed by a [`Spout`] (e.g.
 //!   [`QueueSpout`] polling the Kafka-style queue) or driven by
 //!   [`Executor::offer`], for the Fig. 6 scaling experiments.
+//! * [`ShardedExecutor`] — one thread per shard owning
+//!   partition-disjoint bolt instances, exchanging tuple slabs over
+//!   lock-free SPSC rings; the columnar hot path's engine.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ pub mod bolt;
 pub mod bolts;
 pub mod executor;
 pub mod inline;
+pub mod sharded;
 pub mod spout;
 pub mod threaded;
 pub mod topologies;
@@ -53,6 +57,7 @@ pub use executor::{
     build_executor, build_executor_with, BackpressurePolicy, Executor, ExecutorMode,
 };
 pub use inline::InlineExecutor;
+pub use sharded::{ShardedConfig, ShardedExecutor};
 pub use spout::{QueueSpout, Spout, VecSpout};
 pub use threaded::{ThreadedConfig, ThreadedExecutor};
 pub use topologies::{CatalogError, ProcessorSpec, CATALOG};

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_data::{ColumnBatch, DataTuple, TupleBatch};
 use netalytics_queue::{GroupId, Message, QueueCluster, TopicId};
 
 /// A pull-based tuple source.
@@ -26,7 +26,10 @@ pub trait Spout: Send {
 ///
 /// The topic and group names are interned once at construction; each poll
 /// is a [`QueueCluster::consume_batch`] into a reused scratch buffer
-/// followed by a straight decode into the outgoing batch.
+/// followed by a straight decode into the outgoing batch. Columnar
+/// frames (the [`ColumnBatch`] wire format) are auto-detected by their
+/// magic word and decoded transparently, so a topic can carry a mix of
+/// row and columnar producers during migration.
 #[derive(Debug)]
 pub struct QueueSpout {
     cluster: Arc<QueueCluster>,
@@ -69,9 +72,16 @@ impl Spout for QueueSpout {
         let mut out = TupleBatch::new();
         for m in self.scratch.drain(..) {
             let mut payload = m.payload;
-            match TupleBatch::decode(&mut payload) {
-                Ok(batch) => out.extend(batch),
-                Err(_) => self.decode_errors += 1,
+            if ColumnBatch::is_columnar_frame(&payload) {
+                match ColumnBatch::decode(&mut payload) {
+                    Ok(columns) => out.extend(columns.to_batch()),
+                    Err(_) => self.decode_errors += 1,
+                }
+            } else {
+                match TupleBatch::decode(&mut payload) {
+                    Ok(batch) => out.extend(batch),
+                    Err(_) => self.decode_errors += 1,
+                }
             }
         }
         out
@@ -160,6 +170,29 @@ mod tests {
         let got = spout.poll_batch(10);
         assert_eq!(got.len(), 6);
         assert!(spout.poll_batch(10).is_empty());
+    }
+
+    #[test]
+    fn queue_spout_decodes_columnar_frames_transparently() {
+        let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        let t = cluster.topic_id("mixed");
+        let row_batch = TupleBatch::from_tuples(vec![DataTuple::new(1, 10).with("url", "/r")]);
+        let col_batch = TupleBatch::from_tuples(vec![
+            DataTuple::new(2, 20).with("url", "/c"),
+            DataTuple::new(3, 30).with("url", "/d"),
+        ]);
+        cluster.produce_to(t, 1, row_batch.encode(), 0);
+        cluster.produce_to(t, 2, ColumnBatch::from_batch(&col_batch).encode(), 0);
+        let mut spout = QueueSpout::new(cluster, "mixed", "g");
+        let got = spout.poll_batch(10);
+        assert_eq!(got.len(), 3, "row and columnar frames both decoded");
+        let urls: Vec<_> = got
+            .tuples
+            .iter()
+            .filter_map(|t| t.get("url").and_then(netalytics_data::Value::as_str))
+            .collect();
+        assert_eq!(urls, vec!["/r", "/c", "/d"]);
+        assert_eq!(spout.decode_errors(), 0);
     }
 
     #[test]

@@ -505,7 +505,7 @@ impl ThreadedExecutor {
 /// timestamp. Tuples with `ts_ns == 0` (synthetic, no capture time) and
 /// clock skew (capture after now) are skipped rather than recorded as
 /// nonsense.
-fn record_e2e<'a>(h: &Histogram, tuples: impl Iterator<Item = &'a DataTuple>) {
+pub(crate) fn record_e2e<'a>(h: &Histogram, tuples: impl Iterator<Item = &'a DataTuple>) {
     let now = wall_ns();
     for t in tuples {
         if t.ts_ns > 0 && t.ts_ns <= now {

@@ -13,6 +13,10 @@
 //!   8 sub-buckets per octave, ≤ 12.5 % relative error) with lock-free
 //!   recording and mergeable [`HistogramSnapshot`]s exposing
 //!   p50/p95/p99/max.
+//! * [`ShardedCounter`] — a counter striped across cache-line-padded
+//!   per-shard cells, so shard-pinned hot paths (the sharded stream
+//!   executor, columnar pipeline workers) never contend on one atomic;
+//!   cells merge on scrape and render as an ordinary counter.
 //!
 //! Metrics are identified by a dotted `component.metric` name plus a small
 //! set of `label=value` pairs, and the whole registry renders to Prometheus
@@ -29,4 +33,5 @@ mod registry;
 pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{
     Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
+    ShardedCounter,
 };

@@ -63,8 +63,60 @@ impl Gauge {
     }
 }
 
+/// One cache-line of counter so striped cells never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// Monotone counter striped across cache-line-padded per-shard cells.
+///
+/// Hot paths that run one thread per shard (the sharded stream
+/// executor, columnar pipeline workers) increment their own cell with
+/// no inter-core traffic; the total is merged only on scrape
+/// ([`ShardedCounter::get`] / registry snapshot), where it renders as a
+/// plain counter. Callers address cells by shard index; indices wrap,
+/// so any `usize` is safe.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    cells: Box<[PaddedCell]>,
+}
+
+impl ShardedCounter {
+    /// Creates a counter with `shards` independent cells (min 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedCounter {
+            cells: (0..shards.max(1)).map(|_| PaddedCell::default()).collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds `n` to `shard`'s private cell (wrapping the index).
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        self.cells[shard % self.cells.len()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments `shard`'s private cell.
+    #[inline]
+    pub fn inc(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Merges every cell — the scrape-time total.
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
 enum Instrument {
     Counter(Arc<Counter>),
+    Sharded(Arc<ShardedCounter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
 }
@@ -110,6 +162,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Get-or-create a sharded counter for `name{labels}`.
+    ///
+    /// Snapshots render it as an ordinary counter holding the merged
+    /// total, so `counter_total` and the exposition formats are
+    /// oblivious to the striping. The first registration fixes the
+    /// shard count; later calls return the existing cells.
+    ///
+    /// Panics if the series already exists with a different instrument
+    /// kind (a plain counter is a different kind).
+    pub fn sharded_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        shards: usize,
+    ) -> Arc<ShardedCounter> {
+        let mut map = self.series.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Sharded(Arc::new(ShardedCounter::new(shards))))
+        {
+            Instrument::Sharded(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
     /// Get-or-create a gauge for `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut map = self.series.lock();
@@ -145,6 +222,8 @@ impl MetricsRegistry {
                 labels: labels.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
                 value: match inst {
                     Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    // Per-shard cells merge here, on the scrape path.
+                    Instrument::Sharded(c) => MetricValue::Counter(c.get()),
                     Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
                     Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 },
@@ -410,5 +489,31 @@ mod tests {
         let r = MetricsRegistry::new();
         r.counter("x.y", &[]);
         r.gauge("x.y", &[]);
+    }
+
+    #[test]
+    fn sharded_counter_merges_on_scrape() {
+        let r = MetricsRegistry::new();
+        let c = r.sharded_counter("stream.emitted", &[], 4);
+        assert_eq!(c.shards(), 4);
+        c.add(0, 10);
+        c.add(3, 5);
+        c.inc(7); // wraps to cell 3
+        assert_eq!(c.get(), 16);
+        // Renders as a plain counter: counter_total sees the merged sum.
+        assert_eq!(r.snapshot().counter_total("stream.emitted"), 16);
+        assert!(r.render_prometheus().contains("stream_emitted 16"));
+        // Re-registration shares the same cells.
+        let again = r.sharded_counter("stream.emitted", &[], 8);
+        assert_eq!(again.get(), 16);
+        assert_eq!(again.shards(), 4, "first registration fixes shard count");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn sharded_vs_plain_counter_is_a_kind_mismatch() {
+        let r = MetricsRegistry::new();
+        r.counter("x.z", &[]);
+        r.sharded_counter("x.z", &[], 2);
     }
 }

@@ -13,13 +13,13 @@ use std::time::Duration;
 use netalytics_data::{DataTuple, TupleBatch, Value};
 use netalytics_stream::topologies::{build, ProcessorSpec};
 use netalytics_stream::{
-    build_executor, build_executor_with, Executor, ExecutorMode, ThreadedConfig,
+    build_executor, build_executor_with, Executor, ExecutorMode, ShardedConfig, ThreadedConfig,
 };
 use netalytics_telemetry::MetricsRegistry;
 
-/// Both engine modes, with the threaded engine configured so the test is
-/// deterministic (no wall-clock ticks) and the bounded channels are
-/// actually exercised (tiny capacity).
+/// All three engine modes, with the concurrent engines configured so the
+/// tests are deterministic (no wall-clock ticks) and the bounded
+/// channels/rings are actually exercised (tiny capacities).
 fn modes() -> Vec<(&'static str, ExecutorMode)> {
     vec![
         ("inline", ExecutorMode::Inline),
@@ -28,6 +28,14 @@ fn modes() -> Vec<(&'static str, ExecutorMode)> {
             ExecutorMode::Threaded(ThreadedConfig {
                 tick_interval: Duration::from_secs(3600),
                 channel_capacity: 4,
+                ..Default::default()
+            }),
+        ),
+        (
+            "sharded",
+            ExecutorMode::Sharded(ShardedConfig {
+                shards: 3,
+                ring_capacity: 8,
                 ..Default::default()
             }),
         ),

@@ -1,0 +1,76 @@
+//! Source lint for the columnar hot path: no per-tuple `Mutex`/`RwLock`.
+//!
+//! The transport refactor's contract is that locks on the
+//! monitor→queue→executor fast lane are taken at most once per *batch*
+//! (or only on cold paths: interning, registration, scrape). Rather than
+//! trusting review to keep it that way, this test greps the hot-path
+//! sources: every `.lock()` / `.read()` / `.write()` call must carry a
+//! `per-batch` or `cold path` justification on the same line or the
+//! line directly above it. A new unannotated lock on these files fails
+//! the build until its cost class is declared — and a reviewer can grep
+//! for `per-batch lock` to audit every claim.
+
+use std::fs;
+use std::path::Path;
+
+/// Files on the tuple fast lane, relative to the workspace root. Most
+/// are lock-free by construction (rings, columns, codec); the queue and
+/// schema registry are allowed locks only with a declared cost class.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/data/src/codec.rs",
+    "crates/data/src/columns.rs",
+    "crates/data/src/ring.rs",
+    "crates/data/src/schema.rs",
+    "crates/data/src/transport.rs",
+    "crates/data/src/tuple.rs",
+    "crates/monitor/src/pipeline.rs",
+    "crates/queue/src/cluster.rs",
+    "crates/queue/src/writer.rs",
+    "crates/stream/src/sharded.rs",
+    "crates/stream/src/spout.rs",
+];
+
+const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+const JUSTIFICATIONS: &[&str] = &["per-batch", "cold path"];
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("///") || t.starts_with("//!")
+}
+
+#[test]
+fn hot_path_locks_are_per_batch_or_cold_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    let mut annotated = 0usize;
+    for rel in HOT_PATH_FILES {
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("hot-path file {rel} must exist: {e}"));
+        let lines: Vec<&str> = src.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if is_comment(line) || !LOCK_CALLS.iter().any(|c| line.contains(c)) {
+                continue;
+            }
+            let prev = if i > 0 { lines[i - 1] } else { "" };
+            if JUSTIFICATIONS.iter().any(|j| line.contains(j) || prev.contains(j)) {
+                annotated += 1;
+            } else {
+                violations.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "unjustified lock on the hot path — annotate `// per-batch lock` \
+         or `// cold path` (or move the lock off the fast lane):\n{}",
+        violations.join("\n")
+    );
+    // Guard against the lint going vacuous if files move: the queue and
+    // schema registry are known to hold annotated locks today.
+    assert!(
+        annotated >= 10,
+        "expected the known annotated lock sites, found {annotated} — \
+         did the hot-path file list go stale?"
+    );
+}

@@ -16,7 +16,7 @@ use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
 use netalytics_sketch::{Sketch, SpaceSaving, SKETCH_SOURCE};
 use netalytics_stream::bolts::{HeavyHittersBolt, RankBolt};
-use netalytics_stream::{Bolt, ExecutorMode, ThreadedConfig};
+use netalytics_stream::{Bolt, ExecutorMode, ShardedConfig, ThreadedConfig};
 
 /// The threaded engine configured for determinism: no wall-clock
 /// self-ticks, so windows rotate only at the aggregator's virtual-time
@@ -24,6 +24,17 @@ use netalytics_stream::{Bolt, ExecutorMode, ThreadedConfig};
 fn threaded() -> ExecutorMode {
     ExecutorMode::Threaded(ThreadedConfig {
         tick_interval: Duration::from_secs(3600),
+        ..Default::default()
+    })
+}
+
+/// The SPSC-sharded engine with rings small enough that the workload
+/// actually exercises spill handling. It never self-ticks, so it is
+/// deterministic under virtual time out of the box.
+fn sharded() -> ExecutorMode {
+    ExecutorMode::Sharded(ShardedConfig {
+        shards: 3,
+        ring_capacity: 8,
         ..Default::default()
     })
 }
@@ -86,17 +97,21 @@ fn run_heavy_hitters(mode: ExecutorMode) -> (Ranking, Ranking, u64, u64) {
     (ranking, replayed, stats.tuples_folded, stats.sketches_out)
 }
 
-/// The acceptance query runs end-to-end on both executor modes and both
-/// agree — same ranking from the live report and from `query_history`,
-/// with monitors shipping sketch deltas instead of raw tuples.
+/// The acceptance query runs end-to-end on all three executor modes and
+/// all agree — same ranking from the live report and from
+/// `query_history`, with monitors shipping sketch deltas instead of raw
+/// tuples.
 #[test]
-fn heavy_hitters_query_identical_on_both_executor_modes() {
+fn heavy_hitters_query_identical_on_all_executor_modes() {
     let (inline_rank, inline_hist, folded_i, deltas_i) = run_heavy_hitters(ExecutorMode::Inline);
     let (threaded_rank, threaded_hist, folded_t, deltas_t) = run_heavy_hitters(threaded());
+    let (sharded_rank, sharded_hist, folded_s, deltas_s) = run_heavy_hitters(sharded());
 
     assert!(!inline_rank.is_empty(), "query produced a ranking");
-    assert_eq!(inline_rank, threaded_rank, "modes agree on the ranking");
-    assert_eq!(inline_hist, threaded_hist, "modes agree on stored history");
+    assert_eq!(inline_rank, threaded_rank, "threaded agrees on the ranking");
+    assert_eq!(inline_rank, sharded_rank, "sharded agrees on the ranking");
+    assert_eq!(inline_hist, threaded_hist, "threaded agrees on stored history");
+    assert_eq!(inline_hist, sharded_hist, "sharded agrees on stored history");
     assert_eq!(inline_rank, inline_hist, "store replays the live answer");
 
     assert_eq!(inline_rank[0].0, "/hot");
@@ -104,8 +119,9 @@ fn heavy_hitters_query_identical_on_both_executor_modes() {
     assert!(counts["/hot"] > counts["/warm"] && counts["/warm"] > counts["/cold"]);
 
     // Pre-aggregation was really on: tuples folded at the tap point,
-    // far fewer deltas crossed the queue, identically in both modes.
+    // far fewer deltas crossed the queue, identically in every mode.
     assert_eq!((folded_i, deltas_i), (folded_t, deltas_t));
+    assert_eq!((folded_i, deltas_i), (folded_s, deltas_s));
     assert!(folded_i > 0 && deltas_i > 0 && deltas_i < folded_i);
     // Every folded observation is accounted for in the final counts.
     assert_eq!(inline_rank.iter().map(|(_, c)| c).sum::<u64>(), folded_i);
