@@ -64,3 +64,9 @@ pub use orchestrator::{
 pub use results::ResultSet;
 // Storage-layer surface used by the orchestrator's result-store API.
 pub use netalytics_store::{SeriesKey, StoreConfig, TimeSeriesStore};
+// Introspection surface: the tracer, flight recorder, query directory
+// and HTTP endpoint the orchestrator bundles via `Orchestrator::serve`.
+pub use netalytics_telemetry::{
+    EventKind, Introspection, Journal, QueryDirectory, QueryInfo, QueryState, TelemetryServer,
+    TraceConfig, Tracer,
+};

@@ -8,12 +8,12 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
 use netalytics_monitor::{FeedbackSignal, Monitor, MonitorStats};
 use netalytics_netsim::{App, Ctx, SimDuration, SimTime};
 use netalytics_packet::Packet;
 use netalytics_stream::{build_executor_with, Executor, ExecutorMode, Topology};
-use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
+use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry, Tracer};
 
 /// UDP port monitors listen on for aggregator feedback.
 pub const FEEDBACK_PORT: u16 = 9990;
@@ -264,7 +264,20 @@ pub struct AggregatorApp {
     overloaded: bool,
     shared: AggregatorHandle,
     telemetry: Option<AggTelemetry>,
+    /// Virtual-clock tracing: the aggregator plays the queue's role on
+    /// the emulated plane, so it records the `queue` (arrival → drain)
+    /// and `bolt` (executor hand-off, instantaneous in virtual time)
+    /// spans itself — executors on this plane run untraced so wall and
+    /// virtual clocks never mix within one trace.
+    tracer: Option<Arc<Tracer>>,
+    /// Contexts of traced batches received from monitors, with their
+    /// virtual arrival time, awaiting the next drain tick.
+    pending_traces: VecDeque<(TraceCtx, u64)>,
 }
+
+/// Pending trace contexts held between drain ticks (drained every tick,
+/// so the cap only matters if draining stalls entirely).
+const PENDING_TRACE_CAP: usize = 64;
 
 impl std::fmt::Debug for AggregatorApp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -304,7 +317,18 @@ impl AggregatorApp {
             overloaded: false,
             shared: Rc::new(RefCell::new(AggregatorShared::default())),
             telemetry: None,
+            tracer: None,
+            pending_traces: VecDeque::new(),
         }
+    }
+
+    /// Builder: records `queue` and `bolt` stage spans on the virtual
+    /// clock for batches that arrive carrying a trace context (stamped
+    /// by a monitor whose [`Monitor::set_tracing`] points at the same
+    /// tracer).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Builder: publishes the buffer's queue-layer metrics and the
@@ -341,6 +365,13 @@ impl App for AggregatorApp {
         let Ok(batch) = TupleBatch::decode(&mut payload) else {
             return;
         };
+        if self.tracer.is_some() {
+            if let Some(tctx) = batch.trace {
+                if self.pending_traces.len() < PENDING_TRACE_CAP {
+                    self.pending_traces.push_back((tctx, ctx.now().as_nanos()));
+                }
+            }
+        }
         let mut shared = self.shared.borrow_mut();
         for t in batch {
             shared.tuples_in += 1;
@@ -368,7 +399,31 @@ impl App for AggregatorApp {
             // Drain this tick's quantum as ONE slab per executor rather
             // than per-tuple pushes: the batch is cloned only for the
             // extra `PROCESS` entries.
-            let slab: TupleBatch = self.buffer.drain(..take).collect();
+            let mut slab: TupleBatch = self.buffer.drain(..take).collect();
+            if let Some(tracer) = &self.tracer {
+                // Close the queue dwell and mark the executor hand-off
+                // for every traced context this drain covers, all on the
+                // virtual clock. The hand-off is instantaneous in
+                // virtual time, so the `bolt` span is zero-width.
+                let now = ctx.now().as_nanos();
+                let mut first = None;
+                while let Some((tctx, arrived_ns)) = self.pending_traces.pop_front() {
+                    tracer.record_span(
+                        0,
+                        tctx.cookie,
+                        tctx.batch_id,
+                        tctx.born_ns,
+                        "queue",
+                        arrived_ns,
+                        now,
+                    );
+                    tracer.record_span(
+                        0, tctx.cookie, tctx.batch_id, tctx.born_ns, "bolt", now, now,
+                    );
+                    first.get_or_insert(tctx);
+                }
+                slab.trace = first;
+            }
             if let Some(tel) = &self.telemetry {
                 // Capture-to-analytics latency on the virtual clock:
                 // tuples carry their monitor-side capture time in ts_ns.
@@ -511,6 +566,54 @@ mod tests {
         assert_eq!(agg_handle.borrow().tuples_processed, 30);
         let out = executor.borrow_mut().stop(2_000_000_000);
         assert!(!out.is_empty(), "top-k rankings must emerge");
+    }
+
+    #[test]
+    fn virtual_clock_traces_cover_parse_queue_and_bolt() {
+        use netalytics_telemetry::{TraceConfig, Tracer};
+
+        let mut engine = Engine::new(Network::fat_tree(4, LinkSpec::default()));
+        let dst_ip = engine.network().host_ip(1);
+        let mon_ip = engine.network().host_ip(2);
+        engine.install_rule(
+            0,
+            FlowRule::mirror(FlowMatch::any().to_host(dst_ip, Some(80)), 2, 1),
+        );
+        let mut monitor = Monitor::new(MonitorConfig {
+            parsers: vec!["http_get".into()],
+            sample: SampleSpec::All,
+            batch_size: 4,
+            preagg: None,
+        })
+        .unwrap();
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        monitor.set_tracing(77, Arc::clone(&tracer));
+        let topo = topologies::build(
+            &ProcessorSpec::new("top-k")
+                .with_arg("k", "3")
+                .with_arg("key", "url"),
+        )
+        .unwrap();
+        let executor = shared_executor(&topo, ExecutorMode::Inline);
+        let agg_ip = engine.network().host_ip(3);
+        let mon_app = MonitorApp::new(monitor, agg_ip, None);
+        let agg_app = AggregatorApp::new(executor, vec![mon_ip], 10_000, 1_000)
+            .with_tracer(Arc::clone(&tracer));
+        engine.set_app(0, Box::new(Gen { dst: dst_ip, n: 30 }));
+        engine.set_app(2, Box::new(mon_app));
+        engine.set_app(3, Box::new(agg_app));
+        engine.run_until(SimTime::from_nanos(2_000_000_000));
+        let falls = tracer.waterfalls(77);
+        assert!(!falls.is_empty(), "sampled batches must leave exemplars");
+        let stages: std::collections::HashSet<&str> =
+            falls[0].spans.iter().map(|s| s.stage.as_str()).collect();
+        assert!(
+            stages.contains("parse") && stages.contains("queue") && stages.contains("bolt"),
+            "virtual waterfall must span the pipeline: {stages:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
 use netalytics_sketch::PreAggSpec;
 use netalytics_store::{StoreSink, TimeSeriesStore};
 use netalytics_stream::{topologies, ExecutorMode, ProcessorSpec};
-use netalytics_telemetry::{MetricsRegistry, RegistrySnapshot};
+use netalytics_telemetry::{
+    EventKind, Introspection, Journal, MetricsRegistry, QueryDirectory, RegistrySnapshot,
+    TelemetryServer, TraceConfig, Tracer,
+};
 
 use crate::nfv::{
     shared_executor_with, AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle,
@@ -155,6 +158,8 @@ pub struct OrchestratorBuilder {
     policy: FailurePolicy,
     result_store: Option<Arc<TimeSeriesStore>>,
     monitor_preagg: bool,
+    trace: Option<TraceConfig>,
+    journal_capacity: usize,
 }
 
 impl OrchestratorBuilder {
@@ -168,6 +173,8 @@ impl OrchestratorBuilder {
             policy: FailurePolicy::default(),
             result_store: None,
             monitor_preagg: false,
+            trace: None,
+            journal_capacity: 1024,
         }
     }
 
@@ -231,6 +238,23 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Enables query-scoped tracing. Deployed monitors head-sample
+    /// batches per `config` and stamp them with a trace context; the
+    /// aggregator closes the `queue` and `bolt` stage spans on the
+    /// virtual clock (the monitor records `parse`). Off by default —
+    /// stamped batches carry a few extra bytes on the emulated fabric,
+    /// so untraced runs stay byte-identical to previous behavior.
+    pub fn tracing(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
+    /// Overrides the flight recorder's event capacity (default 1024).
+    pub fn journal_capacity(mut self, events: usize) -> Self {
+        self.journal_capacity = events;
+        self
+    }
+
     /// Builds the orchestrator over a fresh k-ary fat-tree.
     pub fn build(self) -> Orchestrator {
         let mut engine = Engine::new(Network::fat_tree(self.k, self.links));
@@ -239,9 +263,16 @@ impl OrchestratorBuilder {
         // new packets or proactively pushed").
         engine.set_controller(SdnController::new(), true);
         let metrics = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(Journal::new(self.journal_capacity));
         if let Some(store) = &self.result_store {
             store.register_metrics(&metrics);
+            store.attach_journal(Arc::clone(&journal));
         }
+        let tracing_enabled = self.trace.is_some();
+        let tracer = Arc::new(Tracer::with_registry(
+            self.trace.unwrap_or_default(),
+            Arc::clone(&metrics),
+        ));
         Orchestrator {
             engine,
             hostnames: HashMap::new(),
@@ -254,6 +285,10 @@ impl OrchestratorBuilder {
             metrics,
             result_store: self.result_store,
             monitor_preagg: self.monitor_preagg,
+            tracer,
+            tracing_enabled,
+            journal,
+            queries: Arc::new(QueryDirectory::new()),
         }
     }
 }
@@ -295,6 +330,9 @@ pub struct RunningQuery {
     replacements: u32,
     lost_seen: u64,
     dropped_seen: u64,
+    /// Engine fault count at the last reconcile pass, so new faults can
+    /// be journaled exactly once per query.
+    faults_seen: u64,
 }
 
 impl RunningQuery {
@@ -418,6 +456,16 @@ pub struct Orchestrator {
     result_store: Option<Arc<TimeSeriesStore>>,
     /// Whether sketch queries push pre-aggregation into their monitors.
     monitor_preagg: bool,
+    /// Query-scoped tracer. Always present so the introspection bundle
+    /// has a stable identity; wired to monitors/aggregators only when
+    /// `tracing_enabled` (see [`OrchestratorBuilder::tracing`]).
+    tracer: Arc<Tracer>,
+    tracing_enabled: bool,
+    /// Flight recorder of control-plane events (query lifecycle,
+    /// reconcile decisions, failovers, store segment churn).
+    journal: Arc<Journal>,
+    /// Directory of live and recently killed queries.
+    queries: Arc<QueryDirectory>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -438,6 +486,54 @@ impl Orchestrator {
     /// The root metrics registry all deployed components publish into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The query-scoped tracer. Only populated with span waterfalls
+    /// when the orchestrator was built with
+    /// [`OrchestratorBuilder::tracing`].
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The flight recorder journaling control-plane events.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The directory of live and recently killed queries.
+    pub fn query_directory(&self) -> &Arc<QueryDirectory> {
+        &self.queries
+    }
+
+    /// Everything the introspection server exposes, bundled: the
+    /// metrics registry, tracer, journal and query directory.
+    pub fn introspection(&self) -> Introspection {
+        Introspection {
+            registry: Arc::clone(&self.metrics),
+            tracer: Arc::clone(&self.tracer),
+            journal: Arc::clone(&self.journal),
+            queries: Arc::clone(&self.queries),
+        }
+    }
+
+    /// Binds `addr` (port 0 for ephemeral) and serves the live
+    /// introspection endpoints — `/metrics`, `/metrics.json`,
+    /// `/queries`, `/queries/{cookie}`, `/trace/{cookie}` and
+    /// `/events` — until the returned server is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures.
+    pub fn serve(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<TelemetryServer> {
+        TelemetryServer::spawn(addr, self.introspection())
+    }
+
+    /// The tracer to wire into deployed components, when tracing is on.
+    fn trace_handle(&self) -> Option<Arc<Tracer>> {
+        self.tracing_enabled.then(|| Arc::clone(&self.tracer))
     }
 
     /// The attached durable results store, if one was configured via
@@ -640,7 +736,10 @@ impl Orchestrator {
         host: HostIdx,
         spec: &DeploySpec<'_>,
     ) -> Result<MonitorHandle, OrchestratorError> {
-        let monitor = self.build_monitor(spec.parsers, spec.sample, spec.preagg)?;
+        let mut monitor = self.build_monitor(spec.parsers, spec.sample, spec.preagg)?;
+        if let Some(tracer) = self.trace_handle() {
+            monitor.set_tracing(spec.cookie, tracer);
+        }
         let app = MonitorApp::new(monitor, spec.aggregator_ip, spec.packet_limit)
             .with_telemetry(self.metrics.clone(), format!("host{host}"))
             .with_batch_interval(self.heartbeat_interval);
@@ -706,6 +805,19 @@ impl Orchestrator {
 
         let cookie = self.next_cookie;
         self.next_cookie += 1;
+        let now_ns = self.engine.now().as_nanos();
+        self.queries.submitted(cookie, query_src, now_ns);
+        self.journal.record(
+            now_ns,
+            Some(cookie),
+            EventKind::QuerySubmitted,
+            format!(
+                "{} match(es) over {} rack(s), {} processor(s)",
+                match_edges.len(),
+                edges.len(),
+                deployment.processors.len()
+            ),
+        );
 
         // Analytics executors, one per PROCESS entry. With a results
         // store attached, each topology gets a pass-through StoreSink
@@ -764,15 +876,34 @@ impl Orchestrator {
                 deployed_at: now,
             });
         }
-        let agg = AggregatorApp::with_executors(
+        let mut agg = AggregatorApp::with_executors(
             executors.iter().map(|(_, e)| e.clone()).collect(),
             monitor_ips,
             100_000,
             10_000,
         )
         .with_telemetry(&self.metrics);
+        if let Some(tracer) = self.trace_handle() {
+            agg = agg.with_tracer(tracer);
+        }
         let aggregator_handle = agg.handle();
         self.engine.set_app(aggregator_host, Box::new(agg));
+
+        self.queries.deployed(
+            cookie,
+            monitors.len(),
+            &format!("host{aggregator_host}"),
+            now.as_nanos(),
+        );
+        self.journal.record(
+            now.as_nanos(),
+            Some(cookie),
+            EventKind::QueryDeployed,
+            format!(
+                "{} monitor(s), aggregator on host{aggregator_host}",
+                monitors.len()
+            ),
+        );
 
         let deadline = match deployment.limit {
             Limit::Time(ns) => Some(self.engine.now() + SimDuration::from_nanos(ns)),
@@ -794,6 +925,7 @@ impl Orchestrator {
             replacements: 0,
             lost_seen: self.engine.stats().lost_to_failure,
             dropped_seen: 0,
+            faults_seen: self.engine.stats().faults,
         })
     }
 
@@ -820,6 +952,19 @@ impl Orchestrator {
         let mut report = ReconcileReport::default();
         let now = self.engine.now();
         let window = self.heartbeat_window();
+        // Journal fabric faults fired since the last pass — the "kill"
+        // entry that precedes any detection/re-placement records below.
+        let faults_total = self.engine.stats().faults;
+        if faults_total > q.faults_seen {
+            let delta = faults_total - q.faults_seen;
+            q.faults_seen = faults_total;
+            self.journal.record(
+                now.as_nanos(),
+                Some(q.cookie),
+                EventKind::ReconcileDecision,
+                format!("fault: {delta} fabric fault(s) fired since last pass"),
+            );
+        }
         // Charge fabric losses since the last pass to this query. The
         // counter is touched unconditionally so the series exists in
         // every telemetry report once the reconciler is running.
@@ -849,6 +994,17 @@ impl Orchestrator {
             if self.engine.host_is_up(old) && !stale {
                 continue;
             }
+            let cause = if self.engine.host_is_up(old) {
+                "heartbeat stale"
+            } else {
+                "host down"
+            };
+            self.journal.record(
+                now.as_nanos(),
+                Some(q.cookie),
+                EventKind::ReconcileDecision,
+                format!("monitor on host{old} declared dead ({cause})"),
+            );
             if q.replacements >= self.policy.max_replacements {
                 return Err(OrchestratorError::ReplacementFailed {
                     cookie: q.cookie,
@@ -894,6 +1050,13 @@ impl Orchestrator {
             // Point the aggregator's feedback loop at the new fleet.
             let ips: Vec<_> = q.monitors.iter().map(|s| self.host_ip(s.host)).collect();
             q.aggregator_handle.borrow_mut().retarget_monitors = Some(ips);
+            self.journal.record(
+                now.as_nanos(),
+                Some(q.cookie),
+                EventKind::Failover,
+                format!("monitor re-placed: host{old} -> host{host}"),
+            );
+            self.queries.replaced(q.cookie, None, now.as_nanos());
             self.metrics.counter("reconcile.replacements", &[]).inc();
             self.metrics
                 .histogram("reconcile.recovery_time_ns", &[])
@@ -902,6 +1065,15 @@ impl Orchestrator {
         }
         // Aggregator failover.
         if !self.engine.host_is_up(q.aggregator_host) {
+            self.journal.record(
+                now.as_nanos(),
+                Some(q.cookie),
+                EventKind::ReconcileDecision,
+                format!(
+                    "aggregator on host{} declared dead (host down)",
+                    q.aggregator_host
+                ),
+            );
             if q.replacements >= self.policy.max_replacements {
                 return Err(OrchestratorError::ReplacementFailed {
                     cookie: q.cookie,
@@ -919,13 +1091,16 @@ impl Orchestrator {
                 })?;
             self.used_hosts.insert(host);
             let ips: Vec<_> = q.monitors.iter().map(|s| self.host_ip(s.host)).collect();
-            let agg = AggregatorApp::with_executors(
+            let mut agg = AggregatorApp::with_executors(
                 q.executors.iter().map(|(_, e)| e.clone()).collect(),
                 ips,
                 100_000,
                 10_000,
             )
             .with_telemetry(&self.metrics);
+            if let Some(tracer) = self.trace_handle() {
+                agg = agg.with_tracer(tracer);
+            }
             let new_handle = agg.handle();
             {
                 // Carry counters over so the final report stays
@@ -947,6 +1122,14 @@ impl Orchestrator {
                 s.handle.borrow_mut().retarget_aggregator = Some(new_ip);
             }
             q.replacements += 1;
+            self.journal.record(
+                now.as_nanos(),
+                Some(q.cookie),
+                EventKind::Failover,
+                format!("aggregator failed over: host{old} -> host{host}"),
+            );
+            self.queries
+                .replaced(q.cookie, Some(&format!("host{host}")), now.as_nanos());
             self.metrics.counter("reconcile.replacements", &[]).inc();
             self.metrics
                 .histogram("reconcile.recovery_time_ns", &[])
@@ -957,10 +1140,17 @@ impl Orchestrator {
         if self.policy.degrade_on_overload {
             let dropped = q.aggregator_handle.borrow().dropped;
             if dropped > q.dropped_seen {
+                let shed = dropped - q.dropped_seen;
                 q.dropped_seen = dropped;
                 for s in &q.monitors {
                     s.handle.borrow_mut().degrade = true;
                 }
+                self.journal.record(
+                    now.as_nanos(),
+                    Some(q.cookie),
+                    EventKind::ReconcileDecision,
+                    format!("sampling backoff pushed ({shed} tuple(s) shed)"),
+                );
                 self.metrics.counter("reconcile.degradations", &[]).inc();
                 report.degraded = true;
             }
@@ -1042,6 +1232,14 @@ impl Orchestrator {
     /// Tears a query down (removes its rules, stops its monitors,
     /// flushes its analytics) and returns the report.
     pub fn finalize(&mut self, q: RunningQuery) -> QueryReport {
+        let now_ns = self.engine.now().as_nanos();
+        self.queries.killed(q.cookie, now_ns);
+        self.journal.record(
+            now_ns,
+            Some(q.cookie),
+            EventKind::QueryKilled,
+            format!("finalized after {} replacement(s)", q.replacements),
+        );
         self.engine.remove_rules_by_cookie(q.cookie);
         if let Some(ctl) = self.engine.controller_mut() {
             ctl.remove_cookie(q.cookie);
@@ -1574,6 +1772,87 @@ mod reactive_tests {
                 .unwrap_err(),
             OrchestratorError::ReplacementFailed { .. }
         ));
+    }
+
+    #[test]
+    fn journal_and_directory_track_the_query_lifecycle() {
+        use netalytics_telemetry::QueryState;
+
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        let q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        let cookie = q.cookie;
+        let info = orch.query_directory().get(cookie).expect("directory entry");
+        assert_eq!(info.state, QueryState::Running);
+        assert_eq!(info.monitors, q.monitors().len());
+        assert!(info.query.contains("PARSE http_get"));
+        assert!(info.aggregator.starts_with("host"));
+
+        let deadline = q.deadline.expect("time-limited");
+        orch.run_until(deadline + SimDuration::from_millis(50));
+        orch.finalize(q);
+
+        let kinds = orch.journal().kinds_for(cookie);
+        assert_eq!(
+            kinds,
+            [
+                EventKind::QuerySubmitted,
+                EventKind::QueryDeployed,
+                EventKind::QueryKilled
+            ],
+            "clean run journals exactly the lifecycle"
+        );
+        assert_eq!(
+            orch.query_directory().get(cookie).unwrap().state,
+            QueryState::Killed
+        );
+    }
+
+    #[test]
+    fn tracing_builder_yields_virtual_clock_waterfalls() {
+        let mut orch = Orchestrator::builder(4)
+            .tracing(TraceConfig {
+                sample_every: 1,
+                ..TraceConfig::default()
+            })
+            .build();
+        deploy_web(&mut orch);
+        let q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (group-sum: group=url, value=t_ns)",
+            )
+            .expect("submit");
+        let cookie = q.cookie;
+        let deadline = q.deadline.expect("time-limited");
+        orch.run_until(deadline + SimDuration::from_millis(50));
+        orch.finalize(q);
+
+        let falls = orch.tracer().waterfalls(cookie);
+        assert!(!falls.is_empty(), "sampled batches leave exemplars");
+        let stages: std::collections::BTreeSet<&str> = falls[0]
+            .spans
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert!(
+            stages.contains("parse") && stages.contains("queue") && stages.contains("bolt"),
+            "waterfall spans the emulated pipeline: {stages:?}"
+        );
+        // Untraced orchestrators keep the fabric byte-identical: no
+        // exemplars ever appear.
+        let mut plain = Orchestrator::builder(4).build();
+        deploy_web(&mut plain);
+        let q = plain.submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").expect("submit");
+        let cookie = q.cookie;
+        plain.run_until(SimTime::from_nanos(300_000_000));
+        plain.finalize(q);
+        assert!(plain.tracer().waterfalls(cookie).is_empty());
     }
 
     #[test]

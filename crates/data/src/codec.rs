@@ -17,8 +17,29 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::tuple::DataTuple;
+use crate::tuple::{DataTuple, TraceCtx};
 use crate::value::Value;
+
+/// Top bit of a batch's count/rows word: set ⇔ a 24-byte [`TraceCtx`]
+/// follows the word. Real batches never approach 2^31 entries, so the
+/// bit is free, and untraced frames stay byte-identical to the legacy
+/// encoding.
+pub(crate) const TRACE_CTX_FLAG: u32 = 0x8000_0000;
+
+pub(crate) fn put_trace_ctx(buf: &mut BytesMut, ctx: &TraceCtx) {
+    buf.put_u64_le(ctx.cookie);
+    buf.put_u64_le(ctx.batch_id);
+    buf.put_u64_le(ctx.born_ns);
+}
+
+pub(crate) fn take_trace_ctx(buf: &mut Bytes) -> Result<TraceCtx, CodecError> {
+    need(buf, 24, "trace context")?;
+    Ok(TraceCtx {
+        cookie: buf.get_u64_le(),
+        batch_id: buf.get_u64_le(),
+        born_ns: buf.get_u64_le(),
+    })
+}
 
 /// Errors produced when decoding malformed or truncated buffers.
 #[derive(Debug, Clone, PartialEq, Eq)]

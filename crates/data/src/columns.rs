@@ -26,9 +26,12 @@ use std::collections::HashMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::codec::{need, put_str16, put_u32, take_str16, take_u32, CodecError};
+use crate::codec::{
+    need, put_str16, put_trace_ctx, put_u32, take_str16, take_trace_ctx, take_u32, CodecError,
+    TRACE_CTX_FLAG,
+};
 use crate::schema::FieldId;
-use crate::tuple::{DataTuple, TupleBatch};
+use crate::tuple::{DataTuple, TraceCtx, TupleBatch};
 use crate::value::Value;
 
 /// First four wire bytes of a columnar frame (little-endian). Any value
@@ -171,6 +174,8 @@ pub struct ColumnBatch {
     /// Per-row index into `layouts`.
     row_layouts: Vec<u32>,
     columns: Vec<Column>,
+    /// Trace context, present on the head-sampled subset of batches.
+    trace: Option<TraceCtx>,
 }
 
 impl ColumnBatch {
@@ -197,6 +202,16 @@ impl ColumnBatch {
     /// Timestamps in nanoseconds, one per row (zero-copy).
     pub fn timestamps(&self) -> &[u64] {
         &self.ts
+    }
+
+    /// The trace context carried by this batch, if it was sampled.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
+    /// Stamps (or clears) the trace context.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
     }
 
     fn find(&self, field: FieldId, tag: u8) -> Option<&Column> {
@@ -253,7 +268,9 @@ impl ColumnBatch {
             }
             b.end_row();
         }
-        b.finish()
+        let mut cols = b.finish();
+        cols.trace = batch.trace;
+        cols
     }
 
     /// Reconstructs the row form. Field order, duplicate names, explicit
@@ -277,7 +294,9 @@ impl ColumnBatch {
                 fields,
             });
         }
-        TupleBatch::from_tuples(tuples)
+        let mut out = TupleBatch::from_tuples(tuples);
+        out.trace = self.trace;
+        out
     }
 
     /// True if `buf` starts with a columnar frame (vs a legacy row
@@ -289,6 +308,9 @@ impl ColumnBatch {
     /// Approximate encoded size in bytes, used for traffic accounting.
     pub fn wire_size(&self) -> usize {
         let mut n = 4 + 1 + 4; // magic, version, rows
+        if self.trace.is_some() {
+            n += 24;
+        }
         n += 2 + self
             .columns
             .iter()
@@ -334,8 +356,20 @@ impl ColumnBatch {
         let mut buf = BytesMut::with_capacity(self.wire_size());
         put_u32(&mut buf, COLUMNAR_MAGIC);
         buf.put_u8(COLUMNAR_VERSION);
-        assert!(self.rows <= u32::MAX as usize, "columnar frame row limit");
-        put_u32(&mut buf, self.rows as u32);
+        // The top bit of the rows word flags a trailing trace context,
+        // exactly like the legacy batch count word.
+        assert!(
+            self.rows < TRACE_CTX_FLAG as usize,
+            "columnar frame row limit"
+        );
+        let mut rows_word = self.rows as u32;
+        if self.trace.is_some() {
+            rows_word |= TRACE_CTX_FLAG;
+        }
+        put_u32(&mut buf, rows_word);
+        if let Some(ctx) = &self.trace {
+            put_trace_ctx(&mut buf, ctx);
+        }
 
         // Field-name dictionary, in first-use column order. Layout field
         // sets are always a subset of column field sets by construction.
@@ -476,7 +510,13 @@ impl ColumnBatch {
         if buf.get_u8() != COLUMNAR_VERSION {
             return Err(CodecError::Corrupt("unknown columnar version"));
         }
-        let rows = take_u32(buf)? as usize;
+        let raw_rows = take_u32(buf)?;
+        let trace = if raw_rows & TRACE_CTX_FLAG != 0 {
+            Some(take_trace_ctx(buf)?)
+        } else {
+            None
+        };
+        let rows = (raw_rows & !TRACE_CTX_FLAG) as usize;
         // Every row costs >= 18 bytes of fixed arrays below.
         if rows as u64 * 18 > buf.len() as u64 {
             return Err(CodecError::Corrupt("row count exceeds payload"));
@@ -693,6 +733,7 @@ impl ColumnBatch {
             layouts,
             row_layouts,
             columns,
+            trace,
         })
     }
 }
@@ -948,6 +989,7 @@ impl BatchBuilder {
             layouts: std::mem::take(&mut self.layouts),
             row_layouts: std::mem::take(&mut self.row_layouts),
             columns: std::mem::take(&mut self.columns),
+            trace: None,
         }
     }
 }
@@ -1025,6 +1067,33 @@ mod tests {
         let back = ColumnBatch::decode(&mut frame).unwrap();
         assert!(frame.is_empty(), "decode consumes the whole frame");
         assert_eq!(back.to_batch(), batch);
+    }
+
+    #[test]
+    fn trace_context_survives_conversion_and_wire() {
+        let mut batch = sample_batch();
+        batch.trace = Some(TraceCtx {
+            cookie: 3,
+            batch_id: 99,
+            born_ns: 10,
+        });
+        let cols = ColumnBatch::from_batch(&batch);
+        assert_eq!(cols.trace(), batch.trace, "from_batch carries the context");
+        assert_eq!(cols.to_batch(), batch, "to_batch restores it");
+        let mut frame = cols.encode();
+        assert!(ColumnBatch::is_columnar_frame(&frame));
+        let back = ColumnBatch::decode(&mut frame).unwrap();
+        assert_eq!(back.trace(), batch.trace, "wire roundtrip preserves it");
+        assert_eq!(back.to_batch(), batch);
+    }
+
+    #[test]
+    fn untraced_columnar_frame_has_no_trace_flag() {
+        let cols = ColumnBatch::from_batch(&sample_batch());
+        let frame = cols.encode();
+        // Bytes 5..9 are the rows word; the trace flag must be clear.
+        let rows_word = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+        assert_eq!(rows_word, 3);
     }
 
     #[test]

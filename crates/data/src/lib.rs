@@ -41,5 +41,5 @@ pub use columns::{BatchBuilder, ColumnBatch, StrColumn, COLUMNAR_MAGIC};
 pub use ring::{spsc, Consumer, PopError, Producer, PushError};
 pub use schema::{FieldId, Schema};
 pub use transport::{BatchSink, CollectSink, SinkClosed};
-pub use tuple::{DataTuple, TupleBatch};
+pub use tuple::{DataTuple, TraceCtx, TupleBatch};
 pub use value::Value;

@@ -143,6 +143,26 @@ impl fmt::Display for DataTuple {
     }
 }
 
+/// Query-scoped trace context stamped into a sampled batch at the
+/// parser and carried with the batch across every hop — queue, spout,
+/// bolt chain, store sink — so each stage can attribute its span to the
+/// same end-to-end trace.
+///
+/// 24 bytes on the wire, `Copy`, and optional: batches without a
+/// context encode byte-identically to the legacy format (the presence
+/// flag rides the top bit of the count/rows word, which real batch
+/// sizes never reach).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Query cookie the batch belongs to.
+    pub cookie: u64,
+    /// Tracer-allocated id, unique per sampled batch within a process.
+    pub batch_id: u64,
+    /// Capture timestamp of the oldest tuple in the batch, in the clock
+    /// domain of the plane that stamped it (virtual or wall ns).
+    pub born_ns: u64,
+}
+
 /// A batch of tuples shipped from a monitor to the aggregation layer in one
 /// message (paper §3.1: "aggregating tuples produced by all parsers and
 /// having the monitor send them in batches").
@@ -150,6 +170,9 @@ impl fmt::Display for DataTuple {
 pub struct TupleBatch {
     /// Tuples in this batch, oldest first.
     pub tuples: Vec<DataTuple>,
+    /// Trace context, present on the head-sampled subset of batches.
+    #[serde(default)]
+    pub trace: Option<TraceCtx>,
 }
 
 impl TupleBatch {
@@ -160,7 +183,10 @@ impl TupleBatch {
 
     /// Creates a batch from a vector of tuples.
     pub fn from_tuples(tuples: Vec<DataTuple>) -> Self {
-        TupleBatch { tuples }
+        TupleBatch {
+            tuples,
+            trace: None,
+        }
     }
 
     /// Number of tuples in the batch.
@@ -175,13 +201,24 @@ impl TupleBatch {
 
     /// Total wire size of the batch payload.
     pub fn wire_size(&self) -> usize {
-        4 + self.tuples.iter().map(DataTuple::wire_size).sum::<usize>()
+        let trace = if self.trace.is_some() { 24 } else { 0 };
+        4 + trace + self.tuples.iter().map(DataTuple::wire_size).sum::<usize>()
     }
 
-    /// Encodes the whole batch.
+    /// Encodes the whole batch. A trace context, when present, is
+    /// flagged in the top bit of the count word and shipped right after
+    /// it; untraced batches encode byte-identically to the legacy form.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size());
-        codec::put_u32(&mut buf, self.tuples.len() as u32);
+        let mut count = self.tuples.len() as u32;
+        debug_assert_eq!(count & codec::TRACE_CTX_FLAG, 0, "batch count overflow");
+        if self.trace.is_some() {
+            count |= codec::TRACE_CTX_FLAG;
+        }
+        codec::put_u32(&mut buf, count);
+        if let Some(ctx) = &self.trace {
+            codec::put_trace_ctx(&mut buf, ctx);
+        }
         for t in &self.tuples {
             Encode::encode(t, &mut buf);
         }
@@ -194,7 +231,13 @@ impl TupleBatch {
     ///
     /// Returns [`CodecError`] if the buffer is truncated or malformed.
     pub fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
-        let n = codec::take_u32(buf)? as usize;
+        let raw = codec::take_u32(buf)?;
+        let trace = if raw & codec::TRACE_CTX_FLAG != 0 {
+            Some(codec::take_trace_ctx(buf)?)
+        } else {
+            None
+        };
+        let n = (raw & !codec::TRACE_CTX_FLAG) as usize;
         // Guard against absurd counts from corrupt input.
         if n > buf.len() {
             return Err(CodecError::Corrupt("batch count exceeds payload"));
@@ -203,7 +246,7 @@ impl TupleBatch {
         for _ in 0..n {
             tuples.push(DataTuple::decode(buf)?);
         }
-        Ok(TupleBatch { tuples })
+        Ok(TupleBatch { tuples, trace })
     }
 
     /// Appends one tuple to the batch.
@@ -216,11 +259,13 @@ impl TupleBatch {
         self.tuples.iter()
     }
 
-    /// Takes the current contents, leaving the batch empty (its capacity is
-    /// retained so producers can keep filling the same allocation).
+    /// Takes the current contents (tuples and trace context), leaving the
+    /// batch empty (its capacity is retained so producers can keep filling
+    /// the same allocation).
     pub fn take(&mut self) -> TupleBatch {
         TupleBatch {
             tuples: std::mem::take(&mut self.tuples),
+            trace: self.trace.take(),
         }
     }
 
@@ -251,13 +296,19 @@ impl TupleBatch {
     pub fn split_into(self, max: usize) -> impl Iterator<Item = TupleBatch> {
         assert!(max > 0, "chunk size must be positive");
         let mut rest = self.tuples;
+        // The first chunk inherits the trace context; duplicating it
+        // would double-count the batch in every downstream stage.
+        let mut trace = self.trace;
         std::iter::from_fn(move || {
             if rest.is_empty() {
                 return None;
             }
             let tail = rest.split_off(rest.len().min(max));
             let head = std::mem::replace(&mut rest, tail);
-            Some(TupleBatch { tuples: head })
+            Some(TupleBatch {
+                tuples: head,
+                trace: trace.take(),
+            })
         })
     }
 }
@@ -266,6 +317,7 @@ impl FromIterator<DataTuple> for TupleBatch {
     fn from_iter<I: IntoIterator<Item = DataTuple>>(iter: I) -> Self {
         TupleBatch {
             tuples: iter.into_iter().collect(),
+            trace: None,
         }
     }
 }
@@ -296,7 +348,7 @@ impl<'a> IntoIterator for &'a TupleBatch {
 
 impl From<Vec<DataTuple>> for TupleBatch {
     fn from(tuples: Vec<DataTuple>) -> Self {
-        TupleBatch { tuples }
+        TupleBatch::from_tuples(tuples)
     }
 }
 
@@ -411,6 +463,58 @@ mod tests {
         let taken = batch.take();
         assert_eq!(taken.len(), 4);
         assert!(batch.is_empty());
+    }
+
+    fn ctx() -> TraceCtx {
+        TraceCtx {
+            cookie: 7,
+            batch_id: 42,
+            born_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn traced_batch_roundtrips() {
+        let mut batch: TupleBatch = (0..3).map(|i| DataTuple::new(i, i * 5)).collect();
+        batch.trace = Some(ctx());
+        let mut b = batch.encode();
+        let back = TupleBatch::decode(&mut b).unwrap();
+        assert_eq!(back.trace, Some(ctx()));
+        assert_eq!(back, batch);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_legacy() {
+        // A batch without a trace context must encode exactly as before
+        // the flag bit existed: old decoders keep working on new frames.
+        let batch: TupleBatch = (0..2).map(|i| DataTuple::new(i, 0)).collect();
+        let enc = batch.encode();
+        assert_eq!(&enc[..4], &(2u32).to_le_bytes());
+        assert_eq!(enc.len(), 4 + 2 * (8 + 8 + 2 + 2));
+    }
+
+    #[test]
+    fn traced_empty_buffer_after_flag_is_error() {
+        let mut buf = BytesMut::new();
+        codec::put_u32(&mut buf, codec::TRACE_CTX_FLAG | 1);
+        let mut b = buf.freeze();
+        assert!(TupleBatch::decode(&mut b).is_err(), "missing trace context");
+    }
+
+    #[test]
+    fn take_and_split_move_the_trace_context_once() {
+        let mut batch: TupleBatch = (0..5).map(|i| DataTuple::new(i, 0)).collect();
+        batch.trace = Some(ctx());
+        let taken = batch.take();
+        assert_eq!(taken.trace, Some(ctx()));
+        assert_eq!(batch.trace, None, "take() moves the context out");
+        let chunks: Vec<TupleBatch> = taken.split_into(2).collect();
+        assert_eq!(chunks[0].trace, Some(ctx()));
+        assert!(
+            chunks[1..].iter().all(|c| c.trace.is_none()),
+            "only the first chunk keeps the context"
+        );
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! discrete-event plane; [`crate::pipeline`] is the threaded form used for
 //! throughput experiments (Fig. 5). Both share the same parsers.
 
-use netalytics_data::{DataTuple, TupleBatch};
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
 use netalytics_packet::Packet;
 use netalytics_sketch::{PreAgg, PreAggSpec};
+use netalytics_telemetry::Tracer;
 
 use crate::parser::{make_parser, Parser};
 use crate::sampler::{FeedbackSignal, FlowSampler, SampleSpec};
@@ -163,6 +166,9 @@ pub struct Monitor {
     pending: Vec<DataTuple>,
     preagg: Option<PreAgg>,
     stats: MonitorStats,
+    /// When set, drained batches are head-sampled and stamped with a
+    /// trace context scoped to this query cookie.
+    tracing: Option<(u64, Arc<Tracer>)>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -199,7 +205,16 @@ impl Monitor {
             pending: Vec::new(),
             preagg: config.preagg.map(PreAgg::new),
             stats: MonitorStats::default(),
+            tracing: None,
         })
+    }
+
+    /// Enables query-scoped tracing: drained batches are head-sampled
+    /// per the tracer's config, and sampled ones carry a [`TraceCtx`]
+    /// for `cookie` downstream (plus a `parse` span covering capture →
+    /// drain on the caller's clock).
+    pub fn set_tracing(&mut self, cookie: u64, tracer: Arc<Tracer>) {
+        self.tracing = Some((cookie, tracer));
     }
 
     /// Folds `pending[start..]` into the pre-aggregation sketch; tuples
@@ -251,7 +266,26 @@ impl Monitor {
         let mut out = Vec::new();
         while !self.pending.is_empty() {
             let take = self.pending.len().min(self.batch_size);
-            let batch = TupleBatch::from_tuples(self.pending.drain(..take).collect());
+            let mut batch = TupleBatch::from_tuples(self.pending.drain(..take).collect());
+            if let Some((cookie, tracer)) = &self.tracing {
+                if let Some(batch_id) = tracer.sample_batch() {
+                    // Born at the oldest tuple's capture time; the parse
+                    // span runs from there to this drain.
+                    let born_ns = batch
+                        .tuples
+                        .iter()
+                        .map(|t| t.ts_ns)
+                        .min()
+                        .unwrap_or(now_ns)
+                        .min(now_ns);
+                    batch.trace = Some(TraceCtx {
+                        cookie: *cookie,
+                        batch_id,
+                        born_ns,
+                    });
+                    tracer.record_span(0, *cookie, batch_id, born_ns, "parse", born_ns, now_ns);
+                }
+            }
             self.stats.tuples_out += batch.len() as u64;
             self.stats.bytes_out += batch.wire_size() as u64;
             out.push(batch);
@@ -440,6 +474,45 @@ mod tests {
         assert_eq!(tuples.len(), 10, "uncovered tuples pass through raw");
         assert_eq!(m.stats().tuples_folded, 0);
         assert_eq!(m.stats().sketches_out, 0);
+    }
+
+    #[test]
+    fn tracing_stamps_sampled_batches_and_records_parse_spans() {
+        use netalytics_telemetry::{TraceConfig, Tracer};
+
+        let mut m = Monitor::new(MonitorConfig {
+            parsers: vec!["tcp_flow_key".into()],
+            sample: SampleSpec::All,
+            batch_size: 4,
+            preagg: None,
+        })
+        .unwrap();
+        let tracer = std::sync::Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        m.set_tracing(42, std::sync::Arc::clone(&tracer));
+        for i in 0..8 {
+            m.process(&Packet::tcp(A, 4000 + i, B, 80, TcpFlags::ACK, 0, 0, b""));
+        }
+        let batches = m.drain(5_000);
+        assert_eq!(batches.len(), 2);
+        for b in &batches {
+            let ctx = b.trace.expect("sample_every=1 stamps every batch");
+            assert_eq!(ctx.cookie, 42);
+            assert!(ctx.batch_id > 0);
+        }
+        assert_ne!(batches[0].trace, batches[1].trace, "distinct batch ids");
+        let falls = tracer.waterfalls(42);
+        assert!(!falls.is_empty());
+        assert_eq!(falls[0].spans[0].stage, "parse");
+    }
+
+    #[test]
+    fn untraced_monitor_leaves_batches_unstamped() {
+        let mut m = Monitor::new(MonitorConfig::default()).unwrap();
+        m.process(&Packet::tcp(A, 4000, B, 80, TcpFlags::ACK, 0, 0, b""));
+        assert!(m.drain(0).iter().all(|b| b.trace.is_none()));
     }
 
     #[test]

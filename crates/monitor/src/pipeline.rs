@@ -26,11 +26,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use netalytics_data::{
     spsc, BatchBuilder, BatchSink, ColumnBatch, Consumer, DataTuple, PopError, Producer,
-    PushError, TupleBatch,
+    PushError, TraceCtx, TupleBatch,
 };
 use netalytics_packet::Packet;
 use netalytics_sketch::{PreAgg, PreAggSpec};
-use netalytics_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use netalytics_telemetry::{wall_now_ns, Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 
 use crate::monitor::MonitorError;
 use crate::parser::{make_parser, Parser};
@@ -79,6 +79,11 @@ pub struct PipelineConfig {
     /// when `preagg` is also set, because sketch folding consumes row
     /// tuples.
     pub columnar: bool,
+    /// Query-scoped tracing as `(cookie, tracer)`: parser workers
+    /// head-sample sealed batches per the tracer's config, stamp them
+    /// with a [`TraceCtx`] for downstream stages, and record a `parse`
+    /// span (batch open → seal, wall clock).
+    pub tracing: Option<(u64, Arc<Tracer>)>,
 }
 
 impl Default for PipelineConfig {
@@ -94,6 +99,7 @@ impl Default for PipelineConfig {
             heartbeat_interval: Duration::from_millis(100),
             preagg: None,
             columnar: false,
+            tracing: None,
         }
     }
 }
@@ -178,6 +184,51 @@ fn push_blocking(ring: &mut Producer<ColumnBatch>, mut batch: ColumnBatch) {
     }
 }
 
+/// Head-samples a freshly sealed column batch: stamps the trace context
+/// and records the `parse` span (batch open → seal, wall clock).
+fn stamp_columns(
+    batch: &mut ColumnBatch,
+    tracing: &Option<(u64, Arc<Tracer>)>,
+    widx: usize,
+    open_ns: &mut Option<u64>,
+) {
+    let Some((cookie, tracer)) = tracing else {
+        return;
+    };
+    let born_ns = open_ns.take().unwrap_or_else(wall_now_ns);
+    if let Some(batch_id) = tracer.sample_batch() {
+        let now = wall_now_ns();
+        batch.set_trace(Some(TraceCtx {
+            cookie: *cookie,
+            batch_id,
+            born_ns,
+        }));
+        tracer.record_span(widx, *cookie, batch_id, born_ns, "parse", born_ns, now);
+    }
+}
+
+/// Row-path twin of [`stamp_columns`].
+fn stamp_rows(
+    batch: &mut TupleBatch,
+    tracing: &Option<(u64, Arc<Tracer>)>,
+    widx: usize,
+    open_ns: &mut Option<u64>,
+) {
+    let Some((cookie, tracer)) = tracing else {
+        return;
+    };
+    let born_ns = open_ns.take().unwrap_or_else(wall_now_ns);
+    if let Some(batch_id) = tracer.sample_batch() {
+        let now = wall_now_ns();
+        batch.trace = Some(TraceCtx {
+            cookie: *cookie,
+            batch_id,
+            born_ns,
+        });
+        tracer.record_span(widx, *cookie, batch_id, born_ns, "parse", born_ns, now);
+    }
+}
+
 /// Body of one columnar parser worker: parse straight into a
 /// [`BatchBuilder`], seal every `batch_size` rows, and push the sealed
 /// [`ColumnBatch`] onto this worker's SPSC ring (one producer — this
@@ -188,9 +239,13 @@ fn columnar_worker(
     mut ring: Producer<ColumnBatch>,
     batch_size: usize,
     telemetry: Option<WorkerTelemetry>,
+    widx: usize,
+    tracing: Option<(u64, Arc<Tracer>)>,
 ) {
     let mut builder = BatchBuilder::new();
     let mut seen = 0u64;
+    // Wall time the in-progress batch received its first row.
+    let mut open_ns: Option<u64> = None;
     while let Ok(pkt) = prx.recv() {
         seen += 1;
         if telemetry.is_some() && seen.is_multiple_of(LATENCY_SAMPLE) {
@@ -202,8 +257,12 @@ fn columnar_worker(
         } else {
             parser.on_packet_columns(&pkt, &mut builder);
         }
+        if tracing.is_some() && open_ns.is_none() && builder.rows() > 0 {
+            open_ns = Some(wall_now_ns());
+        }
         if builder.rows() >= batch_size {
-            let batch = builder.finish();
+            let mut batch = builder.finish();
+            stamp_columns(&mut batch, &tracing, widx, &mut open_ns);
             if let Some(tel) = &telemetry {
                 tel.batch_size.record(batch.rows() as u64);
                 tel.queue_depth.set(prx.len() as i64);
@@ -214,7 +273,8 @@ fn columnar_worker(
     // Input closed: final parser flush, then the residual batch.
     parser.flush_columns(0, &mut builder);
     if !builder.is_empty() {
-        let batch = builder.finish();
+        let mut batch = builder.finish();
+        stamp_columns(&mut batch, &tracing, widx, &mut open_ns);
         if let Some(tel) = &telemetry {
             tel.batch_size.record(batch.rows() as u64);
         }
@@ -319,12 +379,17 @@ impl Pipeline {
                         parse_latency: m.histogram("monitor.parse_latency_ns", &[("parser", name)]),
                     }
                 });
+                // Stable worker index, used to pick a tracer span shard.
+                let widx = handles.len();
                 if columnar {
                     let (tx, rx) = spsc::<ColumnBatch>(COLUMNAR_RING_DEPTH);
                     col_rings.push(rx);
+                    let tracing = config.tracing.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("parser-{name}-{w}"))
-                        .spawn(move || columnar_worker(parser, prx, tx, batch_size, telemetry))
+                        .spawn(move || {
+                            columnar_worker(parser, prx, tx, batch_size, telemetry, widx, tracing)
+                        })
                         .expect("spawn parser thread");
                     handles.push(handle);
                     continue;
@@ -333,15 +398,18 @@ impl Pipeline {
                 let sink = sink.clone();
                 let counters = counters.clone();
                 let preagg_spec = config.preagg.clone();
+                let tracing = config.tracing.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("parser-{name}-{w}"))
                     .spawn(move || {
                         let mut pending: Vec<DataTuple> = Vec::with_capacity(batch_size);
-                        let flush_to_sink = |pending: &mut Vec<DataTuple>| {
+                        let flush_to_sink = |pending: &mut Vec<DataTuple>,
+                                             open_ns: &mut Option<u64>| {
                             if pending.is_empty() {
                                 return;
                             }
-                            let batch = TupleBatch::from_tuples(std::mem::take(pending));
+                            let mut batch = TupleBatch::from_tuples(std::mem::take(pending));
+                            stamp_rows(&mut batch, &tracing, widx, open_ns);
                             counters.tuples_out.add(batch.len() as u64);
                             counters.bytes_out.add(batch.wire_size() as u64);
                             if let Some(tel) = &telemetry {
@@ -378,6 +446,8 @@ impl Pipeline {
                             }
                         };
                         let mut seen = 0u64;
+                        // Wall time the in-progress batch got its first tuple.
+                        let mut open_ns: Option<u64> = None;
                         while let Ok(pkt) = prx.recv() {
                             seen += 1;
                             let start = pending.len();
@@ -399,8 +469,11 @@ impl Pipeline {
                                     }
                                 }
                             }
+                            if tracing.is_some() && open_ns.is_none() && !pending.is_empty() {
+                                open_ns = Some(wall_now_ns());
+                            }
                             if pending.len() >= batch_size {
-                                flush_to_sink(&mut pending);
+                                flush_to_sink(&mut pending, &mut open_ns);
                             }
                         }
                         // Input closed: final flush (aggregating parsers),
@@ -414,7 +487,7 @@ impl Pipeline {
                                 pending.push(delta);
                             }
                         }
-                        flush_to_sink(&mut pending);
+                        flush_to_sink(&mut pending, &mut open_ns);
                         if let Some(tel) = &telemetry {
                             tel.queue_depth.set(0);
                         }
@@ -894,6 +967,46 @@ mod tests {
         ) {
             Some(MetricValue::Gauge(d)) => assert_eq!(*d, 0, "drained at shutdown"),
             other => panic!("queue depth gauge missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracing_stamps_batches_on_both_lanes() {
+        use netalytics_telemetry::{TraceConfig, Tracer};
+        for columnar in [false, true] {
+            let tracer = Arc::new(Tracer::new(TraceConfig {
+                sample_every: 1,
+                ..TraceConfig::default()
+            }));
+            let p = Pipeline::spawn(PipelineConfig {
+                parsers: vec!["http_get".into()],
+                batch_size: 4,
+                columnar,
+                tracing: Some((9, Arc::clone(&tracer))),
+                ..Default::default()
+            })
+            .unwrap();
+            for i in 0..8 {
+                p.offer(Packet::tcp(
+                    A,
+                    4000 + i,
+                    B,
+                    80,
+                    TcpFlags::PSH | TcpFlags::ACK,
+                    1,
+                    1,
+                    &http::build_get(&format!("/t{i}"), "b"),
+                ));
+            }
+            let s = p.shutdown(false);
+            assert!(!s.residual_batches.is_empty());
+            for b in &s.residual_batches {
+                let ctx = b.trace.expect("sample_every=1 stamps every batch");
+                assert_eq!(ctx.cookie, 9, "columnar={columnar}");
+            }
+            let falls = tracer.waterfalls(9);
+            assert!(!falls.is_empty(), "columnar={columnar}");
+            assert_eq!(falls[0].spans[0].stage, "parse");
         }
     }
 

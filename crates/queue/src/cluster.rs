@@ -16,7 +16,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use netalytics_data::{ColumnBatch, TupleBatch};
-use netalytics_telemetry::{Gauge, Histogram, MetricsRegistry};
+use netalytics_telemetry::{wall_now_ns, EventKind, Gauge, Histogram, Journal, MetricsRegistry};
 
 use crate::log::{Message, PartitionLog, Pressure};
 
@@ -124,6 +124,17 @@ impl TopicTelemetry {
     }
 }
 
+/// Flight-recorder hookup plus drop counts at the previous sweep, so
+/// shed activity journals as per-scrape burst deltas rather than one
+/// event per dropped message.
+#[derive(Debug, Default)]
+struct ShedJournal {
+    journal: Option<Arc<Journal>>,
+    /// Indexed by `TopicId`.
+    last_dropped: Vec<u64>,
+    last_lost: u64,
+}
+
 #[derive(Debug, Default)]
 struct Registry {
     topics: Vec<Arc<Topic>>,
@@ -169,6 +180,8 @@ pub struct QueueCluster {
     broker_up: Vec<AtomicBool>,
     /// Messages rejected because their partition had no live leader.
     failure_drops: AtomicU64,
+    /// Shed-burst journaling state; touched only on scrape/attach.
+    shed: Mutex<ShedJournal>,
 }
 
 impl QueueCluster {
@@ -187,6 +200,7 @@ impl QueueCluster {
             cursors: Mutex::new(HashMap::new()),
             broker_up: (0..config.brokers).map(|_| AtomicBool::new(true)).collect(),
             failure_drops: AtomicU64::new(0),
+            shed: Mutex::new(ShedJournal::default()),
         }
     }
 
@@ -242,10 +256,61 @@ impl QueueCluster {
         self.registry.read().telemetry.get(id.0).cloned() // per-batch lock
     }
 
+    /// Attaches a flight recorder: each subsequent [`QueueCluster::scrape`]
+    /// journals a `ShedBurst` event per topic whose drop count advanced
+    /// since the previous sweep (and one for messages lost to leaderless
+    /// partitions), so overload shows up as a timeline, not just a counter.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        self.shed.lock().journal = Some(journal); // cold path
+    }
+
+    /// Journals drop-count deltas since the previous sweep as `ShedBurst`
+    /// events. No-op until [`QueueCluster::attach_journal`].
+    fn journal_shed_bursts(&self) {
+        let mut shed = self.shed.lock(); // cold path
+        let Some(journal) = shed.journal.clone() else {
+            return;
+        };
+        let ntopics = self.registry.read().topics.len(); // cold path
+        shed.last_dropped.resize(ntopics, 0);
+        for i in 0..ntopics {
+            let id = TopicId(i);
+            let dropped = self.dropped_of(id);
+            let prev = shed.last_dropped[i];
+            if dropped > prev {
+                journal.record(
+                    wall_now_ns(),
+                    None,
+                    EventKind::ShedBurst,
+                    format!(
+                        "topic {} shed {} msgs (total {dropped})",
+                        self.topic_name(id),
+                        dropped - prev
+                    ),
+                );
+                shed.last_dropped[i] = dropped;
+            }
+        }
+        let lost = self.lost_to_failure();
+        if lost > shed.last_lost {
+            journal.record(
+                wall_now_ns(),
+                None,
+                EventKind::ShedBurst,
+                format!(
+                    "{} msgs lost to leaderless partitions (total {lost})",
+                    lost - shed.last_lost
+                ),
+            );
+            shed.last_lost = lost;
+        }
+    }
+
     /// Refreshes the per-topic gauges (and per-group lag gauges for every
     /// consumer cursor seen so far) from the logs. Call from a scrape
     /// loop; the hot paths never pay for gauge recomputation.
     pub fn scrape(&self) {
+        self.journal_shed_bursts();
         let (metrics, ntopics) = {
             let reg = self.registry.read(); // cold path
             let Some(m) = reg.metrics.clone() else {
@@ -923,6 +988,34 @@ mod tests {
         }
         assert_eq!(q.depth_of(early), 6);
         assert_eq!(q.lag_of(g, late), 0);
+    }
+
+    #[test]
+    fn shed_bursts_reach_the_flight_recorder_as_deltas() {
+        let q = small();
+        let journal = Arc::new(Journal::new(16));
+        q.attach_journal(Arc::clone(&journal));
+        let t = q.topic_id("t");
+        // Capacity 4 per partition, 8 same-key messages: 4 shed.
+        for i in 0..8u64 {
+            q.produce_to(t, 0, Bytes::from(vec![i as u8]), i);
+        }
+        q.scrape();
+        let events = journal.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::ShedBurst);
+        assert!(events[0].detail.contains("shed 4"), "{}", events[0].detail);
+        // No new drops: the next sweep journals nothing.
+        q.scrape();
+        assert_eq!(journal.events().len(), 1);
+        // Another overflow journals only the delta.
+        for i in 0..2u64 {
+            q.produce_to(t, 0, Bytes::from(vec![i as u8]), i);
+        }
+        q.scrape();
+        let events = journal.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].detail.contains("shed 2"), "{}", events[1].detail);
     }
 
     #[test]

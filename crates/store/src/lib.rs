@@ -305,6 +305,49 @@ mod tests {
     }
 
     #[test]
+    fn journal_records_segment_seals_and_rollup_folds() {
+        use std::sync::Arc;
+
+        use netalytics_telemetry::{EventKind, Journal};
+
+        let second = 1_000_000_000u64;
+        let store = TimeSeriesStore::in_memory_with(StoreConfig {
+            segment_max_bytes: 2_000,
+            retention_ns: Some(5 * second),
+            rollup_bucket_ns: second,
+            ..StoreConfig::default()
+        });
+        let journal = Arc::new(Journal::new(64));
+        store.attach_journal(Arc::clone(&journal));
+
+        let series = SeriesKey::new(4, "");
+        for s in 0..20u64 {
+            store.append(&series, &batch(s * second, 10, "v")).unwrap();
+        }
+        let seals = journal
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::SegmentSealed)
+            .count();
+        assert!(seals > 0, "log rolls must journal segment seals");
+        assert_eq!(
+            seals as u64,
+            store.stats().segments as u64 - 1,
+            "one seal per non-active segment"
+        );
+
+        let report = store.compact(20 * second).expect("compact");
+        assert!(report.segments_dropped > 0);
+        let fold = journal
+            .events()
+            .into_iter()
+            .find(|e| e.kind == EventKind::RollupFolded)
+            .expect("compaction journaled");
+        assert_eq!(fold.ts_ns, 20 * second, "stamped with the compact clock");
+        assert!(fold.detail.contains("dropped"), "detail: {}", fold.detail);
+    }
+
+    #[test]
     fn stats_and_metrics_register() {
         let registry = netalytics_telemetry::MetricsRegistry::new();
         let store = TimeSeriesStore::in_memory();

@@ -11,13 +11,18 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
 use netalytics_stream::Bolt;
+use netalytics_telemetry::{wall_now_ns, Tracer};
 
 use crate::store::{SeriesKey, TimeSeriesStore};
 
 /// Tuples buffered across all groups before an early flush.
 const FLUSH_THRESHOLD: usize = 64;
+
+/// Trace contexts held open at once; beyond this, extra traced batches
+/// simply close without a `store` span rather than grow the buffer.
+const TRACED_CAP: usize = 64;
 
 /// Terminal bolt persisting tuples into a shared store.
 pub struct StoreSink {
@@ -29,6 +34,12 @@ pub struct StoreSink {
     /// observable that depends on append order) is deterministic.
     pending: BTreeMap<String, TupleBatch>,
     pending_tuples: usize,
+    /// When set, traced batches observed via [`Bolt::observe_trace`]
+    /// record a `store` stage span (observe → commit) at the next flush.
+    tracer: Option<Arc<Tracer>>,
+    /// Open (context, observed-at) pairs awaiting the flush that commits
+    /// their tuples; deduped by (cookie, batch id).
+    traced: Vec<(TraceCtx, u64)>,
 }
 
 impl StoreSink {
@@ -42,7 +53,17 @@ impl StoreSink {
             group_field,
             pending: BTreeMap::new(),
             pending_tuples: 0,
+            tracer: None,
+            traced: Vec::new(),
         }
+    }
+
+    /// Enables `store` stage spans: each traced batch whose context
+    /// reaches this sink gets a span from observation to the flush that
+    /// durably commits its tuples, closing the end-to-end waterfall.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     fn group_of(&self, tuple: &DataTuple) -> String {
@@ -65,10 +86,39 @@ impl StoreSink {
         }
         self.pending_tuples = 0;
         self.store.note_sink_flush();
+        if let Some(tracer) = &self.tracer {
+            let now = wall_now_ns();
+            for (ctx, observed_ns) in self.traced.drain(..) {
+                tracer.record_span(
+                    0,
+                    ctx.cookie,
+                    ctx.batch_id,
+                    ctx.born_ns,
+                    "store",
+                    observed_ns,
+                    now,
+                );
+            }
+        }
     }
 }
 
 impl Bolt for StoreSink {
+    fn observe_trace(&mut self, ctx: &TraceCtx) {
+        if self.tracer.is_none() || self.traced.len() >= TRACED_CAP {
+            return;
+        }
+        // Executors may deliver the same batch's context once per slab.
+        if self
+            .traced
+            .iter()
+            .any(|(c, _)| c.cookie == ctx.cookie && c.batch_id == ctx.batch_id)
+        {
+            return;
+        }
+        self.traced.push((*ctx, wall_now_ns()));
+    }
+
     fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
         let group = self.group_of(tuple);
         self.pending.entry(group).or_default().push(tuple.clone());
@@ -159,6 +209,32 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(run(), first);
         }
+    }
+
+    #[test]
+    fn traced_batches_close_with_a_store_span() {
+        use netalytics_telemetry::{TraceConfig, Tracer};
+
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        let mut sink = StoreSink::new(store, 7, None).with_tracer(Arc::clone(&tracer));
+        let ctx = TraceCtx {
+            cookie: 9,
+            batch_id: 2,
+            born_ns: 0,
+        };
+        sink.observe_trace(&ctx);
+        sink.observe_trace(&ctx); // per-slab redelivery is expected
+        let mut out = Vec::new();
+        sink.execute(&tuple(10, "/a", 1), &mut out);
+        sink.tick(99, &mut out);
+        let falls = tracer.waterfalls(9);
+        assert_eq!(falls.len(), 1);
+        assert_eq!(falls[0].spans.len(), 1, "duplicate observe deduped");
+        assert_eq!(falls[0].spans[0].stage, "store");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use netalytics_data::{CodecError, DataTuple, TupleBatch, Value};
-use netalytics_telemetry::{Counter, Gauge, MetricsRegistry};
+use netalytics_telemetry::{Counter, EventKind, Gauge, Journal, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::frame::{write_frame, FrameIter, FRAME_HEADER};
@@ -331,6 +331,9 @@ struct Inner {
     rollup_file: Option<File>,
     stats: StoreStats,
     metrics: Option<StoreMetrics>,
+    /// Flight recorder for segment churn; see
+    /// [`TimeSeriesStore::attach_journal`].
+    journal: Option<Arc<Journal>>,
 }
 
 impl Inner {
@@ -349,6 +352,20 @@ impl Inner {
             ),
             None => None,
         };
+        if let Some(journal) = &self.journal {
+            let sealed = self.segments.last().expect("at least one segment");
+            journal.record(
+                sealed.max_ts,
+                None,
+                EventKind::SegmentSealed,
+                format!(
+                    "segment {} sealed: {} frames, {} bytes",
+                    sealed.seq,
+                    sealed.frames,
+                    sealed.bytes.len()
+                ),
+            );
+        }
         self.segments.push(Segment::empty(seq, file));
         Ok(())
     }
@@ -459,6 +476,7 @@ impl TimeSeriesStore {
             rollup_file: None,
             stats: StoreStats::default(),
             metrics: None,
+            journal: None,
         };
 
         let mut seqs: Vec<u64> = Vec::new();
@@ -579,6 +597,7 @@ impl TimeSeriesStore {
                 rollup_file: None,
                 stats: StoreStats::default(),
                 metrics: None,
+                journal: None,
             }),
         }
     }
@@ -873,8 +892,29 @@ impl TimeSeriesStore {
             m.compactions.inc();
             m.segments_dropped.add(report.segments_dropped);
         }
+        if let Some(journal) = &inner.journal {
+            journal.record(
+                now_ns,
+                None,
+                EventKind::RollupFolded,
+                format!(
+                    "{} tuple(s) folded into {} rollup point(s); {} segment(s) dropped",
+                    report.tuples_folded, report.rollup_points_written, report.segments_dropped
+                ),
+            );
+        }
         inner.refresh_gauges();
         Ok(report)
+    }
+
+    /// Attaches a flight-recorder journal. From here on, every segment
+    /// seal (log roll) records a `segment_sealed` event — stamped with
+    /// the sealed segment's newest tuple timestamp — and every
+    /// retention pass that folded or dropped anything records a
+    /// `rollup_folded` event. Both happen on the append/compact control
+    /// path, never per tuple.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        self.inner.lock().journal = Some(journal);
     }
 
     /// Registers this store's counters and gauges under `store.*` in a

@@ -28,6 +28,13 @@ pub trait Bolt: Send {
     /// Processes one input tuple, appending emissions to `out`.
     fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>);
 
+    /// Batch-level trace hook: executors call this once per traced
+    /// input batch, before `execute` runs over its tuples. Sinks that
+    /// commit whole batches (the store sink) use it to carry the
+    /// context across the bolt boundary and record their own stage
+    /// span. Default: not traced, ignore.
+    fn observe_trace(&mut self, _ctx: &netalytics_data::TraceCtx) {}
+
     /// Advances windowed state; called periodically with the current
     /// time. Default: stateless bolt, nothing to release.
     fn tick(&mut self, _now_ns: u64, _out: &mut Vec<DataTuple>) {}

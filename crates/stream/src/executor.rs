@@ -8,8 +8,10 @@
 //! conformance tests — programs against `dyn Executor` and picks an engine
 //! with [`ExecutorMode`] at construction time.
 
+use std::sync::Arc;
+
 use netalytics_data::{DataTuple, TupleBatch};
-use netalytics_telemetry::MetricsRegistry;
+use netalytics_telemetry::{MetricsRegistry, Tracer};
 
 use crate::inline::InlineExecutor;
 use crate::sharded::{ShardedConfig, ShardedExecutor};
@@ -127,13 +129,30 @@ pub fn build_executor_with(
     mode: ExecutorMode,
     metrics: Option<&MetricsRegistry>,
 ) -> Box<dyn Executor> {
+    build_executor_traced(topology, mode, metrics, None)
+}
+
+/// [`build_executor_with`] plus an optional [`Tracer`]: batches whose
+/// [`netalytics_data::TraceCtx`] is set get a `bolt` stage span per
+/// processed slab (wall clock, worker-indexed span shards), and every
+/// bolt that handles a traced slab receives
+/// [`crate::Bolt::observe_trace`] so sinks can close the trace at the
+/// store. Untraced batches pay nothing beyond an `Option` check.
+pub fn build_executor_traced(
+    topology: &Topology,
+    mode: ExecutorMode,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
+) -> Box<dyn Executor> {
     match mode {
-        ExecutorMode::Inline => Box::new(InlineExecutor::with_metrics(topology, metrics)),
-        ExecutorMode::Threaded(config) => Box::new(ThreadedExecutor::spawn_driven_with_metrics(
-            topology, config, metrics,
+        ExecutorMode::Inline => Box::new(InlineExecutor::with_instruments(
+            topology, metrics, tracer,
         )),
-        ExecutorMode::Sharded(config) => Box::new(ShardedExecutor::spawn_with_metrics(
-            topology, config, metrics,
+        ExecutorMode::Threaded(config) => Box::new(ThreadedExecutor::spawn_driven_traced(
+            topology, config, metrics, tracer,
+        )),
+        ExecutorMode::Sharded(config) => Box::new(ShardedExecutor::spawn_traced(
+            topology, config, metrics, tracer,
         )),
     }
 }

@@ -4,8 +4,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use netalytics_data::{DataTuple, TupleBatch};
-use netalytics_telemetry::{Counter, Histogram, MetricsRegistry};
+use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
+use netalytics_telemetry::{wall_now_ns, Counter, Histogram, MetricsRegistry, Tracer};
 
 use crate::bolt::{Bolt, Grouping};
 use crate::executor::Executor;
@@ -53,6 +53,9 @@ pub struct InlineExecutor {
     node_latency: Vec<Option<Arc<Histogram>>>,
     /// Rolling sample counter for latency timing (1 in [`LAT_SAMPLE`]).
     lat_ticks: u64,
+    /// When set, batches carrying a [`TraceCtx`] get a `bolt` stage span
+    /// covering their synchronous run through the DAG.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for InlineExecutor {
@@ -76,6 +79,18 @@ impl InlineExecutor {
     /// deterministic plane, so instruments never change scheduling — only
     /// observation.
     pub fn with_metrics(topology: &Topology, metrics: Option<&MetricsRegistry>) -> Self {
+        Self::with_instruments(topology, metrics, None)
+    }
+
+    /// [`InlineExecutor::with_metrics`] plus an optional [`Tracer`]:
+    /// traced batches record a `bolt` stage span (the whole synchronous
+    /// DAG run) and deliver their context to every bolt instance via
+    /// [`Bolt::observe_trace`] before execution.
+    pub fn with_instruments(
+        topology: &Topology,
+        metrics: Option<&MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let terminals = topology.terminals();
         let mut nodes: Vec<NodeRt> = topology
             .bolts
@@ -114,6 +129,7 @@ impl InlineExecutor {
             emitted: counter("stream.emitted"),
             node_latency,
             lat_ticks: 0,
+            tracer,
         }
     }
 
@@ -131,11 +147,20 @@ impl InlineExecutor {
     /// twin of [`InlineExecutor::push`]. Tuples are routed in order; with
     /// a single spout edge no tuple is cloned.
     pub fn push_batch(&mut self, batch: TupleBatch) {
+        let trace = if self.tracer.is_some() {
+            batch.trace
+        } else {
+            None
+        };
+        let bolt_start = trace.map(|_| wall_now_ns());
+        if let Some(ctx) = trace {
+            self.observe_trace_all(&ctx);
+        }
         self.processed.add(batch.len() as u64);
         let edges = self.spout_edges.clone();
         let mut work: VecDeque<(usize, DataTuple)> = VecDeque::new();
         match edges.as_slice() {
-            [] => return,
+            [] => {}
             [(node, grouping)] => {
                 for t in batch {
                     self.enqueue(&mut work, *node, grouping, t);
@@ -152,6 +177,27 @@ impl InlineExecutor {
             }
         }
         self.drain_work(work);
+        if let (Some(ctx), Some(start), Some(tracer)) = (trace, bolt_start, &self.tracer) {
+            tracer.record_span(
+                0,
+                ctx.cookie,
+                ctx.batch_id,
+                ctx.born_ns,
+                "bolt",
+                start,
+                wall_now_ns(),
+            );
+        }
+    }
+
+    /// Delivers a traced batch's context to every bolt instance before
+    /// the batch runs — sinks latch it to close the trace at commit.
+    fn observe_trace_all(&mut self, ctx: &TraceCtx) {
+        for node in &mut self.nodes {
+            for bolt in &mut node.instances {
+                bolt.observe_trace(ctx);
+            }
+        }
     }
 
     /// Advances every windowed bolt to `now_ns`, flowing any released
@@ -415,6 +461,43 @@ mod tests {
         batched.tick(1);
         assert_eq!(per_tuple.take_output(), batched.take_output());
         assert_eq!(per_tuple.processed(), batched.processed());
+    }
+
+    #[test]
+    fn traced_batches_record_bolt_spans_and_reach_observers() {
+        use netalytics_telemetry::{TraceConfig, Tracer};
+
+        /// Latches the last observed trace context into a shared cell.
+        struct Latch(Arc<parking_lot::Mutex<Option<TraceCtx>>>);
+        impl Bolt for Latch {
+            fn execute(&mut self, _t: &DataTuple, _out: &mut Vec<DataTuple>) {}
+            fn observe_trace(&mut self, ctx: &TraceCtx) {
+                *self.0.lock() = Some(*ctx);
+            }
+        }
+
+        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let mut b = Topology::builder("t");
+        let cell = seen.clone();
+        let a = b.add_bolt("latch", 1, move || Box::new(Latch(cell.clone())));
+        b.wire(SourceRef::Spout, a, Grouping::Shuffle);
+        let topo = b.build().unwrap();
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        let mut exec = InlineExecutor::with_instruments(&topo, None, Some(Arc::clone(&tracer)));
+        let mut batch = TupleBatch::from_tuples(vec![DataTuple::new(1, 0)]);
+        batch.trace = Some(TraceCtx {
+            cookie: 5,
+            batch_id: 1,
+            born_ns: 0,
+        });
+        exec.push_batch(batch);
+        assert_eq!(seen.lock().map(|c| c.cookie), Some(5));
+        let falls = tracer.waterfalls(5);
+        assert_eq!(falls.len(), 1);
+        assert_eq!(falls[0].spans[0].stage, "bolt");
     }
 
     #[test]

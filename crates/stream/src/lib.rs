@@ -54,7 +54,8 @@ pub mod topology;
 
 pub use bolt::{Bolt, BoltFactory, Grouping};
 pub use executor::{
-    build_executor, build_executor_with, BackpressurePolicy, Executor, ExecutorMode,
+    build_executor, build_executor_traced, build_executor_with, BackpressurePolicy, Executor,
+    ExecutorMode,
 };
 pub use inline::InlineExecutor;
 pub use sharded::{ShardedConfig, ShardedExecutor};

@@ -37,8 +37,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use netalytics_data::{spsc, Consumer, DataTuple, PopError, Producer, PushError, TupleBatch};
-use netalytics_telemetry::{Counter, Histogram, MetricsRegistry, ShardedCounter};
+use netalytics_data::{
+    spsc, Consumer, DataTuple, PopError, Producer, PushError, TraceCtx, TupleBatch,
+};
+use netalytics_telemetry::{wall_now_ns, Counter, Histogram, MetricsRegistry, ShardedCounter, Tracer};
 
 use crate::bolt::{Bolt, Grouping};
 use crate::executor::{BackpressurePolicy, Executor};
@@ -88,6 +90,9 @@ enum ShardMsg {
         node: u32,
         inst: u32,
         tuples: Vec<DataTuple>,
+        /// Trace context of the batch this slab descends from; follows
+        /// the slab across every shard hop.
+        trace: Option<TraceCtx>,
     },
     Tick(u64),
     Marker { round: u32, now_ns: u64 },
@@ -139,6 +144,14 @@ struct Worker {
     /// Set when the caller's `Marker(0)` arrives; its timestamp drives
     /// every `finish`.
     finish_now: Option<u64>,
+    /// Traced-slab recording (span per slab, context forwarded on hops).
+    tracer: Option<Arc<Tracer>>,
+    /// Context of the slab currently draining; attached to the remote
+    /// slabs it spawns and cleared once the slab completes.
+    current_trace: Option<TraceCtx>,
+    /// Last (node, slot) that received `observe_trace` for the current
+    /// slab, so chained local executions don't re-observe per tuple.
+    last_observed: Option<(usize, usize)>,
 }
 
 impl Worker {
@@ -192,11 +205,33 @@ impl Worker {
 
     fn on_msg(&mut self, src: usize, msg: ShardMsg) {
         match msg {
-            ShardMsg::Slab { node, inst, tuples } => {
+            ShardMsg::Slab {
+                node,
+                inst,
+                tuples,
+                trace,
+            } => {
+                self.current_trace = trace.filter(|_| self.tracer.is_some());
+                self.last_observed = None;
+                let span_start = self.current_trace.map(|_| wall_now_ns());
                 let mut work: VecDeque<(u32, u32, DataTuple)> =
                     tuples.into_iter().map(|t| (node, inst, t)).collect();
                 self.drain_local(&mut work);
                 self.flush_remote();
+                if let (Some(ctx), Some(start)) = (self.current_trace, span_start) {
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record_span(
+                            self.shard,
+                            ctx.cookie,
+                            ctx.batch_id,
+                            ctx.born_ns,
+                            "bolt",
+                            start,
+                            wall_now_ns(),
+                        );
+                    }
+                }
+                self.current_trace = None;
             }
             ShardMsg::Tick(now) => self.run_ticks(now),
             ShardMsg::Marker { round, now_ns } => {
@@ -215,6 +250,13 @@ impl Worker {
         while let Some((node, inst, tuple)) = work.pop_front() {
             let node = node as usize;
             let slot = inst as usize / self.shards;
+            if let Some(ctx) = self.current_trace {
+                // Once per (node, slot) run of the chain, not per tuple.
+                if self.last_observed != Some((node, slot)) {
+                    self.bolts[node][slot].observe_trace(&ctx);
+                    self.last_observed = Some((node, slot));
+                }
+            }
             let mut out = Vec::new();
             let timed = self.latency[node].is_some() && {
                 self.lat_ticks = self.lat_ticks.wrapping_add(1);
@@ -286,9 +328,18 @@ impl Worker {
             return;
         }
         let remote = std::mem::take(&mut self.remote);
+        let trace = self.current_trace;
         for ((node, inst), tuples) in remote {
             let owner = inst as usize % self.shards;
-            self.send_to(owner, ShardMsg::Slab { node, inst, tuples });
+            self.send_to(
+                owner,
+                ShardMsg::Slab {
+                    node,
+                    inst,
+                    tuples,
+                    trace,
+                },
+            );
         }
     }
 
@@ -479,6 +530,20 @@ impl ShardedExecutor {
         config: ShardedConfig,
         metrics: Option<&MetricsRegistry>,
     ) -> Self {
+        Self::spawn_traced(topology, config, metrics, None)
+    }
+
+    /// [`ShardedExecutor::spawn_with_metrics`] plus an optional
+    /// [`Tracer`]: traced slabs record a `bolt` stage span per draining
+    /// shard (the context follows slabs across shard hops) and every
+    /// bolt instance that runs a traced slab's chain receives
+    /// [`crate::Bolt::observe_trace`] first.
+    pub fn spawn_traced(
+        topology: &Topology,
+        config: ShardedConfig,
+        metrics: Option<&MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let shards = config.shards.max(1);
         let n = topology.bolts.len();
         let terminals = topology.terminals();
@@ -588,6 +653,9 @@ impl ShardedExecutor {
                 policy: config.backpressure,
                 idle_sleep: config.idle_sleep,
                 finish_now: None,
+                tracer: tracer.clone(),
+                current_trace: None,
+                last_observed: None,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -691,6 +759,7 @@ impl Executor for ShardedExecutor {
         if let Some(h) = &self.e2e_latency {
             record_e2e(h, batch.tuples.iter());
         }
+        let trace = batch.trace;
         let mut tuples = batch.into_tuples();
         let edges = std::mem::take(&mut self.spout_edges);
         let last = edges.len() - 1;
@@ -720,6 +789,7 @@ impl Executor for ShardedExecutor {
                         node: *node as u32,
                         inst: inst as u32,
                         tuples: slab,
+                        trace,
                     },
                 );
             }

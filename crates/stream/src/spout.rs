@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use netalytics_data::{ColumnBatch, DataTuple, TupleBatch};
 use netalytics_queue::{GroupId, Message, QueueCluster, TopicId};
+use netalytics_telemetry::{wall_now_ns, Tracer};
 
 /// A pull-based tuple source.
 pub trait Spout: Send {
@@ -38,6 +39,9 @@ pub struct QueueSpout {
     scratch: Vec<Message>,
     /// Batches that failed to decode (corrupt payloads are skipped).
     decode_errors: u64,
+    /// When set, decoded trace contexts get a `queue` span (produce →
+    /// consume, wall clock) and propagate onto the merged poll batch.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl QueueSpout {
@@ -51,12 +55,37 @@ impl QueueSpout {
             group,
             scratch: Vec::new(),
             decode_errors: 0,
+            tracer: None,
         }
+    }
+
+    /// Enables queue-span recording: every traced batch this spout
+    /// decodes gets a `queue` span covering broker dwell time (produce
+    /// timestamp → consume, wall clock).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Payloads that failed to decode so far.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    /// Records the queue-dwell span of one decoded trace context.
+    fn record_queue_span(&self, trace: Option<netalytics_data::TraceCtx>, produced_ts_ns: u64) {
+        let (Some(tracer), Some(ctx)) = (&self.tracer, trace) else {
+            return;
+        };
+        tracer.record_span(
+            0,
+            ctx.cookie,
+            ctx.batch_id,
+            ctx.born_ns,
+            "queue",
+            produced_ts_ns,
+            wall_now_ns(),
+        );
     }
 }
 
@@ -70,20 +99,28 @@ impl Spout for QueueSpout {
         self.cluster
             .consume_batch(self.group, self.topic, max, &mut self.scratch);
         let mut out = TupleBatch::new();
-        for m in self.scratch.drain(..) {
+        let mut msgs = std::mem::take(&mut self.scratch);
+        for m in msgs.drain(..) {
+            let ts_ns = m.ts_ns;
             let mut payload = m.payload;
-            if ColumnBatch::is_columnar_frame(&payload) {
-                match ColumnBatch::decode(&mut payload) {
-                    Ok(columns) => out.extend(columns.to_batch()),
-                    Err(_) => self.decode_errors += 1,
-                }
+            let decoded = if ColumnBatch::is_columnar_frame(&payload) {
+                ColumnBatch::decode(&mut payload).ok().map(|c| c.to_batch())
             } else {
-                match TupleBatch::decode(&mut payload) {
-                    Ok(batch) => out.extend(batch),
-                    Err(_) => self.decode_errors += 1,
-                }
+                TupleBatch::decode(&mut payload).ok()
+            };
+            let Some(batch) = decoded else {
+                self.decode_errors += 1;
+                continue;
+            };
+            // The merged poll batch carries the first trace context seen;
+            // every decoded context still gets its queue-dwell span.
+            self.record_queue_span(batch.trace, ts_ns);
+            if out.trace.is_none() {
+                out.trace = batch.trace;
             }
+            out.extend(batch);
         }
+        self.scratch = msgs;
         out
     }
 }
@@ -193,6 +230,33 @@ mod tests {
             .collect();
         assert_eq!(urls, vec!["/r", "/c", "/d"]);
         assert_eq!(spout.decode_errors(), 0);
+    }
+
+    #[test]
+    fn queue_spout_records_queue_spans_and_propagates_trace() {
+        use netalytics_data::TraceCtx;
+        use netalytics_telemetry::{TraceConfig, Tracer};
+
+        let cluster = Arc::new(QueueCluster::new(QueueConfig::default()));
+        let t = cluster.topic_id("t");
+        let mut batch = TupleBatch::from_tuples(vec![DataTuple::new(1, 5)]);
+        batch.trace = Some(TraceCtx {
+            cookie: 7,
+            batch_id: 3,
+            born_ns: 5,
+        });
+        cluster.produce_to(t, 1, batch.encode(), 100);
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        let mut spout = QueueSpout::new(cluster, "t", "g").with_tracer(Arc::clone(&tracer));
+        let got = spout.poll_batch(10);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.trace.map(|c| (c.cookie, c.batch_id)), Some((7, 3)));
+        let falls = tracer.waterfalls(7);
+        assert_eq!(falls.len(), 1);
+        assert_eq!(falls[0].spans[0].stage, "queue");
     }
 
     #[test]

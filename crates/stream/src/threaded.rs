@@ -15,8 +15,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use netalytics_data::{DataTuple, TupleBatch};
-use netalytics_telemetry::{Counter, Histogram, MetricsRegistry};
+use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
+use netalytics_telemetry::{wall_now_ns, Counter, Histogram, MetricsRegistry, Tracer};
 use parking_lot::Mutex;
 
 use crate::bolt::Grouping;
@@ -25,7 +25,9 @@ use crate::spout::Spout;
 use crate::topology::{SourceRef, Topology};
 
 enum Msg {
-    Batch(Vec<DataTuple>),
+    /// A tuple slab, optionally carrying the trace context of the batch
+    /// it was split from (context follows the slab through every hop).
+    Batch(Vec<DataTuple>, Option<TraceCtx>),
     Tick(u64),
     Finish(u64),
 }
@@ -75,17 +77,17 @@ struct BoltTx {
 }
 
 impl BoltTx {
-    fn send_slab(&self, slab: Vec<DataTuple>) {
+    fn send_slab(&self, slab: Vec<DataTuple>, trace: Option<TraceCtx>) {
         if slab.is_empty() {
             return;
         }
         match self.policy {
             BackpressurePolicy::Block => {
-                let _ = self.tx.send(Msg::Batch(slab));
+                let _ = self.tx.send(Msg::Batch(slab, trace));
             }
             BackpressurePolicy::Shed => {
-                if let Err(TrySendError::Full(Msg::Batch(dropped))) =
-                    self.tx.try_send(Msg::Batch(slab))
+                if let Err(TrySendError::Full(Msg::Batch(dropped, _))) =
+                    self.tx.try_send(Msg::Batch(slab, trace))
                 {
                     self.shed.add(dropped.len() as u64);
                 }
@@ -123,10 +125,10 @@ impl EdgeRt {
 /// Routes one batch across one edge: groups tuples into per-instance
 /// slabs (preserving the grouping's per-tuple decisions), then sends each
 /// non-empty slab once.
-fn route_edge(edge: &EdgeRt, rr: &mut usize, batch: Vec<DataTuple>) {
+fn route_edge(edge: &EdgeRt, rr: &mut usize, batch: Vec<DataTuple>, trace: Option<TraceCtx>) {
     let n = edge.targets.len();
     if n == 1 {
-        edge.targets[0].send_slab(batch);
+        edge.targets[0].send_slab(batch, trace);
         return;
     }
     let mut slabs: Vec<Vec<DataTuple>> = (0..n).map(|_| Vec::new()).collect();
@@ -135,17 +137,17 @@ fn route_edge(edge: &EdgeRt, rr: &mut usize, batch: Vec<DataTuple>) {
         slabs[i].push(t);
     }
     for (i, slab) in slabs.into_iter().enumerate() {
-        edge.targets[i].send_slab(slab);
+        edge.targets[i].send_slab(slab, trace);
     }
 }
 
-fn route_batch(edges: &[EdgeRt], rr: &mut [usize], batch: Vec<DataTuple>) {
+fn route_batch(edges: &[EdgeRt], rr: &mut [usize], batch: Vec<DataTuple>, trace: Option<TraceCtx>) {
     if batch.is_empty() {
         return;
     }
     match edges {
         [] => {}
-        [only] => route_edge(only, &mut rr[0], batch),
+        [only] => route_edge(only, &mut rr[0], batch, trace),
         many => {
             // Clone for every edge but the last, which takes ownership.
             let last = many.len() - 1;
@@ -156,7 +158,7 @@ fn route_batch(edges: &[EdgeRt], rr: &mut [usize], batch: Vec<DataTuple>) {
                 } else {
                     batch.as_ref().expect("batch gone mid-fanout").clone()
                 };
-                route_edge(e, r, b);
+                route_edge(e, r, b, trace);
             }
         }
     }
@@ -202,7 +204,7 @@ impl ThreadedExecutor {
     /// Spawns worker threads for every bolt instance plus a spout poller
     /// and a tick timer.
     pub fn spawn(topology: &Topology, spout: Box<dyn Spout>, config: ThreadedConfig) -> Self {
-        Self::spawn_inner(topology, Some(spout), config, None)
+        Self::spawn_inner(topology, Some(spout), config, None, None)
     }
 
     /// [`ThreadedExecutor::spawn`] with telemetry: counters register as
@@ -214,13 +216,13 @@ impl ThreadedExecutor {
         config: ThreadedConfig,
         metrics: Option<&MetricsRegistry>,
     ) -> Self {
-        Self::spawn_inner(topology, Some(spout), config, metrics)
+        Self::spawn_inner(topology, Some(spout), config, metrics, None)
     }
 
     /// Spawns the bolt threads and ticker only; data arrives through
     /// [`Executor::offer`] from the calling thread.
     pub fn spawn_driven(topology: &Topology, config: ThreadedConfig) -> Self {
-        Self::spawn_inner(topology, None, config, None)
+        Self::spawn_inner(topology, None, config, None, None)
     }
 
     /// Caller-driven spawn with telemetry, as
@@ -230,7 +232,21 @@ impl ThreadedExecutor {
         config: ThreadedConfig,
         metrics: Option<&MetricsRegistry>,
     ) -> Self {
-        Self::spawn_inner(topology, None, config, metrics)
+        Self::spawn_inner(topology, None, config, metrics, None)
+    }
+
+    /// Caller-driven spawn with telemetry and an optional [`Tracer`]:
+    /// traced slabs record a `bolt` stage span per executing instance
+    /// (the context follows the slab through every inter-bolt hop) and
+    /// each instance receives [`crate::Bolt::observe_trace`] before
+    /// running the slab.
+    pub fn spawn_driven_traced(
+        topology: &Topology,
+        config: ThreadedConfig,
+        metrics: Option<&MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
+        Self::spawn_inner(topology, None, config, metrics, tracer)
     }
 
     fn spawn_inner(
@@ -238,6 +254,7 @@ impl ThreadedExecutor {
         spout: Option<Box<dyn Spout>>,
         config: ThreadedConfig,
         metrics: Option<&MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
     ) -> Self {
         let n = topology.bolts.len();
         let terminals = topology.terminals();
@@ -300,6 +317,7 @@ impl ThreadedExecutor {
 
         // Spawn instance threads.
         let mut node_threads: Vec<Vec<(BoltTx, JoinHandle<()>)>> = Vec::with_capacity(n);
+        let mut widx = 0usize; // sequential worker index → tracer shard
         for (i, node) in topology.bolts.iter().enumerate() {
             let mut threads = Vec::new();
             let latency =
@@ -311,47 +329,72 @@ impl ThreadedExecutor {
                 let output_tx = output_tx.clone();
                 let latency = latency.clone();
                 let emitted = emitted.clone();
+                let tracer = tracer.clone();
+                let worker = widx;
+                widx += 1;
                 let handle = std::thread::Builder::new()
                     .name(format!("bolt-{}-{inst}", node.name))
                     .spawn(move || {
                         let mut rr = vec![0usize; edges.len().max(1)];
-                        let dispatch = |out: Vec<DataTuple>, rr: &mut Vec<usize>| {
-                            if terminal {
-                                emitted.add(out.len() as u64);
-                                for t in out {
-                                    let _ = output_tx.send(t);
+                        let dispatch =
+                            |out: Vec<DataTuple>, rr: &mut Vec<usize>, trace: Option<TraceCtx>| {
+                                if terminal {
+                                    emitted.add(out.len() as u64);
+                                    for t in out {
+                                        let _ = output_tx.send(t);
+                                    }
+                                } else {
+                                    route_batch(&edges, rr, out, trace);
                                 }
-                            } else {
-                                route_batch(&edges, rr, out);
-                            }
-                        };
+                            };
                         while let Ok(msg) = rx.recv() {
                             let mut out = Vec::new();
+                            let mut trace: Option<TraceCtx> = None;
                             match msg {
-                                Msg::Batch(slab) => match &latency {
-                                    // One timing per slab, amortized over
-                                    // its tuples.
-                                    Some(h) => {
-                                        let t0 = std::time::Instant::now();
-                                        for t in &slab {
-                                            bolt.execute(t, &mut out);
-                                        }
-                                        h.record(t0.elapsed().as_nanos() as u64);
+                                Msg::Batch(slab, ctx) => {
+                                    trace = ctx.filter(|_| tracer.is_some());
+                                    let span_start = trace.map(|_| wall_now_ns());
+                                    if let Some(ctx) = &trace {
+                                        bolt.observe_trace(ctx);
                                     }
-                                    None => {
-                                        for t in &slab {
-                                            bolt.execute(t, &mut out);
+                                    match &latency {
+                                        // One timing per slab, amortized
+                                        // over its tuples.
+                                        Some(h) => {
+                                            let t0 = std::time::Instant::now();
+                                            for t in &slab {
+                                                bolt.execute(t, &mut out);
+                                            }
+                                            h.record(t0.elapsed().as_nanos() as u64);
+                                        }
+                                        None => {
+                                            for t in &slab {
+                                                bolt.execute(t, &mut out);
+                                            }
                                         }
                                     }
-                                },
+                                    if let (Some(ctx), Some(start), Some(tr)) =
+                                        (&trace, span_start, &tracer)
+                                    {
+                                        tr.record_span(
+                                            worker,
+                                            ctx.cookie,
+                                            ctx.batch_id,
+                                            ctx.born_ns,
+                                            "bolt",
+                                            start,
+                                            wall_now_ns(),
+                                        );
+                                    }
+                                }
                                 Msg::Tick(now) => bolt.tick(now, &mut out),
                                 Msg::Finish(now) => {
                                     bolt.finish(now, &mut out);
-                                    dispatch(out, &mut rr);
+                                    dispatch(out, &mut rr, None);
                                     break;
                                 }
                             }
-                            dispatch(out, &mut rr);
+                            dispatch(out, &mut rr, trace);
                         }
                     })
                     .expect("spawn bolt thread");
@@ -382,7 +425,8 @@ impl ThreadedExecutor {
                         if let Some(h) = &e2e {
                             record_e2e(h, batch.tuples.iter());
                         }
-                        route_batch(&edges, &mut rr, batch.into_tuples());
+                        let trace = batch.trace;
+                        route_batch(&edges, &mut rr, batch.into_tuples(), trace);
                     }
                 })
                 .expect("spawn spout thread")
@@ -523,7 +567,13 @@ impl Executor for ThreadedExecutor {
         if let Some(h) = &self.e2e_latency {
             record_e2e(h, batch.tuples.iter());
         }
-        route_batch(&self.spout_edges, &mut self.offer_rr, batch.into_tuples());
+        let trace = batch.trace;
+        route_batch(
+            &self.spout_edges,
+            &mut self.offer_rr,
+            batch.into_tuples(),
+            trace,
+        );
     }
 
     fn tick(&mut self, now_ns: u64) {

@@ -106,15 +106,24 @@ impl Histogram {
     }
 
     /// Materialise a mergeable point-in-time view.
+    ///
+    /// The snapshot's count is derived from the bucket scan rather than
+    /// read from the separate count cell: a writer caught between its
+    /// bucket increment and its count increment would otherwise produce
+    /// a snapshot whose total disagrees with its buckets (a torn
+    /// total). Deriving keeps `count() == Σ buckets` an invariant under
+    /// concurrent recording; `sum` and `max` remain moment-in-time
+    /// approximations.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let count = buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b));
         HistogramSnapshot {
             buckets,
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }
@@ -220,11 +229,24 @@ impl HistogramSnapshot {
 
     /// Quantile estimate: the lower bound of the bucket holding the
     /// `q`-th observation (`0.0 ..= 1.0`). Within one bucket of exact.
+    ///
+    /// Edge cases are defined as:
+    ///
+    /// * an empty snapshot returns `0` for every `q`;
+    /// * `q >= 1.0` returns exactly [`HistogramSnapshot::max`] (not a
+    ///   bucket bound);
+    /// * `q <= 0.0` returns the lower bound of the smallest non-empty
+    ///   bucket — a minimum estimate, within one bucket of the true min;
+    /// * `q` outside `[0, 1]` clamps, and `NaN` is treated as `0.0`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        // f64::max returns the non-NaN operand, so NaN lands on 0.0.
+        let q = q.max(0.0);
         // Rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -320,6 +342,31 @@ mod tests {
             s.record(v);
         }
         assert_eq!(s, h.snapshot());
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        let empty = HistogramSnapshot::empty();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty snapshot is 0 at q={q}");
+        }
+
+        let h = Histogram::new();
+        for v in [70u64, 900, 12_345] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), 12_345, "q=1.0 is exactly the max");
+        assert_eq!(s.quantile(2.0), 12_345, "q>1 clamps to the max");
+        let q0 = s.quantile(0.0);
+        assert_eq!(
+            q0,
+            bucket_lower_bound(bucket_index(70)),
+            "q=0.0 is the min's bucket lower bound"
+        );
+        assert!(q0 <= 70, "q=0.0 never overstates the minimum");
+        assert_eq!(s.quantile(-0.5), q0, "q<0 clamps to 0");
+        assert_eq!(s.quantile(f64::NAN), q0, "NaN is treated as q=0");
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Flight recorder: a fixed-capacity ring journal of control-plane
+//! events.
+//!
+//! Metrics say *how much*; traces say *where the time went*; the
+//! journal says *what happened* — query lifecycle transitions,
+//! reconciliation decisions, failovers, shed bursts, store segment
+//! churn. Every event is typed ([`EventKind`]), stamped with a
+//! monotone sequence number and a timestamp, and optionally scoped to a
+//! query cookie so the introspection server can answer "what happened
+//! to query 7?" with an ordered event list.
+//!
+//! The ring keeps the most recent `capacity` events; older ones fall
+//! off the back. Sequence numbers are never reused, so a reader that
+//! remembers the last `seq` it saw can page forward with
+//! `events_since` and detect gaps (evictions) by discontinuity.
+//!
+//! Recording takes a short mutex — every emitter sits on a control
+//! path (submit, reconcile, seal, fold) or a scrape path, never on the
+//! per-tuple hot path. The one per-batch-adjacent emitter, queue shed
+//! accounting, batches its bursts before recording.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::registry::json_escape;
+
+/// What kind of control-plane event happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query arrived at the orchestrator.
+    QuerySubmitted,
+    /// Its processing elements were placed and started.
+    QueryDeployed,
+    /// The query was torn down (user kill or expiry).
+    QueryKilled,
+    /// The reconciler moved or restarted a processing element.
+    ReconcileDecision,
+    /// A failed aggregator/monitor was replaced on a new host.
+    Failover,
+    /// The queue dropped a burst of messages under backpressure.
+    ShedBurst,
+    /// The store sealed an active segment.
+    SegmentSealed,
+    /// The store folded sealed segments into a rollup.
+    RollupFolded,
+}
+
+impl EventKind {
+    /// Stable lowercase identifier used in JSON and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::QuerySubmitted => "query_submitted",
+            EventKind::QueryDeployed => "query_deployed",
+            EventKind::QueryKilled => "query_killed",
+            EventKind::ReconcileDecision => "reconcile_decision",
+            EventKind::Failover => "failover",
+            EventKind::ShedBurst => "shed_burst",
+            EventKind::SegmentSealed => "segment_sealed",
+            EventKind::RollupFolded => "rollup_folded",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotone, never reused; gaps mean eviction.
+    pub seq: u64,
+    /// Emitter-supplied clock (wall or virtual, per plane).
+    pub ts_ns: u64,
+    /// The query this event belongs to, if any.
+    pub cookie: Option<u64>,
+    pub kind: EventKind,
+    /// Free-form human-readable detail ("host m2 -> m5", "247 msgs").
+    pub detail: String,
+}
+
+/// The flight recorder. Shared as `Arc<Journal>`; all methods `&self`.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    next_seq: AtomicU64,
+    /// Control-path only — see the module docs.
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl Journal {
+    /// A journal retaining the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            capacity,
+            next_seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event; evicts the oldest when full. Returns its seq.
+    pub fn record(
+        &self,
+        ts_ns: u64,
+        cookie: Option<u64>,
+        kind: EventKind,
+        detail: impl Into<String>,
+    ) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            seq,
+            ts_ns,
+            cookie,
+            kind,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock(); // control path
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+        seq
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Every retained event, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Retained events filtered by cookie and/or minimum sequence
+    /// number, oldest first. `cookie: None` matches every event
+    /// (including cookie-less ones); `since_seq` is exclusive — pass
+    /// the last seq you saw to page forward.
+    pub fn query(&self, cookie: Option<u64>, since_seq: Option<u64>) -> Vec<Event> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|e| cookie.is_none() || e.cookie == cookie)
+            .filter(|e| since_seq.map_or(true, |s| e.seq > s))
+            .cloned()
+            .collect()
+    }
+
+    /// The retained kinds for `cookie`, in order — handy for asserting
+    /// lifecycle sequences in tests.
+    pub fn kinds_for(&self, cookie: u64) -> Vec<EventKind> {
+        self.query(Some(cookie), None)
+            .iter()
+            .map(|e| e.kind)
+            .collect()
+    }
+
+    /// Renders a filtered view as a JSON array (hand-rolled — the
+    /// workspace carries no JSON crate).
+    pub fn render_json(&self, cookie: Option<u64>, since_seq: Option<u64>) -> String {
+        let events = self.query(cookie, since_seq);
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"ts_ns\":{},\"cookie\":",
+                e.seq, e.ts_ns
+            );
+            match e.cookie {
+                Some(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                e.kind.as_str(),
+                json_escape(&e.detail)
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotone_seqs() {
+        let j = Journal::new(16);
+        j.record(10, Some(1), EventKind::QuerySubmitted, "q1");
+        j.record(20, Some(1), EventKind::QueryDeployed, "2 monitors");
+        j.record(30, None, EventKind::SegmentSealed, "seg 0");
+        let evs = j.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[2].seq, 2);
+        assert_eq!(evs[1].kind, EventKind::QueryDeployed);
+        assert_eq!(j.recorded(), 3);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_never_reuses_seqs() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.record(i, None, EventKind::ShedBurst, format!("burst {i}"));
+        }
+        let evs = j.events();
+        assert_eq!(evs.len(), 3);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4], "oldest evicted, seqs keep counting");
+        assert_eq!(j.recorded(), 5);
+    }
+
+    #[test]
+    fn query_filters_by_cookie_and_seq() {
+        let j = Journal::new(16);
+        j.record(1, Some(7), EventKind::QuerySubmitted, "");
+        j.record(2, Some(8), EventKind::QuerySubmitted, "");
+        j.record(3, Some(7), EventKind::QueryDeployed, "");
+        j.record(4, Some(7), EventKind::QueryKilled, "");
+        assert_eq!(
+            j.kinds_for(7),
+            [
+                EventKind::QuerySubmitted,
+                EventKind::QueryDeployed,
+                EventKind::QueryKilled
+            ]
+        );
+        let page = j.query(Some(7), Some(0));
+        assert_eq!(page.len(), 2, "since_seq is exclusive");
+        assert_eq!(page[0].seq, 2);
+        assert_eq!(j.query(None, None).len(), 4);
+    }
+
+    #[test]
+    fn renders_json_with_escaped_detail() {
+        let j = Journal::new(4);
+        j.record(5, Some(1), EventKind::Failover, "host \"m2\" -> m5");
+        j.record(6, None, EventKind::RollupFolded, "2 segs");
+        let js = j.render_json(None, None);
+        assert!(js.starts_with('[') && js.ends_with(']'));
+        assert!(js.contains("\"kind\":\"failover\""));
+        assert!(js.contains("host \\\"m2\\\" -> m5"));
+        assert!(js.contains("\"cookie\":null"));
+        let scoped = j.render_json(Some(1), None);
+        assert!(scoped.contains("failover") && !scoped.contains("rollup_folded"));
+    }
+}

@@ -26,12 +26,31 @@
 //! Registration is the cold path (a mutex-guarded map lookup); recording is
 //! the hot path (atomics only). Components keep their `Arc` handles and
 //! never touch the registry map again after startup.
+//!
+//! Three further planes build on the registry:
+//!
+//! * [`trace`] — query-scoped tracing: head-sampled batches carry a
+//!   trace context end to end, every stage records a [`Span`] into a
+//!   lock-free buffer, and the [`Tracer`] keeps the K slowest span
+//!   waterfalls per query.
+//! * [`journal`] — a flight recorder: a fixed-capacity ring of typed
+//!   control-plane [`Event`]s (query lifecycle, reconciliation,
+//!   failover, shed bursts, store segment churn).
+//! * [`server`] — a live introspection endpoint: [`TelemetryServer`]
+//!   serves `/metrics`, `/queries`, `/trace/{cookie}` and `/events`
+//!   over a plain std `TcpListener`.
 
 mod histogram;
+pub mod journal;
 mod registry;
+pub mod server;
+pub mod trace;
 
 pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{Event, EventKind, Journal};
 pub use registry::{
     Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
     ShardedCounter,
 };
+pub use server::{Introspection, QueryDirectory, QueryInfo, QueryState, TelemetryServer};
+pub use trace::{wall_now_ns, Span, TraceConfig, TraceExemplar, Tracer};

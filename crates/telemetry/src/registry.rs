@@ -284,10 +284,29 @@ fn series_id(name: &str, labels: &[(String, String)]) -> String {
     format!("{name}{{{}}}", inner.join(","))
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote and line feed are the only characters that
+/// need escaping inside a quoted label value.
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!("{k}=\"{}\"", prom_escape(v)));
     }
     if parts.is_empty() {
         String::new()
@@ -296,7 +315,7 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -470,6 +489,77 @@ mod tests {
         let m = text.find("monitor_").unwrap();
         let q = text.find("queue_").unwrap();
         assert!(e < m && m < q);
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_specials() {
+        // Per the exposition format, label values must escape backslash,
+        // double-quote and line feed — nothing else.
+        let r = MetricsRegistry::new();
+        r.counter("parse.errors", &[("path", "C:\\logs\n\"hot\"")]).inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(r#"parse_errors{path="C:\\logs\n\"hot\""} 1"#),
+            "got: {text}"
+        );
+        // The rendered series must stay a single line.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("parse_errors"))
+            .expect("series rendered");
+        assert!(line.ends_with(" 1"));
+    }
+
+    #[test]
+    fn scrape_under_write_is_internally_consistent() {
+        // Satellite: a registry snapshot taken while sharded counters and
+        // histograms are being hammered must never show torn totals — a
+        // histogram count that disagrees with its buckets, or a counter
+        // total that goes backwards between scrapes.
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let r = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for w in 0..4usize {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let h = r.histogram("t.lat", &[]);
+                let c = r.sharded_counter("t.ops", &[], 4);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(i % 10_000 + 1);
+                    c.add(w, 1);
+                    i += 1;
+                }
+                i
+            }));
+        }
+
+        let mut last_count = 0u64;
+        let mut last_ops = 0u64;
+        for _ in 0..200 {
+            let snap = r.snapshot();
+            if let Some(MetricValue::Histogram(h)) = snap.get("t.lat", &[]) {
+                let bucket_total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+                assert_eq!(h.count(), bucket_total, "torn histogram count");
+                assert!(h.count() >= last_count, "histogram count went backwards");
+                last_count = h.count();
+            }
+            let ops = snap.counter_total("t.ops");
+            assert!(ops >= last_ops, "sharded counter total went backwards");
+            last_ops = ops;
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let quiesced = r.snapshot();
+        assert_eq!(quiesced.counter_total("t.ops"), total);
+        match quiesced.get("t.lat", &[]) {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), total),
+            other => panic!("histogram series missing: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Live introspection endpoint: the operator's window into a running
+//! NetAlytics deployment.
+//!
+//! The NetAlytics paper's operators watch query results through an
+//! external dashboard; this module gives the runtime itself a pulse
+//! that `curl` can take. [`TelemetryServer::spawn`] binds a std
+//! `TcpListener` (no HTTP framework — the workspace carries no such
+//! dependency) and serves a minimal HTTP/1.1 surface over an
+//! [`Introspection`] bundle:
+//!
+//! | Endpoint             | Payload                                        |
+//! |----------------------|------------------------------------------------|
+//! | `/metrics`           | Prometheus text exposition of the registry     |
+//! | `/metrics.json`      | Same registry as one JSON object               |
+//! | `/queries`           | Directory of known queries (JSON array)        |
+//! | `/queries/{cookie}`  | One query's lifecycle record                   |
+//! | `/trace/{cookie}`    | K slowest span waterfalls for the query        |
+//! | `/events?cookie=&since=` | Flight-recorder journal, filtered          |
+//!
+//! Requests are handled serially on one accept thread — introspection
+//! is a human-rate cold path and must never compete with the data
+//! plane for cores. Every response closes the connection.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::journal::Journal;
+use crate::registry::{json_escape, MetricsRegistry};
+use crate::trace::Tracer;
+
+/// Lifecycle state of a query in the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryState {
+    Running,
+    Killed,
+}
+
+impl QueryState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryState::Running => "running",
+            QueryState::Killed => "killed",
+        }
+    }
+}
+
+/// What the directory knows about one query.
+#[derive(Clone, Debug)]
+pub struct QueryInfo {
+    pub cookie: u64,
+    /// The source text the operator submitted.
+    pub query: String,
+    pub state: QueryState,
+    pub submitted_ns: u64,
+    /// Monitor instances feeding the query.
+    pub monitors: usize,
+    /// Host currently running the aggregation element.
+    pub aggregator: String,
+    /// Times the reconciler replaced a failed element.
+    pub replacements: u64,
+    pub updated_ns: u64,
+}
+
+impl QueryInfo {
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"cookie\":{},\"query\":\"{}\",\"state\":\"{}\",\"submitted_ns\":{},\
+             \"monitors\":{},\"aggregator\":\"{}\",\"replacements\":{},\"updated_ns\":{}}}",
+            self.cookie,
+            json_escape(&self.query),
+            self.state.as_str(),
+            self.submitted_ns,
+            self.monitors,
+            json_escape(&self.aggregator),
+            self.replacements,
+            self.updated_ns
+        )
+    }
+}
+
+/// Registry of live and recently killed queries, keyed by cookie.
+/// All methods are cold control-path calls.
+#[derive(Debug, Default)]
+pub struct QueryDirectory {
+    inner: Mutex<BTreeMap<u64, QueryInfo>>,
+}
+
+impl QueryDirectory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a freshly submitted query.
+    pub fn submitted(&self, cookie: u64, query: &str, now_ns: u64) {
+        let mut map = self.inner.lock(); // control path
+        map.insert(
+            cookie,
+            QueryInfo {
+                cookie,
+                query: query.to_string(),
+                state: QueryState::Running,
+                submitted_ns: now_ns,
+                monitors: 0,
+                aggregator: String::new(),
+                replacements: 0,
+                updated_ns: now_ns,
+            },
+        );
+    }
+
+    /// Records placement: how many monitors feed it, which host runs
+    /// the aggregator.
+    pub fn deployed(&self, cookie: u64, monitors: usize, aggregator: &str, now_ns: u64) {
+        let mut map = self.inner.lock(); // control path
+        if let Some(info) = map.get_mut(&cookie) {
+            info.monitors = monitors;
+            info.aggregator = aggregator.to_string();
+            info.updated_ns = now_ns;
+        }
+    }
+
+    /// Marks the query killed.
+    pub fn killed(&self, cookie: u64, now_ns: u64) {
+        let mut map = self.inner.lock(); // control path
+        if let Some(info) = map.get_mut(&cookie) {
+            info.state = QueryState::Killed;
+            info.updated_ns = now_ns;
+        }
+    }
+
+    /// Bumps the replacement count after a reconcile/failover, updating
+    /// the aggregator host if it moved.
+    pub fn replaced(&self, cookie: u64, aggregator: Option<&str>, now_ns: u64) {
+        let mut map = self.inner.lock(); // control path
+        if let Some(info) = map.get_mut(&cookie) {
+            info.replacements += 1;
+            if let Some(host) = aggregator {
+                info.aggregator = host.to_string();
+            }
+            info.updated_ns = now_ns;
+        }
+    }
+
+    pub fn get(&self, cookie: u64) -> Option<QueryInfo> {
+        self.inner.lock().get(&cookie).cloned()
+    }
+
+    /// Every known query, ascending by cookie.
+    pub fn list(&self) -> Vec<QueryInfo> {
+        self.inner.lock().values().cloned().collect()
+    }
+
+    /// The whole directory as a JSON array.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, info) in self.list().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&info.render_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Everything the introspection server exposes, bundled for sharing.
+#[derive(Clone)]
+pub struct Introspection {
+    pub registry: Arc<MetricsRegistry>,
+    pub tracer: Arc<Tracer>,
+    pub journal: Arc<Journal>,
+    pub queries: Arc<QueryDirectory>,
+}
+
+impl Introspection {
+    /// A bundle with a default tracer and a 1024-event journal —
+    /// convenient for examples and tests.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let tracer = Arc::new(Tracer::with_registry(
+            crate::trace::TraceConfig::default(),
+            Arc::clone(&registry),
+        ));
+        Introspection {
+            registry,
+            tracer,
+            journal: Arc::new(Journal::new(1024)),
+            queries: Arc::new(QueryDirectory::new()),
+        }
+    }
+}
+
+/// The HTTP introspection server. Dropping it (or calling
+/// [`TelemetryServer::shutdown`]) stops the accept loop and joins the
+/// thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `state` on a dedicated thread.
+    pub fn spawn(addr: impl ToSocketAddrs, state: Introspection) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("netalytics-introspect".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        handle_conn(&mut stream, &state);
+                    }
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — read the ephemeral port from here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(stream: &mut TcpStream, state: &Introspection) {
+    let mut buf = [0u8; 2048];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = req.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "introspection is read-only: GET only\n",
+        );
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    route(stream, state, path, query);
+}
+
+fn route(stream: &mut TcpStream, state: &Introspection, path: &str, query: &str) {
+    const JSON: &str = "application/json";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    match path {
+        "/" => {
+            let body = "netalytics introspection\n\
+                        /metrics          prometheus exposition\n\
+                        /metrics.json     registry as json\n\
+                        /queries          query directory\n\
+                        /queries/{cookie} one query\n\
+                        /trace/{cookie}   slowest span waterfalls\n\
+                        /events?cookie=&since=  flight-recorder journal\n";
+            respond(stream, "200 OK", TEXT, body);
+        }
+        "/metrics" => {
+            respond(stream, "200 OK", TEXT, &state.registry.render_prometheus());
+        }
+        "/metrics.json" => {
+            respond(stream, "200 OK", JSON, &state.registry.render_json());
+        }
+        "/queries" => {
+            respond(stream, "200 OK", JSON, &state.queries.render_json());
+        }
+        _ if path.starts_with("/queries/") => {
+            match parse_cookie(path, "/queries/") {
+                Some(cookie) => match state.queries.get(cookie) {
+                    Some(info) => respond(stream, "200 OK", JSON, &info.render_json()),
+                    None => respond(stream, "404 Not Found", TEXT, "unknown cookie\n"),
+                },
+                None => respond(stream, "400 Bad Request", TEXT, "cookie must be a u64\n"),
+            }
+        }
+        _ if path.starts_with("/trace/") => match parse_cookie(path, "/trace/") {
+            Some(cookie) => {
+                respond(stream, "200 OK", JSON, &state.tracer.render_waterfalls_json(cookie));
+            }
+            None => respond(stream, "400 Bad Request", TEXT, "cookie must be a u64\n"),
+        },
+        "/events" => {
+            let cookie = match query_param(query, "cookie") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(c) => Some(c),
+                    Err(_) => {
+                        respond(stream, "400 Bad Request", TEXT, "cookie must be a u64\n");
+                        return;
+                    }
+                },
+                None => None,
+            };
+            let since = match query_param(query, "since") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(s) => Some(s),
+                    Err(_) => {
+                        respond(stream, "400 Bad Request", TEXT, "since must be a u64\n");
+                        return;
+                    }
+                },
+                None => None,
+            };
+            respond(stream, "200 OK", JSON, &state.journal.render_json(cookie, since));
+        }
+        _ => respond(stream, "404 Not Found", TEXT, "no such endpoint; try /\n"),
+    }
+}
+
+fn parse_cookie(path: &str, prefix: &str) -> Option<u64> {
+    path.strip_prefix(prefix)?.parse::<u64>().ok()
+}
+
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let mut head = String::new();
+    let _ = write!(
+        head,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use crate::EventKind;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+        (head.lines().next().unwrap().to_string(), body.to_string())
+    }
+
+    fn test_state() -> Introspection {
+        let registry = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(Tracer::with_registry(
+            TraceConfig {
+                sample_every: 1,
+                ..TraceConfig::default()
+            },
+            Arc::clone(&registry),
+        ));
+        Introspection {
+            registry,
+            tracer,
+            journal: Arc::new(Journal::new(64)),
+            queries: Arc::new(QueryDirectory::new()),
+        }
+    }
+
+    #[test]
+    fn serves_metrics_in_both_formats() {
+        let state = test_state();
+        state.registry.counter("monitor.packets", &[]).add(9);
+        let srv = TelemetryServer::spawn("127.0.0.1:0", state).unwrap();
+        let (status, body) = http_get(srv.local_addr(), "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("monitor_packets 9"));
+        let (status, body) = http_get(srv.local_addr(), "/metrics.json");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"monitor.packets\":9"));
+    }
+
+    #[test]
+    fn serves_query_directory_and_single_lookup() {
+        let state = test_state();
+        state.queries.submitted(7, "SELECT slow FROM http", 100);
+        state.queries.deployed(7, 2, "m3", 200);
+        let srv = TelemetryServer::spawn("127.0.0.1:0", state).unwrap();
+        let (_, list) = http_get(srv.local_addr(), "/queries");
+        assert!(list.contains("\"cookie\":7") && list.contains("\"aggregator\":\"m3\""));
+        let (status, one) = http_get(srv.local_addr(), "/queries/7");
+        assert!(status.contains("200"));
+        assert!(one.contains("\"state\":\"running\"") && one.contains("\"monitors\":2"));
+        let (status, _) = http_get(srv.local_addr(), "/queries/99");
+        assert!(status.contains("404"), "{status}");
+        let (status, _) = http_get(srv.local_addr(), "/queries/bogus");
+        assert!(status.contains("400"), "{status}");
+    }
+
+    #[test]
+    fn serves_trace_waterfalls() {
+        let state = test_state();
+        let id = state.tracer.sample_batch().unwrap();
+        state.tracer.record_span(0, 7, id, 10, "parse", 10, 25);
+        state.tracer.record_span(0, 7, id, 10, "store", 25, 40);
+        let srv = TelemetryServer::spawn("127.0.0.1:0", state).unwrap();
+        let (status, body) = http_get(srv.local_addr(), "/trace/7");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"stage\":\"parse\"") && body.contains("\"stage\":\"store\""));
+        assert!(body.contains("\"total_ns\":30"));
+    }
+
+    #[test]
+    fn serves_filtered_events() {
+        let state = test_state();
+        state.journal.record(1, Some(7), EventKind::QuerySubmitted, "q");
+        state.journal.record(2, Some(8), EventKind::QuerySubmitted, "q");
+        state.journal.record(3, Some(7), EventKind::QueryKilled, "done");
+        let srv = TelemetryServer::spawn("127.0.0.1:0", state).unwrap();
+        let (_, all) = http_get(srv.local_addr(), "/events");
+        assert_eq!(all.matches("query_submitted").count(), 2);
+        let (_, scoped) = http_get(srv.local_addr(), "/events?cookie=7");
+        assert_eq!(scoped.matches("\"cookie\":7").count(), 2);
+        assert!(!scoped.contains("\"cookie\":8"));
+        let (_, paged) = http_get(srv.local_addr(), "/events?cookie=7&since=0");
+        assert!(paged.contains("query_killed") && !paged.contains("query_submitted"));
+    }
+
+    #[test]
+    fn unknown_paths_404_and_posts_405() {
+        let state = test_state();
+        let srv = TelemetryServer::spawn("127.0.0.1:0", state).unwrap();
+        let (status, _) = http_get(srv.local_addr(), "/nope");
+        assert!(status.contains("404"));
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn shutdown_joins_the_accept_thread() {
+        let mut srv = TelemetryServer::spawn("127.0.0.1:0", test_state()).unwrap();
+        let addr = srv.local_addr();
+        srv.shutdown();
+        srv.shutdown(); // idempotent
+        // The port is released: a fresh bind to the same addr works.
+        let _rebound = TcpListener::bind(addr).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Live introspection: take the runtime's pulse with `curl`.
+//!
+//! Runs the quickstart scenario with query-scoped tracing enabled, then
+//! binds the introspection endpoint and fetches each route the way an
+//! operator would. The server keeps running after the demo requests so
+//! you can point a browser or `curl` at it:
+//!
+//! ```text
+//! curl http://127.0.0.1:9900/metrics          # Prometheus exposition
+//! curl http://127.0.0.1:9900/queries          # query directory
+//! curl http://127.0.0.1:9900/trace/1          # slowest span waterfalls
+//! curl http://127.0.0.1:9900/events?cookie=1  # flight-recorder journal
+//! ```
+//!
+//! Run with: `cargo run --release --example introspection`
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+use netalytics::{Orchestrator, TraceConfig};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::{SimDuration, SimTime};
+use netalytics_packet::http;
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n").expect("request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("response");
+    resp.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(resp)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Trace every batch — a demo wants waterfalls, not 1-in-64 samples.
+    let mut orch = Orchestrator::builder(4)
+        .tracing(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        })
+        .build();
+
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(2.0, 7)))),
+    );
+    let urls = ["/video/7", "/video/7", "/video/2", "/index"];
+    let schedule = (0..200u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 5_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get(urls[(i % 4) as usize], "web")],
+                    tag: urls[(i % 4) as usize].to_string(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+
+    let mut q = orch.submit(
+        "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+         PROCESS (top-k: k=3, w=10s, key=url)",
+    )?;
+    let cookie = q.cookie;
+    let deadline = q.deadline.expect("time-limited query");
+    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
+    orch.finalize(q);
+
+    // Port 0 picks a free ephemeral port; swap in "127.0.0.1:9900" to
+    // get the stable address the doc comment advertises.
+    let srv = orch.serve("127.0.0.1:0")?;
+    let addr = srv.local_addr();
+    println!("introspection listening on http://{addr}\n");
+
+    println!("== GET /queries ==");
+    println!("{}\n", get(addr, "/queries"));
+
+    println!("== GET /trace/{cookie} (K slowest waterfalls) ==");
+    println!("{}\n", get(addr, &format!("/trace/{cookie}")));
+
+    println!("== GET /events?cookie={cookie} (flight recorder) ==");
+    println!("{}\n", get(addr, &format!("/events?cookie={cookie}")));
+
+    println!("== GET /metrics (trace.* series only) ==");
+    for line in get(addr, "/metrics").lines() {
+        if line.starts_with("trace_") {
+            println!("{line}");
+        }
+    }
+
+    println!("\nserver stays up for 10s — try: curl http://{addr}/");
+    std::thread::sleep(std::time::Duration::from_secs(10));
+    Ok(())
+}

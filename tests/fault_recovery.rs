@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use netalytics::{Orchestrator, TimeSeriesStore};
+use netalytics::{EventKind, Orchestrator, TimeSeriesStore};
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
 use netalytics_netsim::{FailureScript, SimDuration, SimTime};
 use netalytics_packet::http;
@@ -57,6 +57,7 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
     let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
     deploy_web(&mut orch, 60);
     let mut q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie;
     let victim = q.monitor_hosts()[0];
     let fail_at = SimTime::from_nanos(200_000_000);
     let script = FailureScript::new().fail_host(fail_at, victim);
@@ -99,6 +100,37 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
         tuples as f64 >= baseline_tuples as f64 * 0.9,
         "tuple count within 10% of baseline: got {tuples}, baseline {baseline_tuples}"
     );
+
+    // The flight recorder captured the whole incident, in order:
+    // the fault firing (kill), the reconciler declaring the monitor
+    // dead (detection), and the re-placement onto a live host.
+    let events = orch.journal().query(Some(cookie), None);
+    let kill = events
+        .iter()
+        .position(|e| e.kind == EventKind::ReconcileDecision && e.detail.starts_with("fault:"))
+        .expect("fault firing journaled");
+    let detect = events
+        .iter()
+        .position(|e| {
+            e.kind == EventKind::ReconcileDecision && e.detail.contains("declared dead")
+        })
+        .expect("detection journaled");
+    let replace = events
+        .iter()
+        .position(|e| e.kind == EventKind::Failover && e.detail.contains("monitor re-placed"))
+        .expect("re-placement journaled");
+    assert!(
+        kill < detect && detect < replace,
+        "kill -> detection -> re-placement in order, got kill={kill}, \
+         detect={detect}, replace={replace}"
+    );
+    assert!(
+        events[kill].ts_ns >= fail_at.as_nanos(),
+        "the fault cannot be observed before it fired"
+    );
+    // And the query directory reflects the repair.
+    let info = orch.query_directory().get(cookie).expect("directory entry");
+    assert!(info.replacements >= 1);
 }
 
 /// Killing the aggregator host fails the analytics tier over to a new
@@ -109,6 +141,7 @@ fn fault_aggregator_host_killed_mid_query_fails_over() {
     let mut orch = Orchestrator::builder(4).build();
     deploy_web(&mut orch, 60);
     let mut q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie;
     let victim = q.aggregator_host;
     let fail_at = SimTime::from_nanos(200_000_000);
     orch.engine_mut()
@@ -126,6 +159,25 @@ fn fault_aggregator_host_killed_mid_query_fails_over() {
     );
     let ranking = report.first();
     assert!(!ranking.is_empty(), "analytics produced results");
+
+    // The flight recorder shows the aggregator incident too: the dead
+    // aggregator is declared first, then the failover lands.
+    let events = orch.journal().query(Some(cookie), None);
+    let detect = events
+        .iter()
+        .position(|e| {
+            e.kind == EventKind::ReconcileDecision
+                && e.detail.contains("aggregator")
+                && e.detail.contains("declared dead")
+        })
+        .expect("aggregator death journaled");
+    let failover = events
+        .iter()
+        .position(|e| {
+            e.kind == EventKind::Failover && e.detail.contains("aggregator failed over")
+        })
+        .expect("aggregator failover journaled");
+    assert!(detect < failover, "detection precedes the failover");
 }
 
 /// A monitor that dies and whose host comes straight back (process
