@@ -158,7 +158,11 @@ fn main() {
     );
     let _ = writeln!(report);
     let _ = writeln!(report, "{:>38} {:>14}", "path", "rows/sec");
-    let _ = writeln!(report, "{:>38} {:>14.0}", "per-message (1 row/frame)", per_msg);
+    let _ = writeln!(
+        report,
+        "{:>38} {:>14.0}",
+        "per-message (1 row/frame)", per_msg
+    );
     let _ = writeln!(
         report,
         "{:>38} {:>14.0}",

@@ -1,0 +1,165 @@
+//! Frontend streaming fan-out: how many concurrent `/stream`
+//! subscribers one [`QueryFrontend`] sustains, and what the bounded
+//! per-subscriber channels shed when consumers cannot keep up.
+//!
+//! Spawns a frontend over an emulated fabric, submits one windowed
+//! top-k query, then opens N concurrent HTTP stream subscribers. Each
+//! subscriber tails NDJSON result lines until it has seen its target;
+//! deliberately-slow subscribers exercise the shed-on-slow-consumer
+//! path without stalling anyone else.
+//!
+//! Gate: >= 100 concurrent subscribers all receive live lines.
+//!
+//! Run with: `cargo run --release -p netalytics-bench --bin frontend_throughput`
+//! (add `--quick` for the CI-sized run). Writes
+//! `results/frontend_throughput.txt`.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netalytics::{Orchestrator, QueryFrontend, TimeSeriesStore};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::SimTime;
+use netalytics_packet::http;
+
+const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 3600s SAMPLE * \
+                     PROCESS (top-k: k=3, w=100ms, key=url)";
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("response");
+    resp.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(resp)
+}
+
+/// Tails one stream until `want` result lines arrive (or the stream
+/// ends). `lag` throttles reads to emulate a slow consumer. Returns the
+/// number of lines this subscriber actually saw.
+fn subscribe(addr: SocketAddr, cookie: u64, want: u64, lag: Option<Duration>) -> u64 {
+    let mut s = TcpStream::connect(addr).expect("connect subscriber");
+    write!(
+        s,
+        "GET /queries/{cookie}/stream?max={want} HTTP/1.1\r\nHost: bench\r\n\
+         Connection: close\r\n\r\n"
+    )
+    .expect("stream request");
+    s.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut reader = BufReader::new(s);
+    let mut line = String::new();
+    let mut seen = 0u64;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.starts_with('{') && line.contains("\"fields\"") => {
+                seen += 1;
+                if let Some(pause) = lag {
+                    std::thread::sleep(pause);
+                }
+            }
+            Ok(_) => {}
+        }
+    }
+    seen
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The gate is the same either way: >= 100 concurrent subscribers.
+    let (subscribers, lines_each) = if quick { (100, 3u64) } else { (256, 10u64) };
+    let slow_every = 10; // every 10th subscriber drags its reads
+
+    let builder = Orchestrator::builder(8).result_store(Arc::new(TimeSeriesStore::in_memory()));
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, |orch| {
+        orch.name_host("web", 1);
+        let web_ip = orch.host_ip(1);
+        orch.deploy_app(
+            1,
+            Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+        );
+        let schedule = (0..400_000u64)
+            .map(|i| {
+                (
+                    SimTime::from_nanos(i * 10_000_000),
+                    Conversation {
+                        dst: (web_ip, 80),
+                        requests: vec![http::build_get(
+                            if i % 3 == 0 { "/hot" } else { "/cold" },
+                            "web",
+                        )],
+                        tag: String::new(),
+                    },
+                )
+            })
+            .collect();
+        orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+    })
+    .expect("spawn frontend");
+    let addr = frontend.local_addr();
+
+    let descriptor = request(addr, "POST", "/queries", QUERY);
+    let idx = descriptor.find("\"cookie\":").expect("cookie") + 9;
+    let cookie: u64 = descriptor[idx..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("cookie digits");
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..subscribers)
+        .map(|i| {
+            let lag = (i % slow_every == slow_every - 1).then(|| Duration::from_millis(25));
+            std::thread::spawn(move || subscribe(addr, cookie, lines_each, lag))
+        })
+        .collect();
+    let counts: Vec<u64> = threads
+        .into_iter()
+        .map(|t| t.join().expect("join"))
+        .collect();
+    let elapsed = started.elapsed();
+
+    let satisfied = counts.iter().filter(|&&c| c >= lines_each).count();
+    let total_lines: u64 = counts.iter().sum();
+    let (delivered, shed) = frontend.stream_stats(cookie).expect("hub stats");
+    assert!(request(addr, "DELETE", format!("/queries/{cookie}").as_str(), "").contains("killed"));
+
+    let report = format!(
+        "frontend_throughput ({} mode)\n\
+         =============================\n\
+         concurrent subscribers      : {subscribers}\n\
+         lines required per sub      : {lines_each}\n\
+         subscribers fully served    : {satisfied}\n\
+         total lines over HTTP       : {total_lines}\n\
+         wall time                   : {:.2}s\n\
+         lines/sec (wire)            : {:.0}\n\
+         hub delivered (all subs)    : {delivered}\n\
+         hub shed (slow consumers)   : {shed}\n\
+         \n\
+         gate: >= 100 concurrent subscribers each streamed {lines_each} live lines: {}\n",
+        if quick { "quick" } else { "full" },
+        elapsed.as_secs_f64(),
+        total_lines as f64 / elapsed.as_secs_f64().max(1e-9),
+        if satisfied >= 100 { "PASS" } else { "FAIL" },
+    );
+    print!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/frontend_throughput.txt", &report).expect("write results");
+
+    assert!(
+        subscribers >= 100 && satisfied >= 100,
+        "gate: {satisfied}/{subscribers} subscribers fully served"
+    );
+}

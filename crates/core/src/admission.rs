@@ -1,0 +1,410 @@
+//! Multi-tenant admission control for the query frontend.
+//!
+//! NetAlytics is pitched at "hundreds of concurrent administrators"
+//! sharing one monitoring fabric; without quotas, one tenant's burst of
+//! diagnostic queries can exhaust the free monitor cores and mirror
+//! rules every other tenant needs. This module is the gatekeeper the
+//! orchestrator consults before placing anything:
+//!
+//! * a [`Tenant`] registry with per-tenant [`TenantQuota`]s — max
+//!   concurrent queries, max monitor cores, max mirror rules — and a
+//!   scheduling priority;
+//! * an [`AdmissionController`] charging each admitted query's demand
+//!   against its tenant and releasing it on kill;
+//! * typed [`AdmissionError`] rejections that the frontend maps to
+//!   `429`/`403` API envelopes;
+//! * priority comparison for **eviction**: when placement runs out of
+//!   hosts, the orchestrator may kill the lowest-priority running query
+//!   that is strictly lower-priority than the new arrival.
+//!
+//! A `"default"` tenant with unlimited quota and mid-range priority is
+//! always registered, so single-tenant (library) use never changes
+//! behavior.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Per-tenant resource limits. `u32::MAX` (via [`TenantQuota::UNLIMITED`])
+/// disables a dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Queries running at once.
+    pub max_concurrent_queries: u32,
+    /// Monitor instances (one per covered edge) across running queries.
+    pub max_monitor_cores: u32,
+    /// SDN mirror rules (forward + reverse per match) across running
+    /// queries.
+    pub max_mirror_rules: u32,
+}
+
+impl TenantQuota {
+    /// No limits on any dimension.
+    pub const UNLIMITED: TenantQuota = TenantQuota {
+        max_concurrent_queries: u32::MAX,
+        max_monitor_cores: u32::MAX,
+        max_mirror_rules: u32::MAX,
+    };
+
+    /// A small interactive allowance: a handful of concurrent
+    /// diagnostic queries and the fabric share they imply.
+    pub fn standard() -> TenantQuota {
+        TenantQuota {
+            max_concurrent_queries: 8,
+            max_monitor_cores: 32,
+            max_mirror_rules: 128,
+        }
+    }
+}
+
+/// One tenant of the monitoring fabric.
+#[derive(Clone, Debug)]
+pub struct Tenant {
+    pub name: String,
+    pub quota: TenantQuota,
+    /// Scheduling priority, higher wins; a submission may evict a
+    /// running query of *strictly* lower priority when placement is
+    /// full.
+    pub priority: u8,
+}
+
+impl Tenant {
+    pub fn new(name: impl Into<String>, quota: TenantQuota, priority: u8) -> Self {
+        Tenant {
+            name: name.into(),
+            quota,
+            priority,
+        }
+    }
+}
+
+/// The fabric resources one query holds while running.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceDemand {
+    pub monitor_cores: u32,
+    pub mirror_rules: u32,
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The named tenant was never registered.
+    UnknownTenant { tenant: String },
+    /// The tenant is already running its maximum concurrent queries.
+    ConcurrentQueries {
+        tenant: String,
+        running: u32,
+        limit: u32,
+    },
+    /// Admitting this query would exceed the tenant's monitor-core
+    /// budget.
+    MonitorCores {
+        tenant: String,
+        in_use: u32,
+        requested: u32,
+        limit: u32,
+    },
+    /// Admitting this query would exceed the tenant's mirror-rule
+    /// budget.
+    MirrorRules {
+        tenant: String,
+        in_use: u32,
+        requested: u32,
+        limit: u32,
+    },
+}
+
+impl AdmissionError {
+    /// Stable machine-readable code used in the API envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmissionError::UnknownTenant { .. } => "unknown_tenant",
+            AdmissionError::ConcurrentQueries { .. } => "quota_concurrent_queries",
+            AdmissionError::MonitorCores { .. } => "quota_monitor_cores",
+            AdmissionError::MirrorRules { .. } => "quota_mirror_rules",
+        }
+    }
+
+    /// The tenant the decision applied to.
+    pub fn tenant(&self) -> &str {
+        match self {
+            AdmissionError::UnknownTenant { tenant }
+            | AdmissionError::ConcurrentQueries { tenant, .. }
+            | AdmissionError::MonitorCores { tenant, .. }
+            | AdmissionError::MirrorRules { tenant, .. } => tenant,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant \"{tenant}\"")
+            }
+            AdmissionError::ConcurrentQueries {
+                tenant,
+                running,
+                limit,
+            } => write!(
+                f,
+                "tenant \"{tenant}\" at its concurrent-query quota ({running}/{limit})"
+            ),
+            AdmissionError::MonitorCores {
+                tenant,
+                in_use,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "tenant \"{tenant}\" monitor-core quota exceeded \
+                 ({in_use} in use + {requested} requested > {limit})"
+            ),
+            AdmissionError::MirrorRules {
+                tenant,
+                in_use,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "tenant \"{tenant}\" mirror-rule quota exceeded \
+                 ({in_use} in use + {requested} requested > {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Clone, Debug)]
+struct Charge {
+    tenant: String,
+    priority: u8,
+    demand: ResourceDemand,
+}
+
+/// Tracks per-tenant usage and enforces quotas. Owned by the
+/// orchestrator; all calls are control-path.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    tenants: BTreeMap<String, Tenant>,
+    charges: HashMap<u64, Charge>,
+}
+
+/// The tenant every unscoped submission runs under.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Priority assigned to the auto-registered default tenant.
+pub const DEFAULT_PRIORITY: u8 = 100;
+
+impl AdmissionController {
+    /// A controller with only the unlimited `"default"` tenant.
+    pub fn new() -> Self {
+        let mut ctl = AdmissionController::default();
+        ctl.register(Tenant::new(
+            DEFAULT_TENANT,
+            TenantQuota::UNLIMITED,
+            DEFAULT_PRIORITY,
+        ));
+        ctl
+    }
+
+    /// Registers (or replaces) a tenant.
+    pub fn register(&mut self, tenant: Tenant) {
+        self.tenants.insert(tenant.name.clone(), tenant);
+    }
+
+    pub fn tenant(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.get(name)
+    }
+
+    /// Checks whether `tenant` may run one more query of the given
+    /// demand. Does not charge — call [`AdmissionController::charge`]
+    /// once the query is actually placed.
+    pub fn admit(&self, tenant: &str, demand: ResourceDemand) -> Result<(), AdmissionError> {
+        let t = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| AdmissionError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        let (running, cores, rules) = self.usage(tenant);
+        if running >= t.quota.max_concurrent_queries {
+            return Err(AdmissionError::ConcurrentQueries {
+                tenant: tenant.to_string(),
+                running,
+                limit: t.quota.max_concurrent_queries,
+            });
+        }
+        if cores.saturating_add(demand.monitor_cores) > t.quota.max_monitor_cores {
+            return Err(AdmissionError::MonitorCores {
+                tenant: tenant.to_string(),
+                in_use: cores,
+                requested: demand.monitor_cores,
+                limit: t.quota.max_monitor_cores,
+            });
+        }
+        if rules.saturating_add(demand.mirror_rules) > t.quota.max_mirror_rules {
+            return Err(AdmissionError::MirrorRules {
+                tenant: tenant.to_string(),
+                in_use: rules,
+                requested: demand.mirror_rules,
+                limit: t.quota.max_mirror_rules,
+            });
+        }
+        Ok(())
+    }
+
+    /// Records that query `cookie` now holds `demand` for `tenant`.
+    pub fn charge(&mut self, cookie: u64, tenant: &str, demand: ResourceDemand) {
+        let priority = self
+            .tenants
+            .get(tenant)
+            .map(|t| t.priority)
+            .unwrap_or(DEFAULT_PRIORITY);
+        self.charges.insert(
+            cookie,
+            Charge {
+                tenant: tenant.to_string(),
+                priority,
+                demand,
+            },
+        );
+    }
+
+    /// Releases query `cookie`'s charge (kill/finalize). Unknown
+    /// cookies are a no-op, so double-release is safe.
+    pub fn release(&mut self, cookie: u64) {
+        self.charges.remove(&cookie);
+    }
+
+    /// The tenant a running query was admitted under.
+    pub fn tenant_of(&self, cookie: u64) -> Option<&str> {
+        self.charges.get(&cookie).map(|c| c.tenant.as_str())
+    }
+
+    /// Running queries charged to `tenant`.
+    pub fn running(&self, tenant: &str) -> u32 {
+        self.usage(tenant).0
+    }
+
+    /// The cheapest eviction victim for an arrival of priority
+    /// `arriving`: the running query with the lowest priority that is
+    /// *strictly* below `arriving` (ties broken toward the newest
+    /// cookie, so long-running work survives churn).
+    pub fn eviction_candidate(&self, arriving: u8) -> Option<u64> {
+        self.charges
+            .iter()
+            .filter(|(_, c)| c.priority < arriving)
+            .min_by_key(|(cookie, c)| (c.priority, u64::MAX - **cookie))
+            .map(|(cookie, _)| *cookie)
+    }
+
+    fn usage(&self, tenant: &str) -> (u32, u32, u32) {
+        let mut running = 0u32;
+        let mut cores = 0u32;
+        let mut rules = 0u32;
+        for charge in self.charges.values() {
+            if charge.tenant == tenant {
+                running += 1;
+                cores = cores.saturating_add(charge.demand.monitor_cores);
+                rules = rules.saturating_add(charge.demand.mirror_rules);
+            }
+        }
+        (running, cores, rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(cores: u32, rules: u32) -> ResourceDemand {
+        ResourceDemand {
+            monitor_cores: cores,
+            mirror_rules: rules,
+        }
+    }
+
+    #[test]
+    fn default_tenant_is_unlimited() {
+        let mut ctl = AdmissionController::new();
+        for cookie in 0..100 {
+            ctl.admit(DEFAULT_TENANT, demand(10, 20)).expect("admit");
+            ctl.charge(cookie, DEFAULT_TENANT, demand(10, 20));
+        }
+        assert_eq!(ctl.running(DEFAULT_TENANT), 100);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let ctl = AdmissionController::new();
+        let err = ctl.admit("nobody", demand(1, 1)).unwrap_err();
+        assert_eq!(err.code(), "unknown_tenant");
+        assert_eq!(err.tenant(), "nobody");
+    }
+
+    #[test]
+    fn concurrent_query_quota_binds_and_release_frees() {
+        let mut ctl = AdmissionController::new();
+        ctl.register(Tenant::new(
+            "ops",
+            TenantQuota {
+                max_concurrent_queries: 2,
+                ..TenantQuota::UNLIMITED
+            },
+            50,
+        ));
+        ctl.admit("ops", demand(1, 2)).expect("first");
+        ctl.charge(1, "ops", demand(1, 2));
+        ctl.admit("ops", demand(1, 2)).expect("second");
+        ctl.charge(2, "ops", demand(1, 2));
+        let err = ctl.admit("ops", demand(1, 2)).unwrap_err();
+        assert_eq!(err.code(), "quota_concurrent_queries");
+        assert!(err.to_string().contains("2/2"), "{err}");
+
+        ctl.release(1);
+        ctl.admit("ops", demand(1, 2)).expect("slot freed");
+        ctl.release(1); // double release is a no-op
+        assert_eq!(ctl.running("ops"), 1);
+    }
+
+    #[test]
+    fn core_and_rule_budgets_bind_cumulatively() {
+        let mut ctl = AdmissionController::new();
+        ctl.register(Tenant::new(
+            "dev",
+            TenantQuota {
+                max_concurrent_queries: 10,
+                max_monitor_cores: 4,
+                max_mirror_rules: 6,
+            },
+            50,
+        ));
+        ctl.admit("dev", demand(3, 4)).expect("fits");
+        ctl.charge(7, "dev", demand(3, 4));
+        let err = ctl.admit("dev", demand(2, 1)).unwrap_err();
+        assert_eq!(err.code(), "quota_monitor_cores");
+        let err = ctl.admit("dev", demand(1, 3)).unwrap_err();
+        assert_eq!(err.code(), "quota_mirror_rules");
+        ctl.admit("dev", demand(1, 2)).expect("within both budgets");
+    }
+
+    #[test]
+    fn eviction_prefers_lowest_priority_then_newest() {
+        let mut ctl = AdmissionController::new();
+        ctl.register(Tenant::new("bulk", TenantQuota::UNLIMITED, 10));
+        ctl.register(Tenant::new("ops", TenantQuota::UNLIMITED, 200));
+        ctl.charge(1, "bulk", demand(1, 1));
+        ctl.charge(2, "bulk", demand(1, 1));
+        ctl.charge(3, "ops", demand(1, 1));
+        // Arrival at priority 150: only the bulk queries qualify, and
+        // the newer one (cookie 2) goes first.
+        assert_eq!(ctl.eviction_candidate(150), Some(2));
+        ctl.release(2);
+        assert_eq!(ctl.eviction_candidate(150), Some(1));
+        ctl.release(1);
+        assert_eq!(ctl.eviction_candidate(150), None, "ops outranks arrival");
+        // Equal priority never evicts.
+        assert_eq!(ctl.eviction_candidate(10), None);
+    }
+}

@@ -1,0 +1,722 @@
+//! The production query frontend: NetAlytics' §3.1 "administrators
+//! submit queries" surface as a real HTTP API.
+//!
+//! [`QueryFrontend`] owns an [`Orchestrator`] on a dedicated thread
+//! (the orchestrator is deliberately single-threaded — its monitor and
+//! executor handles are `Rc`-shared with the discrete-event engine) and
+//! exposes the full query lifecycle over the wire:
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /queries` | submit SQL-ish query text → JSON descriptor |
+//! | `GET /queries` | list the query directory |
+//! | `GET /queries/{cookie}` | describe one query, incl. health |
+//! | `DELETE /queries/{cookie}` | kill; returns a teardown summary |
+//! | `GET /queries/{cookie}/results` | durable results from the store |
+//! | `GET /queries/{cookie}/stream` | live NDJSON result stream |
+//!
+//! plus the read-only introspection routes from
+//! [`introspection_router`] (`/metrics`, `/events`, `/trace/{cookie}`).
+//!
+//! Mutations (submit, kill) are forwarded to the orchestrator thread
+//! over a command mailbox; reads (list, describe, results, stream) go
+//! straight to the shared directory/store/hubs, so a slow simulation
+//! tick never blocks them. Between commands the orchestrator thread
+//! advances virtual time, reconciles every running query, refreshes
+//! directory health, and kills queries whose `LIMIT` deadline passed —
+//! an HTTP client watching `/queries/{cookie}` sees the same lifecycle
+//! a library caller drives by hand.
+//!
+//! Every non-2xx response is the one [`ApiError`] envelope
+//! `{"code", "message", "detail"}`; see DESIGN.md §11 for the
+//! error-to-status table.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use netalytics_data::{DataTuple, Value};
+use netalytics_netsim::SimDuration;
+use netalytics_store::{SeriesKey, TimeSeriesStore};
+use netalytics_stream::SubscriptionHub;
+use netalytics_telemetry::{
+    introspection_router, json_escape, ApiError, Introspection, MetricsRegistry, QueryDirectory,
+    Request, Response, Router, TelemetryServer, DEFAULT_WORKERS,
+};
+use parking_lot::Mutex;
+
+use crate::admission::AdmissionError;
+use crate::orchestrator::{Orchestrator, OrchestratorBuilder, OrchestratorError, QueryHandle};
+
+/// Maps every orchestrator failure onto the stable wire envelope.
+/// The status/code table is part of the public API (DESIGN.md §11):
+/// clients branch on `code`, proxies on the status class.
+impl From<OrchestratorError> for ApiError {
+    fn from(e: OrchestratorError) -> Self {
+        let message = e.to_string();
+        match e {
+            OrchestratorError::Parse(_) => ApiError::new(400, "parse_error", message),
+            OrchestratorError::Compile(_) => ApiError::new(400, "compile_error", message),
+            OrchestratorError::NoMonitorableEndpoint => {
+                ApiError::new(422, "no_monitorable_endpoint", message)
+            }
+            OrchestratorError::NoFreeHost => ApiError::new(503, "no_free_host", message),
+            OrchestratorError::HostDown(_) => ApiError::new(503, "host_down", message),
+            OrchestratorError::ReplacementFailed { .. } => {
+                ApiError::new(500, "replacement_failed", message)
+            }
+            OrchestratorError::Timeout => ApiError::new(504, "recovery_timeout", message),
+            OrchestratorError::Admission(a) => ApiError::from(a),
+        }
+    }
+}
+
+/// Admission refusals: unknown tenants are a 403 (the caller's
+/// identity, not its load, is the problem); quota refusals are a 429
+/// with the machine code naming the exhausted dimension.
+impl From<AdmissionError> for ApiError {
+    fn from(e: AdmissionError) -> Self {
+        let message = e.to_string();
+        let status = match e {
+            AdmissionError::UnknownTenant { .. } => 403,
+            _ => 429,
+        };
+        ApiError::new(status, e.code(), message).with_detail(format!("tenant={}", e.tenant()))
+    }
+}
+
+/// Renders one result tuple as a single JSON object — the line format
+/// of `/stream` and the element format of `/results`.
+pub fn tuple_json(t: &DataTuple) -> String {
+    let mut s = String::with_capacity(64 + 16 * t.fields.len());
+    s.push_str(&format!("{{\"id\":{},\"ts_ns\":{}", t.id, t.ts_ns));
+    if !t.source.is_empty() {
+        s.push_str(&format!(",\"source\":\"{}\"", json_escape(&t.source)));
+    }
+    s.push_str(",\"fields\":{");
+    for (i, (k, v)) in t.fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", json_escape(k), value_json(v)));
+    }
+    s.push_str("}}");
+    s
+}
+
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::F64(f) if f.is_finite() => f.to_string(),
+        Value::F64(_) => "null".to_string(),
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        Value::Bytes(b) => format!("\"{} bytes\"", b.len()),
+    }
+}
+
+/// Frontend tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    /// HTTP worker-pool size (streams run on their own threads and do
+    /// not consume pool workers).
+    pub workers: usize,
+    /// Virtual time the simulation advances per idle tick.
+    pub idle_step: SimDuration,
+    /// Wall-clock pause between idle ticks while the mailbox is empty.
+    pub poll_interval: Duration,
+    /// Virtual-time grace past a query's LIMIT deadline before the
+    /// frontend auto-kills it (lets in-flight batches land).
+    pub deadline_grace: SimDuration,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            workers: DEFAULT_WORKERS,
+            idle_step: SimDuration::from_millis(10),
+            poll_interval: Duration::from_micros(500),
+            deadline_grace: SimDuration::from_millis(50),
+        }
+    }
+}
+
+enum Command {
+    Submit {
+        tenant: String,
+        query: String,
+        reply: SyncSender<Result<u64, ApiError>>,
+    },
+    Kill {
+        cookie: u64,
+        /// `Ok(summary_json)` on success, `Err(())` for unknown cookie.
+        reply: SyncSender<Result<String, ()>>,
+    },
+    Shutdown,
+}
+
+/// State the HTTP handlers read without involving the orchestrator
+/// thread.
+struct FrontendShared {
+    directory: Arc<QueryDirectory>,
+    store: Option<Arc<TimeSeriesStore>>,
+    metrics: Arc<MetricsRegistry>,
+    /// Live subscription hubs by cookie. Entries persist after kill
+    /// (closed hubs yield immediately-ended streams), bounded by the
+    /// number of queries ever submitted in the frontend's lifetime.
+    hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>>,
+    /// Command mailbox to the orchestrator thread. `Sender` is not
+    /// `Sync`, so handlers clone it under this lock. (cold path)
+    tx: Mutex<Sender<Command>>,
+}
+
+impl FrontendShared {
+    fn sender(&self) -> Sender<Command> {
+        self.tx.lock().clone()
+    }
+}
+
+/// How long an HTTP handler waits for the orchestrator thread to act
+/// on a command before reporting the frontend stalled.
+const COMMAND_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn frontend_stalled() -> ApiError {
+    ApiError::new(503, "frontend_stalled", "orchestrator thread unresponsive")
+}
+
+/// The HTTP query frontend. Binds `addr`, builds the orchestrator on a
+/// dedicated thread and serves the lifecycle + introspection routes
+/// until dropped.
+///
+/// # Examples
+///
+/// See `examples/frontend.rs` and the README quickstart; programmatic
+/// submission works too:
+///
+/// ```no_run
+/// use netalytics::{FrontendConfig, Orchestrator, QueryFrontend};
+///
+/// let frontend = QueryFrontend::spawn(
+///     "127.0.0.1:0",
+///     Orchestrator::builder(4),
+///     |orch| {
+///         orch.name_host("web", 1);
+///         // deploy workload apps here
+///     },
+/// )?;
+/// println!("listening on http://{}", frontend.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct QueryFrontend {
+    server: TelemetryServer,
+    tx: Sender<Command>,
+    thread: Option<JoinHandle<()>>,
+    shared: Arc<FrontendShared>,
+}
+
+impl QueryFrontend {
+    /// Spawns a frontend with default [`FrontendConfig`]. The `setup`
+    /// closure runs once on the orchestrator thread right after the
+    /// builder — name hosts and deploy workload apps there.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen/thread-spawn failures.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        builder: OrchestratorBuilder,
+        setup: impl FnOnce(&mut Orchestrator) + Send + 'static,
+    ) -> io::Result<QueryFrontend> {
+        Self::spawn_with(addr, builder, FrontendConfig::default(), setup)
+    }
+
+    /// [`QueryFrontend::spawn`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen/thread-spawn failures.
+    pub fn spawn_with(
+        addr: impl ToSocketAddrs,
+        builder: OrchestratorBuilder,
+        config: FrontendConfig,
+        setup: impl FnOnce(&mut Orchestrator) + Send + 'static,
+    ) -> io::Result<QueryFrontend> {
+        let (tx, rx) = mpsc::channel::<Command>();
+        let (ready_tx, ready_rx) =
+            mpsc::sync_channel::<(Introspection, Option<Arc<TimeSeriesStore>>)>(1);
+        let hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let thread_hubs = Arc::clone(&hubs);
+        let setup: Box<dyn FnOnce(&mut Orchestrator) + Send> = Box::new(setup);
+        let thread = std::thread::Builder::new()
+            .name("netalytics-frontend".into())
+            .spawn(move || orchestrator_loop(builder, setup, config, rx, ready_tx, thread_hubs))?;
+        let (introspection, store) = ready_rx
+            .recv()
+            .map_err(|_| io::Error::other("frontend orchestrator failed to start"))?;
+        let shared = Arc::new(FrontendShared {
+            directory: Arc::clone(&introspection.queries),
+            store,
+            metrics: Arc::clone(&introspection.registry),
+            hubs,
+            tx: Mutex::new(tx.clone()),
+        });
+        let router = frontend_router(&shared, &introspection);
+        let server = TelemetryServer::spawn_router(addr, router, config.workers)?;
+        Ok(QueryFrontend {
+            server,
+            tx,
+            thread: Some(thread),
+            shared,
+        })
+    }
+
+    /// The bound address (use port 0 to pick an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Programmatic submit, bypassing HTTP but taking the exact same
+    /// path through admission and the orchestrator thread.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ApiError`]s `POST /queries` returns.
+    pub fn submit(&self, tenant: &str, query: &str) -> Result<u64, ApiError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Command::Submit {
+                tenant: tenant.to_string(),
+                query: query.to_string(),
+                reply,
+            })
+            .map_err(|_| frontend_stalled())?;
+        rx.recv_timeout(COMMAND_TIMEOUT)
+            .map_err(|_| frontend_stalled())?
+    }
+
+    /// Programmatic kill. `true` when the cookie named a running query.
+    pub fn kill(&self, cookie: u64) -> bool {
+        let (reply, rx) = mpsc::sync_channel(1);
+        if self.tx.send(Command::Kill { cookie, reply }).is_err() {
+            return false;
+        }
+        matches!(rx.recv_timeout(COMMAND_TIMEOUT), Ok(Ok(_)))
+    }
+
+    /// The query directory the HTTP surface serves.
+    pub fn directory(&self) -> &Arc<QueryDirectory> {
+        &self.shared.directory
+    }
+
+    /// `(delivered, shed)` tuple counts across a query's live
+    /// subscribers, or `None` for an unknown cookie.
+    pub fn stream_stats(&self, cookie: u64) -> Option<(u64, u64)> {
+        let hubs = self.shared.hubs.lock();
+        hubs.get(&cookie).map(|h| (h.delivered(), h.shed()))
+    }
+}
+
+impl Drop for QueryFrontend {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The orchestrator thread: applies commands, and between commands
+/// advances virtual time, reconciles, refreshes health and enforces
+/// LIMIT deadlines.
+fn orchestrator_loop(
+    builder: OrchestratorBuilder,
+    setup: Box<dyn FnOnce(&mut Orchestrator) + Send>,
+    config: FrontendConfig,
+    rx: Receiver<Command>,
+    ready_tx: SyncSender<(Introspection, Option<Arc<TimeSeriesStore>>)>,
+    hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>>,
+) {
+    let mut orch = builder.build();
+    setup(&mut orch);
+    let metrics = Arc::clone(orch.metrics());
+    if ready_tx
+        .send((orch.introspection(), orch.result_store().cloned()))
+        .is_err()
+    {
+        return;
+    }
+    let mut handles: HashMap<u64, QueryHandle> = HashMap::new();
+    loop {
+        match rx.recv_timeout(config.poll_interval) {
+            Ok(Command::Submit {
+                tenant,
+                query,
+                reply,
+            }) => {
+                let outcome = match orch.submit_as(&tenant, &query) {
+                    Ok(handle) => {
+                        let cookie = handle.cookie();
+                        hubs.lock()
+                            .insert(cookie, Arc::clone(handle.subscription_hub()));
+                        handles.insert(cookie, handle);
+                        metrics.counter("frontend.submitted", &[]).inc();
+                        Ok(cookie)
+                    }
+                    Err(e) => {
+                        metrics.counter("frontend.rejected", &[]).inc();
+                        Err(ApiError::from(e))
+                    }
+                };
+                let _ = reply.send(outcome);
+            }
+            Ok(Command::Kill { cookie, reply }) => {
+                handles.remove(&cookie);
+                let outcome = match orch.kill_by_cookie(cookie) {
+                    Some(report) => {
+                        metrics.counter("frontend.killed", &[]).inc();
+                        Ok(kill_summary_json(cookie, &report))
+                    }
+                    None => Err(()),
+                };
+                let _ = reply.send(outcome);
+            }
+            Ok(Command::Shutdown) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                idle_tick(&mut orch, &config, &metrics, &mut handles);
+            }
+        }
+    }
+    // Tear down whatever is still running so sinks flush and
+    // subscribers see end-of-stream.
+    let cookies: Vec<u64> = handles.keys().copied().collect();
+    for cookie in cookies {
+        let _ = orch.kill_by_cookie(cookie);
+    }
+}
+
+/// One idle pass: advance the emulation, auto-kill past-deadline
+/// queries, reconcile the rest (which also refreshes directory
+/// health). Unrepairable queries are killed rather than left zombied.
+fn idle_tick(
+    orch: &mut Orchestrator,
+    config: &FrontendConfig,
+    metrics: &MetricsRegistry,
+    handles: &mut HashMap<u64, QueryHandle>,
+) {
+    let step = orch.now() + config.idle_step;
+    orch.run_until(step);
+    let cookies: Vec<u64> = handles.keys().copied().collect();
+    for cookie in cookies {
+        let handle = handles[&cookie].clone();
+        let expired = handle
+            .deadline()
+            .is_some_and(|d| orch.now() >= d + config.deadline_grace);
+        if expired {
+            handles.remove(&cookie);
+            let _ = orch.kill_by_cookie(cookie);
+            metrics.counter("frontend.deadline_kills", &[]).inc();
+            continue;
+        }
+        if orch.reconcile(&handle).is_err() {
+            handles.remove(&cookie);
+            let _ = orch.kill_by_cookie(cookie);
+            metrics.counter("frontend.unrepairable_kills", &[]).inc();
+        }
+    }
+}
+
+fn kill_summary_json(cookie: u64, report: &crate::orchestrator::QueryReport) -> String {
+    let mut s = format!("{{\"cookie\":{cookie},\"state\":\"killed\",\"results\":[");
+    for (i, (name, set)) in report.results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"processor\":\"{}\",\"tuples\":{}}}",
+            json_escape(name),
+            set.tuples.len()
+        ));
+    }
+    s.push_str(&format!(
+        "],\"aggregator\":{{\"tuples_in\":{},\"processed\":{},\"dropped\":{}}}}}",
+        report.aggregator.tuples_in, report.aggregator.tuples_processed, report.aggregator.dropped
+    ));
+    s
+}
+
+fn tuples_payload(cookie: u64, mode: &str, tuples: &[DataTuple]) -> String {
+    let mut s = format!(
+        "{{\"cookie\":{cookie},\"mode\":\"{mode}\",\"count\":{},\"tuples\":[",
+        tuples.len()
+    );
+    for (i, t) in tuples.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&tuple_json(t));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// The full frontend router: introspection routes plus the query
+/// lifecycle.
+fn frontend_router(shared: &Arc<FrontendShared>, introspection: &Introspection) -> Router {
+    let mut router = introspection_router(introspection);
+
+    // Submit: body is the SQL-ish query text; tenant comes from the
+    // X-Tenant header or ?tenant=, defaulting to "default".
+    let s = Arc::clone(shared);
+    router.route("POST", "/queries", move |req| {
+        match submit_request(&s, req) {
+            Ok(body) => Response::json_status(201, body),
+            Err(e) => e.into(),
+        }
+    });
+
+    let s = Arc::clone(shared);
+    router.route(
+        "DELETE",
+        "/queries/{cookie}",
+        move |req| match kill_request(&s, req) {
+            Ok(body) => Response::json(body),
+            Err(e) => e.into(),
+        },
+    );
+
+    let s = Arc::clone(shared);
+    router.route(
+        "GET",
+        "/queries/{cookie}/results",
+        move |req| match results_request(&s, req) {
+            Ok(body) => Response::json(body),
+            Err(e) => e.into(),
+        },
+    );
+
+    let s = Arc::clone(shared);
+    router.route(
+        "GET",
+        "/queries/{cookie}/stream",
+        move |req| match stream_request(&s, req) {
+            Ok(response) => response,
+            Err(e) => e.into(),
+        },
+    );
+
+    router
+}
+
+fn submit_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String, ApiError> {
+    let query = req.body.trim();
+    if query.is_empty() {
+        return Err(ApiError::bad_request("request body must be the query text"));
+    }
+    let tenant = req
+        .query_param("tenant")
+        .or_else(|| req.header("x-tenant"))
+        .unwrap_or("default")
+        .to_string();
+    let (reply, rx) = mpsc::sync_channel(1);
+    shared
+        .sender()
+        .send(Command::Submit {
+            tenant,
+            query: query.to_string(),
+            reply,
+        })
+        .map_err(|_| frontend_stalled())?;
+    let cookie = rx
+        .recv_timeout(COMMAND_TIMEOUT)
+        .map_err(|_| frontend_stalled())??;
+    let info = shared
+        .directory
+        .get(cookie)
+        .ok_or_else(|| ApiError::new(500, "lost_query", "submitted query vanished"))?;
+    Ok(info.render_json())
+}
+
+fn kill_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String, ApiError> {
+    let cookie = req.cookie_param("cookie")?;
+    let (reply, rx) = mpsc::sync_channel(1);
+    shared
+        .sender()
+        .send(Command::Kill { cookie, reply })
+        .map_err(|_| frontend_stalled())?;
+    match rx.recv_timeout(COMMAND_TIMEOUT) {
+        Ok(Ok(summary)) => Ok(summary),
+        Ok(Err(())) => Err(
+            ApiError::not_found(format!("no running query with cookie {cookie}"))
+                .with_detail("already killed, or never submitted"),
+        ),
+        Err(_) => Err(frontend_stalled()),
+    }
+}
+
+fn results_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String, ApiError> {
+    let cookie = req.cookie_param("cookie")?;
+    let store = shared.store.as_ref().ok_or_else(|| {
+        ApiError::new(
+            404,
+            "no_result_store",
+            "this frontend was built without a results store",
+        )
+    })?;
+    let mode = req.query_param("mode").unwrap_or("history");
+    let store_err =
+        |e: netalytics_store::StoreError| ApiError::new(500, "store_error", e.to_string());
+    match mode {
+        "history" => {
+            let tuples = store.query_history(cookie).map_err(store_err)?;
+            Ok(tuples_payload(cookie, "history", &tuples))
+        }
+        "latest" => {
+            let group = req.query_param("group").unwrap_or("");
+            let latest = store.latest(&SeriesKey::new(cookie, group));
+            let tuples: Vec<DataTuple> = latest.into_iter().collect();
+            Ok(tuples_payload(cookie, "latest", &tuples))
+        }
+        "range" => {
+            let group = req.query_param("group").unwrap_or("");
+            let parse = |key: &str| -> Result<u64, ApiError> {
+                req.query_param(key)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ApiError::bad_request(format!("{key} must be a u64 (ns)")))
+            };
+            let (from, to) = (parse("from")?, parse("to")?);
+            let tuples = store
+                .range(&SeriesKey::new(cookie, group), from, to)
+                .map_err(store_err)?;
+            Ok(tuples_payload(cookie, "range", &tuples))
+        }
+        other => Err(ApiError::bad_request(format!(
+            "mode must be history|latest|range, got \"{other}\""
+        ))),
+    }
+}
+
+fn stream_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<Response, ApiError> {
+    let cookie = req.cookie_param("cookie")?;
+    let hub = shared
+        .hubs
+        .lock()
+        .get(&cookie)
+        .cloned()
+        .ok_or_else(|| ApiError::not_found(format!("unknown cookie {cookie}")))?;
+    // `?max=N` ends the stream after N lines — handy for scripted
+    // clients that would otherwise have to cut the connection.
+    let max: Option<u64> = req.query_param("max").and_then(|v| v.parse().ok());
+    let metrics = Arc::clone(&shared.metrics);
+    metrics.counter("frontend.streams_opened", &[]).inc();
+    let lines_counter = metrics.counter("frontend.stream_lines", &[]);
+    Ok(Response::ndjson_stream(move |w| {
+        let sub = hub.subscribe();
+        let mut sent = 0u64;
+        loop {
+            if max.is_some_and(|m| sent >= m) {
+                break;
+            }
+            match sub.recv_timeout(Duration::from_millis(100)) {
+                Ok(tuple) => {
+                    if w.send_line(&tuple_json(&tuple)).is_err() {
+                        break; // client hung up
+                    }
+                    sent += 1;
+                    lines_counter.inc();
+                }
+                // Query killed: end of stream.
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle; write an empty keepalive line so client
+                    // disconnects surface even on quiet queries.
+                    if w.send_line("").is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orchestrator_errors_map_to_stable_envelope() {
+        let cases: Vec<(OrchestratorError, u16, &str)> = vec![
+            (
+                OrchestratorError::NoMonitorableEndpoint,
+                422,
+                "no_monitorable_endpoint",
+            ),
+            (OrchestratorError::NoFreeHost, 503, "no_free_host"),
+            (OrchestratorError::HostDown(3), 503, "host_down"),
+            (
+                OrchestratorError::ReplacementFailed { cookie: 1, host: 2 },
+                500,
+                "replacement_failed",
+            ),
+            (OrchestratorError::Timeout, 504, "recovery_timeout"),
+            (
+                OrchestratorError::Admission(AdmissionError::UnknownTenant { tenant: "x".into() }),
+                403,
+                "unknown_tenant",
+            ),
+            (
+                OrchestratorError::Admission(AdmissionError::ConcurrentQueries {
+                    tenant: "x".into(),
+                    running: 2,
+                    limit: 2,
+                }),
+                429,
+                "quota_concurrent_queries",
+            ),
+        ];
+        for (err, status, code) in cases {
+            let api = ApiError::from(err);
+            assert_eq!((api.status, api.code.as_str()), (status, code));
+            assert!(!api.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn tuple_json_renders_every_value_kind() {
+        let t = DataTuple::new(7, 1_000)
+            .from_source("bolt")
+            .with("url", "/a\"b")
+            .with("n", 3u64)
+            .with("neg", -4i64)
+            .with("f", 1.5f64)
+            .with("ok", true);
+        let json = tuple_json(&t);
+        assert!(json.starts_with("{\"id\":7,\"ts_ns\":1000,\"source\":\"bolt\""));
+        assert!(json.contains("\"url\":\"/a\\\"b\""));
+        assert!(json.contains("\"n\":3"));
+        assert!(json.contains("\"neg\":-4"));
+        assert!(json.contains("\"f\":1.5"));
+        assert!(json.contains("\"ok\":true"));
+        let nan = DataTuple::new(1, 1).with("bad", f64::NAN);
+        assert!(tuple_json(&nan).contains("\"bad\":null"), "NaN → null");
+    }
+
+    #[test]
+    fn payload_helpers_produce_wellformed_json() {
+        let tuples = vec![
+            DataTuple::new(1, 10).with("k", "a"),
+            DataTuple::new(2, 20).with("k", "b"),
+        ];
+        let body = tuples_payload(42, "history", &tuples);
+        assert!(body.starts_with("{\"cookie\":42,\"mode\":\"history\",\"count\":2,"));
+        assert!(body.ends_with("]}"));
+        assert_eq!(body.matches("\"id\":").count(), 2);
+    }
+}

@@ -49,24 +49,33 @@
 //! # Ok::<(), netalytics::OrchestratorError>(())
 //! ```
 
+pub mod admission;
+pub mod frontend;
 pub mod nfv;
 pub mod orchestrator;
 pub mod results;
 
+pub use admission::{
+    AdmissionController, AdmissionError, ResourceDemand, Tenant, TenantQuota, DEFAULT_TENANT,
+};
+pub use frontend::{tuple_json, FrontendConfig, QueryFrontend};
 pub use nfv::{
     shared_executor, shared_executor_with, AggregatorApp, AggregatorHandle, AggregatorShared,
     MonitorApp, MonitorHandle, MonitorShared, SharedExecutor, BATCH_PORT, FEEDBACK_PORT,
 };
 pub use orchestrator::{
-    FailurePolicy, MonitorSlot, Orchestrator, OrchestratorBuilder, OrchestratorError, QueryReport,
-    ReconcileReport, RunningQuery,
+    FailurePolicy, MonitorSlot, Orchestrator, OrchestratorBuilder, OrchestratorError, QueryHandle,
+    QueryReport, ReconcileReport, RunningQuery,
 };
 pub use results::ResultSet;
+// Live-subscription surface re-exported from the stream layer, so
+// `QueryHandle::subscribe` is usable with only this crate imported.
+pub use netalytics_stream::{Subscription, SubscriptionHub};
 // Storage-layer surface used by the orchestrator's result-store API.
 pub use netalytics_store::{SeriesKey, StoreConfig, TimeSeriesStore};
 // Introspection surface: the tracer, flight recorder, query directory
 // and HTTP endpoint the orchestrator bundles via `Orchestrator::serve`.
 pub use netalytics_telemetry::{
-    EventKind, Introspection, Journal, QueryDirectory, QueryInfo, QueryState, TelemetryServer,
-    TraceConfig, Tracer,
+    ApiError, EventKind, Introspection, Journal, QueryDirectory, QueryInfo, QueryState, Request,
+    Response, Router, TelemetryServer, TraceConfig, Tracer,
 };

@@ -418,7 +418,13 @@ impl App for AggregatorApp {
                         now,
                     );
                     tracer.record_span(
-                        0, tctx.cookie, tctx.batch_id, tctx.born_ns, "bolt", now, now,
+                        0,
+                        tctx.cookie,
+                        tctx.batch_id,
+                        tctx.born_ns,
+                        "bolt",
+                        now,
+                        now,
                     );
                     first.get_or_insert(tctx);
                 }

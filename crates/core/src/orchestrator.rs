@@ -13,9 +13,11 @@
 //! loop — recording `reconcile.recovery_time_ns` and
 //! `reconcile.tuples_lost` into the self-telemetry registry.
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use netalytics_monitor::{Monitor, MonitorConfig, MonitorError, SampleSpec};
@@ -24,12 +26,17 @@ use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQue
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
 use netalytics_sketch::PreAggSpec;
 use netalytics_store::{StoreSink, TimeSeriesStore};
-use netalytics_stream::{topologies, ExecutorMode, ProcessorSpec};
+use netalytics_stream::{
+    topologies, ExecutorMode, ProcessorSpec, Subscription, SubscriptionHub, SubscriptionSink,
+};
 use netalytics_telemetry::{
-    EventKind, Introspection, Journal, MetricsRegistry, QueryDirectory, RegistrySnapshot,
-    TelemetryServer, TraceConfig, Tracer,
+    EventKind, Introspection, Journal, MetricsRegistry, QueryDirectory, QueryInfo,
+    RegistrySnapshot, TelemetryServer, TraceConfig, Tracer,
 };
 
+use crate::admission::{
+    AdmissionController, AdmissionError, ResourceDemand, Tenant, DEFAULT_TENANT,
+};
 use crate::nfv::{
     shared_executor_with, AggregatorApp, AggregatorHandle, MonitorApp, MonitorHandle,
     SharedExecutor,
@@ -62,6 +69,8 @@ pub enum OrchestratorError {
     /// [`Orchestrator::await_recovery`] reached its deadline before the
     /// query healed.
     Timeout,
+    /// The tenant's submission was refused by admission control.
+    Admission(AdmissionError),
 }
 
 impl fmt::Display for OrchestratorError {
@@ -85,11 +94,18 @@ impl fmt::Display for OrchestratorError {
                 )
             }
             OrchestratorError::Timeout => f.write_str("recovery deadline expired"),
+            OrchestratorError::Admission(e) => write!(f, "admission refused: {e}"),
         }
     }
 }
 
 impl std::error::Error for OrchestratorError {}
+
+impl From<AdmissionError> for OrchestratorError {
+    fn from(e: AdmissionError) -> Self {
+        OrchestratorError::Admission(e)
+    }
+}
 
 impl From<ParseQueryError> for OrchestratorError {
     fn from(e: ParseQueryError) -> Self {
@@ -160,6 +176,7 @@ pub struct OrchestratorBuilder {
     monitor_preagg: bool,
     trace: Option<TraceConfig>,
     journal_capacity: usize,
+    tenants: Vec<Tenant>,
 }
 
 impl OrchestratorBuilder {
@@ -175,6 +192,7 @@ impl OrchestratorBuilder {
             monitor_preagg: false,
             trace: None,
             journal_capacity: 1024,
+            tenants: Vec::new(),
         }
     }
 
@@ -255,6 +273,14 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Registers a tenant with the admission controller. May be called
+    /// repeatedly; an unlimited `"default"` tenant always exists, so
+    /// single-tenant use needs no registration at all.
+    pub fn tenant(mut self, tenant: Tenant) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
     /// Builds the orchestrator over a fresh k-ary fat-tree.
     pub fn build(self) -> Orchestrator {
         let mut engine = Engine::new(Network::fat_tree(self.k, self.links));
@@ -273,6 +299,10 @@ impl OrchestratorBuilder {
             self.trace.unwrap_or_default(),
             Arc::clone(&metrics),
         ));
+        let mut admission = AdmissionController::new();
+        for tenant in self.tenants {
+            admission.register(tenant);
+        }
         Orchestrator {
             engine,
             hostnames: HashMap::new(),
@@ -289,6 +319,8 @@ impl OrchestratorBuilder {
             tracing_enabled,
             journal,
             queries: Arc::new(QueryDirectory::new()),
+            admission,
+            registry: HashMap::new(),
         }
     }
 }
@@ -308,12 +340,18 @@ pub struct MonitorSlot {
     pub deployed_at: SimTime,
 }
 
-/// A deployed, running query.
+/// A deployed, running query. Internal state behind [`QueryHandle`];
+/// the orchestrator keeps one per live cookie in its registry.
 pub struct RunningQuery {
     /// SDN cookie tagging this query's rules.
     pub cookie: u64,
     /// Virtual-time deadline, when the LIMIT is time-based.
     pub deadline: Option<SimTime>,
+    /// Tenant the query was admitted under. (The resources charged
+    /// against its quota live in the [`AdmissionController`].)
+    pub tenant: String,
+    /// Fan-out point for live result subscriptions.
+    hub: Arc<SubscriptionHub>,
     executors: Vec<(String, SharedExecutor)>,
     monitors: Vec<MonitorSlot>,
     /// Handle to the aggregator.
@@ -364,6 +402,108 @@ impl fmt::Debug for RunningQuery {
             .field("cookie", &self.cookie)
             .field("monitor_hosts", &self.monitor_hosts())
             .field("replacements", &self.replacements)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A deployed query, by value: the handle [`Orchestrator::submit`]
+/// returns. Cheap to clone; read paths (status, history, live
+/// subscriptions) work directly on the handle, while engine operations
+/// (reconcile, kill) go through the orchestrator with the handle as the
+/// argument:
+///
+/// ```text
+/// let q = orch.submit(src)?;          // QueryHandle
+/// orch.run_reconciling(&q, deadline)?;
+/// let live = q.subscribe();           // tap incremental results
+/// let report = orch.kill(&q).unwrap();
+/// let durable = q.history();          // survives the kill
+/// ```
+///
+/// The handle stays valid after the query is killed: `status()` reports
+/// the terminal state, `history()` still reads the durable store, and
+/// `subscribe()` returns an immediately-ended stream.
+#[derive(Clone)]
+pub struct QueryHandle {
+    cookie: u64,
+    inner: Rc<RefCell<RunningQuery>>,
+    directory: Arc<QueryDirectory>,
+    store: Option<Arc<TimeSeriesStore>>,
+    hub: Arc<SubscriptionHub>,
+}
+
+impl QueryHandle {
+    /// The SDN cookie identifying this query everywhere: rules,
+    /// directory, journal, store series and the HTTP API.
+    pub fn cookie(&self) -> u64 {
+        self.cookie
+    }
+
+    /// The query's virtual-time deadline, when its LIMIT is time-based.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.inner.borrow().deadline
+    }
+
+    /// The tenant the query was admitted under.
+    pub fn tenant(&self) -> String {
+        self.inner.borrow().tenant.clone()
+    }
+
+    /// The query's monitor slots (rack, host, handle) at this instant.
+    pub fn monitors(&self) -> Vec<MonitorSlot> {
+        self.inner.borrow().monitors.clone()
+    }
+
+    /// Hosts currently running this query's monitors.
+    pub fn monitor_hosts(&self) -> Vec<HostIdx> {
+        self.inner.borrow().monitor_hosts()
+    }
+
+    /// How many monitor/aggregator replacements the reconciler has
+    /// performed for this query.
+    pub fn replacements(&self) -> u32 {
+        self.inner.borrow().replacements
+    }
+
+    /// Host currently running the query's aggregator + analytics.
+    pub fn aggregator_host(&self) -> HostIdx {
+        self.inner.borrow().aggregator_host
+    }
+
+    /// The directory's view of this query: lifecycle state, deployment
+    /// shape, health, tenant.
+    pub fn status(&self) -> Option<QueryInfo> {
+        self.directory.get(self.cookie)
+    }
+
+    /// The durable history of this query from the attached results
+    /// store: every committed output tuple still inside retention,
+    /// across all group series. `None` when no store is attached or the
+    /// store could not be read. Survives kill and failover.
+    pub fn history(&self) -> Option<ResultSet> {
+        let store = self.store.as_ref()?;
+        store.query_history(self.cookie).ok().map(ResultSet::new)
+    }
+
+    /// Opens a live subscription to the query's incremental results.
+    /// Tuples are shed (never buffered unboundedly) if this subscriber
+    /// falls behind; the stream ends when the query is killed.
+    pub fn subscribe(&self) -> Subscription {
+        self.hub.subscribe()
+    }
+
+    /// The fan-out hub behind [`QueryHandle::subscribe`], for
+    /// delivered/shed accounting.
+    pub fn subscription_hub(&self) -> &Arc<SubscriptionHub> {
+        &self.hub
+    }
+}
+
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("cookie", &self.cookie)
+            .field("monitor_hosts", &self.monitor_hosts())
             .finish_non_exhaustive()
     }
 }
@@ -466,6 +606,11 @@ pub struct Orchestrator {
     journal: Arc<Journal>,
     /// Directory of live and recently killed queries.
     queries: Arc<QueryDirectory>,
+    /// Multi-tenant quota enforcement and eviction priorities.
+    admission: AdmissionController,
+    /// Live queries by cookie; entries leave on kill/eviction. Shares
+    /// each query's state with the [`QueryHandle`]s given to callers.
+    registry: HashMap<u64, Rc<RefCell<RunningQuery>>>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -524,10 +669,7 @@ impl Orchestrator {
     /// # Errors
     ///
     /// Bind/listen failures.
-    pub fn serve(
-        &self,
-        addr: impl std::net::ToSocketAddrs,
-    ) -> std::io::Result<TelemetryServer> {
+    pub fn serve(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<TelemetryServer> {
         TelemetryServer::spawn(addr, self.introspection())
     }
 
@@ -548,8 +690,9 @@ impl Orchestrator {
     /// when no store is attached or the store could not be read.
     ///
     /// Unlike the in-memory `ResultSet` returned by
-    /// [`Orchestrator::finalize`], this survives aggregator failover,
-    /// query teardown and — with an on-disk store — process restarts.
+    /// [`Orchestrator::kill`], this survives aggregator failover, query
+    /// teardown and — with an on-disk store — process restarts.
+    #[deprecated(since = "0.9.0", note = "use `QueryHandle::history()` instead")]
     pub fn query_history(&self, cookie: u64) -> Option<ResultSet> {
         let store = self.result_store.as_ref()?;
         store.query_history(cookie).ok().map(ResultSet::new)
@@ -749,16 +892,35 @@ impl Orchestrator {
         Ok(handle)
     }
 
-    /// Compiles and deploys a query: SDN mirror rules at every covering
-    /// ToR, one NFV monitor per covered rack, and an aggregator feeding
-    /// one inline analytics executor per `PROCESS` entry.
+    /// Compiles and deploys a query under the `"default"` tenant: SDN
+    /// mirror rules at every covering ToR, one NFV monitor per covered
+    /// rack, and an aggregator feeding one inline analytics executor
+    /// per `PROCESS` entry.
     ///
     /// # Errors
     ///
     /// Returns [`OrchestratorError`] on parse/compile failures, if an
     /// anchored endpoint's host is down, or if the fabric lacks free
     /// hosts.
-    pub fn submit(&mut self, query_src: &str) -> Result<RunningQuery, OrchestratorError> {
+    pub fn submit(&mut self, query_src: &str) -> Result<QueryHandle, OrchestratorError> {
+        self.submit_as(DEFAULT_TENANT, query_src)
+    }
+
+    /// Like [`Orchestrator::submit`], but on behalf of a named tenant:
+    /// the submission is checked against the tenant's quota first, and
+    /// when placement finds no free host, a strictly lower-priority
+    /// running query may be evicted to make room.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Orchestrator::submit`] returns, plus
+    /// [`OrchestratorError::Admission`] when the tenant is unknown or
+    /// over quota.
+    pub fn submit_as(
+        &mut self,
+        tenant: &str,
+        query_src: &str,
+    ) -> Result<QueryHandle, OrchestratorError> {
         let query = parse(query_src)?;
         let deployment: Deployment = compile(&query, &self.hostnames)?;
         // Each match is monitored at exactly ONE covering ToR (paper
@@ -781,48 +943,33 @@ impl Orchestrator {
         if edges.is_empty() {
             return Err(OrchestratorError::NoMonitorableEndpoint);
         }
-        // Pick monitor hosts.
-        let mut monitor_hosts = Vec::new();
-        for &edge in &edges {
-            let host = self
-                .free_host_under(edge)
-                .or_else(|| {
-                    self.any_free_host_preferring_pod(
-                        self.engine.network().tree().pod_of_edge(edge),
-                    )
-                })
-                .ok_or(OrchestratorError::NoFreeHost)?;
-            self.used_hosts.insert(host);
-            monitor_hosts.push((edge, host));
+
+        // Admission: one monitor core per covered rack; two mirror
+        // rules (forward + reverse) per anchored match.
+        let demand = ResourceDemand {
+            monitor_cores: edges.len() as u32,
+            mirror_rules: 2 * match_edges.len() as u32,
+        };
+        if let Err(e) = self.admission.admit(tenant, demand) {
+            self.journal.record(
+                self.engine.now().as_nanos(),
+                None,
+                EventKind::AdmissionRejected,
+                format!("tenant \"{tenant}\": {e}"),
+            );
+            self.metrics.counter("admission.rejected", &[]).inc();
+            return Err(OrchestratorError::Admission(e));
         }
-        // Aggregator host near the first monitor.
-        let agg_pod = self.engine.network().tree().pod_of_edge(monitor_hosts[0].0);
-        let aggregator_host = self
-            .any_free_host_preferring_pod(agg_pod)
-            .ok_or(OrchestratorError::NoFreeHost)?;
-        self.used_hosts.insert(aggregator_host);
-        let aggregator_ip = self.host_ip(aggregator_host);
 
+        // Analytics executors, one per PROCESS entry, built before any
+        // hosts are claimed so a bad processor leaks nothing. With a
+        // results store attached, each topology gets a pass-through
+        // StoreSink appended after its terminals, committing the
+        // query's output as series keyed by (cookie, group key); the
+        // SubscriptionSink after it taps the same stream for live
+        // `/stream` subscribers.
         let cookie = self.next_cookie;
-        self.next_cookie += 1;
-        let now_ns = self.engine.now().as_nanos();
-        self.queries.submitted(cookie, query_src, now_ns);
-        self.journal.record(
-            now_ns,
-            Some(cookie),
-            EventKind::QuerySubmitted,
-            format!(
-                "{} match(es) over {} rack(s), {} processor(s)",
-                match_edges.len(),
-                edges.len(),
-                deployment.processors.len()
-            ),
-        );
-
-        // Analytics executors, one per PROCESS entry. With a results
-        // store attached, each topology gets a pass-through StoreSink
-        // appended after its terminals, committing the query's output
-        // as series keyed by (cookie, group key).
+        let hub = Arc::new(SubscriptionHub::new());
         let mut executors = Vec::new();
         for spec in &deployment.processors {
             let mut topo = topologies::build_with(spec, Some(&self.metrics)).map_err(|e| {
@@ -838,11 +985,53 @@ impl Orchestrator {
                     Box::new(StoreSink::new(store.clone(), cookie, group_field.clone()))
                 });
             }
+            let sub_hub = Arc::clone(&hub);
+            topo = topo.with_sink("subscribe-sink", move || {
+                Box::new(SubscriptionSink::new(Arc::clone(&sub_hub)))
+            });
             executors.push((
                 spec.name.clone(),
                 shared_executor_with(&topo, self.executor_mode, Some(&self.metrics)),
             ));
         }
+
+        // Placement, with one priority-eviction retry: if the fabric is
+        // full and some running query has strictly lower priority than
+        // this tenant, kill it and try again.
+        let (monitor_hosts, aggregator_host) = match self.place(&edges) {
+            Ok(p) => p,
+            Err(OrchestratorError::NoFreeHost) => {
+                let arriving = self
+                    .admission
+                    .tenant(tenant)
+                    .map(|t| t.priority)
+                    .unwrap_or(0);
+                let victim = self
+                    .admission
+                    .eviction_candidate(arriving)
+                    .ok_or(OrchestratorError::NoFreeHost)?;
+                self.evict(victim, tenant);
+                self.place(&edges)?
+            }
+            Err(e) => return Err(e),
+        };
+        let aggregator_ip = self.host_ip(aggregator_host);
+
+        self.next_cookie += 1;
+        let now_ns = self.engine.now().as_nanos();
+        self.queries
+            .submitted_for(cookie, query_src, tenant, now_ns);
+        self.journal.record(
+            now_ns,
+            Some(cookie),
+            EventKind::QuerySubmitted,
+            format!(
+                "tenant \"{tenant}\": {} match(es) over {} rack(s), {} processor(s)",
+                match_edges.len(),
+                edges.len(),
+                deployment.processors.len()
+            ),
+        );
 
         // Deploy monitors and mirror rules.
         let packet_limit = match deployment.limit {
@@ -909,9 +1098,13 @@ impl Orchestrator {
             Limit::Time(ns) => Some(self.engine.now() + SimDuration::from_nanos(ns)),
             Limit::Packets(_) => None,
         };
-        Ok(RunningQuery {
+        self.admission.charge(cookie, tenant, demand);
+        self.metrics.counter("admission.admitted", &[]).inc();
+        let inner = Rc::new(RefCell::new(RunningQuery {
             cookie,
             deadline,
+            tenant: tenant.to_string(),
+            hub: Arc::clone(&hub),
             executors,
             monitors,
             aggregator_handle,
@@ -926,7 +1119,79 @@ impl Orchestrator {
             lost_seen: self.engine.stats().lost_to_failure,
             dropped_seen: 0,
             faults_seen: self.engine.stats().faults,
+        }));
+        self.registry.insert(cookie, Rc::clone(&inner));
+        Ok(QueryHandle {
+            cookie,
+            inner,
+            directory: Arc::clone(&self.queries),
+            store: self.result_store.clone(),
+            hub,
         })
+    }
+
+    /// Claims one free host per covered rack plus an aggregator host
+    /// near the first monitor. On failure every claim made by THIS call
+    /// is rolled back, so an eviction retry starts from clean state.
+    fn place(
+        &mut self,
+        edges: &BTreeSet<u32>,
+    ) -> Result<(Vec<(u32, HostIdx)>, HostIdx), OrchestratorError> {
+        fn rollback(orch: &mut Orchestrator, claimed: &[HostIdx]) {
+            for h in claimed {
+                orch.used_hosts.remove(h);
+            }
+        }
+        let mut claimed = Vec::new();
+        let mut monitor_hosts = Vec::new();
+        for &edge in edges {
+            let pod = self.engine.network().tree().pod_of_edge(edge);
+            match self
+                .free_host_under(edge)
+                .or_else(|| self.any_free_host_preferring_pod(pod))
+            {
+                Some(host) => {
+                    self.used_hosts.insert(host);
+                    claimed.push(host);
+                    monitor_hosts.push((edge, host));
+                }
+                None => {
+                    rollback(self, &claimed);
+                    return Err(OrchestratorError::NoFreeHost);
+                }
+            }
+        }
+        let agg_pod = self.engine.network().tree().pod_of_edge(monitor_hosts[0].0);
+        match self.any_free_host_preferring_pod(agg_pod) {
+            Some(host) => {
+                self.used_hosts.insert(host);
+                Ok((monitor_hosts, host))
+            }
+            None => {
+                rollback(self, &claimed);
+                Err(OrchestratorError::NoFreeHost)
+            }
+        }
+    }
+
+    /// Kills `victim` to make room for a higher-priority submission.
+    fn evict(&mut self, victim: u64, for_tenant: &str) {
+        let Some(rc) = self.registry.remove(&victim) else {
+            return;
+        };
+        let victim_tenant = rc.borrow().tenant.clone();
+        self.journal.record(
+            self.engine.now().as_nanos(),
+            Some(victim),
+            EventKind::QueryEvicted,
+            format!(
+                "tenant \"{victim_tenant}\" query evicted for \
+                 higher-priority \"{for_tenant}\" submission"
+            ),
+        );
+        self.metrics.counter("admission.evictions", &[]).inc();
+        let mut q = rc.borrow_mut();
+        let _ = self.kill_inner(&mut q);
     }
 
     /// One pass of the self-healing control loop: declares dead any
@@ -945,7 +1210,20 @@ impl Orchestrator {
     /// [`OrchestratorError::ReplacementFailed`] when a detected failure
     /// cannot be repaired (no live free host, or the query's
     /// replacement budget ran out).
-    pub fn reconcile(
+    pub fn reconcile(&mut self, q: &QueryHandle) -> Result<ReconcileReport, OrchestratorError> {
+        let report = {
+            let mut inner = q.inner.borrow_mut();
+            self.reconcile_inner(&mut inner)
+        };
+        // Publish the post-pass health verdict into the directory so
+        // `/queries/{cookie}` reflects it without further engine access.
+        let healthy = self.query_is_healthy(q);
+        self.queries
+            .set_health(q.cookie, healthy, self.engine.now().as_nanos());
+        report
+    }
+
+    fn reconcile_inner(
         &mut self,
         q: &mut RunningQuery,
     ) -> Result<ReconcileReport, OrchestratorError> {
@@ -1167,7 +1445,11 @@ impl Orchestrator {
 
     /// True when every non-stopped monitor runs on a live host with a
     /// fresh heartbeat and the aggregator host is up.
-    pub fn query_is_healthy(&self, q: &RunningQuery) -> bool {
+    pub fn query_is_healthy(&self, q: &QueryHandle) -> bool {
+        self.is_healthy_inner(&q.inner.borrow())
+    }
+
+    fn is_healthy_inner(&self, q: &RunningQuery) -> bool {
         if !self.engine.host_is_up(q.aggregator_host) {
             return false;
         }
@@ -1190,7 +1472,7 @@ impl Orchestrator {
     /// Propagates [`Orchestrator::reconcile`] failures.
     pub fn run_reconciling(
         &mut self,
-        q: &mut RunningQuery,
+        q: &QueryHandle,
         deadline: SimTime,
     ) -> Result<(), OrchestratorError> {
         while self.engine.now() < deadline {
@@ -1211,7 +1493,7 @@ impl Orchestrator {
     /// `within` the given budget; reconcile errors propagate.
     pub fn await_recovery(
         &mut self,
-        q: &mut RunningQuery,
+        q: &QueryHandle,
         within: SimDuration,
     ) -> Result<SimDuration, OrchestratorError> {
         let start = self.engine.now();
@@ -1229,17 +1511,36 @@ impl Orchestrator {
         }
     }
 
-    /// Tears a query down (removes its rules, stops its monitors,
-    /// flushes its analytics) and returns the report.
-    pub fn finalize(&mut self, q: RunningQuery) -> QueryReport {
+    /// Kills a running query: removes its rules, stops its monitors,
+    /// flushes its analytics, closes live subscriptions, releases its
+    /// admission charge and frees its hosts. Returns the final report,
+    /// or `None` if the query was already killed (kill is idempotent).
+    pub fn kill(&mut self, q: &QueryHandle) -> Option<QueryReport> {
+        self.kill_by_cookie(q.cookie)
+    }
+
+    /// [`Orchestrator::kill`] addressed by cookie — the form the HTTP
+    /// frontend's `DELETE /queries/{cookie}` uses. `None` for unknown
+    /// or already-killed cookies.
+    pub fn kill_by_cookie(&mut self, cookie: u64) -> Option<QueryReport> {
+        let rc = self.registry.remove(&cookie)?;
+        let mut q = rc.borrow_mut();
+        self.journal.record(
+            self.engine.now().as_nanos(),
+            Some(cookie),
+            EventKind::QueryKilled,
+            format!("killed after {} replacement(s)", q.replacements),
+        );
+        Some(self.kill_inner(&mut q))
+    }
+
+    /// Shared teardown for kill and eviction. The caller has already
+    /// removed the query from the registry and journaled why.
+    fn kill_inner(&mut self, q: &mut RunningQuery) -> QueryReport {
         let now_ns = self.engine.now().as_nanos();
         self.queries.killed(q.cookie, now_ns);
-        self.journal.record(
-            now_ns,
-            Some(q.cookie),
-            EventKind::QueryKilled,
-            format!("finalized after {} replacement(s)", q.replacements),
-        );
+        self.admission.release(q.cookie);
+        q.hub.close();
         self.engine.remove_rules_by_cookie(q.cookie);
         if let Some(ctl) = self.engine.controller_mut() {
             ctl.remove_cookie(q.cookie);
@@ -1252,17 +1553,57 @@ impl Orchestrator {
             self.used_hosts.remove(&s.host);
         }
         self.used_hosts.remove(&q.aggregator_host);
-        let now = self.engine.now().as_nanos();
         let results = q
             .executors
             .iter()
-            .map(|(name, exec)| (name.clone(), ResultSet::new(exec.borrow_mut().stop(now))))
+            .map(|(name, exec)| (name.clone(), ResultSet::new(exec.borrow_mut().stop(now_ns))))
             .collect();
         QueryReport {
             results,
             monitor_stats: q.monitors.iter().map(|s| s.handle.borrow().stats).collect(),
             aggregator: std::mem::take(&mut q.aggregator_handle.borrow_mut()),
         }
+    }
+
+    /// Handles to every currently running query, newest-cookie last.
+    pub fn running_queries(&self) -> Vec<QueryHandle> {
+        let mut cookies: Vec<u64> = self.registry.keys().copied().collect();
+        cookies.sort_unstable();
+        cookies
+            .into_iter()
+            .filter_map(|c| self.handle_for(c))
+            .collect()
+    }
+
+    /// A fresh handle to a running query by cookie, or `None` once it
+    /// has been killed.
+    pub fn handle_for(&self, cookie: u64) -> Option<QueryHandle> {
+        let inner = self.registry.get(&cookie)?;
+        let hub = Arc::clone(&inner.borrow().hub);
+        Some(QueryHandle {
+            cookie,
+            inner: Rc::clone(inner),
+            directory: Arc::clone(&self.queries),
+            store: self.result_store.clone(),
+            hub,
+        })
+    }
+
+    /// The admission controller's read surface (tenants, usage).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Registers a tenant after construction (see also
+    /// [`OrchestratorBuilder::tenant`]).
+    pub fn register_tenant(&mut self, tenant: Tenant) {
+        self.admission.register(tenant);
+    }
+
+    /// Tears a query down and returns the report.
+    #[deprecated(since = "0.9.0", note = "use `Orchestrator::kill(&handle)` instead")]
+    pub fn finalize(&mut self, q: QueryHandle) -> QueryReport {
+        self.kill(&q).expect("finalize called on a killed query")
     }
 
     /// Convenience: submit, run until the query's own deadline (or for
@@ -1280,12 +1621,12 @@ impl Orchestrator {
         horizon: SimDuration,
     ) -> Result<QueryReport, OrchestratorError> {
         let q = self.submit(query_src)?;
-        let deadline = q.deadline.unwrap_or(self.engine.now() + horizon);
+        let deadline = q.deadline().unwrap_or(self.engine.now() + horizon);
         // Let in-flight batches land: run a small grace period past the
         // deadline before tearing down.
         self.engine
             .run_until(deadline + SimDuration::from_millis(50));
-        Ok(self.finalize(q))
+        Ok(self.kill(&q).expect("fresh query is killable"))
     }
 
     /// Like [`Orchestrator::run_query`], but with the reconcile loop
@@ -1301,10 +1642,10 @@ impl Orchestrator {
         query_src: &str,
         horizon: SimDuration,
     ) -> Result<QueryReport, OrchestratorError> {
-        let mut q = self.submit(query_src)?;
-        let deadline = q.deadline.unwrap_or(self.engine.now() + horizon);
-        self.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
-        Ok(self.finalize(q))
+        let q = self.submit(query_src)?;
+        let deadline = q.deadline().unwrap_or(self.engine.now() + horizon);
+        self.run_reconciling(&q, deadline + SimDuration::from_millis(50))?;
+        Ok(self.kill(&q).expect("fresh query is killable"))
     }
 }
 
@@ -1444,15 +1785,16 @@ mod tests {
                  PROCESS (group-sum: group=url, value=t_ns)",
             )
             .expect("submit");
-        let cookie = q.cookie;
-        let deadline = q.deadline.expect("time-limited");
+        let cookie = q.cookie();
+        let deadline = q.deadline().expect("time-limited");
         orch.run_until(deadline + SimDuration::from_millis(50));
-        let report = orch.finalize(q);
+        let report = orch.kill(&q).expect("running query");
         assert!(!report.first().tuples.is_empty(), "query produced results");
 
         // The durable history matches the in-memory result set and
-        // outlives the query's teardown.
-        let history = orch.query_history(cookie).expect("store attached");
+        // outlives the query's teardown — the handle stays readable
+        // after the kill.
+        let history = q.history().expect("store attached");
         assert_eq!(history.tuples.len(), report.first().tuples.len());
         assert!(store.stats().tuples > 0);
         assert!(
@@ -1466,8 +1808,13 @@ mod tests {
         // Store ingest stats registered into the root registry.
         let snap = orch.telemetry_report();
         assert!(snap.counter_total("store.ingest_tuples") > 0);
-        // No store on a plain orchestrator → no history.
-        assert!(Orchestrator::builder(4).build().query_history(1).is_none());
+        // No store on a plain orchestrator → handles have no history.
+        let mut plain = Orchestrator::builder(4).build();
+        plain.name_host("web", 1);
+        let storeless = plain
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .expect("submit");
+        assert!(storeless.history().is_none());
     }
 
     #[test]
@@ -1490,8 +1837,8 @@ mod tests {
             .unwrap();
         assert!(!q.monitor_hosts().contains(&0));
         assert!(!q.monitor_hosts().contains(&1));
-        let cookie = q.cookie;
-        let report = orch.finalize(q);
+        let cookie = q.cookie();
+        let report = orch.kill(&q).expect("running query");
         assert!(report.results[0].1.is_empty());
         assert_eq!(
             orch.engine_mut().remove_rules_by_cookie(cookie),
@@ -1695,7 +2042,7 @@ mod reactive_tests {
             .heartbeat_interval(SimDuration::from_millis(10))
             .build();
         deploy_web(&mut orch);
-        let mut q = orch
+        let q = orch
             .submit(
                 "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
                  PROCESS (group-sum: group=url, value=t_ns)",
@@ -1707,8 +2054,8 @@ mod reactive_tests {
             SimTime::from_nanos(200_000_000),
             netalytics_netsim::FaultKind::HostDown(victim),
         );
-        let deadline = q.deadline.expect("time-limited query");
-        orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+        let deadline = q.deadline().expect("time-limited query");
+        orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
             .expect("reconciling run");
         assert!(q.replacements() >= 1, "the dead monitor was replaced");
         assert_ne!(q.monitor_hosts()[0], victim, "placement moved");
@@ -1718,7 +2065,7 @@ mod reactive_tests {
             snap.histogram_merged("reconcile.recovery_time_ns").count() >= 1,
             "recovery time recorded"
         );
-        let report = orch.finalize(q);
+        let report = orch.kill(&q).expect("running query");
         assert!(
             report.monitor_stats.iter().any(|s| s.packets_seen > 0),
             "replacement monitor observed traffic"
@@ -1734,7 +2081,7 @@ mod reactive_tests {
             })
             .build();
         deploy_web(&mut orch);
-        let mut q = orch
+        let q = orch
             .submit(
                 "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
                  PROCESS (group-sum: group=url, value=t_ns)",
@@ -1743,7 +2090,7 @@ mod reactive_tests {
         let victim = q.monitor_hosts()[0];
         orch.engine_mut().fail_host(victim);
         assert!(matches!(
-            orch.reconcile(&mut q).unwrap_err(),
+            orch.reconcile(&q).unwrap_err(),
             OrchestratorError::ReplacementFailed { host, .. } if host == victim
         ));
     }
@@ -1755,7 +2102,7 @@ mod reactive_tests {
         // is NOT reached — ReplacementFailed fires first.
         let mut orch = Orchestrator::builder(4).build();
         deploy_web(&mut orch);
-        let mut q = orch
+        let q = orch
             .submit(
                 "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
                  PROCESS (group-sum: group=url, value=t_ns)",
@@ -1768,7 +2115,7 @@ mod reactive_tests {
         let victim = q.monitor_hosts()[0];
         orch.engine_mut().fail_host(victim);
         assert!(matches!(
-            orch.await_recovery(&mut q, SimDuration::from_millis(100))
+            orch.await_recovery(&q, SimDuration::from_millis(100))
                 .unwrap_err(),
             OrchestratorError::ReplacementFailed { .. }
         ));
@@ -1786,16 +2133,16 @@ mod reactive_tests {
                  PROCESS (group-sum: group=url, value=t_ns)",
             )
             .expect("submit");
-        let cookie = q.cookie;
+        let cookie = q.cookie();
         let info = orch.query_directory().get(cookie).expect("directory entry");
         assert_eq!(info.state, QueryState::Running);
         assert_eq!(info.monitors, q.monitors().len());
         assert!(info.query.contains("PARSE http_get"));
         assert!(info.aggregator.starts_with("host"));
 
-        let deadline = q.deadline.expect("time-limited");
+        let deadline = q.deadline().expect("time-limited");
         orch.run_until(deadline + SimDuration::from_millis(50));
-        orch.finalize(q);
+        orch.kill(&q).expect("running query");
 
         let kinds = orch.journal().kinds_for(cookie);
         assert_eq!(
@@ -1828,18 +2175,15 @@ mod reactive_tests {
                  PROCESS (group-sum: group=url, value=t_ns)",
             )
             .expect("submit");
-        let cookie = q.cookie;
-        let deadline = q.deadline.expect("time-limited");
+        let cookie = q.cookie();
+        let deadline = q.deadline().expect("time-limited");
         orch.run_until(deadline + SimDuration::from_millis(50));
-        orch.finalize(q);
+        orch.kill(&q).expect("running query");
 
         let falls = orch.tracer().waterfalls(cookie);
         assert!(!falls.is_empty(), "sampled batches leave exemplars");
-        let stages: std::collections::BTreeSet<&str> = falls[0]
-            .spans
-            .iter()
-            .map(|s| s.stage.as_str())
-            .collect();
+        let stages: std::collections::BTreeSet<&str> =
+            falls[0].spans.iter().map(|s| s.stage.as_str()).collect();
         assert!(
             stages.contains("parse") && stages.contains("queue") && stages.contains("bolt"),
             "waterfall spans the emulated pipeline: {stages:?}"
@@ -1848,30 +2192,167 @@ mod reactive_tests {
         // exemplars ever appear.
         let mut plain = Orchestrator::builder(4).build();
         deploy_web(&mut plain);
-        let q = plain.submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)").expect("submit");
-        let cookie = q.cookie;
+        let q = plain
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .expect("submit");
+        let cookie = q.cookie();
         plain.run_until(SimTime::from_nanos(300_000_000));
-        plain.finalize(q);
+        plain.kill(&q);
         assert!(plain.tracer().waterfalls(cookie).is_empty());
+    }
+
+    #[test]
+    fn admission_quota_rejects_then_kill_frees_the_slot() {
+        use crate::admission::{Tenant, TenantQuota};
+
+        let mut orch = Orchestrator::builder(4)
+            .tenant(Tenant::new(
+                "ops",
+                TenantQuota {
+                    max_concurrent_queries: 1,
+                    ..TenantQuota::UNLIMITED
+                },
+                50,
+            ))
+            .build();
+        deploy_web(&mut orch);
+        const Q: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)";
+
+        // Unknown tenants are refused outright.
+        assert!(matches!(
+            orch.submit_as("nobody", Q).unwrap_err(),
+            OrchestratorError::Admission(AdmissionError::UnknownTenant { .. })
+        ));
+
+        let first = orch.submit_as("ops", Q).expect("within quota");
+        assert_eq!(first.tenant(), "ops");
+        assert_eq!(orch.admission().running("ops"), 1);
+        let err = orch.submit_as("ops", Q).unwrap_err();
+        assert!(matches!(
+            &err,
+            OrchestratorError::Admission(AdmissionError::ConcurrentQueries { .. })
+        ));
+        // The rejection is journaled and counted.
+        assert!(orch
+            .journal()
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::AdmissionRejected));
+        assert!(orch.telemetry_report().counter_total("admission.rejected") >= 1);
+
+        // Killing the running query releases the charge.
+        orch.kill(&first).expect("running");
+        assert_eq!(orch.admission().running("ops"), 0);
+        orch.submit_as("ops", Q).expect("slot freed by kill");
+        // The default tenant is never quota-bound.
+        orch.submit(Q).expect("default tenant unlimited");
+    }
+
+    #[test]
+    fn admission_priority_eviction_frees_capacity() {
+        use crate::admission::{Tenant, TenantQuota};
+        use netalytics_telemetry::QueryState;
+
+        let mut orch = Orchestrator::builder(4)
+            .tenant(Tenant::new("bulk", TenantQuota::UNLIMITED, 10))
+            .tenant(Tenant::new("ops", TenantQuota::UNLIMITED, 200))
+            .build();
+        deploy_web(&mut orch);
+        const Q: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)";
+        let victim = orch.submit_as("bulk", Q).expect("bulk submit");
+        // Exhaust the fabric so the next placement must evict.
+        for h in 0..orch.engine().network().num_hosts() {
+            orch.used_hosts.insert(h);
+        }
+        // Equal/lower priority cannot evict: bulk's own resubmission
+        // fails with NoFreeHost and the victim keeps running.
+        assert!(matches!(
+            orch.submit_as("bulk", Q).unwrap_err(),
+            OrchestratorError::NoFreeHost
+        ));
+        assert!(orch.handle_for(victim.cookie()).is_some());
+
+        // A higher-priority arrival evicts the bulk query and lands on
+        // the freed hosts.
+        let winner = orch.submit_as("ops", Q).expect("evicts bulk");
+        assert_eq!(
+            victim.status().unwrap().state,
+            QueryState::Killed,
+            "victim was torn down"
+        );
+        assert!(orch.handle_for(victim.cookie()).is_none());
+        assert_eq!(winner.status().unwrap().state, QueryState::Running);
+        assert!(orch
+            .journal()
+            .kinds_for(victim.cookie())
+            .contains(&EventKind::QueryEvicted));
+        assert!(orch.telemetry_report().counter_total("admission.evictions") >= 1);
+        // The victim's live subscribers saw end-of-stream.
+        assert!(victim.subscription_hub().is_closed());
+    }
+
+    #[test]
+    fn subscriptions_stream_incremental_results_until_kill() {
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        // Windowed top-k: the rank bolt re-emits every 100 ms window,
+        // so subscribers see incremental results long before the end.
+        let q = orch
+            .submit(
+                "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                 PROCESS (top-k: k=3, w=100ms, key=url)",
+            )
+            .expect("submit");
+        let live = q.subscribe();
+        orch.run_until(SimTime::from_nanos(400_000_000));
+        let seen = live.drain();
+        assert!(!seen.is_empty(), "incremental results streamed mid-query");
+        assert!(
+            seen.iter().any(|t| t.get("key").is_some()),
+            "streamed tuples carry the query's output fields: {seen:?}"
+        );
+        orch.kill(&q).expect("running query");
+        assert_eq!(
+            live.recv(),
+            None,
+            "kill closes the hub: stream ends after the buffer drains"
+        );
+        // Subscribing on a killed query's handle ends immediately.
+        assert_eq!(q.subscribe().recv(), None);
+    }
+
+    #[test]
+    fn kill_is_idempotent_and_addressable_by_cookie() {
+        let mut orch = Orchestrator::builder(4).build();
+        deploy_web(&mut orch);
+        let q = orch
+            .submit("PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * PROCESS (group-sum)")
+            .expect("submit");
+        assert_eq!(orch.running_queries().len(), 1);
+        assert!(orch.kill(&q).is_some());
+        assert!(orch.kill(&q).is_none(), "second kill is a no-op");
+        assert!(orch.kill_by_cookie(q.cookie()).is_none());
+        assert!(orch.kill_by_cookie(9999).is_none(), "unknown cookie");
+        assert!(orch.running_queries().is_empty());
     }
 
     #[test]
     fn fault_healthy_query_reconciles_to_noop() {
         let mut orch = Orchestrator::builder(4).build();
         deploy_web(&mut orch);
-        let mut q = orch
+        let q = orch
             .submit(
                 "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
                  PROCESS (group-sum: group=url, value=t_ns)",
             )
             .expect("submit");
         orch.run_until(SimTime::from_nanos(100_000_000));
-        let report = orch.reconcile(&mut q).expect("reconcile");
+        let report = orch.reconcile(&q).expect("reconcile");
         assert!(report.replaced.is_empty(), "nothing to repair");
         assert_eq!(q.replacements(), 0);
         assert!(orch.query_is_healthy(&q));
         let recovered = orch
-            .await_recovery(&mut q, SimDuration::from_millis(100))
+            .await_recovery(&q, SimDuration::from_millis(100))
             .expect("already healthy");
         assert_eq!(recovered.as_nanos(), 0, "no time needed");
     }

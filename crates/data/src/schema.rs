@@ -98,7 +98,8 @@ impl Schema {
     pub fn intern(&self, name: &str) -> FieldId {
         // cold path: hit the read lock only when resolving a name to an
         // id; callers cache the returned FieldId.
-        if let Some(&id) = self.inner.read().ids.get(name) { // cold path
+        // cold path
+        if let Some(&id) = self.inner.read().ids.get(name) {
             return FieldId(id);
         }
         let mut w = self.inner.write(); // cold path: first sight of a name

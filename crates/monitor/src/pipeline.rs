@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use netalytics_data::{
-    spsc, BatchBuilder, BatchSink, ColumnBatch, Consumer, DataTuple, PopError, Producer,
-    PushError, TraceCtx, TupleBatch,
+    spsc, BatchBuilder, BatchSink, ColumnBatch, Consumer, DataTuple, PopError, Producer, PushError,
+    TraceCtx, TupleBatch,
 };
 use netalytics_packet::Packet;
 use netalytics_sketch::{PreAgg, PreAggSpec};
@@ -403,29 +403,29 @@ impl Pipeline {
                     .name(format!("parser-{name}-{w}"))
                     .spawn(move || {
                         let mut pending: Vec<DataTuple> = Vec::with_capacity(batch_size);
-                        let flush_to_sink = |pending: &mut Vec<DataTuple>,
-                                             open_ns: &mut Option<u64>| {
-                            if pending.is_empty() {
-                                return;
-                            }
-                            let mut batch = TupleBatch::from_tuples(std::mem::take(pending));
-                            stamp_rows(&mut batch, &tracing, widx, open_ns);
-                            counters.tuples_out.add(batch.len() as u64);
-                            counters.bytes_out.add(batch.wire_size() as u64);
-                            if let Some(tel) = &telemetry {
-                                tel.batch_size.record(batch.len() as u64);
-                                tel.queue_depth.set(prx.len() as i64);
-                            }
-                            // If the consumer went away we just drop output.
-                            match &sink {
-                                Some(s) => {
-                                    let _ = s.ship(batch);
+                        let flush_to_sink =
+                            |pending: &mut Vec<DataTuple>, open_ns: &mut Option<u64>| {
+                                if pending.is_empty() {
+                                    return;
                                 }
-                                None => {
-                                    let _ = out_tx.send(batch);
+                                let mut batch = TupleBatch::from_tuples(std::mem::take(pending));
+                                stamp_rows(&mut batch, &tracing, widx, open_ns);
+                                counters.tuples_out.add(batch.len() as u64);
+                                counters.bytes_out.add(batch.wire_size() as u64);
+                                if let Some(tel) = &telemetry {
+                                    tel.batch_size.record(batch.len() as u64);
+                                    tel.queue_depth.set(prx.len() as i64);
                                 }
-                            }
-                        };
+                                // If the consumer went away we just drop output.
+                                match &sink {
+                                    Some(s) => {
+                                        let _ = s.ship(batch);
+                                    }
+                                    None => {
+                                        let _ = out_tx.send(batch);
+                                    }
+                                }
+                            };
                         let mut preagg = preagg_spec.map(PreAgg::new);
                         let mut last_ts = 0u64;
                         // Folds `pending[start..]` into the worker's

@@ -215,7 +215,8 @@ impl QueueCluster {
     /// [`TopicId`]; all batch APIs are keyed by id so the steady state does
     /// no string hashing.
     pub fn topic_id(&self, name: &str) -> TopicId {
-        if let Some(&id) = self.registry.read().topic_ids.get(name) { // cold path
+        // cold path
+        if let Some(&id) = self.registry.read().topic_ids.get(name) {
             return id;
         }
         let mut reg = self.registry.write(); // cold path
@@ -345,7 +346,8 @@ impl QueueCluster {
 
     /// Interns a consumer-group name.
     pub fn group_id(&self, name: &str) -> GroupId {
-        if let Some(&id) = self.registry.read().group_ids.get(name) { // cold path
+        // cold path
+        if let Some(&id) = self.registry.read().group_ids.get(name) {
             return id;
         }
         let mut reg = self.registry.write(); // cold path
@@ -663,7 +665,8 @@ impl QueueCluster {
         let t = self.topic(topic);
         let mut worst = Pressure::Underloaded;
         for p in &t.partitions {
-            match p.lock().pressure() { // cold path
+            // cold path
+            match p.lock().pressure() {
                 Pressure::Overloaded => return Pressure::Overloaded,
                 Pressure::Normal => worst = Pressure::Normal,
                 Pressure::Underloaded => {}

@@ -22,6 +22,7 @@ mod join;
 mod key;
 mod rank;
 mod sketch;
+mod subscription;
 
 pub use agg::{AggBolt, AggOp, UnknownAggOp};
 pub use count::RollingCountBolt;
@@ -32,3 +33,4 @@ pub use join::RequestTimeJoinBolt;
 pub use key::KeyExtractBolt;
 pub use rank::RankBolt;
 pub use sketch::{DistinctBolt, HeavyHittersBolt, QuantileBolt, SketchCounters};
+pub use subscription::{Subscription, SubscriptionHub, SubscriptionSink, DEFAULT_SUBSCRIBER_DEPTH};

@@ -1,0 +1,331 @@
+//! Live result subscriptions: the tap that feeds `/stream` clients.
+//!
+//! A [`SubscriptionHub`] fans each incremental result tuple out to
+//! every live subscriber over a bounded per-subscriber channel. The
+//! [`SubscriptionSink`] is a pass-through terminal bolt (mirroring the
+//! store sink): appended after a topology's terminals it changes
+//! nothing about the query's output, it only publishes a copy of every
+//! emission to the hub.
+//!
+//! Backpressure is **shed-on-slow-consumer**: `publish` never blocks
+//! the data plane. A subscriber whose channel is full simply misses
+//! that tuple (counted per hub in `shed`), and a disconnected
+//! subscriber is pruned on the next publish. Dropping a
+//! [`Subscription`] unsubscribes; [`SubscriptionHub::close`] (called
+//! when the query is killed) disconnects every subscriber so blocked
+//! readers observe end-of-stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use netalytics_data::DataTuple;
+use parking_lot::Mutex;
+
+use crate::bolt::Bolt;
+
+/// Default bound on each subscriber's channel: deep enough to ride out
+/// a scheduling hiccup, shallow enough that one stalled client caps its
+/// memory at a few hundred tuples.
+pub const DEFAULT_SUBSCRIBER_DEPTH: usize = 1024;
+
+struct SubEntry {
+    id: u64,
+    tx: SyncSender<DataTuple>,
+}
+
+/// Fan-out point between a query's topology and its live subscribers.
+/// Shared as `Arc<SubscriptionHub>`; all methods take `&self`.
+pub struct SubscriptionHub {
+    /// Subscriber registry. Control path for subscribe/close; on the
+    /// publish path the lock is held only for the try_send loop and is
+    /// uncontended unless subscribers churn. (per-batch)
+    subscribers: Mutex<Vec<SubEntry>>,
+    next_id: AtomicU64,
+    depth: usize,
+    closed: AtomicBool,
+    delivered: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl std::fmt::Debug for SubscriptionHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionHub")
+            .field("subscribers", &self.subscriber_count())
+            .field("delivered", &self.delivered())
+            .field("shed", &self.shed())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl Default for SubscriptionHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubscriptionHub {
+    /// A hub with the default per-subscriber channel depth.
+    pub fn new() -> Self {
+        Self::with_depth(DEFAULT_SUBSCRIBER_DEPTH)
+    }
+
+    /// A hub whose subscribers each buffer up to `depth` tuples
+    /// (min 1).
+    pub fn with_depth(depth: usize) -> Self {
+        SubscriptionHub {
+            subscribers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            depth: depth.max(1),
+            closed: AtomicBool::new(false),
+            delivered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a new subscriber. On a closed hub the subscription is
+    /// born disconnected — its receiver reports end-of-stream
+    /// immediately.
+    pub fn subscribe(self: &Arc<Self>) -> Subscription {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.depth);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if !self.closed.load(Ordering::Acquire) {
+            self.subscribers.lock().push(SubEntry { id, tx });
+        }
+        // On a closed hub `tx` drops here, disconnecting `rx`.
+        Subscription {
+            id,
+            rx,
+            hub: Arc::clone(self),
+        }
+    }
+
+    /// Publishes one tuple to every live subscriber. Never blocks: a
+    /// full subscriber sheds the tuple, a disconnected one is pruned.
+    pub fn publish(&self, tuple: &DataTuple) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut subs = self.subscribers.lock(); // per-batch
+        if subs.is_empty() {
+            return;
+        }
+        let mut delivered = 0u64;
+        let mut shed = 0u64;
+        subs.retain(|sub| match sub.tx.try_send(tuple.clone()) {
+            Ok(()) => {
+                delivered += 1;
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                shed += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        drop(subs);
+        if delivered > 0 {
+            self.delivered.fetch_add(delivered, Ordering::Relaxed);
+        }
+        if shed > 0 {
+            self.shed.fetch_add(shed, Ordering::Relaxed);
+        }
+    }
+
+    /// Disconnects every subscriber (their receivers see end-of-stream
+    /// once drained) and refuses new publishes. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.subscribers.lock().clear();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Live subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// Tuples successfully handed to subscriber channels.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Tuples dropped because a subscriber's channel was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().retain(|s| s.id != id);
+    }
+}
+
+/// One subscriber's receiving end. Dropping it unsubscribes from the
+/// hub; the hub closing (query killed) disconnects it.
+pub struct Subscription {
+    id: u64,
+    rx: Receiver<DataTuple>,
+    hub: Arc<SubscriptionHub>,
+}
+
+impl Subscription {
+    /// Blocks for the next tuple. `None` once the hub has closed (or
+    /// this subscription was shed from a closed hub) and the buffer is
+    /// drained.
+    pub fn recv(&self) -> Option<DataTuple> {
+        self.rx.recv().ok()
+    }
+
+    /// Bounded wait for the next tuple, with std's timeout semantics:
+    /// `Err(Timeout)` means nothing arrived in `timeout` (the stream is
+    /// still open); `Err(Disconnected)` means end-of-stream (the hub
+    /// closed and the buffer is drained).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<DataTuple, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Drains whatever is buffered right now without blocking.
+    pub fn drain(&self) -> Vec<DataTuple> {
+        self.rx.try_iter().collect()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.hub.unsubscribe(self.id);
+    }
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+/// Pass-through terminal bolt publishing every emission to a hub.
+/// Append with `Topology::with_sink` after the query's real terminals,
+/// exactly like the store sink.
+pub struct SubscriptionSink {
+    hub: Arc<SubscriptionHub>,
+}
+
+impl SubscriptionSink {
+    pub fn new(hub: Arc<SubscriptionHub>) -> Self {
+        SubscriptionSink { hub }
+    }
+}
+
+impl Bolt for SubscriptionSink {
+    fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        self.hub.publish(tuple);
+        out.push(tuple.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> DataTuple {
+        DataTuple::new(n, n * 10).with("n", n)
+    }
+
+    #[test]
+    fn sink_is_passthrough_and_fans_out() {
+        let hub = Arc::new(SubscriptionHub::new());
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        let mut sink = SubscriptionSink::new(Arc::clone(&hub));
+        let mut out = Vec::new();
+        sink.execute(&t(1), &mut out);
+        sink.execute(&t(2), &mut out);
+        assert_eq!(out.len(), 2, "every tuple re-emitted");
+        assert_eq!(a.drain().len(), 2);
+        assert_eq!(b.drain().len(), 2);
+        assert_eq!(hub.delivered(), 4);
+        assert_eq!(hub.shed(), 0);
+    }
+
+    #[test]
+    fn slow_subscriber_sheds_without_blocking_publish() {
+        let hub = Arc::new(SubscriptionHub::with_depth(2));
+        let slow = hub.subscribe();
+        for i in 0..5 {
+            hub.publish(&t(i));
+        }
+        assert_eq!(hub.delivered(), 2, "channel depth honored");
+        assert_eq!(hub.shed(), 3, "overflow shed, not blocked");
+        let got = slow.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, 0, "oldest tuples kept, newest shed");
+    }
+
+    #[test]
+    fn drop_unsubscribes_and_close_disconnects() {
+        let hub = Arc::new(SubscriptionHub::new());
+        let sub = hub.subscribe();
+        {
+            let _gone = hub.subscribe();
+            assert_eq!(hub.subscriber_count(), 2);
+        }
+        assert_eq!(hub.subscriber_count(), 1);
+
+        hub.publish(&t(1));
+        hub.close();
+        hub.publish(&t(2)); // ignored: hub closed
+        assert_eq!(sub.recv(), Some(t(1)), "buffered tuple still drains");
+        assert_eq!(sub.recv(), None, "then end-of-stream");
+        assert!(hub.is_closed());
+
+        // Subscribing after close yields an immediately-ended stream.
+        let late = hub.subscribe();
+        assert_eq!(late.recv(), None);
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_empty_from_ended() {
+        let hub = Arc::new(SubscriptionHub::new());
+        let sub = hub.subscribe();
+        assert_eq!(
+            sub.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout),
+            "open but empty times out"
+        );
+        hub.publish(&t(7));
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)), Ok(t(7)));
+        hub.close();
+        assert_eq!(
+            sub.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected),
+            "closed hub ends the stream"
+        );
+    }
+
+    #[test]
+    fn publish_from_another_thread_reaches_subscriber() {
+        let hub = Arc::new(SubscriptionHub::new());
+        let sub = hub.subscribe();
+        let publisher = Arc::clone(&hub);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                publisher.publish(&t(i));
+            }
+            publisher.close();
+        });
+        let mut got = Vec::new();
+        while let Some(tuple) = sub.recv() {
+            got.push(tuple);
+        }
+        handle.join().unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id), "in order");
+    }
+}

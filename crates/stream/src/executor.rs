@@ -145,9 +145,9 @@ pub fn build_executor_traced(
     tracer: Option<Arc<Tracer>>,
 ) -> Box<dyn Executor> {
     match mode {
-        ExecutorMode::Inline => Box::new(InlineExecutor::with_instruments(
-            topology, metrics, tracer,
-        )),
+        ExecutorMode::Inline => {
+            Box::new(InlineExecutor::with_instruments(topology, metrics, tracer))
+        }
         ExecutorMode::Threaded(config) => Box::new(ThreadedExecutor::spawn_driven_traced(
             topology, config, metrics, tracer,
         )),

@@ -53,6 +53,7 @@ pub mod topologies;
 pub mod topology;
 
 pub use bolt::{Bolt, BoltFactory, Grouping};
+pub use bolts::{Subscription, SubscriptionHub, SubscriptionSink};
 pub use executor::{
     build_executor, build_executor_traced, build_executor_with, BackpressurePolicy, Executor,
     ExecutorMode,

@@ -40,7 +40,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use netalytics_data::{
     spsc, Consumer, DataTuple, PopError, Producer, PushError, TraceCtx, TupleBatch,
 };
-use netalytics_telemetry::{wall_now_ns, Counter, Histogram, MetricsRegistry, ShardedCounter, Tracer};
+use netalytics_telemetry::{
+    wall_now_ns, Counter, Histogram, MetricsRegistry, ShardedCounter, Tracer,
+};
 
 use crate::bolt::{Bolt, Grouping};
 use crate::executor::{BackpressurePolicy, Executor};
@@ -95,7 +97,10 @@ enum ShardMsg {
         trace: Option<TraceCtx>,
     },
     Tick(u64),
-    Marker { round: u32, now_ns: u64 },
+    Marker {
+        round: u32,
+        now_ns: u64,
+    },
 }
 
 /// One worker's owned bolt instances for one node, indexed by local
@@ -583,6 +588,7 @@ impl ShardedExecutor {
         let mut peer_tx: Vec<Vec<Option<Peer>>> = (0..shards)
             .map(|_| (0..shards).map(|_| None).collect())
             .collect();
+        #[allow(clippy::needless_range_loop)] // 2-D index with a == b skip
         for a in 0..shards {
             for b in 0..shards {
                 if a == b {
@@ -764,8 +770,7 @@ impl Executor for ShardedExecutor {
         let edges = std::mem::take(&mut self.spout_edges);
         let last = edges.len() - 1;
         for (k, (node, grouping)) in edges.iter().enumerate() {
-            let mut slabs: Vec<Vec<DataTuple>> =
-                (0..self.par[*node]).map(|_| Vec::new()).collect();
+            let mut slabs: Vec<Vec<DataTuple>> = (0..self.par[*node]).map(|_| Vec::new()).collect();
             if k == last {
                 for t in std::mem::take(&mut tuples) {
                     let i = grouping.route(&t, slabs.len(), &mut self.offer_rr[k]);

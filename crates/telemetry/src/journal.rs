@@ -46,6 +46,12 @@ pub enum EventKind {
     SegmentSealed,
     /// The store folded sealed segments into a rollup.
     RollupFolded,
+    /// Admission control rejected a submission (quota or unknown
+    /// tenant).
+    AdmissionRejected,
+    /// A lower-priority query was evicted to free capacity for a
+    /// higher-priority submission.
+    QueryEvicted,
 }
 
 impl EventKind {
@@ -60,6 +66,8 @@ impl EventKind {
             EventKind::ShedBurst => "shed_burst",
             EventKind::SegmentSealed => "segment_sealed",
             EventKind::RollupFolded => "rollup_folded",
+            EventKind::AdmissionRejected => "admission_rejected",
+            EventKind::QueryEvicted => "query_evicted",
         }
     }
 }
@@ -141,7 +149,7 @@ impl Journal {
             .lock()
             .iter()
             .filter(|e| cookie.is_none() || e.cookie == cookie)
-            .filter(|e| since_seq.map_or(true, |s| e.seq > s))
+            .filter(|e| since_seq.is_none_or(|s| e.seq > s))
             .cloned()
             .collect()
     }
@@ -164,11 +172,7 @@ impl Journal {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"seq\":{},\"ts_ns\":{},\"cookie\":",
-                e.seq, e.ts_ns
-            );
+            let _ = write!(out, "{{\"seq\":{},\"ts_ns\":{},\"cookie\":", e.seq, e.ts_ns);
             match e.cookie {
                 Some(c) => {
                     let _ = write!(out, "{c}");

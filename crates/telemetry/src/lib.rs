@@ -49,8 +49,11 @@ pub mod trace;
 pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Event, EventKind, Journal};
 pub use registry::{
-    Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
+    json_escape, Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
     ShardedCounter,
 };
-pub use server::{Introspection, QueryDirectory, QueryInfo, QueryState, TelemetryServer};
+pub use server::{
+    introspection_router, ApiError, ChunkWriter, Handler, Introspection, QueryDirectory, QueryInfo,
+    QueryState, Request, Response, Router, TelemetryServer, DEFAULT_WORKERS,
+};
 pub use trace::{wall_now_ns, Span, TraceConfig, TraceExemplar, Tracer};

@@ -315,7 +315,9 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
     }
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes `s` for embedding in a JSON string literal. Exported
+/// because the whole workspace hand-rolls its JSON (no JSON crate).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -496,7 +498,8 @@ mod tests {
         // Per the exposition format, label values must escape backslash,
         // double-quote and line feed — nothing else.
         let r = MetricsRegistry::new();
-        r.counter("parse.errors", &[("path", "C:\\logs\n\"hot\"")]).inc();
+        r.counter("parse.errors", &[("path", "C:\\logs\n\"hot\"")])
+            .inc();
         let text = r.render_prometheus();
         assert!(
             text.contains(r#"parse_errors{path="C:\\logs\n\"hot\""} 1"#),

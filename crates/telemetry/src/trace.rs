@@ -126,7 +126,12 @@ impl SpanShard {
         // winner sees the cell as vacated.
         if slot
             .state
-            .compare_exchange(SLOT_EMPTY, SLOT_WRITING, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                SLOT_EMPTY,
+                SLOT_WRITING,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_err()
         {
             return false;
@@ -321,7 +326,7 @@ impl Tracer {
     #[inline]
     pub fn sample_batch(&self) -> Option<u64> {
         let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
-        if seq % self.cfg.sample_every.max(1) != 0 {
+        if !seq.is_multiple_of(self.cfg.sample_every.max(1)) {
             return None;
         }
         self.sampled.fetch_add(1, Ordering::Relaxed);
@@ -333,6 +338,7 @@ impl Tracer {
     /// span-buffer shard (pass a stable worker/thread index; it wraps).
     /// Called only for sampled batches, so its cost — a slot push, a
     /// histogram record, one short map lock — is paid 1-in-N times.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_span(
         &self,
         worker: usize,

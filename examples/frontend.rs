@@ -1,0 +1,124 @@
+//! The production query frontend, driven the way an administrator
+//! would drive it: over HTTP.
+//!
+//! Spawns a [`QueryFrontend`] over an emulated 8-host data center with
+//! a web tier and client traffic, then acts as its own HTTP client —
+//! POSTs a windowed top-k query, tails live NDJSON results off
+//! `/queries/{cookie}/stream`, DELETEs the query, and replays its
+//! durable history from `/queries/{cookie}/results`.
+//!
+//! Run with: `cargo run --release --example frontend`
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use netalytics::{Orchestrator, QueryFrontend, Tenant, TenantQuota, TimeSeriesStore};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::SimTime;
+use netalytics_packet::http;
+
+const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 600s SAMPLE * \
+                     PROCESS (top-k: k=3, w=100ms, key=url)";
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("response");
+    resp.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(resp)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-host fabric: web tier on host 1, a client on host 0 issuing
+    // a GET every 10 ms of virtual time with a skewed URL mix.
+    let builder = Orchestrator::builder(8)
+        .result_store(Arc::new(TimeSeriesStore::in_memory()))
+        .tenant(Tenant::new("demo-team", TenantQuota::standard(), 120));
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, |orch| {
+        orch.name_host("web", 1);
+        let web_ip = orch.host_ip(1);
+        orch.deploy_app(
+            1,
+            Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+        );
+        let urls = ["/video/7", "/video/7", "/video/2", "/index"];
+        let schedule = (0..20_000u64)
+            .map(|i| {
+                (
+                    SimTime::from_nanos(i * 10_000_000),
+                    Conversation {
+                        dst: (web_ip, 80),
+                        requests: vec![http::build_get(urls[(i % 4) as usize], "web")],
+                        tag: String::new(),
+                    },
+                )
+            })
+            .collect();
+        orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+    })?;
+    let addr = frontend.local_addr();
+    println!("frontend listening on http://{addr}");
+
+    // Submit over the wire; the 201 body is the query descriptor.
+    let descriptor = request(addr, "POST", "/queries?tenant=demo-team", QUERY);
+    println!("\nPOST /queries\n  {descriptor}");
+    let idx = descriptor
+        .find("\"cookie\":")
+        .expect("cookie in descriptor")
+        + 9;
+    let cookie: u64 = descriptor[idx..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()?;
+
+    // Tail the live stream: every 100 ms virtual window the rank bolt
+    // re-emits its top URLs; `?max=6` ends the stream after 6 lines.
+    println!("\nGET /queries/{cookie}/stream?max=6");
+    let mut s = TcpStream::connect(addr)?;
+    write!(
+        s,
+        "GET /queries/{cookie}/stream?max=6 HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n"
+    )?;
+    s.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut shown = 0;
+    let mut line = String::new();
+    let mut reader = BufReader::new(s);
+    while reader.read_line(&mut line)? > 0 {
+        if line.starts_with('{') && line.contains("\"fields\"") {
+            println!("  {}", line.trim_end());
+            shown += 1;
+        }
+        line.clear();
+    }
+    assert!(shown >= 1, "the stream produced live result lines");
+
+    // Kill the query and replay its committed history from the store.
+    let summary = request(addr, "DELETE", &format!("/queries/{cookie}"), "");
+    println!("\nDELETE /queries/{cookie}\n  {summary}");
+    let history = request(addr, "GET", &format!("/queries/{cookie}/results"), "");
+    let count = history
+        .find("\"count\":")
+        .map(|i| {
+            history[i + 8..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+    println!("\nGET /queries/{cookie}/results\n  {count} durable tuples survive the kill");
+
+    let (delivered, shed) = frontend.stream_stats(cookie).expect("hub retained");
+    println!("\nstream accounting: {delivered} delivered, {shed} shed");
+    Ok(())
+}

@@ -24,7 +24,11 @@ use netalytics_packet::http;
 
 fn get(addr: SocketAddr, path: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
-    write!(s, "GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n").expect("request");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
     let mut resp = String::new();
     s.read_to_string(&mut resp).expect("response");
     resp.split_once("\r\n\r\n")
@@ -62,14 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
 
-    let mut q = orch.submit(
+    let q = orch.submit(
         "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
          PROCESS (top-k: k=3, w=10s, key=url)",
     )?;
-    let cookie = q.cookie;
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
-    orch.finalize(q);
+    let cookie = q.cookie();
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))?;
+    orch.kill(&q);
 
     // Port 0 picks a free ephemeral port; swap in "127.0.0.1:9900" to
     // get the stable address the doc comment advertises.

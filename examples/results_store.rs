@@ -5,14 +5,14 @@
 //! a top-k query, then tears the whole orchestrator down — data center,
 //! apps, analytics, everything — and rebuilds it from scratch over the
 //! same store directory. The query's committed output is still there:
-//! `query_history()` replays it from the segmented log, and the store's
+//! the store replays it from the segmented log, and the store's
 //! range/rollup API serves time-windowed slices of it.
 //!
 //! Run with: `cargo run --release --example results_store`
 
 use std::sync::Arc;
 
-use netalytics::{Orchestrator, SeriesKey, TimeSeriesStore};
+use netalytics::{Orchestrator, ResultSet, SeriesKey, TimeSeriesStore};
 use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
 use netalytics_netsim::{SimDuration, SimTime};
 use netalytics_packet::http;
@@ -53,11 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     deploy_web(&mut orch);
 
-    let mut q = orch.submit(QUERY)?;
-    let cookie = q.cookie;
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))?;
-    let report = orch.finalize(q);
+    let q = orch.submit(QUERY)?;
+    let cookie = q.cookie();
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))?;
+    let report = orch.kill(&q).expect("running query");
 
     println!("== first life ==");
     println!("  live result tuples : {}", report.first().len());
@@ -72,13 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     drop(store);
 
     let reopened = Arc::new(TimeSeriesStore::open(&dir)?);
-    let orch2 = Orchestrator::builder(4)
-        .result_store(Arc::clone(&reopened))
-        .build();
 
-    let history = orch2
-        .query_history(cookie)
-        .expect("store attached and readable");
+    // The handle from the first life is gone with its orchestrator; the
+    // cookie addresses the durable history directly on the store.
+    let history = ResultSet::new(reopened.query_history(cookie)?);
     println!("\n== after restart (replayed from disk) ==");
     println!("  history tuples     : {}", history.len());
     assert_eq!(

@@ -110,7 +110,7 @@ fn monitoring_stops_after_finalize() {
     orch.run_until(SimTime::from_nanos(1_000_000_000));
     let mirrored_before = orch.engine().stats().mirrored;
     assert!(mirrored_before > 0, "mirroring active during the query");
-    orch.finalize(q);
+    orch.kill(&q);
     orch.run_until(SimTime::from_nanos(2_000_000_000));
     let mirrored_after = orch.engine().stats().mirrored;
     assert_eq!(
@@ -188,15 +188,15 @@ fn concurrent_queries_are_isolated() {
              PROCESS (diff-group-avg: group=dst_ip)",
         )
         .expect("q2");
-    assert_ne!(q1.cookie, q2.cookie);
+    assert_ne!(q1.cookie(), q2.cookie());
     assert_ne!(
         q1.monitor_hosts(),
         q2.monitor_hosts(),
         "each query gets its own monitor host"
     );
     orch.run_until(SimTime::from_nanos(2_100_000_000));
-    let r1 = orch.finalize(q1);
-    let r2 = orch.finalize(q2);
+    let r1 = orch.kill(&q1).expect("q1 running");
+    let r2 = orch.kill(&q2).expect("q2 running");
     let ranking = r1.first().final_ranking();
     assert_eq!(ranking.len(), 2);
     assert_eq!(ranking[0].0, "/a");

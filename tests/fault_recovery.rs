@@ -56,18 +56,17 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
     let hb = SimDuration::from_millis(10);
     let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
     deploy_web(&mut orch, 60);
-    let mut q = orch.submit(QUERY).expect("submit");
-    let cookie = q.cookie;
+    let q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie();
     let victim = q.monitor_hosts()[0];
     let fail_at = SimTime::from_nanos(200_000_000);
     let script = FailureScript::new().fail_host(fail_at, victim);
     orch.engine_mut().apply_script(&script);
 
     // Run (reconciling) up to the failure point, then time the repair.
-    orch.run_reconciling(&mut q, fail_at)
-        .expect("pre-fault run");
+    orch.run_reconciling(&q, fail_at).expect("pre-fault run");
     let took = orch
-        .await_recovery(&mut q, SimDuration::from_millis(200))
+        .await_recovery(&q, SimDuration::from_millis(200))
         .expect("recovered");
     assert!(
         took.as_nanos() <= 3 * hb.as_nanos(),
@@ -82,8 +81,8 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
     );
 
     // Run the query out and finalize.
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
         .expect("post-fault run");
     let snap = orch.telemetry_report();
     assert!(
@@ -94,7 +93,7 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
         snap.names().contains(&"reconcile.tuples_lost"),
         "tuples_lost counter present in the report"
     );
-    let report = orch.finalize(q);
+    let report = orch.kill(&q).expect("running query");
     let tuples = report.aggregator.tuples_in;
     assert!(
         tuples as f64 >= baseline_tuples as f64 * 0.9,
@@ -111,9 +110,7 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
         .expect("fault firing journaled");
     let detect = events
         .iter()
-        .position(|e| {
-            e.kind == EventKind::ReconcileDecision && e.detail.contains("declared dead")
-        })
+        .position(|e| e.kind == EventKind::ReconcileDecision && e.detail.contains("declared dead"))
         .expect("detection journaled");
     let replace = events
         .iter()
@@ -140,19 +137,19 @@ fn fault_monitor_host_killed_mid_query_recovers_within_bound() {
 fn fault_aggregator_host_killed_mid_query_fails_over() {
     let mut orch = Orchestrator::builder(4).build();
     deploy_web(&mut orch, 60);
-    let mut q = orch.submit(QUERY).expect("submit");
-    let cookie = q.cookie;
-    let victim = q.aggregator_host;
+    let q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie();
+    let victim = q.aggregator_host();
     let fail_at = SimTime::from_nanos(200_000_000);
     orch.engine_mut()
         .apply_script(&FailureScript::new().fail_host(fail_at, victim));
 
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
         .expect("reconciling run");
-    assert_ne!(q.aggregator_host, victim, "aggregator moved");
+    assert_ne!(q.aggregator_host(), victim, "aggregator moved");
     assert!(q.replacements() >= 1);
-    let report = orch.finalize(q);
+    let report = orch.kill(&q).expect("running query");
     assert!(
         report.aggregator.tuples_in > 0,
         "tuples flowed across the failover"
@@ -173,9 +170,7 @@ fn fault_aggregator_host_killed_mid_query_fails_over() {
         .expect("aggregator death journaled");
     let failover = events
         .iter()
-        .position(|e| {
-            e.kind == EventKind::Failover && e.detail.contains("aggregator failed over")
-        })
+        .position(|e| e.kind == EventKind::Failover && e.detail.contains("aggregator failed over"))
         .expect("aggregator failover journaled");
     assert!(detect < failover, "detection precedes the failover");
 }
@@ -188,7 +183,7 @@ fn fault_crashed_monitor_process_detected_by_stale_heartbeat() {
     let hb = SimDuration::from_millis(10);
     let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
     deploy_web(&mut orch, 60);
-    let mut q = orch.submit(QUERY).expect("submit");
+    let q = orch.submit(QUERY).expect("submit");
     let victim = q.monitor_hosts()[0];
     // Crash and immediately repair: the host answers host_is_up but the
     // monitor app (and its heartbeat) is gone.
@@ -198,11 +193,11 @@ fn fault_crashed_monitor_process_detected_by_stale_heartbeat() {
         .repair_host(fail_at + SimDuration::from_millis(1), victim);
     orch.engine_mut().apply_script(&script);
 
-    orch.run_reconciling(&mut q, fail_at + SimDuration::from_millis(2))
+    orch.run_reconciling(&q, fail_at + SimDuration::from_millis(2))
         .expect("pre-fault run");
     assert!(orch.engine().host_is_up(victim), "host itself is back");
     let took = orch
-        .await_recovery(&mut q, SimDuration::from_millis(200))
+        .await_recovery(&q, SimDuration::from_millis(200))
         .expect("recovered");
     // Staleness needs miss_threshold (3) beats to trip, plus one
     // reconcile tick to repair.
@@ -230,37 +225,32 @@ fn fault_aggregator_killed_with_store_keeps_committed_history() {
         .result_store(Arc::clone(&store))
         .build();
     deploy_web(&mut orch, 60);
-    let mut q = orch.submit(RANK_QUERY).expect("submit");
-    let cookie = q.cookie;
-    let victim = q.aggregator_host;
+    let q = orch.submit(RANK_QUERY).expect("submit");
+    let victim = q.aggregator_host();
     let fail_at = SimTime::from_nanos(200_000_000);
     orch.engine_mut()
         .apply_script(&FailureScript::new().fail_host(fail_at, victim));
 
     // Run up to the fault and snapshot what the store has committed.
-    orch.run_reconciling(&mut q, fail_at)
-        .expect("pre-fault run");
-    let committed = orch.query_history(cookie).expect("store attached").tuples;
+    orch.run_reconciling(&q, fail_at).expect("pre-fault run");
+    let committed = q.history().expect("store attached").tuples;
     assert!(
         !committed.is_empty(),
         "rankings were committed before the fault"
     );
 
     // Ride through the failover and finish the query.
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
         .expect("post-fault run");
-    assert_ne!(q.aggregator_host, victim, "aggregator moved");
+    assert_ne!(q.aggregator_host(), victim, "aggregator moved");
     assert!(q.replacements() >= 1);
-    let report = orch.finalize(q);
+    let report = orch.kill(&q).expect("running query");
     assert!(!report.first().is_empty(), "analytics produced results");
 
     // Every pre-fault tuple survived: the history (sorted by timestamp,
     // stably) must start with exactly the committed prefix.
-    let history = orch
-        .query_history(cookie)
-        .expect("history after recovery")
-        .tuples;
+    let history = q.history().expect("history after recovery").tuples;
     assert!(history.len() >= committed.len(), "history only grows");
     assert_eq!(
         &history[..committed.len()],

@@ -1,0 +1,363 @@
+//! Integration: the production query frontend over real sockets.
+//!
+//! A [`QueryFrontend`] owns the orchestrator on its own thread while
+//! HTTP clients drive the full lifecycle — submit, describe, stream,
+//! kill, history — plus the multi-tenant admission surface: over-quota
+//! tenants get a typed 429 envelope, and a high-priority submission
+//! evicts a low-priority query when the fabric is full.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use netalytics::{Orchestrator, QueryFrontend, Tenant, TenantQuota, TimeSeriesStore};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_netsim::SimTime;
+use netalytics_packet::http;
+use netalytics_sdn::InstallMode;
+
+/// A long-lived query: the LIMIT outlives the test, so only an explicit
+/// DELETE (or frontend shutdown) ends it. The 100 ms top-k window makes
+/// the rank bolt re-emit continuously, so `/stream` always has lines.
+const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 600s SAMPLE * \
+                     PROCESS (top-k: k=3, w=100ms, key=url)";
+
+/// Web tier on host 1, a client on host 0 driving conversations for a
+/// long stretch of virtual time so streams always have traffic to show.
+fn deploy_web(orch: &mut Orchestrator) {
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+    );
+    let schedule = (0..20_000u64)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 10_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get(
+                        if i % 3 == 0 { "/hot" } else { "/cold" },
+                        "web",
+                    )],
+                    tag: "c".into(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+}
+
+/// Minimal blocking HTTP/1.1 request. Returns (status-line, body) with
+/// any chunked transfer-encoding already decoded.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    s.write_all(req.as_bytes()).expect("request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("response");
+    let (head, raw) = resp.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(raw)
+    } else {
+        raw.to_string()
+    };
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    request(addr, "GET", path, &[], "")
+}
+
+/// Decodes a chunked body: size lines are hex, data follows verbatim.
+fn dechunk(raw: &str) -> String {
+    let mut out = String::new();
+    let mut rest = raw;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            break;
+        };
+        if size == 0 || tail.len() < size {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = tail[size..].strip_prefix("\r\n").unwrap_or("");
+    }
+    out
+}
+
+fn extract_cookie(descriptor: &str) -> u64 {
+    let idx = descriptor
+        .find("\"cookie\":")
+        .expect("descriptor has a cookie")
+        + 9;
+    descriptor[idx..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("cookie digits")
+}
+
+/// The headline acceptance flow, on one SDN plane: POST a query, watch
+/// it in the directory, read live NDJSON results off the stream, DELETE
+/// it, then pull its durable history from the results endpoint.
+fn lifecycle_on(mode: InstallMode) {
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let builder = Orchestrator::builder(4)
+        .install_mode(mode)
+        .result_store(store);
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    // Submit over the wire; the 201 body is the directory descriptor.
+    let (status, descriptor) = request(addr, "POST", "/queries", &[], QUERY);
+    assert!(status.contains("201"), "{status}: {descriptor}");
+    assert!(
+        descriptor.contains("\"tenant\":\"default\""),
+        "{descriptor}"
+    );
+    let cookie = extract_cookie(&descriptor);
+
+    // Describe: listed, and running (or still deploying this instant).
+    let (_, list) = get(addr, "/queries");
+    assert!(list.contains(&format!("\"cookie\":{cookie}")), "{list}");
+    let (status, one) = get(addr, &format!("/queries/{cookie}"));
+    assert!(status.contains("200"), "{status}");
+    assert!(!one.contains("\"state\":\"killed\""), "fresh query: {one}");
+
+    // Stream: incremental result lines arrive while the query runs.
+    // `?max=3` ends the stream server-side after 3 tuples.
+    let mut stream = TcpStream::connect(addr).expect("connect stream");
+    write!(
+        stream,
+        "GET /queries/{cookie}/stream?max=3 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("stream request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut streamed = String::new();
+    stream.read_to_string(&mut streamed).expect("stream body");
+    let lines: Vec<&str> = streamed
+        .lines()
+        .filter(|l| l.starts_with('{') && l.contains("\"fields\""))
+        .collect();
+    assert!(
+        lines.len() >= 3,
+        "streamed >= 3 incremental NDJSON lines before kill, got {}: {streamed:?}",
+        lines.len()
+    );
+
+    // A second subscriber still sees live lines (fan-out, not takeover),
+    // this time reading incrementally and killing mid-stream.
+    let mut live = TcpStream::connect(addr).expect("connect live stream");
+    write!(
+        live,
+        "GET /queries/{cookie}/stream HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("live stream request");
+    live.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut reader = BufReader::new(live);
+    let mut line = String::new();
+    // Skip response headers + chunk framing until a result line shows.
+    let got_line = loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break false,
+            Ok(_) if line.starts_with('{') && line.contains("\"fields\"") => break true,
+            Ok(_) => continue,
+            Err(e) => panic!("stream read failed: {e}"),
+        }
+    };
+    assert!(
+        got_line,
+        "live subscriber saw a result line before the kill"
+    );
+
+    // Kill over the wire while the stream is open: 200 with a teardown
+    // summary, and the open stream terminates (read hits EOF).
+    let (status, summary) = request(addr, "DELETE", &format!("/queries/{cookie}"), &[], "");
+    assert!(status.contains("200"), "{status}: {summary}");
+    assert!(summary.contains("\"state\":\"killed\""), "{summary}");
+    let mut remainder = String::new();
+    reader
+        .read_to_string(&mut remainder)
+        .expect("stream drains to EOF after kill");
+
+    // The directory now reports the query killed...
+    let (_, one) = get(addr, &format!("/queries/{cookie}"));
+    assert!(one.contains("\"state\":\"killed\""), "{one}");
+    // ...killing again is a 404 with the typed envelope...
+    let (status, body) = request(addr, "DELETE", &format!("/queries/{cookie}"), &[], "");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("\"code\":\"not_found\""), "{body}");
+    // ...and the durable history survives the kill.
+    let (status, history) = get(addr, &format!("/queries/{cookie}/results"));
+    assert!(status.contains("200"), "{status}: {history}");
+    assert!(history.contains("\"mode\":\"history\""), "{history}");
+    let count_idx = history.find("\"count\":").expect("count field") + 8;
+    let count: u64 = history[count_idx..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("count digits");
+    assert!(count >= 1, "committed results replayed: {history}");
+
+    // The journal saw the whole lifecycle over HTTP too.
+    let (_, events) = get(addr, &format!("/events?cookie={cookie}"));
+    for kind in ["query_submitted", "query_deployed", "query_killed"] {
+        assert!(events.contains(kind), "{kind} missing from {events}");
+    }
+}
+
+#[test]
+fn frontend_lifecycle_proactive_plane() {
+    lifecycle_on(InstallMode::Proactive);
+}
+
+#[test]
+fn frontend_lifecycle_reactive_plane() {
+    lifecycle_on(InstallMode::Reactive);
+}
+
+/// Submitting garbage is a 400 with the stable envelope, and an unknown
+/// tenant is refused with a 403 — identity, not load.
+#[test]
+fn frontend_submit_errors_use_typed_envelope() {
+    let frontend =
+        QueryFrontend::spawn("127.0.0.1:0", Orchestrator::builder(4), deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    let (status, body) = request(addr, "POST", "/queries", &[], "PARSE nonsense!!");
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("\"code\":\"parse_error\""), "{body}");
+    assert!(body.contains("\"message\":"), "{body}");
+
+    let (status, body) = request(addr, "POST", "/queries", &[], "");
+    assert!(status.contains("400"), "{status}: {body}");
+
+    let (status, body) = request(addr, "POST", "/queries?tenant=nobody", &[], QUERY);
+    assert!(status.contains("403"), "{status}: {body}");
+    assert!(body.contains("\"code\":\"unknown_tenant\""), "{body}");
+    assert!(body.contains("nobody"), "{body}");
+}
+
+/// The acceptance quota scenario: a tenant capped at one concurrent
+/// query gets a typed 429 on its second submission, and killing the
+/// first frees the slot.
+#[test]
+fn frontend_over_quota_tenant_gets_typed_429() {
+    let quota = TenantQuota {
+        max_concurrent_queries: 1,
+        ..TenantQuota::UNLIMITED
+    };
+    let builder = Orchestrator::builder(8).tenant(Tenant::new("smallco", quota, 100));
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    // Tenant via header on the first submit, via query param on the
+    // second — both spellings address the same ledger.
+    let (status, descriptor) = request(addr, "POST", "/queries", &[("X-Tenant", "smallco")], QUERY);
+    assert!(status.contains("201"), "{status}: {descriptor}");
+    assert!(
+        descriptor.contains("\"tenant\":\"smallco\""),
+        "{descriptor}"
+    );
+    let cookie = extract_cookie(&descriptor);
+
+    let (status, body) = request(addr, "POST", "/queries?tenant=smallco", &[], QUERY);
+    assert!(status.contains("429"), "expected 429, got {status}: {body}");
+    assert!(
+        body.contains("\"code\":\"quota_concurrent_queries\""),
+        "{body}"
+    );
+    assert!(body.contains("\"detail\":\"tenant=smallco\""), "{body}");
+
+    // The default tenant is not affected by smallco's quota.
+    let (status, other) = request(addr, "POST", "/queries", &[], QUERY);
+    assert!(status.contains("201"), "{status}: {other}");
+
+    // Kill the first query: the slot frees and smallco can submit again.
+    let (status, _) = request(addr, "DELETE", &format!("/queries/{cookie}"), &[], "");
+    assert!(status.contains("200"), "{status}");
+    let (status, body) = request(addr, "POST", "/queries?tenant=smallco", &[], QUERY);
+    assert!(
+        status.contains("201"),
+        "slot freed by kill: {status}: {body}"
+    );
+}
+
+/// Priority eviction over the wire: bulk (priority 10) fills the
+/// fabric until a submit hits 503 `no_free_host`; then ops
+/// (priority 200) submits, a bulk query is evicted to make room, and
+/// the eviction is visible in the directory and the journal.
+#[test]
+fn frontend_priority_eviction_frees_capacity() {
+    let builder = Orchestrator::builder(4)
+        .tenant(Tenant::new("bulk", TenantQuota::UNLIMITED, 10))
+        .tenant(Tenant::new("ops", TenantQuota::UNLIMITED, 200));
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    // Fill the fabric with bulk queries until placement refuses.
+    let mut bulk_cookies = Vec::new();
+    let mut saturated = false;
+    for _ in 0..8 {
+        let (status, body) = request(addr, "POST", "/queries?tenant=bulk", &[], QUERY);
+        if status.contains("201") {
+            bulk_cookies.push(extract_cookie(&body));
+        } else {
+            assert!(status.contains("503"), "{status}: {body}");
+            assert!(body.contains("\"code\":\"no_free_host\""), "{body}");
+            saturated = true;
+            break;
+        }
+    }
+    assert!(saturated, "fabric saturates within 8 bulk queries");
+    assert!(!bulk_cookies.is_empty(), "some bulk queries were admitted");
+
+    // Ops outranks bulk: its submission evicts instead of failing.
+    let (status, descriptor) = request(addr, "POST", "/queries?tenant=ops", &[], QUERY);
+    assert!(
+        status.contains("201"),
+        "eviction made room: {status}: {descriptor}"
+    );
+    assert!(descriptor.contains("\"tenant\":\"ops\""), "{descriptor}");
+
+    // Exactly one bulk query lost its slot, and the flight recorder
+    // explains why.
+    let killed: Vec<u64> = bulk_cookies
+        .iter()
+        .copied()
+        .filter(|c| {
+            let (_, one) = get(addr, &format!("/queries/{c}"));
+            one.contains("\"state\":\"killed\"")
+        })
+        .collect();
+    assert_eq!(killed.len(), 1, "one bulk victim, got {killed:?}");
+    let (_, events) = get(addr, &format!("/events?cookie={}", killed[0]));
+    assert!(events.contains("query_evicted"), "{events}");
+    assert!(
+        events.contains(r#"higher-priority \"ops\""#),
+        "victim's record names the evictor: {events}"
+    );
+}

@@ -53,7 +53,10 @@ fn hot_path_locks_are_per_batch_or_cold_only() {
                 continue;
             }
             let prev = if i > 0 { lines[i - 1] } else { "" };
-            if JUSTIFICATIONS.iter().any(|j| line.contains(j) || prev.contains(j)) {
+            if JUSTIFICATIONS
+                .iter()
+                .any(|j| line.contains(j) || prev.contains(j))
+            {
                 annotated += 1;
             } else {
                 violations.push(format!("{rel}:{}: {}", i + 1, line.trim()));

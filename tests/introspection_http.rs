@@ -34,11 +34,18 @@ const QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
 /// Minimal blocking HTTP/1.1 GET against the introspection server.
 fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
-    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("request");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
     let mut resp = String::new();
     s.read_to_string(&mut resp).expect("response");
     let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
-    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+    (
+        head.lines().next().unwrap_or("").to_string(),
+        body.to_string(),
+    )
 }
 
 fn deploy_web(orch: &mut Orchestrator, conversations: u64) {
@@ -75,12 +82,12 @@ fn orchestrator_serves_query_trace_and_events_over_http() {
         })
         .build();
     deploy_web(&mut orch, 40);
-    let mut q = orch.submit(QUERY).expect("submit");
-    let cookie = q.cookie;
-    let deadline = q.deadline.expect("time-limited query");
-    orch.run_reconciling(&mut q, deadline + SimDuration::from_millis(50))
+    let q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie();
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
         .expect("run");
-    let report = orch.finalize(q);
+    let report = orch.kill(&q).expect("running query");
     assert!(report.aggregator.tuples_in > 0, "query saw traffic");
 
     let srv = orch.serve("127.0.0.1:0").expect("bind introspection");
@@ -93,13 +100,19 @@ fn orchestrator_serves_query_trace_and_events_over_http() {
     // Tracing at sample_every=1 populated the stage histograms.
     let (status, metrics) = http_get(addr, "/metrics");
     assert!(status.contains("200"), "{status}");
-    assert!(metrics.contains("trace_stage_ns"), "stage histograms exported");
+    assert!(
+        metrics.contains("trace_stage_ns"),
+        "stage histograms exported"
+    );
 
     let (_, list) = http_get(addr, "/queries");
     assert!(list.contains(&format!("\"cookie\":{cookie}")));
     let (status, one) = http_get(addr, &format!("/queries/{cookie}"));
     assert!(status.contains("200"), "{status}");
-    assert!(one.contains("\"state\":\"killed\""), "finalized query: {one}");
+    assert!(
+        one.contains("\"state\":\"killed\""),
+        "finalized query: {one}"
+    );
     assert!(one.contains("\"monitors\":"), "{one}");
 
     // Virtual-clock waterfalls: parse, queue and bolt stages (the
@@ -223,7 +236,10 @@ fn threaded_plane_waterfall_spans_parse_queue_bolt_store_over_http() {
             .iter()
             .all(|s| stages.contains(s))
     });
-    assert!(complete, "a parse→queue→bolt→store exemplar exists: {falls:?}");
+    assert!(
+        complete,
+        "a parse→queue→bolt→store exemplar exists: {falls:?}"
+    );
 
     // Serve the bundle and fetch the same waterfall over HTTP.
     let queries = Arc::new(QueryDirectory::new());
@@ -250,7 +266,10 @@ fn threaded_plane_waterfall_spans_parse_queue_bolt_store_over_http() {
     let (status, metrics) = http_get(addr, "/metrics");
     assert!(status.contains("200"), "{status}");
     assert!(metrics.contains("monitor_packets_in 64"), "{metrics}");
-    assert!(metrics.contains("trace_stage_ns"), "stage histograms exported");
+    assert!(
+        metrics.contains("trace_stage_ns"),
+        "stage histograms exported"
+    );
 
     let (_, one) = http_get(addr, &format!("/queries/{COOKIE}"));
     assert!(one.contains("\"state\":\"running\""), "{one}");

@@ -79,12 +79,11 @@ fn run_heavy_hitters(mode: ExecutorMode) -> (Ranking, Ranking, u64, u64) {
              PROCESS (heavy-hitters: k=10, eps=0.001)",
         )
         .expect("sketch query submits");
-    let cookie = q.cookie;
     orch.run_until(SimTime::from_nanos(2_100_000_000));
-    let report = orch.finalize(q);
+    let report = orch.kill(&q).expect("running query");
     let ranking = report.first().final_ranking();
 
-    let history = orch.query_history(cookie).expect("store attached");
+    let history = q.history().expect("store attached");
     let replayed = history.final_ranking();
     // The persisted history also carries the sketch snapshot itself, so
     // rollups keep the full summary — not just the extracted numbers.
@@ -110,8 +109,14 @@ fn heavy_hitters_query_identical_on_all_executor_modes() {
     assert!(!inline_rank.is_empty(), "query produced a ranking");
     assert_eq!(inline_rank, threaded_rank, "threaded agrees on the ranking");
     assert_eq!(inline_rank, sharded_rank, "sharded agrees on the ranking");
-    assert_eq!(inline_hist, threaded_hist, "threaded agrees on stored history");
-    assert_eq!(inline_hist, sharded_hist, "sharded agrees on stored history");
+    assert_eq!(
+        inline_hist, threaded_hist,
+        "threaded agrees on stored history"
+    );
+    assert_eq!(
+        inline_hist, sharded_hist,
+        "sharded agrees on stored history"
+    );
     assert_eq!(inline_rank, inline_hist, "store replays the live answer");
 
     assert_eq!(inline_rank[0].0, "/hot");
@@ -287,10 +292,9 @@ fn distinct_and_quantile_queries_answer_end_to_end() {
              PROCESS (quantile: value=t_ns, q=0.5+0.99)",
         )
         .expect("quantile query");
-    let cookie = qd.cookie;
     orch.run_until(SimTime::from_nanos(2_100_000_000));
 
-    let report = orch.finalize(qd);
+    let report = orch.kill(&qd).expect("distinct query running");
     let d = report
         .first()
         .tuples
@@ -300,10 +304,10 @@ fn distinct_and_quantile_queries_answer_end_to_end() {
         .and_then(|t| t.get("distinct").and_then(Value::as_u64))
         .expect("distinct estimate emitted");
     assert!((15..=19).contains(&d), "17 true distinct urls, got {d}");
-    let history = orch.query_history(cookie).expect("persisted");
+    let history = qd.history().expect("persisted");
     assert!(history.tuples.iter().any(|t| t.source == "distinct"));
 
-    let report = orch.finalize(qq);
+    let report = orch.kill(&qq).expect("quantile query running");
     let quantiles: Vec<(f64, u64)> = report
         .first()
         .tuples
