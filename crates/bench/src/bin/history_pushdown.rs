@@ -1,0 +1,152 @@
+//! History aggregation pushdown vs. raw replay, on a 1M-tuple store.
+//!
+//! `TimeSeriesStore::history` answers aligned aggregation windows from
+//! per-segment rollup cells and persisted sketch snapshots; a query
+//! with tuple filters is forced down the raw replay path (decode every
+//! frame, fold every tuple). The two must agree bitwise on
+//! integer-valued fields — and the pushdown plan must be at least 5x
+//! faster, which is the whole point of keeping cells around.
+//!
+//! Run with: `cargo run --release -p netalytics-bench --bin
+//! history_pushdown` (add `--quick` for a reduced-size run). Writes
+//! `results/history_pushdown.txt`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_store::{
+    AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryQuery, SeriesKey, StoreConfig,
+    TimeSeriesStore,
+};
+
+/// Tuples per appended batch.
+const BATCH: u64 = 1_000;
+/// Virtual-time spacing between tuples: 1 ms, so 1M tuples span 1000 s
+/// of data across ~1000 native (1 s) rollup buckets.
+const STEP_NS: u64 = 1_000_000;
+
+fn build_store(dir: &std::path::Path, total: u64) -> (TimeSeriesStore, SeriesKey) {
+    std::fs::remove_dir_all(dir).ok();
+    let cfg = StoreConfig {
+        // Small segments: plenty of sealed segments for the cell cache.
+        segment_max_bytes: 1 << 20,
+        ..StoreConfig::default()
+    };
+    let store = TimeSeriesStore::open_with(dir, cfg).expect("open store");
+    let series = SeriesKey::new(1, "/checkout");
+    let mut id = 0u64;
+    while id < total {
+        let b: TupleBatch = (0..BATCH)
+            .map(|i| {
+                let k = id + i;
+                DataTuple::new(k, k * STEP_NS)
+                    .from_source("agg")
+                    .with("v", k % 97)
+            })
+            .collect();
+        store.append(&series, &b).expect("append");
+        id += BATCH;
+    }
+    (store, series)
+}
+
+/// Best (minimum) seconds per call over `rounds`.
+fn best_secs(rounds: usize, f: impl Fn()) -> f64 {
+    (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, rounds) = if quick {
+        (150_000u64, 2)
+    } else {
+        (1_000_000u64, 5)
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "netalytics-history-pushdown-{}",
+        std::process::id()
+    ));
+    let (store, series) = build_store(&dir, total);
+
+    // Whole-range aligned window: [0, last bucket end).
+    let t1 = total * STEP_NS - 1;
+    let pushdown_q = HistoryQuery::new(series.clone(), "v", 0, t1, HistoryAgg::Sum);
+    // An always-true filter forces the raw replay path without changing
+    // the answer — every `v` is >= 0.
+    let replay_q = HistoryQuery::new(series.clone(), "v", 0, t1, HistoryAgg::Sum)
+        .with_filter(FieldFilter::new("v", FilterOp::Ge, "0"));
+
+    // Warm both paths once: the first pushdown call folds each sealed
+    // segment into its cached cells.
+    let fast = store.history(&pushdown_q).expect("pushdown answer");
+    let slow = store.history(&replay_q).expect("replay answer");
+    assert!(fast.plan.pushdown && fast.plan.exact, "{:?}", fast.plan);
+    assert!(
+        !slow.plan.pushdown,
+        "filters must force replay: {:?}",
+        slow.plan
+    );
+    assert_eq!(fast.count, slow.count, "paths disagree on count");
+    let (AggValue::Value(fv), AggValue::Value(sv)) = (&fast.value, &slow.value) else {
+        panic!("sum answers missing: {:?} vs {:?}", fast.value, slow.value);
+    };
+    assert_eq!(fv, sv, "paths disagree on the sum (integer-valued field)");
+
+    let push_secs = best_secs(rounds, || {
+        store.history(&pushdown_q).expect("pushdown");
+    });
+    let replay_secs = best_secs(rounds, || {
+        store.history(&replay_q).expect("replay");
+    });
+    let speedup = replay_secs / push_secs;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "History aggregation over {total} tuples (sum of one field, whole range, \
+         best of {rounds})"
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "{:>28} {:>12} {:>10}",
+        "path", "ms/query", "speedup"
+    );
+    let _ = writeln!(
+        report,
+        "{:>28} {:>12.3} {:>10}",
+        "raw replay (decode all)",
+        replay_secs * 1e3,
+        "1.0x"
+    );
+    let _ = writeln!(
+        report,
+        "{:>28} {:>12.3} {:>9.1}x",
+        "pushdown (cells+sketches)",
+        push_secs * 1e3,
+        speedup
+    );
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "plan: {} segment cell(s), {} raw edge tuple(s); answers identical",
+        fast.plan.segment_cells, fast.plan.raw_tuples
+    );
+    print!("{report}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/history_pushdown.txt", &report).expect("write results");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        speedup >= 5.0,
+        "pushdown must be >=5x faster than raw replay (got {speedup:.1}x)"
+    );
+}

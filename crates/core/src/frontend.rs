@@ -41,7 +41,9 @@ use std::time::Duration;
 
 use netalytics_data::{DataTuple, Value};
 use netalytics_netsim::SimDuration;
-use netalytics_store::{SeriesKey, TimeSeriesStore};
+use netalytics_store::{
+    AggValue, HistoryAgg, HistoryAnswer, HistoryQuery, RollupPoint, SeriesKey, TimeSeriesStore,
+};
 use netalytics_stream::SubscriptionHub;
 use netalytics_telemetry::{
     introspection_router, json_escape, ApiError, Introspection, MetricsRegistry, QueryDirectory,
@@ -50,7 +52,9 @@ use netalytics_telemetry::{
 use parking_lot::Mutex;
 
 use crate::admission::AdmissionError;
-use crate::orchestrator::{Orchestrator, OrchestratorBuilder, OrchestratorError, QueryHandle};
+use crate::orchestrator::{
+    Orchestrator, OrchestratorBuilder, OrchestratorError, QueryHandle, StandingConfig,
+};
 
 /// Maps every orchestrator failure onto the stable wire envelope.
 /// The status/code table is part of the public API (DESIGN.md §11):
@@ -71,6 +75,7 @@ impl From<OrchestratorError> for ApiError {
             }
             OrchestratorError::Timeout => ApiError::new(504, "recovery_timeout", message),
             OrchestratorError::Admission(a) => ApiError::from(a),
+            OrchestratorError::NoResultStore => ApiError::new(422, "no_result_store", message),
         }
     }
 }
@@ -151,6 +156,9 @@ enum Command {
     Submit {
         tenant: String,
         query: String,
+        /// When set, the query runs standing: the orchestrator closes a
+        /// window every `every` and materializes the aggregate.
+        standing: Option<StandingConfig>,
         reply: SyncSender<Result<u64, ApiError>>,
     },
     Kill {
@@ -289,11 +297,36 @@ impl QueryFrontend {
     ///
     /// The same [`ApiError`]s `POST /queries` returns.
     pub fn submit(&self, tenant: &str, query: &str) -> Result<u64, ApiError> {
+        self.submit_command(tenant, query, None)
+    }
+
+    /// Programmatic standing submit — the counterpart of
+    /// `POST /queries?standing_every_ms=...`.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ApiError`]s the HTTP route returns.
+    pub fn submit_standing(
+        &self,
+        tenant: &str,
+        query: &str,
+        cfg: StandingConfig,
+    ) -> Result<u64, ApiError> {
+        self.submit_command(tenant, query, Some(cfg))
+    }
+
+    fn submit_command(
+        &self,
+        tenant: &str,
+        query: &str,
+        standing: Option<StandingConfig>,
+    ) -> Result<u64, ApiError> {
         let (reply, rx) = mpsc::sync_channel(1);
         self.tx
             .send(Command::Submit {
                 tenant: tenant.to_string(),
                 query: query.to_string(),
+                standing,
                 reply,
             })
             .map_err(|_| frontend_stalled())?;
@@ -358,9 +391,14 @@ fn orchestrator_loop(
             Ok(Command::Submit {
                 tenant,
                 query,
+                standing,
                 reply,
             }) => {
-                let outcome = match orch.submit_as(&tenant, &query) {
+                let submitted = match standing {
+                    Some(cfg) => orch.submit_standing_as(&tenant, &query, cfg),
+                    None => orch.submit_as(&tenant, &query),
+                };
+                let outcome = match submitted {
                     Ok(handle) => {
                         let cookie = handle.cookie();
                         hubs.lock()
@@ -515,6 +553,41 @@ fn frontend_router(shared: &Arc<FrontendShared>, introspection: &Introspection) 
     router
 }
 
+/// Parses the `standing_*` query parameters into a [`StandingConfig`],
+/// or `None` when `standing_every_ms` is absent. Any other `standing_*`
+/// parameter without the interval is a user error, not a silent no-op.
+fn parse_standing(req: &Request) -> Result<Option<StandingConfig>, ApiError> {
+    let Some(every) = req.query_param("standing_every_ms") else {
+        for p in ["standing_agg", "standing_field", "standing_group"] {
+            if req.query_param(p).is_some() {
+                return Err(ApiError::bad_request(format!(
+                    "{p} requires standing_every_ms"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    let every: u64 = every
+        .parse()
+        .ok()
+        .filter(|&ms| ms > 0)
+        .ok_or_else(|| ApiError::bad_request("standing_every_ms must be a positive integer"))?;
+    let agg_src = req.query_param("standing_agg").unwrap_or("sum");
+    let agg = HistoryAgg::parse(agg_src).ok_or_else(|| {
+        ApiError::bad_request(format!(
+            "standing_agg must be count|sum|min|max|mean|p50|p95|distinct|topk[:k], \
+             got \"{agg_src}\""
+        ))
+    })?;
+    let mut cfg = StandingConfig::new(SimDuration::from_millis(every))
+        .agg(agg)
+        .field(req.query_param("standing_field").unwrap_or("count"));
+    if let Some(group) = req.query_param("standing_group") {
+        cfg = cfg.group(group);
+    }
+    Ok(Some(cfg))
+}
+
 fn submit_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String, ApiError> {
     let query = req.body.trim();
     if query.is_empty() {
@@ -525,12 +598,14 @@ fn submit_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String,
         .or_else(|| req.header("x-tenant"))
         .unwrap_or("default")
         .to_string();
+    let standing = parse_standing(req)?;
     let (reply, rx) = mpsc::sync_channel(1);
     shared
         .sender()
         .send(Command::Submit {
             tenant,
             query: query.to_string(),
+            standing,
             reply,
         })
         .map_err(|_| frontend_stalled())?;
@@ -573,6 +648,16 @@ fn results_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String
     let mode = req.query_param("mode").unwrap_or("history");
     let store_err =
         |e: netalytics_store::StoreError| ApiError::new(500, "store_error", e.to_string());
+    // Optional u64 parameter: absent is fine, garbage is a 400.
+    let opt_u64 = |key: &str| -> Result<Option<u64>, ApiError> {
+        match req.query_param(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{key} must be a u64"))),
+        }
+    };
     match mode {
         "history" => {
             let tuples = store.query_history(cookie).map_err(store_err)?;
@@ -597,10 +682,129 @@ fn results_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<String
                 .map_err(store_err)?;
             Ok(tuples_payload(cookie, "range", &tuples))
         }
+        "rollup" => {
+            let group = req.query_param("group").unwrap_or("");
+            let field = req
+                .query_param("field")
+                .ok_or_else(|| ApiError::bad_request("rollup mode requires field="))?;
+            let from = opt_u64("from")?.unwrap_or(0);
+            let to = opt_u64("to")?.unwrap_or(u64::MAX);
+            let bucket_ns = match opt_u64("bucket_ms")? {
+                Some(ms) => ms.saturating_mul(1_000_000),
+                None => store.native_bucket_ns(),
+            };
+            let points = store
+                .rollup(&SeriesKey::new(cookie, group), field, from, to, bucket_ns)
+                .map_err(|e| match e {
+                    netalytics_store::StoreError::BadBucket { .. } => {
+                        ApiError::bad_request(e.to_string())
+                    }
+                    e => store_err(e),
+                })?;
+            Ok(rollup_payload(cookie, field, &points))
+        }
+        "aggregate" => {
+            let group = req.query_param("group").unwrap_or("");
+            let field = req
+                .query_param("field")
+                .ok_or_else(|| ApiError::bad_request("aggregate mode requires field="))?;
+            let agg_src = req.query_param("agg").unwrap_or("count");
+            let agg = HistoryAgg::parse(agg_src).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "agg must be count|sum|min|max|mean|p50|p95|distinct|topk[:k], \
+                     got \"{agg_src}\""
+                ))
+            })?;
+            let from = opt_u64("from")?.unwrap_or(0);
+            let to = opt_u64("to")?.unwrap_or(u64::MAX);
+            let q = HistoryQuery::new(SeriesKey::new(cookie, group), field, from, to, agg);
+            let ans = store.history(&q).map_err(store_err)?;
+            Ok(aggregate_payload(cookie, &q, &ans))
+        }
         other => Err(ApiError::bad_request(format!(
-            "mode must be history|latest|range, got \"{other}\""
+            "mode must be history|latest|range|rollup|aggregate, got \"{other}\""
         ))),
     }
+}
+
+/// Finite floats render as numbers; NaN/inf (an empty bucket's min/max)
+/// as null, matching [`value_json`].
+fn num_json(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+fn rollup_payload(cookie: u64, field: &str, points: &[RollupPoint]) -> String {
+    let mut s = format!(
+        "{{\"cookie\":{cookie},\"mode\":\"rollup\",\"field\":\"{}\",\"count\":{},\"buckets\":[",
+        json_escape(field),
+        points.len()
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"bucket_start\":{},\"bucket_ns\":{},\"count\":{},\"sum\":{},\"min\":{},\
+             \"max\":{},\"mean\":{},\"p50\":{},\"p95\":{}}}",
+            p.bucket_start,
+            p.bucket_ns,
+            p.count,
+            num_json(p.sum),
+            num_json(p.min),
+            num_json(p.max),
+            num_json(p.mean()),
+            p.p50(),
+            p.p95()
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn aggregate_payload(cookie: u64, q: &HistoryQuery, ans: &HistoryAnswer) -> String {
+    let mut s = format!(
+        "{{\"cookie\":{cookie},\"mode\":\"aggregate\",\"agg\":\"{}\",\"field\":\"{}\",\
+         \"count\":{},\"value\":",
+        json_escape(&q.agg.name()),
+        json_escape(&q.field),
+        ans.count
+    );
+    match &ans.value {
+        AggValue::Empty => s.push_str("null"),
+        AggValue::Count(n) => s.push_str(&n.to_string()),
+        AggValue::Value(v) => s.push_str(&num_json(*v)),
+        AggValue::Quantile(v) => s.push_str(&v.to_string()),
+        AggValue::Distinct(n) => s.push_str(&n.to_string()),
+        AggValue::TopK(top) => {
+            s.push('[');
+            for (i, (key, n)) in top.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"key\":\"{}\",\"count\":{n}}}",
+                    json_escape(key)
+                ));
+            }
+            s.push(']');
+        }
+    }
+    s.push_str(&format!(
+        ",\"exact\":{},\"plan\":{{\"pushdown\":{},\"segment_cells\":{},\"persisted_cells\":{},\
+         \"coarse_cells\":{},\"raw_tuples\":{},\"segments_scanned\":{}}}}}",
+        ans.plan.exact,
+        ans.plan.pushdown,
+        ans.plan.segment_cells,
+        ans.plan.persisted_cells,
+        ans.plan.coarse_cells,
+        ans.plan.raw_tuples,
+        ans.plan.segments_scanned
+    ));
+    s
 }
 
 fn stream_request(shared: &Arc<FrontendShared>, req: &Request) -> Result<Response, ApiError> {
@@ -666,6 +870,7 @@ mod tests {
                 "replacement_failed",
             ),
             (OrchestratorError::Timeout, 504, "recovery_timeout"),
+            (OrchestratorError::NoResultStore, 422, "no_result_store"),
             (
                 OrchestratorError::Admission(AdmissionError::UnknownTenant { tenant: "x".into() }),
                 403,

@@ -65,14 +65,17 @@ pub use nfv::{
 };
 pub use orchestrator::{
     FailurePolicy, MonitorSlot, Orchestrator, OrchestratorBuilder, OrchestratorError, QueryHandle,
-    QueryReport, ReconcileReport, RunningQuery,
+    QueryReport, ReconcileReport, RunningQuery, StandingConfig,
 };
 pub use results::ResultSet;
 // Live-subscription surface re-exported from the stream layer, so
 // `QueryHandle::subscribe` is usable with only this crate imported.
 pub use netalytics_stream::{Subscription, SubscriptionHub};
 // Storage-layer surface used by the orchestrator's result-store API.
-pub use netalytics_store::{SeriesKey, StoreConfig, TimeSeriesStore};
+pub use netalytics_store::{
+    AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryAnswer, HistoryQuery, SeriesKey,
+    StoreConfig, TimeSeriesStore,
+};
 // Introspection surface: the tracer, flight recorder, query directory
 // and HTTP endpoint the orchestrator bundles via `Orchestrator::serve`.
 pub use netalytics_telemetry::{

@@ -14,18 +14,19 @@
 //! `reconcile.tuples_lost` into the self-telemetry registry.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use netalytics_data::{DataTuple, TupleBatch};
 use netalytics_monitor::{Monitor, MonitorConfig, MonitorError, SampleSpec};
 use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, SimTime};
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
 use netalytics_sketch::PreAggSpec;
-use netalytics_store::{StoreSink, TimeSeriesStore};
+use netalytics_store::{AggValue, HistoryAgg, HistoryQuery, SeriesKey, StoreSink, TimeSeriesStore};
 use netalytics_stream::{
     topologies, ExecutorMode, ProcessorSpec, Subscription, SubscriptionHub, SubscriptionSink,
 };
@@ -71,6 +72,9 @@ pub enum OrchestratorError {
     Timeout,
     /// The tenant's submission was refused by admission control.
     Admission(AdmissionError),
+    /// A standing (continuous) query was submitted but the
+    /// orchestrator has no results store to materialize windows into.
+    NoResultStore,
 }
 
 impl fmt::Display for OrchestratorError {
@@ -95,6 +99,9 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::Timeout => f.write_str("recovery deadline expired"),
             OrchestratorError::Admission(e) => write!(f, "admission refused: {e}"),
+            OrchestratorError::NoResultStore => {
+                f.write_str("standing queries require a results store")
+            }
         }
     }
 }
@@ -321,6 +328,7 @@ impl OrchestratorBuilder {
             queries: Arc::new(QueryDirectory::new()),
             admission,
             registry: HashMap::new(),
+            standing: BTreeMap::new(),
         }
     }
 }
@@ -580,6 +588,75 @@ impl QueryReport {
 /// # Examples
 ///
 /// See the crate-level example and `examples/quickstart.rs`.
+/// How many overdue windows one reconcile pass will evaluate per
+/// standing query before skipping ahead. A query that falls further
+/// behind (long partition, paused control loop) journals a
+/// `standing_lagged` event and resumes at the catch-up horizon rather
+/// than stalling the whole reconcile pass replaying history.
+const STANDING_MAX_CATCHUP: u64 = 32;
+
+/// Configuration of a standing (continuous) query: the window width
+/// and the aggregate materialized each time a window closes.
+#[derive(Clone, Debug)]
+pub struct StandingConfig {
+    /// Window width in virtual time; one aggregate row materializes per
+    /// elapsed window. Must be positive.
+    pub every: SimDuration,
+    /// Tuple field the aggregate reads (e.g. `"count"`).
+    pub field: String,
+    /// The aggregate evaluated over each window.
+    pub agg: HistoryAgg,
+    /// Source series group within the query's output (`""` is the
+    /// ungrouped series, where tuples without the group field land).
+    pub group: String,
+}
+
+impl StandingConfig {
+    /// Sums the `count` field of the ungrouped series every `every`.
+    pub fn new(every: SimDuration) -> Self {
+        StandingConfig {
+            every,
+            field: "count".into(),
+            agg: HistoryAgg::Sum,
+            group: String::new(),
+        }
+    }
+
+    /// Replaces the aggregated field.
+    pub fn field(mut self, field: impl Into<String>) -> Self {
+        self.field = field.into();
+        self
+    }
+
+    /// Replaces the aggregate.
+    pub fn agg(mut self, agg: HistoryAgg) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Replaces the source series group.
+    pub fn group(mut self, group: impl Into<String>) -> Self {
+        self.group = group.into();
+        self
+    }
+}
+
+/// Reconciler-side state of one standing query.
+struct StandingState {
+    cfg: StandingConfig,
+    /// Series the materialized window aggregates append to
+    /// (`standing:<agg>:<field>[:<group>]` under the query's cookie).
+    derived: SeriesKey,
+    /// The owning query's hub, cloned at submit time so firing never
+    /// needs the registry entry (reconcile may hold it borrowed).
+    hub: Arc<SubscriptionHub>,
+    /// Watermark: exclusive end of the next window to close. Advanced
+    /// exactly once per window, so replays after failover resume here.
+    next_window_end: u64,
+    /// Windows materialized so far; doubles as the derived tuple id.
+    windows_fired: u64,
+}
+
 pub struct Orchestrator {
     engine: Engine,
     hostnames: HashMap<String, Ipv4Addr>,
@@ -611,6 +688,9 @@ pub struct Orchestrator {
     /// Live queries by cookie; entries leave on kill/eviction. Shares
     /// each query's state with the [`QueryHandle`]s given to callers.
     registry: HashMap<u64, Rc<RefCell<RunningQuery>>>,
+    /// Standing (continuous) queries by cookie, evaluated by the
+    /// reconcile pass; entries leave with their query on kill.
+    standing: BTreeMap<u64, StandingState>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -1130,6 +1210,162 @@ impl Orchestrator {
         })
     }
 
+    /// [`Orchestrator::submit_standing_as`] under the default tenant.
+    pub fn submit_standing(
+        &mut self,
+        query_src: &str,
+        cfg: StandingConfig,
+    ) -> Result<QueryHandle, OrchestratorError> {
+        self.submit_standing_as(DEFAULT_TENANT, query_src, cfg)
+    }
+
+    /// [`Orchestrator::submit_as`] plus a continuous evaluation
+    /// schedule: each time `cfg.every` of virtual time elapses, the
+    /// reconcile pass aggregates the query's persisted output over the
+    /// just-closed window ([`TimeSeriesStore::history`], so closed
+    /// windows are served from rollups/sketches, not raw replay) and
+    /// materializes one result tuple back into the store under the
+    /// derived series `standing:<agg>:<field>[:<group>]`. Each firing
+    /// is also published to the query's subscribers and journaled as
+    /// `standing_fired`. Evaluation is watermark-driven: it needs no
+    /// live subscriber, and a reconciler that restarts resumes at the
+    /// first window the previous incarnation did not materialize.
+    pub fn submit_standing_as(
+        &mut self,
+        tenant: &str,
+        query_src: &str,
+        cfg: StandingConfig,
+    ) -> Result<QueryHandle, OrchestratorError> {
+        if self.result_store.is_none() {
+            return Err(OrchestratorError::NoResultStore);
+        }
+        let every = cfg.every.as_nanos();
+        assert!(every > 0, "standing interval must be positive");
+        let handle = self.submit_as(tenant, query_src)?;
+        let cookie = handle.cookie();
+        let mut group = format!("standing:{}:{}", cfg.agg.name(), cfg.field);
+        if !cfg.group.is_empty() {
+            group.push(':');
+            group.push_str(&cfg.group);
+        }
+        // First window closes at the next interval boundary, so two
+        // standing queries with the same interval fire in lockstep.
+        let now = self.engine.now().as_nanos();
+        let next_window_end = now - now % every + every;
+        self.standing.insert(
+            cookie,
+            StandingState {
+                derived: SeriesKey::new(cookie, group),
+                hub: Arc::clone(&handle.hub),
+                cfg,
+                next_window_end,
+                windows_fired: 0,
+            },
+        );
+        self.metrics.counter("standing.registered", &[]).inc();
+        Ok(handle)
+    }
+
+    /// The derived series a query's standing aggregates materialize
+    /// into, if the query is standing.
+    pub fn standing_series(&self, cookie: u64) -> Option<SeriesKey> {
+        self.standing.get(&cookie).map(|st| st.derived.clone())
+    }
+
+    /// Evaluates every due standing-query window. Called at the end of
+    /// each reconcile pass; watermark-driven and idempotent, so each
+    /// window is materialized exactly once no matter how many queries
+    /// are reconciled per tick or how late a pass runs (bounded by
+    /// [`STANDING_MAX_CATCHUP`]).
+    fn poll_standing(&mut self) {
+        let Some(store) = self.result_store.clone() else {
+            return;
+        };
+        let journal = Arc::clone(&self.journal);
+        let metrics = Arc::clone(&self.metrics);
+        let now = self.engine.now().as_nanos();
+        for (&cookie, st) in self.standing.iter_mut() {
+            let every = st.cfg.every.as_nanos();
+            if now < st.next_window_end {
+                continue;
+            }
+            let pending = (now - st.next_window_end) / every + 1;
+            if pending > STANDING_MAX_CATCHUP {
+                let skipped = pending - STANDING_MAX_CATCHUP;
+                st.next_window_end += skipped * every;
+                journal.record(
+                    now,
+                    Some(cookie),
+                    EventKind::StandingLagged,
+                    format!("skipped {skipped} overdue window(s) to catch up"),
+                );
+                metrics.counter("standing.lagged", &[]).add(skipped);
+            }
+            while st.next_window_end <= now {
+                let w1 = st.next_window_end;
+                let w0 = w1 - every;
+                st.next_window_end += every;
+                let query = HistoryQuery::new(
+                    SeriesKey::new(cookie, st.cfg.group.clone()),
+                    st.cfg.field.clone(),
+                    w0,
+                    w1 - 1,
+                    st.cfg.agg.clone(),
+                );
+                let ans = match store.history(&query) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        // An unreadable window is a store fault, not a
+                        // control-loop fault; skip it and keep going.
+                        metrics.counter("standing.errors", &[]).inc();
+                        continue;
+                    }
+                };
+                // Every window materializes — including empty ones —
+                // so the derived series is a gap-free cadence readers
+                // can difference without tracking the schedule.
+                let mut tuple = DataTuple::new(st.windows_fired, w1)
+                    .from_source("standing")
+                    .with("window_start", w0)
+                    .with("window_end", w1)
+                    .with("agg", st.cfg.agg.name())
+                    .with("field", st.cfg.field.as_str())
+                    .with("count", ans.count);
+                if let Some(v) = ans.value.scalar() {
+                    tuple = tuple.with("value", v);
+                }
+                if let AggValue::TopK(top) = &ans.value {
+                    let rendered = top
+                        .iter()
+                        .map(|(k, n)| format!("{k}={n}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    tuple = tuple.with("top", rendered);
+                }
+                st.windows_fired += 1;
+                let batch = TupleBatch::from_tuples(vec![tuple.clone()]);
+                if store.append(&st.derived, &batch).is_err() {
+                    store.note_append_error();
+                    continue;
+                }
+                st.hub.publish(&tuple);
+                journal.record(
+                    w1,
+                    Some(cookie),
+                    EventKind::StandingFired,
+                    format!(
+                        "window [{w0}, {w1}) {}({}) count={}",
+                        st.cfg.agg.name(),
+                        st.cfg.field,
+                        ans.count
+                    ),
+                );
+                metrics.counter("standing.fired", &[]).inc();
+                metrics.counter("standing.materialized", &[]).inc();
+            }
+        }
+    }
+
     /// Claims one free host per covered rack plus an aggregator host
     /// near the first monitor. On failure every claim made by THIS call
     /// is rolled back, so an eviction retry starts from clean state.
@@ -1440,6 +1676,9 @@ impl Orchestrator {
         if let Some(store) = &self.result_store {
             let _ = store.compact(now.as_nanos());
         }
+        // Close and materialize any standing-query windows that elapsed
+        // since the previous pass.
+        self.poll_standing();
         Ok(report)
     }
 
@@ -1540,6 +1779,7 @@ impl Orchestrator {
         let now_ns = self.engine.now().as_nanos();
         self.queries.killed(q.cookie, now_ns);
         self.admission.release(q.cookie);
+        self.standing.remove(&q.cookie);
         q.hub.close();
         self.engine.remove_rules_by_cookie(q.cookie);
         if let Some(ctl) = self.engine.controller_mut() {

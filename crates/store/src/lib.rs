@@ -36,11 +36,16 @@
 //! ```
 
 pub mod frame;
+pub mod history;
 pub mod rollup;
+mod scan;
 pub mod sink;
 pub mod store;
 mod wire;
 
+pub use history::{
+    AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryAnswer, HistoryPlan, HistoryQuery,
+};
 pub use rollup::RollupPoint;
 pub use sink::StoreSink;
 pub use store::{

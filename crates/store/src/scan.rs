@@ -1,0 +1,197 @@
+//! Segment scanning and folding: the shared read-path primitives under
+//! the history query plane.
+//!
+//! Two consumers need to walk a segment's frames tuple by tuple: raw
+//! reads ([`crate::store::TimeSeriesStore::range`] when the memtable
+//! cannot serve) and the history engine's replay/edge paths. Both go
+//! through [`SeriesScan`], which decodes lazily — a frame whose record
+//! header says it belongs to another series or lies outside the time
+//! bounds is skipped without decoding its tuple batch.
+//!
+//! [`fold_segment`] is the other half: it folds *every* field of every
+//! tuple in a segment into native-bucket [`RollupPoint`] cells, exactly
+//! the way retention compaction summarises expired segments. Sealed
+//! segments cache this fold (see `Segment::rollup` in `store.rs`), so
+//! an aggregation pushdown can merge a handful of cells instead of
+//! re-decoding a million tuples, and `compact()` reuses the same cells
+//! when the segment later expires.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netalytics_data::{DataTuple, Value};
+
+use crate::frame::FrameIter;
+use crate::rollup::RollupPoint;
+use crate::store::{decode_batch, decode_record, SeriesKey, StoreError};
+
+/// Per-segment rollup cells: `(series, field) -> bucket_start -> cell`.
+pub(crate) type SegmentCells = BTreeMap<(SeriesKey, String), BTreeMap<u64, RollupPoint>>;
+
+/// Lazy tuple iterator over one segment's frames for a single series
+/// and inclusive time range. Yields tuples in frame order (callers
+/// sort when they need global timestamp order).
+pub(crate) struct SeriesScan<'a> {
+    frames: FrameIter<'a>,
+    series: &'a SeriesKey,
+    t0: u64,
+    t1: u64,
+    pending: VecDeque<DataTuple>,
+}
+
+impl<'a> SeriesScan<'a> {
+    /// Scans `bytes` (typically `&segment.bytes[segment.seek(t0)..]`)
+    /// for tuples of `series` with `t0 <= ts <= t1`.
+    pub(crate) fn new(bytes: &'a [u8], series: &'a SeriesKey, t0: u64, t1: u64) -> Self {
+        SeriesScan {
+            frames: FrameIter::new(bytes),
+            series,
+            t0,
+            t1,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl Iterator for SeriesScan<'_> {
+    type Item = Result<DataTuple, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(Ok(t));
+            }
+            let (_, payload) = self.frames.next()?;
+            let rec = match decode_record(payload) {
+                Ok(rec) => rec,
+                Err(e) => return Some(Err(e)),
+            };
+            if rec.query_id != self.series.query_id
+                || rec.group != self.series.group
+                || rec.min_ts > self.t1
+                || rec.max_ts < self.t0
+            {
+                continue;
+            }
+            let batch = match decode_batch(rec.batch) {
+                Ok(b) => b,
+                Err(e) => return Some(Err(e)),
+            };
+            self.pending.extend(
+                batch
+                    .into_tuples()
+                    .into_iter()
+                    .filter(|t| t.ts_ns >= self.t0 && t.ts_ns <= self.t1),
+            );
+        }
+    }
+}
+
+/// Folds one tuple field into a rollup cell the way compaction does:
+/// numeric values are observed, sketch snapshots merge through the
+/// sketch algebra, everything else (strings, nulls) is skipped.
+pub(crate) fn fold_value(cell: &mut RollupPoint, v: &Value) {
+    match v {
+        Value::Bytes(b) => {
+            cell.fold_sketch(b);
+        }
+        other => {
+            if let Some(x) = other.as_f64() {
+                cell.observe(x);
+            }
+        }
+    }
+}
+
+/// Folds every field of every tuple in a segment into native-bucket
+/// cells. Returns the cells plus the number of tuples folded.
+///
+/// # Errors
+///
+/// Decode errors on frames that passed their CRC (version skew) — the
+/// caller treats the segment as un-summarisable and scans it raw.
+pub(crate) fn fold_segment(bytes: &[u8], native: u64) -> Result<(SegmentCells, u64), StoreError> {
+    let mut cells = SegmentCells::new();
+    let mut tuples = 0u64;
+    for (_, payload) in FrameIter::new(bytes) {
+        let rec = decode_record(payload)?;
+        let series = SeriesKey::new(rec.query_id, rec.group);
+        for tuple in decode_batch(rec.batch)?.into_tuples() {
+            tuples += 1;
+            let bucket = tuple.ts_ns - tuple.ts_ns % native;
+            for (k, v) in &tuple.fields {
+                let cell = cells
+                    .entry((series.clone(), k.clone()))
+                    .or_default()
+                    .entry(bucket)
+                    .or_insert_with(|| RollupPoint::empty(bucket, native));
+                fold_value(cell, v);
+            }
+        }
+    }
+    Ok((cells, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use netalytics_data::TupleBatch;
+
+    use super::*;
+    use crate::frame::write_frame;
+    use crate::store::encode_record;
+
+    fn segment_bytes(series: &SeriesKey, batches: &[TupleBatch]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for b in batches {
+            let (payload, _, _) = encode_record(series, b);
+            write_frame(&mut out, &payload);
+        }
+        out
+    }
+
+    #[test]
+    fn scan_filters_by_series_and_time_without_decoding_foreign_frames() {
+        let a = SeriesKey::new(1, "a");
+        let b = SeriesKey::new(1, "b");
+        let mk = |ts: u64, v: u64| DataTuple::new(v, ts).with("v", v);
+        let mut bytes = segment_bytes(
+            &a,
+            &[TupleBatch::from_tuples(vec![
+                mk(100, 1),
+                mk(200, 2),
+                mk(300, 3),
+            ])],
+        );
+        bytes.extend(segment_bytes(
+            &b,
+            &[TupleBatch::from_tuples(vec![mk(150, 9)])],
+        ));
+
+        let got: Vec<u64> = SeriesScan::new(&bytes, &a, 150, 300)
+            .map(|r| r.expect("clean scan").ts_ns)
+            .collect();
+        assert_eq!(got, [200, 300]);
+        let other: Vec<u64> = SeriesScan::new(&bytes, &b, 0, u64::MAX)
+            .map(|r| r.expect("clean scan").ts_ns)
+            .collect();
+        assert_eq!(other, [150]);
+    }
+
+    #[test]
+    fn fold_segment_matches_per_tuple_observation() {
+        let s = SeriesKey::new(3, "");
+        let batch = TupleBatch::from_tuples(vec![
+            DataTuple::new(0, 500).with("t_ns", 10u64),
+            DataTuple::new(1, 900).with("t_ns", 30u64),
+            DataTuple::new(2, 1_500).with("t_ns", 20u64),
+        ]);
+        let bytes = segment_bytes(&s, &[batch]);
+        let (cells, tuples) = fold_segment(&bytes, 1_000).expect("fold");
+        assert_eq!(tuples, 3);
+        let by_field = &cells[&(s, "t_ns".to_string())];
+        assert_eq!(by_field.len(), 2, "two native buckets");
+        assert_eq!(by_field[&0].count, 2);
+        assert_eq!(by_field[&0].sum, 40.0);
+        assert_eq!(by_field[&1_000].count, 1);
+        assert_eq!(by_field[&1_000].min, 20.0);
+    }
+}

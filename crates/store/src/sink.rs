@@ -74,6 +74,15 @@ impl StoreSink {
             .unwrap_or_default()
     }
 
+    /// A malformed tuple must not kill the sink (it runs on the
+    /// executor's data plane) and must not be silently mangled into the
+    /// wrong series: a group key longer than the wire format's `str16`
+    /// limit would be truncated on encode and land under a different
+    /// key. Such tuples are skipped and counted in `store.sink_skipped`.
+    fn malformed(&self, group: &str) -> bool {
+        group.len() > u16::MAX as usize
+    }
+
     fn flush(&mut self) {
         if self.pending_tuples == 0 {
             return;
@@ -120,10 +129,16 @@ impl Bolt for StoreSink {
     }
 
     fn execute(&mut self, tuple: &DataTuple, out: &mut Vec<DataTuple>) {
+        // Pass-through first: downstream consumers still see the tuple
+        // even when it cannot be persisted faithfully.
+        out.push(tuple.clone());
         let group = self.group_of(tuple);
+        if self.malformed(&group) {
+            self.store.note_sink_skipped(1);
+            return;
+        }
         self.pending.entry(group).or_default().push(tuple.clone());
         self.pending_tuples += 1;
-        out.push(tuple.clone());
         if self.pending_tuples >= FLUSH_THRESHOLD {
             self.flush();
         }
@@ -235,6 +250,32 @@ mod tests {
         assert_eq!(falls.len(), 1);
         assert_eq!(falls[0].spans.len(), 1, "duplicate observe deduped");
         assert_eq!(falls[0].spans[0].stage, "store");
+    }
+
+    #[test]
+    fn malformed_group_keys_are_skipped_not_mangled() {
+        let registry = netalytics_telemetry::MetricsRegistry::new();
+        let store = Arc::new(TimeSeriesStore::in_memory());
+        store.register_metrics(&registry);
+        let mut sink = StoreSink::new(store.clone(), 5, Some("url".into()));
+        let mut out = Vec::new();
+        // A group key past the str16 wire limit would be truncated on
+        // encode and stored under a different series; it must be
+        // skipped instead of persisted (and must not panic the sink).
+        let oversized = "x".repeat(u16::MAX as usize + 1);
+        sink.execute(&tuple(10, &oversized, 1), &mut out);
+        sink.execute(&tuple(20, "/ok", 2), &mut out);
+        sink.tick(99, &mut out);
+
+        assert_eq!(out.len(), 2, "skipped tuples still pass through");
+        assert_eq!(store.stats().tuples, 1, "only the well-formed tuple lands");
+        assert_eq!(store.stats().sink_skipped, 1);
+        assert_eq!(
+            registry.snapshot().counter_total("store.sink_skipped"),
+            1,
+            "skips surface as a metric"
+        );
+        assert_eq!(store.series(), vec![SeriesKey::new(5, "/ok")]);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 
 use crate::frame::{write_frame, FrameIter, FRAME_HEADER};
 use crate::rollup::{decode_rollup, encode_rollup, RollupPoint};
+use crate::scan::{fold_segment, SegmentCells, SeriesScan};
 use crate::wire::{put_str16, put_u64, Reader};
 
 /// Identity of one stored series: the query that produced the tuples
@@ -70,10 +71,20 @@ pub struct StoreConfig {
     pub segment_max_bytes: usize,
     /// Drop (after folding into rollups) sealed segments whose newest
     /// tuple is older than `now - retention_ns`. `None` keeps raw data
-    /// forever.
+    /// forever. This is the raw tier's TTL; see `rollup_retention_ns`
+    /// for the next tier down.
     pub retention_ns: Option<u64>,
     /// Native rollup bucket width; queries may ask for any multiple.
     pub rollup_bucket_ns: u64,
+    /// Second-tier TTL: native rollup cells whose bucket closed before
+    /// `now - rollup_retention_ns` are demoted into coarse sketch-tier
+    /// cells of `sketch_bucket_ns` width (count/sum/min/max, histogram
+    /// and sketch survive; native-bucket resolution does not). `None`
+    /// keeps native cells forever.
+    pub rollup_retention_ns: Option<u64>,
+    /// Sketch-tier bucket width; rounded up to a multiple of
+    /// `rollup_bucket_ns` when it is not one already.
+    pub sketch_bucket_ns: u64,
     /// Sparse-index stride: one seek entry per this many frames.
     pub index_every: u64,
     /// Tuples kept per series in the in-memory tail memtable.
@@ -86,9 +97,21 @@ impl Default for StoreConfig {
             segment_max_bytes: 4 << 20,
             retention_ns: None,
             rollup_bucket_ns: 1_000_000_000,
+            rollup_retention_ns: None,
+            sketch_bucket_ns: 60_000_000_000,
             index_every: 16,
             memtable_per_series: 256,
         }
+    }
+}
+
+impl StoreConfig {
+    /// The sketch-tier bucket width actually used: `sketch_bucket_ns`
+    /// rounded up to a non-zero multiple of the native width.
+    pub(crate) fn coarse_bucket_ns(&self) -> u64 {
+        let native = self.rollup_bucket_ns.max(1);
+        let want = self.sketch_bucket_ns.max(native);
+        want.next_multiple_of(native)
     }
 }
 
@@ -156,8 +179,10 @@ pub struct StoreStats {
     pub series: usize,
     /// Tuples appended over the store's lifetime (not reset by open).
     pub tuples: u64,
-    /// Rollup cells currently held.
+    /// Native-tier rollup cells currently held.
     pub rollup_points: usize,
+    /// Sketch-tier (coarse) cells currently held.
+    pub coarse_points: usize,
     /// Log files whose torn tail was truncated during `open`.
     pub truncated_on_open: u64,
     /// Compaction passes that dropped at least one segment.
@@ -166,6 +191,8 @@ pub struct StoreStats {
     pub segments_dropped: u64,
     /// Append failures noted by sinks writing into this store.
     pub append_errors: u64,
+    /// Malformed tuples skipped (not persisted) by sinks.
+    pub sink_skipped: u64,
 }
 
 /// What one [`TimeSeriesStore::compact`] pass did.
@@ -177,6 +204,8 @@ pub struct CompactionReport {
     pub tuples_folded: u64,
     /// Rollup cells written or updated.
     pub rollup_points_written: u64,
+    /// Native rollup cells demoted into the coarse sketch tier.
+    pub rollup_cells_demoted: u64,
 }
 
 /// Registered metric handles; created lazily by
@@ -186,6 +215,7 @@ struct StoreMetrics {
     ingest_batches: Arc<Counter>,
     ingest_bytes: Arc<Counter>,
     sink_flushes: Arc<Counter>,
+    sink_skipped: Arc<Counter>,
     append_errors: Arc<Counter>,
     compactions: Arc<Counter>,
     segments_dropped: Arc<Counter>,
@@ -196,17 +226,22 @@ struct StoreMetrics {
 
 /// One log segment, held both on disk (durability) and in memory
 /// (serving reads). `file` is `None` for in-memory stores.
-struct Segment {
+pub(crate) struct Segment {
     seq: u64,
-    bytes: Vec<u8>,
+    pub(crate) bytes: Vec<u8>,
     file: Option<File>,
     frames: u64,
-    min_ts: u64,
-    max_ts: u64,
+    pub(crate) min_ts: u64,
+    pub(crate) max_ts: u64,
     /// `(watermark, offset)`: every tuple in frames before `offset` has
     /// `ts <= watermark`, so a range scan for `t0 > watermark` may
     /// start at `offset`.
     index: Vec<(u64, usize)>,
+    /// Cached native-bucket fold of this segment's tuples, built
+    /// lazily once the segment is sealed (see
+    /// [`Inner::ensure_sealed_cells`]). `None` while active, after
+    /// invalidation, or when the segment would not fold cleanly.
+    pub(crate) cells: Option<(SegmentCells, u64)>,
 }
 
 impl Segment {
@@ -219,6 +254,7 @@ impl Segment {
             min_ts: u64::MAX,
             max_ts: 0,
             index: Vec::new(),
+            cells: None,
         }
     }
 
@@ -232,7 +268,7 @@ impl Segment {
     }
 
     /// Byte offset a scan for tuples with `ts >= t0` may start at.
-    fn seek(&self, t0: u64) -> usize {
+    pub(crate) fn seek(&self, t0: u64) -> usize {
         let mut at = 0;
         for &(watermark, offset) in &self.index {
             if watermark < t0 {
@@ -244,7 +280,7 @@ impl Segment {
         at
     }
 
-    fn overlaps(&self, t0: u64, t1: u64) -> bool {
+    pub(crate) fn overlaps(&self, t0: u64, t1: u64) -> bool {
         self.frames > 0 && self.min_ts <= t1 && self.max_ts >= t0
     }
 
@@ -254,15 +290,15 @@ impl Segment {
 }
 
 /// Data-frame payload header plus the raw batch bytes.
-struct RecordRef<'a> {
-    query_id: u64,
-    group: &'a str,
-    min_ts: u64,
-    max_ts: u64,
-    batch: &'a [u8],
+pub(crate) struct RecordRef<'a> {
+    pub(crate) query_id: u64,
+    pub(crate) group: &'a str,
+    pub(crate) min_ts: u64,
+    pub(crate) max_ts: u64,
+    pub(crate) batch: &'a [u8],
 }
 
-fn encode_record(series: &SeriesKey, batch: &TupleBatch) -> (Vec<u8>, u64, u64) {
+pub(crate) fn encode_record(series: &SeriesKey, batch: &TupleBatch) -> (Vec<u8>, u64, u64) {
     let mut min_ts = u64::MAX;
     let mut max_ts = 0;
     for t in batch.iter() {
@@ -278,7 +314,7 @@ fn encode_record(series: &SeriesKey, batch: &TupleBatch) -> (Vec<u8>, u64, u64) 
     (payload, min_ts, max_ts)
 }
 
-fn decode_record(payload: &[u8]) -> Result<RecordRef<'_>, StoreError> {
+pub(crate) fn decode_record(payload: &[u8]) -> Result<RecordRef<'_>, StoreError> {
     let mut r = Reader::new(payload);
     let query_id = r.u64("record.query_id")?;
     let group = r.str16("record.group")?;
@@ -293,7 +329,7 @@ fn decode_record(payload: &[u8]) -> Result<RecordRef<'_>, StoreError> {
     })
 }
 
-fn decode_batch(bytes: &[u8]) -> Result<TupleBatch, StoreError> {
+pub(crate) fn decode_batch(bytes: &[u8]) -> Result<TupleBatch, StoreError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     Ok(TupleBatch::decode(&mut buf)?)
 }
@@ -320,14 +356,19 @@ impl MemSeries {
     }
 }
 
-type RollupSeries = (SeriesKey, String);
+pub(crate) type RollupSeries = (SeriesKey, String);
+pub(crate) type RollupMap = BTreeMap<RollupSeries, BTreeMap<u64, RollupPoint>>;
 
-struct Inner {
-    cfg: StoreConfig,
+pub(crate) struct Inner {
+    pub(crate) cfg: StoreConfig,
     dir: Option<PathBuf>,
-    segments: Vec<Segment>,
+    pub(crate) segments: Vec<Segment>,
     mem: BTreeMap<SeriesKey, MemSeries>,
-    rollups: BTreeMap<RollupSeries, BTreeMap<u64, RollupPoint>>,
+    /// Native-tier rollup cells (bucket width `cfg.rollup_bucket_ns`).
+    pub(crate) rollups: RollupMap,
+    /// Sketch-tier cells: native cells demoted by `rollup_retention_ns`
+    /// land here at `coarse_bucket_ns()` width.
+    pub(crate) coarse: RollupMap,
     rollup_file: Option<File>,
     stats: StoreStats,
     metrics: Option<StoreMetrics>,
@@ -339,6 +380,40 @@ struct Inner {
 impl Inner {
     fn active(&mut self) -> &mut Segment {
         self.segments.last_mut().expect("at least one segment")
+    }
+
+    /// Builds (once) the native-bucket fold cache of sealed segment
+    /// `i`. The active segment is never cached: it is still growing.
+    pub(crate) fn ensure_sealed_cells(&mut self, i: usize) -> Result<(), StoreError> {
+        if i + 1 >= self.segments.len() || self.segments[i].cells.is_some() {
+            return Ok(());
+        }
+        let folded = fold_segment(&self.segments[i].bytes, self.cfg.rollup_bucket_ns)?;
+        self.segments[i].cells = Some(folded);
+        Ok(())
+    }
+
+    /// Rewrites `rollups.log` from current state via tmp-file + rename.
+    /// Needed when cells are *removed* (tier demotion): an append-only
+    /// last-wins log could resurrect deleted native cells on reload.
+    fn rewrite_rollup_log(&mut self) -> Result<(), StoreError> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let path = dir.join("rollups.log");
+        let tmp = dir.join("rollups.log.tmp");
+        let mut log = Vec::new();
+        for ((series, field), cells) in self.rollups.iter().chain(self.coarse.iter()) {
+            for cell in cells.values() {
+                let mut payload = Vec::new();
+                encode_rollup(&mut payload, series, field, cell);
+                write_frame(&mut log, &payload);
+            }
+        }
+        fs::write(&tmp, &log)?;
+        fs::rename(&tmp, &path)?;
+        self.rollup_file = Some(OpenOptions::new().append(true).open(&path)?);
+        Ok(())
     }
 
     fn roll_segment(&mut self) -> Result<(), StoreError> {
@@ -383,8 +458,17 @@ impl Inner {
         self.rollups.values().map(BTreeMap::len).sum()
     }
 
+    fn coarse_points(&self) -> usize {
+        self.coarse.values().map(BTreeMap::len).sum()
+    }
+
     /// All tuples of `series` in `[t0, t1]`, oldest first.
-    fn range(&self, series: &SeriesKey, t0: u64, t1: u64) -> Result<Vec<DataTuple>, StoreError> {
+    pub(crate) fn range(
+        &self,
+        series: &SeriesKey,
+        t0: u64,
+        t1: u64,
+    ) -> Result<Vec<DataTuple>, StoreError> {
         if t0 > t1 {
             return Ok(Vec::new());
         }
@@ -406,22 +490,8 @@ impl Inner {
                 continue;
             }
             let start = seg.seek(t0);
-            for (_, payload) in FrameIter::new(&seg.bytes[start..]) {
-                let rec = decode_record(payload)?;
-                if rec.query_id != series.query_id
-                    || rec.group != series.group
-                    || rec.min_ts > t1
-                    || rec.max_ts < t0
-                {
-                    continue;
-                }
-                let batch = decode_batch(rec.batch)?;
-                out.extend(
-                    batch
-                        .into_tuples()
-                        .into_iter()
-                        .filter(|t| t.ts_ns >= t0 && t.ts_ns <= t1),
-                );
+            for t in SeriesScan::new(&seg.bytes[start..], series, t0, t1) {
+                out.push(t?);
             }
         }
         out.sort_by_key(|t| t.ts_ns);
@@ -433,7 +503,7 @@ impl Inner {
 /// all operations take one internal lock, so a single writer and many
 /// readers interleave safely from both executor planes.
 pub struct TimeSeriesStore {
-    inner: Mutex<Inner>,
+    pub(crate) inner: Mutex<Inner>,
 }
 
 impl std::fmt::Debug for TimeSeriesStore {
@@ -473,6 +543,7 @@ impl TimeSeriesStore {
             segments: Vec::new(),
             mem: BTreeMap::new(),
             rollups: BTreeMap::new(),
+            coarse: BTreeMap::new(),
             rollup_file: None,
             stats: StoreStats::default(),
             metrics: None,
@@ -552,9 +623,14 @@ impl TimeSeriesStore {
             let mut it = FrameIter::new(&bytes);
             for (_, payload) in it.by_ref() {
                 let (series, field, point) = decode_rollup(payload)?;
-                inner
-                    .rollups
-                    .entry((series, field))
+                // Route by persisted width: cells wider than the native
+                // bucket belong to the demoted sketch tier.
+                let map = if point.bucket_ns > inner.cfg.rollup_bucket_ns {
+                    &mut inner.coarse
+                } else {
+                    &mut inner.rollups
+                };
+                map.entry((series, field))
                     .or_default()
                     .insert(point.bucket_start, point);
             }
@@ -594,6 +670,7 @@ impl TimeSeriesStore {
                 segments: vec![Segment::empty(0, None)],
                 mem: BTreeMap::new(),
                 rollups: BTreeMap::new(),
+                coarse: BTreeMap::new(),
                 rollup_file: None,
                 stats: StoreStats::default(),
                 metrics: None,
@@ -717,11 +794,17 @@ impl TimeSeriesStore {
                 .or_insert_with(|| RollupPoint::empty(bucket_start, bucket_ns));
             apply(p);
         };
-        if let Some(cells) = inner.rollups.get(&(series.clone(), field.to_string())) {
-            for (&start, cell) in cells {
-                // Include a native cell if it overlaps [t0, t1].
-                if start <= t1 && start.saturating_add(cell.bucket_ns) > t0 {
-                    fold(start - start % bucket_ns, &|p| p.merge(cell));
+        let rollup_series = (series.clone(), field.to_string());
+        for tier in [&inner.rollups, &inner.coarse] {
+            if let Some(cells) = tier.get(&rollup_series) {
+                for (&start, cell) in cells {
+                    // Include a cell if it overlaps [t0, t1]. Coarse
+                    // cells wider than `bucket_ns` fold into the query
+                    // bucket containing their start (resolution below
+                    // the sketch tier's width is gone by design).
+                    if start <= t1 && start.saturating_add(cell.bucket_ns) > t0 {
+                        fold(start - start % bucket_ns, &|p| p.merge(cell));
+                    }
                 }
             }
         }
@@ -769,11 +852,23 @@ impl TimeSeriesStore {
         self.inner.lock().mem.keys().cloned().collect()
     }
 
-    /// Retention + compaction pass. Sealed segments whose newest tuple
-    /// is older than `now_ns - retention` have every numeric field of
-    /// every tuple folded into native-bucket rollups, are deleted from
-    /// disk, and dropped from memory. A no-op without a configured
-    /// retention.
+    /// Tiered retention + compaction pass.
+    ///
+    /// Tier 1 (raw → rollup, gated on [`StoreConfig::retention_ns`]):
+    /// sealed segments whose newest tuple is older than
+    /// `now_ns - retention_ns` have every field of every tuple folded
+    /// into native-bucket rollups (reusing the segment's cached fold
+    /// when the history engine already built one), are deleted from
+    /// disk, and dropped from memory.
+    ///
+    /// Tier 2 (rollup → sketch-only, gated on
+    /// [`StoreConfig::rollup_retention_ns`]): native cells whose bucket
+    /// closed before `now_ns - rollup_retention_ns` are merged into
+    /// coarse cells of [`StoreConfig::coarse_bucket_ns`] width and the
+    /// rollup log is rewritten so the demoted cells cannot resurrect on
+    /// reload.
+    ///
+    /// A no-op when neither TTL is configured.
     ///
     /// # Errors
     ///
@@ -783,126 +878,149 @@ impl TimeSeriesStore {
     pub fn compact(&self, now_ns: u64) -> Result<CompactionReport, StoreError> {
         let mut inner = self.inner.lock();
         let mut report = CompactionReport::default();
-        let Some(retention) = inner.cfg.retention_ns else {
-            return Ok(report);
-        };
-        let cutoff = now_ns.saturating_sub(retention);
         let native = inner.cfg.rollup_bucket_ns;
 
-        let expired: Vec<usize> = inner.segments[..inner.segments.len() - 1]
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.frames > 0 && s.max_ts < cutoff)
-            .map(|(i, _)| i)
-            .collect();
-        if expired.is_empty() {
-            return Ok(report);
-        }
-
-        // Fold every expired tuple into the rollup map.
-        let mut touched: BTreeMap<RollupSeries, Vec<u64>> = BTreeMap::new();
-        for &i in &expired {
-            let seg = &inner.segments[i];
-            let mut folds: Vec<(RollupSeries, u64, f64)> = Vec::new();
-            let mut sketch_folds: Vec<(RollupSeries, u64, Vec<u8>)> = Vec::new();
-            for (_, payload) in FrameIter::new(&seg.bytes) {
-                let rec = decode_record(payload)?;
-                let series = SeriesKey::new(rec.query_id, rec.group);
-                for tuple in decode_batch(rec.batch)?.into_tuples() {
-                    report.tuples_folded += 1;
-                    let bucket = tuple.ts_ns - tuple.ts_ns % native;
-                    for (k, v) in &tuple.fields {
-                        if let Some(v) = v.as_f64() {
-                            folds.push(((series.clone(), k.clone()), bucket, v));
-                        } else if let Value::Bytes(b) = v {
-                            // Approximate-analytics snapshots merge
-                            // through the sketch algebra instead of the
-                            // numeric fold.
-                            sketch_folds.push(((series.clone(), k.clone()), bucket, b.clone()));
+        // Tier 1: raw segments fold into native rollup cells.
+        let expired: Vec<usize> = match inner.cfg.retention_ns {
+            Some(retention) => {
+                let cutoff = now_ns.saturating_sub(retention);
+                inner.segments[..inner.segments.len() - 1]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.frames > 0 && s.max_ts < cutoff)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        if !expired.is_empty() {
+            let mut touched: BTreeMap<RollupSeries, Vec<u64>> = BTreeMap::new();
+            for &i in &expired {
+                inner.ensure_sealed_cells(i)?;
+                let (cells, tuples) = inner.segments[i].cells.take().expect("sealed fold built");
+                report.tuples_folded += tuples;
+                for (key, buckets) in cells {
+                    for (bucket, cell) in buckets {
+                        // An all-empty cell (e.g. only undecodable
+                        // sketch blobs) adds nothing; skip it so we do
+                        // not persist noise.
+                        if cell.count == 0 && cell.sketch.is_none() {
+                            continue;
+                        }
+                        inner
+                            .rollups
+                            .entry(key.clone())
+                            .or_default()
+                            .entry(bucket)
+                            .or_insert_with(|| RollupPoint::empty(bucket, native))
+                            .merge(&cell);
+                        let list = touched.entry(key.clone()).or_default();
+                        if !list.contains(&bucket) {
+                            list.push(bucket);
                         }
                     }
                 }
             }
-            for (key, bucket, v) in folds {
-                inner
-                    .rollups
-                    .entry(key.clone())
-                    .or_default()
-                    .entry(bucket)
-                    .or_insert_with(|| RollupPoint::empty(bucket, native))
-                    .observe(v);
-                let list = touched.entry(key).or_default();
-                if !list.contains(&bucket) {
-                    list.push(bucket);
+
+            // Persist the merged cells (last-wins supersedes older
+            // records).
+            let mut log = Vec::new();
+            for ((series, field), buckets) in &touched {
+                for bucket in buckets {
+                    let cell = &inner.rollups[&(series.clone(), field.clone())][bucket];
+                    let mut payload = Vec::new();
+                    encode_rollup(&mut payload, series, field, cell);
+                    write_frame(&mut log, &payload);
+                    report.rollup_points_written += 1;
                 }
             }
-            for (key, bucket, bytes) in sketch_folds {
-                let folded = inner
-                    .rollups
-                    .entry(key.clone())
-                    .or_default()
-                    .entry(bucket)
-                    .or_insert_with(|| RollupPoint::empty(bucket, native))
-                    .fold_sketch(&bytes);
-                if folded {
-                    let list = touched.entry(key).or_default();
-                    if !list.contains(&bucket) {
-                        list.push(bucket);
-                    }
+            if let Some(file) = &mut inner.rollup_file {
+                file.write_all(&log)?;
+            }
+
+            // Drop the segments, newest index first so indices stay
+            // valid.
+            for &i in expired.iter().rev() {
+                let seg = inner.segments.remove(i);
+                inner.stats.frames = inner.stats.frames.saturating_sub(seg.frames);
+                if let Some(dir) = &inner.dir {
+                    fs::remove_file(Segment::path(dir, seg.seq))?;
+                }
+                report.segments_dropped += 1;
+            }
+            inner.stats.segments_dropped += report.segments_dropped;
+            inner.stats.compactions += 1;
+
+            // Expired tuples may linger in memtables; evict them so
+            // reads are consistent with the log.
+            let cutoff = now_ns.saturating_sub(inner.cfg.retention_ns.unwrap_or(u64::MAX));
+            for ms in inner.mem.values_mut() {
+                while ms.tail.front().is_some_and(|t| t.ts_ns < cutoff) {
+                    ms.tail.pop_front();
+                }
+            }
+
+            if let Some(m) = &inner.metrics {
+                m.compactions.inc();
+                m.segments_dropped.add(report.segments_dropped);
+            }
+            if let Some(journal) = &inner.journal {
+                journal.record(
+                    now_ns,
+                    None,
+                    EventKind::RollupFolded,
+                    format!(
+                        "{} tuple(s) folded into {} rollup point(s); {} segment(s) dropped",
+                        report.tuples_folded, report.rollup_points_written, report.segments_dropped
+                    ),
+                );
+            }
+        }
+
+        // Tier 2: expired native cells demote into the coarse sketch
+        // tier.
+        if let Some(rollup_retention) = inner.cfg.rollup_retention_ns {
+            let cutoff = now_ns.saturating_sub(rollup_retention);
+            let coarse_ns = inner.cfg.coarse_bucket_ns();
+            let Inner {
+                rollups, coarse, ..
+            } = &mut *inner;
+            for (key, cells) in rollups.iter_mut() {
+                let old: Vec<u64> = cells
+                    .iter()
+                    .filter(|(&start, cell)| start.saturating_add(cell.bucket_ns) <= cutoff)
+                    .map(|(&start, _)| start)
+                    .collect();
+                for start in old {
+                    let cell = cells.remove(&start).expect("listed above");
+                    let cb = start - start % coarse_ns;
+                    coarse
+                        .entry(key.clone())
+                        .or_default()
+                        .entry(cb)
+                        .or_insert_with(|| RollupPoint::empty(cb, coarse_ns))
+                        .merge(&cell);
+                    report.rollup_cells_demoted += 1;
+                }
+            }
+            inner.rollups.retain(|_, cells| !cells.is_empty());
+            if report.rollup_cells_demoted > 0 {
+                inner.rewrite_rollup_log()?;
+                if let Some(journal) = &inner.journal {
+                    journal.record(
+                        now_ns,
+                        None,
+                        EventKind::RollupFolded,
+                        format!(
+                            "{} native rollup cell(s) demoted into {} coarse cell(s)",
+                            report.rollup_cells_demoted,
+                            inner.coarse_points()
+                        ),
+                    );
                 }
             }
         }
 
-        // Persist the merged cells (last-wins supersedes older records).
-        let mut log = Vec::new();
-        for ((series, field), buckets) in &touched {
-            for bucket in buckets {
-                let cell = &inner.rollups[&(series.clone(), field.clone())][bucket];
-                let mut payload = Vec::new();
-                encode_rollup(&mut payload, series, field, cell);
-                write_frame(&mut log, &payload);
-                report.rollup_points_written += 1;
-            }
-        }
-        if let Some(file) = &mut inner.rollup_file {
-            file.write_all(&log)?;
-        }
-
-        // Drop the segments, newest index first so indices stay valid.
-        for &i in expired.iter().rev() {
-            let seg = inner.segments.remove(i);
-            inner.stats.frames = inner.stats.frames.saturating_sub(seg.frames);
-            if let Some(dir) = &inner.dir {
-                fs::remove_file(Segment::path(dir, seg.seq))?;
-            }
-            report.segments_dropped += 1;
-        }
-        inner.stats.segments_dropped += report.segments_dropped;
-        inner.stats.compactions += 1;
-
-        // Expired tuples may linger in memtables; evict them so reads
-        // are consistent with the log.
-        for ms in inner.mem.values_mut() {
-            while ms.tail.front().is_some_and(|t| t.ts_ns < cutoff) {
-                ms.tail.pop_front();
-            }
-        }
-
-        if let Some(m) = &inner.metrics {
-            m.compactions.inc();
-            m.segments_dropped.add(report.segments_dropped);
-        }
-        if let Some(journal) = &inner.journal {
-            journal.record(
-                now_ns,
-                None,
-                EventKind::RollupFolded,
-                format!(
-                    "{} tuple(s) folded into {} rollup point(s); {} segment(s) dropped",
-                    report.tuples_folded, report.rollup_points_written, report.segments_dropped
-                ),
-            );
-        }
         inner.refresh_gauges();
         Ok(report)
     }
@@ -927,6 +1045,7 @@ impl TimeSeriesStore {
             ingest_batches: registry.counter("store.ingest_batches", &[]),
             ingest_bytes: registry.counter("store.ingest_bytes", &[]),
             sink_flushes: registry.counter("store.sink_flushes", &[]),
+            sink_skipped: registry.counter("store.sink_skipped", &[]),
             append_errors: registry.counter("store.append_errors", &[]),
             compactions: registry.counter("store.compactions", &[]),
             segments_dropped: registry.counter("store.segments_dropped", &[]),
@@ -953,6 +1072,24 @@ impl TimeSeriesStore {
         }
     }
 
+    /// Called by sinks when `n` malformed tuples were skipped rather
+    /// than persisted.
+    pub fn note_sink_skipped(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.stats.sink_skipped += n;
+        if let Some(m) = &inner.metrics {
+            m.sink_skipped.add(n);
+        }
+    }
+
+    /// The configured native rollup bucket width in nanoseconds.
+    pub fn native_bucket_ns(&self) -> u64 {
+        self.inner.lock().cfg.rollup_bucket_ns
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.lock();
@@ -961,6 +1098,7 @@ impl TimeSeriesStore {
             log_bytes: inner.segments.iter().map(|s| s.bytes.len() as u64).sum(),
             series: inner.mem.len(),
             rollup_points: inner.rollup_points(),
+            coarse_points: inner.coarse_points(),
             ..inner.stats.clone()
         }
     }

@@ -1,0 +1,266 @@
+//! Retention vs. readers: tiered compaction must never make a history
+//! answer flicker. Whatever the compaction schedule — and whoever is
+//! reading mid-pass — counts and sums over fully-retained ranges are
+//! invariant as observations migrate raw → native rollups → coarse
+//! sketch cells, and a restart reloads exactly the last persisted state.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_store::{
+    AggValue, HistoryAgg, HistoryQuery, SeriesKey, StoreConfig, TimeSeriesStore,
+};
+use proptest::prelude::*;
+
+/// Fresh scratch directory per case (no tempfile crate in-tree).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("netalytics-races-{tag}-{}-{n}", std::process::id()))
+}
+
+const SEC: u64 = 1_000_000_000;
+
+fn count_of(store: &TimeSeriesStore, series: &SeriesKey) -> u64 {
+    store
+        .history(&HistoryQuery::new(
+            series.clone(),
+            "v",
+            0,
+            u64::MAX,
+            HistoryAgg::Count,
+        ))
+        .expect("history count")
+        .count
+}
+
+/// A reader hammering `history()` while retention marches through every
+/// tier must never observe a partial fold: the total count is invariant
+/// whether each observation lives in a raw segment, a native rollup
+/// cell, or a coarse sketch cell at the instant of the read.
+#[test]
+fn history_reads_stay_consistent_during_concurrent_compaction() {
+    let dir = scratch_dir("inflight");
+    let cfg = StoreConfig {
+        segment_max_bytes: 2048,
+        retention_ns: Some(5 * SEC),
+        rollup_retention_ns: Some(20 * SEC),
+        sketch_bucket_ns: 4 * SEC,
+        ..StoreConfig::default()
+    };
+    let store = Arc::new(TimeSeriesStore::open_with(&dir, cfg).expect("open"));
+    let series = SeriesKey::new(1, "");
+    const TOTAL: u64 = 2_000;
+    // One tuple per 50 ms: 100 s of data across many small segments.
+    for c in 0..TOTAL / 50 {
+        let b: TupleBatch = (0..50)
+            .map(|i| {
+                let k = c * 50 + i;
+                DataTuple::new(k, k * 50_000_000).with("v", k % 7 + 1)
+            })
+            .collect();
+        store.append(&series, &b).expect("append");
+    }
+    assert_eq!(count_of(&store, &series), TOTAL, "baseline before any fold");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let store = Arc::clone(&store);
+        let series = series.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                assert_eq!(
+                    count_of(&store, &series),
+                    TOTAL,
+                    "a read mid-compaction saw a partial fold"
+                );
+                reads += 1;
+            }
+            reads
+        })
+    };
+
+    // March `now` far enough that the whole dataset crosses raw →
+    // rollup → sketch-only while the reader races each pass.
+    let max_ts = (TOTAL - 1) * 50_000_000;
+    let mut now = 0;
+    while now <= max_ts + 30 * SEC {
+        store.compact(now).expect("compact");
+        now += SEC;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let reads = reader.join().expect("reader survived the march");
+    assert!(reads > 0, "the reader actually raced the compactor");
+
+    // Every tier engaged, and the invariant holds at rest too.
+    let stats = store.stats();
+    assert!(stats.segments_dropped > 0, "raw tier expired: {stats:?}");
+    assert!(stats.coarse_points > 0, "sketch tier engaged: {stats:?}");
+    assert_eq!(count_of(&store, &series), TOTAL);
+}
+
+/// The rollup log is append-only with last-record-wins per cell: a cell
+/// persisted by two different compaction passes must reload at its
+/// *latest* merged state, not the sum of every record ever written.
+#[test]
+fn rollup_reload_after_restart_takes_the_last_write() {
+    let dir = scratch_dir("lastwins");
+    let cfg = StoreConfig {
+        segment_max_bytes: 512,
+        retention_ns: Some(SEC),
+        ..StoreConfig::default()
+    };
+    let series = SeriesKey::new(9, "g");
+    {
+        let store = TimeSeriesStore::open_with(&dir, cfg.clone()).expect("open");
+        // Ten observations of v=2 in bucket [0, 1s).
+        let b: TupleBatch = (0..10)
+            .map(|i| DataTuple::new(i, i * 10_000_000).with("v", 2u64))
+            .collect();
+        store.append(&series, &b).expect("append");
+        // Roll the active segment so the bucket's frames seal, then
+        // expire them: first record for cell 0 (count=10).
+        let filler: TupleBatch = (0..40)
+            .map(|i| DataTuple::new(100 + i, 5 * SEC + i).with("v", 1u64))
+            .collect();
+        store.append(&series, &filler).expect("filler");
+        let report = store.compact(3 * SEC).expect("first fold");
+        assert!(report.segments_dropped >= 1, "{report:?}");
+        assert!(report.rollup_points_written >= 1, "{report:?}");
+
+        // Late data lands in the *same* bucket, seals, expires: the
+        // second compaction re-persists cell 0 merged (count=20).
+        let late: TupleBatch = (10..20)
+            .map(|i| DataTuple::new(i, i * 10_000_000).with("v", 2u64))
+            .collect();
+        store.append(&series, &late).expect("late append");
+        let filler: TupleBatch = (0..40)
+            .map(|i| DataTuple::new(200 + i, 6 * SEC + i).with("v", 1u64))
+            .collect();
+        store.append(&series, &filler).expect("filler 2");
+        let report = store.compact(7 * SEC).expect("second fold");
+        assert!(report.segments_dropped >= 1, "{report:?}");
+        let points = store
+            .rollup(&series, "v", 0, SEC - 1, SEC)
+            .expect("rollup before restart");
+        assert_eq!(points.len(), 1);
+        assert_eq!((points[0].count, points[0].sum), (20, 40.0));
+    }
+
+    // Restart: the reloaded cell is the last record, not the sum of
+    // both records (30 would mean replayed-and-merged duplicates).
+    let store = TimeSeriesStore::open_with(&dir, cfg).expect("reopen");
+    let points = store
+        .rollup(&series, "v", 0, SEC - 1, SEC)
+        .expect("rollup after restart");
+    assert_eq!(points.len(), 1);
+    assert_eq!(
+        (points[0].count, points[0].sum),
+        (20, 40.0),
+        "reload must take the last persisted record for the cell"
+    );
+}
+
+/// Segments whose tuples carry nothing foldable (string-only fields)
+/// must expire without manufacturing empty rollup cells — and a history
+/// read over the vacated range answers zero, exactly.
+#[test]
+fn unfoldable_segments_expire_without_writing_empty_cells() {
+    let dir = scratch_dir("empty");
+    let cfg = StoreConfig {
+        segment_max_bytes: 512,
+        retention_ns: Some(SEC),
+        ..StoreConfig::default()
+    };
+    let store = TimeSeriesStore::open_with(&dir, cfg).expect("open");
+    let series = SeriesKey::new(4, "");
+    let b: TupleBatch = (0..20)
+        .map(|i| DataTuple::new(i, i * 10_000_000).with("tag", "string-only"))
+        .collect();
+    store.append(&series, &b).expect("append");
+    let filler: TupleBatch = (0..40)
+        .map(|i| DataTuple::new(100 + i, 5 * SEC + i).with("tag", "x"))
+        .collect();
+    store.append(&series, &filler).expect("filler");
+
+    let report = store.compact(3 * SEC).expect("compact");
+    assert!(report.segments_dropped >= 1, "{report:?}");
+    assert_eq!(
+        report.rollup_points_written, 0,
+        "nothing numeric, nothing persisted: {report:?}"
+    );
+    assert_eq!(store.stats().rollup_points, 0);
+
+    let ans = store
+        .history(&HistoryQuery::new(
+            series,
+            "v",
+            0,
+            SEC - 1,
+            HistoryAgg::Count,
+        ))
+        .expect("history over vacated range");
+    assert_eq!(ans.count, 0);
+    assert!(matches!(ans.value, AggValue::Count(0) | AggValue::Empty));
+    assert!(ans.plan.exact, "an all-zero answer must not hedge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chaos schedule: arbitrary batches into arbitrary buckets with
+    /// compaction passes interleaved at arbitrary (even non-monotone)
+    /// clocks. Whatever tier each observation ends up in, full-range
+    /// count and sum never change — integer-valued fields make the sum
+    /// comparison exact.
+    #[test]
+    fn any_compaction_schedule_preserves_counts_and_sums(
+        batches in proptest::collection::vec((0u64..20, 1u64..16), 1..10),
+        clocks in proptest::collection::vec(0u64..40, 0..6),
+    ) {
+        let dir = scratch_dir("chaos");
+        let cfg = StoreConfig {
+            segment_max_bytes: 512,
+            retention_ns: Some(2 * SEC),
+            rollup_retention_ns: Some(8 * SEC),
+            sketch_bucket_ns: 4 * SEC,
+            ..StoreConfig::default()
+        };
+        let store = TimeSeriesStore::open_with(&dir, cfg).expect("open");
+        let series = SeriesKey::new(3, "");
+        let mut total = 0u64;
+        let mut sum = 0u64;
+        let mut clocks = clocks.into_iter();
+        for (i, &(bucket, n)) in batches.iter().enumerate() {
+            let b: TupleBatch = (0..n)
+                .map(|j| {
+                    let v = j % 5 + 1;
+                    DataTuple::new(i as u64 * 100 + j, bucket * SEC + j * 1_000_000)
+                        .with("v", v)
+                })
+                .collect();
+            total += n;
+            sum += (0..n).map(|j| j % 5 + 1).sum::<u64>();
+            store.append(&series, &b).expect("append");
+            if let Some(t) = clocks.next() {
+                store.compact(t * SEC).expect("compact");
+            }
+        }
+        let count = store
+            .history(&HistoryQuery::new(series.clone(), "v", 0, u64::MAX, HistoryAgg::Count))
+            .expect("count");
+        prop_assert_eq!(count.count, total);
+        let summed = store
+            .history(&HistoryQuery::new(series, "v", 0, u64::MAX, HistoryAgg::Sum))
+            .expect("sum");
+        match summed.value {
+            AggValue::Value(v) => prop_assert_eq!(v, sum as f64),
+            AggValue::Empty => prop_assert_eq!(total, 0),
+            other => prop_assert!(false, "sum answered {:?}", other),
+        }
+    }
+}

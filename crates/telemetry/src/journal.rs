@@ -52,6 +52,12 @@ pub enum EventKind {
     /// A lower-priority query was evicted to free capacity for a
     /// higher-priority submission.
     QueryEvicted,
+    /// A standing (continuous) query evaluated one window and
+    /// materialized its aggregate into the store.
+    StandingFired,
+    /// A standing query fell too far behind and skipped windows to
+    /// catch up.
+    StandingLagged,
 }
 
 impl EventKind {
@@ -68,6 +74,8 @@ impl EventKind {
             EventKind::RollupFolded => "rollup_folded",
             EventKind::AdmissionRejected => "admission_rejected",
             EventKind::QueryEvicted => "query_evicted",
+            EventKind::StandingFired => "standing_fired",
+            EventKind::StandingLagged => "standing_lagged",
         }
     }
 }

@@ -306,6 +306,152 @@ fn frontend_over_quota_tenant_gets_typed_429() {
     );
 }
 
+/// The analytics read surface: `mode=aggregate` answers through the
+/// history engine (plan attached), `mode=rollup` serves bucketed
+/// summaries, and every malformed spelling — unknown mode, missing
+/// field, sub-native bucket — is a typed 400, not a 500 or a guess.
+#[test]
+fn frontend_results_aggregate_and_rollup_modes() {
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let builder = Orchestrator::builder(4).result_store(store);
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    let (status, descriptor) = request(addr, "POST", "/queries", &[], QUERY);
+    assert!(status.contains("201"), "{status}: {descriptor}");
+    let cookie = extract_cookie(&descriptor);
+
+    // Wait until the sink has committed something to aggregate over.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, history) = get(addr, &format!("/queries/{cookie}/results"));
+        if !history.contains("\"count\":0,") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "results never committed: {history}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Aggregate: summed counts over the whole retained range, with the
+    // execution plan in the envelope.
+    let (status, body) = get(
+        addr,
+        &format!("/queries/{cookie}/results?mode=aggregate&field=count&agg=sum"),
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("\"mode\":\"aggregate\""), "{body}");
+    assert!(body.contains("\"agg\":\"sum\""), "{body}");
+    assert!(body.contains("\"plan\":{\"pushdown\":"), "{body}");
+
+    // Rollup: bucketed summaries at the native width.
+    let (status, body) = get(
+        addr,
+        &format!("/queries/{cookie}/results?mode=rollup&field=count"),
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("\"mode\":\"rollup\""), "{body}");
+    assert!(body.contains("\"buckets\":["), "{body}");
+    assert!(body.contains("\"bucket_start\":"), "{body}");
+
+    // Typed 400s: unknown mode names every accepted spelling...
+    let (status, body) = get(addr, &format!("/queries/{cookie}/results?mode=medians"));
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+    assert!(
+        body.contains("history|latest|range|rollup|aggregate"),
+        "{body}"
+    );
+    // ...rollup without a field is refused up front...
+    let (status, body) = get(addr, &format!("/queries/{cookie}/results?mode=rollup"));
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("requires field="), "{body}");
+    // ...a bucket below the native width surfaces the store's typed
+    // refusal as a 400...
+    let (status, body) = get(
+        addr,
+        &format!("/queries/{cookie}/results?mode=rollup&field=count&bucket_ms=1"),
+    );
+    assert!(status.contains("400"), "{status}: {body}");
+    // ...and an unknown aggregate too.
+    let (status, body) = get(
+        addr,
+        &format!("/queries/{cookie}/results?mode=aggregate&field=count&agg=mode"),
+    );
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("agg must be"), "{body}");
+}
+
+/// A standing query over the wire: `POST /queries?standing_every_ms=`
+/// registers the continuous schedule, `standing_fired` events show up
+/// on `/events`, and the materialized windows read back through the
+/// ordinary `mode=range` results route under the derived series.
+#[test]
+fn frontend_standing_query_materializes_over_http() {
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let builder = Orchestrator::builder(4).result_store(store);
+    let frontend = QueryFrontend::spawn("127.0.0.1:0", builder, deploy_web).expect("spawn");
+    let addr = frontend.local_addr();
+
+    // Malformed standing parameters are typed 400s before submission.
+    let (status, body) = request(addr, "POST", "/queries?standing_every_ms=0", &[], QUERY);
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("standing_every_ms"), "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/queries?standing_every_ms=100&standing_agg=bogus",
+        &[],
+        QUERY,
+    );
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("standing_agg"), "{body}");
+    let (status, body) = request(addr, "POST", "/queries?standing_agg=sum", &[], QUERY);
+    assert!(status.contains("400"), "{status}: {body}");
+    assert!(body.contains("requires standing_every_ms"), "{body}");
+
+    // A well-formed standing submit is a plain 201 descriptor.
+    let (status, descriptor) = request(
+        addr,
+        "POST",
+        "/queries?standing_every_ms=100&standing_agg=sum&standing_field=count",
+        &[],
+        QUERY,
+    );
+    assert!(status.contains("201"), "{status}: {descriptor}");
+    let cookie = extract_cookie(&descriptor);
+
+    // The reconciler fires windows as virtual time advances; no
+    // subscriber is ever attached.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, events) = get(addr, &format!("/events?cookie={cookie}"));
+        if events.matches("standing_fired").count() >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "standing windows never fired: {events}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The materialized aggregates are ordinary range reads on the
+    // derived series.
+    let (status, body) = get(
+        addr,
+        &format!(
+            "/queries/{cookie}/results?mode=range&group=standing:sum:count&from=0&to={}",
+            u64::MAX
+        ),
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("\"window_end\":"), "{body}");
+    assert!(body.contains("\"agg\":\"sum\""), "{body}");
+}
+
 /// Priority eviction over the wire: bulk (priority 10) fills the
 /// fabric until a submit hits 503 `no_free_host`; then ops
 /// (priority 200) submits, a bulk query is evicted to make room, and

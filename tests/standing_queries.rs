@@ -1,0 +1,205 @@
+//! Standing (continuous) queries end-to-end: the reconcile pass closes
+//! windows, aggregates the query's persisted output via the history
+//! engine, and materializes one tuple per window back into the store —
+//! with no live subscriber, and resuming across failovers.
+
+use std::sync::Arc;
+
+use netalytics::{
+    EventKind, HistoryAgg, HistoryQuery, Orchestrator, StandingConfig, TimeSeriesStore,
+};
+use netalytics_apps::{sample_sink, ClientApp, Conversation, StaticHttpBehavior, TierApp};
+use netalytics_data::DataTuple;
+use netalytics_netsim::{FailureScript, SimDuration, SimTime};
+use netalytics_packet::http;
+
+/// top-k with a short window releases rankings throughout the run, so
+/// the store sees a steady stream for the standing windows to fold.
+const RANK_QUERY: &str = "PARSE http_get FROM * TO web:80 LIMIT 1s SAMPLE * \
+                          PROCESS (top-k: k=5, w=50ms, key=url)";
+
+const WINDOW_NS: u64 = 100_000_000;
+
+/// Web tier on host 1, a client on host 0 driving one conversation
+/// every 10 ms of virtual time.
+fn deploy_web(orch: &mut Orchestrator, conversations: u64) {
+    orch.name_host("web", 1);
+    let web_ip = orch.host_ip(1);
+    orch.deploy_app(
+        1,
+        Box::new(TierApp::new(80, Box::new(StaticHttpBehavior::new(1.0, 3)))),
+    );
+    let schedule = (0..conversations)
+        .map(|i| {
+            (
+                SimTime::from_nanos(i * 10_000_000),
+                Conversation {
+                    dst: (web_ip, 80),
+                    requests: vec![http::build_get("/r", "web")],
+                    tag: "c".into(),
+                },
+            )
+        })
+        .collect();
+    orch.deploy_app(0, Box::new(ClientApp::new(schedule, sample_sink())));
+}
+
+fn window_end(t: &DataTuple) -> u64 {
+    t.get("window_end")
+        .and_then(|v| v.as_u64())
+        .expect("materialized tuple carries window_end")
+}
+
+/// The headline acceptance scenario: a standing query materializes its
+/// window aggregates into the store with nothing subscribed — the
+/// derived series is written on the reconciler's watermark, not on a
+/// reader's pull.
+#[test]
+fn standing_query_materializes_windows_without_subscriber() {
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let mut orch = Orchestrator::builder(4)
+        .result_store(Arc::clone(&store))
+        .build();
+    deploy_web(&mut orch, 60);
+    let cfg = StandingConfig::new(SimDuration::from_nanos(WINDOW_NS));
+    let q = orch
+        .submit_standing(RANK_QUERY, cfg)
+        .expect("submit standing");
+    let cookie = q.cookie();
+    let derived = orch.standing_series(cookie).expect("standing registered");
+    assert!(derived.group.starts_with("standing:sum:count"));
+
+    // Run the query out under the reconciler. Nothing ever subscribes.
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
+        .expect("reconciling run");
+
+    let fired = orch
+        .journal()
+        .query(Some(cookie), None)
+        .iter()
+        .filter(|e| e.kind == EventKind::StandingFired)
+        .count();
+    assert!(fired >= 5, "windows fired throughout the run, got {fired}");
+
+    // The derived series holds exactly one tuple per fired window, and
+    // the history engine can read it back like any other series.
+    let ans = store
+        .history(&HistoryQuery::new(
+            derived.clone(),
+            "count",
+            0,
+            u64::MAX,
+            HistoryAgg::Count,
+        ))
+        .expect("history over derived series");
+    assert_eq!(ans.count as usize, fired);
+
+    // Cadence is gap-free (empty windows materialize too) and at least
+    // one mid-run window aggregated real traffic.
+    let rows: Vec<DataTuple> = q
+        .history()
+        .expect("store attached")
+        .tuples
+        .into_iter()
+        .filter(|t| t.source == "standing")
+        .collect();
+    assert_eq!(rows.len(), fired);
+    for (i, t) in rows.iter().enumerate() {
+        assert_eq!(window_end(t), (i as u64 + 1) * WINDOW_NS);
+    }
+    assert!(
+        rows.iter()
+            .any(|t| t.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0),
+        "some window aggregated nonzero traffic"
+    );
+
+    let snap = orch.telemetry_report();
+    assert_eq!(snap.counter_total("standing.fired"), fired as u64);
+    assert_eq!(snap.counter_total("standing.registered"), 1);
+}
+
+/// A monitor host dies mid-run: the reconciler fails the query over and
+/// the standing schedule resumes from its watermark — the journal shows
+/// `standing_fired` events after the failover, and the derived series
+/// stays exactly-once and gap-free across the incident.
+#[test]
+fn fault_standing_query_survives_monitor_failover_and_resumes() {
+    let hb = SimDuration::from_millis(10);
+    let store = Arc::new(TimeSeriesStore::in_memory());
+    let mut orch = Orchestrator::builder(4)
+        .heartbeat_interval(hb)
+        .result_store(Arc::clone(&store))
+        .build();
+    deploy_web(&mut orch, 60);
+    let cfg = StandingConfig::new(SimDuration::from_nanos(WINDOW_NS));
+    let q = orch
+        .submit_standing(RANK_QUERY, cfg)
+        .expect("submit standing");
+    let cookie = q.cookie();
+    let victim = q.monitor_hosts()[0];
+    let fail_at = SimTime::from_nanos(450_000_000);
+    orch.engine_mut()
+        .apply_script(&FailureScript::new().fail_host(fail_at, victim));
+
+    orch.run_reconciling(&q, fail_at).expect("pre-fault run");
+    let fired_before = orch
+        .journal()
+        .query(Some(cookie), None)
+        .iter()
+        .filter(|e| e.kind == EventKind::StandingFired)
+        .count();
+    assert!(fired_before >= 2, "windows fired before the fault");
+
+    orch.await_recovery(&q, SimDuration::from_millis(200))
+        .expect("recovered");
+    assert!(q.replacements() >= 1, "a replacement happened");
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
+        .expect("post-fault run");
+
+    // The journal shows the failover, then standing_fired resuming.
+    let events = orch.journal().query(Some(cookie), None);
+    let failover = events
+        .iter()
+        .position(|e| e.kind == EventKind::Failover)
+        .expect("failover journaled");
+    assert!(
+        events[failover..]
+            .iter()
+            .any(|e| e.kind == EventKind::StandingFired),
+        "standing_fired resumes after the failover"
+    );
+
+    // Exactly-once across the incident: one tuple per window, no gap,
+    // no duplicate, in schedule order.
+    let ends: Vec<u64> = q
+        .history()
+        .expect("store attached")
+        .tuples
+        .iter()
+        .filter(|t| t.source == "standing")
+        .map(window_end)
+        .collect();
+    assert!(ends.len() > fired_before, "windows kept firing post-fault");
+    let expected: Vec<u64> = (1..=ends.len() as u64).map(|i| i * WINDOW_NS).collect();
+    assert_eq!(
+        ends, expected,
+        "every window materialized exactly once across the failover"
+    );
+}
+
+/// Without a results store there is nothing to materialize into: the
+/// submission is refused up front with a typed error.
+#[test]
+fn standing_query_without_store_is_refused() {
+    let mut orch = Orchestrator::builder(4).build();
+    deploy_web(&mut orch, 10);
+    let err = orch
+        .submit_standing(
+            RANK_QUERY,
+            StandingConfig::new(SimDuration::from_millis(100)),
+        )
+        .expect_err("no store, no standing query");
+    assert!(matches!(err, netalytics::OrchestratorError::NoResultStore));
+}
