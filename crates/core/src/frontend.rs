@@ -42,7 +42,7 @@ use std::time::Duration;
 use netalytics_data::{DataTuple, Value};
 use netalytics_netsim::SimDuration;
 use netalytics_store::{
-    AggValue, HistoryAgg, HistoryAnswer, HistoryQuery, RollupPoint, SeriesKey, TimeSeriesStore,
+    AggValue, HistoryAgg, HistoryAnswer, HistoryQuery, ResultBackend, RollupPoint, SeriesKey,
 };
 use netalytics_stream::SubscriptionHub;
 use netalytics_telemetry::{
@@ -152,7 +152,7 @@ impl Default for FrontendConfig {
     }
 }
 
-enum Command {
+pub(crate) enum Command {
     Submit {
         tenant: String,
         query: String,
@@ -171,17 +171,17 @@ enum Command {
 
 /// State the HTTP handlers read without involving the orchestrator
 /// thread.
-struct FrontendShared {
-    directory: Arc<QueryDirectory>,
-    store: Option<Arc<TimeSeriesStore>>,
-    metrics: Arc<MetricsRegistry>,
+pub(crate) struct FrontendShared {
+    pub(crate) directory: Arc<QueryDirectory>,
+    pub(crate) store: Option<Arc<dyn ResultBackend>>,
+    pub(crate) metrics: Arc<MetricsRegistry>,
     /// Live subscription hubs by cookie. Entries persist after kill
     /// (closed hubs yield immediately-ended streams), bounded by the
     /// number of queries ever submitted in the frontend's lifetime.
-    hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>>,
+    pub(crate) hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>>,
     /// Command mailbox to the orchestrator thread. `Sender` is not
     /// `Sync`, so handlers clone it under this lock. (cold path)
-    tx: Mutex<Sender<Command>>,
+    pub(crate) tx: Mutex<Sender<Command>>,
 }
 
 impl FrontendShared {
@@ -192,9 +192,9 @@ impl FrontendShared {
 
 /// How long an HTTP handler waits for the orchestrator thread to act
 /// on a command before reporting the frontend stalled.
-const COMMAND_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const COMMAND_TIMEOUT: Duration = Duration::from_secs(10);
 
-fn frontend_stalled() -> ApiError {
+pub(crate) fn frontend_stalled() -> ApiError {
     ApiError::new(503, "frontend_stalled", "orchestrator thread unresponsive")
 }
 
@@ -257,7 +257,7 @@ impl QueryFrontend {
     ) -> io::Result<QueryFrontend> {
         let (tx, rx) = mpsc::channel::<Command>();
         let (ready_tx, ready_rx) =
-            mpsc::sync_channel::<(Introspection, Option<Arc<TimeSeriesStore>>)>(1);
+            mpsc::sync_channel::<(Introspection, Option<Arc<dyn ResultBackend>>)>(1);
         let hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let thread_hubs = Arc::clone(&hubs);
@@ -373,7 +373,7 @@ fn orchestrator_loop(
     setup: Box<dyn FnOnce(&mut Orchestrator) + Send>,
     config: FrontendConfig,
     rx: Receiver<Command>,
-    ready_tx: SyncSender<(Introspection, Option<Arc<TimeSeriesStore>>)>,
+    ready_tx: SyncSender<(Introspection, Option<Arc<dyn ResultBackend>>)>,
     hubs: Arc<Mutex<HashMap<u64, Arc<SubscriptionHub>>>>,
 ) {
     let mut orch = builder.build();
@@ -471,7 +471,7 @@ fn idle_tick(
     }
 }
 
-fn kill_summary_json(cookie: u64, report: &crate::orchestrator::QueryReport) -> String {
+pub(crate) fn kill_summary_json(cookie: u64, report: &crate::orchestrator::QueryReport) -> String {
     let mut s = format!("{{\"cookie\":{cookie},\"state\":\"killed\",\"results\":[");
     for (i, (name, set)) in report.results.iter().enumerate() {
         if i > 0 {
@@ -507,7 +507,10 @@ fn tuples_payload(cookie: u64, mode: &str, tuples: &[DataTuple]) -> String {
 
 /// The full frontend router: introspection routes plus the query
 /// lifecycle.
-fn frontend_router(shared: &Arc<FrontendShared>, introspection: &Introspection) -> Router {
+pub(crate) fn frontend_router(
+    shared: &Arc<FrontendShared>,
+    introspection: &Introspection,
+) -> Router {
     let mut router = introspection_router(introspection);
 
     // Submit: body is the SQL-ish query text; tenant comes from the

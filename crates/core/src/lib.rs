@@ -50,6 +50,7 @@
 //! ```
 
 pub mod admission;
+pub mod cluster;
 pub mod frontend;
 pub mod nfv;
 pub mod orchestrator;
@@ -58,6 +59,7 @@ pub mod results;
 pub use admission::{
     AdmissionController, AdmissionError, ResourceDemand, Tenant, TenantQuota, DEFAULT_TENANT,
 };
+pub use cluster::{Cluster, ClusterConfig, ClusterFrontend, PodKillReport, TickReport};
 pub use frontend::{tuple_json, FrontendConfig, QueryFrontend};
 pub use nfv::{
     shared_executor, shared_executor_with, AggregatorApp, AggregatorHandle, AggregatorShared,
@@ -73,8 +75,8 @@ pub use results::ResultSet;
 pub use netalytics_stream::{Subscription, SubscriptionHub};
 // Storage-layer surface used by the orchestrator's result-store API.
 pub use netalytics_store::{
-    AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryAnswer, HistoryQuery, SeriesKey,
-    StoreConfig, TimeSeriesStore,
+    AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryAnswer, HistoryQuery, ResultBackend,
+    SeriesKey, ShardedConfig, ShardedStats, ShardedStore, StoreConfig, TimeSeriesStore,
 };
 // Introspection surface: the tracer, flight recorder, query directory
 // and HTTP endpoint the orchestrator bundles via `Orchestrator::serve`.

@@ -26,7 +26,7 @@ use netalytics_netsim::{App, Engine, HostIdx, LinkSpec, Network, SimDuration, Si
 use netalytics_query::{compile, parse, CompileError, Deployment, Limit, ParseQueryError};
 use netalytics_sdn::{FlowMatch, FlowRule, InstallMode, SdnController};
 use netalytics_sketch::PreAggSpec;
-use netalytics_store::{AggValue, HistoryAgg, HistoryQuery, SeriesKey, StoreSink, TimeSeriesStore};
+use netalytics_store::{AggValue, HistoryAgg, HistoryQuery, ResultBackend, SeriesKey, StoreSink};
 use netalytics_stream::{
     topologies, ExecutorMode, ProcessorSpec, Subscription, SubscriptionHub, SubscriptionSink,
 };
@@ -179,11 +179,15 @@ pub struct OrchestratorBuilder {
     executor_mode: ExecutorMode,
     heartbeat_interval: SimDuration,
     policy: FailurePolicy,
-    result_store: Option<Arc<TimeSeriesStore>>,
+    result_store: Option<Arc<dyn ResultBackend>>,
     monitor_preagg: bool,
     trace: Option<TraceConfig>,
     journal_capacity: usize,
     tenants: Vec<Tenant>,
+    pod_range: Option<(u32, u32)>,
+    cookie_base: u64,
+    directory: Option<Arc<QueryDirectory>>,
+    shared_journal: Option<Arc<Journal>>,
 }
 
 impl OrchestratorBuilder {
@@ -200,6 +204,10 @@ impl OrchestratorBuilder {
             trace: None,
             journal_capacity: 1024,
             tenants: Vec::new(),
+            pod_range: None,
+            cookie_base: 0,
+            directory: None,
+            shared_journal: None,
         }
     }
 
@@ -245,8 +253,50 @@ impl OrchestratorBuilder {
     /// `reconcile()` re-placements and — when opened on a directory —
     /// orchestrator restarts. Its `store.*` stats register into the
     /// root metrics registry at `build()`.
-    pub fn result_store(mut self, store: Arc<TimeSeriesStore>) -> Self {
+    pub fn result_store<S: ResultBackend + 'static>(mut self, store: Arc<S>) -> Self {
         self.result_store = Some(store);
+        self
+    }
+
+    /// Like [`OrchestratorBuilder::result_store`], for a backend that is
+    /// already type-erased (e.g. shared with a cluster coordinator).
+    pub fn result_backend(mut self, store: Arc<dyn ResultBackend>) -> Self {
+        self.result_store = Some(store);
+        self
+    }
+
+    /// Restricts this orchestrator to pods `lo..=hi` of the fat-tree.
+    /// Placement, failover and `reconcile()` only ever touch hosts in
+    /// that range — the scale-out cluster gives each shard a disjoint
+    /// pod range so shards never contend for the same hosts. Out of
+    /// range values are clamped at deploy time by host availability
+    /// (a host outside the range is simply never available).
+    pub fn pod_range(mut self, lo: u32, hi: u32) -> Self {
+        self.pod_range = Some((lo.min(hi), hi.max(lo)));
+        self
+    }
+
+    /// Offsets this orchestrator's cookie sequence (first cookie is
+    /// `base + 1`). Cluster shards use disjoint bases so cookies stay
+    /// globally unique and encode their owning shard.
+    pub fn cookie_base(mut self, base: u64) -> Self {
+        self.cookie_base = base;
+        self
+    }
+
+    /// Shares an externally owned query directory instead of creating a
+    /// private one — cluster shards all publish into the coordinator's
+    /// directory so `GET /queries` sees every shard's queries.
+    pub fn directory(mut self, directory: Arc<QueryDirectory>) -> Self {
+        self.directory = Some(directory);
+        self
+    }
+
+    /// Shares an externally owned flight recorder instead of creating a
+    /// private one, merging this orchestrator's control-plane events
+    /// into the caller's journal (cluster shards share one).
+    pub fn journal(mut self, journal: Arc<Journal>) -> Self {
+        self.shared_journal = Some(journal);
         self
     }
 
@@ -296,7 +346,9 @@ impl OrchestratorBuilder {
         // new packets or proactively pushed").
         engine.set_controller(SdnController::new(), true);
         let metrics = Arc::new(MetricsRegistry::new());
-        let journal = Arc::new(Journal::new(self.journal_capacity));
+        let journal = self
+            .shared_journal
+            .unwrap_or_else(|| Arc::new(Journal::new(self.journal_capacity)));
         if let Some(store) = &self.result_store {
             store.register_metrics(&metrics);
             store.attach_journal(Arc::clone(&journal));
@@ -314,7 +366,8 @@ impl OrchestratorBuilder {
             engine,
             hostnames: HashMap::new(),
             used_hosts: BTreeSet::new(),
-            next_cookie: 1,
+            next_cookie: self.cookie_base + 1,
+            pod_range: self.pod_range,
             install_mode: self.install_mode,
             executor_mode: self.executor_mode,
             heartbeat_interval: self.heartbeat_interval,
@@ -325,7 +378,9 @@ impl OrchestratorBuilder {
             tracer,
             tracing_enabled,
             journal,
-            queries: Arc::new(QueryDirectory::new()),
+            queries: self
+                .directory
+                .unwrap_or_else(|| Arc::new(QueryDirectory::new())),
             admission,
             registry: HashMap::new(),
             standing: BTreeMap::new(),
@@ -436,7 +491,7 @@ pub struct QueryHandle {
     cookie: u64,
     inner: Rc<RefCell<RunningQuery>>,
     directory: Arc<QueryDirectory>,
-    store: Option<Arc<TimeSeriesStore>>,
+    store: Option<Arc<dyn ResultBackend>>,
     hub: Arc<SubscriptionHub>,
 }
 
@@ -655,6 +710,8 @@ struct StandingState {
     next_window_end: u64,
     /// Windows materialized so far; doubles as the derived tuple id.
     windows_fired: u64,
+    /// Overdue windows skipped by catch-up clamping, cumulative.
+    windows_lagged: u64,
 }
 
 pub struct Orchestrator {
@@ -662,6 +719,9 @@ pub struct Orchestrator {
     hostnames: HashMap<String, Ipv4Addr>,
     used_hosts: BTreeSet<HostIdx>,
     next_cookie: u64,
+    /// When set, placement and failover only consider hosts whose edge
+    /// switch lives in pods `lo..=hi` (cluster shard ownership).
+    pod_range: Option<(u32, u32)>,
     install_mode: InstallMode,
     executor_mode: ExecutorMode,
     heartbeat_interval: SimDuration,
@@ -670,7 +730,7 @@ pub struct Orchestrator {
     /// deploys (monitors, aggregators, executors) publishes here.
     metrics: Arc<MetricsRegistry>,
     /// Optional durable results store shared by every query's sink.
-    result_store: Option<Arc<TimeSeriesStore>>,
+    result_store: Option<Arc<dyn ResultBackend>>,
     /// Whether sketch queries push pre-aggregation into their monitors.
     monitor_preagg: bool,
     /// Query-scoped tracer. Always present so the introspection bundle
@@ -760,7 +820,7 @@ impl Orchestrator {
 
     /// The attached durable results store, if one was configured via
     /// [`OrchestratorBuilder::result_store`].
-    pub fn result_store(&self) -> Option<&Arc<TimeSeriesStore>> {
+    pub fn result_store(&self) -> Option<&Arc<dyn ResultBackend>> {
         self.result_store.as_ref()
     }
 
@@ -868,8 +928,24 @@ impl Orchestrator {
         out
     }
 
+    /// Whether this orchestrator owns `pod` (always true without a
+    /// configured pod range).
+    pub fn owns_pod(&self, pod: u32) -> bool {
+        self.pod_range
+            .is_none_or(|(lo, hi)| (lo..=hi).contains(&pod))
+    }
+
+    /// The pod range this orchestrator is restricted to, if any.
+    pub fn pod_range(&self) -> Option<(u32, u32)> {
+        self.pod_range
+    }
+
     fn host_available(&self, h: HostIdx) -> bool {
-        !self.used_hosts.contains(&h) && self.engine.host_is_up(h)
+        if self.used_hosts.contains(&h) || !self.engine.host_is_up(h) {
+            return false;
+        }
+        let tree = self.engine.network().tree();
+        self.owns_pod(tree.pod_of_edge(tree.edge_of_host(h)))
     }
 
     fn free_host_under(&self, edge: u32) -> Option<HostIdx> {
@@ -1062,7 +1138,7 @@ impl Orchestrator {
                     .or_else(|| spec.arg("key"))
                     .map(str::to_string);
                 topo = topo.with_sink("store-sink", move || {
-                    Box::new(StoreSink::new(store.clone(), cookie, group_field.clone()))
+                    Box::new(StoreSink::over(store.clone(), cookie, group_field.clone()))
                 });
             }
             let sub_hub = Arc::clone(&hub);
@@ -1222,7 +1298,7 @@ impl Orchestrator {
     /// [`Orchestrator::submit_as`] plus a continuous evaluation
     /// schedule: each time `cfg.every` of virtual time elapses, the
     /// reconcile pass aggregates the query's persisted output over the
-    /// just-closed window ([`TimeSeriesStore::history`], so closed
+    /// just-closed window ([`netalytics_store::TimeSeriesStore::history`], so closed
     /// windows are served from rollups/sketches, not raw replay) and
     /// materializes one result tuple back into the store under the
     /// derived series `standing:<agg>:<field>[:<group>]`. Each firing
@@ -1260,8 +1336,11 @@ impl Orchestrator {
                 cfg,
                 next_window_end,
                 windows_fired: 0,
+                windows_lagged: 0,
             },
         );
+        self.queries
+            .standing_progress(cookie, next_window_end, 0, 0);
         self.metrics.counter("standing.registered", &[]).inc();
         Ok(handle)
     }
@@ -1283,6 +1362,7 @@ impl Orchestrator {
         };
         let journal = Arc::clone(&self.journal);
         let metrics = Arc::clone(&self.metrics);
+        let queries = Arc::clone(&self.queries);
         let now = self.engine.now().as_nanos();
         for (&cookie, st) in self.standing.iter_mut() {
             let every = st.cfg.every.as_nanos();
@@ -1293,6 +1373,7 @@ impl Orchestrator {
             if pending > STANDING_MAX_CATCHUP {
                 let skipped = pending - STANDING_MAX_CATCHUP;
                 st.next_window_end += skipped * every;
+                st.windows_lagged += skipped;
                 journal.record(
                     now,
                     Some(cookie),
@@ -1363,6 +1444,12 @@ impl Orchestrator {
                 metrics.counter("standing.fired", &[]).inc();
                 metrics.counter("standing.materialized", &[]).inc();
             }
+            queries.standing_progress(
+                cookie,
+                st.next_window_end,
+                st.windows_fired,
+                st.windows_lagged,
+            );
         }
     }
 
@@ -1891,6 +1978,8 @@ impl Orchestrator {
 
 #[cfg(test)]
 mod tests {
+    use netalytics_store::TimeSeriesStore;
+
     use super::*;
 
     #[test]

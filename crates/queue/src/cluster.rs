@@ -178,6 +178,13 @@ pub struct QueueCluster {
     /// Per-broker liveness, toggled by [`QueueCluster::fail_broker`] /
     /// [`QueueCluster::restore_broker`].
     broker_up: Vec<AtomicBool>,
+    /// Leadership overrides from [`QueueCluster::maybe_rebalance`]:
+    /// topic name → per-partition preferred broker, superseding the
+    /// static hash assignment. Leadership-only — all replicas share one
+    /// backing log, so a move never copies data or disturbs offsets.
+    assignments: RwLock<HashMap<String, Vec<Option<usize>>>>,
+    /// Partition leaderships moved by the rebalancer.
+    rebalance_moves: AtomicU64,
     /// Messages rejected because their partition had no live leader.
     failure_drops: AtomicU64,
     /// Shed-burst journaling state; touched only on scrape/attach.
@@ -199,6 +206,8 @@ impl QueueCluster {
             registry: RwLock::new(Registry::default()),
             cursors: Mutex::new(HashMap::new()),
             broker_up: (0..config.brokers).map(|_| AtomicBool::new(true)).collect(),
+            assignments: RwLock::new(HashMap::new()),
+            rebalance_moves: AtomicU64::new(0),
             failure_drops: AtomicU64::new(0),
             shed: Mutex::new(ShedJournal::default()),
         }
@@ -373,10 +382,24 @@ impl QueueCluster {
         Arc::clone(&self.registry.read().topics[id.0]) // per-batch lock
     }
 
-    /// The broker that owns `partition` of `topic` (stable assignment).
-    /// With replication this is the *preferred* leader; the acting leader
-    /// is [`QueueCluster::leader_of`].
+    /// The broker that owns `partition` of `topic`: the rebalancer's
+    /// override when one exists, else the stable hash assignment. With
+    /// replication this is the *preferred* leader; the acting leader is
+    /// [`QueueCluster::leader_of`].
     pub fn broker_of(&self, topic: &str, partition: usize) -> usize {
+        if let Some(b) = self
+            .assignments
+            .read() // per-batch lock
+            .get(topic)
+            .and_then(|v| v.get(partition).copied().flatten())
+        {
+            return b;
+        }
+        self.static_broker_of(topic, partition)
+    }
+
+    /// The hash-derived assignment, ignoring rebalancer overrides.
+    fn static_broker_of(&self, topic: &str, partition: usize) -> usize {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in topic.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
@@ -431,6 +454,81 @@ impl QueueCluster {
             .iter()
             .filter(|b| b.load(Ordering::Relaxed))
             .count()
+    }
+
+    /// How many partition leaderships [`QueueCluster::maybe_rebalance`]
+    /// has moved over this cluster's lifetime.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalance_moves.load(Ordering::Relaxed)
+    }
+
+    /// One load-balancing pass: when the most loaded live broker holds
+    /// more than twice the mean per-broker depth, the heaviest
+    /// partition it leads moves to the least loaded live broker.
+    /// Returns the number of leaderships moved (0 or 1).
+    ///
+    /// Moves are leadership-only — replicas share one backing log in
+    /// this in-process reproduction, so retained messages and consumer
+    /// offsets survive the switch exactly as they do broker failover.
+    /// Call from the same scrape/reconcile loop that polls
+    /// [`QueueCluster::pressure_of`]; each move increments the
+    /// `queue.rebalances` counter and journals a `Failover` event.
+    pub fn maybe_rebalance(&self) -> usize {
+        if self.alive_brokers() < 2 {
+            return 0;
+        }
+        let topics: Vec<Arc<Topic>> = self.registry.read().topics.to_vec(); // cold path
+        let nbrokers = self.config.brokers;
+        let mut load = vec![0u64; nbrokers];
+        // (topic index, partition, depth) per leading broker.
+        let mut led: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); nbrokers];
+        for (ti, t) in topics.iter().enumerate() {
+            for (p, part) in t.partitions.iter().enumerate() {
+                let depth = part.lock().len() as u64; // cold path
+                let Some(leader) = self.leader_of(&t.name, p) else {
+                    continue;
+                };
+                load[leader] += depth;
+                led[leader].push((ti, p, depth));
+            }
+        }
+        let live: Vec<usize> = (0..nbrokers).filter(|&b| self.broker_is_up(b)).collect();
+        let mean = live.iter().map(|&b| load[b]).sum::<u64>() / live.len() as u64;
+        let &hot = live.iter().max_by_key(|&&b| load[b]).expect("live checked");
+        if mean == 0 || load[hot] <= mean.saturating_mul(2) {
+            return 0;
+        }
+        let Some(&(ti, p, depth)) = led[hot].iter().max_by_key(|&&(_, _, d)| d) else {
+            return 0;
+        };
+        let &cold = live.iter().min_by_key(|&&b| load[b]).expect("live checked");
+        // Only move when it strictly improves the imbalance — otherwise
+        // a single dominant partition would ping-pong between brokers
+        // on every pass.
+        if depth == 0 || cold == hot || load[cold] + depth >= load[hot] {
+            return 0;
+        }
+        let name = topics[ti].name.clone();
+        {
+            let mut asg = self.assignments.write(); // cold path
+            asg.entry(name.clone())
+                .or_insert_with(|| vec![None; self.config.partitions])[p] = Some(cold);
+        }
+        self.rebalance_moves.fetch_add(1, Ordering::Relaxed);
+        // cold path: once per rebalance move
+        if let Some(metrics) = self.registry.read().metrics.clone() {
+            metrics.counter("queue.rebalances", &[]).inc();
+        }
+        // cold path: once per rebalance move
+        if let Some(journal) = self.shed.lock().journal.clone() {
+            journal.record(
+                wall_now_ns(),
+                None,
+                EventKind::Failover,
+                format!("rebalanced {name}/{p} leadership {hot} -> {cold} (depth {depth})"),
+            );
+        }
+        1
     }
 
     /// Messages rejected by the infallible produce paths because their
@@ -1140,6 +1238,96 @@ mod tests {
         q.restore_broker(leader);
         assert_eq!(q.consume_batch(g, t, 10, &mut out), 1);
         assert_eq!(&out[0].payload[..], b"before");
+    }
+
+    #[test]
+    fn rebalance_moves_heaviest_partition_off_the_hot_broker() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 3,
+            partitions: 4,
+            partition_capacity: 1024,
+            replication: 1,
+        });
+        let metrics = Arc::new(MetricsRegistry::new());
+        q.set_registry(Arc::clone(&metrics));
+        let journal = Arc::new(Journal::new(16));
+        q.attach_journal(Arc::clone(&journal));
+        let (g, t) = (q.group_id("g"), q.topic_id("t"));
+        // 4 partitions over 3 brokers: exactly one broker leads two of
+        // them (consecutive assignment wraps once).
+        let mut by_broker: HashMap<usize, Vec<usize>> = HashMap::new();
+        for p in 0..4 {
+            by_broker.entry(q.broker_of("t", p)).or_default().push(p);
+        }
+        let (&hot, parts) = by_broker.iter().find(|(_, v)| v.len() == 2).unwrap();
+        // Load only the hot broker's partitions (key k → partition k%4).
+        for &p in parts {
+            for i in 0..6u64 {
+                q.produce_to(t, p as u64, Bytes::from(vec![i as u8]), i);
+            }
+        }
+        assert_eq!(q.maybe_rebalance(), 1, "2x-mean skew triggers a move");
+        assert_eq!(q.rebalances(), 1);
+        let moved: Vec<usize> = parts
+            .iter()
+            .copied()
+            .filter(|&p| q.broker_of("t", p) != hot)
+            .collect();
+        assert_eq!(moved.len(), 1, "exactly one leadership moved off {hot}");
+        assert!(q.broker_is_up(q.broker_of("t", moved[0])));
+        // Leadership-only move: every retained message is still served.
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(g, t, 100, &mut out), 12);
+        // Now balanced (6 / 6 / 0): no further moves.
+        assert_eq!(q.maybe_rebalance(), 0);
+        assert_eq!(q.rebalances(), 1);
+        use netalytics_telemetry::MetricValue;
+        match metrics.snapshot().get("queue.rebalances", &[]) {
+            Some(MetricValue::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("queue.rebalances missing: {other:?}"),
+        }
+        let events = journal.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Failover);
+        assert!(
+            events[0].detail.contains("rebalanced"),
+            "{}",
+            events[0].detail
+        );
+    }
+
+    #[test]
+    fn rebalance_needs_two_live_brokers_and_real_improvement() {
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 2,
+            partitions: 2,
+            partition_capacity: 1024,
+            replication: 2,
+        });
+        let t = q.topic_id("t");
+        for i in 0..32u64 {
+            q.produce_to(t, 0, Bytes::from_static(b"m"), i);
+        }
+        q.fail_broker(1);
+        assert_eq!(q.maybe_rebalance(), 0, "one live broker: nowhere to go");
+        q.restore_broker(1);
+
+        // One dominant partition: moving it only moves the hotspot, so
+        // the improvement guard keeps leadership put.
+        let q = QueueCluster::new(QueueConfig {
+            brokers: 3,
+            partitions: 1,
+            partition_capacity: 1024,
+            replication: 1,
+        });
+        let t = q.topic_id("t");
+        for i in 0..32u64 {
+            q.produce_to(t, 0, Bytes::from_static(b"m"), i);
+        }
+        let before = q.broker_of("t", 0);
+        assert_eq!(q.maybe_rebalance(), 0);
+        assert_eq!(q.broker_of("t", 0), before);
+        assert_eq!(q.rebalances(), 0);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The result-store abstraction the control plane writes through.
+//!
+//! PR 10 ("scale-out control plane") splits the store into replicated
+//! shards, so the orchestrator, the [`crate::StoreSink`] and the HTTP
+//! frontend can no longer assume one concrete [`TimeSeriesStore`].
+//! [`ResultBackend`] is the object-safe surface they share: everything
+//! the single-node store already exposed — appends, the four read
+//! paths, retention compaction, and the sink/telemetry hooks — with
+//! the same semantics. [`TimeSeriesStore`] implements it by direct
+//! delegation; [`crate::ShardedStore`] implements it by routing each
+//! series to a replicated shard and fanning reads out.
+
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_telemetry::{Journal, MetricsRegistry};
+
+use crate::history::{HistoryAnswer, HistoryQuery};
+use crate::rollup::RollupPoint;
+use crate::store::{CompactionReport, SeriesKey, StoreError, StoreStats, TimeSeriesStore};
+
+/// Object-safe store interface: anything the orchestrator can commit
+/// query results into and read history back from.
+///
+/// Every method mirrors the [`TimeSeriesStore`] inherent method of the
+/// same name; see those for the full contracts. Implementations must
+/// be thread-safe — sinks append from executor threads while the
+/// control plane reads.
+pub trait ResultBackend: Send + Sync + std::fmt::Debug {
+    /// Commits a batch to a series; see [`TimeSeriesStore::append`].
+    fn append(&self, series: &SeriesKey, batch: &TupleBatch) -> Result<(), StoreError>;
+
+    /// Newest retained tuple of a series; see
+    /// [`TimeSeriesStore::latest`].
+    fn latest(&self, series: &SeriesKey) -> Option<DataTuple>;
+
+    /// All retained tuples of `series` in `[t0, t1]`; see
+    /// [`TimeSeriesStore::range`].
+    fn range(&self, series: &SeriesKey, t0: u64, t1: u64) -> Result<Vec<DataTuple>, StoreError>;
+
+    /// Downsampled view of one field; see [`TimeSeriesStore::rollup`].
+    fn rollup(
+        &self,
+        series: &SeriesKey,
+        field: &str,
+        t0: u64,
+        t1: u64,
+        bucket_ns: u64,
+    ) -> Result<Vec<RollupPoint>, StoreError>;
+
+    /// Aggregation-pushdown history evaluation; see
+    /// [`TimeSeriesStore::history`].
+    fn history(&self, q: &HistoryQuery) -> Result<HistoryAnswer, StoreError>;
+
+    /// Every retained tuple of a query across all its group series;
+    /// see [`TimeSeriesStore::query_history`].
+    fn query_history(&self, query_id: u64) -> Result<Vec<DataTuple>, StoreError>;
+
+    /// All series currently known; see [`TimeSeriesStore::series`].
+    fn series(&self) -> Vec<SeriesKey>;
+
+    /// Tiered retention pass; see [`TimeSeriesStore::compact`].
+    fn compact(&self, now_ns: u64) -> Result<CompactionReport, StoreError>;
+
+    /// The native rollup bucket width in nanoseconds.
+    fn native_bucket_ns(&self) -> u64;
+
+    /// Point-in-time counters (merged across shards when sharded).
+    fn stats(&self) -> StoreStats;
+
+    /// Whether writes survive process restart.
+    fn is_durable(&self) -> bool;
+
+    /// Attaches a flight recorder; see
+    /// [`TimeSeriesStore::attach_journal`].
+    fn attach_journal(&self, journal: Arc<Journal>);
+
+    /// Registers `store.*` metrics; see
+    /// [`TimeSeriesStore::register_metrics`].
+    fn register_metrics(&self, registry: &MetricsRegistry);
+
+    /// Sink hook: a buffered flush landed.
+    fn note_sink_flush(&self);
+
+    /// Sink hook: an append failed and the batch was dropped.
+    fn note_append_error(&self);
+
+    /// Sink hook: `n` malformed tuples were skipped.
+    fn note_sink_skipped(&self, n: u64);
+}
+
+impl ResultBackend for TimeSeriesStore {
+    fn append(&self, series: &SeriesKey, batch: &TupleBatch) -> Result<(), StoreError> {
+        TimeSeriesStore::append(self, series, batch)
+    }
+
+    fn latest(&self, series: &SeriesKey) -> Option<DataTuple> {
+        TimeSeriesStore::latest(self, series)
+    }
+
+    fn range(&self, series: &SeriesKey, t0: u64, t1: u64) -> Result<Vec<DataTuple>, StoreError> {
+        TimeSeriesStore::range(self, series, t0, t1)
+    }
+
+    fn rollup(
+        &self,
+        series: &SeriesKey,
+        field: &str,
+        t0: u64,
+        t1: u64,
+        bucket_ns: u64,
+    ) -> Result<Vec<RollupPoint>, StoreError> {
+        TimeSeriesStore::rollup(self, series, field, t0, t1, bucket_ns)
+    }
+
+    fn history(&self, q: &HistoryQuery) -> Result<HistoryAnswer, StoreError> {
+        TimeSeriesStore::history(self, q)
+    }
+
+    fn query_history(&self, query_id: u64) -> Result<Vec<DataTuple>, StoreError> {
+        TimeSeriesStore::query_history(self, query_id)
+    }
+
+    fn series(&self) -> Vec<SeriesKey> {
+        TimeSeriesStore::series(self)
+    }
+
+    fn compact(&self, now_ns: u64) -> Result<CompactionReport, StoreError> {
+        TimeSeriesStore::compact(self, now_ns)
+    }
+
+    fn native_bucket_ns(&self) -> u64 {
+        TimeSeriesStore::native_bucket_ns(self)
+    }
+
+    fn stats(&self) -> StoreStats {
+        TimeSeriesStore::stats(self)
+    }
+
+    fn is_durable(&self) -> bool {
+        TimeSeriesStore::is_durable(self)
+    }
+
+    fn attach_journal(&self, journal: Arc<Journal>) {
+        TimeSeriesStore::attach_journal(self, journal);
+    }
+
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        TimeSeriesStore::register_metrics(self, registry);
+    }
+
+    fn note_sink_flush(&self) {
+        TimeSeriesStore::note_sink_flush(self);
+    }
+
+    fn note_append_error(&self) {
+        TimeSeriesStore::note_append_error(self);
+    }
+
+    fn note_sink_skipped(&self, n: u64) {
+        TimeSeriesStore::note_sink_skipped(self, n);
+    }
+}

@@ -35,18 +35,22 @@
 //! assert_eq!(store.range(&series, 0, 1_500).unwrap().len(), 1);
 //! ```
 
+pub mod backend;
 pub mod frame;
 pub mod history;
 pub mod rollup;
 mod scan;
+pub mod sharded;
 pub mod sink;
 pub mod store;
 mod wire;
 
+pub use backend::ResultBackend;
 pub use history::{
     AggValue, FieldFilter, FilterOp, HistoryAgg, HistoryAnswer, HistoryPlan, HistoryQuery,
 };
 pub use rollup::RollupPoint;
+pub use sharded::{ShardedConfig, ShardedStats, ShardedStore};
 pub use sink::StoreSink;
 pub use store::{
     CompactionReport, SeriesKey, StoreConfig, StoreError, StoreStats, TimeSeriesStore,

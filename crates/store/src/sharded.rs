@@ -1,0 +1,837 @@
+//! A sharded, replicated result store: N shard directories, each a
+//! primary/follower pair of [`TimeSeriesStore`]s.
+//!
+//! The scale-out control plane (DESIGN.md §13) cannot lose result
+//! history or standing-query watermarks to a single store-node
+//! failure. [`ShardedStore`] routes each `(cookie, group)` series to a
+//! shard by FNV hash — the same stateless assignment the queue uses
+//! for partitions — and commits every append to **all live replicas**
+//! of that shard. Reads come from the shard's *leader*: the first
+//! replica that is up and has missed no writes. Election is stateless
+//! and deterministic, exactly like the queue's partition leadership,
+//! so every reader agrees without coordination.
+//!
+//! Failure semantics, in one breath:
+//!
+//! * An append succeeds iff at least one replica commits it, so a
+//!   committed batch survives the loss of any single store node.
+//! * A replica that is down while appends flow is marked **stale** and
+//!   excluded from leadership when it returns — it has a gap, and
+//!   serving it would un-commit history ([`ShardedStore::clear_stale`]
+//!   re-admits it after an out-of-band resync).
+//! * A replica whose directory is missing or unreadable at open is
+//!   **quarantined**: the open still succeeds and every other replica
+//!   and shard keeps serving. A shard with every replica quarantined
+//!   answers [`StoreError::ShardUnavailable`] for direct reads and is
+//!   skipped (not failed) by cross-shard fan-outs.
+//!
+//! Cross-shard reads ([`ShardedStore::query_history`],
+//! [`ShardedStore::series`], merged stats) fan out over shard leaders
+//! and merge — the per-shard answers are the same mergeable shapes
+//! (`Vec<DataTuple>` by timestamp, [`StoreStats`] sums) the single
+//! store already exposes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_telemetry::{Counter, Gauge, Journal, MetricsRegistry};
+use parking_lot::Mutex;
+
+use crate::backend::ResultBackend;
+use crate::history::{HistoryAnswer, HistoryQuery};
+use crate::rollup::RollupPoint;
+use crate::store::{
+    CompactionReport, SeriesKey, StoreConfig, StoreError, StoreStats, TimeSeriesStore,
+};
+
+/// Configuration of a [`ShardedStore`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards series hash across.
+    pub shards: usize,
+    /// Replicas per shard; every append is written to all live ones.
+    pub replication: usize,
+    /// Per-replica store tuning.
+    pub store: StoreConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            replication: 2,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// One replica of one shard.
+struct Replica {
+    /// `None` when the replica was quarantined at open.
+    store: Option<TimeSeriesStore>,
+    /// Chaos liveness, toggled by fail/restore.
+    up: AtomicBool,
+    /// The replica missed at least one append while down; it must not
+    /// lead until [`ShardedStore::clear_stale`] re-admits it.
+    stale: AtomicBool,
+    /// Why the replica was quarantined, when it was.
+    quarantine: Option<String>,
+}
+
+impl Replica {
+    fn live(&self) -> Option<&TimeSeriesStore> {
+        if self.up.load(Ordering::Relaxed) {
+            self.store.as_ref()
+        } else {
+            None
+        }
+    }
+
+    fn is_stale(&self) -> bool {
+        self.stale.load(Ordering::Relaxed)
+    }
+}
+
+struct Shard {
+    replicas: Vec<Replica>,
+}
+
+impl Shard {
+    /// Leader: first live non-stale replica; falls back to a live
+    /// stale one (better a gapped answer than none) — the caller
+    /// counts fallbacks.
+    fn leader(&self) -> Option<(usize, &TimeSeriesStore, bool)> {
+        for (i, r) in self.replicas.iter().enumerate() {
+            if let Some(s) = r.live() {
+                if !r.is_stale() {
+                    return Some((i, s, false));
+                }
+            }
+        }
+        for (i, r) in self.replicas.iter().enumerate() {
+            if let Some(s) = r.live() {
+                return Some((i, s, true));
+            }
+        }
+        None
+    }
+}
+
+/// Registered metric handles (shared get-or-create with the replica
+/// stores' `store.*` series, plus sharded-specific ones).
+struct ShardedMetrics {
+    appends: Arc<Counter>,
+    write_errors: Arc<Counter>,
+    fallback_reads: Arc<Counter>,
+    sink_flushes: Arc<Counter>,
+    sink_skipped: Arc<Counter>,
+    append_errors: Arc<Counter>,
+    quarantined: Arc<Gauge>,
+    down: Arc<Gauge>,
+    stale: Arc<Gauge>,
+}
+
+/// Point-in-time replication counters, alongside the merged
+/// [`StoreStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Configured replicas per shard.
+    pub replication: usize,
+    /// Replicas quarantined at open (unreadable/missing directories).
+    pub quarantined: usize,
+    /// Replicas currently marked down.
+    pub down: usize,
+    /// Replicas excluded from leadership because they missed writes.
+    pub stale: usize,
+    /// Batches accepted (committed to >= 1 replica).
+    pub appends: u64,
+    /// Per-replica write failures absorbed by replication.
+    pub write_errors: u64,
+    /// Reads served by a stale replica because no clean one was live.
+    pub fallback_reads: u64,
+    /// Merged per-replica-leader store counters.
+    pub store: StoreStats,
+}
+
+/// The replicated, sharded result store. Thread-safe and cheap to
+/// share via `Arc`; implements [`ResultBackend`], so it drops into
+/// every place a [`TimeSeriesStore`] fits.
+pub struct ShardedStore {
+    cfg: ShardedConfig,
+    dir: Option<PathBuf>,
+    shards: Vec<Shard>,
+    appends: AtomicU64,
+    write_errors: AtomicU64,
+    fallback_reads: AtomicU64,
+    sink_flushes: AtomicU64,
+    sink_skipped: AtomicU64,
+    append_errors: AtomicU64,
+    metrics: Mutex<Option<ShardedMetrics>>,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.sharded_stats();
+        f.debug_struct("ShardedStore")
+            .field("shards", &s.shards)
+            .field("replication", &s.replication)
+            .field("quarantined", &s.quarantined)
+            .field("appends", &s.appends)
+            .finish_non_exhaustive()
+    }
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+fn read_manifest(dir: &Path) -> Option<(usize, usize)> {
+    let text = fs::read_to_string(manifest_path(dir)).ok()?;
+    let mut shards = None;
+    let mut replication = None;
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("shards=") {
+            shards = v.trim().parse().ok();
+        } else if let Some(v) = line.strip_prefix("replication=") {
+            replication = v.trim().parse().ok();
+        }
+    }
+    Some((shards?, replication?))
+}
+
+impl ShardedStore {
+    /// Opens (or creates) a sharded store rooted at `dir`, with one
+    /// `shard-NN/replica-N` store directory per replica.
+    ///
+    /// A root that was opened before carries a `MANIFEST` recording its
+    /// shard count and replication factor; those recorded values
+    /// override `cfg`'s, so the series→shard hash stays consistent
+    /// across restarts even if the caller's config drifted.
+    ///
+    /// Replicas whose directory is missing (while the manifest says it
+    /// existed) or fails to open are **quarantined**, not fatal: the
+    /// store opens and serves everything else. Open fails only when
+    /// the root itself cannot be created or the config is degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors on the root directory.
+    pub fn open(dir: impl AsRef<Path>, mut cfg: ShardedConfig) -> Result<Self, StoreError> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.replication > 0, "need a replication factor of >= 1");
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let manifest = read_manifest(&dir);
+        if let Some((shards, replication)) = manifest {
+            cfg.shards = shards.max(1);
+            cfg.replication = replication.max(1);
+        }
+        let seen_before = manifest.is_some();
+
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let mut replicas = Vec::with_capacity(cfg.replication);
+            for r in 0..cfg.replication {
+                let path = dir
+                    .join(format!("shard-{s:02}"))
+                    .join(format!("replica-{r}"));
+                let replica = if seen_before && !path.is_dir() {
+                    Replica {
+                        store: None,
+                        up: AtomicBool::new(false),
+                        stale: AtomicBool::new(true),
+                        quarantine: Some(format!(
+                            "replica directory {} missing at open",
+                            path.display()
+                        )),
+                    }
+                } else {
+                    match TimeSeriesStore::open_with(&path, cfg.store.clone()) {
+                        Ok(store) => Replica {
+                            store: Some(store),
+                            up: AtomicBool::new(true),
+                            stale: AtomicBool::new(false),
+                            quarantine: None,
+                        },
+                        Err(e) => Replica {
+                            store: None,
+                            up: AtomicBool::new(false),
+                            stale: AtomicBool::new(true),
+                            quarantine: Some(format!("open of {} failed: {e}", path.display())),
+                        },
+                    }
+                };
+                replicas.push(replica);
+            }
+            shards.push(Shard { replicas });
+        }
+        fs::write(
+            manifest_path(&dir),
+            format!("shards={}\nreplication={}\n", cfg.shards, cfg.replication),
+        )?;
+        Ok(Self::assemble(cfg, Some(dir), shards))
+    }
+
+    /// A purely in-memory sharded store — same routing, replication
+    /// and failure semantics, minus durability. For tests and chaos
+    /// benches.
+    pub fn in_memory(cfg: ShardedConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.replication > 0, "need a replication factor of >= 1");
+        let shards = (0..cfg.shards)
+            .map(|_| Shard {
+                replicas: (0..cfg.replication)
+                    .map(|_| Replica {
+                        store: Some(TimeSeriesStore::in_memory_with(cfg.store.clone())),
+                        up: AtomicBool::new(true),
+                        stale: AtomicBool::new(false),
+                        quarantine: None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self::assemble(cfg, None, shards)
+    }
+
+    fn assemble(cfg: ShardedConfig, dir: Option<PathBuf>, shards: Vec<Shard>) -> Self {
+        let store = ShardedStore {
+            cfg,
+            dir,
+            shards,
+            appends: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            fallback_reads: AtomicU64::new(0),
+            sink_flushes: AtomicU64::new(0),
+            sink_skipped: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        };
+        store.refresh_gauges();
+        store
+    }
+
+    /// The configured shard/replication counts (post-manifest).
+    pub fn config(&self) -> &ShardedConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `series` routes to: FNV over `(query_id, group)`,
+    /// stable across restarts (the manifest pins the shard count).
+    pub fn shard_of(&self, series: &SeriesKey) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in series.query_id.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ 0xff).wrapping_mul(0x100_0000_01b3);
+        for b in series.group.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        (h as usize) % self.shards.len()
+    }
+
+    /// Marks one replica dead (chaos hook). Appends keep committing to
+    /// the shard's surviving replicas; the dead one accrues staleness
+    /// as soon as it misses a write. Idempotent; out-of-range ignored.
+    pub fn fail_replica(&self, shard: usize, replica: usize) {
+        if let Some(r) = self.shards.get(shard).and_then(|s| s.replicas.get(replica)) {
+            if r.store.is_some() {
+                r.up.store(false, Ordering::Relaxed);
+            }
+        }
+        self.refresh_gauges();
+    }
+
+    /// Brings a failed replica back. It stays excluded from leadership
+    /// while stale (it missed writes); see
+    /// [`ShardedStore::clear_stale`].
+    pub fn restore_replica(&self, shard: usize, replica: usize) {
+        if let Some(r) = self.shards.get(shard).and_then(|s| s.replicas.get(replica)) {
+            if r.store.is_some() {
+                r.up.store(true, Ordering::Relaxed);
+            }
+        }
+        self.refresh_gauges();
+    }
+
+    /// Re-admits a replica to leadership after an out-of-band resync
+    /// (this in-process reproduction does not re-replicate history).
+    pub fn clear_stale(&self, shard: usize, replica: usize) {
+        if let Some(r) = self.shards.get(shard).and_then(|s| s.replicas.get(replica)) {
+            if r.store.is_some() {
+                r.stale.store(false, Ordering::Relaxed);
+            }
+        }
+        self.refresh_gauges();
+    }
+
+    /// Whether the replica is up (quarantined/out-of-range are down).
+    pub fn replica_is_up(&self, shard: usize, replica: usize) -> bool {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.replicas.get(replica))
+            .is_some_and(|r| r.live().is_some())
+    }
+
+    /// The shard's acting leader replica index, if any replica is live.
+    pub fn leader_of(&self, shard: usize) -> Option<usize> {
+        self.shards.get(shard)?.leader().map(|(i, _, _)| i)
+    }
+
+    /// Direct access to one replica's store (tests/inspection).
+    pub fn replica(&self, shard: usize, replica: usize) -> Option<&TimeSeriesStore> {
+        self.shards
+            .get(shard)?
+            .replicas
+            .get(replica)?
+            .store
+            .as_ref()
+    }
+
+    /// Quarantine reasons recorded at open, as
+    /// `(shard, replica, reason)`.
+    pub fn quarantined(&self) -> Vec<(usize, usize, String)> {
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                if let Some(reason) = &replica.quarantine {
+                    out.push((s, r, reason.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when every replica of `shard` was quarantined at open.
+    pub fn shard_is_quarantined(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.replicas.iter().all(|r| r.store.is_none()))
+    }
+
+    /// Replication counters plus the merged per-shard-leader
+    /// [`StoreStats`].
+    pub fn sharded_stats(&self) -> ShardedStats {
+        let mut stats = ShardedStats {
+            shards: self.shards.len(),
+            replication: self.cfg.replication,
+            appends: self.appends.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            fallback_reads: self.fallback_reads.load(Ordering::Relaxed),
+            ..ShardedStats::default()
+        };
+        for shard in &self.shards {
+            for r in &shard.replicas {
+                if r.store.is_none() {
+                    stats.quarantined += 1;
+                } else if r.live().is_none() {
+                    stats.down += 1;
+                } else if r.is_stale() {
+                    stats.stale += 1;
+                }
+            }
+            if let Some((_, leader, _)) = shard.leader() {
+                merge_stats(&mut stats.store, &leader.stats());
+            }
+        }
+        stats.store.append_errors += self.append_errors.load(Ordering::Relaxed);
+        stats.store.sink_skipped += self.sink_skipped.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn leader_for(&self, series: &SeriesKey) -> Result<&TimeSeriesStore, StoreError> {
+        let idx = self.shard_of(series);
+        match self.shards[idx].leader() {
+            Some((_, store, fallback)) => {
+                if fallback {
+                    self.fallback_reads.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &*self.metrics.lock() {
+                        m.fallback_reads.inc();
+                    }
+                }
+                Ok(store)
+            }
+            None => Err(StoreError::ShardUnavailable { shard: idx }),
+        }
+    }
+
+    fn refresh_gauges(&self) {
+        let metrics = self.metrics.lock(); // cold path
+        let Some(m) = &*metrics else {
+            return;
+        };
+        let mut quarantined = 0i64;
+        let mut down = 0i64;
+        let mut stale = 0i64;
+        for shard in &self.shards {
+            for r in &shard.replicas {
+                if r.store.is_none() {
+                    quarantined += 1;
+                } else if r.live().is_none() {
+                    down += 1;
+                } else if r.is_stale() {
+                    stale += 1;
+                }
+            }
+        }
+        m.quarantined.set(quarantined);
+        m.down.set(down);
+        m.stale.set(stale);
+    }
+}
+
+fn merge_stats(into: &mut StoreStats, from: &StoreStats) {
+    into.segments += from.segments;
+    into.frames += from.frames;
+    into.log_bytes += from.log_bytes;
+    into.series += from.series;
+    into.tuples += from.tuples;
+    into.rollup_points += from.rollup_points;
+    into.coarse_points += from.coarse_points;
+    into.truncated_on_open += from.truncated_on_open;
+    into.compactions += from.compactions;
+    into.segments_dropped += from.segments_dropped;
+    into.append_errors += from.append_errors;
+    into.sink_skipped += from.sink_skipped;
+}
+
+impl ResultBackend for ShardedStore {
+    /// Commits the batch to every live replica of the series' shard.
+    /// Succeeds iff at least one replica committed; replicas that were
+    /// down or errored are marked stale (they now have a gap).
+    fn append(&self, series: &SeriesKey, batch: &TupleBatch) -> Result<(), StoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let idx = self.shard_of(series);
+        let shard = &self.shards[idx];
+        let mut committed = 0usize;
+        let mut last_err = None;
+        for r in &shard.replicas {
+            match r.live() {
+                Some(store) => match store.append(series, batch) {
+                    Ok(()) => committed += 1,
+                    Err(e) => {
+                        // A replica that cannot persist is as good as
+                        // down: fail it so reads avoid its gap.
+                        r.up.store(false, Ordering::Relaxed);
+                        r.stale.store(true, Ordering::Relaxed);
+                        self.write_errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &*self.metrics.lock() {
+                            m.write_errors.inc(); // per-batch lock
+                        }
+                        last_err = Some(e);
+                    }
+                },
+                None => {
+                    if r.store.is_some() {
+                        r.stale.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if committed == 0 {
+            return Err(last_err.unwrap_or(StoreError::ShardUnavailable { shard: idx }));
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &*self.metrics.lock() {
+            m.appends.inc(); // per-batch lock
+        }
+        Ok(())
+    }
+
+    fn latest(&self, series: &SeriesKey) -> Option<DataTuple> {
+        self.leader_for(series).ok()?.latest(series)
+    }
+
+    fn range(&self, series: &SeriesKey, t0: u64, t1: u64) -> Result<Vec<DataTuple>, StoreError> {
+        self.leader_for(series)?.range(series, t0, t1)
+    }
+
+    fn rollup(
+        &self,
+        series: &SeriesKey,
+        field: &str,
+        t0: u64,
+        t1: u64,
+        bucket_ns: u64,
+    ) -> Result<Vec<RollupPoint>, StoreError> {
+        self.leader_for(series)?
+            .rollup(series, field, t0, t1, bucket_ns)
+    }
+
+    fn history(&self, q: &HistoryQuery) -> Result<HistoryAnswer, StoreError> {
+        self.leader_for(&q.series)?.history(q)
+    }
+
+    /// Fans out over every shard leader and merges by timestamp. A
+    /// query's group series hash independently, so any shard may hold
+    /// part of its history. Shards with no live replica are skipped —
+    /// quarantine means "serve the rest", not "fail the store".
+    fn query_history(&self, query_id: u64) -> Result<Vec<DataTuple>, StoreError> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            if let Some((_, leader, fallback)) = shard.leader() {
+                if fallback {
+                    self.fallback_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                out.extend(leader.query_history(query_id)?);
+            }
+        }
+        out.sort_by_key(|t| t.ts_ns);
+        Ok(out)
+    }
+
+    fn series(&self) -> Vec<SeriesKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            if let Some((_, leader, _)) = shard.leader() {
+                out.extend(leader.series());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Best-effort: compacts every live replica (stale ones included,
+    /// so their logs do not grow unbounded) and sums the reports.
+    /// Per-replica failures are absorbed — each replica's own stats
+    /// record them — because retention is housekeeping, not
+    /// correctness.
+    fn compact(&self, now_ns: u64) -> Result<CompactionReport, StoreError> {
+        let mut report = CompactionReport::default();
+        for shard in &self.shards {
+            for r in &shard.replicas {
+                if let Some(store) = r.live() {
+                    if let Ok(rep) = store.compact(now_ns) {
+                        report.segments_dropped += rep.segments_dropped;
+                        report.tuples_folded += rep.tuples_folded;
+                        report.rollup_points_written += rep.rollup_points_written;
+                        report.rollup_cells_demoted += rep.rollup_cells_demoted;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn native_bucket_ns(&self) -> u64 {
+        self.cfg.store.rollup_bucket_ns
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.sharded_stats().store
+    }
+
+    fn is_durable(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn attach_journal(&self, journal: Arc<Journal>) {
+        for shard in &self.shards {
+            for r in &shard.replicas {
+                if let Some(store) = &r.store {
+                    store.attach_journal(Arc::clone(&journal));
+                }
+            }
+        }
+    }
+
+    /// Registers every replica's `store.*` series (get-or-create, so
+    /// replica counters share handles and sum naturally) plus the
+    /// `store.sharded.*` replication series.
+    ///
+    /// First registry wins: a sharded store is typically shared by
+    /// several orchestrator shards, each of which registers its result
+    /// backend into its own registry on build. The cluster coordinator
+    /// registers the store into its registry first, and later calls
+    /// are no-ops so shard-local registries cannot steal the handles.
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        if self.metrics.lock().is_some() {
+            return;
+        }
+        for shard in &self.shards {
+            for r in &shard.replicas {
+                if let Some(store) = &r.store {
+                    store.register_metrics(registry);
+                }
+            }
+        }
+        *self.metrics.lock() = Some(ShardedMetrics {
+            appends: registry.counter("store.sharded.appends", &[]),
+            write_errors: registry.counter("store.sharded.write_errors", &[]),
+            fallback_reads: registry.counter("store.sharded.fallback_reads", &[]),
+            sink_flushes: registry.counter("store.sink_flushes", &[]),
+            sink_skipped: registry.counter("store.sink_skipped", &[]),
+            append_errors: registry.counter("store.append_errors", &[]),
+            quarantined: registry.gauge("store.sharded.quarantined", &[]),
+            down: registry.gauge("store.sharded.down", &[]),
+            stale: registry.gauge("store.sharded.stale", &[]),
+        });
+        self.refresh_gauges();
+    }
+
+    fn note_sink_flush(&self) {
+        self.sink_flushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &*self.metrics.lock() {
+            m.sink_flushes.inc();
+        }
+    }
+
+    fn note_append_error(&self) {
+        self.append_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &*self.metrics.lock() {
+            m.append_errors.inc();
+        }
+    }
+
+    fn note_sink_skipped(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.sink_skipped.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = &*self.metrics.lock() {
+            m.sink_skipped.add(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(ts0: u64, n: u64) -> TupleBatch {
+        TupleBatch::from_tuples(
+            (0..n)
+                .map(|i| DataTuple::new(i, ts0 + i * 100).with("v", ts0 + i))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn routes_are_stable_and_cover_all_shards() {
+        let store = ShardedStore::in_memory(ShardedConfig::default());
+        let mut hit = vec![false; store.num_shards()];
+        for q in 0..64u64 {
+            let s = SeriesKey::new(q, format!("g{q}"));
+            let shard = store.shard_of(&s);
+            assert_eq!(shard, store.shard_of(&s), "routing is deterministic");
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 series should touch all shards");
+    }
+
+    #[test]
+    fn append_replicates_and_survives_replica_loss() {
+        let store = ShardedStore::in_memory(ShardedConfig::default());
+        let series = SeriesKey::new(7, "web");
+        let shard = store.shard_of(&series);
+        store.append(&series, &batch(0, 10)).unwrap();
+        // Both replicas carry the commit.
+        for r in 0..2 {
+            assert_eq!(
+                store
+                    .replica(shard, r)
+                    .unwrap()
+                    .query_history(7)
+                    .unwrap()
+                    .len(),
+                10
+            );
+        }
+        // Lose the primary; reads fail over to the follower with the
+        // full pre-fault prefix, and new appends keep committing.
+        store.fail_replica(shard, 0);
+        assert_eq!(store.range(&series, 0, u64::MAX).unwrap().len(), 10);
+        store.append(&series, &batch(10_000, 5)).unwrap();
+        assert_eq!(store.query_history(7).unwrap().len(), 15);
+        assert_eq!(store.leader_of(shard), Some(1));
+    }
+
+    #[test]
+    fn returned_replica_is_stale_until_cleared() {
+        let store = ShardedStore::in_memory(ShardedConfig::default());
+        let series = SeriesKey::new(3, "");
+        let shard = store.shard_of(&series);
+        store.fail_replica(shard, 0);
+        store.append(&series, &batch(0, 4)).unwrap();
+        store.restore_replica(shard, 0);
+        // Replica 0 missed the write: it must not lead.
+        assert_eq!(store.leader_of(shard), Some(1));
+        assert_eq!(store.range(&series, 0, u64::MAX).unwrap().len(), 4);
+        assert_eq!(store.sharded_stats().stale, 1);
+        store.clear_stale(shard, 0);
+        assert_eq!(store.leader_of(shard), Some(0));
+    }
+
+    #[test]
+    fn whole_shard_down_errors_that_shard_only() {
+        let store = ShardedStore::in_memory(ShardedConfig::default());
+        let a = SeriesKey::new(1, "a");
+        let mut b = SeriesKey::new(1, "b");
+        // Find a series on a different shard than `a`.
+        let mut i = 0u64;
+        while store.shard_of(&b) == store.shard_of(&a) {
+            i += 1;
+            b = SeriesKey::new(1, format!("b{i}"));
+        }
+        store.append(&a, &batch(0, 3)).unwrap();
+        store.append(&b, &batch(0, 4)).unwrap();
+        let dead = store.shard_of(&a);
+        store.fail_replica(dead, 0);
+        store.fail_replica(dead, 1);
+        assert!(matches!(
+            store.append(&a, &batch(1_000, 1)),
+            Err(StoreError::ShardUnavailable { shard }) if shard == dead
+        ));
+        assert!(store.range(&a, 0, u64::MAX).is_err());
+        // The other shard still serves reads and writes, and the
+        // cross-shard fan-out skips (not fails on) the dead shard.
+        store.append(&b, &batch(1_000, 1)).unwrap();
+        assert_eq!(store.query_history(1).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn durable_roundtrip_and_manifest_pin_shard_count() {
+        let dir = std::env::temp_dir().join(format!(
+            "netalytics-sharded-roundtrip-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let series = SeriesKey::new(9, "api");
+        {
+            let store = ShardedStore::open(
+                &dir,
+                ShardedConfig {
+                    shards: 3,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            store.append(&series, &batch(0, 8)).unwrap();
+        }
+        // Reopen with a *different* configured shard count: the
+        // manifest wins, so routing still finds the data.
+        let store = ShardedStore::open(
+            &dir,
+            ShardedConfig {
+                shards: 7,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.num_shards(), 3);
+        assert_eq!(store.range(&series, 0, u64::MAX).unwrap().len(), 8);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,7 +15,8 @@ use netalytics_data::{DataTuple, TraceCtx, TupleBatch};
 use netalytics_stream::Bolt;
 use netalytics_telemetry::{wall_now_ns, Tracer};
 
-use crate::store::{SeriesKey, TimeSeriesStore};
+use crate::backend::ResultBackend;
+use crate::store::SeriesKey;
 
 /// Tuples buffered across all groups before an early flush.
 const FLUSH_THRESHOLD: usize = 64;
@@ -24,9 +25,10 @@ const FLUSH_THRESHOLD: usize = 64;
 /// simply close without a `store` span rather than grow the buffer.
 const TRACED_CAP: usize = 64;
 
-/// Terminal bolt persisting tuples into a shared store.
+/// Terminal bolt persisting tuples into a shared store (any
+/// [`ResultBackend`] — single-node or sharded).
 pub struct StoreSink {
-    store: Arc<TimeSeriesStore>,
+    store: Arc<dyn ResultBackend>,
     query_id: u64,
     group_field: Option<String>,
     /// Ordered by group key so a flush appends series in the same order
@@ -46,7 +48,16 @@ impl StoreSink {
     /// Builds a sink for one query. `group_field` names the tuple field
     /// whose value becomes the series group key (tuples without it, or
     /// ungrouped queries, land in the `""` series).
-    pub fn new(store: Arc<TimeSeriesStore>, query_id: u64, group_field: Option<String>) -> Self {
+    pub fn new<S: ResultBackend + 'static>(
+        store: Arc<S>,
+        query_id: u64,
+        group_field: Option<String>,
+    ) -> Self {
+        Self::over(store, query_id, group_field)
+    }
+
+    /// Like [`StoreSink::new`], but for an already type-erased backend.
+    pub fn over(store: Arc<dyn ResultBackend>, query_id: u64, group_field: Option<String>) -> Self {
         StoreSink {
             store,
             query_id,
@@ -161,6 +172,7 @@ impl Drop for StoreSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::TimeSeriesStore;
 
     fn tuple(ts: u64, url: &str, n: u64) -> DataTuple {
         DataTuple::new(1, ts).with("url", url).with("count", n)

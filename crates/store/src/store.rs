@@ -132,6 +132,13 @@ pub enum StoreError {
         /// The configured native width it must be a multiple of.
         native_ns: u64,
     },
+    /// Every replica of a sharded store's shard is quarantined or
+    /// down, so the operation addressed to it cannot be served. The
+    /// other shards keep working; see `ShardedStore`.
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -147,6 +154,10 @@ impl std::fmt::Display for StoreError {
                 f,
                 "rollup bucket {requested_ns}ns must be a non-zero multiple of the \
                  configured {native_ns}ns"
+            ),
+            StoreError::ShardUnavailable { shard } => write!(
+                f,
+                "store shard {shard} unavailable: every replica is quarantined or down"
             ),
         }
     }

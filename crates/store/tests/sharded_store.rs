@@ -1,0 +1,228 @@
+//! Reload-time fault coverage for the replicated [`ShardedStore`]:
+//! missing replica directories, torn segment tails and unreadable
+//! segments must quarantine only what is actually damaged, while the
+//! surviving replicas and the other shards keep serving.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netalytics_data::{DataTuple, TupleBatch};
+use netalytics_store::{
+    ResultBackend, SeriesKey, ShardedConfig, ShardedStore, StoreConfig, StoreError,
+};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "netalytics-sharded-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn batch(ts0: u64, n: u64) -> TupleBatch {
+    TupleBatch::from_tuples(
+        (0..n)
+            .map(|i| DataTuple::new(i, ts0 + i * 100).with("v", ts0 + i))
+            .collect(),
+    )
+}
+
+fn config() -> ShardedConfig {
+    ShardedConfig {
+        shards: 3,
+        replication: 2,
+        store: StoreConfig::default(),
+    }
+}
+
+/// A series routed to `shard` by trying group names until one hashes
+/// there — routing is content-addressed, so tests steer it this way.
+fn series_on(store: &ShardedStore, query: u64, shard: usize) -> SeriesKey {
+    (0..)
+        .map(|i| SeriesKey::new(query, format!("g{i}")))
+        .find(|s| store.shard_of(s) == shard)
+        .expect("some group hashes onto every shard")
+}
+
+fn replica_dir(root: &Path, shard: usize, replica: usize) -> PathBuf {
+    root.join(format!("shard-{shard:02}"))
+        .join(format!("replica-{replica}"))
+}
+
+fn first_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("replica dir listable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs.into_iter().next().expect("at least one segment")
+}
+
+#[test]
+fn missing_replica_dir_is_quarantined_and_follower_serves() {
+    let dir = scratch_dir("missing-replica");
+    let series;
+    let shard;
+    {
+        let store = ShardedStore::open(&dir, config()).expect("open fresh");
+        shard = 1;
+        series = series_on(&store, 42, shard);
+        store.append(&series, &batch(0, 12)).expect("append");
+    }
+    // Lose the primary's directory wholesale — a dead store node that
+    // never came back. The manifest remembers it should exist.
+    fs::remove_dir_all(replica_dir(&dir, shard, 0)).expect("remove replica dir");
+
+    let store = ShardedStore::open(&dir, config()).expect("reopen");
+    let quarantined = store.quarantined();
+    assert_eq!(quarantined.len(), 1, "exactly the missing replica");
+    assert_eq!((quarantined[0].0, quarantined[0].1), (shard, 0));
+    assert!(
+        quarantined[0].2.contains("missing"),
+        "reason names the damage: {}",
+        quarantined[0].2
+    );
+    // The shard is degraded, not gone: the follower leads with the
+    // full committed prefix, and new writes still commit.
+    assert!(!store.shard_is_quarantined(shard));
+    assert_eq!(store.leader_of(shard), Some(1));
+    assert_eq!(store.range(&series, 0, u64::MAX).expect("read").len(), 12);
+    store.append(&series, &batch(10_000, 3)).expect("append");
+    assert_eq!(store.query_history(42).expect("history").len(), 15);
+    assert_eq!(store.sharded_stats().quarantined, 1);
+}
+
+#[test]
+fn fully_quarantined_shard_errors_while_other_shards_serve() {
+    let dir = scratch_dir("dead-shard");
+    let dead = 0;
+    let (victim, survivor);
+    {
+        let store = ShardedStore::open(&dir, config()).expect("open fresh");
+        victim = series_on(&store, 7, dead);
+        survivor = series_on(&store, 7, 2);
+        store.append(&victim, &batch(0, 5)).expect("append");
+        store.append(&survivor, &batch(0, 8)).expect("append");
+    }
+    // Both replicas of shard 0 vanish: nothing left to fail over to.
+    for r in 0..2 {
+        fs::remove_dir_all(replica_dir(&dir, dead, r)).expect("remove replica dir");
+    }
+
+    let store = ShardedStore::open(&dir, config()).expect("reopen");
+    assert!(store.shard_is_quarantined(dead));
+    assert_eq!(store.leader_of(dead), None);
+    assert!(matches!(
+        store.range(&victim, 0, u64::MAX),
+        Err(StoreError::ShardUnavailable { shard }) if shard == dead
+    ));
+    assert!(matches!(
+        store.append(&victim, &batch(1_000, 1)),
+        Err(StoreError::ShardUnavailable { shard }) if shard == dead
+    ));
+    // "Serve the rest": the healthy shards answer reads and writes,
+    // and the cross-shard history fan-out skips the dead shard rather
+    // than failing the whole query.
+    assert_eq!(store.range(&survivor, 0, u64::MAX).expect("read").len(), 8);
+    store.append(&survivor, &batch(2_000, 2)).expect("append");
+    assert_eq!(store.query_history(7).expect("history").len(), 10);
+    assert_eq!(store.sharded_stats().quarantined, 2);
+}
+
+#[test]
+fn torn_segment_tail_is_truncated_not_quarantined() {
+    let dir = scratch_dir("torn-tail");
+    let shard = 2;
+    let series;
+    {
+        let store = ShardedStore::open(&dir, config()).expect("open fresh");
+        series = series_on(&store, 9, shard);
+        store.append(&series, &batch(0, 20)).expect("append");
+    }
+    // Tear the primary's segment mid-frame — the classic crash during
+    // a write. A torn tail is expected damage: open repairs it by
+    // truncating to the last whole frame instead of quarantining.
+    let seg = first_segment(&replica_dir(&dir, shard, 0));
+    let bytes = fs::read(&seg).expect("read segment");
+    assert!(bytes.len() > 8, "segment holds at least one frame");
+    fs::write(&seg, &bytes[..bytes.len() - 7]).expect("tear tail");
+
+    let store = ShardedStore::open(&dir, config()).expect("reopen");
+    assert!(store.quarantined().is_empty(), "torn tail is repairable");
+    assert_eq!(store.leader_of(shard), Some(0));
+    assert!(
+        store.sharded_stats().store.truncated_on_open > 0,
+        "the repair is visible in stats"
+    );
+    // The repaired replica may have lost the torn frame, but the shard
+    // still serves and new appends land on both replicas.
+    store.append(&series, &batch(50_000, 4)).expect("append");
+    assert!(store.query_history(9).expect("history").len() >= 4);
+}
+
+#[test]
+fn unreadable_segment_quarantines_that_replica_only() {
+    let dir = scratch_dir("unreadable-seg");
+    let shard = 1;
+    let series;
+    {
+        let store = ShardedStore::open(&dir, config()).expect("open fresh");
+        series = series_on(&store, 13, shard);
+        store.append(&series, &batch(0, 6)).expect("append");
+    }
+    // Replace a segment file with a directory of the same name: reads
+    // of it fail with a real I/O error, which is *not* a torn tail and
+    // must quarantine the replica instead of guessing at repair.
+    let seg = first_segment(&replica_dir(&dir, shard, 0));
+    fs::remove_file(&seg).expect("remove segment");
+    fs::create_dir(&seg).expect("shadow segment with a directory");
+
+    let store = ShardedStore::open(&dir, config()).expect("reopen");
+    let quarantined = store.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!((quarantined[0].0, quarantined[0].1), (shard, 0));
+    assert!(
+        quarantined[0].2.contains("failed"),
+        "reason carries the open error: {}",
+        quarantined[0].2
+    );
+    assert_eq!(store.leader_of(shard), Some(1));
+    assert_eq!(store.range(&series, 0, u64::MAX).expect("read").len(), 6);
+}
+
+#[test]
+fn manifest_pins_layout_so_routing_survives_a_misconfigured_reopen() {
+    let dir = scratch_dir("manifest-pin");
+    let series;
+    {
+        let store = ShardedStore::open(&dir, config()).expect("open fresh");
+        series = series_on(&store, 21, 2);
+        store.append(&series, &batch(0, 9)).expect("append");
+    }
+    // Reopening with a different shard count must not re-route series
+    // away from their data: the manifest wins over the passed config.
+    let store = ShardedStore::open(
+        &dir,
+        ShardedConfig {
+            shards: 8,
+            replication: 1,
+            store: StoreConfig::default(),
+        },
+    )
+    .expect("reopen");
+    assert_eq!(store.num_shards(), 3);
+    assert_eq!(store.config().replication, 2);
+    assert_eq!(store.shard_of(&series), 2);
+    assert_eq!(store.range(&series, 0, u64::MAX).expect("read").len(), 9);
+}

@@ -54,6 +54,6 @@ pub use registry::{
 };
 pub use server::{
     introspection_router, ApiError, ChunkWriter, Handler, Introspection, QueryDirectory, QueryInfo,
-    QueryState, Request, Response, Router, TelemetryServer, DEFAULT_WORKERS,
+    QueryState, Request, Response, Router, StandingProgress, TelemetryServer, DEFAULT_WORKERS,
 };
 pub use trace::{wall_now_ns, Span, TraceConfig, TraceExemplar, Tracer};

@@ -76,6 +76,21 @@ impl QueryState {
     }
 }
 
+/// Continuous-evaluation progress of a standing query, as reported by
+/// the reconciler after each pass: where the watermark sits and how
+/// many windows it has materialized or been forced to skip. Lets
+/// operators see standing-query lag straight from
+/// `GET /queries/{cookie}` instead of mining the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StandingProgress {
+    /// Watermark: exclusive end (ns) of the next window to close.
+    pub watermark_ns: u64,
+    /// Windows materialized so far.
+    pub windows_fired: u64,
+    /// Overdue windows skipped by catch-up clamping, cumulative.
+    pub lagged_windows: u64,
+}
+
 /// What the directory knows about one query.
 #[derive(Clone, Debug)]
 pub struct QueryInfo {
@@ -97,15 +112,19 @@ pub struct QueryInfo {
     /// Times the reconciler replaced a failed element.
     pub replacements: u64,
     pub updated_ns: u64,
+    /// Watermark/lag progress, present only for standing queries.
+    pub standing: Option<StandingProgress>,
 }
 
 impl QueryInfo {
-    /// The descriptor served over the wire for this query.
+    /// The descriptor served over the wire for this query. Non-standing
+    /// queries render exactly as before; standing queries append a
+    /// `"standing"` object with watermark and lag counters.
     pub fn render_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"cookie\":{},\"query\":\"{}\",\"tenant\":\"{}\",\"state\":\"{}\",\
              \"healthy\":{},\"submitted_ns\":{},\
-             \"monitors\":{},\"aggregator\":\"{}\",\"replacements\":{},\"updated_ns\":{}}}",
+             \"monitors\":{},\"aggregator\":\"{}\",\"replacements\":{},\"updated_ns\":{}",
             self.cookie,
             json_escape(&self.query),
             json_escape(&self.tenant),
@@ -116,7 +135,17 @@ impl QueryInfo {
             json_escape(&self.aggregator),
             self.replacements,
             self.updated_ns
-        )
+        );
+        if let Some(p) = &self.standing {
+            let _ = write!(
+                out,
+                ",\"standing\":{{\"watermark_ns\":{},\"windows_fired\":{},\
+                 \"lagged_windows\":{}}}",
+                p.watermark_ns, p.windows_fired, p.lagged_windows
+            );
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -153,6 +182,7 @@ impl QueryDirectory {
                 aggregator: String::new(),
                 replacements: 0,
                 updated_ns: now_ns,
+                standing: None,
             },
         );
     }
@@ -199,6 +229,27 @@ impl QueryDirectory {
                 info.aggregator = host.to_string();
             }
             info.updated_ns = now_ns;
+        }
+    }
+
+    /// Publishes a standing query's watermark and lag counters (called
+    /// by the reconciler after each evaluation pass). Progress updates
+    /// don't churn `updated_ns`: the watermark advances every interval
+    /// in steady state, which is not a lifecycle change.
+    pub fn standing_progress(
+        &self,
+        cookie: u64,
+        watermark_ns: u64,
+        windows_fired: u64,
+        lagged_windows: u64,
+    ) {
+        let mut map = self.inner.lock(); // control path
+        if let Some(info) = map.get_mut(&cookie) {
+            info.standing = Some(StandingProgress {
+                watermark_ns,
+                windows_fired,
+                lagged_windows,
+            });
         }
     }
 

@@ -278,3 +278,101 @@ fn fault_free_run_is_unaffected_by_the_reconciler() {
         "reconcile passes on a healthy query change nothing"
     );
 }
+
+/// SplitMix64: a tiny deterministic generator for chaos schedules.
+/// The whole schedule derives from one printed seed, so any failure
+/// reproduces with `NETALYTICS_CHAOS_SEED=<seed> cargo test ...`.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The schedule seed: `NETALYTICS_CHAOS_SEED` when set (replay), a
+/// time-derived value otherwise (exploration). Always printed, so a
+/// red CI run carries its own reproduction instructions.
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("NETALYTICS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED)
+        });
+    eprintln!("NETALYTICS_CHAOS_SEED={seed} (set this env var to replay the schedule)");
+    seed
+}
+
+/// Seeded chaos: 1-3 host kills at random times — the monitor host,
+/// the aggregator host, or a bystander that may well be the host a
+/// replacement just landed on — each repaired a random stretch later.
+/// Whatever the draw, the reconciler must ride it out: the query
+/// finishes, the control plane ends on live hosts, and every
+/// replacement is journaled.
+#[test]
+fn fault_seeded_chaos_schedule_recovers_whatever_the_draw() {
+    let seed = chaos_seed();
+    let mut rng = SplitMix64(seed);
+    let hb = SimDuration::from_millis(10);
+    let mut orch = Orchestrator::builder(4).heartbeat_interval(hb).build();
+    deploy_web(&mut orch, 60);
+    let q = orch.submit(QUERY).expect("submit");
+    let cookie = q.cookie();
+
+    // Victims: the control-plane hosts plus free bystanders (hosts 0
+    // and 1 carry the workload and stay up).
+    let control = [q.monitor_hosts()[0], q.aggregator_host()];
+    let mut pool = control.to_vec();
+    pool.extend((2u32..16).filter(|h| !control.contains(h)));
+    let kills = 1 + rng.below(3);
+    let mut script = FailureScript::new();
+    for _ in 0..kills {
+        let victim = pool[rng.below(pool.len() as u64) as usize];
+        let at = SimTime::from_nanos(150_000_000 + rng.below(450) * 1_000_000);
+        let back = at + SimDuration::from_millis(30 + rng.below(50));
+        script = script.fail_host(at, victim).repair_host(back, victim);
+    }
+    orch.engine_mut().apply_script(&script);
+
+    let deadline = q.deadline().expect("time-limited query");
+    orch.run_reconciling(&q, deadline + SimDuration::from_millis(50))
+        .unwrap_or_else(|e| panic!("seed {seed}: reconciling run failed: {e}"));
+
+    // Wherever the control plane ended up, it ended up on live hosts.
+    for h in q.monitor_hosts() {
+        assert!(orch.engine().host_is_up(h), "seed {seed}: monitor host up");
+    }
+    assert!(
+        orch.engine().host_is_up(q.aggregator_host()),
+        "seed {seed}: aggregator host up"
+    );
+    // Replacements (if any struck the control plane) are journaled.
+    let failovers = orch
+        .journal()
+        .events()
+        .iter()
+        .filter(|e| e.cookie == Some(cookie) && e.kind == EventKind::Failover)
+        .count() as u32;
+    assert_eq!(
+        failovers,
+        q.replacements(),
+        "seed {seed}: every replacement journaled"
+    );
+    let report = orch.kill(&q).expect("running query");
+    assert!(
+        report.aggregator.tuples_in > 0,
+        "seed {seed}: traffic flowed through the chaos"
+    );
+}
